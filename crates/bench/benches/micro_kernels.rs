@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the core VerdictDB-rs kernels: the Lemma 1
+//! staircase function, the array-level error estimators, variational-table
+//! construction in SQL, and the full rewrite-execute-assemble pipeline for a
+//! single query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use verdict_core::estimate::{
+    bootstrap_interval, default_subsample_size, traditional_subsampling_interval,
+    variational_subsampling_interval,
+};
+use verdict_core::sample::SampleType;
+use verdict_core::stats::staircase_probability;
+use verdict_core::{VerdictConfig, VerdictContext};
+use verdict_data::{InstacartGenerator, SyntheticGenerator};
+use verdict_engine::{Connection, Engine};
+
+fn bench_staircase(c: &mut Criterion) {
+    c.bench_function("stats/staircase_probability", |b| {
+        b.iter(|| staircase_probability(std::hint::black_box(1000), std::hint::black_box(250_000), 0.001))
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let values = SyntheticGenerator::paper_default(100_000).values();
+    let ns = default_subsample_size(values.len());
+    let mut group = c.benchmark_group("estimators_100k");
+    group.sample_size(10);
+    group.bench_function("variational_subsampling", |b| {
+        b.iter(|| variational_subsampling_interval(&values, ns, 0.95, 1))
+    });
+    group.bench_function("traditional_subsampling_b100", |b| {
+        b.iter(|| traditional_subsampling_interval(&values, 100, ns, 0.95, 1))
+    });
+    group.bench_function("bootstrap_b100", |b| {
+        b.iter(|| bootstrap_interval(&values, 100, 0.95, 1))
+    });
+    group.finish();
+}
+
+fn bench_variational_table_sql(c: &mut Criterion) {
+    let engine = Engine::with_seed(3);
+    SyntheticGenerator::paper_default(50_000).register(&engine);
+    let sql = verdict_core::estimate::sql_baselines::variational_subsampling_sql(
+        "synthetic", "value", Some("grp"), 100,
+    );
+    let mut group = c.benchmark_group("sql");
+    group.sample_size(10);
+    group.bench_function("variational_table_50k_rows", |b| {
+        b.iter(|| engine.execute_sql(&sql).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_query(c: &mut Criterion) {
+    let engine = Arc::new(Engine::with_seed(5));
+    InstacartGenerator::new(0.1).register(&engine);
+    let conn: Arc<dyn Connection> = engine;
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 10_000;
+    config.sampling_ratio = 0.02;
+    config.io_budget = 0.05;
+    config.seed = Some(1);
+    let ctx = VerdictContext::new(conn, config);
+    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+
+    let sql = "SELECT count(*) AS n, avg(price) AS ap FROM order_products WHERE price > 5";
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (label, exact) in [("verdictdb_approximate", false), ("exact_baseline", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &exact, |b, &exact| {
+            b.iter(|| {
+                if exact {
+                    ctx.execute_exact(sql).unwrap()
+                } else {
+                    ctx.execute(sql).unwrap()
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_staircase,
+    bench_estimators,
+    bench_variational_table_sql,
+    bench_end_to_end_query
+);
+criterion_main!(benches);

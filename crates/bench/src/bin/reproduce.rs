@@ -1,0 +1,159 @@
+//! Regenerates every table and figure of the VerdictDB evaluation at laptop
+//! scale and prints them in a paper-aligned layout.
+//!
+//! Run with: `cargo run --release -p verdict-bench --bin reproduce`
+//!
+//! Pass `--quick` to use smaller datasets (used in CI smoke runs).
+
+use verdict_bench::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (insta_scale, tpch_scale, ratio) = if quick { (0.05, 0.08, 0.05) } else { (0.3, 0.5, 0.02) };
+
+    println!("# VerdictDB-rs — reproduction run (insta scale {insta_scale}, tpch scale {tpch_scale}, τ = {ratio})\n");
+
+    // ----- Figures 4 / 9 / 10 -------------------------------------------------
+    println!("## Figures 4 & 9 (speedups) and Figure 10 (actual relative errors)\n");
+    let ctx = workload_context(insta_scale, tpch_scale, ratio);
+    let rows = speedup_experiment(&ctx);
+    println!("| query | redshift | sparksql | impala | actual rel. error | fallback |");
+    println!("|-------|---------:|---------:|-------:|------------------:|----------|");
+    let mut sum = [0.0f64; 3];
+    let mut max = [0.0f64; 3];
+    let mut n = 0.0;
+    for r in &rows {
+        println!(
+            "| {} | {:.2}x | {:.2}x | {:.2}x | {:.2}% | {} |",
+            r.query,
+            r.speedups[0],
+            r.speedups[1],
+            r.speedups[2],
+            100.0 * r.actual_relative_error,
+            if r.fell_back { "exact" } else { "" }
+        );
+        if !r.fell_back {
+            for i in 0..3 {
+                sum[i] += r.speedups[i];
+                max[i] = max[i].max(r.speedups[i]);
+            }
+            n += 1.0;
+        }
+    }
+    println!(
+        "\naverage speedup (approximated queries): redshift {:.1}x, sparksql {:.1}x, impala {:.1}x",
+        sum[0] / n,
+        sum[1] / n,
+        sum[2] / n
+    );
+    println!(
+        "maximum speedup: redshift {:.0}x, sparksql {:.0}x, impala {:.0}x",
+        max[0], max[1], max[2]
+    );
+    let worst_err = rows.iter().map(|r| r.actual_relative_error).fold(0.0, f64::max);
+    println!("worst actual relative error across the workload: {:.2}%\n", 100.0 * worst_err);
+
+    // ----- Figure 5 -------------------------------------------------------------
+    println!("## Figure 5 (speedup vs. data size, sample size fixed)\n");
+    println!("| scale factor | modeled redshift speedup |");
+    println!("|-------------:|-------------------------:|");
+    let scales: Vec<f64> = if quick { vec![0.05, 0.1, 0.2] } else { vec![0.1, 0.25, 0.5, 1.0] };
+    for (scale, speedup) in scaling_experiment(&scales) {
+        println!("| {scale} | {speedup:.1}x |");
+    }
+    println!();
+
+    // ----- Figure 6 -------------------------------------------------------------
+    println!("## Figure 6 (VerdictDB vs tightly-integrated AQP)\n");
+    println!("| query | verdictdb | integrated | verdict wins |");
+    println!("|-------|----------:|-----------:|--------------|");
+    let mut verdict_wins = 0usize;
+    let comparison = integrated_comparison(&ctx);
+    for (id, v, s, wins) in &comparison {
+        println!("| {} | {:.0?} | {:.0?} | {} |", id, v, s, if *wins { "yes" } else { "" });
+        verdict_wins += usize::from(*wins);
+    }
+    println!(
+        "\nVerdictDB is faster on {verdict_wins}/{} queries (notably those joining two samples).\n",
+        comparison.len()
+    );
+
+    // ----- Table 2 ---------------------------------------------------------------
+    println!("## Table 2 (sampling-based vs native approximate aggregates)\n");
+    println!("| aggregate | verdict rows scanned | native rows scanned | verdict err | native err |");
+    println!("|-----------|---------------------:|--------------------:|------------:|-----------:|");
+    for (label, v_rows, n_rows, v_err, n_err) in native_approx_comparison(&ctx) {
+        println!(
+            "| {label} | {v_rows} | {n_rows} | {:.2}% | {:.2}% |",
+            100.0 * v_err,
+            100.0 * n_err
+        );
+    }
+    println!();
+
+    // ----- Figure 7 ---------------------------------------------------------------
+    println!("## Figure 7 (error-estimation runtime: variational vs baselines)\n");
+    println!("| query shape | variational | traditional subsampling | consolidated bootstrap |");
+    println!("|-------------|------------:|------------------------:|-----------------------:|");
+    let sample_rows = if quick { 20_000 } else { 100_000 };
+    for (shape, v, t, b) in estimation_overhead(sample_rows, 100) {
+        println!("| {shape} | {v:.1?} | {t:.1?} | {b:.1?} |");
+    }
+    println!();
+
+    // ----- Figures 8a / 8b ----------------------------------------------------------
+    println!("## Figure 8a (estimated vs groundtruth error across selectivity)\n");
+    println!("| selectivity | estimated rel. error | groundtruth rel. error |");
+    println!("|------------:|---------------------:|-----------------------:|");
+    for (sel, est, truth) in accuracy::selectivity_sweep(&[0.1, 0.3, 0.5, 0.7, 0.9]) {
+        println!("| {sel:.1} | {:.3}% | {:.3}% |", 100.0 * est, 100.0 * truth);
+    }
+    println!("\n## Figure 8b / Figure 12 (error-bound accuracy across sample sizes)\n");
+    println!("| n | CLT | bootstrap | subsampling | variational |");
+    println!("|--:|----:|----------:|------------:|------------:|");
+    let sizes: Vec<usize> = if quick { vec![10_000, 50_000] } else { vec![10_000, 100_000, 1_000_000] };
+    for (n, clt, boot, tsub, vsub) in accuracy::sample_size_sweep(&sizes, 100) {
+        println!(
+            "| {n} | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
+            100.0 * clt,
+            100.0 * boot,
+            100.0 * tsub,
+            100.0 * vsub
+        );
+    }
+    println!();
+
+    // ----- Figure 13 ------------------------------------------------------------------
+    println!("## Figure 13 (accuracy / latency vs number of resamples b)\n");
+    println!("| b | bootstrap err | subsampling err | variational err | bootstrap time | variational time |");
+    println!("|--:|--------------:|----------------:|----------------:|---------------:|-----------------:|");
+    let n13 = if quick { 50_000 } else { 500_000 };
+    for (b, be, te, ve, bt, vt) in accuracy::resample_count_sweep(n13, &[10, 50, 100, 200]) {
+        println!(
+            "| {b} | {:.1}% | {:.1}% | {:.1}% | {bt:.1?} | {vt:.1?} |",
+            100.0 * be,
+            100.0 * te,
+            100.0 * ve
+        );
+    }
+    println!();
+
+    // ----- Figure 14 -------------------------------------------------------------------
+    println!("## Figure 14 (effect of the subsample size ns = n^x)\n");
+    println!("| exponent x | relative error of the bound |");
+    println!("|-----------:|----------------------------:|");
+    let n14 = if quick { 100_000 } else { 500_000 };
+    for (x, err) in accuracy::subsample_size_sweep(n14, &[0.25, 0.333, 0.5, 0.667, 0.75]) {
+        println!("| {x:.3} | {:.1}% |", 100.0 * err);
+    }
+    println!();
+
+    // ----- Figure 11 ------------------------------------------------------------------
+    println!("## Figure 11 (sample preparation time vs data movement)\n");
+    println!("| task | time |");
+    println!("|------|-----:|");
+    for (task, t) in preparation_time(if quick { 0.05 } else { 0.3 }) {
+        println!("| {task} | {t:.1?} |");
+    }
+    println!();
+}

@@ -1,0 +1,641 @@
+//! The Answer Rewriter: turns the raw result of the rewritten query back into
+//! the answer of the *original* query, together with error estimates.
+//!
+//! The rewritten (mean-like) query returns one row per (output group,
+//! subsample id) with per-subsample unbiased estimates of every aggregate.
+//! Following variational subsampling (Theorem 2), the point estimate for a
+//! group is the subsample-size-weighted mean of the per-subsample estimates
+//! (which algebraically equals the full-sample Horvitz–Thompson estimate),
+//! and the error is derived from the spread of the per-subsample estimates,
+//! scaled by `sqrt(avg(ns_i)) / sqrt(n_g)` exactly as in the paper's Query 9.
+
+use crate::config::VerdictConfig;
+use crate::error::{VerdictError, VerdictResult};
+use crate::rewrite::{columns, AggClass, OutputColumn, QueryAnalysis, RewriteOutput};
+use crate::stats::{normal_critical_value, stddev, weighted_mean};
+use std::collections::HashMap;
+use verdict_engine::{DataType, Field, KeyValue, Schema, Table, Value};
+use verdict_sql::ast::{BinaryOp, Expr, UnaryOp};
+use verdict_sql::dialect::GenericDialect;
+use verdict_sql::printer::print_expr;
+
+/// The estimate and error bound reported for one aggregate column of one group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggEstimate {
+    pub estimate: f64,
+    /// Half-width of the confidence interval at the configured confidence level.
+    pub error: f64,
+}
+
+impl AggEstimate {
+    /// Relative error (error / |estimate|), or 0 when the estimate is 0.
+    pub fn relative_error(&self) -> f64 {
+        if self.estimate.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.error / self.estimate.abs()
+        }
+    }
+}
+
+/// Error summary for one aggregate output column across all groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnErrorSummary {
+    pub column: String,
+    pub mean_relative_error: f64,
+    pub max_relative_error: f64,
+}
+
+/// The assembled approximate answer.
+#[derive(Debug, Clone)]
+pub struct AssembledAnswer {
+    /// The result table in the shape of the original query (plus optional
+    /// `<column>_err` columns when configured).
+    pub table: Table,
+    /// Per-aggregate-column error summaries.
+    pub errors: Vec<ColumnErrorSummary>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct GroupData {
+    key_values: Vec<Value>,
+    /// One entry per subsample cell: (subsample size, per-aggregate estimate).
+    cells: Vec<(f64, HashMap<usize, f64>)>,
+    distinct: HashMap<usize, AggEstimate>,
+    extreme: HashMap<usize, Value>,
+}
+
+/// Assembles the final answer from the raw results of the rewritten parts.
+pub fn assemble(
+    rewrite: &RewriteOutput,
+    mean_result: Option<&Table>,
+    distinct_result: Option<&Table>,
+    extreme_result: Option<&Table>,
+    config: &VerdictConfig,
+) -> VerdictResult<AssembledAnswer> {
+    let analysis = &rewrite.analysis;
+    let group_count = analysis.group_by.len();
+    let mut groups: HashMap<Vec<KeyValue>, GroupData> = HashMap::new();
+    let mut group_order: Vec<Vec<KeyValue>> = Vec::new();
+
+    // --- mean-like part -----------------------------------------------------
+    if let Some(table) = mean_result {
+        let sid_idx = required_column(table, columns::SID)?;
+        let size_idx = required_column(table, columns::SUB_SIZE)?;
+        let group_idxs = group_columns(table, group_count)?;
+        let mut est_idxs: HashMap<usize, usize> = HashMap::new();
+        for spec in &analysis.aggregates {
+            if spec.class == AggClass::MeanLike {
+                let col = format!("{}{}", columns::EST_PREFIX, spec.index);
+                est_idxs.insert(spec.index, required_column(table, &col)?);
+            }
+        }
+        for row in 0..table.num_rows() {
+            let key: Vec<KeyValue> = group_idxs
+                .iter()
+                .map(|&c| KeyValue::from_value(table.value(row, c)))
+                .collect();
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                group_order.push(key.clone());
+                GroupData {
+                    key_values: group_idxs.iter().map(|&c| table.value(row, c).clone()).collect(),
+                    ..GroupData::default()
+                }
+            });
+            let size = table.value(row, size_idx).as_f64().unwrap_or(0.0);
+            let mut cell = HashMap::new();
+            for (agg_idx, col_idx) in &est_idxs {
+                if let Some(v) = table.value(row, *col_idx).as_f64() {
+                    cell.insert(*agg_idx, v);
+                }
+            }
+            let _ = table.value(row, sid_idx); // sid itself is not needed beyond grouping
+            entry.cells.push((size, cell));
+        }
+    }
+
+    // --- count-distinct part --------------------------------------------------
+    if let (Some(table), Some((_, scales))) = (distinct_result, &rewrite.distinct_query) {
+        let group_idxs = group_columns(table, group_count)?;
+        for spec in &analysis.aggregates {
+            if spec.class != AggClass::Distinct {
+                continue;
+            }
+            let col = format!("{}{}", columns::DISTINCT_PREFIX, spec.index);
+            let col_idx = required_column(table, &col)?;
+            let scale = *scales.get(&spec.index).unwrap_or(&1.0);
+            for row in 0..table.num_rows() {
+                let key: Vec<KeyValue> = group_idxs
+                    .iter()
+                    .map(|&c| KeyValue::from_value(table.value(row, c)))
+                    .collect();
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    group_order.push(key.clone());
+                    GroupData {
+                        key_values: group_idxs.iter().map(|&c| table.value(row, c).clone()).collect(),
+                        ..GroupData::default()
+                    }
+                });
+                let raw = table.value(row, col_idx).as_f64().unwrap_or(0.0);
+                let estimate = raw * scale;
+                // Binomial-style error: the observed distinct count is roughly
+                // Binomial(D, 1/scale), so sd(D̂) ≈ scale * sqrt(raw * (1 - 1/scale)).
+                let error = if scale > 1.0 {
+                    normal_critical_value(config.confidence)
+                        * scale
+                        * (raw * (1.0 - 1.0 / scale)).max(0.0).sqrt()
+                } else {
+                    0.0
+                };
+                entry.distinct.insert(spec.index, AggEstimate { estimate, error });
+            }
+        }
+    }
+
+    // --- extreme part ---------------------------------------------------------
+    if let Some(table) = extreme_result {
+        let group_idxs = group_columns(table, group_count)?;
+        for spec in &analysis.aggregates {
+            if spec.class != AggClass::Extreme {
+                continue;
+            }
+            let col = format!("{}{}", columns::EXTREME_PREFIX, spec.index);
+            let col_idx = required_column(table, &col)?;
+            for row in 0..table.num_rows() {
+                let key: Vec<KeyValue> = group_idxs
+                    .iter()
+                    .map(|&c| KeyValue::from_value(table.value(row, c)))
+                    .collect();
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    group_order.push(key.clone());
+                    GroupData {
+                        key_values: group_idxs.iter().map(|&c| table.value(row, c).clone()).collect(),
+                        ..GroupData::default()
+                    }
+                });
+                entry.extreme.insert(spec.index, table.value(row, col_idx).clone());
+            }
+        }
+    }
+
+    build_output(analysis, &groups, &group_order, config, rewrite.subsample_count)
+}
+
+/// How per-subsample estimates of one aggregate are combined into the group's
+/// point estimate.
+///
+/// Count and sum estimates are `b`-scaled HT totals of disjoint subsamples,
+/// so summing them and dividing by the total number of subsamples `b`
+/// recovers exactly the full-sample HT estimate (subsamples that happened to
+/// receive no tuples contribute an implicit 0).  Ratio and scale-free
+/// statistics (avg, variance, stddev, median, quantile) are combined as a
+/// subsample-size-weighted mean.
+fn combine_estimates(call_name: &str, values: &[f64], weights: &[f64], b: u64) -> f64 {
+    match call_name {
+        "count" | "sum" => values.iter().sum::<f64>() / b.max(1) as f64,
+        _ => weighted_mean(values, weights),
+    }
+}
+
+fn required_column(table: &Table, name: &str) -> VerdictResult<usize> {
+    table
+        .schema
+        .index_of(name)
+        .ok_or_else(|| VerdictError::Answer(format!("rewritten result is missing column {name}")))
+}
+
+fn group_columns(table: &Table, group_count: usize) -> VerdictResult<Vec<usize>> {
+    (0..group_count)
+        .map(|i| required_column(table, &format!("{}{i}", columns::GROUP_PREFIX)))
+        .collect()
+}
+
+fn build_output(
+    analysis: &QueryAnalysis,
+    groups: &HashMap<Vec<KeyValue>, GroupData>,
+    group_order: &[Vec<KeyValue>],
+    config: &VerdictConfig,
+    subsample_count: u64,
+) -> VerdictResult<AssembledAnswer> {
+    let z = normal_critical_value(config.confidence);
+
+    // Per group, per aggregate index: point estimate and error.
+    let mut per_group: Vec<(Vec<Value>, HashMap<usize, AggEstimate>, &GroupData)> = Vec::new();
+    for key in group_order {
+        let data = &groups[key];
+        let mut estimates: HashMap<usize, AggEstimate> = HashMap::new();
+        for spec in &analysis.aggregates {
+            match spec.class {
+                AggClass::MeanLike => {
+                    let mut values = Vec::new();
+                    let mut weights = Vec::new();
+                    for (size, cell) in &data.cells {
+                        if let Some(v) = cell.get(&spec.index) {
+                            values.push(*v);
+                            weights.push(*size);
+                        }
+                    }
+                    if values.is_empty() {
+                        continue;
+                    }
+                    let estimate =
+                        combine_estimates(&spec.call.name, &values, &weights, subsample_count);
+                    let total: f64 = weights.iter().sum();
+                    let avg_size = total / weights.len() as f64;
+                    let sigma = if values.len() > 1 && total > 0.0 {
+                        stddev(&values) * avg_size.sqrt() / total.sqrt()
+                    } else {
+                        0.0
+                    };
+                    estimates.insert(spec.index, AggEstimate { estimate, error: z * sigma });
+                }
+                AggClass::Distinct => {
+                    if let Some(e) = data.distinct.get(&spec.index) {
+                        estimates.insert(spec.index, *e);
+                    }
+                }
+                AggClass::Extreme => {
+                    if let Some(v) = data.extreme.get(&spec.index) {
+                        estimates.insert(
+                            spec.index,
+                            AggEstimate { estimate: v.as_f64().unwrap_or(f64::NAN), error: 0.0 },
+                        );
+                    }
+                }
+            }
+        }
+        per_group.push((data.key_values.clone(), estimates, data));
+    }
+
+    // Apply HAVING using the estimated aggregates.
+    if let Some(having) = &analysis.having {
+        per_group.retain(|(key_values, estimates, _)| {
+            evaluate_predicate(having, analysis, key_values, estimates).unwrap_or(true)
+        });
+    }
+
+    // Build output rows.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut col_values: Vec<Vec<Value>> = Vec::new();
+    let mut error_summaries: Vec<ColumnErrorSummary> = Vec::new();
+
+    for out in &analysis.output {
+        match out {
+            OutputColumn::GroupKey { index, name } => {
+                let dt = per_group
+                    .first()
+                    .and_then(|(kv, _, _)| kv.get(*index))
+                    .and_then(|v| v.data_type())
+                    .unwrap_or(DataType::Str);
+                fields.push(Field::new(name, dt));
+                col_values.push(
+                    per_group
+                        .iter()
+                        .map(|(kv, _, _)| kv.get(*index).cloned().unwrap_or(Value::Null))
+                        .collect(),
+                );
+            }
+            OutputColumn::Aggregate { expr, name } => {
+                let mut values = Vec::with_capacity(per_group.len());
+                let mut errors = Vec::with_capacity(per_group.len());
+                let mut rel_errors = Vec::new();
+                for (key_values, estimates, data) in &per_group {
+                    let est = evaluate_aggregate_output(
+                        expr,
+                        analysis,
+                        key_values,
+                        estimates,
+                        data,
+                        z,
+                    );
+                    match est {
+                        Some(e) => {
+                            values.push(Value::Float(e.estimate));
+                            errors.push(Value::Float(e.error));
+                            rel_errors.push(e.relative_error());
+                        }
+                        None => {
+                            values.push(Value::Null);
+                            errors.push(Value::Null);
+                        }
+                    }
+                }
+                fields.push(Field::new(name, DataType::Float));
+                col_values.push(values);
+                if config.include_error_columns {
+                    fields.push(Field::new(&format!("{name}_err"), DataType::Float));
+                    col_values.push(errors);
+                }
+                if !rel_errors.is_empty() {
+                    error_summaries.push(ColumnErrorSummary {
+                        column: name.clone(),
+                        mean_relative_error: rel_errors.iter().sum::<f64>() / rel_errors.len() as f64,
+                        max_relative_error: rel_errors.iter().cloned().fold(0.0, f64::max),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new(Schema::new(fields), col_values)
+        .map_err(|e| VerdictError::Answer(e.to_string()))?;
+
+    // ORDER BY and LIMIT, evaluated on the assembled output.
+    if !analysis.order_by.is_empty() && table.num_rows() > 1 {
+        let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+        let keys: Vec<Option<usize>> = analysis
+            .order_by
+            .iter()
+            .map(|o| order_key_column(&o.expr, analysis, &table))
+            .collect();
+        indices.sort_by(|&a, &b| {
+            for (key, item) in keys.iter().zip(analysis.order_by.iter()) {
+                if let Some(col) = key {
+                    let ord = table.value(a, *col).total_cmp(table.value(b, *col));
+                    let ord = if item.asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        table = table.take(&indices);
+    }
+    if let Some(limit) = analysis.limit {
+        table = table.limit(limit as usize);
+    }
+
+    Ok(AssembledAnswer { table, errors: error_summaries })
+}
+
+/// Finds the output column an ORDER BY expression refers to (by alias, by
+/// matching the projection expression, or by group column name).
+fn order_key_column(expr: &Expr, analysis: &QueryAnalysis, table: &Table) -> Option<usize> {
+    if let Expr::Column { name, .. } = expr {
+        if let Some(idx) = table.schema.index_of(name) {
+            return Some(idx);
+        }
+    }
+    for (i, out) in analysis.output.iter().enumerate() {
+        let matches = match out {
+            OutputColumn::Aggregate { expr: e, .. } => e == expr,
+            OutputColumn::GroupKey { index, .. } => analysis.group_by.get(*index) == Some(expr),
+        };
+        if matches {
+            return table.schema.index_of(out.name()).or(Some(i));
+        }
+    }
+    None
+}
+
+/// Evaluates an aggregate output expression for one group.
+///
+/// When every aggregate in the expression is mean-like, the expression is
+/// evaluated per subsample and re-combined (so e.g. `sum(a)/sum(b)` gets a
+/// proper variational error estimate); otherwise it is evaluated over the
+/// point estimates, and the error is taken from the single aggregate call
+/// when the expression is exactly one call.
+fn evaluate_aggregate_output(
+    expr: &Expr,
+    analysis: &QueryAnalysis,
+    key_values: &[Value],
+    estimates: &HashMap<usize, AggEstimate>,
+    data: &GroupData,
+    z: f64,
+) -> Option<AggEstimate> {
+    let specs_in_expr: Vec<usize> = analysis
+        .aggregates
+        .iter()
+        .filter(|s| expr_contains_call(expr, &s.call))
+        .map(|s| s.index)
+        .collect();
+    let all_mean_like = specs_in_expr.iter().all(|i| {
+        analysis
+            .aggregates
+            .iter()
+            .any(|s| s.index == *i && s.class == AggClass::MeanLike)
+    });
+
+    // Point estimate: plug the per-aggregate point estimates into the
+    // expression (for a bare aggregate this is just that aggregate's estimate).
+    let lookup = |e: &Expr| -> Option<Value> {
+        for spec in &analysis.aggregates {
+            if expr_is_call(e, &spec.call) {
+                return estimates.get(&spec.index).map(|v| Value::Float(v.estimate));
+            }
+        }
+        group_value(e, analysis, key_values)
+    };
+    let value = eval_const(expr, &lookup)?.as_f64()?;
+
+    // Error: when every aggregate in the expression is mean-like, derive it
+    // from the spread of the expression evaluated per subsample (so ratios
+    // like `sum(a)/sum(b)` get a proper variational error estimate).
+    if all_mean_like && !data.cells.is_empty() {
+        let mut values = Vec::new();
+        let mut weights = Vec::new();
+        for (size, cell) in &data.cells {
+            let cell_lookup = |e: &Expr| -> Option<Value> {
+                for spec in &analysis.aggregates {
+                    if expr_is_call(e, &spec.call) {
+                        return cell.get(&spec.index).map(|v| Value::Float(*v));
+                    }
+                }
+                group_value(e, analysis, key_values)
+            };
+            if let Some(v) = eval_const(expr, &cell_lookup).and_then(|v| v.as_f64()) {
+                if v.is_finite() {
+                    values.push(v);
+                    weights.push(*size);
+                }
+            }
+        }
+        if values.len() > 1 {
+            let total: f64 = weights.iter().sum();
+            let avg_size = total / weights.len() as f64;
+            let sigma = if total > 0.0 {
+                stddev(&values) * avg_size.sqrt() / total.sqrt()
+            } else {
+                0.0
+            };
+            return Some(AggEstimate { estimate: value, error: z * sigma });
+        }
+    }
+
+    // Fallback error: exact when the expression is a single aggregate call.
+    let error = if specs_in_expr.len() == 1 && expr_is_single_call(expr) {
+        estimates.get(&specs_in_expr[0]).map(|e| e.error).unwrap_or(0.0)
+    } else {
+        0.0
+    };
+    Some(AggEstimate { estimate: value, error })
+}
+
+fn evaluate_predicate(
+    pred: &Expr,
+    analysis: &QueryAnalysis,
+    key_values: &[Value],
+    estimates: &HashMap<usize, AggEstimate>,
+) -> Option<bool> {
+    let lookup = |e: &Expr| -> Option<Value> {
+        for spec in &analysis.aggregates {
+            if expr_is_call(e, &spec.call) {
+                return estimates.get(&spec.index).map(|v| Value::Float(v.estimate));
+            }
+        }
+        group_value(e, analysis, key_values)
+    };
+    eval_const(pred, &lookup)?.as_bool()
+}
+
+fn group_value(e: &Expr, analysis: &QueryAnalysis, key_values: &[Value]) -> Option<Value> {
+    if let Expr::Column { name, .. } = e {
+        for (i, g) in analysis.group_by.iter().enumerate() {
+            if let Expr::Column { name: gname, .. } = g {
+                if gname.eq_ignore_ascii_case(name) {
+                    return key_values.get(i).cloned();
+                }
+            }
+        }
+    }
+    None
+}
+
+fn expr_is_call(e: &Expr, call: &verdict_sql::ast::FunctionCall) -> bool {
+    match e {
+        Expr::Function(f) => {
+            print_expr(&Expr::Function(f.clone()), &GenericDialect)
+                == print_expr(&Expr::Function(call.clone()), &GenericDialect)
+        }
+        Expr::Nested(inner) => expr_is_call(inner, call),
+        _ => false,
+    }
+}
+
+fn expr_contains_call(expr: &Expr, call: &verdict_sql::ast::FunctionCall) -> bool {
+    let mut found = false;
+    verdict_sql::visitor::walk_expr(expr, &mut |e| {
+        if expr_is_call(e, call) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn expr_is_single_call(expr: &Expr) -> bool {
+    matches!(expr, Expr::Function(_)) || matches!(expr, Expr::Nested(inner) if expr_is_single_call(inner))
+}
+
+/// A tiny constant-expression evaluator used to recombine aggregate estimates
+/// (e.g. `100 * sum(a) / sum(b)`) and to apply HAVING / ORDER BY on the
+/// middleware side.  The `lookup` closure is consulted at every node first,
+/// which is how aggregate calls and group columns get their values.
+pub fn eval_const(expr: &Expr, lookup: &dyn Fn(&Expr) -> Option<Value>) -> Option<Value> {
+    if let Some(v) = lookup(expr) {
+        return Some(v);
+    }
+    match expr {
+        Expr::Literal(l) => Some(match l {
+            verdict_sql::ast::Literal::Null => Value::Null,
+            verdict_sql::ast::Literal::Boolean(b) => Value::Bool(*b),
+            verdict_sql::ast::Literal::Integer(i) => Value::Float(*i as f64),
+            verdict_sql::ast::Literal::Float(f) => Value::Float(*f),
+            verdict_sql::ast::Literal::String(s) => Value::Str(s.clone()),
+        }),
+        Expr::Nested(e) => eval_const(e, lookup),
+        Expr::UnaryOp { op: UnaryOp::Minus, expr } => {
+            let v = eval_const(expr, lookup)?.as_f64()?;
+            Some(Value::Float(-v))
+        }
+        Expr::UnaryOp { op: UnaryOp::Plus, expr } => eval_const(expr, lookup),
+        Expr::UnaryOp { op: UnaryOp::Not, expr } => {
+            let v = eval_const(expr, lookup)?.as_bool()?;
+            Some(Value::Bool(!v))
+        }
+        Expr::BinaryOp { left, op, right } => {
+            let l = eval_const(left, lookup)?;
+            let r = eval_const(right, lookup)?;
+            match op {
+                BinaryOp::And => Some(Value::Bool(l.as_bool()? && r.as_bool()?)),
+                BinaryOp::Or => Some(Value::Bool(l.as_bool()? || r.as_bool()?)),
+                op if op.is_comparison() => {
+                    let ord = l.sql_cmp(&r)?;
+                    use std::cmp::Ordering::*;
+                    let b = match op {
+                        BinaryOp::Eq => ord == Equal,
+                        BinaryOp::NotEq => ord != Equal,
+                        BinaryOp::Lt => ord == Less,
+                        BinaryOp::LtEq => ord != Greater,
+                        BinaryOp::Gt => ord == Greater,
+                        BinaryOp::GtEq => ord != Less,
+                        _ => unreachable!(),
+                    };
+                    Some(Value::Bool(b))
+                }
+                _ => {
+                    let (x, y) = (l.as_f64()?, r.as_f64()?);
+                    let v = match op {
+                        BinaryOp::Plus => x + y,
+                        BinaryOp::Minus => x - y,
+                        BinaryOp::Multiply => x * y,
+                        BinaryOp::Divide => {
+                            if y == 0.0 {
+                                return Some(Value::Null);
+                            }
+                            x / y
+                        }
+                        BinaryOp::Modulo => {
+                            if y == 0.0 {
+                                return Some(Value::Null);
+                            }
+                            x % y
+                        }
+                        _ => return None,
+                    };
+                    Some(Value::Float(v))
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_sql::parse_expression;
+
+    #[test]
+    fn const_evaluator_handles_arithmetic_and_lookup() {
+        let expr = parse_expression("100 * sum(a) / sum(b)").unwrap();
+        let lookup = |e: &Expr| -> Option<Value> {
+            match e {
+                Expr::Function(f) if f.name == "sum" => {
+                    let arg = print_expr(&f.args[0], &GenericDialect);
+                    Some(Value::Float(if arg == "a" { 30.0 } else { 60.0 }))
+                }
+                _ => None,
+            }
+        };
+        let v = eval_const(&expr, &lookup).unwrap().as_f64().unwrap();
+        assert!((v - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn const_evaluator_handles_comparisons() {
+        let expr = parse_expression("count(*) > 10 AND 2 + 2 = 4").unwrap();
+        let lookup = |e: &Expr| -> Option<Value> {
+            matches!(e, Expr::Function(f) if f.name == "count").then_some(Value::Float(50.0))
+        };
+        assert_eq!(eval_const(&expr, &lookup).unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn relative_error_is_zero_for_zero_estimate() {
+        let e = AggEstimate { estimate: 0.0, error: 5.0 };
+        assert_eq!(e.relative_error(), 0.0);
+        let e = AggEstimate { estimate: 100.0, error: 5.0 };
+        assert!((e.relative_error() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,456 @@
+//! [`VerdictContext`] — the user-facing entry point of the middleware.
+//!
+//! A context wraps a driver-level [`Connection`] to the underlying database
+//! (paper Figure 1a) and exposes the two stages of the workflow (Figure 2):
+//!
+//! * **sample preparation** — [`VerdictContext::create_sample`] /
+//!   [`VerdictContext::create_recommended_samples`] build sample tables with
+//!   plain `CREATE TABLE … AS SELECT` statements and record their metadata;
+//! * **query processing** — [`VerdictContext::execute`] parses the incoming
+//!   query, plans which samples to use, rewrites the query, has the
+//!   underlying database execute the rewritten SQL, and assembles the
+//!   approximate answer plus error estimates.  Unsupported queries and
+//!   queries for which no sampled plan fits the I/O budget are transparently
+//!   passed through to the underlying database.
+
+use crate::answer::{assemble, ColumnErrorSummary};
+use crate::config::VerdictConfig;
+use crate::error::{VerdictError, VerdictResult};
+use crate::meta::MetaStore;
+use crate::planner::{PlanningContext, SamplePlanner};
+use crate::rewrite::{analyze_query, rewrite, QueryAnalysis, RewriteOutput};
+use crate::sample::builder::build_sample_sql;
+use crate::sample::maintenance::{append_sql, staleness, Staleness};
+use crate::sample::policy::{default_policy, ColumnCardinality};
+use crate::sample::{SampleMeta, SampleType};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use verdict_engine::{Connection, Table};
+use verdict_sql::ast::Statement;
+use verdict_sql::dialect::{Dialect, GenericDialect};
+use verdict_sql::printer::print_statement;
+
+/// The approximate (or exact, after fallback) answer to one query.
+#[derive(Debug, Clone)]
+pub struct VerdictAnswer {
+    /// The result rows, shaped like the original query's output (plus
+    /// optional `<column>_err` columns when configured).
+    pub table: Table,
+    /// True when the answer was computed exactly on the base tables
+    /// (unsupported query, no viable sample plan, or accuracy-contract rerun).
+    pub exact: bool,
+    /// Estimated error summaries per aggregate output column (empty for exact answers).
+    pub errors: Vec<ColumnErrorSummary>,
+    /// The SQL statements actually sent to the underlying database.
+    pub rewritten_sql: Vec<String>,
+    /// Wall-clock time spent end-to-end inside VerdictDB (including the
+    /// underlying database's execution time).
+    pub elapsed: Duration,
+    /// Total base/sample rows scanned by the underlying database.
+    pub rows_scanned: u64,
+    /// Names of the sample tables used (empty for exact answers).
+    pub used_samples: Vec<String>,
+}
+
+impl VerdictAnswer {
+    /// The largest estimated relative error across all aggregate columns.
+    pub fn max_relative_error(&self) -> f64 {
+        self.errors.iter().map(|e| e.max_relative_error).fold(0.0, f64::max)
+    }
+}
+
+/// The VerdictDB middleware instance.
+pub struct VerdictContext {
+    conn: Arc<dyn Connection>,
+    dialect: Box<dyn Dialect>,
+    config: VerdictConfig,
+    meta: MetaStore,
+}
+
+impl VerdictContext {
+    /// Creates a context over a connection with the generic SQL dialect.
+    pub fn new(conn: Arc<dyn Connection>, config: VerdictConfig) -> VerdictContext {
+        Self::with_dialect(conn, Box::new(GenericDialect), config)
+    }
+
+    /// Creates a context with an explicit SQL dialect (Impala, Spark SQL, Redshift, …).
+    pub fn with_dialect(
+        conn: Arc<dyn Connection>,
+        dialect: Box<dyn Dialect>,
+        config: VerdictConfig,
+    ) -> VerdictContext {
+        VerdictContext { conn, dialect, config, meta: MetaStore::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VerdictConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (per-connection settings, §2.4).
+    pub fn config_mut(&mut self) -> &mut VerdictConfig {
+        &mut self.config
+    }
+
+    /// The sample-metadata registry.
+    pub fn meta(&self) -> &MetaStore {
+        &self.meta
+    }
+
+    /// The underlying connection.
+    pub fn connection(&self) -> &Arc<dyn Connection> {
+        &self.conn
+    }
+
+    // ------------------------------------------------------------------
+    // Sample preparation (offline stage)
+    // ------------------------------------------------------------------
+
+    /// Creates one sample table of the given type over `base_table` using the
+    /// configured default sampling ratio.
+    pub fn create_sample(
+        &self,
+        base_table: &str,
+        sample_type: SampleType,
+    ) -> VerdictResult<SampleMeta> {
+        self.create_sample_with_ratio(base_table, sample_type, self.config.sampling_ratio)
+    }
+
+    /// Creates one sample table with an explicit sampling parameter τ.
+    pub fn create_sample_with_ratio(
+        &self,
+        base_table: &str,
+        sample_type: SampleType,
+        ratio: f64,
+    ) -> VerdictResult<SampleMeta> {
+        let base_rows = self.conn.table_row_count(base_table)?;
+        let strata_count = match &sample_type {
+            SampleType::Stratified { columns } => self.distinct_count(base_table, columns)?,
+            _ => 0,
+        };
+        let sample_table = SampleMeta::table_name_for(base_table, &sample_type);
+        self.conn
+            .execute(&format!("DROP TABLE IF EXISTS {sample_table}"))?;
+        let plan = build_sample_sql(
+            base_table,
+            &sample_table,
+            &sample_type,
+            ratio,
+            base_rows,
+            strata_count,
+            &self.config,
+            self.dialect.as_ref(),
+        );
+        for stmt in &plan.statements {
+            self.conn.execute(stmt)?;
+        }
+        let sample_rows = self.conn.table_row_count(&sample_table)?;
+        let meta = SampleMeta {
+            base_table: base_table.to_string(),
+            sample_table,
+            sample_type,
+            ratio,
+            sample_rows,
+            base_rows,
+        };
+        self.meta.register(meta.clone());
+        Ok(meta)
+    }
+
+    /// Applies the default sampling policy (Appendix F): inspects column
+    /// cardinalities and builds a uniform sample plus hashed/stratified
+    /// samples for high-/low-cardinality columns.
+    pub fn create_recommended_samples(&self, base_table: &str) -> VerdictResult<Vec<SampleMeta>> {
+        let base_rows = self.conn.table_row_count(base_table)?;
+        let columns = self.column_names(base_table)?;
+        let mut cardinalities = Vec::new();
+        if !columns.is_empty() {
+            let ndv_list = columns
+                .iter()
+                .map(|c| format!("ndv({c}) AS {c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let result = self.conn.execute(&format!("SELECT {ndv_list} FROM {base_table}"))?;
+            for (i, c) in columns.iter().enumerate() {
+                cardinalities.push(ColumnCardinality {
+                    column: c.clone(),
+                    distinct_values: result.table.value(0, i).as_i64().unwrap_or(0) as u64,
+                });
+            }
+        }
+        let decision = default_policy(base_rows, &cardinalities, &self.config);
+        let mut created = Vec::new();
+        for sample_type in decision.sample_types {
+            created.push(self.create_sample_with_ratio(base_table, sample_type, decision.ratio)?);
+        }
+        Ok(created)
+    }
+
+    /// Refreshes every sample of `base_table` after a batch of new rows
+    /// (available in `batch_table`) has been appended to it (Appendix D).
+    pub fn refresh_samples_after_append(
+        &self,
+        base_table: &str,
+        batch_table: &str,
+    ) -> VerdictResult<usize> {
+        let samples = self.meta.remove_for(base_table);
+        let batch_rows = self.conn.table_row_count(batch_table)?;
+        let mut refreshed = 0usize;
+        for meta in samples {
+            for stmt in append_sql(&meta, batch_table, self.dialect.as_ref()) {
+                self.conn.execute(&stmt)?;
+            }
+            let sample_rows = self.conn.table_row_count(&meta.sample_table)?;
+            self.meta.register(SampleMeta {
+                sample_rows,
+                base_rows: meta.base_rows + batch_rows,
+                ..meta
+            });
+            refreshed += 1;
+        }
+        Ok(refreshed)
+    }
+
+    /// Reports whether samples of a base table are stale with respect to its
+    /// current row count.
+    pub fn sample_staleness(&self, base_table: &str) -> VerdictResult<Vec<(SampleMeta, Staleness)>> {
+        let current = self.conn.table_row_count(base_table)?;
+        Ok(self
+            .meta
+            .samples_for(base_table)
+            .into_iter()
+            .map(|m| {
+                let s = staleness(&m, current);
+                (m, s)
+            })
+            .collect())
+    }
+
+    /// Drops every sample table built for `base_table` and forgets its metadata.
+    pub fn drop_samples(&self, base_table: &str) -> VerdictResult<usize> {
+        let samples = self.meta.remove_for(base_table);
+        let mut dropped = 0usize;
+        for meta in samples {
+            self.conn
+                .execute(&format!("DROP TABLE IF EXISTS {}", meta.sample_table))?;
+            dropped += 1;
+        }
+        Ok(dropped)
+    }
+
+    // ------------------------------------------------------------------
+    // Query processing (online stage)
+    // ------------------------------------------------------------------
+
+    /// Executes a query approximately when possible, exactly otherwise.
+    pub fn execute(&self, sql: &str) -> VerdictResult<VerdictAnswer> {
+        let start = Instant::now();
+        let stmt = verdict_sql::parse_statement(sql)?;
+        let query = match &stmt {
+            Statement::Query(q) => q.as_ref().clone(),
+            _ => return self.passthrough(sql, start),
+        };
+
+        // Analyse; unsupported queries are passed through unchanged (§2.2).
+        let analysis = match analyze_query(&query) {
+            Ok(a) => a,
+            Err(VerdictError::Unsupported(_)) | Err(VerdictError::NoSampleAvailable(_)) => {
+                return self.passthrough(sql, start)
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Plan sample usage.
+        let mut row_counts: HashMap<String, u64> = HashMap::new();
+        for t in &analysis.tables {
+            let rows = match self.conn.table_row_count(&t.table) {
+                Ok(r) => r,
+                Err(_) => return self.passthrough(sql, start),
+            };
+            row_counts.insert(t.table.to_ascii_lowercase(), rows);
+        }
+        let planner = SamplePlanner::new(&self.meta, &self.config);
+        let plan = planner.plan(
+            &analysis.table_refs(&row_counts),
+            &PlanningContext {
+                group_columns: analysis.group_column_names(),
+                distinct_columns: analysis.distinct_column_names(),
+                io_budget: self.config.io_budget,
+            },
+        );
+        if !plan.uses_samples() {
+            return self.passthrough(sql, start);
+        }
+
+        let rewritten = match rewrite(&analysis, &plan, &self.config) {
+            Ok(r) => r,
+            Err(VerdictError::Unsupported(_)) | Err(VerdictError::NoSampleAvailable(_)) => {
+                return self.passthrough(sql, start)
+            }
+            Err(e) => return Err(e),
+        };
+
+        match self.run_rewritten(&analysis, &rewritten, sql, start)? {
+            Some(answer) => Ok(answer),
+            None => self.passthrough(sql, start),
+        }
+    }
+
+    /// Executes the original query exactly on the base tables.
+    pub fn execute_exact(&self, sql: &str) -> VerdictResult<VerdictAnswer> {
+        self.passthrough(sql, Instant::now())
+    }
+
+    fn run_rewritten(
+        &self,
+        analysis: &QueryAnalysis,
+        rewritten: &RewriteOutput,
+        original_sql: &str,
+        start: Instant,
+    ) -> VerdictResult<Option<VerdictAnswer>> {
+        let mut sqls = Vec::new();
+        let mut rows_scanned = 0u64;
+
+        let mut mean_result = None;
+        if let Some(stmt) = &rewritten.mean_query {
+            let sql = print_statement(stmt, self.dialect.as_ref());
+            let result = self.conn.execute(&sql)?;
+            rows_scanned += result.stats.rows_scanned;
+            sqls.push(sql);
+            mean_result = Some(result.table);
+        }
+
+        // Feasibility: if subsample cells are too thin (high-cardinality
+        // grouping), AQP will not produce useful estimates — fall back to the
+        // exact query, as the paper does for tq-3, tq-8, tq-15.
+        if let Some(table) = &mean_result {
+            if !analysis.group_by.is_empty() {
+                let size_idx = table.schema.index_of(crate::rewrite::columns::SUB_SIZE);
+                if let Some(idx) = size_idx {
+                    let total: f64 = table.columns[idx].iter().filter_map(|v| v.as_f64()).sum();
+                    // Distinct output groups = distinct combinations of the
+                    // verdict_g* columns in the per-(group, sid) result.
+                    let group_idxs: Vec<usize> = (0..analysis.group_by.len())
+                        .filter_map(|i| {
+                            table
+                                .schema
+                                .index_of(&format!("{}{i}", crate::rewrite::columns::GROUP_PREFIX))
+                        })
+                        .collect();
+                    let mut groups = std::collections::HashSet::new();
+                    for row in 0..table.num_rows() {
+                        let key: Vec<verdict_engine::KeyValue> = group_idxs
+                            .iter()
+                            .map(|&c| verdict_engine::KeyValue::from_value(table.value(row, c)))
+                            .collect();
+                        groups.insert(key);
+                    }
+                    let rows_per_group = total / groups.len().max(1) as f64;
+                    if rows_per_group < self.config.min_rows_per_group {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+
+        let mut distinct_result = None;
+        if let Some((stmt, _)) = &rewritten.distinct_query {
+            let sql = print_statement(stmt, self.dialect.as_ref());
+            let result = self.conn.execute(&sql)?;
+            rows_scanned += result.stats.rows_scanned;
+            sqls.push(sql);
+            distinct_result = Some(result.table);
+        }
+
+        let mut extreme_result = None;
+        if let Some(stmt) = &rewritten.extreme_query {
+            let sql = print_statement(stmt, self.dialect.as_ref());
+            let result = self.conn.execute(&sql)?;
+            rows_scanned += result.stats.rows_scanned;
+            sqls.push(sql);
+            extreme_result = Some(result.table);
+        }
+
+        let assembled = assemble(
+            rewritten,
+            mean_result.as_ref(),
+            distinct_result.as_ref(),
+            extreme_result.as_ref(),
+            &self.config,
+        )?;
+
+        // High-level Accuracy Contract: rerun exactly when the estimated
+        // error violates the configured accuracy requirement (§2.4).
+        if let Some(max_rel) = self.config.max_relative_error {
+            let worst = assembled
+                .errors
+                .iter()
+                .map(|e| e.max_relative_error)
+                .fold(0.0, f64::max);
+            if worst > max_rel {
+                let mut exact = self.passthrough(original_sql, start)?;
+                exact.rewritten_sql.splice(0..0, sqls);
+                return Ok(Some(exact));
+            }
+        }
+
+        let used_samples = rewritten
+            .plan
+            .choices
+            .iter()
+            .filter_map(|c| c.sample.as_ref().map(|s| s.sample_table.clone()))
+            .collect();
+
+        Ok(Some(VerdictAnswer {
+            table: assembled.table,
+            exact: false,
+            errors: assembled.errors,
+            rewritten_sql: sqls,
+            elapsed: start.elapsed(),
+            rows_scanned,
+            used_samples,
+        }))
+    }
+
+    fn passthrough(&self, sql: &str, start: Instant) -> VerdictResult<VerdictAnswer> {
+        let result = self.conn.execute(sql)?;
+        Ok(VerdictAnswer {
+            table: result.table,
+            exact: true,
+            errors: Vec::new(),
+            rewritten_sql: vec![sql.to_string()],
+            elapsed: start.elapsed(),
+            rows_scanned: result.stats.rows_scanned,
+            used_samples: Vec::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn column_names(&self, table: &str) -> VerdictResult<Vec<String>> {
+        let result = self.conn.execute(&format!("SELECT * FROM {table} LIMIT 1"))?;
+        Ok(result
+            .table
+            .schema
+            .fields
+            .iter()
+            .map(|f| f.name.clone())
+            .filter(|n| !n.starts_with("verdict_"))
+            .collect())
+    }
+
+    fn distinct_count(&self, table: &str, columns: &[String]) -> VerdictResult<u64> {
+        if columns.is_empty() {
+            return Ok(0);
+        }
+        let col_list = columns.join(", ");
+        let sql = format!(
+            "SELECT count(*) AS c FROM (SELECT {col_list} FROM {table} GROUP BY {col_list}) AS verdict_card"
+        );
+        let result = self.conn.execute(&sql)?;
+        Ok(result.table.value(0, 0).as_i64().unwrap_or(0) as u64)
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the VerdictDB middleware.
+
+use std::fmt;
+use verdict_engine::EngineError;
+
+/// Errors surfaced by the VerdictDB middleware layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerdictError {
+    /// The incoming SQL could not be parsed.
+    Parse(String),
+    /// The query is outside the supported class (Table 1 of the paper); the
+    /// caller should fall back to running it directly on the base tables.
+    Unsupported(String),
+    /// No sample exists for the referenced table and automatic fallback was disabled.
+    NoSampleAvailable(String),
+    /// The underlying database reported an error while executing a statement.
+    Engine(String),
+    /// Metadata is missing or inconsistent (e.g. a registered sample table was dropped).
+    Metadata(String),
+    /// The answer-rewriting stage could not interpret the raw result.
+    Answer(String),
+}
+
+impl fmt::Display for VerdictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerdictError::Parse(m) => write!(f, "parse error: {m}"),
+            VerdictError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            VerdictError::NoSampleAvailable(m) => write!(f, "no sample available: {m}"),
+            VerdictError::Engine(m) => write!(f, "underlying database error: {m}"),
+            VerdictError::Metadata(m) => write!(f, "metadata error: {m}"),
+            VerdictError::Answer(m) => write!(f, "answer rewriting error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerdictError {}
+
+impl From<EngineError> for VerdictError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Parse(m) => VerdictError::Parse(m),
+            EngineError::Unsupported(m) => VerdictError::Unsupported(m),
+            other => VerdictError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl From<verdict_sql::ParseError> for VerdictError {
+    fn from(e: verdict_sql::ParseError) -> Self {
+        VerdictError::Parse(e.to_string())
+    }
+}
+
+/// Result alias for middleware operations.
+pub type VerdictResult<T> = Result<T, VerdictError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_map_to_verdict_errors() {
+        let e: VerdictError = EngineError::TableNotFound("t".into()).into();
+        assert!(matches!(e, VerdictError::Engine(_)));
+        let e: VerdictError = EngineError::Unsupported("x".into()).into();
+        assert!(matches!(e, VerdictError::Unsupported(_)));
+    }
+}

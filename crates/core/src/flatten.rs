@@ -1,0 +1,202 @@
+//! Comparison-subquery flattening (§2.2 of the paper).
+//!
+//! A correlated comparison subquery such as
+//!
+//! ```sql
+//! WHERE price > (SELECT avg(price) FROM order_products
+//!                WHERE product = t1.product)
+//! ```
+//!
+//! is rewritten into an equi-join against a derived aggregate table grouped
+//! by the correlation column, which the AQP rewriter can then approximate
+//! like any other join.  Uncorrelated scalar subqueries are left alone (the
+//! underlying engine evaluates them directly).
+
+use verdict_sql::ast::*;
+
+/// Flattens every correlated comparison subquery in the WHERE clause that
+/// matches the supported pattern; returns the transformed query (other
+/// queries are returned unchanged).
+pub fn flatten_comparison_subqueries(mut query: Query) -> Query {
+    let Some(selection) = query.selection.take() else {
+        return query;
+    };
+    let mut conjuncts = split_and(selection);
+    let mut extra_joins: Vec<Join> = Vec::new();
+    let mut counter = 0usize;
+
+    for conj in conjuncts.iter_mut() {
+        if let Expr::BinaryOp { left, op, right } = conj {
+            if !op.is_comparison() {
+                continue;
+            }
+            if let Expr::ScalarSubquery(sub) = right.as_mut() {
+                if let Some(flat) = try_flatten(sub, counter) {
+                    extra_joins.push(flat.join);
+                    *conj = Expr::BinaryOp {
+                        left: left.clone(),
+                        op: *op,
+                        right: Box::new(flat.replacement),
+                    };
+                    counter += 1;
+                }
+            }
+        }
+    }
+
+    if let Some(first) = query.from.first_mut() {
+        first.joins.extend(extra_joins);
+    }
+    query.selection = conjuncts.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b));
+    query
+}
+
+struct Flattened {
+    join: Join,
+    replacement: Expr,
+}
+
+/// Attempts to flatten one correlated scalar subquery of the form
+/// `SELECT agg(x) FROM inner_table WHERE corr_col = outer_ref [AND other…]`.
+fn try_flatten(sub: &Query, counter: usize) -> Option<Flattened> {
+    // Single aggregate projection.
+    if sub.projection.len() != 1 || !sub.group_by.is_empty() {
+        return None;
+    }
+    let agg_expr = sub.projection[0].expr()?.clone();
+    agg_expr.as_aggregate()?;
+
+    // Single base table.
+    if sub.from.len() != 1 || !sub.from[0].joins.is_empty() {
+        return None;
+    }
+    let (inner_name, inner_alias) = match &sub.from[0].relation {
+        TableFactor::Table { name, alias } => (name.clone(), alias.clone()),
+        _ => return None,
+    };
+    let inner_binding = inner_alias.unwrap_or_else(|| inner_name.base_name().to_string());
+
+    // Find exactly one correlated equality `inner_col = outer_ref`.
+    let selection = sub.selection.clone()?;
+    let conjuncts = split_and(selection);
+    let mut corr: Option<(String, Expr)> = None;
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        if corr.is_none() {
+            if let Expr::BinaryOp { left, op: BinaryOp::Eq, right } = &c {
+                let classify = |e: &Expr| -> Option<(bool, String, Expr)> {
+                    if let Expr::Column { table, name } = e {
+                        let is_inner = match table {
+                            None => true,
+                            Some(t) => t.eq_ignore_ascii_case(&inner_binding),
+                        };
+                        Some((is_inner, name.clone(), e.clone()))
+                    } else {
+                        None
+                    }
+                };
+                if let (Some((li, ln, _)), Some((ri, _, re))) = (classify(left), classify(right)) {
+                    if li && !ri {
+                        corr = Some((ln, re));
+                        continue;
+                    }
+                }
+                if let (Some((li, _, le)), Some((ri, rn, _))) = (classify(left), classify(right)) {
+                    if ri && !li {
+                        corr = Some((rn, le));
+                        continue;
+                    }
+                }
+            }
+        }
+        residual.push(c);
+    }
+    let (corr_col, outer_ref) = corr?;
+
+    // Build the derived aggregate table grouped by the correlation column.
+    let flat_alias = format!("verdict_flat_{counter}");
+    let value_alias = format!("verdict_flat_val_{counter}");
+    let derived = Query {
+        distinct: false,
+        projection: vec![
+            SelectItem::Expr(Expr::col(corr_col.clone())),
+            SelectItem::ExprWithAlias { expr: agg_expr, alias: value_alias.clone() },
+        ],
+        from: vec![TableWithJoins {
+            relation: TableFactor::Table { name: inner_name, alias: None },
+            joins: Vec::new(),
+        }],
+        selection: residual.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b)),
+        group_by: vec![Expr::col(corr_col.clone())],
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+
+    let join = Join {
+        relation: TableFactor::Derived { subquery: Box::new(derived), alias: Some(flat_alias.clone()) },
+        join_type: JoinType::Inner,
+        constraint: Some(Expr::binary(
+            Expr::qcol(flat_alias.clone(), corr_col),
+            BinaryOp::Eq,
+            outer_ref,
+        )),
+    };
+    Some(Flattened { join, replacement: Expr::qcol(flat_alias, value_alias) })
+}
+
+fn split_and(expr: Expr) -> Vec<Expr> {
+    match expr {
+        Expr::BinaryOp { left, op: BinaryOp::And, right } => {
+            let mut out = split_and(*left);
+            out.extend(split_and(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_sql::printer::print_query;
+    use verdict_sql::{parse_statement, GenericDialect};
+
+    fn query(sql: &str) -> Query {
+        match parse_statement(sql).unwrap() {
+            Statement::Query(q) => *q,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn flattens_the_papers_example() {
+        let q = query(
+            "SELECT count(*) FROM orders t1 INNER JOIN order_products t2 ON t1.order_id = t2.order_id \
+             WHERE t2.price > (SELECT avg(price) FROM order_products WHERE product = t1.product)",
+        );
+        let flat = flatten_comparison_subqueries(q);
+        let sql = print_query(&flat, &GenericDialect);
+        assert!(sql.contains("GROUP BY product"), "{sql}");
+        assert!(sql.contains("verdict_flat_0"), "{sql}");
+        assert!(sql.contains("t2.price > verdict_flat_0.verdict_flat_val_0"), "{sql}");
+        assert!(!sql.to_lowercase().contains("where product ="), "{sql}");
+        // the flattened query must re-parse
+        verdict_sql::parse_statement(&sql).unwrap();
+    }
+
+    #[test]
+    fn uncorrelated_subqueries_are_left_untouched() {
+        let q = query(
+            "SELECT count(*) FROM orders WHERE price > (SELECT avg(price) FROM orders)",
+        );
+        let flat = flatten_comparison_subqueries(q.clone());
+        assert_eq!(flat, q);
+    }
+
+    #[test]
+    fn queries_without_where_are_untouched() {
+        let q = query("SELECT count(*) FROM orders");
+        assert_eq!(flatten_comparison_subqueries(q.clone()), q);
+    }
+}

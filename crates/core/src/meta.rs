@@ -1,0 +1,231 @@
+//! Sample metadata management.
+//!
+//! The paper stores sample metadata (names, types, sampling ratios) in a
+//! dedicated schema inside the underlying database's catalog (§2.3).
+//! [`MetaStore`] keeps an in-memory registry used by the sample planner and
+//! can persist / reload the same records through plain SQL against the
+//! underlying database, so a fresh VerdictDB instance can rediscover the
+//! samples an earlier instance created.
+
+use crate::error::{VerdictError, VerdictResult};
+use crate::sample::{SampleMeta, SampleType};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use verdict_engine::{Connection, Value};
+
+/// Name of the metadata table VerdictDB maintains in the underlying database.
+pub const META_TABLE: &str = "verdict_meta_samples";
+
+/// In-memory + database-backed registry of sample metadata.
+#[derive(Default)]
+pub struct MetaStore {
+    samples: RwLock<HashMap<String, Vec<SampleMeta>>>,
+}
+
+impl MetaStore {
+    /// Creates an empty registry.
+    pub fn new() -> MetaStore {
+        MetaStore::default()
+    }
+
+    /// Registers a newly-created sample.
+    pub fn register(&self, meta: SampleMeta) {
+        self.samples
+            .write()
+            .entry(meta.base_table.to_ascii_lowercase())
+            .or_default()
+            .push(meta);
+    }
+
+    /// All samples registered for a base table.
+    pub fn samples_for(&self, base_table: &str) -> Vec<SampleMeta> {
+        self.samples
+            .read()
+            .get(&base_table.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All registered samples.
+    pub fn all(&self) -> Vec<SampleMeta> {
+        self.samples.read().values().flatten().cloned().collect()
+    }
+
+    /// Removes every sample registered for a base table, returning the removed metadata.
+    pub fn remove_for(&self, base_table: &str) -> Vec<SampleMeta> {
+        self.samples
+            .write()
+            .remove(&base_table.to_ascii_lowercase())
+            .unwrap_or_default()
+    }
+
+    /// Total number of registered samples.
+    pub fn len(&self) -> usize {
+        self.samples.read().values().map(|v| v.len()).sum()
+    }
+
+    /// True when no samples are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persists the registry into the underlying database (replacing any
+    /// previous copy), using only standard SQL.
+    pub fn persist(&self, conn: &Arc<dyn Connection>) -> VerdictResult<()> {
+        conn.execute(&format!("DROP TABLE IF EXISTS {META_TABLE}"))?;
+        let rows = self.all();
+        // Build a UNION-free insert: one SELECT per row appended after CREATE.
+        let mut iter = rows.iter();
+        let first = match iter.next() {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        conn.execute(&format!("CREATE TABLE {META_TABLE} AS {}", row_select(first)))?;
+        for meta in iter {
+            conn.execute(&format!("INSERT INTO {META_TABLE} {}", row_select(meta)))?;
+        }
+        Ok(())
+    }
+
+    /// Reloads the registry from the underlying database (if the metadata
+    /// table exists), replacing the in-memory contents.
+    pub fn reload(&self, conn: &Arc<dyn Connection>) -> VerdictResult<usize> {
+        if !conn.table_exists(META_TABLE) {
+            return Ok(0);
+        }
+        let result = conn.execute(&format!("SELECT * FROM {META_TABLE}"))?;
+        let table = result.table;
+        let col = |name: &str| -> VerdictResult<usize> {
+            table
+                .schema
+                .index_of(name)
+                .ok_or_else(|| VerdictError::Metadata(format!("missing column {name} in {META_TABLE}")))
+        };
+        let (bi, si, ti, ci, ri, sri, bri) = (
+            col("base_table")?,
+            col("sample_table")?,
+            col("sample_type")?,
+            col("type_columns")?,
+            col("ratio")?,
+            col("sample_rows")?,
+            col("base_rows")?,
+        );
+        let mut loaded = 0usize;
+        let mut fresh: HashMap<String, Vec<SampleMeta>> = HashMap::new();
+        for row in 0..table.num_rows() {
+            let text = |idx: usize| -> String {
+                match table.value(row, idx) {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                }
+            };
+            let columns: Vec<String> = {
+                let raw = text(ci);
+                if raw.is_empty() {
+                    Vec::new()
+                } else {
+                    raw.split(',').map(|s| s.to_string()).collect()
+                }
+            };
+            let sample_type = match text(ti).as_str() {
+                "uniform" => SampleType::Uniform,
+                "hashed" => SampleType::Hashed { columns },
+                "stratified" => SampleType::Stratified { columns },
+                other => {
+                    return Err(VerdictError::Metadata(format!("unknown sample type {other}")));
+                }
+            };
+            let meta = SampleMeta {
+                base_table: text(bi),
+                sample_table: text(si),
+                sample_type,
+                ratio: table.value(row, ri).as_f64().unwrap_or(0.0),
+                sample_rows: table.value(row, sri).as_i64().unwrap_or(0) as u64,
+                base_rows: table.value(row, bri).as_i64().unwrap_or(0) as u64,
+            };
+            fresh
+                .entry(meta.base_table.to_ascii_lowercase())
+                .or_default()
+                .push(meta);
+            loaded += 1;
+        }
+        *self.samples.write() = fresh;
+        Ok(loaded)
+    }
+}
+
+fn row_select(meta: &SampleMeta) -> String {
+    format!(
+        "SELECT '{}' AS base_table, '{}' AS sample_table, '{}' AS sample_type, \
+         '{}' AS type_columns, {} AS ratio, {} AS sample_rows, {} AS base_rows",
+        meta.base_table,
+        meta.sample_table,
+        meta.sample_type.tag(),
+        meta.sample_type.columns().join(","),
+        meta.ratio,
+        meta.sample_rows,
+        meta.base_rows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_engine::Engine;
+
+    fn meta(base: &str, tag: u32) -> SampleMeta {
+        SampleMeta {
+            base_table: base.into(),
+            sample_table: format!("verdict_sample_{base}_{tag}"),
+            sample_type: if tag % 2 == 0 {
+                SampleType::Uniform
+            } else {
+                SampleType::Stratified { columns: vec!["city".into()] }
+            },
+            ratio: 0.01,
+            sample_rows: 100 + tag as u64,
+            base_rows: 10_000,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let store = MetaStore::new();
+        store.register(meta("orders", 0));
+        store.register(meta("orders", 1));
+        store.register(meta("lineitem", 2));
+        assert_eq!(store.samples_for("ORDERS").len(), 2);
+        assert_eq!(store.samples_for("lineitem").len(), 1);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.remove_for("orders").len(), 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn persist_and_reload_roundtrip() {
+        let engine: Arc<dyn Connection> = Arc::new(Engine::with_seed(3));
+        let store = MetaStore::new();
+        store.register(meta("orders", 0));
+        store.register(meta("orders", 1));
+        store.persist(&engine).unwrap();
+
+        let other = MetaStore::new();
+        let loaded = other.reload(&engine).unwrap();
+        assert_eq!(loaded, 2);
+        let reloaded = other.samples_for("orders");
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.iter().any(|m| matches!(
+            m.sample_type,
+            SampleType::Stratified { ref columns } if columns == &vec!["city".to_string()]
+        )));
+    }
+
+    #[test]
+    fn reload_without_metadata_table_is_a_noop() {
+        let engine: Arc<dyn Connection> = Arc::new(Engine::with_seed(3));
+        let store = MetaStore::new();
+        assert_eq!(store.reload(&engine).unwrap(), 0);
+        assert!(store.is_empty());
+    }
+}

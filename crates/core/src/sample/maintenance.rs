@@ -1,0 +1,152 @@
+//! Incremental sample maintenance under data appends (Appendix D).
+//!
+//! All three offline sample types tolerate appends because tuples are sampled
+//! independently:
+//!
+//! * **uniform** and **hashed** samples simply apply the same τ (and hash
+//!   function) to the new batch and `INSERT` the survivors into the existing
+//!   sample table;
+//! * **stratified** samples reuse the per-stratum sampling probabilities that
+//!   are already recorded in the sample's probability column; strata that did
+//!   not exist before are sampled with a freshly computed probability.
+//!
+//! Staleness detection compares the recorded base-table cardinality against
+//! the current one.
+
+use crate::sample::{SampleMeta, SampleType, SAMPLING_PROB_COLUMN};
+use verdict_sql::Dialect;
+
+/// How far a sample has drifted from its base table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Staleness {
+    /// The base table has the same row count as when the sample was built.
+    Fresh,
+    /// The base table has grown by this many rows since the sample was built.
+    Stale { appended_rows: u64 },
+    /// The base table shrank — the sample must be rebuilt from scratch
+    /// (appends are the only supported incremental update).
+    RequiresRebuild,
+}
+
+/// Classifies the freshness of a sample given the base table's current size.
+pub fn staleness(meta: &SampleMeta, current_base_rows: u64) -> Staleness {
+    use std::cmp::Ordering::*;
+    match current_base_rows.cmp(&meta.base_rows) {
+        Equal => Staleness::Fresh,
+        Greater => Staleness::Stale { appended_rows: current_base_rows - meta.base_rows },
+        Less => Staleness::RequiresRebuild,
+    }
+}
+
+/// Generates the SQL that folds an appended batch (available as
+/// `batch_table`) into an existing sample.
+///
+/// For uniform and hashed samples one `INSERT INTO … SELECT` suffices.  For
+/// stratified samples the appended tuples join against the per-stratum
+/// probabilities already present in the sample table; tuples from brand-new
+/// strata are kept whole (probability 1), matching Appendix D.
+pub fn append_sql(meta: &SampleMeta, batch_table: &str, dialect: &dyn Dialect) -> Vec<String> {
+    let sample = &meta.sample_table;
+    let ratio = meta.ratio;
+    let rand = dialect.random_function();
+    match &meta.sample_type {
+        SampleType::Uniform => vec![format!(
+            "INSERT INTO {sample} SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
+             FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
+             WHERE verdict_rand < {ratio}"
+        )],
+        SampleType::Hashed { columns } => {
+            let key_expr = if columns.len() == 1 {
+                columns[0].clone()
+            } else {
+                format!("concat({})", columns.join(", "))
+            };
+            let hash = dialect.hash_function(&key_expr, 1_000_000);
+            let threshold = (ratio * 1_000_000f64).round() as u64;
+            vec![format!(
+                "INSERT INTO {sample} SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
+                 FROM {batch_table} WHERE {hash} < {threshold}"
+            )]
+        }
+        SampleType::Stratified { columns } => {
+            let col_list = columns.join(", ");
+            let probs_table = format!("{sample}_append_probs_tmp");
+            let join_cond = columns
+                .iter()
+                .map(|c| format!("verdict_src.{c} = {probs_table}.{c}"))
+                .collect::<Vec<_>>()
+                .join(" AND ");
+            vec![
+                // existing per-stratum probabilities (min is arbitrary — the
+                // probability is constant within a stratum)
+                format!(
+                    "CREATE TABLE {probs_table} AS SELECT {col_list}, \
+                     min({SAMPLING_PROB_COLUMN}) AS verdict_stratum_prob \
+                     FROM {sample} GROUP BY {col_list}"
+                ),
+                format!(
+                    "INSERT INTO {sample} SELECT verdict_src.*, \
+                     coalesce({probs_table}.verdict_stratum_prob, 1.0) AS {SAMPLING_PROB_COLUMN} \
+                     FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
+                     LEFT JOIN {probs_table} ON {join_cond} \
+                     WHERE verdict_src.verdict_rand < coalesce({probs_table}.verdict_stratum_prob, 1.0)"
+                ),
+                format!("DROP TABLE IF EXISTS {probs_table}"),
+            ]
+        }
+        SampleType::Irregular => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_sql::GenericDialect;
+
+    fn meta(sample_type: SampleType) -> SampleMeta {
+        SampleMeta {
+            base_table: "orders".into(),
+            sample_table: "verdict_sample_orders_x".into(),
+            sample_type,
+            ratio: 0.01,
+            sample_rows: 10_000,
+            base_rows: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn staleness_classification() {
+        let m = meta(SampleType::Uniform);
+        assert_eq!(staleness(&m, 1_000_000), Staleness::Fresh);
+        assert_eq!(staleness(&m, 1_100_000), Staleness::Stale { appended_rows: 100_000 });
+        assert_eq!(staleness(&m, 900_000), Staleness::RequiresRebuild);
+    }
+
+    #[test]
+    fn uniform_append_is_single_insert() {
+        let sql = append_sql(&meta(SampleType::Uniform), "orders_batch", &GenericDialect);
+        assert_eq!(sql.len(), 1);
+        assert!(sql[0].starts_with("INSERT INTO"));
+        verdict_sql::parse_statement(&sql[0]).unwrap();
+    }
+
+    #[test]
+    fn hashed_append_reuses_same_hash_threshold() {
+        let m = meta(SampleType::Hashed { columns: vec!["order_id".into()] });
+        let sql = append_sql(&m, "orders_batch", &GenericDialect);
+        assert!(sql[0].contains("verdict_hash(order_id, 1000000) < 10000"));
+        verdict_sql::parse_statement(&sql[0]).unwrap();
+    }
+
+    #[test]
+    fn stratified_append_reuses_recorded_probabilities() {
+        let m = meta(SampleType::Stratified { columns: vec!["city".into()] });
+        let sql = append_sql(&m, "orders_batch", &GenericDialect);
+        assert_eq!(sql.len(), 3);
+        assert!(sql[0].contains("GROUP BY city"));
+        assert!(sql[1].contains("coalesce"));
+        for s in &sql {
+            verdict_sql::parse_statement(s).unwrap();
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The default sampling policy (Appendix F of the paper).
+//!
+//! When the user asks VerdictDB to prepare a table for AQP without naming
+//! sample types, VerdictDB inspects the column cardinalities and decides:
+//!
+//! 1. a uniform sample is always built;
+//! 2. for each of the (up to ten) highest-cardinality columns whose
+//!    cardinality exceeds 1% of the table size, a hashed (universe) sample is
+//!    built — such columns are join keys / count-distinct targets;
+//! 3. for each of the (up to ten) lowest-cardinality columns whose
+//!    cardinality is below 1% of the table size, a stratified sample is
+//!    built — such columns are typical group-by attributes.
+//!
+//! The sampling parameter τ defaults to `10M / |T|` in the paper; this
+//! implementation scales the same rule by the configured `min_table_rows`
+//! (the "large table" threshold), so laptop-scale datasets behave like the
+//! paper's cluster-scale ones.
+
+use crate::config::VerdictConfig;
+use crate::sample::SampleType;
+
+/// Cardinality statistics for one column of a base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnCardinality {
+    pub column: String,
+    pub distinct_values: u64,
+}
+
+/// The outcome of the default policy: which samples to build and with what τ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingDecision {
+    pub sample_types: Vec<SampleType>,
+    pub ratio: f64,
+}
+
+/// Applies the Appendix F default policy.
+pub fn default_policy(
+    table_rows: u64,
+    columns: &[ColumnCardinality],
+    config: &VerdictConfig,
+) -> SamplingDecision {
+    // τ = target_sample_rows / |T|, clamped into (0, 1]; the paper uses 10M
+    // as the target because its tables hold billions of rows.
+    let target_rows = (config.min_table_rows as f64).max(1.0) * (config.sampling_ratio / 0.01);
+    let ratio = (target_rows / table_rows.max(1) as f64).clamp(config.sampling_ratio.min(1.0), 1.0);
+
+    let mut sample_types = vec![SampleType::Uniform];
+
+    let threshold = (table_rows as f64 * 0.01).max(1.0) as u64;
+
+    // High-cardinality columns -> hashed samples (descending cardinality, top 10).
+    let mut high: Vec<&ColumnCardinality> = columns
+        .iter()
+        .filter(|c| c.distinct_values > threshold)
+        .collect();
+    high.sort_by(|a, b| b.distinct_values.cmp(&a.distinct_values));
+    for c in high.into_iter().take(10) {
+        sample_types.push(SampleType::Hashed { columns: vec![c.column.clone()] });
+    }
+
+    // Low-cardinality columns -> stratified samples (ascending cardinality, top 10).
+    let mut low: Vec<&ColumnCardinality> = columns
+        .iter()
+        .filter(|c| c.distinct_values <= threshold && c.distinct_values > 1)
+        .collect();
+    low.sort_by(|a, b| a.distinct_values.cmp(&b.distinct_values));
+    for c in low.into_iter().take(10) {
+        sample_types.push(SampleType::Stratified { columns: vec![c.column.clone()] });
+    }
+
+    SamplingDecision { sample_types, ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cards() -> Vec<ColumnCardinality> {
+        vec![
+            ColumnCardinality { column: "order_id".into(), distinct_values: 900_000 },
+            ColumnCardinality { column: "user_id".into(), distinct_values: 150_000 },
+            ColumnCardinality { column: "city".into(), distinct_values: 24 },
+            ColumnCardinality { column: "status".into(), distinct_values: 3 },
+            ColumnCardinality { column: "constant".into(), distinct_values: 1 },
+        ]
+    }
+
+    #[test]
+    fn policy_builds_uniform_plus_hashed_plus_stratified() {
+        let decision = default_policy(1_000_000, &cards(), &VerdictConfig::default());
+        assert!(decision.sample_types.contains(&SampleType::Uniform));
+        assert!(decision
+            .sample_types
+            .contains(&SampleType::Hashed { columns: vec!["order_id".into()] }));
+        assert!(decision
+            .sample_types
+            .contains(&SampleType::Hashed { columns: vec!["user_id".into()] }));
+        assert!(decision
+            .sample_types
+            .contains(&SampleType::Stratified { columns: vec!["city".into()] }));
+        assert!(decision
+            .sample_types
+            .contains(&SampleType::Stratified { columns: vec!["status".into()] }));
+        // single-valued columns are useless strata
+        assert!(!decision
+            .sample_types
+            .iter()
+            .any(|s| s.columns() == ["constant".to_string()]));
+    }
+
+    #[test]
+    fn ratio_shrinks_for_larger_tables() {
+        let cfg = VerdictConfig::default();
+        let small = default_policy(20_000, &[], &cfg);
+        let large = default_policy(10_000_000, &[], &cfg);
+        assert!(small.ratio > large.ratio);
+        assert!(large.ratio >= cfg.sampling_ratio.min(1.0));
+        assert!(small.ratio <= 1.0);
+    }
+
+    #[test]
+    fn policy_caps_hashed_samples_at_ten() {
+        let many: Vec<ColumnCardinality> = (0..30)
+            .map(|i| ColumnCardinality {
+                column: format!("c{i}"),
+                distinct_values: 500_000 + i,
+            })
+            .collect();
+        let decision = default_policy(1_000_000, &many, &VerdictConfig::default());
+        let hashed = decision
+            .sample_types
+            .iter()
+            .filter(|s| matches!(s, SampleType::Hashed { .. }))
+            .count();
+        assert_eq!(hashed, 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! Statistical primitives used throughout the middleware.
+//!
+//! * error function family (`erf`, `erfc`, `erfc_inv`) and the standard
+//!   normal quantile, needed by Lemma 1 and by CLT-based error bounds;
+//! * `staircase_probability` — the `f_m(n)` of Lemma 1: the Bernoulli
+//!   sampling probability that yields at least `m` of `n` tuples with
+//!   probability `1 − δ`;
+//! * weighted means / standard deviations used by the answer rewriter.
+
+/// The error function, via the Abramowitz & Stegun 7.1.26 approximation
+/// (max absolute error ≈ 1.5e-7, ample for sampling-probability planning).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Inverse of the complementary error function on (0, 2).
+///
+/// Solved by bisection on the monotonically decreasing `erfc`; 80 iterations
+/// give far more precision than the forward approximation itself.
+pub fn erfc_inv(y: f64) -> f64 {
+    assert!(y > 0.0 && y < 2.0, "erfc_inv domain is (0, 2), got {y}");
+    let mut lo = -6.0f64;
+    let mut hi = 6.0f64;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if erfc(mid) > y {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Quantile (inverse CDF) of the standard normal distribution.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal quantile domain is (0,1), got {p}");
+    // Φ^{-1}(p) = −√2 · erfc_inv(2p)
+    -std::f64::consts::SQRT_2 * erfc_inv(2.0 * p)
+}
+
+/// Two-sided normal critical value for a `confidence` (e.g. 0.95 → ≈1.96).
+pub fn normal_critical_value(confidence: f64) -> f64 {
+    let alpha = 1.0 - confidence;
+    normal_quantile(1.0 - alpha / 2.0)
+}
+
+/// The `g(p; n)` of Lemma 1: a normal approximation of the `1 − δ` lower tail
+/// of a Binomial(n, p) count.
+///
+/// `g(p; n) = sqrt(2·n·p·(1−p)) · erfc⁻¹(2(1−δ)) + n·p`
+pub fn lemma1_g(p: f64, n: f64, delta: f64) -> f64 {
+    (2.0 * n * p * (1.0 - p)).sqrt() * erfc_inv(2.0 * (1.0 - delta)) + n * p
+}
+
+/// The `f_m(n)` of Lemma 1: the smallest Bernoulli sampling probability such
+/// that at least `m` out of `n` tuples are sampled with probability `1 − δ`.
+///
+/// Returns 1.0 when even sampling everything cannot (or need not) help
+/// (`m ≥ n`), matching the `else 1` branch of the paper's staircase CASE
+/// expression.
+pub fn staircase_probability(m: u64, n: u64, delta: f64) -> f64 {
+    if n == 0 || m == 0 {
+        return if m == 0 { 0.0 } else { 1.0 };
+    }
+    if m >= n {
+        return 1.0;
+    }
+    let (m, n) = (m as f64, n as f64);
+    // g(p; n) is increasing in p; find the smallest p with g(p; n) >= m.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if lemma1_g(mid, n, delta) >= m {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi.min(1.0)
+}
+
+/// One step of the staircase CASE expression: strata-size bucket thresholds
+/// (descending) and the sampling probability to use for each bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaircaseStep {
+    /// Use this step when `strata_size > threshold`.
+    pub threshold: u64,
+    /// The Bernoulli sampling probability for that bucket.
+    pub probability: f64,
+}
+
+/// Builds the staircase function used in the stratified-sampling CASE
+/// expression (§3.2): a sequence of `(threshold, probability)` steps covering
+/// strata sizes from `max_size` down to `m`, where each step's probability
+/// upper-bounds `f_m(n)` over its bucket (f_m is decreasing in n, so the
+/// bucket's lower end determines the bound).  Strata of `m` or fewer tuples
+/// are taken whole (probability 1).
+pub fn build_staircase(m: u64, max_size: u64, delta: f64) -> Vec<StaircaseStep> {
+    let mut steps = Vec::new();
+    if max_size <= m {
+        return steps;
+    }
+    // Geometric bucket grid: m, 1.5m, 2.25m, ... up to max_size.
+    let mut thresholds = Vec::new();
+    let mut t = m.max(1) as f64;
+    while (t as u64) < max_size {
+        thresholds.push(t as u64);
+        t *= 1.5;
+    }
+    thresholds.push(max_size);
+    // Emit in descending threshold order, as a CASE expression evaluates
+    // its WHEN branches top-down.
+    for window in thresholds.windows(2).rev() {
+        let lower = window[0];
+        let upper = window[1];
+        steps.push(StaircaseStep {
+            threshold: lower,
+            probability: staircase_probability(m, lower.max(1), delta).min(1.0),
+        });
+        let _ = upper;
+    }
+    steps
+}
+
+/// Weighted mean of `values` with the given `weights`.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    let wsum: f64 = weights.iter().sum();
+    if wsum == 0.0 {
+        return f64::NAN;
+    }
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
+}
+
+/// Sample standard deviation.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// The `q`-quantile (0..=1) of a slice, by linear interpolation.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    let frac = pos - lower as f64;
+    sorted[lower] * (1.0 - frac) + sorted[upper] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_matches_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-4);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-4);
+        assert!((erfc(2.0) - 0.0046777).abs() < 1e-4);
+    }
+
+    #[test]
+    fn erfc_inv_inverts_erfc() {
+        for &x in &[-2.0, -1.0, -0.3, 0.0, 0.5, 1.5, 2.5] {
+            let y = erfc(x);
+            let back = erfc_inv(y);
+            assert!((back - x).abs() < 1e-4, "erfc_inv(erfc({x})) = {back}");
+        }
+    }
+
+    #[test]
+    fn normal_quantiles_match_reference() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-3);
+        assert!((normal_quantile(0.5)).abs() < 1e-6);
+        assert!((normal_critical_value(0.95) - 1.959964).abs() < 1e-3);
+        assert!((normal_critical_value(0.99) - 2.575829).abs() < 1e-3);
+    }
+
+    #[test]
+    fn staircase_probability_guarantees_min_count() {
+        // With p = f_m(n), a Binomial(n, p) should produce >= m with prob 1-δ.
+        // Check the normal-approximation quantile directly.
+        let delta = 0.001;
+        for &(m, n) in &[(10u64, 100u64), (100, 10_000), (50, 200), (1000, 1_000_000)] {
+            let p = staircase_probability(m, n, delta);
+            assert!(p <= 1.0 && p > 0.0);
+            let lower_tail = lemma1_g(p, n as f64, delta);
+            assert!(
+                lower_tail >= m as f64 - 1e-6,
+                "m={m} n={n}: lower tail {lower_tail} < m"
+            );
+            // and it must exceed the naive ratio m/n (the paper's motivating example)
+            assert!(p >= m as f64 / n as f64);
+        }
+    }
+
+    #[test]
+    fn naive_ratio_would_violate_guarantee() {
+        // The paper's example: sampling 10 out of 100 with p = 0.1 fails ~45%
+        // of the time; the staircase probability must be visibly larger.
+        let p = staircase_probability(10, 100, 0.001);
+        assert!(p > 0.15, "expected a markedly larger probability, got {p}");
+    }
+
+    #[test]
+    fn staircase_steps_are_descending_and_bounded() {
+        let steps = build_staircase(100, 100_000, 0.001);
+        assert!(!steps.is_empty());
+        for w in steps.windows(2) {
+            assert!(w[0].threshold > w[1].threshold);
+            assert!(w[0].probability <= w[1].probability + 1e-12);
+        }
+        for s in &steps {
+            assert!(s.probability > 0.0 && s.probability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn small_strata_are_taken_whole() {
+        assert_eq!(staircase_probability(100, 50, 0.001), 1.0);
+        assert!(build_staircase(100, 80, 0.001).is_empty());
+    }
+
+    #[test]
+    fn weighted_mean_and_quantile() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[3.0, 1.0]), 1.5);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.5);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935).abs() < 1e-6);
+    }
+}

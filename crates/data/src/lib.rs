@@ -1,0 +1,46 @@
+//! # verdict-data
+//!
+//! Dataset generators and benchmark workloads for the VerdictDB-rs
+//! reproduction.
+//!
+//! The paper evaluates on three datasets (§6.1): a 100×-scaled Instacart
+//! sales database (`insta`), a 500 GB TPC-H database, and a synthetic dataset
+//! with controlled statistical properties.  None of those can be shipped
+//! here, so this crate generates **laptop-scale datasets with the same
+//! schemas, skew characteristics, and group cardinalities**, which is what
+//! the speedup/error *shape* depends on, plus the two query workloads
+//! (`tq-*` TPC-H-style queries and `iq-*` Instacart micro-benchmark queries)
+//! expressed in the SQL dialect of the in-memory engine.
+
+pub mod instacart;
+pub mod queries;
+pub mod synthetic;
+pub mod tpch;
+
+pub use instacart::InstacartGenerator;
+pub use queries::{instacart_queries, tpch_queries, WorkloadQuery};
+pub use synthetic::SyntheticGenerator;
+pub use tpch::TpchGenerator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_engine::Engine;
+
+    #[test]
+    fn all_workload_queries_run_exactly_on_generated_data() {
+        let engine = Engine::with_seed(42);
+        InstacartGenerator::new(0.02).register(&engine);
+        TpchGenerator::new(0.02).register(&engine);
+        for q in instacart_queries().iter().chain(tpch_queries().iter()) {
+            let result = engine.execute_sql(&q.sql);
+            assert!(
+                result.is_ok(),
+                "workload query {} failed: {:?}\nSQL: {}",
+                q.id,
+                result.err(),
+                q.sql
+            );
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! TPC-H-like decision-support dataset.
+//!
+//! The paper's second workload is a 500 GB TPC-H database.  This generator
+//! reproduces the TPC-H schema (lineitem, orders, customer, part, supplier,
+//! nation, region) with the value distributions the benchmark queries touch —
+//! return flags, ship modes, discounts, quantities, market segments, brands —
+//! at a laptop scale controlled by a scale factor.  Dates are stored as
+//! integer day offsets from 1992-01-01, so date-range predicates become plain
+//! integer comparisons.
+
+use crate::instacart::zipf_like;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verdict_engine::{Engine, Table, TableBuilder};
+
+/// Deterministic TPC-H-like generator.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    /// Scale factor: 1.0 produces ~240K lineitem rows.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// TPC-H return flags.
+pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+/// TPC-H line statuses.
+pub const LINE_STATUS: [&str; 2] = ["O", "F"];
+/// TPC-H ship modes.
+pub const SHIP_MODES: [&str; 7] = ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
+/// TPC-H market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+/// Nations (subset, enough for grouping).
+pub const NATIONS: [&str; 10] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
+    "JAPAN",
+];
+/// Number of days covered by the order/ship dates (7 years).
+pub const DATE_RANGE_DAYS: i64 = 2556;
+
+impl TpchGenerator {
+    /// Creates a generator at the given scale factor.
+    pub fn new(scale: f64) -> TpchGenerator {
+        TpchGenerator { scale, seed: 0x7bc8 }
+    }
+
+    /// Row counts per table at this scale.
+    pub fn num_orders(&self) -> usize {
+        ((60_000.0 * self.scale) as usize).max(200)
+    }
+    /// Number of customers.
+    pub fn num_customers(&self) -> usize {
+        (self.num_orders() / 10).max(50)
+    }
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        ((8_000.0 * self.scale) as usize).clamp(100, 200_000)
+    }
+    /// Number of suppliers.
+    pub fn num_suppliers(&self) -> usize {
+        (self.num_parts() / 16).max(20)
+    }
+
+    /// Generates the `lineitem` fact table (~4 line items per order).
+    pub fn lineitem(&self) -> Table {
+        let n_orders = self.num_orders();
+        let n_parts = self.num_parts();
+        let n_supp = self.num_suppliers();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut orderkey = Vec::new();
+        let mut partkey = Vec::new();
+        let mut suppkey = Vec::new();
+        let mut quantity = Vec::new();
+        let mut extendedprice = Vec::new();
+        let mut discount = Vec::new();
+        let mut tax = Vec::new();
+        let mut returnflag = Vec::new();
+        let mut linestatus = Vec::new();
+        let mut shipdate = Vec::new();
+        let mut shipmode = Vec::new();
+        for o in 0..n_orders {
+            let lines = 1 + rng.gen_range(0..7usize);
+            for _ in 0..lines {
+                orderkey.push(o as i64 + 1);
+                let p = zipf_like(&mut rng, n_parts, 1.02);
+                partkey.push(p as i64 + 1);
+                suppkey.push(rng.gen_range(1..=n_supp as i64));
+                let qty = rng.gen_range(1..=50i64);
+                quantity.push(qty);
+                let unit = 900.0 + (p % 1000) as f64;
+                extendedprice.push(unit * qty as f64 / 10.0);
+                discount.push((rng.gen_range(0..=10) as f64) / 100.0);
+                tax.push((rng.gen_range(0..=8) as f64) / 100.0);
+                let rf = match rng.gen_range(0..100) {
+                    0..=24 => "A",
+                    25..=49 => "R",
+                    _ => "N",
+                };
+                returnflag.push(rf.to_string());
+                linestatus.push(LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())].to_string());
+                shipdate.push(rng.gen_range(0..DATE_RANGE_DAYS));
+                shipmode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string());
+            }
+        }
+        TableBuilder::new()
+            .int_column("l_orderkey", orderkey)
+            .int_column("l_partkey", partkey)
+            .int_column("l_suppkey", suppkey)
+            .int_column("l_quantity", quantity)
+            .float_column("l_extendedprice", extendedprice)
+            .float_column("l_discount", discount)
+            .float_column("l_tax", tax)
+            .str_column("l_returnflag", returnflag)
+            .str_column("l_linestatus", linestatus)
+            .int_column("l_shipdate", shipdate)
+            .str_column("l_shipmode", shipmode)
+            .build()
+            .expect("consistent lineitem table")
+    }
+
+    /// Generates the `orders` table (named `tpch_orders` to avoid clashing
+    /// with the Instacart `orders` table when both datasets are loaded).
+    pub fn orders(&self) -> Table {
+        let n = self.num_orders();
+        let n_cust = self.num_customers();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1111);
+        let mut orderkey = Vec::with_capacity(n);
+        let mut custkey = Vec::with_capacity(n);
+        let mut status = Vec::with_capacity(n);
+        let mut totalprice = Vec::with_capacity(n);
+        let mut orderdate = Vec::with_capacity(n);
+        let mut priority = Vec::with_capacity(n);
+        for i in 0..n {
+            orderkey.push(i as i64 + 1);
+            custkey.push(rng.gen_range(1..=n_cust as i64));
+            status.push(["O", "F", "P"][rng.gen_range(0..3)].to_string());
+            totalprice.push(rng.gen_range(1_000.0..400_000.0));
+            orderdate.push(rng.gen_range(0..DATE_RANGE_DAYS));
+            priority.push(format!("{}-PRIORITY", rng.gen_range(1..=5)));
+        }
+        TableBuilder::new()
+            .int_column("o_orderkey", orderkey)
+            .int_column("o_custkey", custkey)
+            .str_column("o_orderstatus", status)
+            .float_column("o_totalprice", totalprice)
+            .int_column("o_orderdate", orderdate)
+            .str_column("o_orderpriority", priority)
+            .build()
+            .expect("consistent orders table")
+    }
+
+    /// Generates the `customer` table.
+    pub fn customer(&self) -> Table {
+        let n = self.num_customers();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x2222);
+        let mut custkey = Vec::with_capacity(n);
+        let mut segment = Vec::with_capacity(n);
+        let mut nation = Vec::with_capacity(n);
+        let mut acctbal = Vec::with_capacity(n);
+        for i in 0..n {
+            custkey.push(i as i64 + 1);
+            segment.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string());
+            nation.push(rng.gen_range(0..NATIONS.len() as i64));
+            acctbal.push(rng.gen_range(-999.0..10_000.0));
+        }
+        TableBuilder::new()
+            .int_column("c_custkey", custkey)
+            .str_column("c_mktsegment", segment)
+            .int_column("c_nationkey", nation)
+            .float_column("c_acctbal", acctbal)
+            .build()
+            .expect("consistent customer table")
+    }
+
+    /// Generates the `part` table.
+    pub fn part(&self) -> Table {
+        let n = self.num_parts();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x3333);
+        let mut partkey = Vec::with_capacity(n);
+        let mut brand = Vec::with_capacity(n);
+        let mut ptype = Vec::with_capacity(n);
+        let mut size = Vec::with_capacity(n);
+        let mut container = Vec::with_capacity(n);
+        for i in 0..n {
+            partkey.push(i as i64 + 1);
+            brand.push(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5)));
+            ptype.push(
+                ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"][rng.gen_range(0..6)]
+                    .to_string(),
+            );
+            size.push(rng.gen_range(1..=50i64));
+            container.push(["SM CASE", "SM BOX", "MED BAG", "LG BOX", "JUMBO PKG"][rng.gen_range(0..5)].to_string());
+        }
+        TableBuilder::new()
+            .int_column("p_partkey", partkey)
+            .str_column("p_brand", brand)
+            .str_column("p_type", ptype)
+            .int_column("p_size", size)
+            .str_column("p_container", container)
+            .build()
+            .expect("consistent part table")
+    }
+
+    /// Generates the `supplier` table.
+    pub fn supplier(&self) -> Table {
+        let n = self.num_suppliers();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4444);
+        let mut suppkey = Vec::with_capacity(n);
+        let mut nation = Vec::with_capacity(n);
+        for i in 0..n {
+            suppkey.push(i as i64 + 1);
+            nation.push(rng.gen_range(0..NATIONS.len() as i64));
+        }
+        TableBuilder::new()
+            .int_column("s_suppkey", suppkey)
+            .int_column("s_nationkey", nation)
+            .build()
+            .expect("consistent supplier table")
+    }
+
+    /// Generates the `nation` dimension.
+    pub fn nation(&self) -> Table {
+        TableBuilder::new()
+            .int_column("n_nationkey", (0..NATIONS.len() as i64).collect())
+            .str_column("n_name", NATIONS.iter().map(|s| s.to_string()).collect())
+            .int_column("n_regionkey", (0..NATIONS.len() as i64).map(|i| i % 5).collect())
+            .build()
+            .expect("consistent nation table")
+    }
+
+    /// Registers every TPC-H table in the engine catalog.
+    pub fn register(&self, engine: &Engine) {
+        engine.register_table("lineitem", self.lineitem());
+        engine.register_table("tpch_orders", self.orders());
+        engine.register_table("customer", self.customer());
+        engine.register_table("part", self.part());
+        engine.register_table("supplier", self.supplier());
+        engine.register_table("nation", self.nation());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_controls_row_counts() {
+        let small = TpchGenerator::new(0.01);
+        let larger = TpchGenerator::new(0.05);
+        assert!(larger.lineitem().num_rows() > small.lineitem().num_rows());
+        assert_eq!(small.nation().num_rows(), NATIONS.len());
+    }
+
+    #[test]
+    fn lineitem_values_are_within_tpch_domains() {
+        let g = TpchGenerator::new(0.01);
+        let li = g.lineitem();
+        let disc = li.column_by_name("l_discount").unwrap();
+        assert!(disc.iter().all(|v| {
+            let d = v.as_f64().unwrap();
+            (0.0..=0.10001).contains(&d)
+        }));
+        let flag = li.column_by_name("l_returnflag").unwrap();
+        assert!(flag
+            .iter()
+            .all(|v| RETURN_FLAGS.contains(&v.as_str_lossy().unwrap().as_str())));
+    }
+
+    #[test]
+    fn registration_makes_tables_queryable() {
+        let engine = Engine::with_seed(1);
+        TpchGenerator::new(0.01).register(&engine);
+        let r = engine
+            .execute_sql("SELECT count(*) FROM lineitem WHERE l_shipdate < 1000")
+            .unwrap();
+        assert!(r.table.value(0, 0).as_i64().unwrap() > 0);
+    }
+}

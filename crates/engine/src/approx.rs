@@ -1,0 +1,141 @@
+//! Native approximate-aggregate sketches.
+//!
+//! Commercial engines offer sketch-based approximations (`ndv` /
+//! `approx_count_distinct` in Impala, `approx_median` / `percentile_disc` in
+//! Redshift).  Table 2 of the paper compares VerdictDB's sampling-based
+//! approximations against these *full-scan* sketches, so the engine provides
+//! a HyperLogLog distinct-count sketch here as that baseline.
+
+use crate::value::Value;
+use crate::functions::fnv1a_hash_value;
+
+/// Number of registers = 2^P. P=12 gives a standard error of about 1.6%.
+const P: u32 = 12;
+const M: usize = 1 << P;
+
+/// A HyperLogLog cardinality sketch (Flajolet et al., the algorithm the paper
+/// cites for count-distinct domain partitioning baselines).
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+}
+
+impl Default for HyperLogLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HyperLogLog {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        HyperLogLog { registers: vec![0u8; M] }
+    }
+
+    /// Adds one value to the sketch.
+    pub fn add(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        let hash = fmix64(fnv1a_hash_value(v));
+        let idx = (hash >> (64 - P)) as usize;
+        let rest = hash << P;
+        // rank = position of the leftmost 1-bit in the remaining bits (1-based)
+        let rank = if rest == 0 { (64 - P + 1) as u8 } else { rest.leading_zeros() as u8 + 1 };
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merges another sketch into this one (register-wise max).
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        for (a, b) in self.registers.iter_mut().zip(other.registers.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Estimates the number of distinct values added so far.
+    pub fn estimate(&self) -> f64 {
+        let m = M as f64;
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let mut sum = 0.0;
+        let mut zeros = 0usize;
+        for &r in &self.registers {
+            sum += 2f64.powi(-(r as i32));
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // small-range correction (linear counting)
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+/// MurmurHash3's 64-bit finalizer: improves the avalanche behaviour of the
+/// FNV hash so all 64 bits are usable for register selection and rank.
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^= h >> 33;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_small_cardinalities_exactly_enough() {
+        let mut hll = HyperLogLog::new();
+        for i in 0..100 {
+            hll.add(&Value::Int(i));
+            hll.add(&Value::Int(i)); // duplicates should not matter
+        }
+        let est = hll.estimate();
+        assert!((est - 100.0).abs() < 5.0, "estimate {est} too far from 100");
+    }
+
+    #[test]
+    fn estimates_large_cardinalities_within_a_few_percent() {
+        let mut hll = HyperLogLog::new();
+        let n = 200_000;
+        for i in 0..n {
+            hll.add(&Value::Int(i));
+        }
+        let est = hll.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "relative error {rel} too large");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperLogLog::new();
+        let mut b = HyperLogLog::new();
+        for i in 0..5000 {
+            a.add(&Value::Int(i));
+        }
+        for i in 2500..7500 {
+            b.add(&Value::Int(i));
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        let rel = (est - 7500.0).abs() / 7500.0;
+        assert!(rel < 0.05, "relative error {rel} too large after merge");
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let mut hll = HyperLogLog::new();
+        hll.add(&Value::Null);
+        assert!(hll.estimate() < 1.0);
+    }
+}

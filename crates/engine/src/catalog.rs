@@ -1,0 +1,130 @@
+//! The table catalog: a thread-safe registry of named in-memory tables.
+//!
+//! VerdictDB stores everything — base tables, sample tables, and its own
+//! metadata — inside the underlying database (§2.1), so the catalog supports
+//! dotted names such as `verdict_meta.samples` in addition to plain names.
+
+use crate::error::{EngineError, EngineResult};
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A registry of named tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Registers (or replaces) a table under the given name.
+    pub fn register(&self, name: &str, table: Table) {
+        self.tables.write().insert(Self::key(name), Arc::new(table));
+    }
+
+    /// Creates a new table; errors if it already exists and `or_replace` is false.
+    pub fn create(&self, name: &str, table: Table, or_replace: bool) -> EngineResult<()> {
+        let key = Self::key(name);
+        let mut guard = self.tables.write();
+        if guard.contains_key(&key) && !or_replace {
+            return Err(EngineError::TableAlreadyExists(name.to_string()));
+        }
+        guard.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Fetches a table by name.
+    pub fn get(&self, name: &str) -> EngineResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))
+    }
+
+    /// True if a table with this name exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Self::key(name))
+    }
+
+    /// Drops a table; errors when missing unless `if_exists`.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> EngineResult<()> {
+        let removed = self.tables.write().remove(&Self::key(name));
+        if removed.is_none() && !if_exists {
+            return Err(EngineError::TableNotFound(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Appends rows to an existing table.
+    pub fn append(&self, name: &str, rows: &Table) -> EngineResult<()> {
+        let key = Self::key(name);
+        let mut guard = self.tables.write();
+        let existing = guard
+            .get(&key)
+            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))?;
+        let mut new_table = (**existing).clone();
+        new_table.append(rows)?;
+        guard.insert(key, Arc::new(new_table));
+        Ok(())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of rows in the named table (0 if missing).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.get(name).map(|t| t.num_rows()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn small() -> Table {
+        TableBuilder::new().int_column("x", vec![1, 2, 3]).build().unwrap()
+    }
+
+    #[test]
+    fn create_get_drop_roundtrip() {
+        let c = Catalog::new();
+        c.create("orders", small(), false).unwrap();
+        assert!(c.exists("ORDERS"));
+        assert_eq!(c.get("orders").unwrap().num_rows(), 3);
+        assert!(c.create("orders", small(), false).is_err());
+        c.create("orders", small(), true).unwrap();
+        c.drop_table("orders", false).unwrap();
+        assert!(!c.exists("orders"));
+        assert!(c.drop_table("orders", false).is_err());
+        c.drop_table("orders", true).unwrap();
+    }
+
+    #[test]
+    fn append_grows_table() {
+        let c = Catalog::new();
+        c.create("t", small(), false).unwrap();
+        c.append("t", &small()).unwrap();
+        assert_eq!(c.row_count("t"), 6);
+    }
+
+    #[test]
+    fn schema_qualified_names_are_supported() {
+        let c = Catalog::new();
+        c.register("verdict_meta.samples", small());
+        assert!(c.exists("Verdict_Meta.Samples"));
+        assert_eq!(c.table_names(), vec!["verdict_meta.samples".to_string()]);
+    }
+}

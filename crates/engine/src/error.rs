@@ -1,0 +1,60 @@
+//! Error types for the execution engine.
+
+use std::fmt;
+
+/// An error raised while planning or executing a SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The SQL text could not be parsed.
+    Parse(String),
+    /// A referenced table does not exist in the catalog.
+    TableNotFound(String),
+    /// A referenced column could not be resolved, or was ambiguous.
+    ColumnNotFound(String),
+    /// A table with this name already exists.
+    TableAlreadyExists(String),
+    /// Two operands or schemas had incompatible types.
+    TypeMismatch(String),
+    /// The statement uses SQL the engine does not implement.
+    Unsupported(String),
+    /// Generic execution failure (division by zero handling, bad function args, ...).
+    Execution(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            EngineError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            EngineError::TableAlreadyExists(t) => write!(f, "table already exists: {t}"),
+            EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenient result alias used throughout the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+impl From<verdict_sql::ParseError> for EngineError {
+    fn from(e: verdict_sql::ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        assert!(EngineError::TableNotFound("orders".into())
+            .to_string()
+            .contains("orders"));
+        assert!(EngineError::Unsupported("EXISTS".into()).to_string().contains("EXISTS"));
+    }
+}

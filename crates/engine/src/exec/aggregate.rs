@@ -1,0 +1,607 @@
+//! Hash aggregation.
+//!
+//! The executor collects the unique aggregate calls appearing in a query,
+//! evaluates their argument expressions over the input frame, and folds each
+//! group through an [`AggState`] accumulator.  The resulting "aggregated
+//! frame" exposes the group keys under their original column names (so later
+//! projection expressions still resolve) and each aggregate under a synthetic
+//! `__aggN` column; [`replace_exprs`] swaps the original aggregate calls for
+//! references to those columns.
+
+use crate::approx::HyperLogLog;
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{eval_expr, infer_type, EvalContext};
+use crate::schema::{Field, Schema};
+use crate::table::{Column, Table};
+use crate::value::{DataType, KeyValue, Value};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use verdict_sql::ast::{Expr, FunctionCall, Literal};
+use verdict_sql::dialect::GenericDialect;
+use verdict_sql::printer::print_expr;
+
+/// The aggregate functions supported by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Sample variance.
+    Variance,
+    /// Sample standard deviation.
+    Stddev,
+    /// Exact median over the group's values.
+    Median,
+    /// Exact quantile at the given fraction (0..1).
+    Quantile(f64),
+    /// HyperLogLog-based approximate distinct count (full scan, Table 2 baseline).
+    ApproxCountDistinct,
+    /// Approximate median (full collect; models Redshift `approx_median`).
+    ApproxMedian,
+}
+
+impl AggFunc {
+    /// Maps a parsed function call to an aggregate kind, when it is an aggregate.
+    pub fn from_call(call: &FunctionCall) -> EngineResult<Option<AggFunc>> {
+        if !verdict_sql::ast::is_aggregate_function(&call.name) {
+            return Ok(None);
+        }
+        let func = match call.name.as_str() {
+            "count" => {
+                if call.distinct {
+                    AggFunc::CountDistinct
+                } else if call.args.len() == 1 && matches!(call.args[0], Expr::Wildcard) {
+                    AggFunc::CountStar
+                } else {
+                    AggFunc::Count
+                }
+            }
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "variance" | "var_samp" => AggFunc::Variance,
+            "stddev" | "stddev_samp" => AggFunc::Stddev,
+            "median" => AggFunc::Median,
+            "quantile" | "percentile" => {
+                let q = call
+                    .args
+                    .get(1)
+                    .and_then(|e| match e {
+                        Expr::Literal(Literal::Float(f)) => Some(*f),
+                        Expr::Literal(Literal::Integer(i)) => Some(*i as f64),
+                        _ => None,
+                    })
+                    .ok_or_else(|| {
+                        EngineError::Execution(
+                            "quantile/percentile requires a literal fraction as second argument"
+                                .into(),
+                        )
+                    })?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(EngineError::Execution(format!(
+                        "quantile fraction {q} out of [0, 1]"
+                    )));
+                }
+                AggFunc::Quantile(q)
+            }
+            "approx_count_distinct" | "ndv" => AggFunc::ApproxCountDistinct,
+            "approx_median" => AggFunc::ApproxMedian,
+            other => return Err(EngineError::Unsupported(format!("aggregate {other}"))),
+        };
+        Ok(Some(func))
+    }
+
+    /// Result type of the aggregate.
+    pub fn output_type(&self, input: DataType) -> DataType {
+        match self {
+            AggFunc::CountStar | AggFunc::Count | AggFunc::CountDistinct | AggFunc::ApproxCountDistinct => {
+                DataType::Int
+            }
+            AggFunc::Min | AggFunc::Max => input,
+            AggFunc::Sum => {
+                if input == DataType::Int {
+                    DataType::Int
+                } else {
+                    DataType::Float
+                }
+            }
+            _ => DataType::Float,
+        }
+    }
+}
+
+/// Accumulator state for one (group, aggregate) pair.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Distinct(HashSet<KeyValue>),
+    Sum { sum: f64, seen: bool, integral: bool },
+    Avg { sum: f64, count: i64 },
+    MinMax { best: Option<Value>, is_min: bool },
+    Moments { n: f64, mean: f64, m2: f64 },
+    Values(Vec<f64>),
+    Hll(HyperLogLog),
+}
+
+impl AggState {
+    fn new(func: &AggFunc) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::Distinct(HashSet::new()),
+            AggFunc::Sum => AggState::Sum { sum: 0.0, seen: false, integral: true },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
+            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+            AggFunc::Variance | AggFunc::Stddev => AggState::Moments { n: 0.0, mean: 0.0, m2: 0.0 },
+            AggFunc::Median | AggFunc::Quantile(_) | AggFunc::ApproxMedian => AggState::Values(Vec::new()),
+            AggFunc::ApproxCountDistinct => AggState::Hll(HyperLogLog::new()),
+        }
+    }
+
+    fn update(&mut self, value: &Value) {
+        match self {
+            AggState::Count(c) => {
+                if !value.is_null() {
+                    *c += 1;
+                }
+            }
+            AggState::Distinct(set) => {
+                if !value.is_null() {
+                    set.insert(KeyValue::from_value(value));
+                }
+            }
+            AggState::Sum { sum, seen, integral } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *seen = true;
+                    if matches!(value, Value::Float(_)) {
+                        *integral = false;
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            AggState::MinMax { best, is_min } => {
+                if value.is_null() {
+                    return;
+                }
+                let replace = match best {
+                    None => true,
+                    Some(b) => match value.sql_cmp(b) {
+                        Some(std::cmp::Ordering::Less) => *is_min,
+                        Some(std::cmp::Ordering::Greater) => !*is_min,
+                        _ => false,
+                    },
+                };
+                if replace {
+                    *best = Some(value.clone());
+                }
+            }
+            AggState::Moments { n, mean, m2 } => {
+                if let Some(x) = value.as_f64() {
+                    // Welford's online algorithm
+                    *n += 1.0;
+                    let delta = x - *mean;
+                    *mean += delta / *n;
+                    *m2 += delta * (x - *mean);
+                }
+            }
+            AggState::Values(v) => {
+                if let Some(x) = value.as_f64() {
+                    v.push(x);
+                }
+            }
+            AggState::Hll(h) => h.add(value),
+        }
+    }
+
+    /// Increments a `count(*)` accumulator (no argument to inspect).
+    fn update_count_star(&mut self) {
+        if let AggState::Count(c) = self {
+            *c += 1;
+        }
+    }
+
+    fn finish(self, func: &AggFunc) -> Value {
+        match (func, self) {
+            (AggFunc::CountStar | AggFunc::Count, AggState::Count(c)) => Value::Int(c),
+            (AggFunc::CountDistinct, AggState::Distinct(set)) => Value::Int(set.len() as i64),
+            (AggFunc::Sum, AggState::Sum { sum, seen, integral }) => {
+                if !seen {
+                    Value::Null
+                } else if integral {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            (AggFunc::Avg, AggState::Avg { sum, count }) => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            (AggFunc::Min | AggFunc::Max, AggState::MinMax { best, .. }) => {
+                best.unwrap_or(Value::Null)
+            }
+            (AggFunc::Variance, AggState::Moments { n, m2, .. }) => {
+                if n < 2.0 {
+                    Value::Null
+                } else {
+                    Value::Float(m2 / (n - 1.0))
+                }
+            }
+            (AggFunc::Stddev, AggState::Moments { n, m2, .. }) => {
+                if n < 2.0 {
+                    Value::Null
+                } else {
+                    Value::Float((m2 / (n - 1.0)).sqrt())
+                }
+            }
+            (AggFunc::Median | AggFunc::ApproxMedian, AggState::Values(v)) => quantile_of(v, 0.5),
+            (AggFunc::Quantile(q), AggState::Values(v)) => quantile_of(v, *q),
+            (AggFunc::ApproxCountDistinct, AggState::Hll(h)) => Value::Int(h.estimate().round() as i64),
+            _ => Value::Null,
+        }
+    }
+}
+
+fn quantile_of(mut values: Vec<f64>, q: f64) -> Value {
+    if values.is_empty() {
+        return Value::Null;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (values.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    let frac = pos - lower as f64;
+    let v = values[lower] * (1.0 - frac) + values[upper] * frac;
+    Value::Float(v)
+}
+
+/// One aggregate call to compute, tracked together with the printed form of
+/// the original expression so replacement can find it again.
+#[derive(Debug, Clone)]
+pub struct AggregateItem {
+    pub call: FunctionCall,
+    pub func: AggFunc,
+    pub output_name: String,
+}
+
+/// Collects the unique aggregate calls (outside window specifications)
+/// appearing in the given expressions, in first-appearance order.
+pub fn collect_aggregate_calls(exprs: &[&Expr]) -> EngineResult<Vec<AggregateItem>> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut items: Vec<AggregateItem> = Vec::new();
+    for expr in exprs {
+        let mut err: Option<EngineError> = None;
+        verdict_sql::visitor::walk_expr(expr, &mut |e| {
+            if err.is_some() {
+                return;
+            }
+            if let Some(call) = e.as_aggregate() {
+                let key = print_expr(e, &GenericDialect);
+                if !seen.contains_key(&key) {
+                    match AggFunc::from_call(call) {
+                        Ok(Some(func)) => {
+                            let idx = items.len();
+                            seen.insert(key, idx);
+                            items.push(AggregateItem {
+                                call: call.clone(),
+                                func,
+                                output_name: format!("__agg{idx}"),
+                            });
+                        }
+                        Ok(None) => {}
+                        Err(e) => err = Some(e),
+                    }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(items)
+}
+
+/// Output of the aggregation stage.
+pub struct AggregatedFrame {
+    /// The aggregated table: group-key columns followed by aggregate columns.
+    pub table: Table,
+    /// Replacement pairs: original expression -> column reference in `table`.
+    pub replacements: Vec<(Expr, Expr)>,
+}
+
+/// Executes hash aggregation of `input` grouped by `group_exprs`, computing `aggs`.
+pub fn execute_aggregation(
+    input: &Table,
+    group_exprs: &[Expr],
+    aggs: &[AggregateItem],
+    rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<AggregatedFrame> {
+    // Evaluate group keys and aggregate arguments over the input frame.
+    let mut key_cols: Vec<Column> = Vec::with_capacity(group_exprs.len());
+    for g in group_exprs {
+        let mut ctx = EvalContext { table: input, rng };
+        key_cols.push(eval_expr(g, &mut ctx)?);
+    }
+    let mut arg_cols: Vec<Option<Column>> = Vec::with_capacity(aggs.len());
+    for item in aggs {
+        if matches!(item.func, AggFunc::CountStar) {
+            arg_cols.push(None);
+        } else {
+            let arg = item.call.args.first().ok_or_else(|| {
+                EngineError::Execution(format!("aggregate {} requires an argument", item.call.name))
+            })?;
+            let mut ctx = EvalContext { table: input, rng };
+            arg_cols.push(Some(eval_expr(arg, &mut ctx)?));
+        }
+    }
+
+    let n = input.num_rows();
+    let mut groups: HashMap<Vec<KeyValue>, usize> = HashMap::new();
+    let mut group_keys: Vec<Vec<KeyValue>> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+
+    for row in 0..n {
+        let key: Vec<KeyValue> = key_cols.iter().map(|c| KeyValue::from_value(&c[row])).collect();
+        let gid = match groups.get(&key) {
+            Some(&g) => g,
+            None => {
+                let g = group_keys.len();
+                groups.insert(key.clone(), g);
+                group_keys.push(key);
+                states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
+                g
+            }
+        };
+        for i in 0..aggs.len() {
+            match &arg_cols[i] {
+                None => states[gid][i].update_count_star(),
+                Some(col) => states[gid][i].update(&col[row]),
+            }
+        }
+    }
+
+    // A global aggregation over zero rows still produces one output row.
+    if group_exprs.is_empty() && group_keys.is_empty() {
+        group_keys.push(Vec::new());
+        states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
+    }
+
+    // Build the output schema and columns.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut replacements: Vec<(Expr, Expr)> = Vec::new();
+    for (i, g) in group_exprs.iter().enumerate() {
+        let (field, reference) = match g {
+            Expr::Column { table, name } => (
+                Field {
+                    qualifier: table.as_ref().map(|t| t.to_ascii_lowercase()),
+                    name: name.to_ascii_lowercase(),
+                    data_type: infer_type(g, &input.schema),
+                },
+                Expr::Column { table: table.clone(), name: name.clone() },
+            ),
+            other => {
+                let name = format!("__gk{i}");
+                (
+                    Field::new(&name, infer_type(other, &input.schema)),
+                    Expr::col(name.clone()),
+                )
+            }
+        };
+        fields.push(field);
+        replacements.push((g.clone(), reference));
+    }
+    for (i, item) in aggs.iter().enumerate() {
+        let input_type = item
+            .call
+            .args
+            .first()
+            .map(|a| infer_type(a, &input.schema))
+            .unwrap_or(DataType::Int);
+        fields.push(Field::new(&item.output_name, item.func.output_type(input_type)));
+        replacements.push((Expr::Function(item.call.clone()), Expr::col(item.output_name.clone())));
+        let _ = i;
+    }
+
+    let num_groups = group_keys.len();
+    let mut columns: Vec<Column> = vec![Vec::with_capacity(num_groups); fields.len()];
+    for (gid, key) in group_keys.iter().enumerate() {
+        for (k, kv) in key.iter().enumerate() {
+            columns[k].push(kv.to_value());
+        }
+        for (a, state) in states[gid].clone().into_iter().enumerate() {
+            columns[group_exprs.len() + a].push(state.finish(&aggs[a].func));
+        }
+    }
+
+    Ok(AggregatedFrame {
+        table: Table::new(Schema::new(fields), columns)?,
+        replacements,
+    })
+}
+
+/// Replaces, top-down, any sub-expression structurally equal to a replacement
+/// key with the corresponding reference expression.
+pub fn replace_exprs(expr: &Expr, replacements: &[(Expr, Expr)]) -> Expr {
+    for (from, to) in replacements {
+        if expr == from {
+            return to.clone();
+        }
+    }
+    // No match at this node: rebuild children.
+    use verdict_sql::ast::Expr as E;
+    match expr {
+        E::BinaryOp { left, op, right } => E::BinaryOp {
+            left: Box::new(replace_exprs(left, replacements)),
+            op: *op,
+            right: Box::new(replace_exprs(right, replacements)),
+        },
+        E::UnaryOp { op, expr } => E::UnaryOp { op: *op, expr: Box::new(replace_exprs(expr, replacements)) },
+        E::Function(f) => {
+            let mut f = f.clone();
+            f.args = f.args.iter().map(|a| replace_exprs(a, replacements)).collect();
+            if let Some(w) = &mut f.over {
+                w.partition_by = w.partition_by.iter().map(|p| replace_exprs(p, replacements)).collect();
+                for o in &mut w.order_by {
+                    o.expr = replace_exprs(&o.expr, replacements);
+                }
+            }
+            E::Function(f)
+        }
+        E::Case { operand, when_then, else_expr } => E::Case {
+            operand: operand.as_ref().map(|o| Box::new(replace_exprs(o, replacements))),
+            when_then: when_then
+                .iter()
+                .map(|(w, t)| (replace_exprs(w, replacements), replace_exprs(t, replacements)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(replace_exprs(e, replacements))),
+        },
+        E::IsNull { expr, negated } => E::IsNull {
+            expr: Box::new(replace_exprs(expr, replacements)),
+            negated: *negated,
+        },
+        E::InList { expr, list, negated } => E::InList {
+            expr: Box::new(replace_exprs(expr, replacements)),
+            list: list.iter().map(|e| replace_exprs(e, replacements)).collect(),
+            negated: *negated,
+        },
+        E::Between { expr, low, high, negated } => E::Between {
+            expr: Box::new(replace_exprs(expr, replacements)),
+            low: Box::new(replace_exprs(low, replacements)),
+            high: Box::new(replace_exprs(high, replacements)),
+            negated: *negated,
+        },
+        E::Like { expr, pattern, negated } => E::Like {
+            expr: Box::new(replace_exprs(expr, replacements)),
+            pattern: Box::new(replace_exprs(pattern, replacements)),
+            negated: *negated,
+        },
+        E::Cast { expr, data_type } => E::Cast {
+            expr: Box::new(replace_exprs(expr, replacements)),
+            data_type: *data_type,
+        },
+        E::Nested(e) => E::Nested(Box::new(replace_exprs(e, replacements))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::seeded_uniform;
+    use crate::table::TableBuilder;
+    use verdict_sql::parse_expression;
+
+    fn input() -> Table {
+        TableBuilder::new()
+            .str_column(
+                "city",
+                vec!["a", "a", "b", "b", "b"].into_iter().map(String::from).collect(),
+            )
+            .float_column("price", vec![10.0, 20.0, 5.0, 15.0, 10.0])
+            .int_column("qty", vec![1, 2, 3, 4, 5])
+            .build()
+            .unwrap()
+    }
+
+    fn run_agg(group: &[&str], aggs: &[&str]) -> Table {
+        let t = input();
+        let group_exprs: Vec<Expr> = group.iter().map(|g| parse_expression(g).unwrap()).collect();
+        let agg_exprs: Vec<Expr> = aggs.iter().map(|a| parse_expression(a).unwrap()).collect();
+        let refs: Vec<&Expr> = agg_exprs.iter().collect();
+        let items = collect_aggregate_calls(&refs).unwrap();
+        let mut rng = seeded_uniform(1);
+        execute_aggregation(&t, &group_exprs, &items, &mut rng).unwrap().table
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let out = run_agg(&["city"], &["count(*)", "sum(price)"]);
+        assert_eq!(out.num_rows(), 2);
+        let city_idx = out.schema.index_of("city").unwrap();
+        let cnt_idx = out.schema.index_of("__agg0").unwrap();
+        let sum_idx = out.schema.index_of("__agg1").unwrap();
+        for r in 0..2 {
+            match out.value(r, city_idx) {
+                Value::Str(s) if s == "a" => {
+                    assert_eq!(out.value(r, cnt_idx), &Value::Int(2));
+                    assert_eq!(out.value(r, sum_idx), &Value::Float(30.0));
+                }
+                Value::Str(s) if s == "b" => {
+                    assert_eq!(out.value(r, cnt_idx), &Value::Int(3));
+                    assert_eq!(out.value(r, sum_idx), &Value::Float(30.0));
+                }
+                other => panic!("unexpected group {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn global_aggregation_produces_one_row() {
+        let out = run_agg(&[], &["avg(price)", "min(qty)", "max(qty)", "stddev(price)"]);
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), &Value::Float(12.0));
+        assert_eq!(out.value(0, 1), &Value::Int(1));
+        assert_eq!(out.value(0, 2), &Value::Int(5));
+        let sd = out.value(0, 3).as_f64().unwrap();
+        assert!((sd - 5.700877).abs() < 1e-4);
+    }
+
+    #[test]
+    fn count_distinct_and_median() {
+        let out = run_agg(&[], &["count(distinct city)", "median(price)"]);
+        assert_eq!(out.value(0, 0), &Value::Int(2));
+        assert_eq!(out.value(0, 1), &Value::Float(10.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = quantile_of(vec![1.0, 2.0, 3.0, 4.0], 0.5);
+        assert_eq!(v, Value::Float(2.5));
+        let v = quantile_of(vec![1.0, 2.0, 3.0, 4.0, 5.0], 0.25);
+        assert_eq!(v, Value::Float(2.0));
+    }
+
+    #[test]
+    fn replacement_rewrites_aggregates_to_column_refs() {
+        let proj = parse_expression("sum(price) / count(*)").unwrap();
+        let refs = [&proj];
+        let items = collect_aggregate_calls(&refs).unwrap();
+        assert_eq!(items.len(), 2);
+        let replacements: Vec<(Expr, Expr)> = items
+            .iter()
+            .map(|i| (Expr::Function(i.call.clone()), Expr::col(i.output_name.clone())))
+            .collect();
+        let replaced = replace_exprs(&proj, &replacements);
+        let printed = print_expr(&replaced, &GenericDialect);
+        assert_eq!(printed, "__agg0 / __agg1");
+    }
+
+    #[test]
+    fn approximate_count_distinct_close_to_exact() {
+        let n = 20_000;
+        let t = TableBuilder::new()
+            .int_column("k", (0..n).map(|i| i % 5000).collect())
+            .build()
+            .unwrap();
+        let e = parse_expression("ndv(k)").unwrap();
+        let items = collect_aggregate_calls(&[&e]).unwrap();
+        let mut rng = seeded_uniform(1);
+        let out = execute_aggregation(&t, &[], &items, &mut rng).unwrap().table;
+        let est = out.value(0, 0).as_i64().unwrap() as f64;
+        assert!((est - 5000.0).abs() / 5000.0 < 0.05);
+    }
+}

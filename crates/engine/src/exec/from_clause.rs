@@ -1,0 +1,297 @@
+//! FROM-clause evaluation: base-table scans, derived tables, and joins.
+//!
+//! Joins are executed as hash joins on the equi-join keys extracted from the
+//! `ON` condition; residual (non-equi) predicates are applied as a filter on
+//! the joined result.  This mirrors how the paper's underlying engines
+//! evaluate the equi-joins that VerdictDB emits.
+
+use crate::error::EngineResult;
+use crate::expr::{column_to_mask, eval_expr, EvalContext};
+use crate::schema::Schema;
+use crate::table::{Column, Table};
+use crate::value::{KeyValue, Value};
+use std::collections::HashMap;
+use verdict_sql::ast::{BinaryOp, Expr, JoinType};
+
+/// Splits a predicate into its AND-ed conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::BinaryOp { left, op: BinaryOp::And, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        Expr::Nested(e) => split_conjuncts(e),
+        other => vec![other.clone()],
+    }
+}
+
+/// Recombines conjuncts into a single AND expression.
+pub fn combine_conjuncts(conjuncts: Vec<Expr>) -> Option<Expr> {
+    conjuncts.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
+}
+
+fn resolves_in(expr: &Expr, schema: &Schema) -> bool {
+    let mut ok = true;
+    verdict_sql::visitor::walk_expr(expr, &mut |e| {
+        if let Expr::Column { table, name } = e {
+            if schema.resolve(table.as_deref(), name).is_err() {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// An extracted equi-join key pair: `left_expr = right_expr` with each side
+/// resolvable against the corresponding input.
+#[derive(Debug, Clone)]
+pub struct EquiPair {
+    pub left: Expr,
+    pub right: Expr,
+}
+
+/// Splits a join constraint into equi pairs and residual predicates.
+pub fn extract_equi_pairs(
+    constraint: &Expr,
+    left_schema: &Schema,
+    right_schema: &Schema,
+) -> (Vec<EquiPair>, Vec<Expr>) {
+    let mut pairs = Vec::new();
+    let mut residual = Vec::new();
+    for conj in split_conjuncts(constraint) {
+        if let Expr::BinaryOp { left, op: BinaryOp::Eq, right } = &conj {
+            if resolves_in(left, left_schema) && resolves_in(right, right_schema) {
+                pairs.push(EquiPair { left: (**left).clone(), right: (**right).clone() });
+                continue;
+            }
+            if resolves_in(right, left_schema) && resolves_in(left, right_schema) {
+                pairs.push(EquiPair { left: (**right).clone(), right: (**left).clone() });
+                continue;
+            }
+        }
+        residual.push(conj);
+    }
+    (pairs, residual)
+}
+
+fn key_rows(cols: &[Column], row: usize) -> Vec<KeyValue> {
+    cols.iter().map(|c| KeyValue::from_value(&c[row])).collect()
+}
+
+fn keys_contain_null(cols: &[Column], row: usize) -> bool {
+    cols.iter().any(|c| c[row].is_null())
+}
+
+/// Performs a hash join between two frames.
+///
+/// `join_type` may be Inner, Left, or Right; Right joins are executed as the
+/// mirrored Left join.  Cross joins take the nested-loop path with no keys.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    pairs: &[EquiPair],
+    residual: &[Expr],
+    join_type: JoinType,
+    rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<Table> {
+    if join_type == JoinType::Right {
+        let mirrored: Vec<EquiPair> = pairs
+            .iter()
+            .map(|p| EquiPair { left: p.right.clone(), right: p.left.clone() })
+            .collect();
+        let joined = hash_join(right, left, &mirrored, &[], JoinType::Left, rng)?;
+        // reorder columns back to (left, right) order
+        let left_width = left.num_columns();
+        let right_width = right.num_columns();
+        let mut fields = Vec::with_capacity(left_width + right_width);
+        let mut columns = Vec::with_capacity(left_width + right_width);
+        for i in 0..left_width {
+            fields.push(joined.schema.fields[right_width + i].clone());
+            columns.push(joined.columns[right_width + i].clone());
+        }
+        for i in 0..right_width {
+            fields.push(joined.schema.fields[i].clone());
+            columns.push(joined.columns[i].clone());
+        }
+        let reordered = Table::new(Schema::new(fields), columns)?;
+        return apply_residual(reordered, residual, rng);
+    }
+
+    let out_schema = left.schema.join(&right.schema);
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = if pairs.is_empty() {
+        // cross join / no equi keys: nested loop
+        let mut li = Vec::new();
+        let mut ri = Vec::new();
+        for l in 0..left.num_rows() {
+            for r in 0..right.num_rows() {
+                li.push(l);
+                ri.push(r);
+            }
+        }
+        (li, ri)
+    } else {
+        // evaluate key columns
+        let mut left_keys: Vec<Column> = Vec::with_capacity(pairs.len());
+        let mut right_keys: Vec<Column> = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let mut lctx = EvalContext { table: left, rng };
+            left_keys.push(eval_expr(&p.left, &mut lctx)?);
+            let mut rctx = EvalContext { table: right, rng };
+            right_keys.push(eval_expr(&p.right, &mut rctx)?);
+        }
+        let mut index: HashMap<Vec<KeyValue>, Vec<usize>> = HashMap::new();
+        for r in 0..right.num_rows() {
+            if keys_contain_null(&right_keys, r) {
+                continue;
+            }
+            index.entry(key_rows(&right_keys, r)).or_default().push(r);
+        }
+        let mut li = Vec::new();
+        let mut ri = Vec::new();
+        for l in 0..left.num_rows() {
+            let mut matched = false;
+            if !keys_contain_null(&left_keys, l) {
+                if let Some(rows) = index.get(&key_rows(&left_keys, l)) {
+                    for &r in rows {
+                        li.push(l);
+                        ri.push(r);
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && join_type == JoinType::Left {
+                li.push(l);
+                ri.push(usize::MAX); // marker for null row
+            }
+        }
+        (li, ri)
+    };
+
+    let mut columns: Vec<Column> = Vec::with_capacity(out_schema.len());
+    for c in &left.columns {
+        columns.push(left_idx.iter().map(|&i| c[i].clone()).collect());
+    }
+    for c in &right.columns {
+        columns.push(
+            right_idx
+                .iter()
+                .map(|&i| if i == usize::MAX { Value::Null } else { c[i].clone() })
+                .collect(),
+        );
+    }
+    let joined = Table::new(out_schema, columns)?;
+    apply_residual(joined, residual, rng)
+}
+
+fn apply_residual(
+    table: Table,
+    residual: &[Expr],
+    rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<Table> {
+    if residual.is_empty() {
+        return Ok(table);
+    }
+    let pred = combine_conjuncts(residual.to_vec()).expect("nonempty residual");
+    let mask = {
+        let mut ctx = EvalContext { table: &table, rng };
+        column_to_mask(&eval_expr(&pred, &mut ctx)?)
+    };
+    Ok(table.filter(&mask))
+}
+
+/// Cartesian product of two frames (used for comma-separated FROM items).
+pub fn cross_join(
+    left: &Table,
+    right: &Table,
+    rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<Table> {
+    hash_join(left, right, &[], &[], JoinType::Cross, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::seeded_uniform;
+    use crate::table::TableBuilder;
+    use verdict_sql::parse_expression;
+
+    fn orders() -> Table {
+        let t = TableBuilder::new()
+            .int_column("order_id", vec![1, 2, 3])
+            .str_column(
+                "city",
+                vec!["a", "b", "a"].into_iter().map(String::from).collect(),
+            )
+            .build()
+            .unwrap();
+        Table { schema: t.schema.with_qualifier("o"), columns: t.columns }
+    }
+
+    fn items() -> Table {
+        let t = TableBuilder::new()
+            .int_column("order_id", vec![1, 1, 2, 4])
+            .float_column("price", vec![10.0, 20.0, 30.0, 40.0])
+            .build()
+            .unwrap();
+        Table { schema: t.schema.with_qualifier("i"), columns: t.columns }
+    }
+
+    #[test]
+    fn inner_hash_join_matches_expected_pairs() {
+        let l = orders();
+        let r = items();
+        let constraint = parse_expression("o.order_id = i.order_id").unwrap();
+        let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
+        assert_eq!(pairs.len(), 1);
+        assert!(residual.is_empty());
+        let mut rng = seeded_uniform(1);
+        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        assert_eq!(out.num_rows(), 3); // order 1 matches twice, order 2 once
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_rows_with_nulls() {
+        let l = orders();
+        let r = items();
+        let constraint = parse_expression("o.order_id = i.order_id").unwrap();
+        let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
+        let mut rng = seeded_uniform(1);
+        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Left, &mut rng).unwrap();
+        assert_eq!(out.num_rows(), 4); // order 3 kept with nulls
+        let price_idx = out.schema.resolve(Some("i"), "price").unwrap();
+        assert!(out.columns[price_idx].iter().any(|v| v.is_null()));
+    }
+
+    #[test]
+    fn residual_predicates_filter_joined_rows() {
+        let l = orders();
+        let r = items();
+        let constraint = parse_expression("o.order_id = i.order_id AND i.price > 15").unwrap();
+        let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(residual.len(), 1);
+        let mut rng = seeded_uniform(1);
+        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn cross_join_produces_cartesian_product() {
+        let l = orders();
+        let r = items();
+        let mut rng = seeded_uniform(1);
+        let out = cross_join(&l, &r, &mut rng).unwrap();
+        assert_eq!(out.num_rows(), 12);
+    }
+
+    #[test]
+    fn conjunct_splitting_roundtrips() {
+        let e = parse_expression("a = 1 AND b = 2 AND c > 3").unwrap();
+        let conjuncts = split_conjuncts(&e);
+        assert_eq!(conjuncts.len(), 3);
+        let combined = combine_conjuncts(conjuncts).unwrap();
+        let again = split_conjuncts(&combined);
+        assert_eq!(again.len(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Window (analytic) function evaluation.
+//!
+//! VerdictDB's rewritten queries use partition-scoped window aggregates such
+//! as `sum(count(*)) OVER (PARTITION BY group_column)` to compute per-group
+//! totals across subsamples (paper Query 9).  The engine therefore supports
+//! `sum`, `count`, `avg`, `min`, and `max` over a `PARTITION BY` clause (no
+//! ordering / frame clauses, which the rewriter never emits).
+
+use crate::error::{EngineError, EngineResult};
+use crate::expr::{eval_expr, EvalContext};
+use crate::table::{Column, Table};
+use crate::value::{KeyValue, Value};
+use std::collections::HashMap;
+use verdict_sql::ast::{Expr, FunctionCall};
+use verdict_sql::dialect::GenericDialect;
+use verdict_sql::printer::print_expr;
+
+/// Collects the unique window-function calls appearing in the expressions.
+pub fn collect_window_calls(exprs: &[&Expr]) -> Vec<FunctionCall> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out: Vec<FunctionCall> = Vec::new();
+    for expr in exprs {
+        verdict_sql::visitor::walk_expr(expr, &mut |e| {
+            if let Expr::Function(f) = e {
+                if f.over.is_some() {
+                    let key = print_expr(e, &GenericDialect);
+                    if !seen.contains(&key) {
+                        seen.push(key);
+                        out.push(f.clone());
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Evaluates one window call over the frame, returning a column with one
+/// value per input row.
+pub fn eval_window(
+    call: &FunctionCall,
+    frame: &Table,
+    rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<Column> {
+    let spec = call.over.as_ref().ok_or_else(|| {
+        EngineError::Execution("eval_window called on a non-window function".into())
+    })?;
+    if !spec.order_by.is_empty() {
+        return Err(EngineError::Unsupported(
+            "window ORDER BY / frame clauses are not supported".into(),
+        ));
+    }
+    let n = frame.num_rows();
+
+    // Partition keys.
+    let mut key_cols: Vec<Column> = Vec::with_capacity(spec.partition_by.len());
+    for p in &spec.partition_by {
+        let mut ctx = EvalContext { table: frame, rng };
+        key_cols.push(eval_expr(p, &mut ctx)?);
+    }
+
+    // Argument column (count(*) has no argument to evaluate).
+    let is_count_star = call.name == "count"
+        && call.args.len() == 1
+        && matches!(call.args[0], Expr::Wildcard);
+    let arg_col: Option<Column> = if is_count_star || call.args.is_empty() {
+        None
+    } else {
+        let mut ctx = EvalContext { table: frame, rng };
+        Some(eval_expr(&call.args[0], &mut ctx)?)
+    };
+
+    // Group rows by partition key.
+    let mut partitions: HashMap<Vec<KeyValue>, Vec<usize>> = HashMap::new();
+    for row in 0..n {
+        let key: Vec<KeyValue> = key_cols.iter().map(|c| KeyValue::from_value(&c[row])).collect();
+        partitions.entry(key).or_default().push(row);
+    }
+
+    // Compute the aggregate per partition.
+    let mut out = vec![Value::Null; n];
+    for rows in partitions.values() {
+        let agg = match call.name.as_str() {
+            "count" => {
+                let c = match &arg_col {
+                    None => rows.len() as i64,
+                    Some(col) => rows.iter().filter(|&&r| !col[r].is_null()).count() as i64,
+                };
+                Value::Int(c)
+            }
+            "sum" | "avg" => {
+                let col = arg_col.as_ref().ok_or_else(|| {
+                    EngineError::Execution(format!("window {} requires an argument", call.name))
+                })?;
+                let values: Vec<f64> = rows.iter().filter_map(|&r| col[r].as_f64()).collect();
+                if values.is_empty() {
+                    Value::Null
+                } else if call.name == "sum" {
+                    Value::Float(values.iter().sum())
+                } else {
+                    Value::Float(values.iter().sum::<f64>() / values.len() as f64)
+                }
+            }
+            "min" | "max" => {
+                let col = arg_col.as_ref().ok_or_else(|| {
+                    EngineError::Execution(format!("window {} requires an argument", call.name))
+                })?;
+                let mut best: Option<Value> = None;
+                for &r in rows {
+                    let v = &col[r];
+                    if v.is_null() {
+                        continue;
+                    }
+                    let replace = match &best {
+                        None => true,
+                        Some(b) => match v.sql_cmp(b) {
+                            Some(std::cmp::Ordering::Less) => call.name == "min",
+                            Some(std::cmp::Ordering::Greater) => call.name == "max",
+                            _ => false,
+                        },
+                    };
+                    if replace {
+                        best = Some(v.clone());
+                    }
+                }
+                best.unwrap_or(Value::Null)
+            }
+            other => {
+                return Err(EngineError::Unsupported(format!("window function {other}")));
+            }
+        };
+        for &r in rows {
+            out[r] = agg.clone();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::seeded_uniform;
+    use crate::table::TableBuilder;
+    use verdict_sql::parse_expression;
+
+    fn frame() -> Table {
+        TableBuilder::new()
+            .str_column(
+                "city",
+                vec!["a", "a", "b", "b", "b"].into_iter().map(String::from).collect(),
+            )
+            .float_column("cnt", vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .build()
+            .unwrap()
+    }
+
+    fn window_of(sql: &str) -> FunctionCall {
+        match parse_expression(sql).unwrap() {
+            Expr::Function(f) => f,
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_sum() {
+        let f = frame();
+        let call = window_of("sum(cnt) OVER (PARTITION BY city)");
+        let mut rng = seeded_uniform(1);
+        let col = eval_window(&call, &f, &mut rng).unwrap();
+        assert_eq!(col[0], Value::Float(3.0));
+        assert_eq!(col[1], Value::Float(3.0));
+        assert_eq!(col[2], Value::Float(12.0));
+    }
+
+    #[test]
+    fn global_count_star_window() {
+        let f = frame();
+        let call = window_of("count(*) OVER ()");
+        let mut rng = seeded_uniform(1);
+        let col = eval_window(&call, &f, &mut rng).unwrap();
+        assert!(col.iter().all(|v| v == &Value::Int(5)));
+    }
+
+    #[test]
+    fn collect_finds_unique_window_calls() {
+        let e1 = parse_expression("sum(cnt) OVER (PARTITION BY city) + 1").unwrap();
+        let e2 = parse_expression("sum(cnt) OVER (PARTITION BY city) * 2").unwrap();
+        let calls = collect_window_calls(&[&e1, &e2]);
+        assert_eq!(calls.len(), 1);
+    }
+
+    #[test]
+    fn unsupported_window_order_by_is_rejected() {
+        let f = frame();
+        let call = window_of("sum(cnt) OVER (PARTITION BY city ORDER BY cnt)");
+        let mut rng = seeded_uniform(1);
+        assert!(eval_window(&call, &f, &mut rng).is_err());
+    }
+}

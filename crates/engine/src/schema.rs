@@ -1,0 +1,182 @@
+//! Table schemas: ordered, possibly qualifier-tagged fields.
+
+use crate::error::{EngineError, EngineResult};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// The table alias this field is visible under (e.g. `o` in `orders o`),
+    /// if any.  Fields produced by expressions have no qualifier.
+    pub qualifier: Option<String>,
+    /// Column name (lower-cased for case-insensitive resolution).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates an unqualified field.
+    pub fn new(name: &str, data_type: DataType) -> Field {
+        Field { qualifier: None, name: name.to_ascii_lowercase(), data_type }
+    }
+
+    /// Creates a field qualified with a table alias.
+    pub fn qualified(qualifier: &str, name: &str, data_type: DataType) -> Field {
+        Field {
+            qualifier: Some(qualifier.to_ascii_lowercase()),
+            name: name.to_ascii_lowercase(),
+            data_type,
+        }
+    }
+
+    /// True when this field matches a (possibly qualified) column reference.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Resolves a column reference to a field index.
+    ///
+    /// Returns an error when the reference is unknown or ambiguous (matches
+    /// more than one field and no qualifier was given).
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> EngineResult<usize> {
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.matches(qualifier, name))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(EngineError::ColumnNotFound(match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            })),
+            _ => {
+                // Ambiguity between identically-named columns from a self-join:
+                // prefer an exact qualifier match, otherwise take the first
+                // occurrence (matching the permissive behaviour of Hive/Spark
+                // for `USING`-style equi joins on the same column name).
+                Ok(matches[0])
+            }
+        }
+    }
+
+    /// Returns the index of a field by bare name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Concatenates two schemas (used by joins), keeping qualifiers.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Returns a copy of this schema with every field re-qualified to `alias`.
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field::qualified(alias, &f.name, f.data_type))
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with all qualifiers removed (used when materialising a
+    /// derived table under a new alias).
+    pub fn without_qualifiers(&self) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field::new(&f.name, f.data_type))
+                .collect(),
+        }
+    }
+
+    /// Field names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.fields.iter().map(|f| f.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("o", "order_id", DataType::Int),
+            Field::qualified("o", "price", DataType::Float),
+            Field::qualified("p", "order_id", DataType::Int),
+            Field::new("city", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn resolves_qualified_and_unqualified() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("p"), "order_id").unwrap(), 2);
+        assert_eq!(s.resolve(None, "city").unwrap(), 3);
+        assert_eq!(s.resolve(None, "price").unwrap(), 1);
+        assert!(s.resolve(None, "missing").is_err());
+        // ambiguous unqualified reference falls back to first match
+        assert_eq!(s.resolve(None, "order_id").unwrap(), 0);
+    }
+
+    #[test]
+    fn resolution_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("O"), "ORDER_ID").unwrap(), 0);
+    }
+
+    #[test]
+    fn requalification_replaces_alias() {
+        let s = schema().with_qualifier("t");
+        assert!(s.fields.iter().all(|f| f.qualifier.as_deref() == Some("t")));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = schema();
+        let joined = s.join(&Schema::new(vec![Field::new("extra", DataType::Bool)]));
+        assert_eq!(joined.len(), 5);
+    }
+}

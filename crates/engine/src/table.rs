@@ -1,0 +1,312 @@
+//! In-memory columnar tables.
+//!
+//! A [`Table`] is a schema plus one `Vec<Value>` per column.  Operators fully
+//! materialise their outputs; the engine targets analytical workloads of up
+//! to a few million rows, which fits comfortably in memory and keeps the
+//! operator implementations simple and auditable.
+
+use crate::error::{EngineError, EngineResult};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+
+/// A column is simply an ordered vector of values.
+pub type Column = Vec<Value>;
+
+/// An in-memory columnar table (also used as the intermediate "frame" between
+/// operators and as the result set returned to clients).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    pub schema: Schema,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Table {
+        let columns = schema.fields.iter().map(|_| Vec::new()).collect();
+        Table { schema, columns }
+    }
+
+    /// Creates a table from a schema and columns, validating shape.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> EngineResult<Table> {
+        if schema.len() != columns.len() {
+            return Err(EngineError::Execution(format!(
+                "schema has {} fields but {} columns were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            if columns.iter().any(|c| c.len() != n) {
+                return Err(EngineError::Execution(
+                    "columns have inconsistent lengths".to_string(),
+                ));
+            }
+        }
+        Ok(Table { schema, columns })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns the value at (row, col).
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// Returns a whole row as a vector of values (cloned).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// Returns the column with the given (bare) name.
+    pub fn column_by_name(&self, name: &str) -> EngineResult<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| EngineError::ColumnNotFound(name.to_string()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Appends another table with a compatible column count (used by INSERT).
+    pub fn append(&mut self, other: &Table) -> EngineResult<()> {
+        if other.num_columns() != self.num_columns() {
+            return Err(EngineError::TypeMismatch(format!(
+                "cannot append table with {} columns into table with {}",
+                other.num_columns(),
+                self.num_columns()
+            )));
+        }
+        for (dst, src) in self.columns.iter_mut().zip(other.columns.iter()) {
+            dst.extend(src.iter().cloned());
+        }
+        Ok(())
+    }
+
+    /// Returns a new table containing only the rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Table {
+        debug_assert_eq!(mask.len(), self.num_rows());
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(mask.iter())
+                    .filter(|(_, keep)| **keep)
+                    .map(|(v, _)| v.clone())
+                    .collect()
+            })
+            .collect();
+        Table { schema: self.schema.clone(), columns }
+    }
+
+    /// Returns a new table containing the rows at `indices` (in that order).
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
+            .collect();
+        Table { schema: self.schema.clone(), columns }
+    }
+
+    /// Returns the first `n` rows.
+    pub fn limit(&self, n: usize) -> Table {
+        let take = n.min(self.num_rows());
+        let indices: Vec<usize> = (0..take).collect();
+        self.take(&indices)
+    }
+
+    /// Approximate memory footprint in bytes, used by the engine profiles to
+    /// model scan cost per engine.
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for c in &self.columns {
+            for v in c {
+                total += match v {
+                    Value::Str(s) => 24 + s.len(),
+                    _ => 16,
+                };
+            }
+        }
+        total
+    }
+
+    /// Renders the table as an ASCII grid, truncated to `max_rows` rows.
+    /// Useful for examples and debugging output.
+    pub fn to_ascii(&self, max_rows: usize) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let shown = self.num_rows().min(max_rows);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for r in 0..shown {
+            let row: Vec<String> = (0..self.num_columns())
+                .map(|c| format_cell(self.value(r, c)))
+                .collect();
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        let header: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{:width$}", n, width = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:width$}", cell, width = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        if self.num_rows() > shown {
+            out.push_str(&format!("... ({} rows total)\n", self.num_rows()));
+        }
+        out
+    }
+}
+
+fn format_cell(v: &Value) -> String {
+    match v {
+        Value::Float(f) => format!("{f:.4}"),
+        other => other.to_string(),
+    }
+}
+
+/// A convenience builder for constructing tables column-by-column, used by
+/// the data generators and tests.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TableBuilder {
+        TableBuilder::default()
+    }
+
+    /// Adds an integer column.
+    pub fn int_column(mut self, name: &str, values: Vec<i64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Int));
+        self.columns.push(values.into_iter().map(Value::Int).collect());
+        self
+    }
+
+    /// Adds a float column.
+    pub fn float_column(mut self, name: &str, values: Vec<f64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Float));
+        self.columns.push(values.into_iter().map(Value::Float).collect());
+        self
+    }
+
+    /// Adds a string column.
+    pub fn str_column(mut self, name: &str, values: Vec<String>) -> Self {
+        self.fields.push(Field::new(name, DataType::Str));
+        self.columns.push(values.into_iter().map(Value::Str).collect());
+        self
+    }
+
+    /// Adds a boolean column.
+    pub fn bool_column(mut self, name: &str, values: Vec<bool>) -> Self {
+        self.fields.push(Field::new(name, DataType::Bool));
+        self.columns.push(values.into_iter().map(Value::Bool).collect());
+        self
+    }
+
+    /// Adds an already-typed column of raw values.
+    pub fn value_column(mut self, name: &str, data_type: DataType, values: Vec<Value>) -> Self {
+        self.fields.push(Field::new(name, data_type));
+        self.columns.push(values);
+        self
+    }
+
+    /// Finalises the table, validating column lengths.
+    pub fn build(self) -> EngineResult<Table> {
+        Table::new(Schema::new(self.fields), self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        TableBuilder::new()
+            .int_column("id", vec![1, 2, 3, 4])
+            .float_column("price", vec![10.0, 20.0, 30.0, 40.0])
+            .str_column(
+                "city",
+                vec!["ann arbor", "detroit", "ann arbor", "chicago"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_table() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.value(1, 2), &Value::Str("detroit".into()));
+    }
+
+    #[test]
+    fn new_rejects_ragged_columns() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let res = Table::new(schema, vec![vec![Value::Int(1)], vec![]]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn filter_and_take_preserve_order() {
+        let t = sample_table();
+        let filtered = t.filter(&[true, false, true, false]);
+        assert_eq!(filtered.num_rows(), 2);
+        assert_eq!(filtered.value(1, 0), &Value::Int(3));
+        let taken = t.take(&[3, 0]);
+        assert_eq!(taken.value(0, 0), &Value::Int(4));
+        assert_eq!(taken.value(1, 0), &Value::Int(1));
+    }
+
+    #[test]
+    fn append_requires_matching_width() {
+        let mut t = sample_table();
+        let other = sample_table();
+        t.append(&other).unwrap();
+        assert_eq!(t.num_rows(), 8);
+        let narrow = TableBuilder::new().int_column("x", vec![1]).build().unwrap();
+        assert!(t.append(&narrow).is_err());
+    }
+
+    #[test]
+    fn ascii_rendering_truncates() {
+        let t = sample_table();
+        let s = t.to_ascii(2);
+        assert!(s.contains("4 rows total"));
+        assert!(s.contains("city"));
+    }
+}

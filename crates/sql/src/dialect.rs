@@ -1,0 +1,161 @@
+//! SQL dialects.
+//!
+//! The paper's "Syntax Changer" is the only VerdictDB module that must know
+//! about engine-specific SQL quirks (quotation marks, function spellings,
+//! restrictions such as Impala disallowing `rand()` in selection predicates).
+//! This module captures those quirks behind the [`Dialect`] trait so adding a
+//! new engine is a small, local change — mirroring the paper's observation
+//! that each driver took only 55–360 lines of code.
+
+/// Engine-specific SQL rendering rules.
+pub trait Dialect: Send + Sync {
+    /// Human-readable dialect name.
+    fn name(&self) -> &'static str;
+
+    /// The character used to quote identifiers that need quoting.
+    fn identifier_quote(&self) -> char {
+        '`'
+    }
+
+    /// The spelling of the uniform-random function returning a value in `[0, 1)`.
+    fn random_function(&self) -> &'static str {
+        "rand()"
+    }
+
+    /// The spelling of the 64-bit hash function used by hashed (universe)
+    /// samples: must map `(expr, modulus)` to an integer in `[0, modulus)`.
+    fn hash_function(&self, expr: &str, modulus: u64) -> String {
+        format!("verdict_hash({expr}, {modulus})")
+    }
+
+    /// Whether `rand()` may appear inside a `WHERE` predicate directly.
+    /// Impala rejects it; the rewriter then pushes the call into a derived
+    /// table projection first.
+    fn allows_rand_in_where(&self) -> bool {
+        true
+    }
+
+    /// Spelling of integer floor division for `floor(x)`.
+    fn floor_function(&self, expr: &str) -> String {
+        format!("floor({expr})")
+    }
+
+    /// Spelling of the modulo operation.
+    fn mod_function(&self, a: &str, b: &str) -> String {
+        format!("({a} % {b})")
+    }
+
+    /// True if the identifier must be quoted in this dialect.
+    fn requires_quoting(&self, ident: &str) -> bool {
+        ident.is_empty()
+            || !ident
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || ident.chars().next().is_some_and(|c| c.is_ascii_digit())
+    }
+
+    /// Quote an identifier if the dialect requires it.
+    fn quote_ident(&self, ident: &str) -> String {
+        if self.requires_quoting(ident) {
+            let q = self.identifier_quote();
+            format!("{q}{ident}{q}")
+        } else {
+            ident.to_string()
+        }
+    }
+}
+
+/// A permissive generic dialect used by the in-memory engine and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenericDialect;
+
+impl Dialect for GenericDialect {
+    fn name(&self) -> &'static str {
+        "generic"
+    }
+}
+
+/// Apache Impala: double-quote-free backtick quoting, `rand()` not allowed in
+/// `WHERE`, `fnv_hash` used for hashing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImpalaDialect;
+
+impl Dialect for ImpalaDialect {
+    fn name(&self) -> &'static str {
+        "impala"
+    }
+
+    fn allows_rand_in_where(&self) -> bool {
+        false
+    }
+
+    fn hash_function(&self, expr: &str, modulus: u64) -> String {
+        format!("abs(fnv_hash({expr})) % {modulus}")
+    }
+}
+
+/// Apache Spark SQL: backtick quoting, `rand()` allowed, `hash` built-in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparkSqlDialect;
+
+impl Dialect for SparkSqlDialect {
+    fn name(&self) -> &'static str {
+        "sparksql"
+    }
+
+    fn hash_function(&self, expr: &str, modulus: u64) -> String {
+        format!("abs(hash({expr})) % {modulus}")
+    }
+
+    fn mod_function(&self, a: &str, b: &str) -> String {
+        format!("pmod({a}, {b})")
+    }
+}
+
+/// Amazon Redshift: double-quote identifier quoting, `random()` spelling,
+/// `strtol(crc32(...), 16)` style hashing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RedshiftDialect;
+
+impl Dialect for RedshiftDialect {
+    fn name(&self) -> &'static str {
+        "redshift"
+    }
+
+    fn identifier_quote(&self) -> char {
+        '"'
+    }
+
+    fn random_function(&self) -> &'static str {
+        "random()"
+    }
+
+    fn hash_function(&self, expr: &str, modulus: u64) -> String {
+        format!("mod(strtol(crc32({expr}), 16), {modulus})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_rules() {
+        let d = GenericDialect;
+        assert_eq!(d.quote_ident("simple_name"), "simple_name");
+        assert_eq!(d.quote_ident("weird col"), "`weird col`");
+        assert_eq!(d.quote_ident("2starts_with_digit"), "`2starts_with_digit`");
+        let r = RedshiftDialect;
+        assert_eq!(r.quote_ident("weird col"), "\"weird col\"");
+    }
+
+    #[test]
+    fn dialect_specific_functions() {
+        assert_eq!(GenericDialect.random_function(), "rand()");
+        assert_eq!(RedshiftDialect.random_function(), "random()");
+        assert!(ImpalaDialect.hash_function("order_id", 100).contains("fnv_hash"));
+        assert!(SparkSqlDialect.hash_function("order_id", 100).contains("hash"));
+        assert!(!ImpalaDialect.allows_rand_in_where());
+        assert!(SparkSqlDialect.allows_rand_in_where());
+    }
+}

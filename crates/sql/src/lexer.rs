@@ -1,0 +1,357 @@
+//! Hand-written SQL tokenizer.
+//!
+//! The lexer is deliberately permissive: keyword recognition is deferred to
+//! the parser so that new keywords never break identifier lexing, and both
+//! backtick and double-quote identifier quoting are accepted (Hive/Spark use
+//! backticks, Redshift/Impala accept double quotes).
+
+use crate::token::{SpannedToken, Token};
+use std::fmt;
+
+/// An error produced while tokenizing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input at which the error occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a SQL string into a vector of spanned tokens terminated by [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        // doubled quote is an escaped quote
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        // backslash escapes (Hive/Spark style)
+                        let esc = bytes[i + 1] as char;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                        i += 2;
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(SpannedToken {
+                    token: Token::StringLit(s),
+                    offset: start,
+                });
+            }
+            '`' | '"' => {
+                let quote = bytes[i];
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated quoted identifier".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::QuotedIdent(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit()) {
+                    i += 1;
+                }
+                // fraction
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Number(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Word(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let tok = match c {
+                    ',' => {
+                        i += 1;
+                        Token::Comma
+                    }
+                    '(' => {
+                        i += 1;
+                        Token::LParen
+                    }
+                    ')' => {
+                        i += 1;
+                        Token::RParen
+                    }
+                    '.' => {
+                        i += 1;
+                        Token::Dot
+                    }
+                    '*' => {
+                        i += 1;
+                        Token::Star
+                    }
+                    '+' => {
+                        i += 1;
+                        Token::Plus
+                    }
+                    '-' => {
+                        i += 1;
+                        Token::Minus
+                    }
+                    '/' => {
+                        i += 1;
+                        Token::Slash
+                    }
+                    '%' => {
+                        i += 1;
+                        Token::Percent
+                    }
+                    ';' => {
+                        i += 1;
+                        Token::Semicolon
+                    }
+                    '=' => {
+                        i += 1;
+                        Token::Eq
+                    }
+                    '|' => {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                            i += 2;
+                            Token::Concat
+                        } else {
+                            return Err(LexError {
+                                message: "unexpected character '|'".into(),
+                                offset: start,
+                            });
+                        }
+                    }
+                    '!' => {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                            i += 2;
+                            Token::Neq
+                        } else {
+                            return Err(LexError {
+                                message: "unexpected character '!'".into(),
+                                offset: start,
+                            });
+                        }
+                    }
+                    '<' => {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                            i += 2;
+                            Token::LtEq
+                        } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                            i += 2;
+                            Token::Neq
+                        } else {
+                            i += 1;
+                            Token::Lt
+                        }
+                    }
+                    '>' => {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                            i += 2;
+                            Token::GtEq
+                        } else {
+                            i += 1;
+                            Token::Gt
+                        }
+                    }
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character {other:?}"),
+                            offset: start,
+                        })
+                    }
+                };
+                tokens.push(SpannedToken { token: tok, offset: start });
+            }
+        }
+    }
+
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT a, b FROM t WHERE a >= 10.5");
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("a".into()),
+                Token::Comma,
+                Token::Word("b".into()),
+                Token::Word("FROM".into()),
+                Token::Word("t".into()),
+                Token::Word("WHERE".into()),
+                Token::Word("a".into()),
+                Token::GtEq,
+                Token::Number("10.5".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escaped_quotes() {
+        let t = toks("SELECT 'it''s ok', 'a\\nb'");
+        assert_eq!(t[1], Token::StringLit("it's ok".into()));
+        assert_eq!(t[3], Token::StringLit("a\nb".into()));
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers_both_styles() {
+        let t = toks("SELECT `weird col`, \"other col\" FROM t");
+        assert_eq!(t[1], Token::QuotedIdent("weird col".into()));
+        assert_eq!(t[3], Token::QuotedIdent("other col".into()));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = toks("SELECT 1 -- trailing\n, 2 /* block */ , 3");
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Comma,
+                Token::Number("2".into()),
+                Token::Comma,
+                Token::Number("3".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let t = toks("a <> b != c <= d >= e < f > g = h");
+        assert!(t.contains(&Token::Neq));
+        assert!(t.contains(&Token::LtEq));
+        assert!(t.contains(&Token::GtEq));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn lexes_scientific_notation() {
+        let t = toks("SELECT 1e6, 2.5E-3");
+        assert_eq!(t[1], Token::Number("1e6".into()));
+        assert_eq!(t[3], Token::Number("2.5E-3".into()));
+    }
+}

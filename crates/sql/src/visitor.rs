@@ -1,0 +1,305 @@
+//! AST visitors and mutators used by the AQP rewriter.
+//!
+//! Two styles are provided:
+//! * read-only walkers ([`walk_expr`], [`walk_query`]) that call a closure on
+//!   every sub-expression, and
+//! * mutating transformers ([`transform_expr`], [`transform_query_tables`])
+//!   that rebuild the tree bottom-up, used to swap base tables for sample
+//!   tables and to flatten comparison subqueries.
+
+use crate::ast::*;
+
+/// Calls `f` on `expr` and every sub-expression (pre-order).
+pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::BinaryOp { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::UnaryOp { expr, .. } => walk_expr(expr, f),
+        Expr::Function(fc) => {
+            for a in &fc.args {
+                walk_expr(a, f);
+            }
+            if let Some(w) = &fc.over {
+                for p in &w.partition_by {
+                    walk_expr(p, f);
+                }
+                for o in &w.order_by {
+                    walk_expr(&o.expr, f);
+                }
+            }
+        }
+        Expr::Case { operand, when_then, else_expr } => {
+            if let Some(op) = operand {
+                walk_expr(op, f);
+            }
+            for (w, t) in when_then {
+                walk_expr(w, f);
+                walk_expr(t, f);
+            }
+            if let Some(e) = else_expr {
+                walk_expr(e, f);
+            }
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, f),
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, f);
+            for e in list {
+                walk_expr(e, f);
+            }
+        }
+        Expr::InSubquery { expr, .. } => walk_expr(expr, f),
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, f);
+            walk_expr(low, f);
+            walk_expr(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, f);
+            walk_expr(pattern, f);
+        }
+        Expr::Cast { expr, .. } => walk_expr(expr, f),
+        Expr::Nested(e) => walk_expr(e, f),
+        Expr::Column { .. }
+        | Expr::Literal(_)
+        | Expr::Wildcard
+        | Expr::ScalarSubquery(_)
+        | Expr::Exists { .. } => {}
+    }
+}
+
+/// Calls `f` on every expression appearing anywhere in the query (select
+/// list, predicates, group by, having, order by, join constraints), and
+/// recursively in derived tables.
+pub fn walk_query(query: &Query, f: &mut dyn FnMut(&Expr)) {
+    for item in &query.projection {
+        if let Some(e) = item.expr() {
+            walk_expr(e, f);
+        }
+    }
+    for twj in &query.from {
+        walk_table_factor(&twj.relation, f);
+        for j in &twj.joins {
+            walk_table_factor(&j.relation, f);
+            if let Some(c) = &j.constraint {
+                walk_expr(c, f);
+            }
+        }
+    }
+    if let Some(s) = &query.selection {
+        walk_expr(s, f);
+    }
+    for g in &query.group_by {
+        walk_expr(g, f);
+    }
+    if let Some(h) = &query.having {
+        walk_expr(h, f);
+    }
+    for o in &query.order_by {
+        walk_expr(&o.expr, f);
+    }
+}
+
+fn walk_table_factor(tf: &TableFactor, f: &mut dyn FnMut(&Expr)) {
+    if let TableFactor::Derived { subquery, .. } = tf {
+        walk_query(subquery, f);
+    }
+}
+
+/// Collects every base-table name referenced anywhere in the query,
+/// including inside derived tables and scalar subqueries in predicates.
+pub fn collect_base_tables(query: &Query) -> Vec<ObjectName> {
+    let mut out = Vec::new();
+    collect_base_tables_inner(query, &mut out);
+    out
+}
+
+fn collect_base_tables_inner(query: &Query, out: &mut Vec<ObjectName>) {
+    for twj in &query.from {
+        collect_from_factor(&twj.relation, out);
+        for j in &twj.joins {
+            collect_from_factor(&j.relation, out);
+        }
+    }
+    let mut subqueries = Vec::new();
+    walk_query(query, &mut |e| {
+        if let Expr::ScalarSubquery(q) | Expr::InSubquery { subquery: q, .. } | Expr::Exists { subquery: q, .. } = e {
+            subqueries.push((**q).clone());
+        }
+    });
+    for q in subqueries {
+        collect_base_tables_inner(&q, out);
+    }
+}
+
+fn collect_from_factor(tf: &TableFactor, out: &mut Vec<ObjectName>) {
+    match tf {
+        TableFactor::Table { name, .. } => {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+        TableFactor::Derived { subquery, .. } => collect_base_tables_inner(subquery, out),
+    }
+}
+
+/// Rebuilds an expression bottom-up, applying `f` to every node after its
+/// children have been transformed.
+pub fn transform_expr(expr: Expr, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
+    let rebuilt = match expr {
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(transform_expr(*left, f)),
+            op,
+            right: Box::new(transform_expr(*right, f)),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp { op, expr: Box::new(transform_expr(*expr, f)) },
+        Expr::Function(mut fc) => {
+            fc.args = fc.args.into_iter().map(|a| transform_expr(a, f)).collect();
+            if let Some(w) = fc.over.take() {
+                fc.over = Some(WindowSpec {
+                    partition_by: w.partition_by.into_iter().map(|e| transform_expr(e, f)).collect(),
+                    order_by: w
+                        .order_by
+                        .into_iter()
+                        .map(|o| OrderByItem { expr: transform_expr(o.expr, f), asc: o.asc })
+                        .collect(),
+                });
+            }
+            Expr::Function(fc)
+        }
+        Expr::Case { operand, when_then, else_expr } => Expr::Case {
+            operand: operand.map(|o| Box::new(transform_expr(*o, f))),
+            when_then: when_then
+                .into_iter()
+                .map(|(w, t)| (transform_expr(w, f), transform_expr(t, f)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(transform_expr(*e, f))),
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(transform_expr(*expr, f)), negated }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(transform_expr(*expr, f)),
+            list: list.into_iter().map(|e| transform_expr(e, f)).collect(),
+            negated,
+        },
+        Expr::InSubquery { expr, subquery, negated } => Expr::InSubquery {
+            expr: Box::new(transform_expr(*expr, f)),
+            subquery,
+            negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(transform_expr(*expr, f)),
+            low: Box::new(transform_expr(*low, f)),
+            high: Box::new(transform_expr(*high, f)),
+            negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(transform_expr(*expr, f)),
+            pattern: Box::new(transform_expr(*pattern, f)),
+            negated,
+        },
+        Expr::Cast { expr, data_type } => {
+            Expr::Cast { expr: Box::new(transform_expr(*expr, f)), data_type }
+        }
+        Expr::Nested(e) => Expr::Nested(Box::new(transform_expr(*e, f))),
+        other => other,
+    };
+    f(rebuilt)
+}
+
+/// Rewrites every base-table reference in the query's FROM clauses (including
+/// derived tables, recursively) through `f`, which maps a table name and its
+/// current alias to an optional replacement table factor.
+pub fn transform_query_tables(
+    query: &mut Query,
+    f: &mut dyn FnMut(&ObjectName, Option<&str>) -> Option<TableFactor>,
+) {
+    for twj in &mut query.from {
+        transform_factor(&mut twj.relation, f);
+        for j in &mut twj.joins {
+            transform_factor(&mut j.relation, f);
+        }
+    }
+}
+
+fn transform_factor(
+    tf: &mut TableFactor,
+    f: &mut dyn FnMut(&ObjectName, Option<&str>) -> Option<TableFactor>,
+) {
+    match tf {
+        TableFactor::Table { name, alias } => {
+            if let Some(replacement) = f(name, alias.as_deref()) {
+                *tf = replacement;
+            }
+        }
+        TableFactor::Derived { subquery, .. } => transform_query_tables(subquery, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn query_of(sql: &str) -> Query {
+        match parse_statement(sql).unwrap() {
+            Statement::Query(q) => *q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collects_base_tables_from_joins_and_subqueries() {
+        let q = query_of(
+            "SELECT * FROM orders o JOIN order_products p ON o.order_id = p.order_id \
+             WHERE price > (SELECT avg(price) FROM products)",
+        );
+        let tables = collect_base_tables(&q);
+        let keys: Vec<String> = tables.iter().map(|t| t.key()).collect();
+        assert_eq!(keys, vec!["orders", "order_products", "products"]);
+    }
+
+    #[test]
+    fn collects_tables_inside_derived_tables() {
+        let q = query_of("SELECT avg(s) FROM (SELECT sum(x) AS s FROM lineitem GROUP BY k) t");
+        let tables = collect_base_tables(&q);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].key(), "lineitem");
+    }
+
+    #[test]
+    fn transform_replaces_table_names() {
+        let mut q = query_of("SELECT count(*) FROM orders AS o JOIN products ON o.pid = products.pid");
+        transform_query_tables(&mut q, &mut |name, alias| {
+            if name.key() == "orders" {
+                Some(TableFactor::Table {
+                    name: ObjectName::bare("orders_sample"),
+                    alias: alias.map(|s| s.to_string()),
+                })
+            } else {
+                None
+            }
+        });
+        let tables = collect_base_tables(&q);
+        let keys: Vec<String> = tables.iter().map(|t| t.key()).collect();
+        assert!(keys.contains(&"orders_sample".to_string()));
+        assert!(keys.contains(&"products".to_string()));
+        assert!(!keys.contains(&"orders".to_string()));
+    }
+
+    #[test]
+    fn transform_expr_rewrites_columns() {
+        let e = Expr::binary(Expr::col("price"), BinaryOp::Gt, Expr::int(10));
+        let out = transform_expr(e, &mut |node| match node {
+            Expr::Column { table: None, name } if name == "price" => Expr::qcol("s", "price"),
+            other => other,
+        });
+        assert_eq!(
+            out,
+            Expr::binary(Expr::qcol("s", "price"), BinaryOp::Gt, Expr::int(10))
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Instacart sales analytics: the paper's motivating "interactive analyst"
+//! scenario.  An analyst dashboards revenue, basket sizes, and distinct-buyer
+//! counts over a large sales fact table; VerdictDB answers every panel from
+//! 1% samples prepared automatically by its default sampling policy
+//! (Appendix F), falling back to exact execution only where AQP cannot help.
+//!
+//! Run with: `cargo run --release --example instacart_sales`
+
+use std::sync::Arc;
+use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+
+fn main() {
+    let engine = Arc::new(Engine::with_seed(2024));
+    verdictdb::data::InstacartGenerator::new(0.5).register(&engine);
+    let conn: Arc<dyn Connection> = engine.clone();
+
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 10_000;
+    config.seed = Some(3);
+    let ctx = VerdictContext::new(conn, config);
+
+    // Let the default policy decide which samples to build (uniform + hashed
+    // on high-cardinality keys + stratified on low-cardinality columns).
+    for table in ["orders", "order_products"] {
+        let created = ctx.create_recommended_samples(table).unwrap();
+        println!("default policy built {} samples for {table}:", created.len());
+        for s in &created {
+            println!(
+                "  {:<55} {:>9} rows  ({})",
+                s.sample_table, s.sample_rows, s.sample_type
+            );
+        }
+    }
+
+    let dashboard = [
+        (
+            "revenue by city",
+            "SELECT city, sum(p.price * p.quantity) AS revenue \
+             FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
+             GROUP BY city ORDER BY revenue DESC LIMIT 8",
+        ),
+        (
+            "average basket line value by day of week",
+            "SELECT order_dow, avg(p.price) AS avg_price, count(*) AS lines \
+             FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
+             GROUP BY order_dow ORDER BY order_dow",
+        ),
+        (
+            "distinct buyers",
+            "SELECT count(DISTINCT user_id) AS buyers FROM orders",
+        ),
+        (
+            "evening premium items",
+            "SELECT count(*) AS n, avg(p.price) AS avg_price \
+             FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
+             WHERE o.order_hour >= 18 AND p.price > 15",
+        ),
+    ];
+
+    for (title, sql) in dashboard {
+        let answer = ctx.execute(sql).unwrap();
+        println!("\n=== {title} ===  (approximate: {})", !answer.exact);
+        println!("{}", answer.table.to_ascii(10));
+        if !answer.errors.is_empty() {
+            let worst = answer.max_relative_error();
+            println!("worst estimated relative error: {:.3}%", 100.0 * worst);
+        }
+        println!("rows scanned: {}", answer.rows_scanned);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: the complete VerdictDB workflow in one file.
+//!
+//! 1. load data into the "underlying database" (the in-memory engine),
+//! 2. build samples offline,
+//! 3. run an analytical query and compare the approximate answer + error
+//!    estimate against the exact answer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+use verdictdb::core::sample::SampleType;
+use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+
+fn main() {
+    // --- 1. the underlying database -------------------------------------
+    let engine = Arc::new(Engine::with_seed(42));
+    verdictdb::data::InstacartGenerator::new(0.5).register(&engine);
+    let conn: Arc<dyn Connection> = engine.clone();
+
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 10_000;
+    config.include_error_columns = true;
+    config.seed = Some(1);
+    let ctx = VerdictContext::new(conn, config);
+
+    // --- 2. offline sample preparation -----------------------------------
+    println!("building samples ...");
+    let uniform = ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+    let stratified = ctx
+        .create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] })
+        .unwrap();
+    println!(
+        "  {} -> {} rows (ratio {:.3}%)",
+        uniform.base_table,
+        uniform.sample_rows,
+        100.0 * uniform.actual_ratio()
+    );
+    println!(
+        "  {} -> {} rows (ratio {:.3}%)",
+        stratified.base_table,
+        stratified.sample_rows,
+        100.0 * stratified.actual_ratio()
+    );
+
+    // --- 3. online query processing ---------------------------------------
+    let sql = "SELECT city, count(*) AS n, avg(p.price) AS avg_price \
+               FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
+               GROUP BY city ORDER BY n DESC LIMIT 5";
+
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+
+    println!("\napproximate answer (exact = {}):", approx.exact);
+    println!("{}", approx.table.to_ascii(10));
+    println!("exact answer:");
+    println!("{}", exact.table.to_ascii(10));
+
+    println!("estimated errors per aggregate column:");
+    for e in &approx.errors {
+        println!(
+            "  {:<12} mean relative error {:.3}%  max {:.3}%",
+            e.column,
+            100.0 * e.mean_relative_error,
+            100.0 * e.max_relative_error
+        );
+    }
+    println!(
+        "\nrows scanned: approximate = {}, exact = {}  (speedup in data read: {:.1}x)",
+        approx.rows_scanned,
+        exact.rows_scanned,
+        exact.rows_scanned as f64 / approx.rows_scanned.max(1) as f64
+    );
+    println!("rewritten SQL sent to the underlying database:");
+    for sql in &approx.rewritten_sql {
+        println!("  {sql}");
+    }
+}

@@ -1,0 +1,58 @@
+//! # verdictdb
+//!
+//! Facade crate for **VerdictDB-rs**, a Rust reproduction of
+//! *"VerdictDB: Universalizing Approximate Query Processing"* (SIGMOD 2018).
+//!
+//! It re-exports the four member crates so applications can depend on a
+//! single crate:
+//!
+//! * [`sql`] — SQL parser, AST, dialects, printer;
+//! * [`engine`] — the in-memory columnar SQL engine used as the underlying
+//!   database substitute (Impala / Spark SQL / Redshift stand-in);
+//! * [`core`] — the VerdictDB middleware itself (sampling, planning,
+//!   variational-subsampling rewriting, answer/error assembly);
+//! * [`data`] — dataset generators and the benchmark workloads.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction methodology.
+
+pub use verdict_core as core;
+pub use verdict_data as data;
+pub use verdict_engine as engine;
+pub use verdict_sql as sql;
+
+pub use verdict_core::{
+    SampleType, VerdictAnswer, VerdictConfig, VerdictContext, VerdictError, VerdictResult,
+};
+pub use verdict_engine::{Connection, Engine, EngineProfile, Table, TableBuilder, Value};
+
+/// Convenience constructor: an in-memory engine preloaded with the
+/// Instacart-like dataset at the given scale, wrapped in a [`VerdictContext`]
+/// ready for sample creation.
+pub fn instacart_context(scale: f64, config: VerdictConfig) -> (std::sync::Arc<Engine>, VerdictContext) {
+    let engine = std::sync::Arc::new(Engine::with_seed(7));
+    verdict_data::InstacartGenerator::new(scale).register(&engine);
+    let conn: std::sync::Arc<dyn Connection> = engine.clone();
+    (engine, VerdictContext::new(conn, config))
+}
+
+/// Convenience constructor: an in-memory engine preloaded with the TPC-H-like
+/// dataset at the given scale factor, wrapped in a [`VerdictContext`].
+pub fn tpch_context(scale: f64, config: VerdictConfig) -> (std::sync::Arc<Engine>, VerdictContext) {
+    let engine = std::sync::Arc::new(Engine::with_seed(11));
+    verdict_data::TpchGenerator::new(scale).register(&engine);
+    let conn: std::sync::Arc<dyn Connection> = engine.clone();
+    (engine, VerdictContext::new(conn, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_constructors_produce_working_contexts() {
+        let (_engine, ctx) = instacart_context(0.005, VerdictConfig::for_testing());
+        let exact = ctx.execute_exact("SELECT count(*) FROM orders").unwrap();
+        assert!(exact.table.value(0, 0).as_i64().unwrap() > 0);
+    }
+}

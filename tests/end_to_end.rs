@@ -1,0 +1,249 @@
+//! End-to-end integration tests: the full middleware stack (parser → planner
+//! → rewriter → in-memory engine → answer rewriter) against exact answers.
+
+use std::sync::Arc;
+use verdictdb::core::sample::SampleType;
+use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+
+fn context(scale: f64) -> VerdictContext {
+    let engine = Arc::new(Engine::with_seed(99));
+    verdictdb::data::InstacartGenerator::new(scale).register(&engine);
+    let conn: Arc<dyn Connection> = engine;
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 5_000;
+    config.sampling_ratio = 0.05;
+    config.io_budget = 0.12;
+    config.include_error_columns = false;
+    config.seed = Some(17);
+    let ctx = VerdictContext::new(conn, config);
+    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+    ctx.create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] })
+        .unwrap();
+    ctx.create_sample("orders", SampleType::Hashed { columns: vec!["order_id".into()] })
+        .unwrap();
+    ctx.create_sample("order_products", SampleType::Hashed { columns: vec!["order_id".into()] })
+        .unwrap();
+    ctx
+}
+
+fn scalar(ctx: &VerdictContext, sql: &str) -> (f64, f64, bool) {
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    (
+        approx.table.value(0, 0).as_f64().unwrap(),
+        exact.table.value(0, 0).as_f64().unwrap(),
+        approx.exact,
+    )
+}
+
+#[test]
+fn global_count_is_estimated_within_a_few_percent() {
+    let ctx = context(0.25);
+    let (approx, exact, was_exact) =
+        scalar(&ctx, "SELECT count(*) AS n FROM order_products");
+    assert!(!was_exact, "query should have been approximated");
+    let rel = (approx - exact).abs() / exact;
+    assert!(rel < 0.05, "relative error {rel:.4} too large ({approx} vs {exact})");
+}
+
+#[test]
+fn global_sum_and_avg_are_estimated_within_a_few_percent() {
+    let ctx = context(0.25);
+    let (approx_sum, exact_sum, _) =
+        scalar(&ctx, "SELECT sum(price * quantity) AS rev FROM order_products");
+    let rel = (approx_sum - exact_sum).abs() / exact_sum;
+    assert!(rel < 0.05, "sum relative error {rel:.4}");
+
+    let (approx_avg, exact_avg, _) = scalar(&ctx, "SELECT avg(price) AS ap FROM order_products");
+    let rel = (approx_avg - exact_avg).abs() / exact_avg;
+    assert!(rel < 0.03, "avg relative error {rel:.4}");
+}
+
+#[test]
+fn selective_predicates_are_respected() {
+    let ctx = context(0.25);
+    let (approx, exact, _) = scalar(
+        &ctx,
+        "SELECT count(*) AS n FROM order_products WHERE price > 10 AND reordered = 1",
+    );
+    let rel = (approx - exact).abs() / exact;
+    assert!(rel < 0.08, "relative error {rel:.4} ({approx} vs {exact})");
+}
+
+#[test]
+fn group_by_query_covers_all_groups_with_small_errors() {
+    let ctx = context(0.25);
+    let sql = "SELECT order_dow, count(*) AS n, avg(price) AS ap \
+               FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
+               GROUP BY order_dow ORDER BY order_dow";
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    assert!(!approx.exact);
+    assert_eq!(approx.table.num_rows(), exact.table.num_rows(), "missing groups");
+    for r in 0..exact.table.num_rows() {
+        assert_eq!(
+            approx.table.value(r, 0).as_i64(),
+            exact.table.value(r, 0).as_i64(),
+            "group order mismatch"
+        );
+        let (a, e) = (
+            approx.table.value(r, 1).as_f64().unwrap(),
+            exact.table.value(r, 1).as_f64().unwrap(),
+        );
+        let rel = (a - e).abs() / e;
+        assert!(rel < 0.25, "group count error {rel:.3} at row {r}");
+    }
+}
+
+#[test]
+fn join_of_two_samples_works_via_universe_samples() {
+    let ctx = context(0.25);
+    let sql = "SELECT count(*) AS n, avg(p.price) AS ap \
+               FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id";
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    assert!(!approx.exact);
+    // both sides should be answered from samples, so far fewer rows are read
+    assert!(approx.rows_scanned * 4 < exact.rows_scanned);
+    let (a, e) = (
+        approx.table.value(0, 0).as_f64().unwrap(),
+        exact.table.value(0, 0).as_f64().unwrap(),
+    );
+    let rel = (a - e).abs() / e;
+    assert!(rel < 0.15, "join count relative error {rel:.4} ({a} vs {e})");
+}
+
+#[test]
+fn count_distinct_is_estimated_from_hashed_sample() {
+    let ctx = context(0.25);
+    let sql = "SELECT count(DISTINCT order_id) AS orders_with_items FROM order_products";
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    assert!(!approx.exact);
+    let (a, e) = (
+        approx.table.value(0, 0).as_f64().unwrap(),
+        exact.table.value(0, 0).as_f64().unwrap(),
+    );
+    let rel = (a - e).abs() / e;
+    assert!(rel < 0.15, "count distinct relative error {rel:.4} ({a} vs {e})");
+}
+
+#[test]
+fn extreme_statistics_are_exact() {
+    let ctx = context(0.1);
+    let sql = "SELECT max(price) AS mx, count(*) AS n FROM order_products";
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    // max must match exactly even though count is approximated
+    assert_eq!(
+        approx.table.value(0, 0).as_f64().unwrap(),
+        exact.table.value(0, 0).as_f64().unwrap()
+    );
+}
+
+#[test]
+fn unsupported_queries_are_passed_through_unchanged() {
+    let ctx = context(0.05);
+    // no aggregates -> passthrough
+    let answer = ctx.execute("SELECT city FROM orders GROUP BY city ORDER BY city LIMIT 3").unwrap();
+    assert!(answer.exact);
+    assert_eq!(answer.table.num_rows(), 3);
+    // DDL -> passthrough
+    let answer = ctx.execute("DROP TABLE IF EXISTS not_a_table").unwrap();
+    assert!(answer.exact);
+}
+
+#[test]
+fn error_columns_are_attached_when_configured() {
+    let engine = Arc::new(Engine::with_seed(3));
+    verdictdb::data::InstacartGenerator::new(0.1).register(&engine);
+    let conn: Arc<dyn Connection> = engine;
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 5_000;
+    config.sampling_ratio = 0.05;
+    config.io_budget = 0.12;
+    config.include_error_columns = true;
+    config.seed = Some(2);
+    let ctx = VerdictContext::new(conn, config);
+    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+
+    let answer = ctx
+        .execute("SELECT count(*) AS n, avg(price) AS ap FROM order_products")
+        .unwrap();
+    assert!(!answer.exact);
+    assert!(answer.table.schema.index_of("n_err").is_some());
+    assert!(answer.table.schema.index_of("ap_err").is_some());
+    // estimated errors should be positive and small relative to the estimates
+    let n = answer.table.value(0, 0).as_f64().unwrap();
+    let n_err = answer.table.value(0, 1).as_f64().unwrap();
+    assert!(n_err > 0.0 && n_err < n * 0.2);
+}
+
+#[test]
+fn accuracy_contract_triggers_exact_rerun() {
+    let engine = Arc::new(Engine::with_seed(8));
+    verdictdb::data::InstacartGenerator::new(0.1).register(&engine);
+    let conn: Arc<dyn Connection> = engine;
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 5_000;
+    config.sampling_ratio = 0.05;
+    config.io_budget = 0.12;
+    // an impossible accuracy requirement: any sampling error violates it
+    config.max_relative_error = Some(1e-9);
+    config.seed = Some(4);
+    let ctx = VerdictContext::new(conn, config);
+    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+
+    let answer = ctx.execute("SELECT avg(price) AS ap FROM order_products").unwrap();
+    assert!(answer.exact, "HAC should have forced an exact rerun");
+    let exact = ctx.execute_exact("SELECT avg(price) AS ap FROM order_products").unwrap();
+    assert_eq!(
+        answer.table.value(0, 0).as_f64().unwrap(),
+        exact.table.value(0, 0).as_f64().unwrap()
+    );
+}
+
+#[test]
+fn high_cardinality_grouping_falls_back_to_exact() {
+    let ctx = context(0.1);
+    // grouping by the join key: every group has a handful of rows, AQP is useless
+    let sql = "SELECT order_id, sum(price) AS s FROM order_products GROUP BY order_id ORDER BY s DESC LIMIT 5";
+    let answer = ctx.execute(sql).unwrap();
+    assert!(answer.exact, "expected fallback for high-cardinality grouping");
+}
+
+#[test]
+fn having_and_order_by_are_applied_to_the_approximate_answer() {
+    let ctx = context(0.25);
+    let sql = "SELECT city, count(*) AS n FROM orders o \
+               INNER JOIN order_products p ON o.order_id = p.order_id \
+               GROUP BY city HAVING count(*) > 100 ORDER BY n DESC";
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    assert!(!approx.exact);
+    // ordering must be descending in the estimate column
+    let col = approx.table.schema.index_of("n").unwrap();
+    let values: Vec<f64> = (0..approx.table.num_rows())
+        .map(|r| approx.table.value(r, col).as_f64().unwrap())
+        .collect();
+    assert!(values.windows(2).all(|w| w[0] >= w[1]));
+    // the approximate row count should be close to the exact one (groups near
+    // the HAVING threshold may differ)
+    let diff = (approx.table.num_rows() as i64 - exact.table.num_rows() as i64).abs();
+    assert!(diff <= 2, "group count differs too much: {diff}");
+}
+
+#[test]
+fn flattened_comparison_subquery_is_answered() {
+    let ctx = context(0.2);
+    let sql = "SELECT count(*) AS n FROM order_products \
+               WHERE price > (SELECT avg(price) FROM order_products)";
+    let approx = ctx.execute(sql).unwrap();
+    let exact = ctx.execute_exact(sql).unwrap();
+    let (a, e) = (
+        approx.table.value(0, 0).as_f64().unwrap(),
+        exact.table.value(0, 0).as_f64().unwrap(),
+    );
+    let rel = (a - e).abs() / e;
+    assert!(rel < 0.1, "relative error {rel:.4}");
+}

@@ -1,0 +1,121 @@
+//! Property-based tests on the statistical and structural invariants of the
+//! middleware: the Lemma 1 staircase guarantee, estimator consistency, SQL
+//! round-tripping of generated statements, and sample-size behaviour.
+
+use proptest::prelude::*;
+use verdictdb::core::estimate::{
+    clt_interval, default_subsample_size, variational_subsampling_interval,
+};
+use verdictdb::core::stats::{build_staircase, lemma1_g, normal_critical_value, staircase_probability};
+use verdictdb::sql::{parse_statement, print_statement, GenericDialect};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 1: with p = f_m(n), the normal-approximated 1-δ lower tail of
+    /// Binomial(n, p) is at least m, and p is never below the naive m/n.
+    #[test]
+    fn staircase_probability_satisfies_lemma1(m in 1u64..500, extra in 1u64..10_000) {
+        let n = m + extra;
+        let delta = 0.001;
+        let p = staircase_probability(m, n, delta);
+        prop_assert!(p > 0.0 && p <= 1.0);
+        prop_assert!(p >= m as f64 / n as f64 - 1e-12);
+        if p < 1.0 {
+            prop_assert!(lemma1_g(p, n as f64, delta) >= m as f64 - 1e-6);
+        }
+    }
+
+    /// The staircase CASE steps are monotone: larger strata get smaller
+    /// sampling probabilities.
+    #[test]
+    fn staircase_steps_are_monotone(m in 10u64..200, max in 1_000u64..1_000_000) {
+        let steps = build_staircase(m, max, 0.001);
+        for w in steps.windows(2) {
+            prop_assert!(w[0].threshold > w[1].threshold);
+            prop_assert!(w[0].probability <= w[1].probability + 1e-9);
+        }
+    }
+
+    /// The variational-subsampling point estimate equals the sample mean and
+    /// its interval contains that mean.
+    #[test]
+    fn variational_estimate_is_the_sample_mean(values in proptest::collection::vec(-1000.0f64..1000.0, 100..2000)) {
+        let ns = default_subsample_size(values.len());
+        let ci = variational_subsampling_interval(&values, ns, 0.95, 42);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((ci.estimate - mean).abs() < 1e-9);
+        prop_assert!(ci.lower <= ci.estimate + 1e-9);
+        prop_assert!(ci.upper >= ci.estimate - 1e-9);
+    }
+
+    /// Variational-subsampling intervals are in the same ballpark as CLT
+    /// intervals (they estimate the same asymptotic distribution).
+    #[test]
+    fn variational_interval_tracks_clt(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..5000)
+            .map(|_| {
+                let z: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+                10.0 + 10.0 * z
+            })
+            .collect();
+        let clt = clt_interval(&values, 0.95);
+        let vs = variational_subsampling_interval(&values, default_subsample_size(values.len()), 0.95, seed);
+        prop_assert!(vs.half_width() < clt.half_width() * 4.0);
+        prop_assert!(vs.half_width() > clt.half_width() / 4.0);
+    }
+
+    /// Normal critical values grow with the confidence level.
+    #[test]
+    fn critical_values_are_monotone(c1 in 0.5f64..0.99, delta in 0.001f64..0.009) {
+        let c2 = (c1 + delta).min(0.999);
+        prop_assert!(normal_critical_value(c2) >= normal_critical_value(c1));
+    }
+
+    /// Printing and re-parsing a parsed statement is a fixpoint (printer
+    /// stability over the grammar of generated SELECTs).
+    #[test]
+    fn printer_is_stable_for_generated_selects(
+        col in "[a-c]",
+        table in "[t-v]",
+        threshold in 0i64..1000,
+        limit in 1u64..50,
+    ) {
+        let sql = format!(
+            "SELECT {col}, count(*) AS cnt FROM {table} WHERE {col} > {threshold} GROUP BY {col} ORDER BY cnt DESC LIMIT {limit}"
+        );
+        let stmt = parse_statement(&sql).unwrap();
+        let printed = print_statement(&stmt, &GenericDialect);
+        let reparsed = parse_statement(&printed).unwrap();
+        prop_assert_eq!(print_statement(&reparsed, &GenericDialect), printed);
+    }
+}
+
+#[test]
+fn sample_tables_shrink_with_the_requested_ratio() {
+    use std::sync::Arc;
+    use verdictdb::core::sample::SampleType;
+    use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+
+    let engine = Arc::new(Engine::with_seed(5));
+    verdictdb::data::InstacartGenerator::new(0.1).register(&engine);
+    let conn: Arc<dyn Connection> = engine;
+    let mut config = VerdictConfig::default();
+    config.min_table_rows = 1_000;
+    let ctx = VerdictContext::new(conn, config);
+
+    let base_rows = ctx.connection().table_row_count("order_products").unwrap() as f64;
+    for ratio in [0.01, 0.05, 0.2] {
+        ctx.drop_samples("order_products").unwrap();
+        let meta = ctx
+            .create_sample_with_ratio("order_products", SampleType::Uniform, ratio)
+            .unwrap();
+        let actual = meta.sample_rows as f64 / base_rows;
+        assert!(
+            (actual - ratio).abs() < ratio * 0.5 + 0.01,
+            "requested ratio {ratio}, got {actual}"
+        );
+    }
+}
