@@ -1,86 +1,53 @@
-//! Criterion benches keyed to the paper's figures and tables.
+//! Timed smoke runs of the paper-figure experiments (no external harness).
 //!
-//! Each group wraps the corresponding harness function from `verdict_bench`
-//! at a reduced scale so `cargo bench` finishes in minutes; the `reproduce`
-//! binary runs the same experiments at larger scale and prints the full
-//! tables (see EXPERIMENTS.md).
+//! Each experiment from `verdict_bench` is run once at a reduced scale and
+//! its wall-clock time reported; the `reproduce` binary runs the same
+//! experiments at full scale with the complete tables.  Run with:
+//!
+//! ```text
+//! cargo bench -p verdict-bench --bench figures
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 use verdict_bench::*;
 
-fn fig4_9_10_speedups(c: &mut Criterion) {
-    let ctx = workload_context(0.05, 0.08, 0.05);
-    let mut group = c.benchmark_group("fig4_9_10_speedup_workload");
-    group.sample_size(10);
-    group.bench_function("all_queries_through_verdictdb", |b| {
-        b.iter(|| speedup_experiment(&ctx))
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    println!("{label:<40} {:>8.2} ms", t0.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+fn main() {
+    println!("# figures — paper-experiment smoke timings (reduced scale)\n");
+    let ctx = timed("workload_context(0.05, 0.08, 0.05)", || {
+        workload_context(0.05, 0.08, 0.05)
     });
-    group.finish();
-}
+    let rows = timed("fig4_9_10 speedup_experiment", || speedup_experiment(&ctx));
+    assert!(!rows.is_empty(), "speedup experiment produced no rows");
 
-fn fig5_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_scaling");
-    group.sample_size(10);
-    group.bench_function("tq6_scale_sweep", |b| b.iter(|| scaling_experiment(&[0.05, 0.1])));
-    group.finish();
-}
-
-fn fig6_integrated(c: &mut Criterion) {
-    let ctx = workload_context(0.05, 0.08, 0.05);
-    let mut group = c.benchmark_group("fig6_integrated_aqp");
-    group.sample_size(10);
-    group.bench_function("verdict_vs_integrated", |b| b.iter(|| integrated_comparison(&ctx)));
-    group.finish();
-}
-
-fn table2_native(c: &mut Criterion) {
-    let ctx = workload_context(0.05, 0.08, 0.05);
-    let mut group = c.benchmark_group("table2_native_approx");
-    group.sample_size(10);
-    group.bench_function("sampling_vs_sketches", |b| b.iter(|| native_approx_comparison(&ctx)));
-    group.finish();
-}
-
-fn fig7_estimation_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_estimation_overhead");
-    group.sample_size(10);
-    group.bench_function("flat_join_nested", |b| b.iter(|| estimation_overhead(10_000, 25)));
-    group.finish();
-}
-
-fn fig8_12_13_14_accuracy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_12_13_14_accuracy");
-    group.sample_size(10);
-    group.bench_function("fig8a_selectivity", |b| {
-        b.iter(|| accuracy::selectivity_sweep(&[0.1, 0.5, 0.9]))
+    timed("fig5 scaling_experiment", || {
+        scaling_experiment(&[0.05, 0.1])
     });
-    group.bench_function("fig8b_12_sample_sizes", |b| {
-        b.iter(|| accuracy::sample_size_sweep(&[10_000, 50_000], 50))
+    timed("fig6 integrated_comparison", || integrated_comparison(&ctx));
+    timed("table2 native_approx_comparison", || {
+        native_approx_comparison(&ctx)
     });
-    group.bench_function("fig13_resample_counts", |b| {
-        b.iter(|| accuracy::resample_count_sweep(50_000, &[10, 50]))
+    timed("fig7 estimation_overhead(10k, b=25)", || {
+        estimation_overhead(10_000, 25)
     });
-    group.bench_function("fig14_subsample_sizes", |b| {
-        b.iter(|| accuracy::subsample_size_sweep(50_000, &[0.25, 0.5, 0.75]))
+    timed("fig8a selectivity_sweep", || {
+        accuracy::selectivity_sweep(&[0.1, 0.5, 0.9])
     });
-    group.finish();
+    timed("fig8b/12 sample_size_sweep", || {
+        accuracy::sample_size_sweep(&[10_000, 50_000], 50)
+    });
+    timed("fig13 resample_count_sweep", || {
+        accuracy::resample_count_sweep(50_000, &[10, 50])
+    });
+    timed("fig14 subsample_size_sweep", || {
+        accuracy::subsample_size_sweep(50_000, &[0.25, 0.5, 0.75])
+    });
+    timed("fig11 preparation_time(0.05)", || preparation_time(0.05));
+    println!("\nall experiments completed");
 }
-
-fn fig11_preparation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_sample_preparation");
-    group.sample_size(10);
-    group.bench_function("prepare_samples_scale_0_05", |b| b.iter(|| preparation_time(0.05)));
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    fig4_9_10_speedups,
-    fig5_scaling,
-    fig6_integrated,
-    table2_native,
-    fig7_estimation_overhead,
-    fig8_12_13_14_accuracy,
-    fig11_preparation
-);
-criterion_main!(benches);

@@ -1,91 +1,228 @@
-//! Criterion micro-benchmarks of the core VerdictDB-rs kernels: the Lemma 1
-//! staircase function, the array-level error estimators, variational-table
-//! construction in SQL, and the full rewrite-execute-assemble pipeline for a
-//! single query.
+//! Scalar-vs-vectorized kernel micro-benchmarks (no external harness).
+//!
+//! Compares the typed-column kernels that power the engine's scan / filter /
+//! aggregate hot path against a scalar reference path that materialises every
+//! cell as a dynamically-typed `Value` — exactly what the engine did before
+//! the typed-columnar refactor.  Run with:
+//!
+//! ```text
+//! cargo bench -p verdict-bench --bench micro_kernels
+//! ```
+//!
+//! Emits a human-readable table on stdout and writes a machine-readable
+//! perf snapshot to `BENCH_kernels.json` at the workspace root (override
+//! the path with the `BENCH_KERNELS_JSON` environment variable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
-use verdict_core::estimate::{
-    bootstrap_interval, default_subsample_size, traditional_subsampling_interval,
-    variational_subsampling_interval,
-};
-use verdict_core::sample::SampleType;
-use verdict_core::stats::staircase_probability;
-use verdict_core::{VerdictConfig, VerdictContext};
-use verdict_data::{InstacartGenerator, SyntheticGenerator};
-use verdict_engine::{Connection, Engine};
+use std::time::Instant;
+use verdict_engine::kernels::{self, group_rows};
+use verdict_engine::{Column, Value};
+use verdict_sql::ast::BinaryOp;
 
-fn bench_staircase(c: &mut Criterion) {
-    c.bench_function("stats/staircase_probability", |b| {
-        b.iter(|| staircase_probability(std::hint::black_box(1000), std::hint::black_box(250_000), 0.001))
-    });
+const ROWS: usize = 1_000_000;
+const REPS: usize = 7;
+
+/// Runs `f` REPS times and returns the median wall-clock time in seconds.
+fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
 }
 
-fn bench_estimators(c: &mut Criterion) {
-    let values = SyntheticGenerator::paper_default(100_000).values();
-    let ns = default_subsample_size(values.len());
-    let mut group = c.benchmark_group("estimators_100k");
-    group.sample_size(10);
-    group.bench_function("variational_subsampling", |b| {
-        b.iter(|| variational_subsampling_interval(&values, ns, 0.95, 1))
-    });
-    group.bench_function("traditional_subsampling_b100", |b| {
-        b.iter(|| traditional_subsampling_interval(&values, 100, ns, 0.95, 1))
-    });
-    group.bench_function("bootstrap_b100", |b| {
-        b.iter(|| bootstrap_interval(&values, 100, 0.95, 1))
-    });
-    group.finish();
-}
-
-fn bench_variational_table_sql(c: &mut Criterion) {
-    let engine = Engine::with_seed(3);
-    SyntheticGenerator::paper_default(50_000).register(&engine);
-    let sql = verdict_core::estimate::sql_baselines::variational_subsampling_sql(
-        "synthetic", "value", Some("grp"), 100,
-    );
-    let mut group = c.benchmark_group("sql");
-    group.sample_size(10);
-    group.bench_function("variational_table_50k_rows", |b| {
-        b.iter(|| engine.execute_sql(&sql).unwrap())
-    });
-    group.finish();
-}
-
-fn bench_end_to_end_query(c: &mut Criterion) {
-    let engine = Arc::new(Engine::with_seed(5));
-    InstacartGenerator::new(0.1).register(&engine);
-    let conn: Arc<dyn Connection> = engine;
-    let mut config = VerdictConfig::default();
-    config.min_table_rows = 10_000;
-    config.sampling_ratio = 0.02;
-    config.io_budget = 0.05;
-    config.seed = Some(1);
-    let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
-
-    let sql = "SELECT count(*) AS n, avg(price) AS ap FROM order_products WHERE price > 5";
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    for (label, exact) in [("verdictdb_approximate", false), ("exact_baseline", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &exact, |b, &exact| {
-            b.iter(|| {
-                if exact {
-                    ctx.execute_exact(sql).unwrap()
-                } else {
-                    ctx.execute(sql).unwrap()
-                }
-            })
+/// Deterministic synthetic columns: a float "price" with ~1% NULLs and an
+/// int "qty", mimicking the shape of the Instacart fact table.
+fn synthetic_columns(n: usize) -> (Column, Column) {
+    let mut price: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut qty: Vec<i64> = Vec::with_capacity(n);
+    let mut state = 0x5a5a5a5au64;
+    for i in 0..n {
+        // splitmix-style scramble, deterministic across runs
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        price.push(if z.is_multiple_of(100) {
+            None
+        } else {
+            Some(1.5 + 30.0 * u)
         });
+        qty.push((i % 7) as i64 + 1);
     }
-    group.finish();
+    (Column::from_opt_f64(price), Column::from_i64(qty))
 }
 
-criterion_group!(
-    benches,
-    bench_staircase,
-    bench_estimators,
-    bench_variational_table_sql,
-    bench_end_to_end_query
-);
-criterion_main!(benches);
+// ---------------------------------------------------------------------------
+// Scalar reference paths: per-cell Value materialisation + enum dispatch,
+// the exact shape of the pre-refactor evaluator.
+// ---------------------------------------------------------------------------
+
+fn scalar_filter_mask(col: &Column, threshold: f64) -> Vec<bool> {
+    let t = Value::Float(threshold);
+    (0..col.len())
+        .map(|i| {
+            col.value_at(i)
+                .sql_cmp(&t)
+                .map(|o| o == std::cmp::Ordering::Greater)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+fn scalar_sum_avg(col: &Column) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for i in 0..col.len() {
+        if let Some(x) = col.value_at(i).as_f64() {
+            sum += x;
+            count += 1;
+        }
+    }
+    (sum, sum / count.max(1) as f64)
+}
+
+fn scalar_grouped_sum(keys: &Column, values: &Column) -> Vec<(verdict_engine::KeyValue, f64)> {
+    let mut map: std::collections::HashMap<verdict_engine::KeyValue, f64> =
+        std::collections::HashMap::new();
+    for i in 0..keys.len() {
+        let k = verdict_engine::KeyValue::from_value(&keys.value_at(i));
+        if let Some(x) = values.value_at(i).as_f64() {
+            *map.entry(k).or_insert(0.0) += x;
+        }
+    }
+    map.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized paths: typed-column kernels.
+// ---------------------------------------------------------------------------
+
+fn vector_filter_mask(col: &Column, threshold: f64) -> Vec<bool> {
+    let t = Column::repeat(&Value::Float(threshold), col.len());
+    kernels::column_to_mask(&kernels::compare(col, BinaryOp::Gt, &t))
+}
+
+fn vector_sum_avg(col: &Column) -> (f64, f64) {
+    let (sum, count) = col.sum_count_f64();
+    (sum, sum / count.max(1) as f64)
+}
+
+fn vector_grouped_sum(keys: &Column, values: &Column) -> Vec<f64> {
+    let grouping = group_rows(std::slice::from_ref(keys), keys.len());
+    let mut sums = vec![0.0f64; grouping.num_groups()];
+    match values.data() {
+        verdict_engine::ColumnData::Float64(v) => {
+            for (i, &g) in grouping.gids.iter().enumerate() {
+                if values.is_valid(i) {
+                    sums[g] += v[i];
+                }
+            }
+        }
+        _ => {
+            for (i, &g) in grouping.gids.iter().enumerate() {
+                if let Some(x) = values.f64_at(i) {
+                    sums[g] += x;
+                }
+            }
+        }
+    }
+    sums
+}
+
+struct Row {
+    name: &'static str,
+    scalar_secs: f64,
+    vector_secs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_secs / self.vector_secs.max(1e-12)
+    }
+}
+
+fn main() {
+    println!("# micro_kernels — scalar Value path vs typed-column kernels ({ROWS} rows, median of {REPS})\n");
+    let (price, qty) = synthetic_columns(ROWS);
+
+    // Sanity: both paths must agree before we time them.
+    assert_eq!(
+        scalar_filter_mask(&price, 15.0),
+        vector_filter_mask(&price, 15.0)
+    );
+    let (ss, sa) = scalar_sum_avg(&price);
+    let (vs, va) = vector_sum_avg(&price);
+    assert!((ss - vs).abs() < 1e-6 && (sa - va).abs() < 1e-9);
+    let scalar_groups = scalar_grouped_sum(&qty, &price);
+    let vector_groups = vector_grouped_sum(&qty, &price);
+    assert_eq!(scalar_groups.len(), vector_groups.len());
+    let scalar_total: f64 = scalar_groups.iter().map(|(_, s)| s).sum();
+    let vector_total: f64 = vector_groups.iter().sum();
+    assert!((scalar_total - vector_total).abs() / scalar_total.abs() < 1e-9);
+
+    let rows = vec![
+        Row {
+            name: "filter_gt",
+            scalar_secs: median_secs(|| scalar_filter_mask(&price, 15.0)),
+            vector_secs: median_secs(|| vector_filter_mask(&price, 15.0)),
+        },
+        Row {
+            name: "sum_avg",
+            scalar_secs: median_secs(|| scalar_sum_avg(&price)),
+            vector_secs: median_secs(|| vector_sum_avg(&price)),
+        },
+        Row {
+            name: "grouped_sum",
+            scalar_secs: median_secs(|| scalar_grouped_sum(&qty, &price)),
+            vector_secs: median_secs(|| vector_grouped_sum(&qty, &price)),
+        },
+    ];
+
+    println!("| kernel | scalar (ms) | vectorized (ms) | speedup |");
+    println!("|--------|------------:|----------------:|--------:|");
+    for r in &rows {
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2}x |",
+            r.name,
+            r.scalar_secs * 1e3,
+            r.vector_secs * 1e3,
+            r.speedup()
+        );
+    }
+
+    let hot = rows
+        .iter()
+        .filter(|r| r.name == "filter_gt" || r.name == "sum_avg")
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
+    println!("\nminimum hot-path (filter + sum/avg) speedup: {hot:.2}x");
+
+    // Machine-readable snapshot, written at the workspace root (cargo bench
+    // runs with the package directory as cwd).
+    let path = std::env::var("BENCH_KERNELS_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"rows\": {ROWS},\n  \"reps\": {REPS},\n  \"kernels\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"scalar_secs\": {:.6}, \"vectorized_secs\": {:.6}, \"speedup\": {:.3} }}{}\n",
+            r.name,
+            r.scalar_secs,
+            r.vector_secs,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"min_hot_path_speedup\": {hot:.3}\n}}\n"));
+    std::fs::write(&path, &json).expect("write perf snapshot");
+    println!("wrote {path}");
+}

@@ -9,7 +9,11 @@ use verdict_bench::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (insta_scale, tpch_scale, ratio) = if quick { (0.05, 0.08, 0.05) } else { (0.3, 0.5, 0.02) };
+    let (insta_scale, tpch_scale, ratio) = if quick {
+        (0.05, 0.08, 0.05)
+    } else {
+        (0.3, 0.5, 0.02)
+    };
 
     println!("# VerdictDB-rs — reproduction run (insta scale {insta_scale}, tpch scale {tpch_scale}, τ = {ratio})\n");
 
@@ -50,14 +54,24 @@ fn main() {
         "maximum speedup: redshift {:.0}x, sparksql {:.0}x, impala {:.0}x",
         max[0], max[1], max[2]
     );
-    let worst_err = rows.iter().map(|r| r.actual_relative_error).fold(0.0, f64::max);
-    println!("worst actual relative error across the workload: {:.2}%\n", 100.0 * worst_err);
+    let worst_err = rows
+        .iter()
+        .map(|r| r.actual_relative_error)
+        .fold(0.0, f64::max);
+    println!(
+        "worst actual relative error across the workload: {:.2}%\n",
+        100.0 * worst_err
+    );
 
     // ----- Figure 5 -------------------------------------------------------------
     println!("## Figure 5 (speedup vs. data size, sample size fixed)\n");
     println!("| scale factor | modeled redshift speedup |");
     println!("|-------------:|-------------------------:|");
-    let scales: Vec<f64> = if quick { vec![0.05, 0.1, 0.2] } else { vec![0.1, 0.25, 0.5, 1.0] };
+    let scales: Vec<f64> = if quick {
+        vec![0.05, 0.1, 0.2]
+    } else {
+        vec![0.1, 0.25, 0.5, 1.0]
+    };
     for (scale, speedup) in scaling_experiment(&scales) {
         println!("| {scale} | {speedup:.1}x |");
     }
@@ -70,7 +84,13 @@ fn main() {
     let mut verdict_wins = 0usize;
     let comparison = integrated_comparison(&ctx);
     for (id, v, s, wins) in &comparison {
-        println!("| {} | {:.0?} | {:.0?} | {} |", id, v, s, if *wins { "yes" } else { "" });
+        println!(
+            "| {} | {:.0?} | {:.0?} | {} |",
+            id,
+            v,
+            s,
+            if *wins { "yes" } else { "" }
+        );
         verdict_wins += usize::from(*wins);
     }
     println!(
@@ -80,8 +100,12 @@ fn main() {
 
     // ----- Table 2 ---------------------------------------------------------------
     println!("## Table 2 (sampling-based vs native approximate aggregates)\n");
-    println!("| aggregate | verdict rows scanned | native rows scanned | verdict err | native err |");
-    println!("|-----------|---------------------:|--------------------:|------------:|-----------:|");
+    println!(
+        "| aggregate | verdict rows scanned | native rows scanned | verdict err | native err |"
+    );
+    println!(
+        "|-----------|---------------------:|--------------------:|------------:|-----------:|"
+    );
     for (label, v_rows, n_rows, v_err, n_err) in native_approx_comparison(&ctx) {
         println!(
             "| {label} | {v_rows} | {n_rows} | {:.2}% | {:.2}% |",
@@ -111,7 +135,11 @@ fn main() {
     println!("\n## Figure 8b / Figure 12 (error-bound accuracy across sample sizes)\n");
     println!("| n | CLT | bootstrap | subsampling | variational |");
     println!("|--:|----:|----------:|------------:|------------:|");
-    let sizes: Vec<usize> = if quick { vec![10_000, 50_000] } else { vec![10_000, 100_000, 1_000_000] };
+    let sizes: Vec<usize> = if quick {
+        vec![10_000, 50_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    };
     for (n, clt, boot, tsub, vsub) in accuracy::sample_size_sweep(&sizes, 100) {
         println!(
             "| {n} | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",

@@ -17,7 +17,9 @@ use verdict_core::estimate::{
 use verdict_core::integrated::{IntegratedAqp, IntegratedSample};
 use verdict_core::sample::SampleType;
 use verdict_core::{VerdictConfig, VerdictContext};
-use verdict_data::{instacart_queries, tpch_queries, InstacartGenerator, SyntheticGenerator, TpchGenerator};
+use verdict_data::{
+    instacart_queries, tpch_queries, InstacartGenerator, SyntheticGenerator, TpchGenerator,
+};
 use verdict_engine::{Connection, Engine, EngineProfile, ExecStats};
 
 /// One per-query row of the speedup/error experiments (Figures 4, 9, 10).
@@ -51,15 +53,42 @@ pub fn workload_context(insta_scale: f64, tpch_scale: f64, sampling_ratio: f64) 
     for table in ["order_products", "lineitem", "tpch_orders", "orders"] {
         let _ = ctx.create_sample(table, SampleType::Uniform);
     }
-    let _ = ctx.create_sample("orders", SampleType::Hashed { columns: vec!["order_id".into()] });
-    let _ = ctx.create_sample("order_products", SampleType::Hashed { columns: vec!["order_id".into()] });
-    let _ = ctx.create_sample("lineitem", SampleType::Hashed { columns: vec!["l_orderkey".into()] });
-    let _ = ctx.create_sample("tpch_orders", SampleType::Hashed { columns: vec!["o_orderkey".into()] });
+    let _ = ctx.create_sample(
+        "orders",
+        SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        },
+    );
+    let _ = ctx.create_sample(
+        "order_products",
+        SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        },
+    );
     let _ = ctx.create_sample(
         "lineitem",
-        SampleType::Stratified { columns: vec!["l_returnflag".into(), "l_linestatus".into()] },
+        SampleType::Hashed {
+            columns: vec!["l_orderkey".into()],
+        },
     );
-    let _ = ctx.create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] });
+    let _ = ctx.create_sample(
+        "tpch_orders",
+        SampleType::Hashed {
+            columns: vec!["o_orderkey".into()],
+        },
+    );
+    let _ = ctx.create_sample(
+        "lineitem",
+        SampleType::Stratified {
+            columns: vec!["l_returnflag".into(), "l_linestatus".into()],
+        },
+    );
+    let _ = ctx.create_sample(
+        "orders",
+        SampleType::Stratified {
+            columns: vec!["city".into()],
+        },
+    );
     ctx
 }
 
@@ -76,8 +105,14 @@ pub fn speedup_experiment(ctx: &VerdictContext) -> Vec<SpeedupRow> {
             Ok(a) => a,
             Err(_) => continue,
         };
-        let exact_stats = ExecStats { rows_scanned: exact.rows_scanned, elapsed: exact.elapsed };
-        let approx_stats = ExecStats { rows_scanned: approx.rows_scanned, elapsed: approx.elapsed };
+        let exact_stats = ExecStats {
+            rows_scanned: exact.rows_scanned,
+            elapsed: exact.elapsed,
+        };
+        let approx_stats = ExecStats {
+            rows_scanned: approx.rows_scanned,
+            elapsed: approx.elapsed,
+        };
         let speedups: Vec<f64> = EngineProfile::all()
             .iter()
             .map(|p| {
@@ -115,12 +150,17 @@ pub fn actual_relative_error(approx: &verdict_engine::Table, exact: &verdict_eng
     let mut exact_by_key: std::collections::HashMap<verdict_engine::KeyValue, usize> =
         std::collections::HashMap::new();
     for r in 0..exact.num_rows() {
-        exact_by_key.insert(verdict_engine::KeyValue::from_value(exact.value(r, 0)), r);
+        exact_by_key.insert(
+            verdict_engine::KeyValue::from_value(&exact.value_at(r, 0)),
+            r,
+        );
     }
     let mut worst: f64 = 0.0;
     for ra in 0..approx.num_rows() {
-        let key = verdict_engine::KeyValue::from_value(approx.value(ra, 0));
-        let Some(&re) = exact_by_key.get(&key) else { continue };
+        let key = verdict_engine::KeyValue::from_value(&approx.value_at(ra, 0));
+        let Some(&re) = exact_by_key.get(&key) else {
+            continue;
+        };
         for c in 0..exact.num_columns().min(approx.num_columns()) {
             let (Some(a), Some(e)) = (approx.value(ra, c).as_f64(), exact.value(re, c).as_f64())
             else {
@@ -138,7 +178,12 @@ pub fn actual_relative_error(approx: &verdict_engine::Table, exact: &verdict_eng
 /// fixed.  Returns `(scale, modeled redshift speedup)` pairs for tq-6.
 pub fn scaling_experiment(scales: &[f64]) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
-    let sql = &tpch_queries().iter().find(|q| q.id == "tq-6").unwrap().sql.clone();
+    let sql = &tpch_queries()
+        .iter()
+        .find(|q| q.id == "tq-6")
+        .unwrap()
+        .sql
+        .clone();
     for &scale in scales {
         let engine = Arc::new(Engine::with_seed(3));
         TpchGenerator::new(scale).register(&engine);
@@ -155,8 +200,14 @@ pub fn scaling_experiment(scales: &[f64]) -> Vec<(f64, f64)> {
         let approx = ctx.execute(sql).unwrap();
         let profile = EngineProfile::redshift();
         let speedup = profile.speedup(
-            &ExecStats { rows_scanned: exact.rows_scanned, elapsed: exact.elapsed },
-            &ExecStats { rows_scanned: approx.rows_scanned, elapsed: approx.elapsed },
+            &ExecStats {
+                rows_scanned: exact.rows_scanned,
+                elapsed: exact.elapsed,
+            },
+            &ExecStats {
+                rows_scanned: approx.rows_scanned,
+                elapsed: approx.elapsed,
+            },
         );
         out.push((scale, speedup));
     }
@@ -178,13 +229,23 @@ pub fn integrated_comparison(ctx: &VerdictContext) -> Vec<(String, Duration, Dur
     }
     let mut rows = Vec::new();
     for q in instacart_queries().iter().chain(tpch_queries().iter()) {
-        let Ok(verdict) = ctx.execute(&q.sql) else { continue };
-        let Ok(snappy) = integrated.execute(&q.sql) else { continue };
+        let Ok(verdict) = ctx.execute(&q.sql) else {
+            continue;
+        };
+        let Ok(snappy) = integrated.execute(&q.sql) else {
+            continue;
+        };
         // model the latency so the fixed middleware overhead matters the same
         // way for both systems
         let profile = EngineProfile::spark_sql();
-        let v = profile.model_latency(&ExecStats { rows_scanned: verdict.rows_scanned, elapsed: verdict.elapsed });
-        let s = profile.model_latency(&ExecStats { rows_scanned: snappy.rows_scanned, elapsed: snappy.elapsed });
+        let v = profile.model_latency(&ExecStats {
+            rows_scanned: verdict.rows_scanned,
+            elapsed: verdict.elapsed,
+        });
+        let s = profile.model_latency(&ExecStats {
+            rows_scanned: snappy.rows_scanned,
+            elapsed: snappy.elapsed,
+        });
         rows.push((q.id.to_string(), v, s, v < s));
     }
     rows
@@ -215,9 +276,13 @@ pub fn native_approx_comparison(ctx: &VerdictContext) -> Vec<(String, u64, u64, 
         (native.table.value(0, 0).as_f64().unwrap() - truth).abs() / truth,
     ));
 
-    let exact_median = conn.execute("SELECT median(price) AS m FROM order_products").unwrap();
+    let exact_median = conn
+        .execute("SELECT median(price) AS m FROM order_products")
+        .unwrap();
     let truth = exact_median.table.value(0, 0).as_f64().unwrap();
-    let verdict = ctx.execute("SELECT median(price) AS m FROM order_products").unwrap();
+    let verdict = ctx
+        .execute("SELECT median(price) AS m FROM order_products")
+        .unwrap();
     let native = conn
         .execute("SELECT approx_median(price) AS m FROM order_products")
         .unwrap();
@@ -234,7 +299,10 @@ pub fn native_approx_comparison(ctx: &VerdictContext) -> Vec<(String, u64, u64, 
 /// Figure 7: middleware runtime of the three SQL error-estimation strategies
 /// over a sample table, for flat / join / nested query shapes.  Returns
 /// `(shape, variational, traditional, consolidated bootstrap)` latencies.
-pub fn estimation_overhead(sample_rows: usize, b: u64) -> Vec<(String, Duration, Duration, Duration)> {
+pub fn estimation_overhead(
+    sample_rows: usize,
+    b: u64,
+) -> Vec<(String, Duration, Duration, Duration)> {
     let engine = Engine::with_seed(17);
     SyntheticGenerator::paper_default(sample_rows).register(&engine);
     // a second sample table for the join shape
@@ -252,25 +320,74 @@ pub fn estimation_overhead(sample_rows: usize, b: u64) -> Vec<(String, Duration,
     // flat
     out.push((
         "flat".to_string(),
-        time(&sql_baselines::variational_subsampling_sql("synthetic", "value", Some("grp"), b)),
-        time(&sql_baselines::traditional_subsampling_sql("synthetic", "value", Some("grp"), b, 0.01)),
-        time(&sql_baselines::consolidated_bootstrap_sql("synthetic", "value", Some("grp"), b)),
+        time(&sql_baselines::variational_subsampling_sql(
+            "synthetic",
+            "value",
+            Some("grp"),
+            b,
+        )),
+        time(&sql_baselines::traditional_subsampling_sql(
+            "synthetic",
+            "value",
+            Some("grp"),
+            b,
+            0.01,
+        )),
+        time(&sql_baselines::consolidated_bootstrap_sql(
+            "synthetic",
+            "value",
+            Some("grp"),
+            b,
+        )),
     ));
     // join: the same estimators over a joined source
     let join_src = "synthetic INNER JOIN synthetic_dim ON synthetic.grp = synthetic_dim.grp";
     out.push((
         "join".to_string(),
-        time(&sql_baselines::variational_subsampling_sql(join_src, "value", Some("grp"), b)),
-        time(&sql_baselines::traditional_subsampling_sql(join_src, "value", Some("grp"), b, 0.01)),
-        time(&sql_baselines::consolidated_bootstrap_sql(join_src, "value", Some("grp"), b)),
+        time(&sql_baselines::variational_subsampling_sql(
+            join_src,
+            "value",
+            Some("grp"),
+            b,
+        )),
+        time(&sql_baselines::traditional_subsampling_sql(
+            join_src,
+            "value",
+            Some("grp"),
+            b,
+            0.01,
+        )),
+        time(&sql_baselines::consolidated_bootstrap_sql(
+            join_src,
+            "value",
+            Some("grp"),
+            b,
+        )),
     ));
     // nested: estimators over an aggregate-in-FROM derived table
-    let nested_src = "(SELECT grp, id, sum(value) AS value FROM synthetic GROUP BY grp, id) AS nested_t";
+    let nested_src =
+        "(SELECT grp, id, sum(value) AS value FROM synthetic GROUP BY grp, id) AS nested_t";
     out.push((
         "nested".to_string(),
-        time(&sql_baselines::variational_subsampling_sql(nested_src, "value", Some("grp"), b)),
-        time(&sql_baselines::traditional_subsampling_sql(nested_src, "value", Some("grp"), b, 0.01)),
-        time(&sql_baselines::consolidated_bootstrap_sql(nested_src, "value", Some("grp"), b)),
+        time(&sql_baselines::variational_subsampling_sql(
+            nested_src,
+            "value",
+            Some("grp"),
+            b,
+        )),
+        time(&sql_baselines::traditional_subsampling_sql(
+            nested_src,
+            "value",
+            Some("grp"),
+            b,
+            0.01,
+        )),
+        time(&sql_baselines::consolidated_bootstrap_sql(
+            nested_src,
+            "value",
+            Some("grp"),
+            b,
+        )),
     ));
     out
 }
@@ -292,19 +409,21 @@ pub mod accuracy {
             // estimated from a sample of size n out of the population
             let population = values.len() as f64;
             let truth_count = population * sel;
-            let sample: Vec<f64> = values.iter().take(n).map(|v| *v).collect();
+            let sample: Vec<f64> = values.iter().take(n).copied().collect();
             // the estimator counts qualifying sample rows scaled to the population
             let qualifying: Vec<f64> = sample
                 .iter()
                 .enumerate()
-                .map(|(i, _)| if (i as f64 / n as f64) < sel { 1.0 } else { 0.0 })
+                .map(|(i, _)| {
+                    if (i as f64 / n as f64) < sel {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
-            let ci = variational_subsampling_interval(
-                &qualifying,
-                default_subsample_size(n),
-                0.95,
-                7,
-            );
+            let ci =
+                variational_subsampling_interval(&qualifying, default_subsample_size(n), 0.95, 7);
             let estimated_rel = ci.half_width() / sel.max(1e-9);
             let groundtruth_rel = 1.96 * ((sel * (1.0 - sel) / n as f64).sqrt()) / sel;
             out.push((sel, estimated_rel, groundtruth_rel));
@@ -323,16 +442,27 @@ pub mod accuracy {
             let rel = |hw: f64| ((hw / 10.0) - truth).abs() / truth;
             let clt = clt_interval(&values, 0.95);
             let boot = bootstrap_interval(&values, b, 0.95, 1);
-            let tsub = traditional_subsampling_interval(&values, b, default_subsample_size(n), 0.95, 2);
-            let vsub = variational_subsampling_interval(&values, default_subsample_size(n), 0.95, 3);
-            out.push((n, rel(clt.half_width()), rel(boot.half_width()), rel(tsub.half_width()), rel(vsub.half_width())));
+            let tsub =
+                traditional_subsampling_interval(&values, b, default_subsample_size(n), 0.95, 2);
+            let vsub =
+                variational_subsampling_interval(&values, default_subsample_size(n), 0.95, 3);
+            out.push((
+                n,
+                rel(clt.half_width()),
+                rel(boot.half_width()),
+                rel(tsub.half_width()),
+                rel(vsub.half_width()),
+            ));
         }
         out
     }
 
     /// Figure 13: accuracy and latency versus the number of resamples b.
     /// Returns `(b, bootstrap err, subsampling err, variational err, bootstrap time, variational time)`.
-    pub fn resample_count_sweep(n: usize, bs: &[usize]) -> Vec<(usize, f64, f64, f64, Duration, Duration)> {
+    pub fn resample_count_sweep(
+        n: usize,
+        bs: &[usize],
+    ) -> Vec<(usize, f64, f64, f64, Duration, Duration)> {
         let values = SyntheticGenerator::paper_default(n).values();
         let truth = 1.96 * 10.0 / (n as f64).sqrt() / 10.0;
         let rel = |hw: f64| ((hw / 10.0) - truth).abs() / truth;
@@ -345,7 +475,14 @@ pub mod accuracy {
             let t1 = Instant::now();
             let vsub = variational_subsampling_interval(&values, n / b.max(1), 0.95, 3);
             let vsub_time = t1.elapsed();
-            out.push((b, rel(boot.half_width()), rel(tsub.half_width()), rel(vsub.half_width()), boot_time, vsub_time));
+            out.push((
+                b,
+                rel(boot.half_width()),
+                rel(tsub.half_width()),
+                rel(vsub.half_width()),
+                boot_time,
+                vsub_time,
+            ));
         }
         out
     }
@@ -384,12 +521,18 @@ pub fn preparation_time(scale: f64) -> Vec<(String, Duration)> {
     let copy_time = t0.elapsed();
 
     let t1 = Instant::now();
-    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+    ctx.create_sample("order_products", SampleType::Uniform)
+        .unwrap();
     let uniform_time = t1.elapsed();
 
     let t2 = Instant::now();
-    ctx.create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] })
-        .unwrap();
+    ctx.create_sample(
+        "orders",
+        SampleType::Stratified {
+            columns: vec!["city".into()],
+        },
+    )
+    .unwrap();
     let stratified_time = t2.elapsed();
 
     vec![
@@ -414,7 +557,10 @@ mod tests {
             .count();
         assert!(sped_up >= 20, "only {sped_up} queries sped up");
         // fallback queries report 1x
-        assert!(rows.iter().filter(|r| r.fell_back).all(|r| r.speedups[0] == 1.0));
+        assert!(rows
+            .iter()
+            .filter(|r| r.fell_back)
+            .all(|r| r.speedups[0] == 1.0));
     }
 
     #[test]
@@ -430,7 +576,10 @@ mod tests {
             if shape == "nested" {
                 continue;
             }
-            assert!(vsub < boot, "{shape}: variational {vsub:?} should beat bootstrap {boot:?}");
+            assert!(
+                vsub < boot,
+                "{shape}: variational {vsub:?} should beat bootstrap {boot:?}"
+            );
         }
     }
 

@@ -14,7 +14,7 @@ use crate::error::{VerdictError, VerdictResult};
 use crate::rewrite::{columns, AggClass, OutputColumn, QueryAnalysis, RewriteOutput};
 use crate::stats::{normal_critical_value, stddev, weighted_mean};
 use std::collections::HashMap;
-use verdict_engine::{DataType, Field, KeyValue, Schema, Table, Value};
+use verdict_engine::{Column, DataType, Field, KeyValue, Schema, Table, Value};
 use verdict_sql::ast::{BinaryOp, Expr, UnaryOp};
 use verdict_sql::dialect::GenericDialect;
 use verdict_sql::printer::print_expr;
@@ -93,12 +93,12 @@ pub fn assemble(
         for row in 0..table.num_rows() {
             let key: Vec<KeyValue> = group_idxs
                 .iter()
-                .map(|&c| KeyValue::from_value(table.value(row, c)))
+                .map(|&c| KeyValue::from_value(&table.value_at(row, c)))
                 .collect();
             let entry = groups.entry(key.clone()).or_insert_with(|| {
                 group_order.push(key.clone());
                 GroupData {
-                    key_values: group_idxs.iter().map(|&c| table.value(row, c).clone()).collect(),
+                    key_values: group_idxs.iter().map(|&c| table.value_at(row, c)).collect(),
                     ..GroupData::default()
                 }
             });
@@ -127,12 +127,12 @@ pub fn assemble(
             for row in 0..table.num_rows() {
                 let key: Vec<KeyValue> = group_idxs
                     .iter()
-                    .map(|&c| KeyValue::from_value(table.value(row, c)))
+                    .map(|&c| KeyValue::from_value(&table.value_at(row, c)))
                     .collect();
                 let entry = groups.entry(key.clone()).or_insert_with(|| {
                     group_order.push(key.clone());
                     GroupData {
-                        key_values: group_idxs.iter().map(|&c| table.value(row, c).clone()).collect(),
+                        key_values: group_idxs.iter().map(|&c| table.value_at(row, c)).collect(),
                         ..GroupData::default()
                     }
                 });
@@ -147,7 +147,9 @@ pub fn assemble(
                 } else {
                     0.0
                 };
-                entry.distinct.insert(spec.index, AggEstimate { estimate, error });
+                entry
+                    .distinct
+                    .insert(spec.index, AggEstimate { estimate, error });
             }
         }
     }
@@ -164,21 +166,29 @@ pub fn assemble(
             for row in 0..table.num_rows() {
                 let key: Vec<KeyValue> = group_idxs
                     .iter()
-                    .map(|&c| KeyValue::from_value(table.value(row, c)))
+                    .map(|&c| KeyValue::from_value(&table.value_at(row, c)))
                     .collect();
                 let entry = groups.entry(key.clone()).or_insert_with(|| {
                     group_order.push(key.clone());
                     GroupData {
-                        key_values: group_idxs.iter().map(|&c| table.value(row, c).clone()).collect(),
+                        key_values: group_idxs.iter().map(|&c| table.value_at(row, c)).collect(),
                         ..GroupData::default()
                     }
                 });
-                entry.extreme.insert(spec.index, table.value(row, col_idx).clone());
+                entry
+                    .extreme
+                    .insert(spec.index, table.value(row, col_idx).clone());
             }
         }
     }
 
-    build_output(analysis, &groups, &group_order, config, rewrite.subsample_count)
+    build_output(
+        analysis,
+        &groups,
+        &group_order,
+        config,
+        rewrite.subsample_count,
+    )
 }
 
 /// How per-subsample estimates of one aggregate are combined into the group's
@@ -247,7 +257,13 @@ fn build_output(
                     } else {
                         0.0
                     };
-                    estimates.insert(spec.index, AggEstimate { estimate, error: z * sigma });
+                    estimates.insert(
+                        spec.index,
+                        AggEstimate {
+                            estimate,
+                            error: z * sigma,
+                        },
+                    );
                 }
                 AggClass::Distinct => {
                     if let Some(e) = data.distinct.get(&spec.index) {
@@ -258,7 +274,10 @@ fn build_output(
                     if let Some(v) = data.extreme.get(&spec.index) {
                         estimates.insert(
                             spec.index,
-                            AggEstimate { estimate: v.as_f64().unwrap_or(f64::NAN), error: 0.0 },
+                            AggEstimate {
+                                estimate: v.as_f64().unwrap_or(f64::NAN),
+                                error: 0.0,
+                            },
                         );
                     }
                 }
@@ -274,9 +293,11 @@ fn build_output(
         });
     }
 
-    // Build output rows.
+    // Build the output as typed columns: group keys keep their inferred
+    // type, aggregate estimates and their `_err` companions are nullable
+    // Float64 columns built without per-cell boxing.
     let mut fields: Vec<Field> = Vec::new();
-    let mut col_values: Vec<Vec<Value>> = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
     let mut error_summaries: Vec<ColumnErrorSummary> = Vec::new();
 
     for out in &analysis.output {
@@ -288,48 +309,42 @@ fn build_output(
                     .and_then(|v| v.data_type())
                     .unwrap_or(DataType::Str);
                 fields.push(Field::new(name, dt));
-                col_values.push(
-                    per_group
-                        .iter()
-                        .map(|(kv, _, _)| kv.get(*index).cloned().unwrap_or(Value::Null))
-                        .collect(),
-                );
+                let keys: Vec<Value> = per_group
+                    .iter()
+                    .map(|(kv, _, _)| kv.get(*index).cloned().unwrap_or(Value::Null))
+                    .collect();
+                columns.push(Column::from_values_typed(dt, &keys));
             }
             OutputColumn::Aggregate { expr, name } => {
-                let mut values = Vec::with_capacity(per_group.len());
-                let mut errors = Vec::with_capacity(per_group.len());
+                let mut values: Vec<Option<f64>> = Vec::with_capacity(per_group.len());
+                let mut errors: Vec<Option<f64>> = Vec::with_capacity(per_group.len());
                 let mut rel_errors = Vec::new();
                 for (key_values, estimates, data) in &per_group {
-                    let est = evaluate_aggregate_output(
-                        expr,
-                        analysis,
-                        key_values,
-                        estimates,
-                        data,
-                        z,
-                    );
+                    let est =
+                        evaluate_aggregate_output(expr, analysis, key_values, estimates, data, z);
                     match est {
                         Some(e) => {
-                            values.push(Value::Float(e.estimate));
-                            errors.push(Value::Float(e.error));
+                            values.push(Some(e.estimate));
+                            errors.push(Some(e.error));
                             rel_errors.push(e.relative_error());
                         }
                         None => {
-                            values.push(Value::Null);
-                            errors.push(Value::Null);
+                            values.push(None);
+                            errors.push(None);
                         }
                     }
                 }
                 fields.push(Field::new(name, DataType::Float));
-                col_values.push(values);
+                columns.push(Column::from_opt_f64(values));
                 if config.include_error_columns {
                     fields.push(Field::new(&format!("{name}_err"), DataType::Float));
-                    col_values.push(errors);
+                    columns.push(Column::from_opt_f64(errors));
                 }
                 if !rel_errors.is_empty() {
                     error_summaries.push(ColumnErrorSummary {
                         column: name.clone(),
-                        mean_relative_error: rel_errors.iter().sum::<f64>() / rel_errors.len() as f64,
+                        mean_relative_error: rel_errors.iter().sum::<f64>()
+                            / rel_errors.len() as f64,
                         max_relative_error: rel_errors.iter().cloned().fold(0.0, f64::max),
                     });
                 }
@@ -337,7 +352,7 @@ fn build_output(
         }
     }
 
-    let mut table = Table::new(Schema::new(fields), col_values)
+    let mut table = Table::new(Schema::new(fields), columns)
         .map_err(|e| VerdictError::Answer(e.to_string()))?;
 
     // ORDER BY and LIMIT, evaluated on the assembled output.
@@ -351,7 +366,7 @@ fn build_output(
         indices.sort_by(|&a, &b| {
             for (key, item) in keys.iter().zip(analysis.order_by.iter()) {
                 if let Some(col) = key {
-                    let ord = table.value(a, *col).total_cmp(table.value(b, *col));
+                    let ord = table.columns[*col].cmp_rows(a, b);
                     let ord = if item.asc { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -366,7 +381,10 @@ fn build_output(
         table = table.limit(limit as usize);
     }
 
-    Ok(AssembledAnswer { table, errors: error_summaries })
+    Ok(AssembledAnswer {
+        table,
+        errors: error_summaries,
+    })
 }
 
 /// Finds the output column an ORDER BY expression refers to (by alias, by
@@ -459,17 +477,26 @@ fn evaluate_aggregate_output(
             } else {
                 0.0
             };
-            return Some(AggEstimate { estimate: value, error: z * sigma });
+            return Some(AggEstimate {
+                estimate: value,
+                error: z * sigma,
+            });
         }
     }
 
     // Fallback error: exact when the expression is a single aggregate call.
     let error = if specs_in_expr.len() == 1 && expr_is_single_call(expr) {
-        estimates.get(&specs_in_expr[0]).map(|e| e.error).unwrap_or(0.0)
+        estimates
+            .get(&specs_in_expr[0])
+            .map(|e| e.error)
+            .unwrap_or(0.0)
     } else {
         0.0
     };
-    Some(AggEstimate { estimate: value, error })
+    Some(AggEstimate {
+        estimate: value,
+        error,
+    })
 }
 
 fn evaluate_predicate(
@@ -524,7 +551,8 @@ fn expr_contains_call(expr: &Expr, call: &verdict_sql::ast::FunctionCall) -> boo
 }
 
 fn expr_is_single_call(expr: &Expr) -> bool {
-    matches!(expr, Expr::Function(_)) || matches!(expr, Expr::Nested(inner) if expr_is_single_call(inner))
+    matches!(expr, Expr::Function(_))
+        || matches!(expr, Expr::Nested(inner) if expr_is_single_call(inner))
 }
 
 /// A tiny constant-expression evaluator used to recombine aggregate estimates
@@ -544,12 +572,21 @@ pub fn eval_const(expr: &Expr, lookup: &dyn Fn(&Expr) -> Option<Value>) -> Optio
             verdict_sql::ast::Literal::String(s) => Value::Str(s.clone()),
         }),
         Expr::Nested(e) => eval_const(e, lookup),
-        Expr::UnaryOp { op: UnaryOp::Minus, expr } => {
+        Expr::UnaryOp {
+            op: UnaryOp::Minus,
+            expr,
+        } => {
             let v = eval_const(expr, lookup)?.as_f64()?;
             Some(Value::Float(-v))
         }
-        Expr::UnaryOp { op: UnaryOp::Plus, expr } => eval_const(expr, lookup),
-        Expr::UnaryOp { op: UnaryOp::Not, expr } => {
+        Expr::UnaryOp {
+            op: UnaryOp::Plus,
+            expr,
+        } => eval_const(expr, lookup),
+        Expr::UnaryOp {
+            op: UnaryOp::Not,
+            expr,
+        } => {
             let v = eval_const(expr, lookup)?.as_bool()?;
             Some(Value::Bool(!v))
         }
@@ -633,9 +670,15 @@ mod tests {
 
     #[test]
     fn relative_error_is_zero_for_zero_estimate() {
-        let e = AggEstimate { estimate: 0.0, error: 5.0 };
+        let e = AggEstimate {
+            estimate: 0.0,
+            error: 5.0,
+        };
         assert_eq!(e.relative_error(), 0.0);
-        let e = AggEstimate { estimate: 100.0, error: 5.0 };
+        let e = AggEstimate {
+            estimate: 100.0,
+            error: 5.0,
+        };
         assert!((e.relative_error() - 0.05).abs() < 1e-12);
     }
 }

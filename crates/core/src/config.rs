@@ -6,10 +6,8 @@
 //! it is enforced *after* execution (High-level Accuracy Contract): if the
 //! estimated error violates the requirement, the query is re-run exactly.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration for a [`crate::VerdictContext`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerdictConfig {
     /// Maximum fraction of each large table that query processing may read
     /// (paper default: 2%).

@@ -56,7 +56,10 @@ pub struct VerdictAnswer {
 impl VerdictAnswer {
     /// The largest estimated relative error across all aggregate columns.
     pub fn max_relative_error(&self) -> f64 {
-        self.errors.iter().map(|e| e.max_relative_error).fold(0.0, f64::max)
+        self.errors
+            .iter()
+            .map(|e| e.max_relative_error)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -80,7 +83,12 @@ impl VerdictContext {
         dialect: Box<dyn Dialect>,
         config: VerdictConfig,
     ) -> VerdictContext {
-        VerdictContext { conn, dialect, config, meta: MetaStore::new() }
+        VerdictContext {
+            conn,
+            dialect,
+            config,
+            meta: MetaStore::new(),
+        }
     }
 
     /// The active configuration.
@@ -171,7 +179,9 @@ impl VerdictContext {
                 .map(|c| format!("ndv({c}) AS {c}"))
                 .collect::<Vec<_>>()
                 .join(", ");
-            let result = self.conn.execute(&format!("SELECT {ndv_list} FROM {base_table}"))?;
+            let result = self
+                .conn
+                .execute(&format!("SELECT {ndv_list} FROM {base_table}"))?;
             for (i, c) in columns.iter().enumerate() {
                 cardinalities.push(ColumnCardinality {
                     column: c.clone(),
@@ -214,7 +224,10 @@ impl VerdictContext {
 
     /// Reports whether samples of a base table are stale with respect to its
     /// current row count.
-    pub fn sample_staleness(&self, base_table: &str) -> VerdictResult<Vec<(SampleMeta, Staleness)>> {
+    pub fn sample_staleness(
+        &self,
+        base_table: &str,
+    ) -> VerdictResult<Vec<(SampleMeta, Staleness)>> {
         let current = self.conn.table_row_count(base_table)?;
         Ok(self
             .meta
@@ -342,7 +355,7 @@ impl VerdictContext {
                     for row in 0..table.num_rows() {
                         let key: Vec<verdict_engine::KeyValue> = group_idxs
                             .iter()
-                            .map(|&c| verdict_engine::KeyValue::from_value(table.value(row, c)))
+                            .map(|&c| verdict_engine::KeyValue::from_value(&table.value_at(row, c)))
                             .collect();
                         groups.insert(key);
                     }
@@ -431,7 +444,9 @@ impl VerdictContext {
     // ------------------------------------------------------------------
 
     fn column_names(&self, table: &str) -> VerdictResult<Vec<String>> {
-        let result = self.conn.execute(&format!("SELECT * FROM {table} LIMIT 1"))?;
+        let result = self
+            .conn
+            .execute(&format!("SELECT * FROM {table} LIMIT 1"))?;
         Ok(result
             .table
             .schema

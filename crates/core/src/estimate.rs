@@ -58,7 +58,12 @@ pub fn clt_interval(sample: &[f64], confidence: f64) -> ConfidenceInterval {
     let m = mean(sample);
     let z = normal_critical_value(confidence);
     let half = z * stddev(sample) / (sample.len().max(1) as f64).sqrt();
-    ConfidenceInterval { estimate: m, lower: m - half, upper: m + half, confidence }
+    ConfidenceInterval {
+        estimate: m,
+        lower: m - half,
+        upper: m + half,
+        confidence,
+    }
 }
 
 /// Classical bootstrap: `b` resamples of size `n` drawn with replacement.
@@ -273,7 +278,12 @@ mod tests {
         let clt = clt_interval(&sample, 0.95);
         let boot = bootstrap_interval(&sample, 100, 0.95, 2);
         let tsub = traditional_subsampling_interval(&sample, 100, 200, 0.95, 3);
-        let vsub = variational_subsampling_interval(&sample, default_subsample_size(sample.len()), 0.95, 4);
+        let vsub = variational_subsampling_interval(
+            &sample,
+            default_subsample_size(sample.len()),
+            0.95,
+            4,
+        );
         for ci in [&clt, &boot, &tsub, &vsub] {
             assert!((ci.estimate - 10.0).abs() < 0.3, "estimate {}", ci.estimate);
             // all intervals should be in the same ballpark as the CLT interval
@@ -291,7 +301,8 @@ mod tests {
         let trials = 200;
         for t in 0..trials {
             let sample = synthetic_sample(4_000, true_mean, 10.0, 100 + t);
-            let ci = variational_subsampling_interval(&sample, default_subsample_size(4_000), 0.95, t);
+            let ci =
+                variational_subsampling_interval(&sample, default_subsample_size(4_000), 0.95, t);
             if ci.contains(true_mean) {
                 covered += 1;
             }
@@ -307,8 +318,10 @@ mod tests {
     fn interval_width_shrinks_with_sample_size() {
         let small = synthetic_sample(1_000, 10.0, 10.0, 5);
         let large = synthetic_sample(100_000, 10.0, 10.0, 6);
-        let ci_small = variational_subsampling_interval(&small, default_subsample_size(1_000), 0.95, 7);
-        let ci_large = variational_subsampling_interval(&large, default_subsample_size(100_000), 0.95, 8);
+        let ci_small =
+            variational_subsampling_interval(&small, default_subsample_size(1_000), 0.95, 7);
+        let ci_large =
+            variational_subsampling_interval(&large, default_subsample_size(100_000), 0.95, 8);
         assert!(ci_large.half_width() < ci_small.half_width());
     }
 
@@ -321,9 +334,16 @@ mod tests {
 
     #[test]
     fn sql_baselines_parse_and_scale_with_b() {
-        let v = sql_baselines::variational_subsampling_sql("orders_sample", "price", Some("city"), 100);
+        let v =
+            sql_baselines::variational_subsampling_sql("orders_sample", "price", Some("city"), 100);
         verdict_sql::parse_statement(&v).unwrap();
-        let t = sql_baselines::traditional_subsampling_sql("orders_sample", "price", Some("city"), 10, 0.01);
+        let t = sql_baselines::traditional_subsampling_sql(
+            "orders_sample",
+            "price",
+            Some("city"),
+            10,
+            0.01,
+        );
         verdict_sql::parse_statement(&t).unwrap();
         let c = sql_baselines::consolidated_bootstrap_sql("orders_sample", "price", None, 10);
         verdict_sql::parse_statement(&c).unwrap();

@@ -47,7 +47,9 @@ pub fn flatten_comparison_subqueries(mut query: Query) -> Query {
     if let Some(first) = query.from.first_mut() {
         first.joins.extend(extra_joins);
     }
-    query.selection = conjuncts.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b));
+    query.selection = conjuncts
+        .into_iter()
+        .reduce(|a, b| Expr::binary(a, BinaryOp::And, b));
     query
 }
 
@@ -83,7 +85,12 @@ fn try_flatten(sub: &Query, counter: usize) -> Option<Flattened> {
     let mut residual: Vec<Expr> = Vec::new();
     for c in conjuncts {
         if corr.is_none() {
-            if let Expr::BinaryOp { left, op: BinaryOp::Eq, right } = &c {
+            if let Expr::BinaryOp {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } = &c
+            {
                 let classify = |e: &Expr| -> Option<(bool, String, Expr)> {
                     if let Expr::Column { table, name } = e {
                         let is_inner = match table {
@@ -120,13 +127,21 @@ fn try_flatten(sub: &Query, counter: usize) -> Option<Flattened> {
         distinct: false,
         projection: vec![
             SelectItem::Expr(Expr::col(corr_col.clone())),
-            SelectItem::ExprWithAlias { expr: agg_expr, alias: value_alias.clone() },
+            SelectItem::ExprWithAlias {
+                expr: agg_expr,
+                alias: value_alias.clone(),
+            },
         ],
         from: vec![TableWithJoins {
-            relation: TableFactor::Table { name: inner_name, alias: None },
+            relation: TableFactor::Table {
+                name: inner_name,
+                alias: None,
+            },
             joins: Vec::new(),
         }],
-        selection: residual.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b)),
+        selection: residual
+            .into_iter()
+            .reduce(|a, b| Expr::binary(a, BinaryOp::And, b)),
         group_by: vec![Expr::col(corr_col.clone())],
         having: None,
         order_by: Vec::new(),
@@ -134,7 +149,10 @@ fn try_flatten(sub: &Query, counter: usize) -> Option<Flattened> {
     };
 
     let join = Join {
-        relation: TableFactor::Derived { subquery: Box::new(derived), alias: Some(flat_alias.clone()) },
+        relation: TableFactor::Derived {
+            subquery: Box::new(derived),
+            alias: Some(flat_alias.clone()),
+        },
         join_type: JoinType::Inner,
         constraint: Some(Expr::binary(
             Expr::qcol(flat_alias.clone(), corr_col),
@@ -142,12 +160,19 @@ fn try_flatten(sub: &Query, counter: usize) -> Option<Flattened> {
             outer_ref,
         )),
     };
-    Some(Flattened { join, replacement: Expr::qcol(flat_alias, value_alias) })
+    Some(Flattened {
+        join,
+        replacement: Expr::qcol(flat_alias, value_alias),
+    })
 }
 
 fn split_and(expr: Expr) -> Vec<Expr> {
     match expr {
-        Expr::BinaryOp { left, op: BinaryOp::And, right } => {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
             let mut out = split_and(*left);
             out.extend(split_and(*right));
             out
@@ -179,7 +204,10 @@ mod tests {
         let sql = print_query(&flat, &GenericDialect);
         assert!(sql.contains("GROUP BY product"), "{sql}");
         assert!(sql.contains("verdict_flat_0"), "{sql}");
-        assert!(sql.contains("t2.price > verdict_flat_0.verdict_flat_val_0"), "{sql}");
+        assert!(
+            sql.contains("t2.price > verdict_flat_0.verdict_flat_val_0"),
+            "{sql}"
+        );
         assert!(!sql.to_lowercase().contains("where product ="), "{sql}");
         // the flattened query must re-parse
         verdict_sql::parse_statement(&sql).unwrap();
@@ -187,9 +215,7 @@ mod tests {
 
     #[test]
     fn uncorrelated_subqueries_are_left_untouched() {
-        let q = query(
-            "SELECT count(*) FROM orders WHERE price > (SELECT avg(price) FROM orders)",
-        );
+        let q = query("SELECT count(*) FROM orders WHERE price > (SELECT avg(price) FROM orders)");
         let flat = flatten_comparison_subqueries(q.clone());
         assert_eq!(flat, q);
     }

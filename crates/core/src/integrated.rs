@@ -49,12 +49,16 @@ pub struct IntegratedAqp {
 impl IntegratedAqp {
     /// Creates the baseline over the same underlying engine VerdictDB uses.
     pub fn new(conn: Arc<dyn Connection>) -> IntegratedAqp {
-        IntegratedAqp { conn, samples: HashMap::new() }
+        IntegratedAqp {
+            conn,
+            samples: HashMap::new(),
+        }
     }
 
     /// Registers a (stratified or uniform) sample the integrated engine may use.
     pub fn register_sample(&mut self, sample: IntegratedSample) {
-        self.samples.insert(sample.base_table.to_ascii_lowercase(), sample);
+        self.samples
+            .insert(sample.base_table.to_ascii_lowercase(), sample);
     }
 
     /// Executes a query, answering from at most one sample (the first sampled
@@ -63,7 +67,9 @@ impl IntegratedAqp {
         let start = Instant::now();
         let stmt = verdict_sql::parse_statement(sql)?;
         let Statement::Query(mut query) = stmt else {
-            return Err(VerdictError::Unsupported("only SELECT queries are supported".into()));
+            return Err(VerdictError::Unsupported(
+                "only SELECT queries are supported".into(),
+            ));
         };
 
         // Substitute the first sampled relation only.
@@ -76,7 +82,11 @@ impl IntegratedAqp {
             used = Some(sample.clone());
             Some(TableFactor::Table {
                 name: ObjectName::bare(sample.sample_table.clone()),
-                alias: Some(alias.map(|a| a.to_string()).unwrap_or_else(|| name.base_name().to_string())),
+                alias: Some(
+                    alias
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|| name.base_name().to_string()),
+                ),
             })
         });
 
@@ -116,11 +126,13 @@ impl IntegratedAqp {
 fn scale_aggregates(expr: Expr, scale: f64) -> Expr {
     transform_expr(expr, &mut |e| match &e {
         Expr::Function(f)
-            if f.over.is_none()
-                && !f.distinct
-                && (f.name == "count" || f.name == "sum") =>
+            if f.over.is_none() && !f.distinct && (f.name == "count" || f.name == "sum") =>
         {
-            Expr::binary(Expr::Nested(Box::new(e.clone())), verdict_sql::ast::BinaryOp::Multiply, Expr::float(scale))
+            Expr::binary(
+                Expr::Nested(Box::new(e.clone())),
+                verdict_sql::ast::BinaryOp::Multiply,
+                Expr::float(scale),
+            )
         }
         _ => e,
     })
@@ -142,9 +154,7 @@ mod tests {
             .unwrap();
         engine.register_table("orders", table);
         engine
-            .execute_sql(
-                "CREATE TABLE orders_sample AS SELECT * FROM orders WHERE rand() < 0.05",
-            )
+            .execute_sql("CREATE TABLE orders_sample AS SELECT * FROM orders WHERE rand() < 0.05")
             .unwrap();
         let conn: Arc<dyn Connection> = Arc::new(engine);
         let mut aqp = IntegratedAqp::new(Arc::clone(&conn));
@@ -178,7 +188,9 @@ mod tests {
     #[test]
     fn unsampled_tables_run_exactly() {
         let (_, aqp) = setup();
-        let answer = aqp.execute("SELECT count(*) AS c FROM orders_sample").unwrap();
+        let answer = aqp
+            .execute("SELECT count(*) AS c FROM orders_sample")
+            .unwrap();
         assert_eq!(answer.sampled_relations, 0);
         assert!(answer.table.value(0, 0).as_i64().unwrap() > 0);
     }

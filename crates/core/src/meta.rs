@@ -81,7 +81,10 @@ impl MetaStore {
             Some(f) => f,
             None => return Ok(()),
         };
-        conn.execute(&format!("CREATE TABLE {META_TABLE} AS {}", row_select(first)))?;
+        conn.execute(&format!(
+            "CREATE TABLE {META_TABLE} AS {}",
+            row_select(first)
+        ))?;
         for meta in iter {
             conn.execute(&format!("INSERT INTO {META_TABLE} {}", row_select(meta)))?;
         }
@@ -97,10 +100,9 @@ impl MetaStore {
         let result = conn.execute(&format!("SELECT * FROM {META_TABLE}"))?;
         let table = result.table;
         let col = |name: &str| -> VerdictResult<usize> {
-            table
-                .schema
-                .index_of(name)
-                .ok_or_else(|| VerdictError::Metadata(format!("missing column {name} in {META_TABLE}")))
+            table.schema.index_of(name).ok_or_else(|| {
+                VerdictError::Metadata(format!("missing column {name} in {META_TABLE}"))
+            })
         };
         let (bi, si, ti, ci, ri, sri, bri) = (
             col("base_table")?,
@@ -133,7 +135,9 @@ impl MetaStore {
                 "hashed" => SampleType::Hashed { columns },
                 "stratified" => SampleType::Stratified { columns },
                 other => {
-                    return Err(VerdictError::Metadata(format!("unknown sample type {other}")));
+                    return Err(VerdictError::Metadata(format!(
+                        "unknown sample type {other}"
+                    )));
                 }
             };
             let meta = SampleMeta {
@@ -178,10 +182,12 @@ mod tests {
         SampleMeta {
             base_table: base.into(),
             sample_table: format!("verdict_sample_{base}_{tag}"),
-            sample_type: if tag % 2 == 0 {
+            sample_type: if tag.is_multiple_of(2) {
                 SampleType::Uniform
             } else {
-                SampleType::Stratified { columns: vec!["city".into()] }
+                SampleType::Stratified {
+                    columns: vec!["city".into()],
+                }
             },
             ratio: 0.01,
             sample_rows: 100 + tag as u64,

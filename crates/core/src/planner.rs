@@ -148,7 +148,8 @@ impl<'a> SamplePlanner<'a> {
                 })
                 .collect();
             let candidate = self.evaluate(choices, ctx);
-            let within_budget = candidate.io_cost <= budget_rows.max(1) || !candidate.uses_samples();
+            let within_budget =
+                candidate.io_cost <= budget_rows.max(1) || !candidate.uses_samples();
             if within_budget {
                 let better = match &best {
                     None => true,
@@ -180,7 +181,10 @@ impl<'a> SamplePlanner<'a> {
             self.evaluate(
                 tables
                     .iter()
-                    .map(|t| TableChoice { table_ref: t.clone(), sample: None })
+                    .map(|t| TableChoice {
+                        table_ref: t.clone(),
+                        sample: None,
+                    })
                     .collect(),
                 ctx,
             )
@@ -201,9 +205,15 @@ impl<'a> SamplePlanner<'a> {
         let hashed_on_join: Vec<&TableChoice> = choices
             .iter()
             .filter(|c| match &c.sample {
-                Some(SampleMeta { sample_type: SampleType::Hashed { columns }, .. }) => columns
-                    .iter()
-                    .all(|col| c.table_ref.join_columns.iter().any(|j| j.eq_ignore_ascii_case(col))),
+                Some(SampleMeta {
+                    sample_type: SampleType::Hashed { columns },
+                    ..
+                }) => columns.iter().all(|col| {
+                    c.table_ref
+                        .join_columns
+                        .iter()
+                        .any(|j| j.eq_ignore_ascii_case(col))
+                }),
                 _ => false,
             })
             .collect();
@@ -237,7 +247,10 @@ impl<'a> SamplePlanner<'a> {
         // Advantage factors.
         for c in &choices {
             match &c.sample {
-                Some(SampleMeta { sample_type: SampleType::Stratified { columns }, .. }) => {
+                Some(SampleMeta {
+                    sample_type: SampleType::Stratified { columns },
+                    ..
+                }) => {
                     let covers_groups = !ctx.group_columns.is_empty()
                         && ctx
                             .group_columns
@@ -247,7 +260,10 @@ impl<'a> SamplePlanner<'a> {
                         score *= 2.0;
                     }
                 }
-                Some(SampleMeta { sample_type: SampleType::Hashed { columns }, .. }) => {
+                Some(SampleMeta {
+                    sample_type: SampleType::Hashed { columns },
+                    ..
+                }) => {
                     let covers_distinct = !ctx.distinct_columns.is_empty()
                         && ctx
                             .distinct_columns
@@ -271,7 +287,12 @@ impl<'a> SamplePlanner<'a> {
             score *= 0.01;
         }
 
-        SamplePlan { choices, score, io_cost, effective_ratio }
+        SamplePlan {
+            choices,
+            score,
+            io_cost,
+            effective_ratio,
+        }
     }
 }
 
@@ -293,7 +314,9 @@ mod tests {
             store.register(SampleMeta {
                 base_table: table.into(),
                 sample_table: format!("verdict_sample_{table}_hashed_order_id"),
-                sample_type: SampleType::Hashed { columns: vec!["order_id".into()] },
+                sample_type: SampleType::Hashed {
+                    columns: vec!["order_id".into()],
+                },
                 ratio: 0.01,
                 sample_rows: rows / 100,
                 base_rows: rows,
@@ -302,7 +325,9 @@ mod tests {
         store.register(SampleMeta {
             base_table: "orders".into(),
             sample_table: "verdict_sample_orders_stratified_city".into(),
-            sample_type: SampleType::Stratified { columns: vec!["city".into()] },
+            sample_type: SampleType::Stratified {
+                columns: vec!["city".into()],
+            },
             ratio: 0.01,
             sample_rows: 15_000,
             base_rows: 1_000_000,
@@ -372,7 +397,10 @@ mod tests {
         let planner = SamplePlanner::new(&store, &cfg);
         let plan = planner.plan(
             &[table("d", "orders", 5_000, &[])],
-            &PlanningContext { io_budget: 0.02, ..Default::default() },
+            &PlanningContext {
+                io_budget: 0.02,
+                ..Default::default()
+            },
         );
         assert!(plan.choices[0].sample.is_none());
     }
@@ -384,7 +412,10 @@ mod tests {
         let planner = SamplePlanner::new(&store, &cfg);
         let plan = planner.plan(
             &[table("o", "orders", 1_000_000, &[])],
-            &PlanningContext { io_budget: 0.0, ..Default::default() },
+            &PlanningContext {
+                io_budget: 0.0,
+                ..Default::default()
+            },
         );
         assert!(!plan.uses_samples());
     }

@@ -195,7 +195,9 @@ pub fn analyze_query(query: &Query) -> VerdictResult<QueryAnalysis> {
         }
     });
     if has_exists {
-        return Err(VerdictError::Unsupported("EXISTS subqueries are not approximated".into()));
+        return Err(VerdictError::Unsupported(
+            "EXISTS subqueries are not approximated".into(),
+        ));
     }
     if has_window {
         return Err(VerdictError::Unsupported(
@@ -249,7 +251,9 @@ pub fn analyze_query(query: &Query) -> VerdictResult<QueryAnalysis> {
         register_aggregates(h, &mut aggregates)?;
     }
     if aggregates.is_empty() {
-        return Err(VerdictError::Unsupported("query has no aggregate functions".into()));
+        return Err(VerdictError::Unsupported(
+            "query has no aggregate functions".into(),
+        ));
     }
 
     Ok(QueryAnalysis {
@@ -267,7 +271,9 @@ pub fn analyze_query(query: &Query) -> VerdictResult<QueryAnalysis> {
 fn collect_table(tf: &TableFactor, tables: &mut Vec<QueryTable>) -> VerdictResult<()> {
     match tf {
         TableFactor::Table { name, alias } => {
-            let binding = alias.clone().unwrap_or_else(|| name.base_name().to_string());
+            let binding = alias
+                .clone()
+                .unwrap_or_else(|| name.base_name().to_string());
             tables.push(QueryTable {
                 alias: binding,
                 table: name.key(),
@@ -281,12 +287,24 @@ fn collect_table(tf: &TableFactor, tables: &mut Vec<QueryTable>) -> VerdictResul
     }
 }
 
-fn record_join_columns(constraint: &Expr, tables: &mut Vec<QueryTable>) {
+fn record_join_columns(constraint: &Expr, tables: &mut [QueryTable]) {
     walk_expr(constraint, &mut |e| {
-        if let Expr::BinaryOp { left, op: BinaryOp::Eq, right } = e {
+        if let Expr::BinaryOp {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = e
+        {
             for side in [left.as_ref(), right.as_ref()] {
-                if let Expr::Column { table: Some(alias), name } = side {
-                    if let Some(t) = tables.iter_mut().find(|t| t.alias.eq_ignore_ascii_case(alias)) {
+                if let Expr::Column {
+                    table: Some(alias),
+                    name,
+                } = side
+                {
+                    if let Some(t) = tables
+                        .iter_mut()
+                        .find(|t| t.alias.eq_ignore_ascii_case(alias))
+                    {
                         if !t.join_columns.iter().any(|c| c.eq_ignore_ascii_case(name)) {
                             t.join_columns.push(name.to_ascii_lowercase());
                         }
@@ -348,7 +366,9 @@ fn classify(call: &FunctionCall) -> VerdictResult<AggClass> {
         | "quantile" | "percentile" => Ok(AggClass::MeanLike),
         "ndv" | "approx_count_distinct" => Ok(AggClass::Distinct),
         "approx_median" => Ok(AggClass::MeanLike),
-        other => Err(VerdictError::Unsupported(format!("aggregate function {other}"))),
+        other => Err(VerdictError::Unsupported(format!(
+            "aggregate function {other}"
+        ))),
     }
 }
 
@@ -403,7 +423,9 @@ pub fn rewrite(
 ) -> VerdictResult<RewriteOutput> {
     let b = config.effective_subsamples();
     let mean_query = if analysis.has_class(AggClass::MeanLike) {
-        Some(Statement::Query(Box::new(rewrite_mean_like(analysis, plan, b)?)))
+        Some(Statement::Query(Box::new(rewrite_mean_like(
+            analysis, plan, b,
+        )?)))
     } else {
         None
     };
@@ -472,7 +494,10 @@ fn substitute_from(
             sid_column,
             meta: sample.clone(),
         });
-        Some(TableFactor::Derived { subquery, alias: Some(binding) })
+        Some(TableFactor::Derived {
+            subquery,
+            alias: Some(binding),
+        })
     });
     (query_like.from, sampled)
 }
@@ -512,7 +537,9 @@ fn combined_prob_expr(sampled: &[SampledRelation]) -> Option<String> {
         return None;
     }
     let all_hashed_on_join = sampled.len() >= 2
-        && sampled.iter().all(|s| matches!(s.meta.sample_type, SampleType::Hashed { .. }));
+        && sampled
+            .iter()
+            .all(|s| matches!(s.meta.sample_type, SampleType::Hashed { .. }));
     if all_hashed_on_join {
         let args = sampled
             .iter()
@@ -644,7 +671,10 @@ fn rewrite_distinct(
         .cloned()
         .map(|mut c| {
             let keep = match &c.sample {
-                Some(SampleMeta { sample_type: SampleType::Hashed { columns }, .. }) => columns
+                Some(SampleMeta {
+                    sample_type: SampleType::Hashed { columns },
+                    ..
+                }) => columns
                     .iter()
                     .all(|h| distinct_cols.iter().any(|d| d.eq_ignore_ascii_case(h))),
                 _ => false,
@@ -736,8 +766,8 @@ fn rewrite_extreme(analysis: &QueryAnalysis) -> VerdictResult<Query> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::planner::{PlanningContext, SamplePlanner};
     use crate::meta::MetaStore;
+    use crate::planner::{PlanningContext, SamplePlanner};
     use verdict_sql::parse_statement;
     use verdict_sql::printer::print_statement;
 
@@ -761,7 +791,9 @@ mod tests {
         store.register(SampleMeta {
             base_table: "order_products".into(),
             sample_table: "verdict_sample_order_products_hashed_order_id".into(),
-            sample_type: SampleType::Hashed { columns: vec!["order_id".into()] },
+            sample_type: SampleType::Hashed {
+                columns: vec!["order_id".into()],
+            },
             ratio: 0.01,
             sample_rows: 30_000,
             base_rows: 3_000_000,
@@ -769,7 +801,9 @@ mod tests {
         store.register(SampleMeta {
             base_table: "orders".into(),
             sample_table: "verdict_sample_orders_hashed_order_id".into(),
-            sample_type: SampleType::Hashed { columns: vec!["order_id".into()] },
+            sample_type: SampleType::Hashed {
+                columns: vec!["order_id".into()],
+            },
             ratio: 0.01,
             sample_rows: 10_000,
             base_rows: 1_000_000,
@@ -853,7 +887,10 @@ mod tests {
         let sql = print_statement(&out.mean_query.unwrap(), &GenericDialect);
         parse_statement(&sql).unwrap();
         // sqrt(100) = 10 appears in the h(i, j) pairing expression
-        assert!(sql.contains("floor((o.verdict_sid_0 - 1) / 10) * 10"), "{sql}");
+        assert!(
+            sql.contains("floor((o.verdict_sid_0 - 1) / 10) * 10"),
+            "{sql}"
+        );
         assert!(sql.contains("least(") || sql.contains("*"), "{sql}");
     }
 

@@ -38,6 +38,7 @@ pub struct SamplePlanSql {
 /// `base_rows` is the current size of the base table (needed to derive the
 /// per-stratum minimum row count of Equation 1) and `distinct_counts` maps
 /// stratification columns to their cardinality when known.
+#[allow(clippy::too_many_arguments)]
 pub fn build_sample_sql(
     base_table: &str,
     sample_table: &str,
@@ -90,7 +91,10 @@ fn uniform_sql(
              WHERE verdict_rand < {ratio}"
         )
     };
-    SamplePlanSql { statements: vec![stmt], sample_table: sample_table.to_string() }
+    SamplePlanSql {
+        statements: vec![stmt],
+        sample_table: sample_table.to_string(),
+    }
 }
 
 fn hashed_sql(
@@ -112,7 +116,10 @@ fn hashed_sql(
         "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
          FROM {base_table} WHERE {hash} < {threshold}"
     );
-    SamplePlanSql { statements: vec![stmt], sample_table: sample_table.to_string() }
+    SamplePlanSql {
+        statements: vec![stmt],
+        sample_table: sample_table.to_string(),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -222,7 +229,9 @@ mod tests {
         let plan = build_sample_sql(
             "orders",
             "s",
-            &SampleType::Hashed { columns: vec!["order_id".into()] },
+            &SampleType::Hashed {
+                columns: vec!["order_id".into()],
+            },
             0.01,
             1_000_000,
             0,
@@ -238,7 +247,9 @@ mod tests {
         let plan = build_sample_sql(
             "orders",
             "s",
-            &SampleType::Stratified { columns: vec!["city".into()] },
+            &SampleType::Stratified {
+                columns: vec!["city".into()],
+            },
             0.01,
             1_000_000,
             24,
@@ -259,7 +270,9 @@ mod tests {
         let plan = build_sample_sql(
             "orders",
             "s",
-            &SampleType::Stratified { columns: vec!["city".into()] },
+            &SampleType::Stratified {
+                columns: vec!["city".into()],
+            },
             0.01,
             100_000,
             10,
@@ -278,7 +291,10 @@ mod tests {
             .collect();
         assert!(probs.len() >= 2);
         for w in probs.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "expected ascending probabilities, got {probs:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "expected ascending probabilities, got {probs:?}"
+            );
         }
     }
 }

@@ -33,7 +33,9 @@ pub fn staleness(meta: &SampleMeta, current_base_rows: u64) -> Staleness {
     use std::cmp::Ordering::*;
     match current_base_rows.cmp(&meta.base_rows) {
         Equal => Staleness::Fresh,
-        Greater => Staleness::Stale { appended_rows: current_base_rows - meta.base_rows },
+        Greater => Staleness::Stale {
+            appended_rows: current_base_rows - meta.base_rows,
+        },
         Less => Staleness::RequiresRebuild,
     }
 }
@@ -118,7 +120,12 @@ mod tests {
     fn staleness_classification() {
         let m = meta(SampleType::Uniform);
         assert_eq!(staleness(&m, 1_000_000), Staleness::Fresh);
-        assert_eq!(staleness(&m, 1_100_000), Staleness::Stale { appended_rows: 100_000 });
+        assert_eq!(
+            staleness(&m, 1_100_000),
+            Staleness::Stale {
+                appended_rows: 100_000
+            }
+        );
         assert_eq!(staleness(&m, 900_000), Staleness::RequiresRebuild);
     }
 
@@ -132,7 +139,9 @@ mod tests {
 
     #[test]
     fn hashed_append_reuses_same_hash_threshold() {
-        let m = meta(SampleType::Hashed { columns: vec!["order_id".into()] });
+        let m = meta(SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        });
         let sql = append_sql(&m, "orders_batch", &GenericDialect);
         assert!(sql[0].contains("verdict_hash(order_id, 1000000) < 10000"));
         verdict_sql::parse_statement(&sql[0]).unwrap();
@@ -140,7 +149,9 @@ mod tests {
 
     #[test]
     fn stratified_append_reuses_recorded_probabilities() {
-        let m = meta(SampleType::Stratified { columns: vec!["city".into()] });
+        let m = meta(SampleType::Stratified {
+            columns: vec!["city".into()],
+        });
         let sql = append_sql(&m, "orders_batch", &GenericDialect);
         assert_eq!(sql.len(), 3);
         assert!(sql[0].contains("GROUP BY city"));

@@ -11,7 +11,6 @@ pub mod builder;
 pub mod maintenance;
 pub mod policy;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Name of the extra column holding each tuple's sampling probability.
@@ -21,7 +20,7 @@ pub const SAMPLING_PROB_COLUMN: &str = "verdict_sampling_prob";
 pub const SAMPLE_TABLE_PREFIX: &str = "verdict_sample";
 
 /// The sample types VerdictDB constructs offline (§3.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SampleType {
     /// Every tuple sampled independently with probability τ.
     Uniform,
@@ -72,7 +71,7 @@ impl fmt::Display for SampleType {
 /// [`crate::meta::MetaStore`] mirrors that by persisting the same records in
 /// a `verdict_meta_samples` table, while keeping an in-memory copy for
 /// planning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleMeta {
     /// The original ("base") table this sample was drawn from.
     pub base_table: String,
@@ -120,11 +119,15 @@ mod tests {
         let uniform = SampleMeta::table_name_for("orders", &SampleType::Uniform);
         let hashed = SampleMeta::table_name_for(
             "orders",
-            &SampleType::Hashed { columns: vec!["order_id".into()] },
+            &SampleType::Hashed {
+                columns: vec!["order_id".into()],
+            },
         );
         let stratified = SampleMeta::table_name_for(
             "orders",
-            &SampleType::Stratified { columns: vec!["city".into()] },
+            &SampleType::Stratified {
+                columns: vec!["city".into()],
+            },
         );
         assert_eq!(uniform, "verdict_sample_orders_uniform");
         assert_eq!(hashed, "verdict_sample_orders_hashed_order_id");
@@ -149,7 +152,9 @@ mod tests {
 
     #[test]
     fn sample_type_display_and_columns() {
-        let s = SampleType::Stratified { columns: vec!["a".into(), "b".into()] };
+        let s = SampleType::Stratified {
+            columns: vec!["a".into(), "b".into()],
+        };
         assert_eq!(s.to_string(), "stratified(a,b)");
         assert_eq!(s.columns(), &["a".to_string(), "b".to_string()]);
         assert!(SampleType::Uniform.columns().is_empty());

@@ -53,9 +53,11 @@ pub fn default_policy(
         .iter()
         .filter(|c| c.distinct_values > threshold)
         .collect();
-    high.sort_by(|a, b| b.distinct_values.cmp(&a.distinct_values));
+    high.sort_by_key(|c| std::cmp::Reverse(c.distinct_values));
     for c in high.into_iter().take(10) {
-        sample_types.push(SampleType::Hashed { columns: vec![c.column.clone()] });
+        sample_types.push(SampleType::Hashed {
+            columns: vec![c.column.clone()],
+        });
     }
 
     // Low-cardinality columns -> stratified samples (ascending cardinality, top 10).
@@ -63,12 +65,17 @@ pub fn default_policy(
         .iter()
         .filter(|c| c.distinct_values <= threshold && c.distinct_values > 1)
         .collect();
-    low.sort_by(|a, b| a.distinct_values.cmp(&b.distinct_values));
+    low.sort_by_key(|c| c.distinct_values);
     for c in low.into_iter().take(10) {
-        sample_types.push(SampleType::Stratified { columns: vec![c.column.clone()] });
+        sample_types.push(SampleType::Stratified {
+            columns: vec![c.column.clone()],
+        });
     }
 
-    SamplingDecision { sample_types, ratio }
+    SamplingDecision {
+        sample_types,
+        ratio,
+    }
 }
 
 #[cfg(test)]
@@ -77,11 +84,26 @@ mod tests {
 
     fn cards() -> Vec<ColumnCardinality> {
         vec![
-            ColumnCardinality { column: "order_id".into(), distinct_values: 900_000 },
-            ColumnCardinality { column: "user_id".into(), distinct_values: 150_000 },
-            ColumnCardinality { column: "city".into(), distinct_values: 24 },
-            ColumnCardinality { column: "status".into(), distinct_values: 3 },
-            ColumnCardinality { column: "constant".into(), distinct_values: 1 },
+            ColumnCardinality {
+                column: "order_id".into(),
+                distinct_values: 900_000,
+            },
+            ColumnCardinality {
+                column: "user_id".into(),
+                distinct_values: 150_000,
+            },
+            ColumnCardinality {
+                column: "city".into(),
+                distinct_values: 24,
+            },
+            ColumnCardinality {
+                column: "status".into(),
+                distinct_values: 3,
+            },
+            ColumnCardinality {
+                column: "constant".into(),
+                distinct_values: 1,
+            },
         ]
     }
 
@@ -89,18 +111,18 @@ mod tests {
     fn policy_builds_uniform_plus_hashed_plus_stratified() {
         let decision = default_policy(1_000_000, &cards(), &VerdictConfig::default());
         assert!(decision.sample_types.contains(&SampleType::Uniform));
-        assert!(decision
-            .sample_types
-            .contains(&SampleType::Hashed { columns: vec!["order_id".into()] }));
-        assert!(decision
-            .sample_types
-            .contains(&SampleType::Hashed { columns: vec!["user_id".into()] }));
-        assert!(decision
-            .sample_types
-            .contains(&SampleType::Stratified { columns: vec!["city".into()] }));
-        assert!(decision
-            .sample_types
-            .contains(&SampleType::Stratified { columns: vec!["status".into()] }));
+        assert!(decision.sample_types.contains(&SampleType::Hashed {
+            columns: vec!["order_id".into()]
+        }));
+        assert!(decision.sample_types.contains(&SampleType::Hashed {
+            columns: vec!["user_id".into()]
+        }));
+        assert!(decision.sample_types.contains(&SampleType::Stratified {
+            columns: vec!["city".into()]
+        }));
+        assert!(decision.sample_types.contains(&SampleType::Stratified {
+            columns: vec!["status".into()]
+        }));
         // single-valued columns are useless strata
         assert!(!decision
             .sample_types

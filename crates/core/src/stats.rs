@@ -47,7 +47,10 @@ pub fn erfc_inv(y: f64) -> f64 {
 
 /// Quantile (inverse CDF) of the standard normal distribution.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal quantile domain is (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal quantile domain is (0,1), got {p}"
+    );
     // Φ^{-1}(p) = −√2 · erfc_inv(2p)
     -std::f64::consts::SQRT_2 * erfc_inv(2.0 * p)
 }

@@ -36,7 +36,10 @@ pub const AISLES: usize = 134;
 impl InstacartGenerator {
     /// Creates a generator at the given scale with the default seed.
     pub fn new(scale: f64) -> InstacartGenerator {
-        InstacartGenerator { scale, seed: 0x1257ACA7 }
+        InstacartGenerator {
+            scale,
+            seed: 0x1257ACA7,
+        }
     }
 
     /// Number of orders at this scale.
@@ -172,7 +175,7 @@ mod tests {
         assert_eq!(orders.num_rows(), 2000);
         assert!(items.num_rows() > orders.num_rows());
         assert_eq!(products.num_rows(), 200);
-        assert_eq!(orders.schema.index_of("city").is_some(), true);
+        assert!(orders.schema.index_of("city").is_some());
         assert!(items.schema.index_of("price").is_some());
     }
 

@@ -42,7 +42,13 @@ fn q(
     expect_fallback: bool,
     sql: &str,
 ) -> WorkloadQuery {
-    WorkloadQuery { id, dataset, sql: sql.to_string(), description, expect_fallback }
+    WorkloadQuery {
+        id,
+        dataset,
+        sql: sql.to_string(),
+        description,
+        expect_fallback,
+    }
 }
 
 /// The TPC-H-style workload (`tq-*`).
@@ -136,53 +142,128 @@ pub fn tpch_queries() -> Vec<WorkloadQuery> {
 /// The Instacart micro-benchmark workload (`iq-*`).
 pub fn instacart_queries() -> Vec<WorkloadQuery> {
     vec![
-        q("iq-1", Dataset::Instacart, "total line-item count", false,
-          "SELECT count(*) AS cnt FROM order_products"),
-        q("iq-2", Dataset::Instacart, "average item price", false,
-          "SELECT avg(price) AS avg_price FROM order_products"),
-        q("iq-3", Dataset::Instacart, "total revenue", false,
-          "SELECT sum(price * quantity) AS revenue FROM order_products"),
-        q("iq-4", Dataset::Instacart, "orders and revenue per city (join)", false,
-          "SELECT city, count(*) AS n, sum(p.price) AS revenue \
+        q(
+            "iq-1",
+            Dataset::Instacart,
+            "total line-item count",
+            false,
+            "SELECT count(*) AS cnt FROM order_products",
+        ),
+        q(
+            "iq-2",
+            Dataset::Instacart,
+            "average item price",
+            false,
+            "SELECT avg(price) AS avg_price FROM order_products",
+        ),
+        q(
+            "iq-3",
+            Dataset::Instacart,
+            "total revenue",
+            false,
+            "SELECT sum(price * quantity) AS revenue FROM order_products",
+        ),
+        q(
+            "iq-4",
+            Dataset::Instacart,
+            "orders and revenue per city (join)",
+            false,
+            "SELECT city, count(*) AS n, sum(p.price) AS revenue \
            FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
-           GROUP BY city ORDER BY revenue DESC"),
-        q("iq-5", Dataset::Instacart, "order count per day of week", false,
-          "SELECT order_dow, count(*) AS n FROM orders GROUP BY order_dow ORDER BY order_dow"),
-        q("iq-6", Dataset::Instacart, "average price per department (join to dimension)", false,
-          "SELECT department_id, avg(p.price) AS avg_price \
+           GROUP BY city ORDER BY revenue DESC",
+        ),
+        q(
+            "iq-5",
+            Dataset::Instacart,
+            "order count per day of week",
+            false,
+            "SELECT order_dow, count(*) AS n FROM orders GROUP BY order_dow ORDER BY order_dow",
+        ),
+        q(
+            "iq-6",
+            Dataset::Instacart,
+            "average price per department (join to dimension)",
+            false,
+            "SELECT department_id, avg(p.price) AS avg_price \
            FROM order_products p INNER JOIN products pr ON p.product_id = pr.product_id \
-           GROUP BY department_id ORDER BY department_id"),
-        q("iq-7", Dataset::Instacart, "revenue per city and day of week", false,
-          "SELECT city, order_dow, sum(p.price * p.quantity) AS revenue \
+           GROUP BY department_id ORDER BY department_id",
+        ),
+        q(
+            "iq-7",
+            Dataset::Instacart,
+            "revenue per city and day of week",
+            false,
+            "SELECT city, order_dow, sum(p.price * p.quantity) AS revenue \
            FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
-           GROUP BY city, order_dow"),
-        q("iq-8", Dataset::Instacart, "median item price", false,
-          "SELECT median(price) AS median_price FROM order_products"),
-        q("iq-9", Dataset::Instacart, "price dispersion", false,
-          "SELECT stddev(price) AS sd_price, variance(price) AS var_price FROM order_products"),
-        q("iq-10", Dataset::Instacart, "selective count per city", false,
-          "SELECT city, count(*) AS n \
+           GROUP BY city, order_dow",
+        ),
+        q(
+            "iq-8",
+            Dataset::Instacart,
+            "median item price",
+            false,
+            "SELECT median(price) AS median_price FROM order_products",
+        ),
+        q(
+            "iq-9",
+            Dataset::Instacart,
+            "price dispersion",
+            false,
+            "SELECT stddev(price) AS sd_price, variance(price) AS var_price FROM order_products",
+        ),
+        q(
+            "iq-10",
+            Dataset::Instacart,
+            "selective count per city",
+            false,
+            "SELECT city, count(*) AS n \
            FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
-           WHERE p.price > 10 AND p.reordered = 1 GROUP BY city"),
-        q("iq-11", Dataset::Instacart, "distinct buyers", false,
-          "SELECT count(DISTINCT user_id) AS buyers FROM orders"),
-        q("iq-12", Dataset::Instacart, "distinct products sold per department", false,
-          "SELECT department_id, count(DISTINCT p.product_id) AS product_cnt \
+           WHERE p.price > 10 AND p.reordered = 1 GROUP BY city",
+        ),
+        q(
+            "iq-11",
+            Dataset::Instacart,
+            "distinct buyers",
+            false,
+            "SELECT count(DISTINCT user_id) AS buyers FROM orders",
+        ),
+        q(
+            "iq-12",
+            Dataset::Instacart,
+            "distinct products sold per department",
+            false,
+            "SELECT department_id, count(DISTINCT p.product_id) AS product_cnt \
            FROM order_products p INNER JOIN products pr ON p.product_id = pr.product_id \
-           GROUP BY department_id ORDER BY department_id"),
-        q("iq-13", Dataset::Instacart, "average basket value per city (ratio of sums)", false,
-          "SELECT city, sum(p.price * p.quantity) / count(*) AS avg_line_value \
+           GROUP BY department_id ORDER BY department_id",
+        ),
+        q(
+            "iq-13",
+            Dataset::Instacart,
+            "average basket value per city (ratio of sums)",
+            false,
+            "SELECT city, sum(p.price * p.quantity) / count(*) AS avg_line_value \
            FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
-           GROUP BY city ORDER BY city"),
-        q("iq-14", Dataset::Instacart, "fact-fact join of two sampled relations (universe join)", false,
-          "SELECT count(*) AS joined_lines, avg(p.price) AS avg_price \
+           GROUP BY city ORDER BY city",
+        ),
+        q(
+            "iq-14",
+            Dataset::Instacart,
+            "fact-fact join of two sampled relations (universe join)",
+            false,
+            "SELECT count(*) AS joined_lines, avg(p.price) AS avg_price \
            FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
-           WHERE o.order_dow <= 5"),
-        q("iq-15", Dataset::Instacart, "three-way join grouped by department", false,
-          "SELECT department_id, count(*) AS n, avg(p.price) AS avg_price \
+           WHERE o.order_dow <= 5",
+        ),
+        q(
+            "iq-15",
+            Dataset::Instacart,
+            "three-way join grouped by department",
+            false,
+            "SELECT department_id, count(*) AS n, avg(p.price) AS avg_price \
            FROM orders o INNER JOIN order_products p ON o.order_id = p.order_id \
            INNER JOIN products pr ON p.product_id = pr.product_id \
-           WHERE o.order_hour BETWEEN 8 AND 20 GROUP BY department_id"),
+           WHERE o.order_hour BETWEEN 8 AND 20 GROUP BY department_id",
+        ),
     ]
 }
 

@@ -28,7 +28,13 @@ pub struct SyntheticGenerator {
 impl SyntheticGenerator {
     /// The paper's configuration: mean 10.0, standard deviation 10.0.
     pub fn paper_default(rows: usize) -> SyntheticGenerator {
-        SyntheticGenerator { rows, mean: 10.0, stddev: 10.0, groups: 10, seed: 0x5a5a }
+        SyntheticGenerator {
+            rows,
+            mean: 10.0,
+            stddev: 10.0,
+            groups: 10,
+            seed: 0x5a5a,
+        }
     }
 
     /// Draws one approximately normal value via the Irwin–Hall construction.

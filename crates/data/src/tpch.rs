@@ -29,10 +29,24 @@ pub const LINE_STATUS: [&str; 2] = ["O", "F"];
 /// TPC-H ship modes.
 pub const SHIP_MODES: [&str; 7] = ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
 /// TPC-H market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 /// Nations (subset, enough for grouping).
 pub const NATIONS: [&str; 10] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
     "JAPAN",
 ];
 /// Number of days covered by the order/ship dates (7 years).
@@ -41,7 +55,10 @@ pub const DATE_RANGE_DAYS: i64 = 2556;
 impl TpchGenerator {
     /// Creates a generator at the given scale factor.
     pub fn new(scale: f64) -> TpchGenerator {
-        TpchGenerator { scale, seed: 0x7bc8 }
+        TpchGenerator {
+            scale,
+            seed: 0x7bc8,
+        }
     }
 
     /// Row counts per table at this scale.
@@ -133,7 +150,7 @@ impl TpchGenerator {
         for i in 0..n {
             orderkey.push(i as i64 + 1);
             custkey.push(rng.gen_range(1..=n_cust as i64));
-            status.push(["O", "F", "P"][rng.gen_range(0..3)].to_string());
+            status.push(["O", "F", "P"][rng.gen_range(0..3usize)].to_string());
             totalprice.push(rng.gen_range(1_000.0..400_000.0));
             orderdate.push(rng.gen_range(0..DATE_RANGE_DAYS));
             priority.push(format!("{}-PRIORITY", rng.gen_range(1..=5)));
@@ -183,13 +200,21 @@ impl TpchGenerator {
         let mut container = Vec::with_capacity(n);
         for i in 0..n {
             partkey.push(i as i64 + 1);
-            brand.push(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5)));
+            brand.push(format!(
+                "Brand#{}{}",
+                rng.gen_range(1..=5),
+                rng.gen_range(1..=5)
+            ));
             ptype.push(
-                ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"][rng.gen_range(0..6)]
-                    .to_string(),
+                ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+                    [rng.gen_range(0..6usize)]
+                .to_string(),
             );
             size.push(rng.gen_range(1..=50i64));
-            container.push(["SM CASE", "SM BOX", "MED BAG", "LG BOX", "JUMBO PKG"][rng.gen_range(0..5)].to_string());
+            container.push(
+                ["SM CASE", "SM BOX", "MED BAG", "LG BOX", "JUMBO PKG"][rng.gen_range(0..5usize)]
+                    .to_string(),
+            );
         }
         TableBuilder::new()
             .int_column("p_partkey", partkey)
@@ -223,7 +248,10 @@ impl TpchGenerator {
         TableBuilder::new()
             .int_column("n_nationkey", (0..NATIONS.len() as i64).collect())
             .str_column("n_name", NATIONS.iter().map(|s| s.to_string()).collect())
-            .int_column("n_regionkey", (0..NATIONS.len() as i64).map(|i| i % 5).collect())
+            .int_column(
+                "n_regionkey",
+                (0..NATIONS.len() as i64).map(|i| i % 5).collect(),
+            )
             .build()
             .expect("consistent nation table")
     }

@@ -6,8 +6,8 @@
 //! approximations against these *full-scan* sketches, so the engine provides
 //! a HyperLogLog distinct-count sketch here as that baseline.
 
-use crate::value::Value;
 use crate::functions::fnv1a_hash_value;
+use crate::value::Value;
 
 /// Number of registers = 2^P. P=12 gives a standard error of about 1.6%.
 const P: u32 = 12;
@@ -29,7 +29,9 @@ impl Default for HyperLogLog {
 impl HyperLogLog {
     /// Creates an empty sketch.
     pub fn new() -> Self {
-        HyperLogLog { registers: vec![0u8; M] }
+        HyperLogLog {
+            registers: vec![0u8; M],
+        }
     }
 
     /// Adds one value to the sketch.
@@ -37,11 +39,21 @@ impl HyperLogLog {
         if v.is_null() {
             return;
         }
-        let hash = fmix64(fnv1a_hash_value(v));
+        self.add_raw_hash(fnv1a_hash_value(v));
+    }
+
+    /// Adds a value by its precomputed FNV-1a hash (the typed-column fast
+    /// path; must match what [`crate::functions::fnv1a_hash_value`] returns).
+    pub fn add_raw_hash(&mut self, raw: u64) {
+        let hash = fmix64(raw);
         let idx = (hash >> (64 - P)) as usize;
         let rest = hash << P;
         // rank = position of the leftmost 1-bit in the remaining bits (1-based)
-        let rank = if rest == 0 { (64 - P + 1) as u8 } else { rest.leading_zeros() as u8 + 1 };
+        let rank = if rest == 0 {
+            (64 - P + 1) as u8
+        } else {
+            rest.leading_zeros() as u8 + 1
+        };
         if rank > self.registers[idx] {
             self.registers[idx] = rank;
         }

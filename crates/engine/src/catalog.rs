@@ -95,7 +95,10 @@ mod tests {
     use crate::table::TableBuilder;
 
     fn small() -> Table {
-        TableBuilder::new().int_column("x", vec![1, 2, 3]).build().unwrap()
+        TableBuilder::new()
+            .int_column("x", vec![1, 2, 3])
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -62,13 +62,19 @@ impl Default for Engine {
 impl Engine {
     /// Creates an engine with an empty catalog and nondeterministic `rand()`.
     pub fn new() -> Engine {
-        Engine { catalog: Arc::new(Catalog::new()), seed: Arc::new(Mutex::new(None)) }
+        Engine {
+            catalog: Arc::new(Catalog::new()),
+            seed: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Creates an engine whose `rand()` calls are deterministic, for
     /// reproducible experiments and tests.
     pub fn with_seed(seed: u64) -> Engine {
-        Engine { catalog: Arc::new(Catalog::new()), seed: Arc::new(Mutex::new(Some(seed))) }
+        Engine {
+            catalog: Arc::new(Catalog::new()),
+            seed: Arc::new(Mutex::new(Some(seed))),
+        }
     }
 
     /// Access to the underlying catalog (to register generated datasets).
@@ -101,7 +107,10 @@ impl Engine {
         let table = exec.execute_statement(&stmt)?;
         Ok(QueryResult {
             table,
-            stats: ExecStats { rows_scanned: exec.rows_scanned, elapsed: start.elapsed() },
+            stats: ExecStats {
+                rows_scanned: exec.rows_scanned,
+                elapsed: start.elapsed(),
+            },
         })
     }
 
@@ -109,15 +118,24 @@ impl Engine {
     pub fn execute_script(&self, sql: &str) -> EngineResult<QueryResult> {
         let stmts = verdict_sql::parse_statements(sql)?;
         let start = Instant::now();
-        let mut last = QueryResult { table: Table::default(), stats: ExecStats::default() };
+        let mut last = QueryResult {
+            table: Table::default(),
+            stats: ExecStats::default(),
+        };
         let mut scanned = 0u64;
         for stmt in &stmts {
             let mut exec = Executor::new(&self.catalog, self.next_seed());
             let table = exec.execute_statement(stmt)?;
             scanned += exec.rows_scanned;
-            last = QueryResult { table, stats: ExecStats::default() };
+            last = QueryResult {
+                table,
+                stats: ExecStats::default(),
+            };
         }
-        last.stats = ExecStats { rows_scanned: scanned, elapsed: start.elapsed() };
+        last.stats = ExecStats {
+            rows_scanned: scanned,
+            elapsed: start.elapsed(),
+        };
         Ok(last)
     }
 }
@@ -156,8 +174,10 @@ mod tests {
     #[test]
     fn executes_sql_and_reports_stats() {
         let e = engine();
-        let r = e.execute_sql("SELECT count(*), avg(price) FROM sales WHERE price < 500").unwrap();
-        assert_eq!(r.table.value(0, 0), &Value::Int(500));
+        let r = e
+            .execute_sql("SELECT count(*), avg(price) FROM sales WHERE price < 500")
+            .unwrap();
+        assert_eq!(r.table.value_at(0, 0), Value::Int(500));
         assert_eq!(r.stats.rows_scanned, 1000);
         assert!(r.stats.elapsed.as_nanos() > 0);
     }
@@ -179,7 +199,7 @@ mod tests {
                  SELECT count(*) FROM cheap;",
             )
             .unwrap();
-        assert_eq!(r.table.value(0, 0), &Value::Int(10));
+        assert_eq!(r.table.value_at(0, 0), Value::Int(10));
     }
 
     #[test]

@@ -55,6 +55,8 @@ mod tests {
         assert!(EngineError::TableNotFound("orders".into())
             .to_string()
             .contains("orders"));
-        assert!(EngineError::Unsupported("EXISTS".into()).to_string().contains("EXISTS"));
+        assert!(EngineError::Unsupported("EXISTS".into())
+            .to_string()
+            .contains("EXISTS"));
     }
 }

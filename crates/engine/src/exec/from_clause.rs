@@ -4,19 +4,28 @@
 //! `ON` condition; residual (non-equi) predicates are applied as a filter on
 //! the joined result.  This mirrors how the paper's underlying engines
 //! evaluate the equi-joins that VerdictDB emits.
+//!
+//! Join keys are hashed directly from the typed columns
+//! ([`crate::kernels::RowIndex`]) — no per-row `KeyValue` materialisation or
+//! string cloning on the build/probe path — and the joined table is
+//! assembled with typed column gathers.
 
+use crate::column::Column;
 use crate::error::EngineResult;
 use crate::expr::{column_to_mask, eval_expr, EvalContext};
+use crate::kernels::{hash_rows, RowIndex};
 use crate::schema::Schema;
-use crate::table::{Column, Table};
-use crate::value::{KeyValue, Value};
-use std::collections::HashMap;
+use crate::table::Table;
 use verdict_sql::ast::{BinaryOp, Expr, JoinType};
 
 /// Splits a predicate into its AND-ed conjuncts.
 pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
     match expr {
-        Expr::BinaryOp { left, op: BinaryOp::And, right } => {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out
@@ -28,7 +37,9 @@ pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
 
 /// Recombines conjuncts into a single AND expression.
 pub fn combine_conjuncts(conjuncts: Vec<Expr>) -> Option<Expr> {
-    conjuncts.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
+    conjuncts
+        .into_iter()
+        .reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
 }
 
 fn resolves_in(expr: &Expr, schema: &Schema) -> bool {
@@ -60,27 +71,30 @@ pub fn extract_equi_pairs(
     let mut pairs = Vec::new();
     let mut residual = Vec::new();
     for conj in split_conjuncts(constraint) {
-        if let Expr::BinaryOp { left, op: BinaryOp::Eq, right } = &conj {
+        if let Expr::BinaryOp {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = &conj
+        {
             if resolves_in(left, left_schema) && resolves_in(right, right_schema) {
-                pairs.push(EquiPair { left: (**left).clone(), right: (**right).clone() });
+                pairs.push(EquiPair {
+                    left: (**left).clone(),
+                    right: (**right).clone(),
+                });
                 continue;
             }
             if resolves_in(right, left_schema) && resolves_in(left, right_schema) {
-                pairs.push(EquiPair { left: (**right).clone(), right: (**left).clone() });
+                pairs.push(EquiPair {
+                    left: (**right).clone(),
+                    right: (**left).clone(),
+                });
                 continue;
             }
         }
         residual.push(conj);
     }
     (pairs, residual)
-}
-
-fn key_rows(cols: &[Column], row: usize) -> Vec<KeyValue> {
-    cols.iter().map(|c| KeyValue::from_value(&c[row])).collect()
-}
-
-fn keys_contain_null(cols: &[Column], row: usize) -> bool {
-    cols.iter().any(|c| c[row].is_null())
 }
 
 /// Performs a hash join between two frames.
@@ -98,7 +112,10 @@ pub fn hash_join(
     if join_type == JoinType::Right {
         let mirrored: Vec<EquiPair> = pairs
             .iter()
-            .map(|p| EquiPair { left: p.right.clone(), right: p.left.clone() })
+            .map(|p| EquiPair {
+                left: p.right.clone(),
+                right: p.left.clone(),
+            })
             .collect();
         let joined = hash_join(right, left, &mirrored, &[], JoinType::Left, rng)?;
         // reorder columns back to (left, right) order
@@ -131,7 +148,7 @@ pub fn hash_join(
         }
         (li, ri)
     } else {
-        // evaluate key columns
+        // evaluate typed key columns on both sides
         let mut left_keys: Vec<Column> = Vec::with_capacity(pairs.len());
         let mut right_keys: Vec<Column> = Vec::with_capacity(pairs.len());
         for p in pairs {
@@ -140,26 +157,18 @@ pub fn hash_join(
             let mut rctx = EvalContext { table: right, rng };
             right_keys.push(eval_expr(&p.right, &mut rctx)?);
         }
-        let mut index: HashMap<Vec<KeyValue>, Vec<usize>> = HashMap::new();
-        for r in 0..right.num_rows() {
-            if keys_contain_null(&right_keys, r) {
-                continue;
-            }
-            index.entry(key_rows(&right_keys, r)).or_default().push(r);
-        }
+        // build on the right, probe with the left
+        let index = RowIndex::build(&right_keys, right.num_rows());
+        let probe_hashes = hash_rows(&left_keys, left.num_rows());
         let mut li = Vec::new();
         let mut ri = Vec::new();
         for l in 0..left.num_rows() {
             let mut matched = false;
-            if !keys_contain_null(&left_keys, l) {
-                if let Some(rows) = index.get(&key_rows(&left_keys, l)) {
-                    for &r in rows {
-                        li.push(l);
-                        ri.push(r);
-                        matched = true;
-                    }
-                }
-            }
+            index.probe_each(&left_keys, probe_hashes[l], l, |r| {
+                li.push(l);
+                ri.push(r);
+                matched = true;
+            });
             if !matched && join_type == JoinType::Left {
                 li.push(l);
                 ri.push(usize::MAX); // marker for null row
@@ -170,15 +179,10 @@ pub fn hash_join(
 
     let mut columns: Vec<Column> = Vec::with_capacity(out_schema.len());
     for c in &left.columns {
-        columns.push(left_idx.iter().map(|&i| c[i].clone()).collect());
+        columns.push(c.take(&left_idx));
     }
     for c in &right.columns {
-        columns.push(
-            right_idx
-                .iter()
-                .map(|&i| if i == usize::MAX { Value::Null } else { c[i].clone() })
-                .collect(),
-        );
+        columns.push(c.take_opt(&right_idx));
     }
     let joined = Table::new(out_schema, columns)?;
     apply_residual(joined, residual, rng)
@@ -225,7 +229,10 @@ mod tests {
             )
             .build()
             .unwrap();
-        Table { schema: t.schema.with_qualifier("o"), columns: t.columns }
+        Table {
+            schema: t.schema.with_qualifier("o"),
+            columns: t.columns,
+        }
     }
 
     fn items() -> Table {
@@ -234,7 +241,10 @@ mod tests {
             .float_column("price", vec![10.0, 20.0, 30.0, 40.0])
             .build()
             .unwrap();
-        Table { schema: t.schema.with_qualifier("i"), columns: t.columns }
+        Table {
+            schema: t.schema.with_qualifier("i"),
+            columns: t.columns,
+        }
     }
 
     #[test]
@@ -260,7 +270,64 @@ mod tests {
         let out = hash_join(&l, &r, &pairs, &residual, JoinType::Left, &mut rng).unwrap();
         assert_eq!(out.num_rows(), 4); // order 3 kept with nulls
         let price_idx = out.schema.resolve(Some("i"), "price").unwrap();
-        assert!(out.columns[price_idx].iter().any(|v| v.is_null()));
+        assert!(out.columns[price_idx].null_count() > 0);
+    }
+
+    #[test]
+    fn right_join_mirrors_left_join() {
+        let l = orders();
+        let r = items();
+        let constraint = parse_expression("o.order_id = i.order_id").unwrap();
+        let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
+        let mut rng = seeded_uniform(1);
+        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Right, &mut rng).unwrap();
+        // orders 1 (×2), 2, and the unmatched item with order_id 4
+        assert_eq!(out.num_rows(), 4);
+        let city_idx = out.schema.resolve(Some("o"), "city").unwrap();
+        assert!(out.columns[city_idx].null_count() > 0);
+    }
+
+    #[test]
+    fn join_keys_match_across_numeric_types() {
+        let l = orders();
+        let t = TableBuilder::new()
+            .float_column("order_id", vec![1.0, 3.0])
+            .build()
+            .unwrap();
+        let r = Table {
+            schema: t.schema.with_qualifier("f"),
+            columns: t.columns,
+        };
+        let constraint = parse_expression("o.order_id = f.order_id").unwrap();
+        let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
+        let mut rng = seeded_uniform(1);
+        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        assert_eq!(out.num_rows(), 2, "Int 1/3 must join with Float 1.0/3.0");
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let lt = TableBuilder::new()
+            .opt_int_column("k", vec![Some(1), None])
+            .build()
+            .unwrap();
+        let l = Table {
+            schema: lt.schema.with_qualifier("l"),
+            columns: lt.columns,
+        };
+        let rt = TableBuilder::new()
+            .opt_int_column("k", vec![Some(1), None])
+            .build()
+            .unwrap();
+        let r = Table {
+            schema: rt.schema.with_qualifier("r"),
+            columns: rt.columns,
+        };
+        let constraint = parse_expression("l.k = r.k").unwrap();
+        let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
+        let mut rng = seeded_uniform(1);
+        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        assert_eq!(out.num_rows(), 1, "NULL = NULL must not match in a join");
     }
 
     #[test]

@@ -14,11 +14,13 @@ pub mod from_clause;
 pub mod window;
 
 use crate::catalog::Catalog;
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{column_to_mask, eval_expr, infer_type, EvalContext};
+use crate::kernels::group_rows;
 use crate::schema::{Field, Schema};
-use crate::table::{Column, Table};
-use crate::value::{DataType, KeyValue, Value};
+use crate::table::Table;
+use crate::value::{DataType, Value};
 use aggregate::{collect_aggregate_calls, execute_aggregation, replace_exprs};
 use from_clause::{cross_join, extract_equi_pairs, hash_join};
 use rand::rngs::StdRng;
@@ -42,14 +44,22 @@ impl<'a> Executor<'a> {
             Some(s) => StdRng::seed_from_u64(s),
             None => StdRng::from_entropy(),
         };
-        Executor { catalog, rng, rows_scanned: 0 }
+        Executor {
+            catalog,
+            rng,
+            rows_scanned: 0,
+        }
     }
 
     /// Executes any supported statement.  DDL/DML return an empty result table.
     pub fn execute_statement(&mut self, stmt: &Statement) -> EngineResult<Table> {
         match stmt {
             Statement::Query(q) => self.execute_query(q),
-            Statement::CreateTableAs { name, query, if_not_exists } => {
+            Statement::CreateTableAs {
+                name,
+                query,
+                if_not_exists,
+            } => {
                 if self.catalog.exists(&name.key()) {
                     if *if_not_exists {
                         return Ok(Table::default());
@@ -99,7 +109,10 @@ impl<'a> Executor<'a> {
             let mask = {
                 let rng = &mut self.rng;
                 let mut rng_fn = move || rng.gen::<f64>();
-                let mut ctx = EvalContext { table: &frame, rng: &mut rng_fn };
+                let mut ctx = EvalContext {
+                    table: &frame,
+                    rng: &mut rng_fn,
+                };
                 column_to_mask(&eval_expr(pred, &mut ctx)?)
             };
             frame = frame.filter(&mask);
@@ -138,7 +151,10 @@ impl<'a> Executor<'a> {
             having = having.map(|h| replace_exprs(&h, &replacements));
             order_by = order_by
                 .into_iter()
-                .map(|o| OrderByItem { expr: replace_exprs(&o.expr, &replacements), asc: o.asc })
+                .map(|o| OrderByItem {
+                    expr: replace_exprs(&o.expr, &replacements),
+                    asc: o.asc,
+                })
                 .collect();
         }
 
@@ -165,11 +181,11 @@ impl<'a> Executor<'a> {
                     eval_window(call, &frame, &mut rng_fn)?
                 };
                 let name = format!("__win{i}");
-                let dt = col
-                    .iter()
-                    .find(|v| !v.is_null())
-                    .and_then(|v| v.data_type())
-                    .unwrap_or(DataType::Float);
+                let dt = if col.null_count() == col.len() {
+                    DataType::Float
+                } else {
+                    col.data_type()
+                };
                 frame.schema.fields.push(Field::new(&name, dt));
                 frame.columns.push(col);
                 replacements.push((Expr::Function(call.clone()), Expr::col(name)));
@@ -178,7 +194,10 @@ impl<'a> Executor<'a> {
             having = having.map(|h| replace_exprs(&h, &replacements));
             order_by = order_by
                 .into_iter()
-                .map(|o| OrderByItem { expr: replace_exprs(&o.expr, &replacements), asc: o.asc })
+                .map(|o| OrderByItem {
+                    expr: replace_exprs(&o.expr, &replacements),
+                    asc: o.asc,
+                })
                 .collect();
         }
 
@@ -187,7 +206,10 @@ impl<'a> Executor<'a> {
             let mask = {
                 let rng = &mut self.rng;
                 let mut rng_fn = move || rng.gen::<f64>();
-                let mut ctx = EvalContext { table: &frame, rng: &mut rng_fn };
+                let mut ctx = EvalContext {
+                    table: &frame,
+                    rng: &mut rng_fn,
+                };
                 column_to_mask(&eval_expr(h, &mut ctx)?)
             };
             frame = frame.filter(&mask);
@@ -207,7 +229,7 @@ impl<'a> Executor<'a> {
             let mut indices: Vec<usize> = (0..output.num_rows()).collect();
             indices.sort_by(|&a, &b| {
                 for (k, o) in keys.iter().zip(order_by.iter()) {
-                    let ord = k[a].total_cmp(&k[b]);
+                    let ord = k.cmp_rows(a, b);
                     let ord = if o.asc { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -239,7 +261,10 @@ impl<'a> Executor<'a> {
         }
         let rng = &mut self.rng;
         let mut rng_fn = move || rng.gen::<f64>();
-        let mut ctx = EvalContext { table: frame, rng: &mut rng_fn };
+        let mut ctx = EvalContext {
+            table: frame,
+            rng: &mut rng_fn,
+        };
         eval_expr(expr, &mut ctx)
     }
 
@@ -270,7 +295,10 @@ impl<'a> Executor<'a> {
                     let col = {
                         let rng = &mut self.rng;
                         let mut rng_fn = move || rng.gen::<f64>();
-                        let mut ctx = EvalContext { table: frame, rng: &mut rng_fn };
+                        let mut ctx = EvalContext {
+                            table: frame,
+                            rng: &mut rng_fn,
+                        };
                         eval_expr(e, &mut ctx)?
                     };
                     let name = match item.alias() {
@@ -290,7 +318,7 @@ impl<'a> Executor<'a> {
             // table-less SELECT: a single anonymous row
             return Table::new(
                 Schema::new(vec![Field::new("__dummy", DataType::Int)]),
-                vec![vec![Value::Int(0)]],
+                vec![Column::from_i64(vec![0])],
             );
         }
         let mut frame: Option<Table> = None;
@@ -334,7 +362,9 @@ impl<'a> Executor<'a> {
             TableFactor::Table { name, alias } => {
                 let table = self.catalog.get(&name.key())?;
                 self.rows_scanned += table.num_rows() as u64;
-                let binding = alias.clone().unwrap_or_else(|| name.base_name().to_string());
+                let binding = alias
+                    .clone()
+                    .unwrap_or_else(|| name.base_name().to_string());
                 Ok(Table {
                     schema: table.schema.with_qualifier(&binding),
                     columns: table.columns.clone(),
@@ -346,7 +376,10 @@ impl<'a> Executor<'a> {
                     Some(a) => result.schema.without_qualifiers().with_qualifier(a),
                     None => result.schema.without_qualifiers(),
                 };
-                Ok(Table { schema, columns: result.columns })
+                Ok(Table {
+                    schema,
+                    columns: result.columns,
+                })
             }
         }
     }
@@ -367,11 +400,15 @@ impl<'a> Executor<'a> {
                 let v = if result.num_rows() == 0 || result.num_columns() == 0 {
                     Value::Null
                 } else {
-                    result.value(0, 0).clone()
+                    result.value_at(0, 0)
                 };
                 Expr::Literal(value_to_literal(&v))
             }
-            Expr::InSubquery { expr, subquery, negated } => {
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 let inner = self.resolve_subqueries(*expr)?;
                 let result = self.execute_query(&subquery).map_err(|e| match e {
                     EngineError::ColumnNotFound(c) => EngineError::Unsupported(format!(
@@ -384,10 +421,14 @@ impl<'a> Executor<'a> {
                 } else {
                     result.columns[0]
                         .iter()
-                        .map(|v| Expr::Literal(value_to_literal(v)))
+                        .map(|v| Expr::Literal(value_to_literal(&v)))
                         .collect()
                 };
-                Expr::InList { expr: Box::new(inner), list, negated }
+                Expr::InList {
+                    expr: Box::new(inner),
+                    list,
+                    negated,
+                }
             }
             Expr::Exists { .. } => {
                 return Err(EngineError::Unsupported("EXISTS subquery".into()));
@@ -397,17 +438,27 @@ impl<'a> Executor<'a> {
                 op,
                 right: Box::new(self.resolve_subqueries(*right)?),
             },
-            Expr::UnaryOp { op, expr } => {
-                Expr::UnaryOp { op, expr: Box::new(self.resolve_subqueries(*expr)?) }
-            }
+            Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+                op,
+                expr: Box::new(self.resolve_subqueries(*expr)?),
+            },
             Expr::Nested(e) => Expr::Nested(Box::new(self.resolve_subqueries(*e)?)),
-            Expr::Between { expr, low, high, negated } => Expr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
                 expr: Box::new(self.resolve_subqueries(*expr)?),
                 low: Box::new(self.resolve_subqueries(*low)?),
                 high: Box::new(self.resolve_subqueries(*high)?),
                 negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(self.resolve_subqueries(*expr)?),
                 list: list
                     .into_iter()
@@ -420,14 +471,18 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn replace_in_projection(projection: Vec<SelectItem>, replacements: &[(Expr, Expr)]) -> Vec<SelectItem> {
+fn replace_in_projection(
+    projection: Vec<SelectItem>,
+    replacements: &[(Expr, Expr)],
+) -> Vec<SelectItem> {
     projection
         .into_iter()
         .map(|item| match item {
             SelectItem::Expr(e) => SelectItem::Expr(replace_exprs(&e, replacements)),
-            SelectItem::ExprWithAlias { expr, alias } => {
-                SelectItem::ExprWithAlias { expr: replace_exprs(&expr, replacements), alias }
-            }
+            SelectItem::ExprWithAlias { expr, alias } => SelectItem::ExprWithAlias {
+                expr: replace_exprs(&expr, replacements),
+                alias,
+            },
             other => other,
         })
         .collect()
@@ -452,19 +507,10 @@ fn value_to_literal(v: &Value) -> Literal {
 }
 
 fn distinct_rows(table: &Table) -> Table {
-    let mut seen = std::collections::HashSet::new();
-    let mut keep = Vec::with_capacity(table.num_rows());
-    for r in 0..table.num_rows() {
-        let key: Vec<KeyValue> = table
-            .columns
-            .iter()
-            .map(|c| KeyValue::from_value(&c[r]))
-            .collect();
-        if seen.insert(key) {
-            keep.push(r);
-        }
-    }
-    table.take(&keep)
+    // the grouper's representatives are exactly the first occurrence of each
+    // distinct row, in order
+    let grouping = group_rows(&table.columns, table.num_rows());
+    table.take(&grouping.representatives)
 }
 
 #[cfg(test)]
@@ -520,9 +566,9 @@ mod tests {
             "SELECT city, count(*) AS cnt, sum(price) AS total FROM orders GROUP BY city ORDER BY total DESC",
         );
         assert_eq!(out.num_rows(), 3);
-        assert_eq!(out.value(0, 0), &Value::Str("det".into()));
-        assert_eq!(out.value(0, 1), &Value::Int(3));
-        assert_eq!(out.value(0, 2), &Value::Float(120.0));
+        assert_eq!(out.value_at(0, 0), Value::Str("det".into()));
+        assert_eq!(out.value_at(0, 1), Value::Int(3));
+        assert_eq!(out.value_at(0, 2), Value::Float(120.0));
     }
 
     #[test]
@@ -535,8 +581,8 @@ mod tests {
              GROUP BY p.product_id ORDER BY p.product_id",
         );
         assert_eq!(out.num_rows(), 3);
-        assert_eq!(out.value(0, 1), &Value::Float(15.0));
-        assert_eq!(out.value(2, 1), &Value::Float(55.0));
+        assert_eq!(out.value_at(0, 1), Value::Float(15.0));
+        assert_eq!(out.value_at(2, 1), Value::Float(55.0));
     }
 
     #[test]
@@ -548,7 +594,7 @@ mod tests {
              (SELECT city, sum(price) AS total FROM orders GROUP BY city) AS t",
         );
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, 0), &Value::Float(70.0));
+        assert_eq!(out.value_at(0, 0), Value::Float(70.0));
     }
 
     #[test]
@@ -568,7 +614,7 @@ mod tests {
             &c,
             "SELECT count(*) FROM orders WHERE price > (SELECT avg(price) FROM orders)",
         );
-        assert_eq!(out.value(0, 0), &Value::Int(3));
+        assert_eq!(out.value_at(0, 0), Value::Int(3));
     }
 
     #[test]
@@ -580,15 +626,23 @@ mod tests {
              FROM orders GROUP BY city ORDER BY city",
         );
         assert_eq!(out.num_rows(), 3);
-        assert!(out.columns[2].iter().all(|v| v.as_f64().unwrap_or(0.0) == 6.0 || v.as_i64() == Some(6)));
+        assert!(out.columns[2]
+            .iter()
+            .all(|v| v.as_f64().unwrap_or(0.0) == 6.0 || v.as_i64() == Some(6)));
     }
 
     #[test]
     fn create_table_as_and_insert_and_drop() {
         let c = setup();
-        run(&c, "CREATE TABLE expensive AS SELECT * FROM orders WHERE price > 30");
+        run(
+            &c,
+            "CREATE TABLE expensive AS SELECT * FROM orders WHERE price > 30",
+        );
         assert_eq!(c.row_count("expensive"), 3);
-        run(&c, "INSERT INTO expensive SELECT * FROM orders WHERE price <= 30");
+        run(
+            &c,
+            "INSERT INTO expensive SELECT * FROM orders WHERE price <= 30",
+        );
         assert_eq!(c.row_count("expensive"), 6);
         run(&c, "DROP TABLE expensive");
         assert!(!c.exists("expensive"));
@@ -599,7 +653,7 @@ mod tests {
         let c = setup();
         let out = run(&c, "SELECT 1 AS one, 2.5 AS two");
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, 0), &Value::Int(1));
+        assert_eq!(out.value_at(0, 0), Value::Int(1));
     }
 
     #[test]
@@ -616,7 +670,7 @@ mod tests {
             &c,
             "SELECT count(*) FROM orders WHERE order_id IN (SELECT order_id FROM order_products WHERE product_id = 100)",
         );
-        assert_eq!(out.value(0, 0), &Value::Int(2));
+        assert_eq!(out.value_at(0, 0), Value::Int(2));
     }
 
     #[test]
@@ -634,6 +688,6 @@ mod tests {
     fn count_distinct_in_query() {
         let c = setup();
         let out = run(&c, "SELECT count(DISTINCT city) FROM orders");
-        assert_eq!(out.value(0, 0), &Value::Int(3));
+        assert_eq!(out.value_at(0, 0), Value::Int(3));
     }
 }

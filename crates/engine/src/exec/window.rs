@@ -5,12 +5,16 @@
 //! totals across subsamples (paper Query 9).  The engine therefore supports
 //! `sum`, `count`, `avg`, `min`, and `max` over a `PARTITION BY` clause (no
 //! ordering / frame clauses, which the rewriter never emits).
+//!
+//! Partitions come from the typed hash grouper; sum/avg/count fold the typed
+//! argument slices directly.
 
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{eval_expr, EvalContext};
-use crate::table::{Column, Table};
-use crate::value::{KeyValue, Value};
-use std::collections::HashMap;
+use crate::kernels::group_rows;
+use crate::table::Table;
+use crate::value::Value;
 use verdict_sql::ast::{Expr, FunctionCall};
 use verdict_sql::dialect::GenericDialect;
 use verdict_sql::printer::print_expr;
@@ -60,9 +64,8 @@ pub fn eval_window(
     }
 
     // Argument column (count(*) has no argument to evaluate).
-    let is_count_star = call.name == "count"
-        && call.args.len() == 1
-        && matches!(call.args[0], Expr::Wildcard);
+    let is_count_star =
+        call.name == "count" && call.args.len() == 1 && matches!(call.args[0], Expr::Wildcard);
     let arg_col: Option<Column> = if is_count_star || call.args.is_empty() {
         None
     } else {
@@ -70,70 +73,92 @@ pub fn eval_window(
         Some(eval_expr(&call.args[0], &mut ctx)?)
     };
 
-    // Group rows by partition key.
-    let mut partitions: HashMap<Vec<KeyValue>, Vec<usize>> = HashMap::new();
-    for row in 0..n {
-        let key: Vec<KeyValue> = key_cols.iter().map(|c| KeyValue::from_value(&c[row])).collect();
-        partitions.entry(key).or_default().push(row);
-    }
+    // Cluster rows into partitions via typed hashing.
+    let grouping = group_rows(&key_cols, n);
+    let groups = grouping.num_groups();
 
-    // Compute the aggregate per partition.
-    let mut out = vec![Value::Null; n];
-    for rows in partitions.values() {
-        let agg = match call.name.as_str() {
-            "count" => {
-                let c = match &arg_col {
-                    None => rows.len() as i64,
-                    Some(col) => rows.iter().filter(|&&r| !col[r].is_null()).count() as i64,
-                };
-                Value::Int(c)
-            }
-            "sum" | "avg" => {
-                let col = arg_col.as_ref().ok_or_else(|| {
-                    EngineError::Execution(format!("window {} requires an argument", call.name))
-                })?;
-                let values: Vec<f64> = rows.iter().filter_map(|&r| col[r].as_f64()).collect();
-                if values.is_empty() {
-                    Value::Null
-                } else if call.name == "sum" {
-                    Value::Float(values.iter().sum())
-                } else {
-                    Value::Float(values.iter().sum::<f64>() / values.len() as f64)
-                }
-            }
-            "min" | "max" => {
-                let col = arg_col.as_ref().ok_or_else(|| {
-                    EngineError::Execution(format!("window {} requires an argument", call.name))
-                })?;
-                let mut best: Option<Value> = None;
-                for &r in rows {
-                    let v = &col[r];
-                    if v.is_null() {
-                        continue;
-                    }
-                    let replace = match &best {
-                        None => true,
-                        Some(b) => match v.sql_cmp(b) {
-                            Some(std::cmp::Ordering::Less) => call.name == "min",
-                            Some(std::cmp::Ordering::Greater) => call.name == "max",
-                            _ => false,
-                        },
-                    };
-                    if replace {
-                        best = Some(v.clone());
+    // Fold the aggregate per partition, then broadcast it back to the rows.
+    let per_group: Vec<Value> = match call.name.as_str() {
+        "count" => {
+            let mut counts = vec![0i64; groups];
+            match &arg_col {
+                None => {
+                    for &g in &grouping.gids {
+                        counts[g] += 1;
                     }
                 }
-                best.unwrap_or(Value::Null)
+                Some(col) => {
+                    for (i, &g) in grouping.gids.iter().enumerate() {
+                        if col.is_valid(i) {
+                            counts[g] += 1;
+                        }
+                    }
+                }
             }
-            other => {
-                return Err(EngineError::Unsupported(format!("window function {other}")));
-            }
-        };
-        for &r in rows {
-            out[r] = agg.clone();
+            counts.into_iter().map(Value::Int).collect()
         }
-    }
-    Ok(out)
+        "sum" | "avg" => {
+            let col = arg_col.as_ref().ok_or_else(|| {
+                EngineError::Execution(format!("window {} requires an argument", call.name))
+            })?;
+            let mut sums = vec![0.0f64; groups];
+            let mut counts = vec![0u64; groups];
+            for (i, &g) in grouping.gids.iter().enumerate() {
+                if let Some(x) = col.f64_at(i) {
+                    sums[g] += x;
+                    counts[g] += 1;
+                }
+            }
+            let avg = call.name == "avg";
+            sums.into_iter()
+                .zip(counts)
+                .map(|(s, c)| {
+                    if c == 0 {
+                        Value::Null
+                    } else if avg {
+                        Value::Float(s / c as f64)
+                    } else {
+                        Value::Float(s)
+                    }
+                })
+                .collect()
+        }
+        "min" | "max" => {
+            let col = arg_col.as_ref().ok_or_else(|| {
+                EngineError::Execution(format!("window {} requires an argument", call.name))
+            })?;
+            let is_min = call.name == "min";
+            let mut best: Vec<Option<Value>> = vec![None; groups];
+            for (i, &g) in grouping.gids.iter().enumerate() {
+                let v = col.value_at(i);
+                if v.is_null() {
+                    continue;
+                }
+                let replace = match &best[g] {
+                    None => true,
+                    Some(b) => match v.sql_cmp(b) {
+                        Some(std::cmp::Ordering::Less) => is_min,
+                        Some(std::cmp::Ordering::Greater) => !is_min,
+                        _ => false,
+                    },
+                };
+                if replace {
+                    best[g] = Some(v);
+                }
+            }
+            best.into_iter().map(|b| b.unwrap_or(Value::Null)).collect()
+        }
+        other => {
+            return Err(EngineError::Unsupported(format!("window function {other}")));
+        }
+    };
+
+    let out: Vec<Value> = grouping
+        .gids
+        .iter()
+        .map(|&g| per_group[g].clone())
+        .collect();
+    Ok(Column::from_values(&out))
 }
 
 #[cfg(test)]
@@ -147,7 +172,10 @@ mod tests {
         TableBuilder::new()
             .str_column(
                 "city",
-                vec!["a", "a", "b", "b", "b"].into_iter().map(String::from).collect(),
+                vec!["a", "a", "b", "b", "b"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
             )
             .float_column("cnt", vec![1.0, 2.0, 3.0, 4.0, 5.0])
             .build()
@@ -167,9 +195,9 @@ mod tests {
         let call = window_of("sum(cnt) OVER (PARTITION BY city)");
         let mut rng = seeded_uniform(1);
         let col = eval_window(&call, &f, &mut rng).unwrap();
-        assert_eq!(col[0], Value::Float(3.0));
-        assert_eq!(col[1], Value::Float(3.0));
-        assert_eq!(col[2], Value::Float(12.0));
+        assert_eq!(col.value_at(0), Value::Float(3.0));
+        assert_eq!(col.value_at(1), Value::Float(3.0));
+        assert_eq!(col.value_at(2), Value::Float(12.0));
     }
 
     #[test]
@@ -178,7 +206,7 @@ mod tests {
         let call = window_of("count(*) OVER ()");
         let mut rng = seeded_uniform(1);
         let col = eval_window(&call, &f, &mut rng).unwrap();
-        assert!(col.iter().all(|v| v == &Value::Int(5)));
+        assert!(col.iter().all(|v| v == Value::Int(5)));
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! Vectorized expression evaluation over an in-memory [`Table`].
 //!
-//! Expressions are evaluated directly from the AST, producing one output
-//! column per call.  Aggregate and window function calls are *not* handled
-//! here — the executor replaces them with plain column references into the
-//! aggregated frame before projecting (see `exec::aggregate`).
+//! Expressions are evaluated directly from the AST, producing one typed
+//! output [`Column`] per call.  Arithmetic, comparisons, boolean logic,
+//! BETWEEN, IS NULL, and CAST run as typed kernels (see [`crate::kernels`]);
+//! only genuinely dynamic constructs (CASE branches, unusual type mixes) fall
+//! back to per-row [`Value`] materialisation.
+//!
+//! Aggregate and window function calls are *not* handled here — the executor
+//! replaces them with plain column references into the aggregated frame
+//! before projecting (see `exec::aggregate`).
 
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
 use crate::functions::{eval_scalar_function, is_scalar_function, like_match};
-use crate::table::{Column, Table};
+use crate::kernels;
+use crate::table::Table;
 use crate::value::{DataType, Value};
 use verdict_sql::ast::{BinaryOp, CastType, Expr, Literal, UnaryOp};
 
@@ -26,33 +33,20 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_>) -> EngineResult<Column>
             let idx = ctx.table.schema.resolve(table.as_deref(), name)?;
             Ok(ctx.table.columns[idx].clone())
         }
-        Expr::Literal(lit) => Ok(vec![literal_value(lit); n]),
+        Expr::Literal(lit) => Ok(Column::repeat(&literal_value(lit), n)),
         Expr::Wildcard => Err(EngineError::Execution(
             "'*' is only valid inside count(*) or a select list".into(),
         )),
         Expr::BinaryOp { left, op, right } => {
             let l = eval_expr(left, ctx)?;
             let r = eval_expr(right, ctx)?;
-            eval_binary(&l, *op, &r)
+            kernels::binary_op(&l, *op, &r)
         }
         Expr::UnaryOp { op, expr } => {
             let inner = eval_expr(expr, ctx)?;
             Ok(match op {
-                UnaryOp::Not => inner
-                    .into_iter()
-                    .map(|v| match v.as_bool() {
-                        Some(b) => Value::Bool(!b),
-                        None => Value::Null,
-                    })
-                    .collect(),
-                UnaryOp::Minus => inner
-                    .into_iter()
-                    .map(|v| match v {
-                        Value::Int(i) => Value::Int(-i),
-                        Value::Float(f) => Value::Float(-f),
-                        _ => Value::Null,
-                    })
-                    .collect(),
+                UnaryOp::Not => kernels::bool_not(&inner),
+                UnaryOp::Minus => kernels::negate(&inner),
                 UnaryOp::Plus => inner,
             })
         }
@@ -77,100 +71,137 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_>) -> EngineResult<Column>
             }
             eval_scalar_function(&f.name, &args, n, ctx.rng)
         }
-        Expr::Case { operand, when_then, else_expr } => {
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            // Each branch's firing condition becomes a boolean mask; the
+            // output is assembled row-wise from the first firing branch.
+            let mut branch_cols: Vec<Column> = Vec::with_capacity(when_then.len());
+            let mut fire_masks: Vec<Vec<bool>> = Vec::with_capacity(when_then.len());
             let operand_col = match operand {
                 Some(op) => Some(eval_expr(op, ctx)?),
                 None => None,
             };
-            let mut branches = Vec::with_capacity(when_then.len());
             for (w, t) in when_then {
                 let cond = eval_expr(w, ctx)?;
-                let val = eval_expr(t, ctx)?;
-                branches.push((cond, val));
+                let mask = match &operand_col {
+                    Some(op_col) => {
+                        kernels::column_to_mask(&kernels::compare(op_col, BinaryOp::Eq, &cond))
+                    }
+                    None => kernels::column_to_mask(&cond),
+                };
+                fire_masks.push(mask);
+                branch_cols.push(eval_expr(t, ctx)?);
             }
             let else_col = match else_expr {
                 Some(e) => Some(eval_expr(e, ctx)?),
                 None => None,
             };
             let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                let mut chosen: Option<Value> = None;
-                for (cond, val) in &branches {
-                    let fire = match &operand_col {
-                        Some(op_col) => op_col[i] == cond[i] && !op_col[i].is_null(),
-                        None => cond[i].as_bool().unwrap_or(false),
-                    };
-                    if fire {
-                        chosen = Some(val[i].clone());
-                        break;
+            'rows: for i in 0..n {
+                for (mask, col) in fire_masks.iter().zip(branch_cols.iter()) {
+                    if mask[i] {
+                        out.push(col.value_at(i));
+                        continue 'rows;
                     }
                 }
-                out.push(chosen.unwrap_or_else(|| {
-                    else_col.as_ref().map(|c| c[i].clone()).unwrap_or(Value::Null)
-                }));
+                out.push(
+                    else_col
+                        .as_ref()
+                        .map(|c| c.value_at(i))
+                        .unwrap_or(Value::Null),
+                );
             }
-            Ok(out)
+            Ok(Column::from_values(&out))
         }
         Expr::IsNull { expr, negated } => {
             let inner = eval_expr(expr, ctx)?;
-            Ok(inner
-                .into_iter()
-                .map(|v| Value::Bool(v.is_null() != *negated))
-                .collect())
+            Ok(kernels::is_null_column(&inner, *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let target = eval_expr(expr, ctx)?;
-            let mut list_cols = Vec::with_capacity(list.len());
+            let mut eq_masks: Vec<Vec<bool>> = Vec::with_capacity(list.len());
             for e in list {
-                list_cols.push(eval_expr(e, ctx)?);
+                let item = eval_expr(e, ctx)?;
+                eq_masks.push(kernels::column_to_mask(&kernels::compare(
+                    &target,
+                    BinaryOp::Eq,
+                    &item,
+                )));
             }
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
-                if target[i].is_null() {
-                    out.push(Value::Null);
+                if target.is_null_at(i) {
+                    out.push(None);
                     continue;
                 }
-                let found = list_cols.iter().any(|c| c[i] == target[i]);
-                out.push(Value::Bool(found != *negated));
+                let found = eq_masks.iter().any(|m| m[i]);
+                out.push(Some(found != *negated));
             }
-            Ok(out)
+            Ok(Column::from_opt_bool(out))
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval_expr(expr, ctx)?;
             let lo = eval_expr(low, ctx)?;
             let hi = eval_expr(high, ctx)?;
+            let ge = kernels::compare(&v, BinaryOp::GtEq, &lo);
+            let le = kernels::compare(&v, BinaryOp::LtEq, &hi);
+            // NULL when either bound comparison is NULL (matching sql_cmp),
+            // which is stricter than 3VL AND.
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
-                let inside = match (v[i].sql_cmp(&lo[i]), v[i].sql_cmp(&hi[i])) {
-                    (Some(a), Some(b)) => {
-                        a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater
-                    }
-                    _ => {
-                        out.push(Value::Null);
-                        continue;
-                    }
-                };
-                out.push(Value::Bool(inside != *negated));
+                out.push(match (ge.bool_at(i), le.bool_at(i)) {
+                    (Some(a), Some(b)) => Some((a && b) != *negated),
+                    _ => None,
+                });
             }
-            Ok(out)
+            Ok(Column::from_opt_bool(out))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_expr(expr, ctx)?;
             let p = eval_expr(pattern, ctx)?;
             let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                match (v[i].as_str_lossy(), p[i].as_str_lossy()) {
-                    (Some(text), Some(pat)) => {
-                        out.push(Value::Bool(like_match(&text, &pat) != *negated))
+            match (v.as_strs(), p.as_strs()) {
+                (Some(texts), Some(pats)) => {
+                    for i in 0..n {
+                        out.push(if v.is_valid(i) && p.is_valid(i) {
+                            Some(like_match(&texts[i], &pats[i]) != *negated)
+                        } else {
+                            None
+                        });
                     }
-                    _ => out.push(Value::Null),
+                }
+                _ => {
+                    for i in 0..n {
+                        match (v.value_at(i).as_str_lossy(), p.value_at(i).as_str_lossy()) {
+                            (Some(text), Some(pat)) => {
+                                out.push(Some(like_match(&text, &pat) != *negated))
+                            }
+                            _ => out.push(None),
+                        }
+                    }
                 }
             }
-            Ok(out)
+            Ok(Column::from_opt_bool(out))
         }
         Expr::Cast { expr, data_type } => {
             let inner = eval_expr(expr, ctx)?;
-            Ok(inner.into_iter().map(|v| cast_value(v, *data_type)).collect())
+            Ok(kernels::cast_column(&inner, *data_type))
         }
         Expr::Nested(e) => eval_expr(e, ctx),
         Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
@@ -192,141 +223,9 @@ pub fn literal_value(lit: &Literal) -> Value {
     }
 }
 
-fn cast_value(v: Value, to: CastType) -> Value {
-    if v.is_null() {
-        return Value::Null;
-    }
-    match to {
-        CastType::Integer => match &v {
-            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
-            _ => v.as_i64().map(Value::Int).unwrap_or(Value::Null),
-        },
-        CastType::Double => match &v {
-            Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
-            _ => v.as_f64().map(Value::Float).unwrap_or(Value::Null),
-        },
-        CastType::Varchar => v.as_str_lossy().map(Value::Str).unwrap_or(Value::Null),
-        CastType::Boolean => v.as_bool().map(Value::Bool).unwrap_or(Value::Null),
-    }
-}
-
-fn eval_binary(left: &Column, op: BinaryOp, right: &Column) -> EngineResult<Column> {
-    let n = left.len();
-    debug_assert_eq!(n, right.len());
-    let mut out = Vec::with_capacity(n);
-    match op {
-        BinaryOp::And => {
-            for i in 0..n {
-                out.push(match (left[i].as_bool(), right[i].as_bool()) {
-                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
-                    (Some(true), Some(true)) => Value::Bool(true),
-                    _ => Value::Null,
-                });
-            }
-        }
-        BinaryOp::Or => {
-            for i in 0..n {
-                out.push(match (left[i].as_bool(), right[i].as_bool()) {
-                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
-                    (Some(false), Some(false)) => Value::Bool(false),
-                    _ => Value::Null,
-                });
-            }
-        }
-        BinaryOp::Concat => {
-            for i in 0..n {
-                out.push(match (left[i].as_str_lossy(), right[i].as_str_lossy()) {
-                    (Some(a), Some(b)) => Value::Str(format!("{a}{b}")),
-                    _ => Value::Null,
-                });
-            }
-        }
-        op if op.is_comparison() => {
-            for i in 0..n {
-                let cmp = left[i].sql_cmp(&right[i]);
-                out.push(match cmp {
-                    None => Value::Null,
-                    Some(ord) => {
-                        use std::cmp::Ordering::*;
-                        let b = match op {
-                            BinaryOp::Eq => ord == Equal,
-                            BinaryOp::NotEq => ord != Equal,
-                            BinaryOp::Lt => ord == Less,
-                            BinaryOp::LtEq => ord != Greater,
-                            BinaryOp::Gt => ord == Greater,
-                            BinaryOp::GtEq => ord != Less,
-                            _ => unreachable!(),
-                        };
-                        Value::Bool(b)
-                    }
-                });
-            }
-        }
-        _ => {
-            // preserve integer arithmetic when both sides are integers
-            for i in 0..n {
-                let v = match (&left[i], &right[i]) {
-                    (Value::Null, _) | (_, Value::Null) => Value::Null,
-                    (Value::Int(a), Value::Int(b)) => match op {
-                        BinaryOp::Plus => Value::Int(a.wrapping_add(*b)),
-                        BinaryOp::Minus => Value::Int(a.wrapping_sub(*b)),
-                        BinaryOp::Multiply => Value::Int(a.wrapping_mul(*b)),
-                        BinaryOp::Divide => {
-                            if *b == 0 {
-                                Value::Null
-                            } else {
-                                // SQL engines differ; we follow Hive/Spark and
-                                // return a double for division.
-                                Value::Float(*a as f64 / *b as f64)
-                            }
-                        }
-                        BinaryOp::Modulo => {
-                            if *b == 0 {
-                                Value::Null
-                            } else {
-                                Value::Int(a % b)
-                            }
-                        }
-                        _ => unreachable!(),
-                    },
-                    (a, b) => match (a.as_f64(), b.as_f64()) {
-                        (Some(x), Some(y)) => match op {
-                            BinaryOp::Plus => Value::Float(x + y),
-                            BinaryOp::Minus => Value::Float(x - y),
-                            BinaryOp::Multiply => Value::Float(x * y),
-                            BinaryOp::Divide => {
-                                if y == 0.0 {
-                                    Value::Null
-                                } else {
-                                    Value::Float(x / y)
-                                }
-                            }
-                            BinaryOp::Modulo => {
-                                if y == 0.0 {
-                                    Value::Null
-                                } else {
-                                    Value::Float(x % y)
-                                }
-                            }
-                            _ => unreachable!(),
-                        },
-                        _ => {
-                            return Err(EngineError::TypeMismatch(format!(
-                                "cannot apply {op} to {a} and {b}"
-                            )))
-                        }
-                    },
-                };
-                out.push(v);
-            }
-        }
-    }
-    Ok(out)
-}
-
 /// Converts a boolean column into a selection mask (NULL counts as false).
 pub fn column_to_mask(col: &Column) -> Vec<bool> {
-    col.iter().map(|v| v.as_bool().unwrap_or(false)).collect()
+    kernels::column_to_mask(col)
 }
 
 /// Infers the static output type of an expression against a schema.  Falls
@@ -357,11 +256,20 @@ pub fn infer_type(expr: &Expr, schema: &crate::schema::Schema) -> DataType {
                 }
             }
         }
-        Expr::UnaryOp { op: UnaryOp::Not, .. } => DataType::Bool,
+        Expr::UnaryOp {
+            op: UnaryOp::Not, ..
+        } => DataType::Bool,
         Expr::UnaryOp { expr, .. } => infer_type(expr, schema),
         Expr::Function(f) => match f.name.as_str() {
-            "count" | "ndv" | "approx_count_distinct" | "verdict_hash" | "fnv_hash" | "hash"
-            | "crc32" | "strtol" | "length" => DataType::Int,
+            "count"
+            | "ndv"
+            | "approx_count_distinct"
+            | "verdict_hash"
+            | "fnv_hash"
+            | "hash"
+            | "crc32"
+            | "strtol"
+            | "length" => DataType::Int,
             "upper" | "lower" | "concat" | "substr" | "substring" => DataType::Str,
             "min" | "max" | "coalesce" | "least" | "greatest" | "if" | "nullif" => f
                 .args
@@ -370,7 +278,11 @@ pub fn infer_type(expr: &Expr, schema: &crate::schema::Schema) -> DataType {
                 .unwrap_or(DataType::Float),
             _ => DataType::Float,
         },
-        Expr::Case { when_then, else_expr, .. } => when_then
+        Expr::Case {
+            when_then,
+            else_expr,
+            ..
+        } => when_then
             .first()
             .map(|(_, t)| infer_type(t, schema))
             .or_else(|| else_expr.as_ref().map(|e| infer_type(e, schema)))
@@ -406,28 +318,42 @@ mod tests {
             .float_column("price", vec![10.0, 25.0, 7.5, 100.0])
             .str_column(
                 "city",
-                vec!["aa", "dtw", "aa", "chi"].into_iter().map(String::from).collect(),
+                vec!["aa", "dtw", "aa", "chi"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
             )
             .build()
             .unwrap()
     }
 
-    fn eval(sql: &str, t: &Table) -> Column {
+    fn eval(sql: &str, t: &Table) -> Vec<Value> {
         let e = parse_expression(sql).unwrap();
         let mut rng = seeded_uniform(7);
-        let mut ctx = EvalContext { table: t, rng: &mut rng };
-        eval_expr(&e, &mut ctx).unwrap()
+        let mut ctx = EvalContext {
+            table: t,
+            rng: &mut rng,
+        };
+        eval_expr(&e, &mut ctx).unwrap().to_values()
     }
 
     #[test]
     fn arithmetic_and_comparison() {
         let t = frame();
         let c = eval("a * 2 + 1", &t);
-        assert_eq!(c, vec![Value::Int(3), Value::Int(5), Value::Int(7), Value::Int(9)]);
+        assert_eq!(
+            c,
+            vec![Value::Int(3), Value::Int(5), Value::Int(7), Value::Int(9)]
+        );
         let c = eval("price > 10", &t);
         assert_eq!(
             c,
-            vec![Value::Bool(false), Value::Bool(true), Value::Bool(false), Value::Bool(true)]
+            vec![
+                Value::Bool(false),
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Bool(true)
+            ]
         );
     }
 
@@ -451,12 +377,28 @@ mod tests {
     fn in_list_and_like_and_between() {
         let t = frame();
         let c = eval("city IN ('aa', 'chi')", &t);
-        assert_eq!(c, vec![Value::Bool(true), Value::Bool(false), Value::Bool(true), Value::Bool(true)]);
+        assert_eq!(
+            c,
+            vec![
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Bool(true),
+                Value::Bool(true)
+            ]
+        );
         let c = eval("city LIKE '%a%'", &t);
         assert_eq!(c[0], Value::Bool(true));
         assert_eq!(c[1], Value::Bool(false));
         let c = eval("price BETWEEN 7.5 AND 25", &t);
-        assert_eq!(c, vec![Value::Bool(true), Value::Bool(true), Value::Bool(true), Value::Bool(false)]);
+        assert_eq!(
+            c,
+            vec![
+                Value::Bool(true),
+                Value::Bool(true),
+                Value::Bool(true),
+                Value::Bool(false)
+            ]
+        );
     }
 
     #[test]
@@ -471,7 +413,10 @@ mod tests {
         let t = frame();
         let e = parse_expression("sum(price)").unwrap();
         let mut rng = seeded_uniform(7);
-        let mut ctx = EvalContext { table: &t, rng: &mut rng };
+        let mut ctx = EvalContext {
+            table: &t,
+            rng: &mut rng,
+        };
         assert!(eval_expr(&e, &mut ctx).is_err());
     }
 
@@ -485,11 +430,31 @@ mod tests {
     }
 
     #[test]
+    fn null_literal_comparisons_are_null() {
+        let t = frame();
+        let c = eval("a = NULL", &t);
+        assert!(c.iter().all(|v| v.is_null()));
+        let c = eval("a IS NULL", &t);
+        assert!(c.iter().all(|v| v == &Value::Bool(false)));
+        let c = eval("a IS NOT NULL", &t);
+        assert!(c.iter().all(|v| v == &Value::Bool(true)));
+    }
+
+    #[test]
     fn type_inference() {
         let t = frame();
-        assert_eq!(infer_type(&parse_expression("a + 1").unwrap(), &t.schema), DataType::Int);
-        assert_eq!(infer_type(&parse_expression("price > 1").unwrap(), &t.schema), DataType::Bool);
-        assert_eq!(infer_type(&parse_expression("a / 2").unwrap(), &t.schema), DataType::Float);
+        assert_eq!(
+            infer_type(&parse_expression("a + 1").unwrap(), &t.schema),
+            DataType::Int
+        );
+        assert_eq!(
+            infer_type(&parse_expression("price > 1").unwrap(), &t.schema),
+            DataType::Bool
+        );
+        assert_eq!(
+            infer_type(&parse_expression("a / 2").unwrap(), &t.schema),
+            DataType::Float
+        );
         assert_eq!(
             infer_type(&parse_expression("count(*)").unwrap(), &t.schema),
             DataType::Int

@@ -5,9 +5,13 @@
 //! module implements `rand()`, the hash family (`verdict_hash`, `fnv_hash`,
 //! `hash`, `crc32`), and the usual arithmetic/string helpers that appear in
 //! rewritten queries (`floor`, `round`, `sqrt`, `case` arithmetic, …).
+//!
+//! Functions evaluate over typed [`Column`]s: the numeric and hash families
+//! run typed loops; the variadic/conditional helpers (`coalesce`, `if`, …)
+//! use the `Value` compatibility shim since they are inherently dynamic.
 
+use crate::column::{Column, ColumnData};
 use crate::error::{EngineError, EngineResult};
-use crate::table::Column;
 use crate::value::Value;
 use rand::Rng;
 
@@ -43,13 +47,87 @@ pub fn fnv1a_hash_value(v: &Value) -> u64 {
     h
 }
 
+/// Typed FNV-1a hashing of a whole column (NULL rows yield `None`), matching
+/// [`fnv1a_hash_value`] bit-for-bit without materialising values.
+pub(crate) fn fnv_hash_column_raw(col: &Column) -> Vec<Option<u64>> {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    #[inline]
+    fn feed(mut h: u64, bytes: &[u8]) -> u64 {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let n = col.len();
+    let mut out = Vec::with_capacity(n);
+    match col.data() {
+        ColumnData::Int64(v) => {
+            for i in 0..n {
+                out.push(col.is_valid(i).then(|| feed(OFFSET, &v[i].to_le_bytes())));
+            }
+        }
+        ColumnData::Float64(v) => {
+            for i in 0..n {
+                out.push(col.is_valid(i).then(|| {
+                    let f = v[i];
+                    if f.fract() == 0.0 && f.abs() < 9.0e18 {
+                        feed(OFFSET, &(f as i64).to_le_bytes())
+                    } else {
+                        feed(OFFSET, &f.to_bits().to_le_bytes())
+                    }
+                }));
+            }
+        }
+        ColumnData::Utf8(v) => {
+            for i in 0..n {
+                out.push(col.is_valid(i).then(|| feed(OFFSET, v[i].as_bytes())));
+            }
+        }
+        ColumnData::Bool(v) => {
+            for i in 0..n {
+                out.push(col.is_valid(i).then(|| feed(OFFSET, &[v[i] as u8])));
+            }
+        }
+    }
+    out
+}
+
 /// Returns true when `name` is a scalar function this module can evaluate.
 pub fn is_scalar_function(name: &str) -> bool {
     const NAMES: &[&str] = &[
-        "rand", "floor", "ceil", "ceiling", "abs", "round", "sqrt", "ln", "log", "exp", "power",
-        "pow", "mod", "pmod", "verdict_hash", "fnv_hash", "hash", "crc32", "strtol", "substr",
-        "substring", "upper", "lower", "length", "concat", "coalesce", "least", "greatest", "if",
-        "nullif", "sign",
+        "rand",
+        "floor",
+        "ceil",
+        "ceiling",
+        "abs",
+        "round",
+        "sqrt",
+        "ln",
+        "log",
+        "exp",
+        "power",
+        "pow",
+        "mod",
+        "pmod",
+        "verdict_hash",
+        "fnv_hash",
+        "hash",
+        "crc32",
+        "strtol",
+        "substr",
+        "substring",
+        "upper",
+        "lower",
+        "length",
+        "concat",
+        "coalesce",
+        "least",
+        "greatest",
+        "if",
+        "nullif",
+        "sign",
     ];
     let lower = name.to_ascii_lowercase();
     NAMES.contains(&lower.as_str())
@@ -67,32 +145,31 @@ pub fn eval_scalar_function(
 ) -> EngineResult<Column> {
     let lower = name.to_ascii_lowercase();
     match lower.as_str() {
-        "rand" => Ok((0..num_rows).map(|_| Value::Float(rng())).collect()),
-        "floor" => unary_numeric(&lower, args, num_rows, |x| x.floor()),
-        "ceil" | "ceiling" => unary_numeric(&lower, args, num_rows, |x| x.ceil()),
-        "abs" => unary_numeric(&lower, args, num_rows, |x| x.abs()),
-        "sqrt" => unary_numeric(&lower, args, num_rows, |x| x.sqrt()),
-        "ln" | "log" => unary_numeric(&lower, args, num_rows, |x| x.ln()),
-        "exp" => unary_numeric(&lower, args, num_rows, |x| x.exp()),
-        "sign" => unary_numeric(&lower, args, num_rows, |x| x.signum()),
+        "rand" => Ok(Column::from_f64((0..num_rows).map(|_| rng()).collect())),
+        "floor" => unary_numeric(&lower, args, |x| x.floor()),
+        "ceil" | "ceiling" => unary_numeric(&lower, args, |x| x.ceil()),
+        "abs" => unary_numeric(&lower, args, |x| x.abs()),
+        "sqrt" => unary_numeric(&lower, args, |x| x.sqrt()),
+        "ln" | "log" => unary_numeric(&lower, args, |x| x.ln()),
+        "exp" => unary_numeric(&lower, args, |x| x.exp()),
+        "sign" => unary_numeric(&lower, args, |x| x.signum()),
         "round" => {
             expect_args(&lower, args, &[1, 2])?;
-            let digits: Vec<f64> = if args.len() == 2 {
-                args[1].iter().map(|v| v.as_f64().unwrap_or(0.0)).collect()
-            } else {
-                vec![0.0; num_rows]
-            };
-            Ok(args[0]
-                .iter()
-                .zip(digits.iter())
-                .map(|(v, d)| match v.as_f64() {
-                    Some(x) => {
-                        let scale = 10f64.powi(*d as i32);
-                        Value::Float((x * scale).round() / scale)
-                    }
-                    None => Value::Null,
-                })
-                .collect())
+            let col = &args[0];
+            let n = col.len();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let digits = if args.len() == 2 {
+                    args[1].f64_at(i).unwrap_or(0.0)
+                } else {
+                    0.0
+                };
+                out.push(col.f64_at(i).map(|x| {
+                    let scale = 10f64.powi(digits as i32);
+                    (x * scale).round() / scale
+                }));
+            }
+            Ok(Column::from_opt_f64(out))
         }
         "power" | "pow" => binary_numeric(&lower, args, |a, b| a.powf(b)),
         "mod" => binary_numeric(&lower, args, |a, b| if b == 0.0 { f64::NAN } else { a % b }),
@@ -105,84 +182,79 @@ pub fn eval_scalar_function(
         }),
         "verdict_hash" => {
             expect_args(&lower, args, &[2])?;
-            Ok(args[0]
+            let hashes = fnv_hash_column_raw(&args[0]);
+            let out: Vec<Option<i64>> = hashes
                 .iter()
-                .zip(args[1].iter())
-                .map(|(v, m)| {
-                    let modulus = m.as_i64().unwrap_or(1).max(1) as u64;
-                    if v.is_null() {
-                        Value::Null
-                    } else {
-                        Value::Int((fnv1a_hash_value(v) % modulus) as i64)
-                    }
+                .enumerate()
+                .map(|(i, h)| {
+                    h.map(|h| {
+                        let modulus = args[1].value_at(i).as_i64().unwrap_or(1).max(1) as u64;
+                        (h % modulus) as i64
+                    })
                 })
-                .collect())
+                .collect();
+            Ok(Column::from_opt_i64(out))
         }
         "fnv_hash" | "hash" | "crc32" => {
             expect_args(&lower, args, &[1])?;
-            Ok(args[0]
-                .iter()
-                .map(|v| {
-                    if v.is_null() {
-                        Value::Null
-                    } else {
-                        // keep the result positive and within i64
-                        Value::Int((fnv1a_hash_value(v) >> 1) as i64)
-                    }
-                })
-                .collect())
+            let out: Vec<Option<i64>> = fnv_hash_column_raw(&args[0])
+                .into_iter()
+                // keep the result positive and within i64
+                .map(|h| h.map(|h| (h >> 1) as i64))
+                .collect();
+            Ok(Column::from_opt_i64(out))
         }
         "strtol" => {
             // strtol(string, base) — Redshift idiom; our hash already returns
             // integers so this is effectively a cast.
             expect_args(&lower, args, &[2])?;
-            Ok(args[0]
-                .iter()
-                .map(|v| match v.as_i64() {
-                    Some(i) => Value::Int(i),
-                    None => v
-                        .as_str_lossy()
-                        .and_then(|s| i64::from_str_radix(s.trim(), 16).ok())
-                        .map(Value::Int)
-                        .unwrap_or(Value::Null),
+            let out: Vec<Option<i64>> = (0..args[0].len())
+                .map(|i| {
+                    let v = args[0].value_at(i);
+                    match v.as_i64() {
+                        Some(x) => Some(x),
+                        None => v
+                            .as_str_lossy()
+                            .and_then(|s| i64::from_str_radix(s.trim(), 16).ok()),
+                    }
                 })
-                .collect())
+                .collect();
+            Ok(Column::from_opt_i64(out))
         }
         "substr" | "substring" => {
             expect_args(&lower, args, &[2, 3])?;
             let n = args[0].len();
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
-                let s = args[0][i].as_str_lossy();
-                let start = args[1][i].as_i64().unwrap_or(1).max(1) as usize;
+                let s = args[0].value_at(i).as_str_lossy();
+                let start = args[1].value_at(i).as_i64().unwrap_or(1).max(1) as usize;
                 let len = if args.len() == 3 {
-                    args[2][i].as_i64().unwrap_or(0).max(0) as usize
+                    args[2].value_at(i).as_i64().unwrap_or(0).max(0) as usize
                 } else {
                     usize::MAX
                 };
-                out.push(match s {
-                    Some(s) => {
-                        let chars: Vec<char> = s.chars().collect();
-                        let begin = (start - 1).min(chars.len());
-                        let end = begin.saturating_add(len).min(chars.len());
-                        Value::Str(chars[begin..end].iter().collect())
-                    }
-                    None => Value::Null,
-                });
+                out.push(s.map(|s| {
+                    let chars: Vec<char> = s.chars().collect();
+                    let begin = (start - 1).min(chars.len());
+                    let end = begin.saturating_add(len).min(chars.len());
+                    chars[begin..end].iter().collect::<String>()
+                }));
             }
-            Ok(out)
+            Ok(Column::from_opt_str(out))
         }
         "upper" => unary_string(&lower, args, |s| s.to_uppercase()),
         "lower" => unary_string(&lower, args, |s| s.to_lowercase()),
         "length" => {
             expect_args(&lower, args, &[1])?;
-            Ok(args[0]
-                .iter()
-                .map(|v| match v.as_str_lossy() {
-                    Some(s) => Value::Int(s.chars().count() as i64),
-                    None => Value::Null,
+            let out: Vec<Option<i64>> = (0..args[0].len())
+                .map(|i| {
+                    args[0]
+                        .value_at(i)
+                        .as_str_lossy()
+                        .map(|s| s.chars().count() as i64)
                 })
-                .collect())
+                .collect();
+            Ok(Column::from_opt_i64(out))
         }
         "concat" => {
             if args.is_empty() {
@@ -194,14 +266,14 @@ pub fn eval_scalar_function(
                 let mut s = String::new();
                 let mut null = false;
                 for a in args {
-                    match a[i].as_str_lossy() {
+                    match a.value_at(i).as_str_lossy() {
                         Some(part) => s.push_str(&part),
                         None => null = true,
                     }
                 }
-                out.push(if null { Value::Null } else { Value::Str(s) });
+                out.push(if null { None } else { Some(s) });
             }
-            Ok(out)
+            Ok(Column::from_opt_str(out))
         }
         "coalesce" => {
             if args.is_empty() {
@@ -212,16 +284,18 @@ pub fn eval_scalar_function(
             for i in 0..n {
                 let v = args
                     .iter()
-                    .map(|a| a[i].clone())
+                    .map(|a| a.value_at(i))
                     .find(|v| !v.is_null())
                     .unwrap_or(Value::Null);
                 out.push(v);
             }
-            Ok(out)
+            Ok(Column::from_values(&out))
         }
         "least" | "greatest" => {
             if args.is_empty() {
-                return Err(EngineError::Execution(format!("{lower} requires arguments")));
+                return Err(EngineError::Execution(format!(
+                    "{lower} requires arguments"
+                )));
             }
             let n = args[0].len();
             let want_min = lower == "least";
@@ -229,12 +303,12 @@ pub fn eval_scalar_function(
             for i in 0..n {
                 let mut best: Option<Value> = None;
                 for a in args {
-                    let v = &a[i];
+                    let v = a.value_at(i);
                     if v.is_null() {
                         continue;
                     }
                     best = Some(match best {
-                        None => v.clone(),
+                        None => v,
                         Some(b) => {
                             let keep_new = match v.sql_cmp(&b) {
                                 Some(std::cmp::Ordering::Less) => want_min,
@@ -242,7 +316,7 @@ pub fn eval_scalar_function(
                                 _ => false,
                             };
                             if keep_new {
-                                v.clone()
+                                v
                             } else {
                                 b
                             }
@@ -251,31 +325,34 @@ pub fn eval_scalar_function(
                 }
                 out.push(best.unwrap_or(Value::Null));
             }
-            Ok(out)
+            Ok(Column::from_values(&out))
         }
         "if" => {
             expect_args(&lower, args, &[3])?;
-            Ok((0..args[0].len())
+            let out: Vec<Value> = (0..args[0].len())
                 .map(|i| {
-                    if args[0][i].as_bool().unwrap_or(false) {
-                        args[1][i].clone()
+                    if args[0].bool_at(i).unwrap_or(false) {
+                        args[1].value_at(i)
                     } else {
-                        args[2][i].clone()
+                        args[2].value_at(i)
                     }
                 })
-                .collect())
+                .collect();
+            Ok(Column::from_values(&out))
         }
         "nullif" => {
             expect_args(&lower, args, &[2])?;
-            Ok((0..args[0].len())
+            let out: Vec<Value> = (0..args[0].len())
                 .map(|i| {
-                    if args[0][i] == args[1][i] {
+                    let a = args[0].value_at(i);
+                    if a == args[1].value_at(i) {
                         Value::Null
                     } else {
-                        args[0][i].clone()
+                        a
                     }
                 })
-                .collect())
+                .collect();
+            Ok(Column::from_values(&out))
         }
         other => Err(EngineError::Unsupported(format!("scalar function {other}"))),
     }
@@ -298,48 +375,59 @@ fn binary_numeric(
     f: impl Fn(f64, f64) -> f64,
 ) -> EngineResult<Column> {
     expect_args(name, args, &[2])?;
-    Ok(args[0]
-        .iter()
-        .zip(args[1].iter())
-        .map(|(a, b)| match (a.as_f64(), b.as_f64()) {
+    let n = args[0].len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(match (args[0].f64_at(i), args[1].f64_at(i)) {
             (Some(x), Some(y)) => {
                 let r = f(x, y);
                 if r.is_nan() {
-                    Value::Null
+                    None
                 } else {
-                    Value::Float(r)
+                    Some(r)
                 }
             }
-            _ => Value::Null,
-        })
-        .collect())
+            _ => None,
+        });
+    }
+    Ok(Column::from_opt_f64(out))
 }
 
-fn unary_numeric(
-    name: &str,
-    args: &[Column],
-    _num_rows: usize,
-    f: impl Fn(f64) -> f64,
-) -> EngineResult<Column> {
+fn unary_numeric(name: &str, args: &[Column], f: impl Fn(f64) -> f64) -> EngineResult<Column> {
     expect_args(name, args, &[1])?;
-    Ok(args[0]
-        .iter()
-        .map(|v| match v.as_f64() {
-            Some(x) => Value::Float(f(x)),
-            None => Value::Null,
-        })
-        .collect())
+    let col = &args[0];
+    let n = col.len();
+    // typed fast paths: apply f over the slice, masking with the validity
+    match (col.data(), col.validity()) {
+        (ColumnData::Float64(v), bm) => Ok(Column::from_parts(
+            ColumnData::Float64(v.iter().map(|&x| f(x)).collect()),
+            bm.cloned(),
+        )),
+        (ColumnData::Int64(v), bm) => Ok(Column::from_parts(
+            ColumnData::Float64(v.iter().map(|&x| f(x as f64)).collect()),
+            bm.cloned(),
+        )),
+        _ => {
+            let out: Vec<Option<f64>> = (0..n).map(|i| col.f64_at(i).map(&f)).collect();
+            Ok(Column::from_opt_f64(out))
+        }
+    }
 }
 
 fn unary_string(name: &str, args: &[Column], f: impl Fn(&str) -> String) -> EngineResult<Column> {
     expect_args(name, args, &[1])?;
-    Ok(args[0]
-        .iter()
-        .map(|v| match v.as_str_lossy() {
-            Some(s) => Value::Str(f(&s)),
-            None => Value::Null,
-        })
-        .collect())
+    let col = &args[0];
+    let n = col.len();
+    if let Some(strs) = col.as_strs() {
+        let out: Vec<Option<String>> = (0..n)
+            .map(|i| col.is_valid(i).then(|| f(&strs[i])))
+            .collect();
+        return Ok(Column::from_opt_str(out));
+    }
+    let out: Vec<Option<String>> = (0..n)
+        .map(|i| col.value_at(i).as_str_lossy().map(|s| f(&s)))
+        .collect();
+    Ok(Column::from_opt_str(out))
 }
 
 /// Evaluates a SQL `LIKE` pattern (with `%` and `_` wildcards) against a string.
@@ -380,7 +468,7 @@ mod tests {
     use super::*;
 
     fn ints(v: &[i64]) -> Column {
-        v.iter().map(|i| Value::Int(*i)).collect()
+        Column::from_i64(v.to_vec())
     }
 
     #[test]
@@ -399,22 +487,22 @@ mod tests {
         let mut r = seeded_uniform(0);
         let col = eval_scalar_function(
             "floor",
-            &[vec![Value::Float(3.7), Value::Null]],
+            &[Column::from_opt_f64(vec![Some(3.7), None])],
             2,
             &mut r,
         )
         .unwrap();
-        assert_eq!(col[0], Value::Float(3.0));
-        assert!(col[1].is_null());
+        assert_eq!(col.value_at(0), Value::Float(3.0));
+        assert!(col.value_at(1).is_null());
 
         let col = eval_scalar_function(
             "round",
-            &[vec![Value::Float(3.14159)], vec![Value::Int(2)]],
+            &[Column::from_f64(vec![1.23456]), ints(&[2])],
             1,
             &mut r,
         )
         .unwrap();
-        assert_eq!(col[0], Value::Float(3.14));
+        assert_eq!(col.value_at(0), Value::Float(1.23));
     }
 
     #[test]
@@ -427,8 +515,38 @@ mod tests {
             &mut r,
         )
         .unwrap();
-        assert_eq!(col[0], col[3]);
+        assert_eq!(col.value_at(0), col.value_at(3));
         assert!(col.iter().all(|v| (0..100).contains(&v.as_i64().unwrap())));
+    }
+
+    #[test]
+    fn typed_hash_matches_value_hash() {
+        let col = Column::from_values(&[
+            Value::Int(42),
+            Value::Float(5.0),
+            Value::Float(2.5),
+            Value::Null,
+        ]);
+        let typed = fnv_hash_column_raw(&col);
+        for (i, h) in typed.iter().enumerate() {
+            let v = col.value_at(i);
+            if v.is_null() {
+                assert!(h.is_none());
+            } else {
+                assert_eq!(h.unwrap(), fnv1a_hash_value(&v));
+            }
+        }
+        // string column path
+        let col = Column::from_str(vec!["abc".into(), "".into()]);
+        let typed = fnv_hash_column_raw(&col);
+        assert_eq!(
+            typed[0].unwrap(),
+            fnv1a_hash_value(&Value::Str("abc".into()))
+        );
+        assert_eq!(
+            typed[1].unwrap(),
+            fnv1a_hash_value(&Value::Str(String::new()))
+        );
     }
 
     #[test]
@@ -459,38 +577,30 @@ mod tests {
         let mut r = seeded_uniform(0);
         let col = eval_scalar_function(
             "coalesce",
-            &[vec![Value::Null, Value::Int(1)], vec![Value::Int(9), Value::Int(2)]],
+            &[
+                Column::from_opt_i64(vec![None, Some(1)]),
+                Column::from_opt_i64(vec![Some(9), Some(2)]),
+            ],
             2,
             &mut r,
         )
         .unwrap();
-        assert_eq!(col, vec![Value::Int(9), Value::Int(1)]);
+        assert_eq!(col.to_values(), vec![Value::Int(9), Value::Int(1)]);
 
-        let col = eval_scalar_function(
-            "nullif",
-            &[ints(&[1, 2]), ints(&[1, 3])],
-            2,
-            &mut r,
-        )
-        .unwrap();
-        assert!(col[0].is_null());
-        assert_eq!(col[1], Value::Int(2));
+        let col =
+            eval_scalar_function("nullif", &[ints(&[1, 2]), ints(&[1, 3])], 2, &mut r).unwrap();
+        assert!(col.value_at(0).is_null());
+        assert_eq!(col.value_at(1), Value::Int(2));
     }
 
     #[test]
     fn string_functions() {
         let mut r = seeded_uniform(0);
-        let s = vec![Value::Str("VerdictDB".into())];
-        let col = eval_scalar_function("lower", &[s.clone()], 1, &mut r).unwrap();
-        assert_eq!(col[0], Value::Str("verdictdb".into()));
-        let col = eval_scalar_function(
-            "substr",
-            &[s, vec![Value::Int(1)], vec![Value::Int(7)]],
-            1,
-            &mut r,
-        )
-        .unwrap();
-        assert_eq!(col[0], Value::Str("Verdict".into()));
+        let s = Column::from_str(vec!["VerdictDB".into()]);
+        let col = eval_scalar_function("lower", std::slice::from_ref(&s), 1, &mut r).unwrap();
+        assert_eq!(col.value_at(0), Value::Str("verdictdb".into()));
+        let col = eval_scalar_function("substr", &[s, ints(&[1]), ints(&[7])], 1, &mut r).unwrap();
+        assert_eq!(col.value_at(0), Value::Str("Verdict".into()));
     }
 
     #[test]

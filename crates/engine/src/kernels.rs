@@ -1,0 +1,833 @@
+//! Vectorized kernels over typed [`Column`]s: arithmetic, comparison,
+//! boolean logic, selection masks, casts, and hash-based row grouping.
+//!
+//! Each kernel dispatches on the operand types **once** and then runs a tight
+//! loop over the typed slices; the per-row `Value` materialisation of the old
+//! representation only survives in the `generic_*` fallbacks used for
+//! unusual type mixes (e.g. arithmetic involving strings), which preserve the
+//! exact semantics of the previous scalar evaluator.
+
+use crate::column::{combine_validity, Bitmap, Column, ColumnData};
+use crate::error::{EngineError, EngineResult};
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use verdict_sql::ast::BinaryOp;
+
+// ---------------------------------------------------------------------------
+// Numeric views
+// ---------------------------------------------------------------------------
+
+/// True when every non-null row of the column has a numeric (`as_f64`) view:
+/// ints, floats, and bools qualify; strings do not.
+fn is_numeric_viewable(c: &Column) -> bool {
+    !matches!(c.data(), ColumnData::Utf8(_))
+}
+
+/// Dispatches a two-operand numeric kernel over the typed slice pair without
+/// copying or converting either operand: `$body` is monomorphised once per
+/// (left, right) type combination with `$a`/`$b` bound to `Fn(usize) -> f64`
+/// accessors that read the typed slices in place.
+macro_rules! numeric_pair_dispatch {
+    ($left:expr, $right:expr, |$a:ident, $b:ident| $body:expr) => {{
+        #[inline(always)]
+        fn as_f(v: &[f64]) -> impl Fn(usize) -> f64 + '_ {
+            move |i| v[i]
+        }
+        #[inline(always)]
+        fn as_i(v: &[i64]) -> impl Fn(usize) -> f64 + '_ {
+            move |i| v[i] as f64
+        }
+        #[inline(always)]
+        fn as_b(v: &[bool]) -> impl Fn(usize) -> f64 + '_ {
+            move |i| v[i] as u64 as f64
+        }
+        match ($left.data(), $right.data()) {
+            (ColumnData::Float64(l), ColumnData::Float64(r)) => {
+                let ($a, $b) = (as_f(l), as_f(r));
+                $body
+            }
+            (ColumnData::Float64(l), ColumnData::Int64(r)) => {
+                let ($a, $b) = (as_f(l), as_i(r));
+                $body
+            }
+            (ColumnData::Int64(l), ColumnData::Float64(r)) => {
+                let ($a, $b) = (as_i(l), as_f(r));
+                $body
+            }
+            (ColumnData::Int64(l), ColumnData::Int64(r)) => {
+                let ($a, $b) = (as_i(l), as_i(r));
+                $body
+            }
+            (ColumnData::Bool(l), ColumnData::Float64(r)) => {
+                let ($a, $b) = (as_b(l), as_f(r));
+                $body
+            }
+            (ColumnData::Float64(l), ColumnData::Bool(r)) => {
+                let ($a, $b) = (as_f(l), as_b(r));
+                $body
+            }
+            (ColumnData::Bool(l), ColumnData::Int64(r)) => {
+                let ($a, $b) = (as_b(l), as_i(r));
+                $body
+            }
+            (ColumnData::Int64(l), ColumnData::Bool(r)) => {
+                let ($a, $b) = (as_i(l), as_b(r));
+                $body
+            }
+            (ColumnData::Bool(l), ColumnData::Bool(r)) => {
+                let ($a, $b) = (as_b(l), as_b(r));
+                $body
+            }
+            _ => unreachable!("caller checked numeric view"),
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Binary operators
+// ---------------------------------------------------------------------------
+
+/// Evaluates `left op right` element-wise.
+pub fn binary_op(left: &Column, op: BinaryOp, right: &Column) -> EngineResult<Column> {
+    debug_assert_eq!(left.len(), right.len());
+    match op {
+        BinaryOp::And => Ok(bool_and(left, right)),
+        BinaryOp::Or => Ok(bool_or(left, right)),
+        BinaryOp::Concat => Ok(concat(left, right)),
+        op if op.is_comparison() => Ok(compare(left, op, right)),
+        _ => arithmetic(left, op, right),
+    }
+}
+
+fn arithmetic(left: &Column, op: BinaryOp, right: &Column) -> EngineResult<Column> {
+    let n = left.len();
+    // Int × Int stays integral for +, -, *, %; / always yields a double
+    // (Hive/Spark semantics, as before).
+    if let (ColumnData::Int64(a), ColumnData::Int64(b)) = (left.data(), right.data()) {
+        let validity = combine_validity(left.validity(), right.validity());
+        return Ok(match op {
+            BinaryOp::Plus => Column::from_parts(
+                ColumnData::Int64((0..n).map(|i| a[i].wrapping_add(b[i])).collect()),
+                validity,
+            ),
+            BinaryOp::Minus => Column::from_parts(
+                ColumnData::Int64((0..n).map(|i| a[i].wrapping_sub(b[i])).collect()),
+                validity,
+            ),
+            BinaryOp::Multiply => Column::from_parts(
+                ColumnData::Int64((0..n).map(|i| a[i].wrapping_mul(b[i])).collect()),
+                validity,
+            ),
+            BinaryOp::Modulo => {
+                let mut bm = validity.unwrap_or_else(|| Bitmap::new_valid(n));
+                let data = (0..n)
+                    .map(|i| {
+                        if b[i] == 0 {
+                            bm.clear(i);
+                            0
+                        } else {
+                            // wrapping_rem: i64::MIN % -1 must not abort the query
+                            a[i].wrapping_rem(b[i])
+                        }
+                    })
+                    .collect();
+                Column::from_parts(ColumnData::Int64(data), Some(bm))
+            }
+            BinaryOp::Divide => {
+                let mut bm = validity.unwrap_or_else(|| Bitmap::new_valid(n));
+                let data = (0..n)
+                    .map(|i| {
+                        if b[i] == 0 {
+                            bm.clear(i);
+                            0.0
+                        } else {
+                            a[i] as f64 / b[i] as f64
+                        }
+                    })
+                    .collect();
+                Column::from_parts(ColumnData::Float64(data), Some(bm))
+            }
+            other => {
+                return Err(EngineError::Execution(format!(
+                    "unexpected arithmetic operator {other}"
+                )))
+            }
+        });
+    }
+
+    if is_numeric_viewable(left) && is_numeric_viewable(right) {
+        let mut bm = combine_validity(left.validity(), right.validity())
+            .unwrap_or_else(|| Bitmap::new_valid(n));
+        let data: Vec<f64> = numeric_pair_dispatch!(left, right, |a, b| match op {
+            BinaryOp::Plus => (0..n).map(|i| a(i) + b(i)).collect(),
+            BinaryOp::Minus => (0..n).map(|i| a(i) - b(i)).collect(),
+            BinaryOp::Multiply => (0..n).map(|i| a(i) * b(i)).collect(),
+            BinaryOp::Divide => (0..n)
+                .map(|i| {
+                    let y = b(i);
+                    if y == 0.0 {
+                        bm.clear(i);
+                        0.0
+                    } else {
+                        a(i) / y
+                    }
+                })
+                .collect(),
+            BinaryOp::Modulo => (0..n)
+                .map(|i| {
+                    let y = b(i);
+                    if y == 0.0 {
+                        bm.clear(i);
+                        0.0
+                    } else {
+                        a(i) % y
+                    }
+                })
+                .collect(),
+            other => {
+                return Err(EngineError::Execution(format!(
+                    "unexpected arithmetic operator {other}"
+                )));
+            }
+        });
+        return Ok(Column::from_parts(ColumnData::Float64(data), Some(bm)));
+    }
+
+    // String-typed operand: error on any non-null pair (matching the scalar
+    // evaluator), null otherwise.
+    generic_arithmetic(left, op, right)
+}
+
+fn generic_arithmetic(left: &Column, op: BinaryOp, right: &Column) -> EngineResult<Column> {
+    let n = left.len();
+    let mut out: Vec<Value> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (lv, rv) = (left.value_at(i), right.value_at(i));
+        if lv.is_null() || rv.is_null() {
+            out.push(Value::Null);
+            continue;
+        }
+        match (lv.as_f64(), rv.as_f64()) {
+            (Some(x), Some(y)) => out.push(match op {
+                BinaryOp::Plus => Value::Float(x + y),
+                BinaryOp::Minus => Value::Float(x - y),
+                BinaryOp::Multiply => Value::Float(x * y),
+                BinaryOp::Divide => {
+                    if y == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(x / y)
+                    }
+                }
+                BinaryOp::Modulo => {
+                    if y == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(x % y)
+                    }
+                }
+                _ => unreachable!(),
+            }),
+            _ => {
+                return Err(EngineError::TypeMismatch(format!(
+                    "cannot apply {op} to {lv} and {rv}"
+                )))
+            }
+        }
+    }
+    Ok(Column::from_values(&out))
+}
+
+/// Element-wise SQL comparison producing a nullable boolean column.
+pub fn compare(left: &Column, op: BinaryOp, right: &Column) -> Column {
+    let n = left.len();
+    #[inline]
+    fn decide(op: BinaryOp, ord: Ordering) -> bool {
+        match op {
+            BinaryOp::Eq => ord == Ordering::Equal,
+            BinaryOp::NotEq => ord != Ordering::Equal,
+            BinaryOp::Lt => ord == Ordering::Less,
+            BinaryOp::LtEq => ord != Ordering::Greater,
+            BinaryOp::Gt => ord == Ordering::Greater,
+            BinaryOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!("comparison operator"),
+        }
+    }
+
+    /// Hoists the operator match out of the element loop so each
+    /// monomorphised loop body is a single branchless comparison.
+    #[inline(always)]
+    fn cmp_loop<T: PartialOrd + Copy>(
+        n: usize,
+        a: impl Fn(usize) -> T,
+        b: impl Fn(usize) -> T,
+        op: BinaryOp,
+    ) -> Vec<bool> {
+        #[inline(always)]
+        fn run<T: Copy>(
+            n: usize,
+            a: impl Fn(usize) -> T,
+            b: impl Fn(usize) -> T,
+            f: impl Fn(T, T) -> bool,
+        ) -> Vec<bool> {
+            (0..n).map(|i| f(a(i), b(i))).collect()
+        }
+        match op {
+            BinaryOp::Eq => run(n, a, b, |x, y| x == y),
+            BinaryOp::NotEq => run(n, a, b, |x, y| x != y),
+            BinaryOp::Lt => run(n, a, b, |x, y| x < y),
+            BinaryOp::LtEq => run(n, a, b, |x, y| x <= y),
+            BinaryOp::Gt => run(n, a, b, |x, y| x > y),
+            BinaryOp::GtEq => run(n, a, b, |x, y| x >= y),
+            _ => unreachable!("comparison operator"),
+        }
+    }
+
+    // Fast typed paths.
+    match (left.data(), right.data()) {
+        (ColumnData::Int64(a), ColumnData::Int64(b)) => {
+            let validity = combine_validity(left.validity(), right.validity());
+            let data = cmp_loop(n, |i| a[i], |i| b[i], op);
+            return Column::from_parts(ColumnData::Bool(data), validity);
+        }
+        (ColumnData::Utf8(a), ColumnData::Utf8(b)) => {
+            let validity = combine_validity(left.validity(), right.validity());
+            let data = (0..n).map(|i| decide(op, a[i].cmp(&b[i]))).collect();
+            return Column::from_parts(ColumnData::Bool(data), validity);
+        }
+        _ => {}
+    }
+
+    if is_numeric_viewable(left) && is_numeric_viewable(right) {
+        let mut bm = combine_validity(left.validity(), right.validity())
+            .unwrap_or_else(|| Bitmap::new_valid(n));
+        // NaN comparisons are NULL (sql_cmp semantics): the strict float
+        // comparison answers false for NaN operands, so only a NaN scan is
+        // needed to fix up the validity — it stays out of the hot loop.
+        let data: Vec<bool> = numeric_pair_dispatch!(left, right, |a, b| {
+            let has_nan = matches!(left.data(), ColumnData::Float64(v) if v.iter().any(|x| x.is_nan()))
+                || matches!(right.data(), ColumnData::Float64(v) if v.iter().any(|x| x.is_nan()));
+            if has_nan {
+                for i in 0..n {
+                    if a(i).is_nan() || b(i).is_nan() {
+                        bm.clear(i);
+                    }
+                }
+            }
+            cmp_loop(n, a, b, op)
+        });
+        return Column::from_parts(ColumnData::Bool(data), Some(bm));
+    }
+
+    // Mixed string/numeric comparison: NULL everywhere (sql_cmp semantics),
+    // except when one side is all-null anyway.
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(match left.value_at(i).sql_cmp(&right.value_at(i)) {
+            Some(ord) => Value::Bool(decide(op, ord)),
+            None => Value::Null,
+        });
+    }
+    Column::from_values_typed(crate::value::DataType::Bool, &out)
+}
+
+/// SQL three-valued AND.
+pub fn bool_and(left: &Column, right: &Column) -> Column {
+    let n = left.len();
+    let mut data = vec![false; n];
+    let mut bm = Bitmap::new_null(n);
+    if let (ColumnData::Bool(a), ColumnData::Bool(b)) = (left.data(), right.data()) {
+        for i in 0..n {
+            let lv = left.is_valid(i);
+            let rv = right.is_valid(i);
+            if (lv && !a[i]) || (rv && !b[i]) {
+                bm.set(i); // definite false
+            } else if lv && rv {
+                data[i] = true;
+                bm.set(i);
+            }
+        }
+        return Column::from_parts(ColumnData::Bool(data), Some(bm));
+    }
+    for i in 0..n {
+        match (left.bool_at(i), right.bool_at(i)) {
+            (Some(false), _) | (_, Some(false)) => bm.set(i),
+            (Some(true), Some(true)) => {
+                data[i] = true;
+                bm.set(i);
+            }
+            _ => {}
+        }
+    }
+    Column::from_parts(ColumnData::Bool(data), Some(bm))
+}
+
+/// SQL three-valued OR.
+pub fn bool_or(left: &Column, right: &Column) -> Column {
+    let n = left.len();
+    let mut data = vec![false; n];
+    let mut bm = Bitmap::new_null(n);
+    if let (ColumnData::Bool(a), ColumnData::Bool(b)) = (left.data(), right.data()) {
+        for i in 0..n {
+            let lv = left.is_valid(i);
+            let rv = right.is_valid(i);
+            if (lv && a[i]) || (rv && b[i]) {
+                data[i] = true;
+                bm.set(i);
+            } else if lv && rv {
+                bm.set(i); // definite false
+            }
+        }
+        return Column::from_parts(ColumnData::Bool(data), Some(bm));
+    }
+    for i in 0..n {
+        match (left.bool_at(i), right.bool_at(i)) {
+            (Some(true), _) | (_, Some(true)) => {
+                data[i] = true;
+                bm.set(i);
+            }
+            (Some(false), Some(false)) => bm.set(i),
+            _ => {}
+        }
+    }
+    Column::from_parts(ColumnData::Bool(data), Some(bm))
+}
+
+/// String concatenation (`||`); NULL when either side is NULL.
+pub fn concat(left: &Column, right: &Column) -> Column {
+    let n = left.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(
+            match (
+                left.value_at(i).as_str_lossy(),
+                right.value_at(i).as_str_lossy(),
+            ) {
+                (Some(a), Some(b)) => Some(format!("{a}{b}")),
+                _ => None,
+            },
+        );
+    }
+    Column::from_opt_str(out)
+}
+
+/// Logical NOT with NULL propagation.
+pub fn bool_not(col: &Column) -> Column {
+    let n = col.len();
+    if let ColumnData::Bool(v) = col.data() {
+        let data = v.iter().map(|&b| !b).collect();
+        return Column::from_parts(ColumnData::Bool(data), col.validity().cloned());
+    }
+    let mut data = vec![false; n];
+    let mut bm = Bitmap::new_null(n);
+    for i in 0..n {
+        if let Some(b) = col.bool_at(i) {
+            data[i] = !b;
+            bm.set(i);
+        }
+    }
+    Column::from_parts(ColumnData::Bool(data), Some(bm))
+}
+
+/// Arithmetic negation; non-numeric values become NULL.
+pub fn negate(col: &Column) -> Column {
+    match col.data() {
+        ColumnData::Int64(v) => Column::from_parts(
+            ColumnData::Int64(v.iter().map(|&x| x.wrapping_neg()).collect()),
+            col.validity().cloned(),
+        ),
+        ColumnData::Float64(v) => Column::from_parts(
+            ColumnData::Float64(v.iter().map(|&x| -x).collect()),
+            col.validity().cloned(),
+        ),
+        // the scalar evaluator returned NULL for -bool and -string
+        _ => Column::nulls(col.len()),
+    }
+}
+
+/// Converts a column into a selection mask: true where the value is truthy,
+/// false for NULL and non-boolean-viewable values.
+pub fn column_to_mask(col: &Column) -> Vec<bool> {
+    let n = col.len();
+    match (col.data(), col.validity()) {
+        (ColumnData::Bool(v), None) => v.clone(),
+        (ColumnData::Bool(v), Some(bm)) => (0..n).map(|i| bm.get(i) && v[i]).collect(),
+        _ => (0..n).map(|i| col.bool_at(i).unwrap_or(false)).collect(),
+    }
+}
+
+/// `IS [NOT] NULL` from the validity bitmap alone.
+pub fn is_null_column(col: &Column, negated: bool) -> Column {
+    let n = col.len();
+    let data = (0..n).map(|i| col.is_null_at(i) != negated).collect();
+    Column::from_parts(ColumnData::Bool(data), None)
+}
+
+/// `CAST(col AS type)` with the same coercion rules as the scalar evaluator
+/// (string parsing included; failed casts yield NULL).
+pub fn cast_column(col: &Column, to: verdict_sql::ast::CastType) -> Column {
+    use verdict_sql::ast::CastType;
+    let n = col.len();
+    match to {
+        CastType::Integer => {
+            let mut out = Vec::with_capacity(n);
+            match col.data() {
+                ColumnData::Int64(v) => {
+                    return Column::from_parts(
+                        ColumnData::Int64(v.clone()),
+                        col.validity().cloned(),
+                    )
+                }
+                ColumnData::Float64(v) => {
+                    for i in 0..n {
+                        out.push(col.is_valid(i).then(|| v[i] as i64));
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    for i in 0..n {
+                        out.push(col.is_valid(i).then(|| v[i] as i64));
+                    }
+                }
+                ColumnData::Utf8(v) => {
+                    for i in 0..n {
+                        out.push(if col.is_valid(i) {
+                            v[i].trim().parse::<i64>().ok()
+                        } else {
+                            None
+                        });
+                    }
+                }
+            }
+            Column::from_opt_i64(out)
+        }
+        CastType::Double => {
+            let mut out = Vec::with_capacity(n);
+            match col.data() {
+                ColumnData::Float64(v) => {
+                    return Column::from_parts(
+                        ColumnData::Float64(v.clone()),
+                        col.validity().cloned(),
+                    )
+                }
+                ColumnData::Int64(v) => {
+                    for i in 0..n {
+                        out.push(col.is_valid(i).then(|| v[i] as f64));
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    for i in 0..n {
+                        out.push(col.is_valid(i).then(|| v[i] as u64 as f64));
+                    }
+                }
+                ColumnData::Utf8(v) => {
+                    for i in 0..n {
+                        out.push(if col.is_valid(i) {
+                            v[i].trim().parse::<f64>().ok()
+                        } else {
+                            None
+                        });
+                    }
+                }
+            }
+            Column::from_opt_f64(out)
+        }
+        CastType::Varchar => {
+            let out: Vec<Option<String>> = (0..n).map(|i| col.value_at(i).as_str_lossy()).collect();
+            Column::from_opt_str(out)
+        }
+        CastType::Boolean => {
+            let out: Vec<Option<bool>> = (0..n).map(|i| col.bool_at(i)).collect();
+            Column::from_opt_bool(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-based row grouping (GROUP BY, DISTINCT, window partitions, join keys)
+// ---------------------------------------------------------------------------
+
+/// A no-op hasher for keys that are already well-mixed 64-bit hashes
+/// (the canonical row hashes), avoiding a second SipHash pass per lookup.
+#[derive(Default, Clone)]
+pub struct Prehashed(u64);
+
+impl std::hash::Hasher for Prehashed {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // generic path (unused by u64 keys); fold bytes in
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl std::hash::BuildHasher for Prehashed {
+    type Hasher = Prehashed;
+
+    #[inline]
+    fn build_hasher(&self) -> Prehashed {
+        Prehashed(0)
+    }
+}
+
+type PrehashedMap<V> = HashMap<u64, V, Prehashed>;
+
+/// Combined canonical hash per row across the key columns.
+pub fn hash_rows(cols: &[Column], n: usize) -> Vec<u64> {
+    let mut hashes = vec![0xcbf29ce484222325u64; n];
+    for c in cols {
+        c.hash_into(&mut hashes);
+    }
+    hashes
+}
+
+/// True when row `i` of `a`'s key columns equals row `j` of `b`'s, with
+/// NULL == NULL grouping semantics.
+pub fn rows_equal(a: &[Column], i: usize, b: &[Column], j: usize) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(ca, cb)| ca.loose_eq_rows(i, cb, j))
+}
+
+/// The result of clustering rows by key columns.
+pub struct Grouping {
+    /// Group id per input row.
+    pub gids: Vec<usize>,
+    /// One representative row index per group, in first-appearance order.
+    pub representatives: Vec<usize>,
+}
+
+impl Grouping {
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.representatives.len()
+    }
+}
+
+/// Clusters `n` rows by the given key columns using canonical hashing with
+/// collision verification.  With no key columns every row lands in group 0.
+pub fn group_rows(cols: &[Column], n: usize) -> Grouping {
+    if cols.is_empty() {
+        return Grouping {
+            gids: vec![0; n],
+            representatives: if n > 0 { vec![0] } else { vec![] },
+        };
+    }
+    let hashes = hash_rows(cols, n);
+    let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+    let mut gids = Vec::with_capacity(n);
+    let mut representatives: Vec<usize> = Vec::new();
+    for row in 0..n {
+        let bucket = table.entry(hashes[row]).or_default();
+        let gid = bucket
+            .iter()
+            .copied()
+            .find(|&g| rows_equal(cols, row, cols, representatives[g]));
+        match gid {
+            Some(g) => gids.push(g),
+            None => {
+                let g = representatives.len();
+                representatives.push(row);
+                bucket.push(g);
+                gids.push(g);
+            }
+        }
+    }
+    Grouping {
+        gids,
+        representatives,
+    }
+}
+
+/// A hash index over the key columns of a build-side table, used by hash
+/// joins: maps canonical row hashes to candidate row indices, verified with
+/// typed equality at probe time.
+pub struct RowIndex<'a> {
+    keys: &'a [Column],
+    table: PrehashedMap<Vec<usize>>,
+}
+
+impl<'a> RowIndex<'a> {
+    /// Builds the index, skipping rows with a NULL in any key column
+    /// (SQL equi-join semantics).
+    pub fn build(keys: &'a [Column], n: usize) -> RowIndex<'a> {
+        let hashes = hash_rows(keys, n);
+        let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+        for row in 0..n {
+            if keys.iter().any(|k| k.is_null_at(row)) {
+                continue;
+            }
+            table.entry(hashes[row]).or_default().push(row);
+        }
+        RowIndex { keys, table }
+    }
+
+    /// Streams the build-side rows matching the probe row, without
+    /// allocating per probe (this sits in the hash-join inner loop).
+    /// Probe rows with NULL keys never match.
+    pub fn probe_each(
+        &self,
+        probe_keys: &[Column],
+        probe_hash: u64,
+        probe_row: usize,
+        mut on_match: impl FnMut(usize),
+    ) {
+        if probe_keys.iter().any(|k| k.is_null_at(probe_row)) {
+            return;
+        }
+        if let Some(rows) = self.table.get(&probe_hash) {
+            for &r in rows {
+                if rows_equal(probe_keys, probe_row, self.keys, r) {
+                    on_match(r);
+                }
+            }
+        }
+    }
+
+    /// Collecting variant of [`RowIndex::probe_each`], for tests and
+    /// non-hot-path callers.
+    pub fn probe(&self, probe_keys: &[Column], probe_hash: u64, probe_row: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.probe_each(probe_keys, probe_hash, probe_row, |r| out.push(r));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn ints(v: Vec<i64>) -> Column {
+        Column::from_i64(v)
+    }
+
+    #[test]
+    fn int_arithmetic_stays_integral() {
+        let a = ints(vec![1, 2, 3]);
+        let b = ints(vec![10, 20, 30]);
+        let c = binary_op(&a, BinaryOp::Plus, &b).unwrap();
+        assert_eq!(
+            c.to_values(),
+            vec![Value::Int(11), Value::Int(22), Value::Int(33)]
+        );
+        let d = binary_op(&a, BinaryOp::Divide, &b).unwrap();
+        assert_eq!(d.value_at(0), Value::Float(0.1));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let a = ints(vec![1, 2]);
+        let z = ints(vec![0, 1]);
+        let c = binary_op(&a, BinaryOp::Divide, &z).unwrap();
+        assert!(c.value_at(0).is_null());
+        assert_eq!(c.value_at(1), Value::Float(2.0));
+        let m = binary_op(&a, BinaryOp::Modulo, &z).unwrap();
+        assert!(m.value_at(0).is_null());
+        assert_eq!(m.value_at(1), Value::Int(0));
+    }
+
+    #[test]
+    fn modulo_overflow_wraps_instead_of_panicking() {
+        let a = ints(vec![i64::MIN]);
+        let b = ints(vec![-1]);
+        let c = binary_op(&a, BinaryOp::Modulo, &b).unwrap();
+        assert_eq!(c.value_at(0), Value::Int(0));
+    }
+
+    #[test]
+    fn nulls_propagate_through_arithmetic() {
+        let a = Column::from_opt_i64(vec![Some(1), None]);
+        let b = ints(vec![5, 5]);
+        let c = binary_op(&a, BinaryOp::Multiply, &b).unwrap();
+        assert_eq!(c.value_at(0), Value::Int(5));
+        assert!(c.value_at(1).is_null());
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let a = ints(vec![1, 5, 9]);
+        let b = Column::from_f64(vec![2.0, 5.0, 3.5]);
+        let lt = compare(&a, BinaryOp::Lt, &b);
+        assert_eq!(
+            lt.to_values(),
+            vec![Value::Bool(true), Value::Bool(false), Value::Bool(false)]
+        );
+        let eq = compare(&a, BinaryOp::Eq, &b);
+        assert_eq!(eq.value_at(1), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_numeric_comparison_is_null() {
+        let a = Column::from_str(vec!["x".into()]);
+        let b = ints(vec![1]);
+        let c = compare(&a, BinaryOp::Eq, &b);
+        assert!(c.value_at(0).is_null());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = Column::from_opt_bool(vec![Some(true), Some(false), None]);
+        let f = Column::from_opt_bool(vec![Some(false), Some(false), Some(false)]);
+        let n = Column::from_opt_bool(vec![None, None, None]);
+        // false AND null = false; true AND null = null
+        assert_eq!(bool_and(&t, &n).value_at(0), Value::Null);
+        assert_eq!(bool_and(&f, &n).value_at(0), Value::Bool(false));
+        // true OR null = true; false OR null = null
+        assert_eq!(bool_or(&t, &n).value_at(0), Value::Bool(true));
+        assert_eq!(bool_or(&f, &n).value_at(0), Value::Null);
+    }
+
+    #[test]
+    fn masks_treat_null_as_false() {
+        let c = Column::from_opt_bool(vec![Some(true), None, Some(false)]);
+        assert_eq!(column_to_mask(&c), vec![true, false, false]);
+        let nums = ints(vec![0, 3]);
+        assert_eq!(column_to_mask(&nums), vec![false, true]);
+    }
+
+    #[test]
+    fn grouping_clusters_equal_keys_across_types() {
+        let k1 = Column::from_values(&[
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Int(2),
+            Value::Null,
+            Value::Null,
+        ]);
+        let g = group_rows(&[k1], 5);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.gids[0], g.gids[1], "1 and 1.0 must group together");
+        assert_eq!(g.gids[3], g.gids[4], "NULLs group together");
+    }
+
+    #[test]
+    fn row_index_skips_null_keys() {
+        let build = vec![Column::from_opt_i64(vec![Some(1), None, Some(2)])];
+        let idx = RowIndex::build(&build, 3);
+        let probe = vec![Column::from_opt_i64(vec![Some(1), None])];
+        let hashes = hash_rows(&probe, 2);
+        assert_eq!(idx.probe(&probe, hashes[0], 0), vec![0]);
+        assert!(idx.probe(&probe, hashes[1], 1).is_empty());
+    }
+
+    #[test]
+    fn cast_string_to_numbers() {
+        let s = Column::from_str(vec!["42".into(), "x".into(), " 3.5 ".into()]);
+        let i = cast_column(&s, verdict_sql::ast::CastType::Integer);
+        assert_eq!(i.value_at(0), Value::Int(42));
+        assert!(i.value_at(1).is_null());
+        let d = cast_column(&s, verdict_sql::ast::CastType::Double);
+        assert_eq!(d.value_at(2), Value::Float(3.5));
+    }
+}

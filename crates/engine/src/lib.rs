@@ -35,20 +35,23 @@
 
 pub mod approx;
 pub mod catalog;
+pub mod column;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod functions;
+pub mod kernels;
 pub mod profile;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use column::{Bitmap, Column, ColumnData};
 pub use engine::{Connection, Engine, ExecStats, QueryResult};
 pub use error::{EngineError, EngineResult};
 pub use profile::EngineProfile;
 pub use schema::{Field, Schema};
-pub use table::{Column, Table, TableBuilder};
+pub use table::{Table, TableBuilder};
 pub use value::{DataType, KeyValue, Value};

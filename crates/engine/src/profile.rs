@@ -92,7 +92,10 @@ mod tests {
     use super::*;
 
     fn stats(rows: u64, micros: u64) -> ExecStats {
-        ExecStats { rows_scanned: rows, elapsed: Duration::from_micros(micros) }
+        ExecStats {
+            rows_scanned: rows,
+            elapsed: Duration::from_micros(micros),
+        }
     }
 
     #[test]
@@ -100,7 +103,11 @@ mod tests {
         let full = stats(10_000_000, 800_000);
         let sample = stats(100_000, 12_000);
         for p in EngineProfile::all() {
-            assert!(p.speedup(&full, &sample) > 1.0, "{} should speed up", p.name);
+            assert!(
+                p.speedup(&full, &sample) > 1.0,
+                "{} should speed up",
+                p.name
+            );
         }
     }
 

@@ -2,10 +2,9 @@
 
 use crate::error::{EngineError, EngineResult};
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 
 /// One column of a schema.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     /// The table alias this field is visible under (e.g. `o` in `orders o`),
     /// if any.  Fields produced by expressions have no qualifier.
@@ -19,7 +18,11 @@ pub struct Field {
 impl Field {
     /// Creates an unqualified field.
     pub fn new(name: &str, data_type: DataType) -> Field {
-        Field { qualifier: None, name: name.to_ascii_lowercase(), data_type }
+        Field {
+            qualifier: None,
+            name: name.to_ascii_lowercase(),
+            data_type,
+        }
     }
 
     /// Creates a field qualified with a table alias.
@@ -47,7 +50,7 @@ impl Field {
 }
 
 /// An ordered list of fields.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schema {
     pub fields: Vec<Field>,
 }
@@ -98,7 +101,9 @@ impl Schema {
 
     /// Returns the index of a field by bare name, if present.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
     }
 
     /// Concatenates two schemas (used by joins), keeping qualifiers.

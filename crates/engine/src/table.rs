@@ -1,16 +1,19 @@
 //! In-memory columnar tables.
 //!
-//! A [`Table`] is a schema plus one `Vec<Value>` per column.  Operators fully
-//! materialise their outputs; the engine targets analytical workloads of up
-//! to a few million rows, which fits comfortably in memory and keeps the
-//! operator implementations simple and auditable.
+//! A [`Table`] is a schema plus one typed [`Column`] per field (see
+//! [`crate::column`]).  Operators fully materialise their outputs; the engine
+//! targets analytical workloads of up to a few million rows, which fits
+//! comfortably in memory and keeps the operator implementations simple and
+//! auditable.
+//!
+//! [`Table::value_at`] and [`Table::iter_rows`] provide a dynamically-typed
+//! [`Value`] view for the planner/rewriter layers and tests; the engine's own
+//! operators work on the typed columns directly.
 
+use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
 use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
-
-/// A column is simply an ordered vector of values.
-pub type Column = Vec<Value>;
 
 /// An in-memory columnar table (also used as the intermediate "frame" between
 /// operators and as the result set returned to clients).
@@ -23,7 +26,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn empty(schema: Schema) -> Table {
-        let columns = schema.fields.iter().map(|_| Vec::new()).collect();
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| Column::new_empty(f.data_type))
+            .collect();
         Table { schema, columns }
     }
 
@@ -47,6 +54,18 @@ impl Table {
         Ok(Table { schema, columns })
     }
 
+    /// Creates a table from dynamically-typed value columns (compatibility
+    /// shim for layers that assemble results row-by-row).
+    pub fn from_value_columns(schema: Schema, columns: Vec<Vec<Value>>) -> EngineResult<Table> {
+        let typed = schema
+            .fields
+            .iter()
+            .zip(columns.iter())
+            .map(|(f, c)| Column::from_values_typed(f.data_type, c))
+            .collect();
+        Table::new(schema, typed)
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.columns.first().map(|c| c.len()).unwrap_or(0)
@@ -57,14 +76,26 @@ impl Table {
         self.columns.len()
     }
 
-    /// Returns the value at (row, col).
-    pub fn value(&self, row: usize, col: usize) -> &Value {
-        &self.columns[col][row]
+    /// Materialises the value at (row, col).
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value_at(row)
     }
 
-    /// Returns a whole row as a vector of values (cloned).
+    /// Alias for [`Table::value_at`], kept for source compatibility with the
+    /// previous cell accessor.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.value_at(row, col)
+    }
+
+    /// Materialises a whole row as a vector of values.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c[row].clone()).collect()
+        self.columns.iter().map(|c| c.value_at(row)).collect()
+    }
+
+    /// Iterates the table row-by-row as materialised values (compatibility
+    /// shim; operators should use the typed columns).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.num_rows()).map(move |r| self.row(r))
     }
 
     /// Returns the column with the given (bare) name.
@@ -86,7 +117,7 @@ impl Table {
             )));
         }
         for (dst, src) in self.columns.iter_mut().zip(other.columns.iter()) {
-            dst.extend(src.iter().cloned());
+            dst.append(src);
         }
         Ok(())
     }
@@ -94,28 +125,20 @@ impl Table {
     /// Returns a new table containing only the rows where `mask` is true.
     pub fn filter(&self, mask: &[bool]) -> Table {
         debug_assert_eq!(mask.len(), self.num_rows());
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| {
-                c.iter()
-                    .zip(mask.iter())
-                    .filter(|(_, keep)| **keep)
-                    .map(|(v, _)| v.clone())
-                    .collect()
-            })
-            .collect();
-        Table { schema: self.schema.clone(), columns }
+        let columns = self.columns.iter().map(|c| c.filter(mask)).collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+        }
     }
 
     /// Returns a new table containing the rows at `indices` (in that order).
     pub fn take(&self, indices: &[usize]) -> Table {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
-            .collect();
-        Table { schema: self.schema.clone(), columns }
+        let columns = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+        }
     }
 
     /// Returns the first `n` rows.
@@ -128,16 +151,7 @@ impl Table {
     /// Approximate memory footprint in bytes, used by the engine profiles to
     /// model scan cost per engine.
     pub fn approx_bytes(&self) -> usize {
-        let mut total = 0usize;
-        for c in &self.columns {
-            for v in c {
-                total += match v {
-                    Value::Str(s) => 24 + s.len(),
-                    _ => 16,
-                };
-            }
-        }
-        total
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
     }
 
     /// Renders the table as an ASCII grid, truncated to `max_rows` rows.
@@ -149,7 +163,7 @@ impl Table {
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for r in 0..shown {
             let row: Vec<String> = (0..self.num_columns())
-                .map(|c| format_cell(self.value(r, c)))
+                .map(|c| format_cell(&self.value_at(r, c)))
                 .collect();
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -164,7 +178,13 @@ impl Table {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &cells {
             let line: Vec<String> = row
@@ -190,7 +210,8 @@ fn format_cell(v: &Value) -> String {
 }
 
 /// A convenience builder for constructing tables column-by-column, used by
-/// the data generators and tests.
+/// the data generators and tests.  The typed methods build typed columns
+/// directly — no `Value` boxing on the load path.
 #[derive(Debug, Default)]
 pub struct TableBuilder {
     fields: Vec<Field>,
@@ -206,35 +227,64 @@ impl TableBuilder {
     /// Adds an integer column.
     pub fn int_column(mut self, name: &str, values: Vec<i64>) -> Self {
         self.fields.push(Field::new(name, DataType::Int));
-        self.columns.push(values.into_iter().map(Value::Int).collect());
+        self.columns.push(Column::from_i64(values));
+        self
+    }
+
+    /// Adds a nullable integer column.
+    pub fn opt_int_column(mut self, name: &str, values: Vec<Option<i64>>) -> Self {
+        self.fields.push(Field::new(name, DataType::Int));
+        self.columns.push(Column::from_opt_i64(values));
         self
     }
 
     /// Adds a float column.
     pub fn float_column(mut self, name: &str, values: Vec<f64>) -> Self {
         self.fields.push(Field::new(name, DataType::Float));
-        self.columns.push(values.into_iter().map(Value::Float).collect());
+        self.columns.push(Column::from_f64(values));
+        self
+    }
+
+    /// Adds a nullable float column.
+    pub fn opt_float_column(mut self, name: &str, values: Vec<Option<f64>>) -> Self {
+        self.fields.push(Field::new(name, DataType::Float));
+        self.columns.push(Column::from_opt_f64(values));
         self
     }
 
     /// Adds a string column.
     pub fn str_column(mut self, name: &str, values: Vec<String>) -> Self {
         self.fields.push(Field::new(name, DataType::Str));
-        self.columns.push(values.into_iter().map(Value::Str).collect());
+        self.columns.push(Column::from_str(values));
+        self
+    }
+
+    /// Adds a nullable string column.
+    pub fn opt_str_column(mut self, name: &str, values: Vec<Option<String>>) -> Self {
+        self.fields.push(Field::new(name, DataType::Str));
+        self.columns.push(Column::from_opt_str(values));
         self
     }
 
     /// Adds a boolean column.
     pub fn bool_column(mut self, name: &str, values: Vec<bool>) -> Self {
         self.fields.push(Field::new(name, DataType::Bool));
-        self.columns.push(values.into_iter().map(Value::Bool).collect());
+        self.columns.push(Column::from_bool(values));
         self
     }
 
-    /// Adds an already-typed column of raw values.
+    /// Adds a column of dynamically-typed values coerced to `data_type`.
     pub fn value_column(mut self, name: &str, data_type: DataType, values: Vec<Value>) -> Self {
         self.fields.push(Field::new(name, data_type));
-        self.columns.push(values);
+        self.columns
+            .push(Column::from_values_typed(data_type, &values));
+        self
+    }
+
+    /// Adds an already-typed column.
+    pub fn column(mut self, name: &str, column: Column) -> Self {
+        self.fields.push(Field::new(name, column.data_type()));
+        self.columns.push(column);
         self
     }
 
@@ -268,7 +318,8 @@ mod tests {
         let t = sample_table();
         assert_eq!(t.num_rows(), 4);
         assert_eq!(t.num_columns(), 3);
-        assert_eq!(t.value(1, 2), &Value::Str("detroit".into()));
+        assert_eq!(t.value_at(1, 2), Value::Str("detroit".into()));
+        assert_eq!(t.columns[0].data_type(), DataType::Int);
     }
 
     #[test]
@@ -277,7 +328,10 @@ mod tests {
             Field::new("a", DataType::Int),
             Field::new("b", DataType::Int),
         ]);
-        let res = Table::new(schema, vec![vec![Value::Int(1)], vec![]]);
+        let res = Table::new(
+            schema,
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![])],
+        );
         assert!(res.is_err());
     }
 
@@ -286,10 +340,10 @@ mod tests {
         let t = sample_table();
         let filtered = t.filter(&[true, false, true, false]);
         assert_eq!(filtered.num_rows(), 2);
-        assert_eq!(filtered.value(1, 0), &Value::Int(3));
+        assert_eq!(filtered.value_at(1, 0), Value::Int(3));
         let taken = t.take(&[3, 0]);
-        assert_eq!(taken.value(0, 0), &Value::Int(4));
-        assert_eq!(taken.value(1, 0), &Value::Int(1));
+        assert_eq!(taken.value_at(0, 0), Value::Int(4));
+        assert_eq!(taken.value_at(1, 0), Value::Int(1));
     }
 
     #[test]
@@ -298,7 +352,10 @@ mod tests {
         let other = sample_table();
         t.append(&other).unwrap();
         assert_eq!(t.num_rows(), 8);
-        let narrow = TableBuilder::new().int_column("x", vec![1]).build().unwrap();
+        let narrow = TableBuilder::new()
+            .int_column("x", vec![1])
+            .build()
+            .unwrap();
         assert!(t.append(&narrow).is_err());
     }
 
@@ -308,5 +365,18 @@ mod tests {
         let s = t.to_ascii(2);
         assert!(s.contains("4 rows total"));
         assert!(s.contains("city"));
+    }
+
+    #[test]
+    fn iter_rows_and_nullable_builders() {
+        let t = TableBuilder::new()
+            .opt_int_column("a", vec![Some(1), None])
+            .opt_float_column("b", vec![None, Some(2.5)])
+            .build()
+            .unwrap();
+        let rows: Vec<Vec<Value>> = t.iter_rows().collect();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Null]);
+        assert_eq!(rows[1], vec![Value::Null, Value::Float(2.5)]);
+        assert_eq!(t.columns[0].null_count(), 1);
     }
 }

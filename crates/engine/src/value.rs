@@ -1,11 +1,10 @@
 //! Scalar values and data types.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Int,
     Float,
@@ -45,7 +44,7 @@ impl DataType {
 }
 
 /// A dynamically-typed scalar value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Int(i64),
@@ -236,7 +235,10 @@ mod tests {
     #[test]
     fn sql_cmp_null_propagates() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Int(1)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Int(1)),
+            Some(Ordering::Greater)
+        );
         assert_eq!(
             Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
             Some(Ordering::Less)
@@ -245,7 +247,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_nulls_first() {
-        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Int(1));

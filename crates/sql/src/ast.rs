@@ -11,11 +11,10 @@
 //! It also covers the DDL/DML VerdictDB needs for sample preparation:
 //! `CREATE TABLE … AS SELECT`, `DROP TABLE`, and `INSERT INTO … SELECT`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A parsed SQL statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// A `SELECT` query.
     Query(Box<Query>),
@@ -30,11 +29,14 @@ pub enum Statement {
     DropTable { name: ObjectName, if_exists: bool },
     /// `INSERT INTO <table> <query>` — used for incremental sample maintenance
     /// (Appendix D: appending a freshly-sampled batch into an existing sample).
-    InsertIntoSelect { table: ObjectName, query: Box<Query> },
+    InsertIntoSelect {
+        table: ObjectName,
+        query: Box<Query>,
+    },
 }
 
 /// A possibly schema-qualified object (table) name, e.g. `verdict_meta.samples`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ObjectName(pub Vec<String>);
 
 impl ObjectName {
@@ -70,7 +72,7 @@ impl fmt::Display for ObjectName {
 }
 
 /// A full `SELECT` query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// `SELECT DISTINCT` flag.
     pub distinct: bool,
@@ -107,7 +109,7 @@ impl Query {
 }
 
 /// One item of the select list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     /// A bare expression, e.g. `price * qty`.
     Expr(Expr),
@@ -138,35 +140,43 @@ impl SelectItem {
 }
 
 /// A relation in the `FROM` clause together with its joins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableWithJoins {
     pub relation: TableFactor,
     pub joins: Vec<Join>,
 }
 
 /// A base table or a derived table (subquery).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TableFactor {
     /// A base table reference with an optional alias.
-    Table { name: ObjectName, alias: Option<String> },
+    Table {
+        name: ObjectName,
+        alias: Option<String>,
+    },
     /// A derived table: `(SELECT …) AS alias`.
-    Derived { subquery: Box<Query>, alias: Option<String> },
+    Derived {
+        subquery: Box<Query>,
+        alias: Option<String>,
+    },
 }
 
 impl TableFactor {
     /// The alias if present, otherwise the base table name (if a base table).
     pub fn binding_name(&self) -> Option<String> {
         match self {
-            TableFactor::Table { name, alias } => {
-                Some(alias.clone().unwrap_or_else(|| name.base_name().to_string()))
-            }
+            TableFactor::Table { name, alias } => Some(
+                alias
+                    .clone()
+                    .unwrap_or_else(|| name.base_name().to_string()),
+            ),
             TableFactor::Derived { alias, .. } => alias.clone(),
         }
     }
 }
 
 /// A join clause attached to a preceding relation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Join {
     pub relation: TableFactor,
     pub join_type: JoinType,
@@ -176,7 +186,7 @@ pub struct Join {
 
 /// The supported join types. VerdictDB only approximates equi inner joins;
 /// the others are parsed so unsupported queries can be passed through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinType {
     Inner,
     Left,
@@ -196,14 +206,14 @@ impl fmt::Display for JoinType {
 }
 
 /// One `ORDER BY` item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderByItem {
     pub expr: Expr,
     pub asc: bool,
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
     Plus,
     Minus,
@@ -227,7 +237,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -255,7 +270,7 @@ impl fmt::Display for BinaryOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
     Not,
     Minus,
@@ -263,7 +278,7 @@ pub enum UnaryOp {
 }
 
 /// Literal values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
     Null,
     Boolean(bool),
@@ -273,14 +288,14 @@ pub enum Literal {
 }
 
 /// Window specification for window (analytic) functions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowSpec {
     pub partition_by: Vec<Expr>,
     pub order_by: Vec<OrderByItem>,
 }
 
 /// Scalar / aggregate / window function call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionCall {
     /// Function name, stored lower-cased.
     pub name: String,
@@ -293,7 +308,7 @@ pub struct FunctionCall {
 }
 
 /// SQL scalar expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Column reference, optionally qualified with a table alias.
     Column { table: Option<String>, name: String },
@@ -349,13 +364,16 @@ pub enum Expr {
     /// `EXISTS (SELECT …)`. Parsed so unsupported queries can be detected and passed through.
     Exists { subquery: Box<Query>, negated: bool },
     /// `CAST(expr AS type)`.
-    Cast { expr: Box<Expr>, data_type: CastType },
+    Cast {
+        expr: Box<Expr>,
+        data_type: CastType,
+    },
     /// Parenthesised expression (kept so the printer can reproduce grouping faithfully).
     Nested(Box<Expr>),
 }
 
 /// Target types for `CAST`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CastType {
     Integer,
     Double,
@@ -377,12 +395,18 @@ impl fmt::Display for CastType {
 impl Expr {
     /// Convenience constructor for an unqualified column reference.
     pub fn col<S: Into<String>>(name: S) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Convenience constructor for a table-qualified column reference.
     pub fn qcol<T: Into<String>, S: Into<String>>(table: T, name: S) -> Expr {
-        Expr::Column { table: Some(table.into()), name: name.into() }
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     /// Convenience constructor for an integer literal.
@@ -402,7 +426,11 @@ impl Expr {
 
     /// Convenience constructor for a binary operation.
     pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
-        Expr::BinaryOp { left: Box::new(left), op, right: Box::new(right) }
+        Expr::BinaryOp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// `left AND right`, treating `None` as absent.
@@ -514,7 +542,13 @@ mod tests {
         let a = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::int(1));
         let b = Expr::binary(Expr::col("b"), BinaryOp::Lt, Expr::int(2));
         let combined = Expr::and_opt(Some(a.clone()), Some(b)).unwrap();
-        assert!(matches!(combined, Expr::BinaryOp { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            combined,
+            Expr::BinaryOp {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
         assert_eq!(Expr::and_opt(Some(a.clone()), None), Some(a));
         assert_eq!(Expr::and_opt(None, None), None);
     }

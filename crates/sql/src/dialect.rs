@@ -48,9 +48,7 @@ pub trait Dialect: Send + Sync {
     /// True if the identifier must be quoted in this dialect.
     fn requires_quoting(&self, ident: &str) -> bool {
         ident.is_empty()
-            || !ident
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || !ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             || ident.chars().next().is_some_and(|c| c.is_ascii_digit())
     }
 
@@ -153,8 +151,12 @@ mod tests {
     fn dialect_specific_functions() {
         assert_eq!(GenericDialect.random_function(), "rand()");
         assert_eq!(RedshiftDialect.random_function(), "random()");
-        assert!(ImpalaDialect.hash_function("order_id", 100).contains("fnv_hash"));
-        assert!(SparkSqlDialect.hash_function("order_id", 100).contains("hash"));
+        assert!(ImpalaDialect
+            .hash_function("order_id", 100)
+            .contains("fnv_hash"));
+        assert!(SparkSqlDialect
+            .hash_function("order_id", 100)
+            .contains("hash"));
         assert!(!ImpalaDialect.allows_rand_in_where());
         assert!(SparkSqlDialect.allows_rand_in_where());
     }

@@ -129,7 +129,11 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                     i += 1;
                 }
                 // fraction
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -262,7 +266,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                         })
                     }
                 };
-                tokens.push(SpannedToken { token: tok, offset: start });
+                tokens.push(SpannedToken {
+                    token: tok,
+                    offset: start,
+                });
             }
         }
     }
@@ -279,7 +286,11 @@ mod tests {
     use super::*;
 
     fn toks(sql: &str) -> Vec<Token> {
-        tokenize(sql).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
     let mut stmts = parse_statements(sql)?;
     match stmts.len() {
         1 => Ok(stmts.remove(0)),
-        0 => Err(ParseError { message: "empty statement".into(), offset: 0 }),
+        0 => Err(ParseError {
+            message: "empty statement".into(),
+            offset: 0,
+        }),
         _ => Err(ParseError {
             message: "expected a single statement".into(),
             offset: 0,
@@ -98,7 +104,10 @@ impl Parser {
     }
 
     fn error<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), offset: self.offset() })
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
     }
 
     fn expect_eof(&self) -> Result<(), ParseError> {
@@ -176,7 +185,10 @@ impl Parser {
         if self.peek().is_keyword("insert") {
             return self.parse_insert();
         }
-        self.error(format!("unsupported statement starting with {}", self.peek()))
+        self.error(format!(
+            "unsupported statement starting with {}",
+            self.peek()
+        ))
     }
 
     fn skip_statement_end(&mut self) -> Result<(), ParseError> {
@@ -212,7 +224,11 @@ impl Parser {
         self.expect_keyword("as")?;
         let query = self.parse_query()?;
         self.skip_statement_end()?;
-        Ok(Statement::CreateTableAs { name, query: Box::new(query), if_not_exists })
+        Ok(Statement::CreateTableAs {
+            name,
+            query: Box::new(query),
+            if_not_exists,
+        })
     }
 
     fn parse_drop_table(&mut self) -> Result<Statement, ParseError> {
@@ -236,7 +252,10 @@ impl Parser {
         // Only INSERT INTO ... SELECT is supported (sample maintenance).
         let query = self.parse_query()?;
         self.skip_statement_end()?;
-        Ok(Statement::InsertIntoSelect { table, query: Box::new(query) })
+        Ok(Statement::InsertIntoSelect {
+            table,
+            query: Box::new(query),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -407,7 +426,11 @@ impl Parser {
             } else {
                 None
             };
-            joins.push(Join { relation, join_type, constraint });
+            joins.push(Join {
+                relation,
+                join_type,
+                constraint,
+            });
         }
         Ok(TableWithJoins { relation, joins })
     }
@@ -418,7 +441,10 @@ impl Parser {
             let subquery = self.parse_query()?;
             self.expect_token(&Token::RParen)?;
             let alias = self.parse_optional_table_alias()?;
-            return Ok(TableFactor::Derived { subquery: Box::new(subquery), alias });
+            return Ok(TableFactor::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            });
         }
         let name = self.parse_object_name()?;
         let alias = self.parse_optional_table_alias()?;
@@ -472,7 +498,10 @@ impl Parser {
         if self.peek().is_keyword("not") && !self.peek_ahead(1).is_keyword("exists") {
             self.advance();
             let inner = self.parse_not()?;
-            return Ok(Expr::UnaryOp { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_comparison()
     }
@@ -484,7 +513,10 @@ impl Parser {
             self.advance();
             let negated = self.consume_keyword("not");
             self.expect_keyword("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / LIKE / BETWEEN
         let mut negated = false;
@@ -516,7 +548,11 @@ impl Parser {
                 }
             }
             self.expect_token(&Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.peek().is_keyword("like") {
             self.advance();
@@ -594,12 +630,18 @@ impl Parser {
             Token::Minus => {
                 self.advance();
                 let inner = self.parse_unary()?;
-                Ok(Expr::UnaryOp { op: UnaryOp::Minus, expr: Box::new(inner) })
+                Ok(Expr::UnaryOp {
+                    op: UnaryOp::Minus,
+                    expr: Box::new(inner),
+                })
             }
             Token::Plus => {
                 self.advance();
                 let inner = self.parse_unary()?;
-                Ok(Expr::UnaryOp { op: UnaryOp::Plus, expr: Box::new(inner) })
+                Ok(Expr::UnaryOp {
+                    op: UnaryOp::Plus,
+                    expr: Box::new(inner),
+                })
             }
             _ => self.parse_primary(),
         }
@@ -672,7 +714,10 @@ impl Parser {
                     self.expect_token(&Token::LParen)?;
                     let q = self.parse_query()?;
                     self.expect_token(&Token::RParen)?;
-                    return Ok(Expr::Exists { subquery: Box::new(q), negated: false });
+                    return Ok(Expr::Exists {
+                        subquery: Box::new(q),
+                        negated: false,
+                    });
                 }
                 if w.eq_ignore_ascii_case("not") && self.peek_ahead(1).is_keyword("exists") {
                     self.advance();
@@ -680,7 +725,10 @@ impl Parser {
                     self.expect_token(&Token::LParen)?;
                     let q = self.parse_query()?;
                     self.expect_token(&Token::RParen)?;
-                    return Ok(Expr::Exists { subquery: Box::new(q), negated: true });
+                    return Ok(Expr::Exists {
+                        subquery: Box::new(q),
+                        negated: true,
+                    });
                 }
                 if w.eq_ignore_ascii_case("interval") {
                     return self.parse_interval();
@@ -730,9 +778,15 @@ impl Parser {
         if self.peek() == &Token::Dot {
             self.advance();
             let second = self.parse_identifier()?;
-            Ok(Expr::Column { table: Some(first), name: second })
+            Ok(Expr::Column {
+                table: Some(first),
+                name: second,
+            })
         } else {
-            Ok(Expr::Column { table: None, name: first })
+            Ok(Expr::Column {
+                table: None,
+                name: first,
+            })
         }
     }
 
@@ -784,11 +838,19 @@ impl Parser {
                 }
             }
             self.expect_token(&Token::RParen)?;
-            Some(WindowSpec { partition_by, order_by })
+            Some(WindowSpec {
+                partition_by,
+                order_by,
+            })
         } else {
             None
         };
-        Ok(Expr::Function(FunctionCall { name, args, distinct, over }))
+        Ok(Expr::Function(FunctionCall {
+            name,
+            args,
+            distinct,
+            over,
+        }))
     }
 
     fn parse_case(&mut self) -> Result<Expr, ParseError> {
@@ -814,7 +876,11 @@ impl Parser {
         if when_then.is_empty() {
             return self.error("CASE expression requires at least one WHEN branch");
         }
-        Ok(Expr::Case { operand, when_then, else_expr })
+        Ok(Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        })
     }
 
     fn parse_cast(&mut self) -> Result<Expr, ParseError> {
@@ -840,7 +906,10 @@ impl Parser {
                 return self.error(format!("unsupported cast target type {other}"));
             }
         };
-        Ok(Expr::Cast { expr: Box::new(expr), data_type })
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            data_type,
+        })
     }
 }
 
@@ -948,7 +1017,14 @@ mod tests {
             "CASE WHEN strata_size > 2000 THEN 0.01 WHEN strata_size > 1900 THEN 0.012 ELSE 1 END",
         )
         .unwrap();
-        let Expr::Case { when_then, else_expr, .. } = e else { panic!() };
+        let Expr::Case {
+            when_then,
+            else_expr,
+            ..
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(when_then.len(), 2);
         assert!(else_expr.is_some());
     }
@@ -966,14 +1042,21 @@ mod tests {
         let s = parse_statement("CREATE TABLE s AS SELECT * FROM t WHERE rand() < 0.01").unwrap();
         assert!(matches!(s, Statement::CreateTableAs { .. }));
         let s = parse_statement("DROP TABLE IF EXISTS verdict_meta.samples").unwrap();
-        assert!(matches!(s, Statement::DropTable { if_exists: true, .. }));
+        assert!(matches!(
+            s,
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
         let s = parse_statement("INSERT INTO s SELECT * FROM t2").unwrap();
         assert!(matches!(s, Statement::InsertIntoSelect { .. }));
     }
 
     #[test]
     fn parses_in_like_between() {
-        let e = parse_expression("a IN (1, 2, 3) AND b LIKE '%x%' AND c NOT BETWEEN 1 AND 5").unwrap();
+        let e =
+            parse_expression("a IN (1, 2, 3) AND b LIKE '%x%' AND c NOT BETWEEN 1 AND 5").unwrap();
         // top-level is AND of ANDs; just ensure it parses and contains expected variants
         let printed = format!("{e:?}");
         assert!(printed.contains("InList"));
@@ -992,14 +1075,15 @@ mod tests {
     #[test]
     fn parses_interval_literal_to_days() {
         let e = parse_expression("o_orderdate + INTERVAL '3' month").unwrap();
-        let Expr::BinaryOp { right, .. } = e else { panic!() };
+        let Expr::BinaryOp { right, .. } = e else {
+            panic!()
+        };
         assert_eq!(*right, Expr::Literal(Literal::Integer(90)));
     }
 
     #[test]
     fn parses_multiple_statements() {
-        let stmts =
-            parse_statements("SELECT 1; SELECT 2; DROP TABLE IF EXISTS t;").unwrap();
+        let stmts = parse_statements("SELECT 1; SELECT 2; DROP TABLE IF EXISTS t;").unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1013,7 +1097,9 @@ mod tests {
     #[test]
     fn parses_nested_parentheses_precedence() {
         let e = parse_expression("(a + b) * c").unwrap();
-        let Expr::BinaryOp { left, op, .. } = e else { panic!() };
+        let Expr::BinaryOp { left, op, .. } = e else {
+            panic!()
+        };
         assert_eq!(op, BinaryOp::Multiply);
         assert!(matches!(*left, Expr::Nested(_)));
     }

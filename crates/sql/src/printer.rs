@@ -11,7 +11,11 @@ use crate::dialect::Dialect;
 pub fn print_statement(stmt: &Statement, dialect: &dyn Dialect) -> String {
     match stmt {
         Statement::Query(q) => print_query(q, dialect),
-        Statement::CreateTableAs { name, query, if_not_exists } => {
+        Statement::CreateTableAs {
+            name,
+            query,
+            if_not_exists,
+        } => {
             let ine = if *if_not_exists { "IF NOT EXISTS " } else { "" };
             format!(
                 "CREATE TABLE {ine}{} AS {}",
@@ -62,7 +66,11 @@ pub fn print_query(query: &Query, dialect: &dyn Dialect) -> String {
     }
     if !query.group_by.is_empty() {
         out.push_str(" GROUP BY ");
-        let gs: Vec<String> = query.group_by.iter().map(|e| print_expr(e, dialect)).collect();
+        let gs: Vec<String> = query
+            .group_by
+            .iter()
+            .map(|e| print_expr(e, dialect))
+            .collect();
         out.push_str(&gs.join(", "));
     }
     if let Some(h) = &query.having {
@@ -104,7 +112,11 @@ fn print_select_item(item: &SelectItem, dialect: &dyn Dialect) -> String {
     match item {
         SelectItem::Expr(e) => print_expr(e, dialect),
         SelectItem::ExprWithAlias { expr, alias } => {
-            format!("{} AS {}", print_expr(expr, dialect), dialect.quote_ident(alias))
+            format!(
+                "{} AS {}",
+                print_expr(expr, dialect),
+                dialect.quote_ident(alias)
+            )
         }
         SelectItem::Wildcard => "*".to_string(),
         SelectItem::QualifiedWildcard(t) => format!("{}.*", dialect.quote_ident(t)),
@@ -170,7 +182,11 @@ pub fn print_expr(expr: &Expr, dialect: &dyn Dialect) -> String {
             UnaryOp::Plus => format!("+{}", print_expr(expr, dialect)),
         },
         Expr::Function(f) => print_function(f, dialect),
-        Expr::Case { operand, when_then, else_expr } => {
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
             let mut s = String::from("CASE");
             if let Some(op) = operand {
                 s.push(' ');
@@ -194,7 +210,11 @@ pub fn print_expr(expr: &Expr, dialect: &dyn Dialect) -> String {
             print_expr(expr, dialect),
             if *negated { "NOT " } else { "" }
         ),
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let items: Vec<String> = list.iter().map(|e| print_expr(e, dialect)).collect();
             format!(
                 "{} {}IN ({})",
@@ -203,20 +223,33 @@ pub fn print_expr(expr: &Expr, dialect: &dyn Dialect) -> String {
                 items.join(", ")
             )
         }
-        Expr::InSubquery { expr, subquery, negated } => format!(
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => format!(
             "{} {}IN ({})",
             print_expr(expr, dialect),
             if *negated { "NOT " } else { "" },
             print_query(subquery, dialect)
         ),
-        Expr::Between { expr, low, high, negated } => format!(
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => format!(
             "{} {}BETWEEN {} AND {}",
             print_expr(expr, dialect),
             if *negated { "NOT " } else { "" },
             print_expr(low, dialect),
             print_expr(high, dialect)
         ),
-        Expr::Like { expr, pattern, negated } => format!(
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
             "{} {}LIKE {}",
             print_expr(expr, dialect),
             if *negated { "NOT " } else { "" },
@@ -251,7 +284,11 @@ fn print_function(f: &FunctionCall, dialect: &dyn Dialect) -> String {
         s.push_str(" OVER (");
         if !w.partition_by.is_empty() {
             s.push_str("PARTITION BY ");
-            let ps: Vec<String> = w.partition_by.iter().map(|e| print_expr(e, dialect)).collect();
+            let ps: Vec<String> = w
+                .partition_by
+                .iter()
+                .map(|e| print_expr(e, dialect))
+                .collect();
             s.push_str(&ps.join(", "));
         }
         if !w.order_by.is_empty() {

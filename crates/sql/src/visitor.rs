@@ -31,7 +31,11 @@ pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
                 }
             }
         }
-        Expr::Case { operand, when_then, else_expr } => {
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 walk_expr(op, f);
             }
@@ -51,7 +55,9 @@ pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
             }
         }
         Expr::InSubquery { expr, .. } => walk_expr(expr, f),
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             walk_expr(expr, f);
             walk_expr(low, f);
             walk_expr(high, f);
@@ -125,7 +131,10 @@ fn collect_base_tables_inner(query: &Query, out: &mut Vec<ObjectName>) {
     }
     let mut subqueries = Vec::new();
     walk_query(query, &mut |e| {
-        if let Expr::ScalarSubquery(q) | Expr::InSubquery { subquery: q, .. } | Expr::Exists { subquery: q, .. } = e {
+        if let Expr::ScalarSubquery(q)
+        | Expr::InSubquery { subquery: q, .. }
+        | Expr::Exists { subquery: q, .. } = e
+        {
             subqueries.push((**q).clone());
         }
     });
@@ -154,22 +163,36 @@ pub fn transform_expr(expr: Expr, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
             op,
             right: Box::new(transform_expr(*right, f)),
         },
-        Expr::UnaryOp { op, expr } => Expr::UnaryOp { op, expr: Box::new(transform_expr(*expr, f)) },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op,
+            expr: Box::new(transform_expr(*expr, f)),
+        },
         Expr::Function(mut fc) => {
             fc.args = fc.args.into_iter().map(|a| transform_expr(a, f)).collect();
             if let Some(w) = fc.over.take() {
                 fc.over = Some(WindowSpec {
-                    partition_by: w.partition_by.into_iter().map(|e| transform_expr(e, f)).collect(),
+                    partition_by: w
+                        .partition_by
+                        .into_iter()
+                        .map(|e| transform_expr(e, f))
+                        .collect(),
                     order_by: w
                         .order_by
                         .into_iter()
-                        .map(|o| OrderByItem { expr: transform_expr(o.expr, f), asc: o.asc })
+                        .map(|o| OrderByItem {
+                            expr: transform_expr(o.expr, f),
+                            asc: o.asc,
+                        })
                         .collect(),
                 });
             }
             Expr::Function(fc)
         }
-        Expr::Case { operand, when_then, else_expr } => Expr::Case {
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => Expr::Case {
             operand: operand.map(|o| Box::new(transform_expr(*o, f))),
             when_then: when_then
                 .into_iter()
@@ -177,33 +200,52 @@ pub fn transform_expr(expr: Expr, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
                 .collect(),
             else_expr: else_expr.map(|e| Box::new(transform_expr(*e, f))),
         },
-        Expr::IsNull { expr, negated } => {
-            Expr::IsNull { expr: Box::new(transform_expr(*expr, f)), negated }
-        }
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(transform_expr(*expr, f)),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(transform_expr(*expr, f)),
             list: list.into_iter().map(|e| transform_expr(e, f)).collect(),
             negated,
         },
-        Expr::InSubquery { expr, subquery, negated } => Expr::InSubquery {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => Expr::InSubquery {
             expr: Box::new(transform_expr(*expr, f)),
             subquery,
             negated,
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(transform_expr(*expr, f)),
             low: Box::new(transform_expr(*low, f)),
             high: Box::new(transform_expr(*high, f)),
             negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(transform_expr(*expr, f)),
             pattern: Box::new(transform_expr(*pattern, f)),
             negated,
         },
-        Expr::Cast { expr, data_type } => {
-            Expr::Cast { expr: Box::new(transform_expr(*expr, f)), data_type }
-        }
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: Box::new(transform_expr(*expr, f)),
+            data_type,
+        },
         Expr::Nested(e) => Expr::Nested(Box::new(transform_expr(*e, f))),
         other => other,
     };
@@ -272,7 +314,8 @@ mod tests {
 
     #[test]
     fn transform_replaces_table_names() {
-        let mut q = query_of("SELECT count(*) FROM orders AS o JOIN products ON o.pid = products.pid");
+        let mut q =
+            query_of("SELECT count(*) FROM orders AS o JOIN products ON o.pid = products.pid");
         transform_query_tables(&mut q, &mut |name, alias| {
             if name.key() == "orders" {
                 Some(TableFactor::Table {

@@ -23,7 +23,10 @@ fn main() {
     let ns = default_subsample_size(n);
 
     println!("sample: n = {n}, true mean = 10.0, true stddev = 10.0, confidence = {confidence}");
-    println!("{:<26} {:>10} {:>22} {:>12}", "method", "estimate", "95% interval", "time");
+    println!(
+        "{:<26} {:>10} {:>22} {:>12}",
+        "method", "estimate", "95% interval", "time"
+    );
 
     let report = |name: &str, f: &dyn Fn() -> verdictdb::core::estimate::ConfidenceInterval| {
         let start = Instant::now();
@@ -36,7 +39,9 @@ fn main() {
     };
 
     report("CLT (closed form)", &|| clt_interval(&sample, confidence));
-    report("bootstrap (b=100)", &|| bootstrap_interval(&sample, b, confidence, 1));
+    report("bootstrap (b=100)", &|| {
+        bootstrap_interval(&sample, b, confidence, 1)
+    });
     report("traditional subsampling", &|| {
         traditional_subsampling_interval(&sample, b, ns, confidence, 2)
     });
@@ -50,9 +55,12 @@ fn main() {
     let engine = Engine::with_seed(9);
     SyntheticGenerator::paper_default(100_000).register(&engine);
 
-    let variational = sql_baselines::variational_subsampling_sql("synthetic", "value", Some("grp"), 100);
-    let traditional = sql_baselines::traditional_subsampling_sql("synthetic", "value", Some("grp"), 100, 0.01);
-    let bootstrap = sql_baselines::consolidated_bootstrap_sql("synthetic", "value", Some("grp"), 100);
+    let variational =
+        sql_baselines::variational_subsampling_sql("synthetic", "value", Some("grp"), 100);
+    let traditional =
+        sql_baselines::traditional_subsampling_sql("synthetic", "value", Some("grp"), 100, 0.01);
+    let bootstrap =
+        sql_baselines::consolidated_bootstrap_sql("synthetic", "value", Some("grp"), 100);
 
     for (name, sql) in [
         ("variational subsampling", &variational),

@@ -23,7 +23,10 @@ fn main() {
     // on high-cardinality keys + stratified on low-cardinality columns).
     for table in ["orders", "order_products"] {
         let created = ctx.create_recommended_samples(table).unwrap();
-        println!("default policy built {} samples for {table}:", created.len());
+        println!(
+            "default policy built {} samples for {table}:",
+            created.len()
+        );
         for s in &created {
             println!(
                 "  {:<55} {:>9} rows  ({})",

@@ -25,9 +25,16 @@ fn main() {
 
     // --- 2. offline sample preparation -----------------------------------
     println!("building samples ...");
-    let uniform = ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+    let uniform = ctx
+        .create_sample("order_products", SampleType::Uniform)
+        .unwrap();
     let stratified = ctx
-        .create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] })
+        .create_sample(
+            "orders",
+            SampleType::Stratified {
+                columns: vec!["city".into()],
+            },
+        )
         .unwrap();
     println!(
         "  {} -> {} rows (ratio {:.3}%)",

@@ -27,11 +27,18 @@ fn main() {
     ctx.create_sample("lineitem", SampleType::Uniform).unwrap();
     ctx.create_sample(
         "lineitem",
-        SampleType::Stratified { columns: vec!["l_returnflag".into(), "l_linestatus".into()] },
+        SampleType::Stratified {
+            columns: vec!["l_returnflag".into(), "l_linestatus".into()],
+        },
     )
     .unwrap();
-    ctx.create_sample("lineitem", SampleType::Hashed { columns: vec!["l_orderkey".into()] })
-        .unwrap();
+    ctx.create_sample(
+        "lineitem",
+        SampleType::Hashed {
+            columns: vec!["l_orderkey".into()],
+        },
+    )
+    .unwrap();
 
     let queries = verdictdb::data::tpch_queries();
     let subset = ["tq-1", "tq-6", "tq-12", "tq-14", "tq-19"];
@@ -43,8 +50,14 @@ fn main() {
     for q in queries.iter().filter(|q| subset.contains(&q.id)) {
         let exact = ctx.execute_exact(&q.sql).unwrap();
         let approx = ctx.execute(&q.sql).unwrap();
-        let exact_stats = ExecStats { rows_scanned: exact.rows_scanned, elapsed: exact.elapsed };
-        let approx_stats = ExecStats { rows_scanned: approx.rows_scanned, elapsed: approx.elapsed };
+        let exact_stats = ExecStats {
+            rows_scanned: exact.rows_scanned,
+            elapsed: exact.elapsed,
+        };
+        let approx_stats = ExecStats {
+            rows_scanned: approx.rows_scanned,
+            elapsed: approx.elapsed,
+        };
         let speedups: Vec<f64> = EngineProfile::all()
             .iter()
             .map(|p| p.speedup(&exact_stats, &approx_stats))

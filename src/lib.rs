@@ -29,7 +29,10 @@ pub use verdict_engine::{Connection, Engine, EngineProfile, Table, TableBuilder,
 /// Convenience constructor: an in-memory engine preloaded with the
 /// Instacart-like dataset at the given scale, wrapped in a [`VerdictContext`]
 /// ready for sample creation.
-pub fn instacart_context(scale: f64, config: VerdictConfig) -> (std::sync::Arc<Engine>, VerdictContext) {
+pub fn instacart_context(
+    scale: f64,
+    config: VerdictConfig,
+) -> (std::sync::Arc<Engine>, VerdictContext) {
     let engine = std::sync::Arc::new(Engine::with_seed(7));
     verdict_data::InstacartGenerator::new(scale).register(&engine);
     let conn: std::sync::Arc<dyn Connection> = engine.clone();

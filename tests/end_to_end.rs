@@ -16,13 +16,29 @@ fn context(scale: f64) -> VerdictContext {
     config.include_error_columns = false;
     config.seed = Some(17);
     let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
-    ctx.create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] })
+    ctx.create_sample("order_products", SampleType::Uniform)
         .unwrap();
-    ctx.create_sample("orders", SampleType::Hashed { columns: vec!["order_id".into()] })
-        .unwrap();
-    ctx.create_sample("order_products", SampleType::Hashed { columns: vec!["order_id".into()] })
-        .unwrap();
+    ctx.create_sample(
+        "orders",
+        SampleType::Stratified {
+            columns: vec!["city".into()],
+        },
+    )
+    .unwrap();
+    ctx.create_sample(
+        "orders",
+        SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        },
+    )
+    .unwrap();
+    ctx.create_sample(
+        "order_products",
+        SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        },
+    )
+    .unwrap();
     ctx
 }
 
@@ -39,18 +55,22 @@ fn scalar(ctx: &VerdictContext, sql: &str) -> (f64, f64, bool) {
 #[test]
 fn global_count_is_estimated_within_a_few_percent() {
     let ctx = context(0.25);
-    let (approx, exact, was_exact) =
-        scalar(&ctx, "SELECT count(*) AS n FROM order_products");
+    let (approx, exact, was_exact) = scalar(&ctx, "SELECT count(*) AS n FROM order_products");
     assert!(!was_exact, "query should have been approximated");
     let rel = (approx - exact).abs() / exact;
-    assert!(rel < 0.05, "relative error {rel:.4} too large ({approx} vs {exact})");
+    assert!(
+        rel < 0.05,
+        "relative error {rel:.4} too large ({approx} vs {exact})"
+    );
 }
 
 #[test]
 fn global_sum_and_avg_are_estimated_within_a_few_percent() {
     let ctx = context(0.25);
-    let (approx_sum, exact_sum, _) =
-        scalar(&ctx, "SELECT sum(price * quantity) AS rev FROM order_products");
+    let (approx_sum, exact_sum, _) = scalar(
+        &ctx,
+        "SELECT sum(price * quantity) AS rev FROM order_products",
+    );
     let rel = (approx_sum - exact_sum).abs() / exact_sum;
     assert!(rel < 0.05, "sum relative error {rel:.4}");
 
@@ -79,7 +99,11 @@ fn group_by_query_covers_all_groups_with_small_errors() {
     let approx = ctx.execute(sql).unwrap();
     let exact = ctx.execute_exact(sql).unwrap();
     assert!(!approx.exact);
-    assert_eq!(approx.table.num_rows(), exact.table.num_rows(), "missing groups");
+    assert_eq!(
+        approx.table.num_rows(),
+        exact.table.num_rows(),
+        "missing groups"
+    );
     for r in 0..exact.table.num_rows() {
         assert_eq!(
             approx.table.value(r, 0).as_i64(),
@@ -110,7 +134,10 @@ fn join_of_two_samples_works_via_universe_samples() {
         exact.table.value(0, 0).as_f64().unwrap(),
     );
     let rel = (a - e).abs() / e;
-    assert!(rel < 0.15, "join count relative error {rel:.4} ({a} vs {e})");
+    assert!(
+        rel < 0.15,
+        "join count relative error {rel:.4} ({a} vs {e})"
+    );
 }
 
 #[test]
@@ -125,7 +152,10 @@ fn count_distinct_is_estimated_from_hashed_sample() {
         exact.table.value(0, 0).as_f64().unwrap(),
     );
     let rel = (a - e).abs() / e;
-    assert!(rel < 0.15, "count distinct relative error {rel:.4} ({a} vs {e})");
+    assert!(
+        rel < 0.15,
+        "count distinct relative error {rel:.4} ({a} vs {e})"
+    );
 }
 
 #[test]
@@ -145,7 +175,9 @@ fn extreme_statistics_are_exact() {
 fn unsupported_queries_are_passed_through_unchanged() {
     let ctx = context(0.05);
     // no aggregates -> passthrough
-    let answer = ctx.execute("SELECT city FROM orders GROUP BY city ORDER BY city LIMIT 3").unwrap();
+    let answer = ctx
+        .execute("SELECT city FROM orders GROUP BY city ORDER BY city LIMIT 3")
+        .unwrap();
     assert!(answer.exact);
     assert_eq!(answer.table.num_rows(), 3);
     // DDL -> passthrough
@@ -165,7 +197,8 @@ fn error_columns_are_attached_when_configured() {
     config.include_error_columns = true;
     config.seed = Some(2);
     let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+    ctx.create_sample("order_products", SampleType::Uniform)
+        .unwrap();
 
     let answer = ctx
         .execute("SELECT count(*) AS n, avg(price) AS ap FROM order_products")
@@ -192,11 +225,16 @@ fn accuracy_contract_triggers_exact_rerun() {
     config.max_relative_error = Some(1e-9);
     config.seed = Some(4);
     let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform).unwrap();
+    ctx.create_sample("order_products", SampleType::Uniform)
+        .unwrap();
 
-    let answer = ctx.execute("SELECT avg(price) AS ap FROM order_products").unwrap();
+    let answer = ctx
+        .execute("SELECT avg(price) AS ap FROM order_products")
+        .unwrap();
     assert!(answer.exact, "HAC should have forced an exact rerun");
-    let exact = ctx.execute_exact("SELECT avg(price) AS ap FROM order_products").unwrap();
+    let exact = ctx
+        .execute_exact("SELECT avg(price) AS ap FROM order_products")
+        .unwrap();
     assert_eq!(
         answer.table.value(0, 0).as_f64().unwrap(),
         exact.table.value(0, 0).as_f64().unwrap()
@@ -209,7 +247,10 @@ fn high_cardinality_grouping_falls_back_to_exact() {
     // grouping by the join key: every group has a handful of rows, AQP is useless
     let sql = "SELECT order_id, sum(price) AS s FROM order_products GROUP BY order_id ORDER BY s DESC LIMIT 5";
     let answer = ctx.execute(sql).unwrap();
-    assert!(answer.exact, "expected fallback for high-cardinality grouping");
+    assert!(
+        answer.exact,
+        "expected fallback for high-cardinality grouping"
+    );
 }
 
 #[test]

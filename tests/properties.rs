@@ -1,60 +1,499 @@
 //! Property-based tests on the statistical and structural invariants of the
-//! middleware: the Lemma 1 staircase guarantee, estimator consistency, SQL
-//! round-tripping of generated statements, and sample-size behaviour.
+//! middleware, plus the kernel-correctness properties of the typed-columnar
+//! engine: the vectorized kernels must agree with a scalar `Value`-based
+//! reference evaluator on randomized columns including NULLs.
+//!
+//! The external property-testing harness is unavailable offline, so the
+//! properties run as seeded randomized loops: every case is deterministic
+//! given the seed, and failures print the seed of the offending case.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
 use verdictdb::core::estimate::{
     clt_interval, default_subsample_size, variational_subsampling_interval,
 };
-use verdictdb::core::stats::{build_staircase, lemma1_g, normal_critical_value, staircase_probability};
-use verdictdb::sql::{parse_statement, print_statement, GenericDialect};
+use verdictdb::core::stats::{
+    build_staircase, lemma1_g, normal_critical_value, staircase_probability,
+};
+use verdictdb::engine::expr::{eval_expr, EvalContext};
+use verdictdb::engine::functions::like_match;
+use verdictdb::engine::{Column, Table, TableBuilder, Value};
+use verdictdb::sql::ast::{BinaryOp, CastType, Expr, Literal, UnaryOp};
+use verdictdb::sql::{parse_expression, parse_statement, print_statement, GenericDialect};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ===========================================================================
+// Vectorized kernels vs scalar reference evaluator
+// ===========================================================================
 
-    /// Lemma 1: with p = f_m(n), the normal-approximated 1-δ lower tail of
-    /// Binomial(n, p) is at least m, and p is never below the naive m/n.
-    #[test]
-    fn staircase_probability_satisfies_lemma1(m in 1u64..500, extra in 1u64..10_000) {
-        let n = m + extra;
+/// Scalar reference evaluation of one expression over one row of values —
+/// the semantics of the engine's pre-columnar `Vec<Value>` evaluator.
+fn reference_eval_row(expr: &Expr, table: &Table, row: usize) -> Value {
+    match expr {
+        Expr::Column { table: q, name } => {
+            let idx = table
+                .schema
+                .resolve(q.as_deref(), name)
+                .expect("column resolves");
+            table.value_at(row, idx)
+        }
+        Expr::Literal(lit) => match lit {
+            Literal::Null => Value::Null,
+            Literal::Boolean(b) => Value::Bool(*b),
+            Literal::Integer(i) => Value::Int(*i),
+            Literal::Float(f) => Value::Float(*f),
+            Literal::String(s) => Value::Str(s.clone()),
+        },
+        Expr::Nested(e) => reference_eval_row(e, table, row),
+        Expr::UnaryOp { op, expr } => {
+            let v = reference_eval_row(expr, table, row);
+            match op {
+                UnaryOp::Not => match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                },
+                UnaryOp::Minus => match v {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    _ => Value::Null,
+                },
+                UnaryOp::Plus => v,
+            }
+        }
+        Expr::BinaryOp { left, op, right } => {
+            let l = reference_eval_row(left, table, row);
+            let r = reference_eval_row(right, table, row);
+            match op {
+                BinaryOp::And => match (l.as_bool(), r.as_bool()) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                },
+                BinaryOp::Or => match (l.as_bool(), r.as_bool()) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                },
+                BinaryOp::Concat => match (l.as_str_lossy(), r.as_str_lossy()) {
+                    (Some(a), Some(b)) => Value::Str(format!("{a}{b}")),
+                    _ => Value::Null,
+                },
+                op if op.is_comparison() => match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        BinaryOp::Eq => ord == Ordering::Equal,
+                        BinaryOp::NotEq => ord != Ordering::Equal,
+                        BinaryOp::Lt => ord == Ordering::Less,
+                        BinaryOp::LtEq => ord != Ordering::Greater,
+                        BinaryOp::Gt => ord == Ordering::Greater,
+                        BinaryOp::GtEq => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    }),
+                },
+                _ => match (&l, &r) {
+                    (Value::Null, _) | (_, Value::Null) => Value::Null,
+                    (Value::Int(a), Value::Int(b)) => match op {
+                        BinaryOp::Plus => Value::Int(a.wrapping_add(*b)),
+                        BinaryOp::Minus => Value::Int(a.wrapping_sub(*b)),
+                        BinaryOp::Multiply => Value::Int(a.wrapping_mul(*b)),
+                        BinaryOp::Divide => {
+                            if *b == 0 {
+                                Value::Null
+                            } else {
+                                Value::Float(*a as f64 / *b as f64)
+                            }
+                        }
+                        BinaryOp::Modulo => {
+                            if *b == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(a % b)
+                            }
+                        }
+                        _ => unreachable!(),
+                    },
+                    (a, b) => {
+                        let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                        match op {
+                            BinaryOp::Plus => Value::Float(x + y),
+                            BinaryOp::Minus => Value::Float(x - y),
+                            BinaryOp::Multiply => Value::Float(x * y),
+                            BinaryOp::Divide => {
+                                if y == 0.0 {
+                                    Value::Null
+                                } else {
+                                    Value::Float(x / y)
+                                }
+                            }
+                            BinaryOp::Modulo => {
+                                if y == 0.0 {
+                                    Value::Null
+                                } else {
+                                    Value::Float(x % y)
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                },
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = reference_eval_row(expr, table, row);
+            Value::Bool(v.is_null() != *negated)
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let target = reference_eval_row(expr, table, row);
+            if target.is_null() {
+                return Value::Null;
+            }
+            let found = list
+                .iter()
+                .any(|e| reference_eval_row(e, table, row) == target);
+            Value::Bool(found != *negated)
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = reference_eval_row(expr, table, row);
+            let lo = reference_eval_row(low, table, row);
+            let hi = reference_eval_row(high, table, row);
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Value::Bool(inside != *negated)
+                }
+                _ => Value::Null,
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = reference_eval_row(expr, table, row);
+            let p = reference_eval_row(pattern, table, row);
+            match (v.as_str_lossy(), p.as_str_lossy()) {
+                (Some(text), Some(pat)) => Value::Bool(like_match(&text, &pat) != *negated),
+                _ => Value::Null,
+            }
+        }
+        Expr::Cast { expr, data_type } => {
+            let v = reference_eval_row(expr, table, row);
+            if v.is_null() {
+                return Value::Null;
+            }
+            match data_type {
+                CastType::Integer => match &v {
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .unwrap_or(Value::Null),
+                    _ => v.as_i64().map(Value::Int).unwrap_or(Value::Null),
+                },
+                CastType::Double => match &v {
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .unwrap_or(Value::Null),
+                    _ => v.as_f64().map(Value::Float).unwrap_or(Value::Null),
+                },
+                CastType::Varchar => v.as_str_lossy().map(Value::Str).unwrap_or(Value::Null),
+                CastType::Boolean => v.as_bool().map(Value::Bool).unwrap_or(Value::Null),
+            }
+        }
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            for (w, t) in when_then {
+                let fire = match operand {
+                    Some(op) => {
+                        let ov = reference_eval_row(op, table, row);
+                        !ov.is_null() && ov == reference_eval_row(w, table, row)
+                    }
+                    None => reference_eval_row(w, table, row).as_bool().unwrap_or(false),
+                };
+                if fire {
+                    return reference_eval_row(t, table, row);
+                }
+            }
+            match else_expr {
+                Some(e) => reference_eval_row(e, table, row),
+                None => Value::Null,
+            }
+        }
+        other => panic!("reference evaluator does not support {other:?}"),
+    }
+}
+
+/// Builds a random table with nullable int, float, string, and bool columns.
+fn random_table(rng: &mut StdRng, rows: usize) -> Table {
+    let a: Vec<Option<i64>> = (0..rows)
+        .map(|_| (!rng.gen_bool(0.15)).then(|| rng.gen_range(-20..20i64)))
+        .collect();
+    let b: Vec<Option<f64>> = (0..rows)
+        .map(|_| (!rng.gen_bool(0.15)).then(|| (rng.gen_range(-10.0..10.0f64) * 4.0).round() / 4.0))
+        .collect();
+    let s: Vec<Option<String>> = (0..rows)
+        .map(|_| {
+            (!rng.gen_bool(0.15)).then(|| {
+                let len = rng.gen_range(0..4usize);
+                (0..len)
+                    .map(|_| (b'a' + rng.gen_range(0..3u32) as u8) as char)
+                    .collect()
+            })
+        })
+        .collect();
+    let c: Vec<Option<bool>> = (0..rows)
+        .map(|_| (!rng.gen_bool(0.15)).then(|| rng.gen_bool(0.5)))
+        .collect();
+    TableBuilder::new()
+        .opt_int_column("a", a)
+        .opt_float_column("b", b)
+        .opt_str_column("s", s)
+        .column("c", Column::from_opt_bool(c))
+        .build()
+        .unwrap()
+}
+
+/// The expression corpus: arithmetic, comparison, boolean logic, NULL tests,
+/// BETWEEN / IN / LIKE / CASE / CAST, across every column type.
+const KERNEL_EXPRESSIONS: &[&str] = &[
+    "a + 7",
+    "a - b",
+    "a * a",
+    "b * 2.5 + a",
+    "a / b",
+    "b / (a - a)",
+    "a % 3",
+    "-b",
+    "-a",
+    "a = 5",
+    "a != b",
+    "b < 0.5",
+    "a >= b",
+    "s = 'ab'",
+    "s < 'b'",
+    "s = a",
+    "c AND b > 0",
+    "c OR a < 0",
+    "NOT c",
+    "a IS NULL",
+    "b IS NOT NULL",
+    "a BETWEEN -5 AND 5",
+    "b BETWEEN a AND 5.0",
+    "a IN (1, 2, 3)",
+    "s IN ('a', 'ab', 'ba')",
+    "s NOT IN ('b')",
+    "s LIKE 'a%'",
+    "s LIKE '_b'",
+    "CASE WHEN a > 0 THEN b ELSE -b END",
+    "CASE WHEN b IS NULL THEN 'none' WHEN b > 0 THEN 'pos' ELSE 'neg' END",
+    "CAST(a AS DOUBLE)",
+    "CAST(b AS BIGINT)",
+    "CAST(a AS VARCHAR)",
+    "CAST(s AS BIGINT)",
+    "s || 'x'",
+    "a + b * 2 > 3 AND NOT (s = 'ab')",
+];
+
+#[test]
+fn vectorized_kernels_agree_with_scalar_reference_on_random_columns() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = rng.gen_range(1..200usize);
+        let table = random_table(&mut rng, rows);
+        for sql in KERNEL_EXPRESSIONS {
+            let expr = parse_expression(sql).unwrap();
+            let mut rng_fn = || 0.5f64;
+            let mut ctx = EvalContext {
+                table: &table,
+                rng: &mut rng_fn,
+            };
+            let vectorized = eval_expr(&expr, &mut ctx)
+                .unwrap_or_else(|e| panic!("seed {seed}: `{sql}` failed to evaluate: {e}"));
+            assert_eq!(vectorized.len(), rows, "seed {seed}: `{sql}` wrong length");
+            for row in 0..rows {
+                let expected = reference_eval_row(&expr, &table, row);
+                let got = vectorized.value_at(row);
+                assert_eq!(
+                    got,
+                    expected,
+                    "seed {seed}, row {row}: `{sql}` diverged (row values: {:?})",
+                    table.row(row)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_masks_agree_with_scalar_reference() {
+    for seed in 100..112u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = random_table(&mut rng, 150);
+        for sql in [
+            "b > 0 AND a < 10",
+            "s LIKE 'a%' OR c",
+            "a IS NOT NULL AND b < 2.0",
+        ] {
+            let expr = parse_expression(sql).unwrap();
+            let mut rng_fn = || 0.5f64;
+            let mut ctx = EvalContext {
+                table: &table,
+                rng: &mut rng_fn,
+            };
+            let col = eval_expr(&expr, &mut ctx).unwrap();
+            let mask = verdictdb::engine::kernels::column_to_mask(&col);
+            for row in 0..table.num_rows() {
+                let expected = reference_eval_row(&expr, &table, row)
+                    .as_bool()
+                    .unwrap_or(false);
+                assert_eq!(
+                    mask[row], expected,
+                    "seed {seed}, row {row}: `{sql}` mask diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_aggregation_agrees_with_scalar_reference() {
+    use verdictdb::engine::Engine;
+    for seed in 200..208u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = random_table(&mut rng, 300);
+        // scalar reference: per-group accumulation over materialised values
+        let mut sums: std::collections::HashMap<String, (f64, i64, Option<f64>, Option<f64>)> =
+            std::collections::HashMap::new();
+        for row in 0..table.num_rows() {
+            let key = match table.value_at(row, 0) {
+                Value::Null => "<null>".to_string(),
+                v => v.to_string(),
+            };
+            let entry = sums.entry(key).or_insert((0.0, 0, None, None));
+            if let Some(x) = table.value_at(row, 1).as_f64() {
+                entry.0 += x;
+                entry.1 += 1;
+                entry.2 = Some(entry.2.map_or(x, |m: f64| m.min(x)));
+                entry.3 = Some(entry.3.map_or(x, |m: f64| m.max(x)));
+            }
+        }
+        // vectorized path: the real engine executing SQL over the table
+        let engine = Engine::with_seed(seed);
+        engine.register_table("t", table.clone());
+        let out = engine
+            .execute_sql("SELECT a, sum(b), count(b), min(b), max(b) FROM t GROUP BY a")
+            .unwrap()
+            .table;
+        assert_eq!(
+            out.num_rows(),
+            sums.len(),
+            "seed {seed}: group count diverged"
+        );
+        for row in 0..out.num_rows() {
+            let key = match out.value_at(row, 0) {
+                Value::Null => "<null>".to_string(),
+                v => v.to_string(),
+            };
+            let (sum, count, min, max) = sums[&key];
+            if count == 0 {
+                assert!(
+                    out.value_at(row, 1).is_null(),
+                    "seed {seed}: sum of empty group"
+                );
+                assert_eq!(out.value_at(row, 2), Value::Int(0));
+                assert!(out.value_at(row, 3).is_null());
+            } else {
+                let got_sum = out.value_at(row, 1).as_f64().unwrap();
+                assert!(
+                    (got_sum - sum).abs() < 1e-9,
+                    "seed {seed}, group {key}: sum {got_sum} vs {sum}"
+                );
+                assert_eq!(out.value_at(row, 2), Value::Int(count));
+                assert_eq!(out.value_at(row, 3).as_f64(), min);
+                assert_eq!(out.value_at(row, 4).as_f64(), max);
+            }
+        }
+    }
+}
+
+// ===========================================================================
+// Statistical invariants (previously proptest-based, now seeded loops)
+// ===========================================================================
+
+/// Lemma 1: with p = f_m(n), the normal-approximated 1-δ lower tail of
+/// Binomial(n, p) is at least m, and p is never below the naive m/n.
+#[test]
+fn staircase_probability_satisfies_lemma1() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..64 {
+        let m = rng.gen_range(1..500u64);
+        let n = m + rng.gen_range(1..10_000u64);
         let delta = 0.001;
         let p = staircase_probability(m, n, delta);
-        prop_assert!(p > 0.0 && p <= 1.0);
-        prop_assert!(p >= m as f64 / n as f64 - 1e-12);
+        assert!(p > 0.0 && p <= 1.0);
+        assert!(p >= m as f64 / n as f64 - 1e-12);
         if p < 1.0 {
-            prop_assert!(lemma1_g(p, n as f64, delta) >= m as f64 - 1e-6);
+            assert!(
+                lemma1_g(p, n as f64, delta) >= m as f64 - 1e-6,
+                "m={m} n={n}"
+            );
         }
     }
+}
 
-    /// The staircase CASE steps are monotone: larger strata get smaller
-    /// sampling probabilities.
-    #[test]
-    fn staircase_steps_are_monotone(m in 10u64..200, max in 1_000u64..1_000_000) {
+/// The staircase CASE steps are monotone: larger strata get smaller
+/// sampling probabilities.
+#[test]
+fn staircase_steps_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..64 {
+        let m = rng.gen_range(10..200u64);
+        let max = rng.gen_range(1_000..1_000_000u64);
         let steps = build_staircase(m, max, 0.001);
         for w in steps.windows(2) {
-            prop_assert!(w[0].threshold > w[1].threshold);
-            prop_assert!(w[0].probability <= w[1].probability + 1e-9);
+            assert!(w[0].threshold > w[1].threshold);
+            assert!(w[0].probability <= w[1].probability + 1e-9);
         }
     }
+}
 
-    /// The variational-subsampling point estimate equals the sample mean and
-    /// its interval contains that mean.
-    #[test]
-    fn variational_estimate_is_the_sample_mean(values in proptest::collection::vec(-1000.0f64..1000.0, 100..2000)) {
+/// The variational-subsampling point estimate equals the sample mean and
+/// its interval contains that mean.
+#[test]
+fn variational_estimate_is_the_sample_mean() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..64 {
+        let len = rng.gen_range(100..2000usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
         let ns = default_subsample_size(values.len());
         let ci = variational_subsampling_interval(&values, ns, 0.95, 42);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((ci.estimate - mean).abs() < 1e-9);
-        prop_assert!(ci.lower <= ci.estimate + 1e-9);
-        prop_assert!(ci.upper >= ci.estimate - 1e-9);
+        assert!((ci.estimate - mean).abs() < 1e-9);
+        assert!(ci.lower <= ci.estimate + 1e-9);
+        assert!(ci.upper >= ci.estimate - 1e-9);
     }
+}
 
-    /// Variational-subsampling intervals are in the same ballpark as CLT
-    /// intervals (they estimate the same asymptotic distribution).
-    #[test]
-    fn variational_interval_tracks_clt(seed in 0u64..1000) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Variational-subsampling intervals are in the same ballpark as CLT
+/// intervals (they estimate the same asymptotic distribution).
+#[test]
+fn variational_interval_tracks_clt() {
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let values: Vec<f64> = (0..5000)
             .map(|_| {
                 let z: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
@@ -62,34 +501,45 @@ proptest! {
             })
             .collect();
         let clt = clt_interval(&values, 0.95);
-        let vs = variational_subsampling_interval(&values, default_subsample_size(values.len()), 0.95, seed);
-        prop_assert!(vs.half_width() < clt.half_width() * 4.0);
-        prop_assert!(vs.half_width() > clt.half_width() / 4.0);
+        let vs = variational_subsampling_interval(
+            &values,
+            default_subsample_size(values.len()),
+            0.95,
+            seed,
+        );
+        assert!(vs.half_width() < clt.half_width() * 4.0, "seed {seed}");
+        assert!(vs.half_width() > clt.half_width() / 4.0, "seed {seed}");
     }
+}
 
-    /// Normal critical values grow with the confidence level.
-    #[test]
-    fn critical_values_are_monotone(c1 in 0.5f64..0.99, delta in 0.001f64..0.009) {
-        let c2 = (c1 + delta).min(0.999);
-        prop_assert!(normal_critical_value(c2) >= normal_critical_value(c1));
+/// Normal critical values grow with the confidence level.
+#[test]
+fn critical_values_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..64 {
+        let c1 = rng.gen_range(0.5..0.99f64);
+        let c2 = (c1 + rng.gen_range(0.001..0.009f64)).min(0.999);
+        assert!(normal_critical_value(c2) >= normal_critical_value(c1));
     }
+}
 
-    /// Printing and re-parsing a parsed statement is a fixpoint (printer
-    /// stability over the grammar of generated SELECTs).
-    #[test]
-    fn printer_is_stable_for_generated_selects(
-        col in "[a-c]",
-        table in "[t-v]",
-        threshold in 0i64..1000,
-        limit in 1u64..50,
-    ) {
+/// Printing and re-parsing a parsed statement is a fixpoint (printer
+/// stability over the grammar of generated SELECTs).
+#[test]
+fn printer_is_stable_for_generated_selects() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..64 {
+        let col = ["a", "b", "c"][rng.gen_range(0..3usize)];
+        let table = ["t", "u", "v"][rng.gen_range(0..3usize)];
+        let threshold = rng.gen_range(0..1000i64);
+        let limit = rng.gen_range(1..50u64);
         let sql = format!(
             "SELECT {col}, count(*) AS cnt FROM {table} WHERE {col} > {threshold} GROUP BY {col} ORDER BY cnt DESC LIMIT {limit}"
         );
         let stmt = parse_statement(&sql).unwrap();
         let printed = print_statement(&stmt, &GenericDialect);
         let reparsed = parse_statement(&printed).unwrap();
-        prop_assert_eq!(print_statement(&reparsed, &GenericDialect), printed);
+        assert_eq!(print_statement(&reparsed, &GenericDialect), printed);
     }
 }
 

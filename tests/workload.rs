@@ -27,21 +27,48 @@ fn workload_context() -> VerdictContext {
         ctx.create_sample(table, SampleType::Uniform).unwrap();
     }
     ctx.create_sample("orders", SampleType::Uniform).unwrap();
-    ctx.create_sample("tpch_orders", SampleType::Hashed { columns: vec!["o_orderkey".into()] })
-        .unwrap();
-    ctx.create_sample("orders", SampleType::Hashed { columns: vec!["order_id".into()] })
-        .unwrap();
-    ctx.create_sample("order_products", SampleType::Hashed { columns: vec!["order_id".into()] })
-        .unwrap();
-    ctx.create_sample("lineitem", SampleType::Hashed { columns: vec!["l_orderkey".into()] })
-        .unwrap();
     ctx.create_sample(
-        "lineitem",
-        SampleType::Stratified { columns: vec!["l_returnflag".into(), "l_linestatus".into()] },
+        "tpch_orders",
+        SampleType::Hashed {
+            columns: vec!["o_orderkey".into()],
+        },
     )
     .unwrap();
-    ctx.create_sample("orders", SampleType::Stratified { columns: vec!["city".into()] })
-        .unwrap();
+    ctx.create_sample(
+        "orders",
+        SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        },
+    )
+    .unwrap();
+    ctx.create_sample(
+        "order_products",
+        SampleType::Hashed {
+            columns: vec!["order_id".into()],
+        },
+    )
+    .unwrap();
+    ctx.create_sample(
+        "lineitem",
+        SampleType::Hashed {
+            columns: vec!["l_orderkey".into()],
+        },
+    )
+    .unwrap();
+    ctx.create_sample(
+        "lineitem",
+        SampleType::Stratified {
+            columns: vec!["l_returnflag".into(), "l_linestatus".into()],
+        },
+    )
+    .unwrap();
+    ctx.create_sample(
+        "orders",
+        SampleType::Stratified {
+            columns: vec!["city".into()],
+        },
+    )
+    .unwrap();
     ctx
 }
 
@@ -54,7 +81,11 @@ fn every_workload_query_runs_through_verdictdb() {
         let answer = ctx
             .execute(&q.sql)
             .unwrap_or_else(|e| panic!("{} failed through VerdictDB: {e}\n{}", q.id, q.sql));
-        assert!(answer.table.num_rows() > 0 || answer.exact, "{} returned no rows", q.id);
+        assert!(
+            answer.table.num_rows() > 0 || answer.exact,
+            "{} returned no rows",
+            q.id
+        );
         if answer.exact {
             fallbacks.push(q.id);
         } else {
@@ -100,7 +131,11 @@ fn approximate_answers_track_exact_answers_on_scalar_queries() {
             .unwrap_or(col);
         let a = approx.table.value(0, first_agg_col).as_f64().unwrap();
         let e = exact.table.value(0, first_agg_col).as_f64().unwrap();
-        let rel = if e.abs() < f64::EPSILON { 0.0 } else { (a - e).abs() / e.abs() };
+        let rel = if e.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (a - e).abs() / e.abs()
+        };
         // At this laptop scale the samples hold only a few thousand rows, so
         // highly selective queries legitimately carry ~10-15% error; at the
         // paper's 500 GB scale the same 1% samples hold millions of rows and
