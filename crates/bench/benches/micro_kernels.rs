@@ -1,9 +1,11 @@
-//! Scalar-vs-vectorized kernel micro-benchmarks (no external harness).
+//! Scalar-vs-vectorized and serial-vs-parallel kernel micro-benchmarks
+//! (no external harness).
 //!
 //! Compares the typed-column kernels that power the engine's scan / filter /
 //! aggregate hot path against a scalar reference path that materialises every
 //! cell as a dynamically-typed `Value` — exactly what the engine did before
-//! the typed-columnar refactor.  Run with:
+//! the typed-columnar refactor — and then the morsel-parallel kernels against
+//! the serial vectorized ones.  Run with:
 //!
 //! ```text
 //! cargo bench -p verdict-bench --bench micro_kernels
@@ -11,11 +13,13 @@
 //!
 //! Emits a human-readable table on stdout and writes a machine-readable
 //! perf snapshot to `BENCH_kernels.json` at the workspace root (override
-//! the path with the `BENCH_KERNELS_JSON` environment variable).
+//! the path with the `BENCH_KERNELS_JSON` environment variable).  The pool
+//! size defaults to `available_parallelism()` and can be pinned with
+//! `VERDICT_PARALLELISM`.
 
 use std::time::Instant;
-use verdict_engine::kernels::{self, group_rows};
-use verdict_engine::{Column, Value};
+use verdict_engine::kernels::{self, group_rows, group_rows_with};
+use verdict_engine::{Column, ColumnData, ThreadPool, Value};
 use verdict_sql::ast::BinaryOp;
 
 const ROWS: usize = 1_000_000;
@@ -101,7 +105,7 @@ fn scalar_grouped_sum(keys: &Column, values: &Column) -> Vec<(verdict_engine::Ke
 }
 
 // ---------------------------------------------------------------------------
-// Vectorized paths: typed-column kernels.
+// Vectorized paths: typed-column kernels (serial).
 // ---------------------------------------------------------------------------
 
 fn vector_filter_mask(col: &Column, threshold: f64) -> Vec<bool> {
@@ -118,7 +122,7 @@ fn vector_grouped_sum(keys: &Column, values: &Column) -> Vec<f64> {
     let grouping = group_rows(std::slice::from_ref(keys), keys.len());
     let mut sums = vec![0.0f64; grouping.num_groups()];
     match values.data() {
-        verdict_engine::ColumnData::Float64(v) => {
+        ColumnData::Float64(v) => {
             for (i, &g) in grouping.gids.iter().enumerate() {
                 if values.is_valid(i) {
                     sums[g] += v[i];
@@ -136,73 +140,210 @@ fn vector_grouped_sum(keys: &Column, values: &Column) -> Vec<f64> {
     sums
 }
 
+// ---------------------------------------------------------------------------
+// Morsel-parallel paths: the same kernels across a ThreadPool.  Partial
+// states merge in morsel order, so results are bit-identical to running the
+// same morsel decomposition on one thread.
+// ---------------------------------------------------------------------------
+
+fn par_filter_mask(col: &Column, threshold: f64, pool: &ThreadPool) -> Vec<bool> {
+    let t = Column::repeat(&Value::Float(threshold), col.len());
+    kernels::par_filter_mask(col, BinaryOp::Gt, &t, pool)
+}
+
+fn par_sum_avg(col: &Column, pool: &ThreadPool) -> (f64, f64) {
+    let (sum, count) = col.par_sum_count_f64(pool);
+    (sum, sum / count.max(1) as f64)
+}
+
+fn par_grouped_sum(keys: &Column, values: &Column, pool: &ThreadPool) -> Vec<f64> {
+    let n = keys.len();
+    let grouping = group_rows_with(std::slice::from_ref(keys), n, pool);
+    let num_groups = grouping.num_groups();
+    let partials = pool.run_morsels(n, |range| {
+        let mut sums = vec![0.0f64; num_groups];
+        match values.data() {
+            ColumnData::Float64(v) => {
+                for i in range {
+                    if values.is_valid(i) {
+                        sums[grouping.gids[i]] += v[i];
+                    }
+                }
+            }
+            _ => {
+                for i in range {
+                    if let Some(x) = values.f64_at(i) {
+                        sums[grouping.gids[i]] += x;
+                    }
+                }
+            }
+        }
+        sums
+    });
+    partials
+        .into_iter()
+        .reduce(|mut merged, partial| {
+            for (dst, src) in merged.iter_mut().zip(partial) {
+                *dst += src;
+            }
+            merged
+        })
+        .unwrap_or_else(|| vec![0.0; num_groups])
+}
+
 struct Row {
     name: &'static str,
-    scalar_secs: f64,
-    vector_secs: f64,
+    baseline_secs: f64,
+    candidate_secs: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
-        self.scalar_secs / self.vector_secs.max(1e-12)
+        self.baseline_secs / self.candidate_secs.max(1e-12)
     }
 }
 
+fn print_table(title: &str, baseline: &str, candidate: &str, rows: &[Row]) {
+    println!("\n## {title}\n");
+    println!("| kernel | {baseline} (ms) | {candidate} (ms) | speedup |");
+    println!("|--------|------------:|----------------:|--------:|");
+    for r in rows {
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2}x |",
+            r.name,
+            r.baseline_secs * 1e3,
+            r.candidate_secs * 1e3,
+            r.speedup()
+        );
+    }
+}
+
+fn json_rows(rows: &[Row], baseline_key: &str, candidate_key: &str) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"{}\": {:.6}, \"{}\": {:.6}, \"speedup\": {:.3} }}{}\n",
+            r.name,
+            baseline_key,
+            r.baseline_secs,
+            candidate_key,
+            r.candidate_secs,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out
+}
+
 fn main() {
-    println!("# micro_kernels — scalar Value path vs typed-column kernels ({ROWS} rows, median of {REPS})\n");
+    let pool = ThreadPool::with_default_parallelism();
+    let parallelism = pool.parallelism();
+    println!(
+        "# micro_kernels — scalar vs typed-column vs morsel-parallel \
+         ({ROWS} rows, median of {REPS}, pool of {parallelism})"
+    );
     let (price, qty) = synthetic_columns(ROWS);
 
-    // Sanity: both paths must agree before we time them.
+    // Sanity: all paths must agree before we time them.
     assert_eq!(
         scalar_filter_mask(&price, 15.0),
         vector_filter_mask(&price, 15.0)
     );
+    assert_eq!(
+        vector_filter_mask(&price, 15.0),
+        par_filter_mask(&price, 15.0, &pool),
+        "parallel filter mask must equal the serial mask exactly"
+    );
     let (ss, sa) = scalar_sum_avg(&price);
     let (vs, va) = vector_sum_avg(&price);
     assert!((ss - vs).abs() < 1e-6 && (sa - va).abs() < 1e-9);
+    // Parallel partials merge in morsel order: bit-identical at ANY pool size.
+    let serial_pool = ThreadPool::serial();
+    let (p1s, p1a) = par_sum_avg(&price, &serial_pool);
+    let (pns, pna) = par_sum_avg(&price, &pool);
+    assert_eq!(p1s.to_bits(), pns.to_bits());
+    assert_eq!(p1a.to_bits(), pna.to_bits());
     let scalar_groups = scalar_grouped_sum(&qty, &price);
     let vector_groups = vector_grouped_sum(&qty, &price);
     assert_eq!(scalar_groups.len(), vector_groups.len());
     let scalar_total: f64 = scalar_groups.iter().map(|(_, s)| s).sum();
     let vector_total: f64 = vector_groups.iter().sum();
     assert!((scalar_total - vector_total).abs() / scalar_total.abs() < 1e-9);
-
-    let rows = vec![
-        Row {
-            name: "filter_gt",
-            scalar_secs: median_secs(|| scalar_filter_mask(&price, 15.0)),
-            vector_secs: median_secs(|| vector_filter_mask(&price, 15.0)),
-        },
-        Row {
-            name: "sum_avg",
-            scalar_secs: median_secs(|| scalar_sum_avg(&price)),
-            vector_secs: median_secs(|| vector_sum_avg(&price)),
-        },
-        Row {
-            name: "grouped_sum",
-            scalar_secs: median_secs(|| scalar_grouped_sum(&qty, &price)),
-            vector_secs: median_secs(|| vector_grouped_sum(&qty, &price)),
-        },
-    ];
-
-    println!("| kernel | scalar (ms) | vectorized (ms) | speedup |");
-    println!("|--------|------------:|----------------:|--------:|");
-    for r in &rows {
-        println!(
-            "| {} | {:.2} | {:.2} | {:.2}x |",
-            r.name,
-            r.scalar_secs * 1e3,
-            r.vector_secs * 1e3,
-            r.speedup()
+    let par_groups_1 = par_grouped_sum(&qty, &price, &serial_pool);
+    let par_groups_n = par_grouped_sum(&qty, &price, &pool);
+    assert_eq!(par_groups_1.len(), par_groups_n.len());
+    for (a, b) in par_groups_1.iter().zip(par_groups_n.iter()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "parallel grouped sums must be bit-identical across pool sizes"
         );
     }
 
-    let hot = rows
+    let vector_rows = vec![
+        Row {
+            name: "filter_gt",
+            baseline_secs: median_secs(|| scalar_filter_mask(&price, 15.0)),
+            candidate_secs: median_secs(|| vector_filter_mask(&price, 15.0)),
+        },
+        Row {
+            name: "sum_avg",
+            baseline_secs: median_secs(|| scalar_sum_avg(&price)),
+            candidate_secs: median_secs(|| vector_sum_avg(&price)),
+        },
+        Row {
+            name: "grouped_sum",
+            baseline_secs: median_secs(|| scalar_grouped_sum(&qty, &price)),
+            candidate_secs: median_secs(|| vector_grouped_sum(&qty, &price)),
+        },
+    ];
+    print_table(
+        "scalar Value path vs typed-column kernels",
+        "scalar",
+        "vectorized",
+        &vector_rows,
+    );
+
+    let hot = vector_rows
         .iter()
         .filter(|r| r.name == "filter_gt" || r.name == "sum_avg")
         .map(|r| r.speedup())
         .fold(f64::INFINITY, f64::min);
     println!("\nminimum hot-path (filter + sum/avg) speedup: {hot:.2}x");
+
+    // Serial vectorized vs morsel-parallel (same kernels, pool-sized).
+    let parallel_rows = vec![
+        Row {
+            name: "filter_gt",
+            baseline_secs: median_secs(|| par_filter_mask(&price, 15.0, &serial_pool)),
+            candidate_secs: median_secs(|| par_filter_mask(&price, 15.0, &pool)),
+        },
+        Row {
+            name: "sum_avg",
+            baseline_secs: median_secs(|| par_sum_avg(&price, &serial_pool)),
+            candidate_secs: median_secs(|| par_sum_avg(&price, &pool)),
+        },
+        Row {
+            name: "grouped_sum",
+            baseline_secs: median_secs(|| par_grouped_sum(&qty, &price, &serial_pool)),
+            candidate_secs: median_secs(|| par_grouped_sum(&qty, &price, &pool)),
+        },
+    ];
+    print_table(
+        &format!("serial vectorized vs morsel-parallel ({parallelism} threads)"),
+        "serial",
+        "parallel",
+        &parallel_rows,
+    );
+
+    let par_min = parallel_rows
+        .iter()
+        .filter(|r| r.name == "filter_gt" || r.name == "grouped_sum")
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum parallel (filter + grouped_sum) speedup at {parallelism} threads: {par_min:.2}x"
+    );
 
     // Machine-readable snapshot, written at the workspace root (cargo bench
     // runs with the package directory as cwd).
@@ -210,19 +351,16 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"rows\": {ROWS},\n  \"reps\": {REPS},\n  \"kernels\": [\n"
+        "  \"rows\": {ROWS},\n  \"reps\": {REPS},\n  \"parallelism\": {parallelism},\n  \"kernels\": [\n"
     ));
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"scalar_secs\": {:.6}, \"vectorized_secs\": {:.6}, \"speedup\": {:.3} }}{}\n",
-            r.name,
-            r.scalar_secs,
-            r.vector_secs,
-            r.speedup(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    json.push_str(&format!("  ],\n  \"min_hot_path_speedup\": {hot:.3}\n}}\n"));
+    json.push_str(&json_rows(&vector_rows, "scalar_secs", "vectorized_secs"));
+    json.push_str(&format!(
+        "  ],\n  \"min_hot_path_speedup\": {hot:.3},\n  \"parallel_kernels\": [\n"
+    ));
+    json.push_str(&json_rows(&parallel_rows, "serial_secs", "parallel_secs"));
+    json.push_str(&format!(
+        "  ],\n  \"min_parallel_speedup\": {par_min:.3}\n}}\n"
+    ));
     std::fs::write(&path, &json).expect("write perf snapshot");
     println!("wrote {path}");
 }

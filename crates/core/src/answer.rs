@@ -28,10 +28,24 @@ pub struct AggEstimate {
 }
 
 impl AggEstimate {
-    /// Relative error (error / |estimate|), or 0 when the estimate is 0.
+    /// Relative error (error / |estimate|).
+    ///
+    /// A degenerate point estimate (near zero, NaN, or infinite) cannot
+    /// anchor a relative error; returning 0 there would claim *perfect*
+    /// accuracy for exactly the groups whose estimates are most suspect, so
+    /// the relative error is `f64::INFINITY` instead.  The one exception is
+    /// an estimate of 0 with an error bound of 0: every subsample agreed on
+    /// exactly zero, which is an exact answer, not a degenerate one — an
+    /// infinite value there would force the accuracy contract to rerun
+    /// queries the estimator already answered exactly.  Averaging callers
+    /// must skip non-finite entries (see [`ColumnErrorSummary`]).
     pub fn relative_error(&self) -> f64 {
-        if self.estimate.abs() < f64::EPSILON {
-            0.0
+        if !self.estimate.is_finite() || self.estimate.abs() < f64::EPSILON {
+            if self.estimate == 0.0 && self.error.abs() < f64::EPSILON {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.error / self.estimate.abs()
         }
@@ -39,6 +53,12 @@ impl AggEstimate {
 }
 
 /// Error summary for one aggregate output column across all groups.
+///
+/// `mean_relative_error` averages the *finite* per-group relative errors
+/// (degenerate groups would otherwise swamp the mean with infinity), while
+/// `max_relative_error` keeps the worst value including `f64::INFINITY`, so
+/// the accuracy contract still triggers an exact rerun when any group's
+/// estimate is degenerate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnErrorSummary {
     pub column: String,
@@ -341,10 +361,19 @@ fn build_output(
                     columns.push(Column::from_opt_f64(errors));
                 }
                 if !rel_errors.is_empty() {
+                    let finite: Vec<f64> = rel_errors
+                        .iter()
+                        .copied()
+                        .filter(|e| e.is_finite())
+                        .collect();
+                    let mean_relative_error = if finite.is_empty() {
+                        f64::INFINITY
+                    } else {
+                        finite.iter().sum::<f64>() / finite.len() as f64
+                    };
                     error_summaries.push(ColumnErrorSummary {
                         column: name.clone(),
-                        mean_relative_error: rel_errors.iter().sum::<f64>()
-                            / rel_errors.len() as f64,
+                        mean_relative_error,
                         max_relative_error: rel_errors.iter().cloned().fold(0.0, f64::max),
                     });
                 }
@@ -669,10 +698,24 @@ mod tests {
     }
 
     #[test]
-    fn relative_error_is_zero_for_zero_estimate() {
+    fn relative_error_is_infinite_for_degenerate_estimate() {
+        // A zero estimate must not claim perfect accuracy — it is the case
+        // where the estimate is least trustworthy.
         let e = AggEstimate {
             estimate: 0.0,
             error: 5.0,
+        };
+        assert!(e.relative_error().is_infinite());
+        let e = AggEstimate {
+            estimate: f64::NAN,
+            error: 5.0,
+        };
+        assert!(e.relative_error().is_infinite());
+        // ... but an exact zero (zero estimate AND zero error) is not
+        // degenerate and must not trigger accuracy-contract reruns
+        let e = AggEstimate {
+            estimate: 0.0,
+            error: 0.0,
         };
         assert_eq!(e.relative_error(), 0.0);
         let e = AggEstimate {

@@ -46,6 +46,12 @@ pub struct VerdictConfig {
     /// Deterministic seed for subsample assignment randomness; `None` uses
     /// entropy.  Experiments set it for reproducibility.
     pub seed: Option<u64>,
+    /// Worker-thread count hint for the underlying engine's morsel-parallel
+    /// kernels.  `None` (default) leaves the engine at its own default
+    /// (`available_parallelism()`); `Some(1)` forces serial execution.
+    /// Applied to the connection when the context is created; results are
+    /// bit-identical at any setting — only latency changes.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for VerdictConfig {
@@ -63,6 +69,7 @@ impl Default for VerdictConfig {
             min_rows_per_group: 10.0,
             planner_top_k: 10,
             seed: None,
+            parallelism: None,
         }
     }
 }

@@ -83,6 +83,11 @@ impl VerdictContext {
         dialect: Box<dyn Dialect>,
         config: VerdictConfig,
     ) -> VerdictContext {
+        // Thread the parallelism knob through to the engine; connections
+        // without a local execution engine ignore the hint.
+        if let Some(threads) = config.parallelism {
+            conn.set_parallelism(threads);
+        }
         VerdictContext {
             conn,
             dialect,

@@ -32,9 +32,20 @@ impl ConfidenceInterval {
     }
 
     /// Relative half-width with respect to the point estimate.
+    ///
+    /// A degenerate point estimate (near zero, NaN, or infinite) cannot
+    /// anchor a relative error; reporting 0.0 there would claim *perfect*
+    /// accuracy exactly when the estimate is most suspect, so the relative
+    /// error is `f64::INFINITY` instead — except for an estimate of 0 with a
+    /// zero-width interval, which is an exact zero, not a degenerate one.
+    /// Callers that average relative errors must skip non-finite entries.
     pub fn relative_error(&self) -> f64 {
-        if self.estimate.abs() < f64::EPSILON {
-            0.0
+        if !self.estimate.is_finite() || self.estimate.abs() < f64::EPSILON {
+            if self.estimate == 0.0 && self.half_width().abs() < f64::EPSILON {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.half_width() / self.estimate.abs()
         }
@@ -53,11 +64,27 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+/// The honest interval for a sample too small to estimate spread from
+/// (`n < 2`): the point estimate (NaN when the sample is empty) with
+/// unbounded error, instead of the silently zero-width interval that
+/// `stddev`'s 0.0 / `quantile`'s NaN fallbacks used to produce.
+fn degenerate_interval(sample: &[f64], confidence: f64) -> ConfidenceInterval {
+    ConfidenceInterval {
+        estimate: mean(sample),
+        lower: f64::NEG_INFINITY,
+        upper: f64::INFINITY,
+        confidence,
+    }
+}
+
 /// Closed-form central-limit-theorem interval for the mean.
 pub fn clt_interval(sample: &[f64], confidence: f64) -> ConfidenceInterval {
+    if sample.len() < 2 {
+        return degenerate_interval(sample, confidence);
+    }
     let m = mean(sample);
     let z = normal_critical_value(confidence);
-    let half = z * stddev(sample) / (sample.len().max(1) as f64).sqrt();
+    let half = z * stddev(sample) / (sample.len() as f64).sqrt();
     ConfidenceInterval {
         estimate: m,
         lower: m - half,
@@ -75,6 +102,9 @@ pub fn bootstrap_interval(
     seed: u64,
 ) -> ConfidenceInterval {
     let n = sample.len();
+    if n < 2 {
+        return degenerate_interval(sample, confidence);
+    }
     let g0 = mean(sample);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut deltas = Vec::with_capacity(b);
@@ -105,6 +135,9 @@ pub fn traditional_subsampling_interval(
     seed: u64,
 ) -> ConfidenceInterval {
     let n = sample.len();
+    if n < 2 {
+        return degenerate_interval(sample, confidence);
+    }
     let ns = ns.min(n).max(1);
     let g0 = mean(sample);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -140,6 +173,9 @@ pub fn variational_subsampling_interval(
     seed: u64,
 ) -> ConfidenceInterval {
     let n = sample.len();
+    if n < 2 {
+        return degenerate_interval(sample, confidence);
+    }
     let ns = ns.clamp(1, n.max(1));
     let b = (n / ns).max(1);
     let g0 = mean(sample);
@@ -228,29 +264,62 @@ pub mod sql_baselines {
         )
     }
 
+    /// Cumulative CDF thresholds of a Poisson(1) count truncated at 4:
+    /// P(X ≤ k) for k = 0..3 (P(0)=P(1)=e⁻¹≈.3679, P(2)≈.1839, P(3)≈.0613).
+    /// A CASE over **one** uniform draw compared against these cumulative
+    /// values emulates one Poisson(1) multiplicity.
+    pub const POISSON1_CDF: [f64; 4] = [0.3679, 0.7358, 0.9197, 0.9810];
+
+    /// The per-replicate Poisson(1) multiplicity CASE expression over a
+    /// single pre-drawn uniform column `u`.
+    fn poisson1_case(u: &str) -> String {
+        format!(
+            "CASE WHEN {u} < {p0} THEN 0 WHEN {u} < {p1} THEN 1 \
+             WHEN {u} < {p2} THEN 2 WHEN {u} < {p3} THEN 3 ELSE 4 END",
+            p0 = POISSON1_CDF[0],
+            p1 = POISSON1_CDF[1],
+            p2 = POISSON1_CDF[2],
+            p3 = POISSON1_CDF[3],
+        )
+    }
+
     /// Consolidated bootstrap expressed in SQL: `b` resamples approximated by
     /// per-row Poisson(1) multiplicities (the standard SQL emulation), again
     /// touching every row `b` times.
+    ///
+    /// Each replicate's multiplicity comes from a **single** `rand()` draw
+    /// (materialised as a derived `verdict_u{k}` column) compared against the
+    /// cumulative [`POISSON1_CDF`] thresholds.  The previous formulation
+    /// re-drew `rand()` in every WHEN branch and mixed conditional with
+    /// cumulative thresholds, so the emulated multiplicities were not
+    /// Poisson(1) — their mean was ≈0.94 instead of 1, biasing every
+    /// bootstrap total low.
     pub fn consolidated_bootstrap_sql(
         sample_table: &str,
         value_expr: &str,
         group_col: Option<&str>,
         b: u64,
     ) -> String {
-        // Poisson(1) probability masses: P(0)=.368, P(1)=.368, P(2)=.184, P(3)=.061, else 4.
-        let poisson = "CASE WHEN rand() < 0.3679 THEN 0 WHEN rand() < 0.5820 THEN 1 \
-                       WHEN rand() < 0.8410 THEN 2 WHEN rand() < 0.9810 THEN 3 ELSE 4 END";
-        let mut columns = Vec::with_capacity(b as usize);
-        for k in 0..b {
-            columns.push(format!("sum(({value_expr}) * ({poisson})) AS boot_sum_{k}"));
-        }
+        let draws = (0..b)
+            .map(|k| format!("rand() AS verdict_u{k}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let columns = (0..b)
+            .map(|k| {
+                format!(
+                    "sum(({value_expr}) * ({})) AS boot_sum_{k}",
+                    poisson1_case(&format!("verdict_u{k}"))
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         let (group_sel, group_by) = match group_col {
             Some(g) => (format!("{g}, "), format!(" GROUP BY {g}")),
             None => (String::new(), String::new()),
         };
         format!(
-            "SELECT {group_sel}{} FROM {sample_table}{group_by}",
-            columns.join(", ")
+            "SELECT {group_sel}{columns} \
+             FROM (SELECT *, {draws} FROM {sample_table}) AS verdict_boot{group_by}"
         )
     }
 }
@@ -330,6 +399,87 @@ mod tests {
         assert_eq!(default_subsample_size(10_000), 100);
         assert_eq!(default_subsample_size(1_000_000), 1_000);
         assert_eq!(default_subsample_size(0), 1);
+    }
+
+    #[test]
+    fn degenerate_samples_report_unbounded_error_not_perfection() {
+        for sample in [Vec::new(), vec![42.0]] {
+            let cis = [
+                clt_interval(&sample, 0.95),
+                bootstrap_interval(&sample, 50, 0.95, 1),
+                traditional_subsampling_interval(&sample, 50, 10, 0.95, 2),
+                variational_subsampling_interval(&sample, 5, 0.95, 3),
+            ];
+            for ci in cis {
+                assert!(
+                    ci.half_width().is_infinite(),
+                    "{sample:?}: half width must be unbounded, got {ci:?}"
+                );
+                assert!(ci.relative_error().is_infinite());
+                assert!(
+                    ci.contains(123.456),
+                    "an unbounded interval contains everything"
+                );
+                if sample.is_empty() {
+                    assert!(ci.estimate.is_nan(), "no data → no point estimate");
+                } else {
+                    assert_eq!(ci.estimate, 42.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_infinite_for_degenerate_estimates() {
+        let ci = |estimate: f64| ConfidenceInterval {
+            estimate,
+            lower: estimate - 5.0,
+            upper: estimate + 5.0,
+            confidence: 0.95,
+        };
+        assert!(ci(0.0).relative_error().is_infinite());
+        assert!(ci(f64::NAN).relative_error().is_infinite());
+        assert!((ci(100.0).relative_error() - 0.05).abs() < 1e-12);
+        // an exact zero (zero estimate, zero-width interval) is not degenerate
+        let exact_zero = ConfidenceInterval {
+            estimate: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+            confidence: 0.95,
+        };
+        assert_eq!(exact_zero.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_case_emulates_poisson1_multiplicities() {
+        // Simulate the single-draw CASE the SQL emits: mean and variance of
+        // the (truncated-at-4) Poisson(1) multiplicity are both ≈ 1.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000usize;
+        let (mut sum, mut sum2) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let m = sql_baselines::POISSON1_CDF
+                .iter()
+                .position(|&t| u < t)
+                .unwrap_or(4) as f64;
+            sum += m;
+            sum2 += m * m;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(
+            (mean - 1.0).abs() < 0.02,
+            "multiplicity mean {mean} is not ~1"
+        );
+        assert!(
+            (var - 1.0).abs() < 0.08,
+            "multiplicity variance {var} is not ~1"
+        );
+        // one rand() draw per replicate — not one per WHEN branch
+        let sql = sql_baselines::consolidated_bootstrap_sql("t", "x", None, 5);
+        assert_eq!(sql.matches("rand()").count(), 5);
+        verdict_sql::parse_statement(&sql).unwrap();
     }
 
     #[test]

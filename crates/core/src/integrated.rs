@@ -38,6 +38,8 @@ pub struct IntegratedAnswer {
     pub rows_scanned: u64,
     /// Number of relations that were answered from a sample (at most one).
     pub sampled_relations: usize,
+    /// The SQL actually executed after sample substitution and 1/τ scaling.
+    pub rewritten_sql: String,
 }
 
 /// The tightly-integrated AQP baseline.
@@ -91,7 +93,10 @@ impl IntegratedAqp {
         });
 
         // Scale count(*)/count(x)/sum(x) aggregates by 1/τ; avg and friends
-        // are scale-free.
+        // are scale-free.  HAVING and ORDER BY must be scaled too: a
+        // `HAVING count(*) > N` or `ORDER BY sum(x)` evaluated on raw
+        // sample-scale values filters/sorts against population-scale
+        // thresholds and returns the wrong groups.
         if let Some(sample) = &used {
             let scale = 1.0 / sample.ratio.max(f64::MIN_POSITIVE);
             query.projection = query
@@ -110,6 +115,15 @@ impl IntegratedAqp {
                     other => other,
                 })
                 .collect();
+            query.having = query.having.take().map(|h| scale_aggregates(h, scale));
+            query.order_by = query
+                .order_by
+                .into_iter()
+                .map(|o| verdict_sql::ast::OrderByItem {
+                    expr: scale_aggregates(o.expr, scale),
+                    asc: o.asc,
+                })
+                .collect();
         }
 
         let rewritten = print_statement(&Statement::Query(query), &verdict_sql::GenericDialect);
@@ -119,6 +133,7 @@ impl IntegratedAqp {
             elapsed: start.elapsed(),
             rows_scanned: result.stats.rows_scanned,
             sampled_relations: usize::from(used.is_some()),
+            rewritten_sql: rewritten,
         })
     }
 }
@@ -183,6 +198,57 @@ mod tests {
         let answer = aqp.execute("SELECT avg(price) AS ap FROM orders").unwrap();
         let ap = answer.table.value(0, 0).as_f64().unwrap();
         assert!((ap - 49.5).abs() < 3.0, "estimate {ap}");
+    }
+
+    #[test]
+    fn having_filters_on_population_scale_counts() {
+        let (_, aqp) = setup();
+        // Every city has 20 000 rows at population scale but only ~1 000 in
+        // the 5% sample; without HAVING scaling the predicate would drop all
+        // five groups.
+        let answer = aqp
+            .execute(
+                "SELECT city, count(*) AS cnt FROM orders \
+                 GROUP BY city HAVING count(*) > 10000",
+            )
+            .unwrap();
+        assert_eq!(
+            answer.table.num_rows(),
+            5,
+            "all five cities exceed 10k rows at population scale"
+        );
+        for r in 0..answer.table.num_rows() {
+            let cnt = answer.table.value(r, 1).as_f64().unwrap();
+            assert!(
+                (cnt - 20_000.0).abs() / 20_000.0 < 0.25,
+                "group count {cnt}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_by_aggregates_are_scaled_too() {
+        let (_, aqp) = setup();
+        let answer = aqp
+            .execute(
+                "SELECT city FROM orders GROUP BY city \
+                 HAVING sum(price) > 100 ORDER BY sum(price) DESC",
+            )
+            .unwrap();
+        assert_eq!(answer.table.num_rows(), 5);
+        // the executed SQL must carry the 1/τ factor into HAVING and ORDER BY,
+        // not just the projection
+        let after_having = answer
+            .rewritten_sql
+            .split("HAVING")
+            .nth(1)
+            .expect("rewritten SQL keeps the HAVING clause");
+        assert_eq!(
+            after_having.matches("* 20").count(),
+            2,
+            "HAVING and ORDER BY aggregates must each be scaled by 1/τ = 20: {}",
+            answer.rewritten_sql
+        );
     }
 
     #[test]

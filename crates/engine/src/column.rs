@@ -795,6 +795,15 @@ impl Column {
     /// matching integer, so `loose_eq_rows` equality implies hash equality.
     pub fn hash_into(&self, hashes: &mut [u64]) {
         debug_assert_eq!(hashes.len(), self.len());
+        self.hash_range_into(0..self.len(), hashes);
+    }
+
+    /// Range-restricted [`Column::hash_into`]: mixes the hashes of rows
+    /// `range` into `hashes` (one slot per row of the range).  This is the
+    /// morsel-level building block of the parallel hashing kernels.
+    pub fn hash_range_into(&self, range: std::ops::Range<usize>, hashes: &mut [u64]) {
+        debug_assert_eq!(hashes.len(), range.len());
+        debug_assert!(range.end <= self.len());
         const PRIME: u64 = 0x100000001b3;
         const NULL_HASH: u64 = 0x9e3779b97f4a7c15;
         #[inline]
@@ -833,9 +842,9 @@ impl Column {
         }
         match &self.data {
             ColumnData::Int64(v) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    let e = if self.is_valid(i) {
-                        hash_i64(v[i])
+                for (row, h) in range.zip(hashes.iter_mut()) {
+                    let e = if self.is_valid(row) {
+                        hash_i64(v[row])
                     } else {
                         NULL_HASH
                     };
@@ -843,9 +852,9 @@ impl Column {
                 }
             }
             ColumnData::Float64(v) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    let e = if self.is_valid(i) {
-                        f64_canonical(v[i])
+                for (row, h) in range.zip(hashes.iter_mut()) {
+                    let e = if self.is_valid(row) {
+                        f64_canonical(v[row])
                     } else {
                         NULL_HASH
                     };
@@ -853,9 +862,9 @@ impl Column {
                 }
             }
             ColumnData::Utf8(v) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    let e = if self.is_valid(i) {
-                        hash_str(&v[i])
+                for (row, h) in range.zip(hashes.iter_mut()) {
+                    let e = if self.is_valid(row) {
+                        hash_str(&v[row])
                     } else {
                         NULL_HASH
                     };
@@ -863,9 +872,9 @@ impl Column {
                 }
             }
             ColumnData::Bool(v) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    let e = if self.is_valid(i) {
-                        hash_u64(v[i] as u64)
+                for (row, h) in range.zip(hashes.iter_mut()) {
+                    let e = if self.is_valid(row) {
+                        hash_u64(v[row] as u64)
                     } else {
                         NULL_HASH
                     };
@@ -883,26 +892,36 @@ impl Column {
     /// Sum and count of the valid numeric rows in one typed pass.
     /// Strings contribute nothing (matching `Value::as_f64`).
     pub fn sum_count_f64(&self) -> (f64, u64) {
+        self.sum_count_f64_range(0..self.len())
+    }
+
+    /// Range-restricted [`Column::sum_count_f64`]: the morsel-level partial
+    /// state of the parallel SUM/COUNT/AVG kernel.
+    pub fn sum_count_f64_range(&self, range: std::ops::Range<usize>) -> (f64, u64) {
+        debug_assert!(range.end <= self.len());
         match (&self.data, &self.validity) {
-            (ColumnData::Float64(v), None) => (v.iter().sum(), v.len() as u64),
+            (ColumnData::Float64(v), None) => (v[range.clone()].iter().sum(), range.len() as u64),
             (ColumnData::Float64(v), Some(bm)) => {
                 let mut s = 0.0;
                 let mut c = 0u64;
-                for (i, x) in v.iter().enumerate() {
+                for i in range {
                     if bm.get(i) {
-                        s += x;
+                        s += v[i];
                         c += 1;
                     }
                 }
                 (s, c)
             }
-            (ColumnData::Int64(v), None) => (v.iter().map(|&x| x as f64).sum(), v.len() as u64),
+            (ColumnData::Int64(v), None) => (
+                v[range.clone()].iter().map(|&x| x as f64).sum(),
+                range.len() as u64,
+            ),
             (ColumnData::Int64(v), Some(bm)) => {
                 let mut s = 0.0;
                 let mut c = 0u64;
-                for (i, x) in v.iter().enumerate() {
+                for i in range {
                     if bm.get(i) {
-                        s += *x as f64;
+                        s += v[i] as f64;
                         c += 1;
                     }
                 }
@@ -911,7 +930,7 @@ impl Column {
             (ColumnData::Bool(v), _) => {
                 let mut s = 0.0;
                 let mut c = 0u64;
-                for i in 0..v.len() {
+                for i in range {
                     if self.is_valid(i) {
                         s += v[i] as u64 as f64;
                         c += 1;
@@ -921,6 +940,20 @@ impl Column {
             }
             (ColumnData::Utf8(_), _) => (0.0, 0),
         }
+    }
+
+    /// Morsel-parallel sum and count: per-morsel partials from
+    /// [`Column::sum_count_f64_range`] merged in morsel order, so the result
+    /// is bit-identical at any thread count.
+    pub fn par_sum_count_f64(&self, pool: &crate::parallel::ThreadPool) -> (f64, u64) {
+        let partials = pool.run_morsels(self.len(), |range| self.sum_count_f64_range(range));
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for (s, c) in partials {
+            sum += s;
+            count += c;
+        }
+        (sum, count)
     }
 
     /// Approximate heap + inline footprint in bytes.

@@ -8,6 +8,7 @@
 use crate::catalog::Catalog;
 use crate::error::EngineResult;
 use crate::exec::Executor;
+use crate::parallel::ThreadPool;
 use crate::table::Table;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -42,6 +43,14 @@ pub trait Connection: Send + Sync {
 
     /// True when a table exists.
     fn table_exists(&self, table: &str) -> bool;
+
+    /// Requests that the connection use `threads` workers for query
+    /// execution.  Connections without an execution engine of their own (the
+    /// real JDBC/ODBC case the paper targets) ignore the hint; the in-memory
+    /// [`Engine`] resizes its morsel pool.
+    fn set_parallelism(&self, threads: usize) {
+        let _ = threads;
+    }
 }
 
 /// The in-memory SQL engine: a catalog plus an executor per statement.
@@ -51,6 +60,10 @@ pub struct Engine {
     /// Optional deterministic seed for `rand()`; incremented per statement so
     /// repeated sampling statements do not reuse the same randomness.
     seed: Arc<Mutex<Option<u64>>>,
+    /// Morsel-parallel worker pool shared by every statement this engine
+    /// executes.  Results are bit-identical at any pool size (partial states
+    /// merge in morsel order); the size only changes wall-clock time.
+    pool: Arc<ThreadPool>,
 }
 
 impl Default for Engine {
@@ -65,6 +78,7 @@ impl Engine {
         Engine {
             catalog: Arc::new(Catalog::new()),
             seed: Arc::new(Mutex::new(None)),
+            pool: Arc::new(ThreadPool::with_default_parallelism()),
         }
     }
 
@@ -74,7 +88,27 @@ impl Engine {
         Engine {
             catalog: Arc::new(Catalog::new()),
             seed: Arc::new(Mutex::new(Some(seed))),
+            pool: Arc::new(ThreadPool::with_default_parallelism()),
         }
+    }
+
+    /// Creates an engine with an explicit worker-thread count.
+    pub fn with_parallelism(threads: usize) -> Engine {
+        let engine = Engine::new();
+        engine.pool.set_parallelism(threads);
+        engine
+    }
+
+    /// Creates a deterministic engine with an explicit worker-thread count.
+    pub fn with_seed_and_parallelism(seed: u64, threads: usize) -> Engine {
+        let engine = Engine::with_seed(seed);
+        engine.pool.set_parallelism(threads);
+        engine
+    }
+
+    /// The current worker-thread count.
+    pub fn parallelism(&self) -> usize {
+        self.pool.parallelism()
     }
 
     /// Access to the underlying catalog (to register generated datasets).
@@ -103,7 +137,7 @@ impl Engine {
     pub fn execute_sql(&self, sql: &str) -> EngineResult<QueryResult> {
         let stmt = verdict_sql::parse_statement(sql)?;
         let start = Instant::now();
-        let mut exec = Executor::new(&self.catalog, self.next_seed());
+        let mut exec = Executor::with_pool(&self.catalog, self.next_seed(), Arc::clone(&self.pool));
         let table = exec.execute_statement(&stmt)?;
         Ok(QueryResult {
             table,
@@ -124,7 +158,8 @@ impl Engine {
         };
         let mut scanned = 0u64;
         for stmt in &stmts {
-            let mut exec = Executor::new(&self.catalog, self.next_seed());
+            let mut exec =
+                Executor::with_pool(&self.catalog, self.next_seed(), Arc::clone(&self.pool));
             let table = exec.execute_statement(stmt)?;
             scanned += exec.rows_scanned;
             last = QueryResult {
@@ -151,6 +186,10 @@ impl Connection for Engine {
 
     fn table_exists(&self, table: &str) -> bool {
         self.catalog.exists(table)
+    }
+
+    fn set_parallelism(&self, threads: usize) {
+        self.pool.set_parallelism(threads);
     }
 }
 

@@ -16,12 +16,14 @@ use crate::approx::HyperLogLog;
 use crate::column::{Column, ColumnData};
 use crate::error::{EngineError, EngineResult};
 use crate::expr::{eval_expr, infer_type, EvalContext};
-use crate::kernels::group_rows;
+use crate::kernels::group_rows_with;
+use crate::parallel::ThreadPool;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, KeyValue, Value};
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::ops::Range;
 use verdict_sql::ast::{Expr, FunctionCall, Literal};
 use verdict_sql::dialect::GenericDialect;
 use verdict_sql::printer::print_expr;
@@ -206,34 +208,43 @@ impl GroupAcc {
         }
     }
 
-    /// Folds the whole argument column (or, for `count(*)`, just the group
-    /// ids) into the per-group states.
-    fn update(&mut self, arg: Option<&Column>, gids: &[usize]) {
+    /// True when this accumulator kind supports morsel-partial evaluation
+    /// followed by [`GroupAcc::merge`].  The HLL sketch stays on the serial
+    /// path because its update recomputes a whole-column hash vector.
+    fn mergeable(func: &AggFunc) -> bool {
+        !matches!(func, AggFunc::ApproxCountDistinct)
+    }
+
+    /// Folds the rows of `range` (or, for `count(*)`, just their group ids)
+    /// into the per-group states.  Calling this once with `0..n` is the
+    /// serial path; calling it per morsel and merging the partial states in
+    /// morsel order is the parallel path, and the two agree exactly.
+    fn update_range(&mut self, arg: Option<&Column>, gids: &[usize], range: Range<usize>) {
         match self {
             GroupAcc::Count(counts) => match arg {
                 None => {
-                    for &g in gids {
-                        counts[g] += 1;
+                    for i in range {
+                        counts[gids[i]] += 1;
                     }
                 }
                 Some(col) => {
-                    for (i, &g) in gids.iter().enumerate() {
+                    for i in range {
                         if col.is_valid(i) {
-                            counts[g] += 1;
+                            counts[gids[i]] += 1;
                         }
                     }
                 }
             },
             GroupAcc::Sum { sums, seen, .. } => {
                 let col = arg.expect("sum requires an argument");
-                numeric_fold(col, gids, |g, x| {
+                numeric_fold_range(col, gids, range, |g, x| {
                     sums[g] += x;
                     seen[g] = true;
                 });
             }
             GroupAcc::Avg { sums, counts } => {
                 let col = arg.expect("avg requires an argument");
-                numeric_fold(col, gids, |g, x| {
+                numeric_fold_range(col, gids, range, |g, x| {
                     sums[g] += x;
                     counts[g] += 1;
                 });
@@ -242,11 +253,11 @@ impl GroupAcc {
                 let col = arg.expect("min/max requires an argument");
                 let v = col.as_i64s().expect("Int64 accumulator for Int64 column");
                 let is_min = *is_min;
-                for (i, &g) in gids.iter().enumerate() {
+                for i in range {
                     if !col.is_valid(i) {
                         continue;
                     }
-                    let x = v[i];
+                    let (x, g) = (v[i], gids[i]);
                     if !has[g] || (is_min && x < best[g]) || (!is_min && x > best[g]) {
                         best[g] = x;
                         has[g] = true;
@@ -259,11 +270,11 @@ impl GroupAcc {
                     .as_f64s()
                     .expect("Float64 accumulator for Float64 column");
                 let is_min = *is_min;
-                for (i, &g) in gids.iter().enumerate() {
+                for i in range {
                     if !col.is_valid(i) {
                         continue;
                     }
-                    let x = v[i];
+                    let (x, g) = (v[i], gids[i]);
                     if !has[g] || (is_min && x < best[g]) || (!is_min && x > best[g]) {
                         best[g] = x;
                         has[g] = true;
@@ -273,27 +284,20 @@ impl GroupAcc {
             GroupAcc::MinMaxVal { best, is_min } => {
                 let col = arg.expect("min/max requires an argument");
                 let is_min = *is_min;
-                for (i, &g) in gids.iter().enumerate() {
+                for i in range {
                     let v = col.value_at(i);
                     if v.is_null() {
                         continue;
                     }
-                    let replace = match &best[g] {
-                        None => true,
-                        Some(b) => match v.sql_cmp(b) {
-                            Some(std::cmp::Ordering::Less) => is_min,
-                            Some(std::cmp::Ordering::Greater) => !is_min,
-                            _ => false,
-                        },
-                    };
-                    if replace {
+                    let g = gids[i];
+                    if minmax_val_replaces(&best[g], &v, is_min) {
                         best[g] = Some(v);
                     }
                 }
             }
             GroupAcc::Moments { n, mean, m2 } => {
                 let col = arg.expect("variance requires an argument");
-                numeric_fold(col, gids, |g, x| {
+                numeric_fold_range(col, gids, range, |g, x| {
                     // Welford's online algorithm
                     n[g] += 1.0;
                     let delta = x - mean[g];
@@ -303,26 +307,154 @@ impl GroupAcc {
             }
             GroupAcc::Values(per_group) => {
                 let col = arg.expect("median/quantile requires an argument");
-                numeric_fold(col, gids, |g, x| per_group[g].push(x));
+                numeric_fold_range(col, gids, range, |g, x| per_group[g].push(x));
             }
             GroupAcc::Distinct(sets) => {
                 let col = arg.expect("count distinct requires an argument");
-                for (i, &g) in gids.iter().enumerate() {
+                for i in range {
                     let v = col.value_at(i);
                     if !v.is_null() {
-                        sets[g].insert(KeyValue::from_value(&v));
+                        sets[gids[i]].insert(KeyValue::from_value(&v));
                     }
                 }
             }
             GroupAcc::Hll(sketches) => {
                 let col = arg.expect("ndv requires an argument");
                 let hashes = crate::functions::fnv_hash_column_raw(col);
-                for (i, &g) in gids.iter().enumerate() {
+                for i in range {
                     if let Some(h) = hashes[i] {
-                        sketches[g].add_raw_hash(h);
+                        sketches[gids[i]].add_raw_hash(h);
                     }
                 }
             }
+        }
+    }
+
+    /// Merges a later morsel's partial state into this one.  Merge order is
+    /// always morsel order, which makes the combined state deterministic and
+    /// independent of the thread count.
+    fn merge(&mut self, other: GroupAcc) {
+        match (self, other) {
+            (GroupAcc::Count(a), GroupAcc::Count(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            (
+                GroupAcc::Sum { sums, seen, .. },
+                GroupAcc::Sum {
+                    sums: os, seen: ok, ..
+                },
+            ) => {
+                for g in 0..sums.len() {
+                    if ok[g] {
+                        sums[g] += os[g];
+                        seen[g] = true;
+                    }
+                }
+            }
+            (
+                GroupAcc::Avg { sums, counts },
+                GroupAcc::Avg {
+                    sums: os,
+                    counts: oc,
+                },
+            ) => {
+                for g in 0..sums.len() {
+                    sums[g] += os[g];
+                    counts[g] += oc[g];
+                }
+            }
+            (
+                GroupAcc::MinMaxI64 { best, has, is_min },
+                GroupAcc::MinMaxI64 {
+                    best: ob, has: oh, ..
+                },
+            ) => {
+                let is_min = *is_min;
+                for g in 0..best.len() {
+                    if !oh[g] {
+                        continue;
+                    }
+                    let x = ob[g];
+                    if !has[g] || (is_min && x < best[g]) || (!is_min && x > best[g]) {
+                        best[g] = x;
+                        has[g] = true;
+                    }
+                }
+            }
+            (
+                GroupAcc::MinMaxF64 { best, has, is_min },
+                GroupAcc::MinMaxF64 {
+                    best: ob, has: oh, ..
+                },
+            ) => {
+                let is_min = *is_min;
+                for g in 0..best.len() {
+                    if !oh[g] {
+                        continue;
+                    }
+                    let x = ob[g];
+                    if !has[g] || (is_min && x < best[g]) || (!is_min && x > best[g]) {
+                        best[g] = x;
+                        has[g] = true;
+                    }
+                }
+            }
+            (GroupAcc::MinMaxVal { best, is_min }, GroupAcc::MinMaxVal { best: ob, .. }) => {
+                let is_min = *is_min;
+                for (slot, incoming) in best.iter_mut().zip(ob) {
+                    if let Some(v) = incoming {
+                        if minmax_val_replaces(slot, &v, is_min) {
+                            *slot = Some(v);
+                        }
+                    }
+                }
+            }
+            (
+                GroupAcc::Moments { n, mean, m2 },
+                GroupAcc::Moments {
+                    n: on,
+                    mean: om,
+                    m2: om2,
+                },
+            ) => {
+                // Chan et al. pairwise combination of (count, mean, M2).
+                for g in 0..n.len() {
+                    if on[g] == 0.0 {
+                        continue;
+                    }
+                    if n[g] == 0.0 {
+                        n[g] = on[g];
+                        mean[g] = om[g];
+                        m2[g] = om2[g];
+                        continue;
+                    }
+                    let total = n[g] + on[g];
+                    let delta = om[g] - mean[g];
+                    m2[g] += om2[g] + delta * delta * n[g] * on[g] / total;
+                    mean[g] += delta * on[g] / total;
+                    n[g] = total;
+                }
+            }
+            (GroupAcc::Values(a), GroupAcc::Values(b)) => {
+                // morsel order == row order, so concatenation preserves the
+                // serial value order within every group
+                for (dst, mut src) in a.iter_mut().zip(b) {
+                    dst.append(&mut src);
+                }
+            }
+            (GroupAcc::Distinct(a), GroupAcc::Distinct(b)) => {
+                for (dst, src) in a.iter_mut().zip(b) {
+                    dst.extend(src);
+                }
+            }
+            (GroupAcc::Hll(a), GroupAcc::Hll(b)) => {
+                for (dst, src) in a.iter_mut().zip(b) {
+                    dst.merge(&src);
+                }
+            }
+            _ => unreachable!("partial states of one aggregate share a variant"),
         }
     }
 
@@ -417,39 +549,57 @@ impl GroupAcc {
     }
 }
 
-/// Folds the valid numeric slots of a column into `f(gid, x)`, dispatching on
-/// the column type once.  String columns contribute nothing (matching
-/// `Value::as_f64`).
-fn numeric_fold(col: &Column, gids: &[usize], mut f: impl FnMut(usize, f64)) {
+/// True when `incoming` should replace the current best of a dynamically
+/// typed MIN/MAX slot.
+fn minmax_val_replaces(current: &Option<Value>, incoming: &Value, is_min: bool) -> bool {
+    match current {
+        None => true,
+        Some(b) => match incoming.sql_cmp(b) {
+            Some(std::cmp::Ordering::Less) => is_min,
+            Some(std::cmp::Ordering::Greater) => !is_min,
+            _ => false,
+        },
+    }
+}
+
+/// Folds the valid numeric slots of rows `range` into `f(gid, x)`,
+/// dispatching on the column type once.  String columns contribute nothing
+/// (matching `Value::as_f64`).
+fn numeric_fold_range(
+    col: &Column,
+    gids: &[usize],
+    range: Range<usize>,
+    mut f: impl FnMut(usize, f64),
+) {
     match (col.data(), col.validity()) {
         (ColumnData::Float64(v), None) => {
-            for (i, &g) in gids.iter().enumerate() {
-                f(g, v[i]);
+            for i in range {
+                f(gids[i], v[i]);
             }
         }
         (ColumnData::Float64(v), Some(bm)) => {
-            for (i, &g) in gids.iter().enumerate() {
+            for i in range {
                 if bm.get(i) {
-                    f(g, v[i]);
+                    f(gids[i], v[i]);
                 }
             }
         }
         (ColumnData::Int64(v), None) => {
-            for (i, &g) in gids.iter().enumerate() {
-                f(g, v[i] as f64);
+            for i in range {
+                f(gids[i], v[i] as f64);
             }
         }
         (ColumnData::Int64(v), Some(bm)) => {
-            for (i, &g) in gids.iter().enumerate() {
+            for i in range {
                 if bm.get(i) {
-                    f(g, v[i] as f64);
+                    f(gids[i], v[i] as f64);
                 }
             }
         }
         (ColumnData::Bool(v), _) => {
-            for (i, &g) in gids.iter().enumerate() {
+            for i in range {
                 if col.is_valid(i) {
-                    f(g, v[i] as u64 as f64);
+                    f(gids[i], v[i] as u64 as f64);
                 }
             }
         }
@@ -532,12 +682,26 @@ pub struct AggregatedFrame {
     pub replacements: Vec<(Expr, Expr)>,
 }
 
-/// Executes hash aggregation of `input` grouped by `group_exprs`, computing `aggs`.
+/// Executes hash aggregation of `input` grouped by `group_exprs`, computing
+/// `aggs`, on the calling thread.
 pub fn execute_aggregation(
     input: &Table,
     group_exprs: &[Expr],
     aggs: &[AggregateItem],
     rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<AggregatedFrame> {
+    execute_aggregation_with(input, group_exprs, aggs, rng, &ThreadPool::serial())
+}
+
+/// Morsel-parallel hash aggregation: grouping and the per-aggregate folds run
+/// one partial state per morsel across the pool; partial states merge in
+/// morsel order, so the result is bit-identical at any thread count.
+pub fn execute_aggregation_with(
+    input: &Table,
+    group_exprs: &[Expr],
+    aggs: &[AggregateItem],
+    rng: &mut dyn FnMut() -> f64,
+    pool: &ThreadPool,
 ) -> EngineResult<AggregatedFrame> {
     // Evaluate group keys and aggregate arguments over the input frame.
     let mut key_cols: Vec<Column> = Vec::with_capacity(group_exprs.len());
@@ -559,7 +723,7 @@ pub fn execute_aggregation(
     }
 
     let n = input.num_rows();
-    let grouping = group_rows(&key_cols, n);
+    let grouping = group_rows_with(&key_cols, n, pool);
     // A global aggregation over zero rows still produces one output row.
     let global_empty = group_exprs.is_empty() && grouping.num_groups() == 0;
     let num_groups = if global_empty {
@@ -568,11 +732,34 @@ pub fn execute_aggregation(
         grouping.num_groups()
     };
 
-    // Fold each aggregate over its typed argument column in one pass.
+    // Fold each aggregate over its typed argument column, one partial state
+    // per morsel, merged in morsel order.  High-cardinality groupings fall
+    // back to a single fold: replicating num_groups-sized accumulators per
+    // morsel would cost more memory than the fold saves in time.  Both
+    // conditions depend only on the data, never on the thread count, so a
+    // given query always takes the same numeric path.
+    let morsel_count = ThreadPool::morsels(n).len();
+    let low_cardinality = num_groups.saturating_mul(morsel_count) <= 4 * n.max(1);
     let mut agg_columns: Vec<Column> = Vec::with_capacity(aggs.len());
     for (item, arg) in aggs.iter().zip(arg_cols.iter()) {
-        let mut acc = GroupAcc::new(&item.func, arg.as_ref(), num_groups);
-        acc.update(arg.as_ref(), &grouping.gids);
+        let acc = if morsel_count > 1 && low_cardinality && GroupAcc::mergeable(&item.func) {
+            let partials = pool.run_morsels(n, |range| {
+                let mut partial = GroupAcc::new(&item.func, arg.as_ref(), num_groups);
+                partial.update_range(arg.as_ref(), &grouping.gids, range);
+                partial
+            });
+            partials
+                .into_iter()
+                .reduce(|mut merged, partial| {
+                    merged.merge(partial);
+                    merged
+                })
+                .unwrap_or_else(|| GroupAcc::new(&item.func, arg.as_ref(), num_groups))
+        } else {
+            let mut acc = GroupAcc::new(&item.func, arg.as_ref(), num_groups);
+            acc.update_range(arg.as_ref(), &grouping.gids, 0..n);
+            acc
+        };
         agg_columns.push(acc.finish(&item.func));
     }
 
@@ -896,5 +1083,59 @@ mod tests {
         let out = run_agg(&[], &["sum(qty)", "sum(price)"]);
         assert_eq!(out.value_at(0, 0), Value::Int(15));
         assert_eq!(out.value_at(0, 1), Value::Float(60.0));
+    }
+
+    #[test]
+    fn parallel_aggregation_is_bit_identical_across_thread_counts() {
+        use crate::parallel::{ThreadPool, MORSEL_ROWS};
+        // Multi-morsel nullable input exercising every mergeable accumulator.
+        let n = MORSEL_ROWS * 2 + 999;
+        let t = TableBuilder::new()
+            .int_column("k", (0..n as i64).map(|i| i % 7).collect())
+            .opt_float_column(
+                "v",
+                (0..n)
+                    .map(|i| (i % 11 != 0).then(|| (i as f64 * 0.37).sin() * 100.0))
+                    .collect(),
+            )
+            .build()
+            .unwrap();
+        let run_with = |threads: usize| {
+            let group = parse_expression("k").unwrap();
+            let agg_exprs: Vec<Expr> = [
+                "count(*)",
+                "count(v)",
+                "sum(v)",
+                "avg(v)",
+                "min(v)",
+                "max(v)",
+                "stddev(v)",
+                "median(v)",
+            ]
+            .iter()
+            .map(|a| parse_expression(a).unwrap())
+            .collect();
+            let refs: Vec<&Expr> = agg_exprs.iter().collect();
+            let items = collect_aggregate_calls(&refs).unwrap();
+            let mut rng = seeded_uniform(1);
+            let pool = ThreadPool::new(threads);
+            execute_aggregation_with(&t, std::slice::from_ref(&group), &items, &mut rng, &pool)
+                .unwrap()
+                .table
+        };
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(serial.num_rows(), parallel.num_rows());
+        for r in 0..serial.num_rows() {
+            for c in 0..serial.num_columns() {
+                let (a, b) = (serial.value_at(r, c), parallel.value_at(r, c));
+                match (&a, &b) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "({r},{c}): {x} vs {y}")
+                    }
+                    _ => assert_eq!(a, b, "({r},{c})"),
+                }
+            }
+        }
     }
 }

@@ -12,8 +12,9 @@
 
 use crate::column::Column;
 use crate::error::EngineResult;
-use crate::expr::{column_to_mask, eval_expr, EvalContext};
-use crate::kernels::{hash_rows, RowIndex};
+use crate::expr::{eval_expr, EvalContext};
+use crate::kernels::{par_column_to_mask, par_hash_rows, RowIndex};
+use crate::parallel::ThreadPool;
 use crate::schema::Schema;
 use crate::table::Table;
 use verdict_sql::ast::{BinaryOp, Expr, JoinType};
@@ -101,6 +102,9 @@ pub fn extract_equi_pairs(
 ///
 /// `join_type` may be Inner, Left, or Right; Right joins are executed as the
 /// mirrored Left join.  Cross joins take the nested-loop path with no keys.
+/// The build side is indexed and the output gathered morsel-parallel over
+/// `pool`; probing stays sequential so match order (and thus output order)
+/// is identical at any thread count.
 pub fn hash_join(
     left: &Table,
     right: &Table,
@@ -108,6 +112,7 @@ pub fn hash_join(
     residual: &[Expr],
     join_type: JoinType,
     rng: &mut dyn FnMut() -> f64,
+    pool: &ThreadPool,
 ) -> EngineResult<Table> {
     if join_type == JoinType::Right {
         let mirrored: Vec<EquiPair> = pairs
@@ -117,7 +122,7 @@ pub fn hash_join(
                 right: p.left.clone(),
             })
             .collect();
-        let joined = hash_join(right, left, &mirrored, &[], JoinType::Left, rng)?;
+        let joined = hash_join(right, left, &mirrored, &[], JoinType::Left, rng, pool)?;
         // reorder columns back to (left, right) order
         let left_width = left.num_columns();
         let right_width = right.num_columns();
@@ -132,7 +137,7 @@ pub fn hash_join(
             columns.push(joined.columns[i].clone());
         }
         let reordered = Table::new(Schema::new(fields), columns)?;
-        return apply_residual(reordered, residual, rng);
+        return apply_residual(reordered, residual, rng, pool);
     }
 
     let out_schema = left.schema.join(&right.schema);
@@ -157,9 +162,9 @@ pub fn hash_join(
             let mut rctx = EvalContext { table: right, rng };
             right_keys.push(eval_expr(&p.right, &mut rctx)?);
         }
-        // build on the right, probe with the left
-        let index = RowIndex::build(&right_keys, right.num_rows());
-        let probe_hashes = hash_rows(&left_keys, left.num_rows());
+        // build on the right (morsel-parallel), probe with the left
+        let index = RowIndex::build_with(&right_keys, right.num_rows(), pool);
+        let probe_hashes = par_hash_rows(&left_keys, left.num_rows(), pool);
         let mut li = Vec::new();
         let mut ri = Vec::new();
         for l in 0..left.num_rows() {
@@ -177,21 +182,33 @@ pub fn hash_join(
         (li, ri)
     };
 
-    let mut columns: Vec<Column> = Vec::with_capacity(out_schema.len());
-    for c in &left.columns {
-        columns.push(c.take(&left_idx));
-    }
-    for c in &right.columns {
-        columns.push(c.take_opt(&right_idx));
-    }
+    // assemble the joined frame with per-column typed gathers, fanned out
+    // over the pool (columns are independent, so order is preserved); small
+    // outputs stay serial — thread spawn would dwarf the gather itself
+    let left_width = left.num_columns();
+    let gather = |i: usize| {
+        if i < left_width {
+            left.columns[i].take(&left_idx)
+        } else {
+            right.columns[i - left_width].take_opt(&right_idx)
+        }
+    };
+    let total = left_width + right.num_columns();
+    let columns: Vec<Column> =
+        if pool.parallelism() <= 1 || left_idx.len() <= crate::parallel::MORSEL_ROWS {
+            (0..total).map(gather).collect()
+        } else {
+            pool.run(total, gather)
+        };
     let joined = Table::new(out_schema, columns)?;
-    apply_residual(joined, residual, rng)
+    apply_residual(joined, residual, rng, pool)
 }
 
 fn apply_residual(
     table: Table,
     residual: &[Expr],
     rng: &mut dyn FnMut() -> f64,
+    pool: &ThreadPool,
 ) -> EngineResult<Table> {
     if residual.is_empty() {
         return Ok(table);
@@ -199,9 +216,9 @@ fn apply_residual(
     let pred = combine_conjuncts(residual.to_vec()).expect("nonempty residual");
     let mask = {
         let mut ctx = EvalContext { table: &table, rng };
-        column_to_mask(&eval_expr(&pred, &mut ctx)?)
+        par_column_to_mask(&eval_expr(&pred, &mut ctx)?, pool)
     };
-    Ok(table.filter(&mask))
+    Ok(table.filter_with(&mask, pool))
 }
 
 /// Cartesian product of two frames (used for comma-separated FROM items).
@@ -209,8 +226,9 @@ pub fn cross_join(
     left: &Table,
     right: &Table,
     rng: &mut dyn FnMut() -> f64,
+    pool: &ThreadPool,
 ) -> EngineResult<Table> {
-    hash_join(left, right, &[], &[], JoinType::Cross, rng)
+    hash_join(left, right, &[], &[], JoinType::Cross, rng, pool)
 }
 
 #[cfg(test)]
@@ -256,7 +274,16 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert!(residual.is_empty());
         let mut rng = seeded_uniform(1);
-        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &pairs,
+            &residual,
+            JoinType::Inner,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 3); // order 1 matches twice, order 2 once
     }
 
@@ -267,7 +294,16 @@ mod tests {
         let constraint = parse_expression("o.order_id = i.order_id").unwrap();
         let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
         let mut rng = seeded_uniform(1);
-        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Left, &mut rng).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &pairs,
+            &residual,
+            JoinType::Left,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 4); // order 3 kept with nulls
         let price_idx = out.schema.resolve(Some("i"), "price").unwrap();
         assert!(out.columns[price_idx].null_count() > 0);
@@ -280,7 +316,16 @@ mod tests {
         let constraint = parse_expression("o.order_id = i.order_id").unwrap();
         let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
         let mut rng = seeded_uniform(1);
-        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Right, &mut rng).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &pairs,
+            &residual,
+            JoinType::Right,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
         // orders 1 (×2), 2, and the unmatched item with order_id 4
         assert_eq!(out.num_rows(), 4);
         let city_idx = out.schema.resolve(Some("o"), "city").unwrap();
@@ -301,7 +346,16 @@ mod tests {
         let constraint = parse_expression("o.order_id = f.order_id").unwrap();
         let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
         let mut rng = seeded_uniform(1);
-        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &pairs,
+            &residual,
+            JoinType::Inner,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 2, "Int 1/3 must join with Float 1.0/3.0");
     }
 
@@ -326,7 +380,16 @@ mod tests {
         let constraint = parse_expression("l.k = r.k").unwrap();
         let (pairs, residual) = extract_equi_pairs(&constraint, &l.schema, &r.schema);
         let mut rng = seeded_uniform(1);
-        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &pairs,
+            &residual,
+            JoinType::Inner,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 1, "NULL = NULL must not match in a join");
     }
 
@@ -339,7 +402,16 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert_eq!(residual.len(), 1);
         let mut rng = seeded_uniform(1);
-        let out = hash_join(&l, &r, &pairs, &residual, JoinType::Inner, &mut rng).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &pairs,
+            &residual,
+            JoinType::Inner,
+            &mut rng,
+            &ThreadPool::serial(),
+        )
+        .unwrap();
         assert_eq!(out.num_rows(), 2);
     }
 
@@ -348,7 +420,7 @@ mod tests {
         let l = orders();
         let r = items();
         let mut rng = seeded_uniform(1);
-        let out = cross_join(&l, &r, &mut rng).unwrap();
+        let out = cross_join(&l, &r, &mut rng, &ThreadPool::serial()).unwrap();
         assert_eq!(out.num_rows(), 12);
     }
 

@@ -16,15 +16,17 @@ pub mod window;
 use crate::catalog::Catalog;
 use crate::column::Column;
 use crate::error::{EngineError, EngineResult};
-use crate::expr::{column_to_mask, eval_expr, infer_type, EvalContext};
-use crate::kernels::group_rows;
+use crate::expr::{eval_expr, infer_type, EvalContext};
+use crate::kernels::{group_rows_with, par_column_to_mask, par_filter_mask};
+use crate::parallel::ThreadPool;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
-use aggregate::{collect_aggregate_calls, execute_aggregation, replace_exprs};
+use aggregate::{collect_aggregate_calls, execute_aggregation_with, replace_exprs};
 use from_clause::{cross_join, extract_equi_pairs, hash_join};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use verdict_sql::ast::*;
 use window::{collect_window_calls, eval_window};
 
@@ -32,14 +34,31 @@ use window::{collect_window_calls, eval_window};
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     rng: StdRng,
+    /// Morsel-parallel worker pool shared with the owning engine.
+    pool: Arc<ThreadPool>,
     /// Total number of base-table rows scanned while executing (used by the
     /// engine latency profiles to model per-engine cost).
     pub rows_scanned: u64,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor; `seed` makes `rand()` deterministic when given.
+    /// Creates an executor with a default-sized pool; `seed` makes `rand()`
+    /// deterministic when given.
     pub fn new(catalog: &'a Catalog, seed: Option<u64>) -> Executor<'a> {
+        Self::with_pool(
+            catalog,
+            seed,
+            Arc::new(ThreadPool::with_default_parallelism()),
+        )
+    }
+
+    /// Creates an executor sharing an existing worker pool (the engine passes
+    /// its own pool here so the `parallelism` knob applies to every statement).
+    pub fn with_pool(
+        catalog: &'a Catalog,
+        seed: Option<u64>,
+        pool: Arc<ThreadPool>,
+    ) -> Executor<'a> {
         let rng = match seed {
             Some(s) => StdRng::seed_from_u64(s),
             None => StdRng::from_entropy(),
@@ -47,6 +66,7 @@ impl<'a> Executor<'a> {
         Executor {
             catalog,
             rng,
+            pool,
             rows_scanned: 0,
         }
     }
@@ -106,16 +126,8 @@ impl<'a> Executor<'a> {
 
         // 3. WHERE.
         if let Some(pred) = &query.selection {
-            let mask = {
-                let rng = &mut self.rng;
-                let mut rng_fn = move || rng.gen::<f64>();
-                let mut ctx = EvalContext {
-                    table: &frame,
-                    rng: &mut rng_fn,
-                };
-                column_to_mask(&eval_expr(pred, &mut ctx)?)
-            };
-            frame = frame.filter(&mask);
+            let mask = self.predicate_mask(pred, &frame)?;
+            frame = frame.filter_with(&mask, &self.pool);
         }
 
         // Gather all output-side expressions.
@@ -143,7 +155,13 @@ impl<'a> Executor<'a> {
             let agg_frame = {
                 let rng = &mut self.rng;
                 let mut rng_fn = move || rng.gen::<f64>();
-                execute_aggregation(&frame, &query.group_by, &agg_items, &mut rng_fn)?
+                execute_aggregation_with(
+                    &frame,
+                    &query.group_by,
+                    &agg_items,
+                    &mut rng_fn,
+                    &self.pool,
+                )?
             };
             let replacements = agg_frame.replacements;
             frame = agg_frame.table;
@@ -203,16 +221,8 @@ impl<'a> Executor<'a> {
 
         // 6. HAVING.
         if let Some(h) = &having {
-            let mask = {
-                let rng = &mut self.rng;
-                let mut rng_fn = move || rng.gen::<f64>();
-                let mut ctx = EvalContext {
-                    table: &frame,
-                    rng: &mut rng_fn,
-                };
-                column_to_mask(&eval_expr(h, &mut ctx)?)
-            };
-            frame = frame.filter(&mask);
+            let mask = self.predicate_mask(h, &frame)?;
+            frame = frame.filter_with(&mask, &self.pool);
         }
 
         // 7. Projection.
@@ -241,12 +251,45 @@ impl<'a> Executor<'a> {
         }
 
         if query.distinct {
-            output = distinct_rows(&output);
+            output = distinct_rows(&output, &self.pool);
         }
         if let Some(limit) = query.limit {
             output = output.limit(limit as usize);
         }
         Ok(output)
+    }
+
+    /// Evaluates a predicate over the frame into a selection mask.  A
+    /// top-level comparison takes the fully morsel-parallel filter kernel
+    /// (operands evaluated first, then compared and masked per morsel);
+    /// everything else evaluates to a boolean column and folds it to a mask
+    /// morsel-parallel.  Both paths match the serial
+    /// `column_to_mask(eval_expr(pred))` bit for bit.
+    fn predicate_mask(&mut self, pred: &Expr, frame: &Table) -> EngineResult<Vec<bool>> {
+        if let Expr::BinaryOp { left, op, right } = pred {
+            if op.is_comparison() {
+                let (l, r) = {
+                    let rng = &mut self.rng;
+                    let mut rng_fn = move || rng.gen::<f64>();
+                    let mut ctx = EvalContext {
+                        table: frame,
+                        rng: &mut rng_fn,
+                    };
+                    (eval_expr(left, &mut ctx)?, eval_expr(right, &mut ctx)?)
+                };
+                return Ok(par_filter_mask(&l, *op, &r, &self.pool));
+            }
+        }
+        let col = {
+            let rng = &mut self.rng;
+            let mut rng_fn = move || rng.gen::<f64>();
+            let mut ctx = EvalContext {
+                table: frame,
+                rng: &mut rng_fn,
+            };
+            eval_expr(pred, &mut ctx)?
+        };
+        Ok(par_column_to_mask(&col, &self.pool))
     }
 
     fn order_key(&mut self, expr: &Expr, frame: &Table, output: &Table) -> EngineResult<Column> {
@@ -330,7 +373,7 @@ impl<'a> Executor<'a> {
                     JoinType::Cross => {
                         let rng = &mut self.rng;
                         let mut rng_fn = move || rng.gen::<f64>();
-                        cross_join(&current, &right, &mut rng_fn)?
+                        cross_join(&current, &right, &mut rng_fn, &self.pool)?
                     }
                     jt => {
                         let constraint = join.constraint.as_ref().ok_or_else(|| {
@@ -341,7 +384,15 @@ impl<'a> Executor<'a> {
                             extract_equi_pairs(&constraint, &current.schema, &right.schema);
                         let rng = &mut self.rng;
                         let mut rng_fn = move || rng.gen::<f64>();
-                        hash_join(&current, &right, &pairs, &residual, jt, &mut rng_fn)?
+                        hash_join(
+                            &current,
+                            &right,
+                            &pairs,
+                            &residual,
+                            jt,
+                            &mut rng_fn,
+                            &self.pool,
+                        )?
                     }
                 };
             }
@@ -350,7 +401,7 @@ impl<'a> Executor<'a> {
                 Some(existing) => {
                     let rng = &mut self.rng;
                     let mut rng_fn = move || rng.gen::<f64>();
-                    cross_join(&existing, &current, &mut rng_fn)?
+                    cross_join(&existing, &current, &mut rng_fn, &self.pool)?
                 }
             });
         }
@@ -506,10 +557,10 @@ fn value_to_literal(v: &Value) -> Literal {
     }
 }
 
-fn distinct_rows(table: &Table) -> Table {
+fn distinct_rows(table: &Table, pool: &ThreadPool) -> Table {
     // the grouper's representatives are exactly the first occurrence of each
     // distinct row, in order
-    let grouping = group_rows(&table.columns, table.num_rows());
+    let grouping = group_rows_with(&table.columns, table.num_rows(), pool);
     table.take(&grouping.representatives)
 }
 

@@ -9,9 +9,11 @@
 
 use crate::column::{combine_validity, Bitmap, Column, ColumnData};
 use crate::error::{EngineError, EngineResult};
+use crate::parallel::ThreadPool;
 use crate::value::Value;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::ops::Range;
 use verdict_sql::ast::BinaryOp;
 
 // ---------------------------------------------------------------------------
@@ -239,21 +241,23 @@ fn generic_arithmetic(left: &Column, op: BinaryOp, right: &Column) -> EngineResu
     Ok(Column::from_values(&out))
 }
 
+/// Resolves a comparison operator against an ordering.
+#[inline]
+fn decide(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("comparison operator"),
+    }
+}
+
 /// Element-wise SQL comparison producing a nullable boolean column.
 pub fn compare(left: &Column, op: BinaryOp, right: &Column) -> Column {
     let n = left.len();
-    #[inline]
-    fn decide(op: BinaryOp, ord: Ordering) -> bool {
-        match op {
-            BinaryOp::Eq => ord == Ordering::Equal,
-            BinaryOp::NotEq => ord != Ordering::Equal,
-            BinaryOp::Lt => ord == Ordering::Less,
-            BinaryOp::LtEq => ord != Ordering::Greater,
-            BinaryOp::Gt => ord == Ordering::Greater,
-            BinaryOp::GtEq => ord != Ordering::Less,
-            _ => unreachable!("comparison operator"),
-        }
-    }
 
     /// Hoists the operator match out of the element loop so each
     /// monomorphised loop body is a single branchless comparison.
@@ -449,12 +453,101 @@ pub fn negate(col: &Column) -> Column {
 /// Converts a column into a selection mask: true where the value is truthy,
 /// false for NULL and non-boolean-viewable values.
 pub fn column_to_mask(col: &Column) -> Vec<bool> {
-    let n = col.len();
+    mask_range(col, 0..col.len())
+}
+
+/// Range-restricted [`column_to_mask`]: the morsel-level building block of
+/// the parallel filter-mask kernel.
+fn mask_range(col: &Column, range: Range<usize>) -> Vec<bool> {
     match (col.data(), col.validity()) {
-        (ColumnData::Bool(v), None) => v.clone(),
-        (ColumnData::Bool(v), Some(bm)) => (0..n).map(|i| bm.get(i) && v[i]).collect(),
-        _ => (0..n).map(|i| col.bool_at(i).unwrap_or(false)).collect(),
+        (ColumnData::Bool(v), None) => v[range].to_vec(),
+        (ColumnData::Bool(v), Some(bm)) => range.map(|i| bm.get(i) && v[i]).collect(),
+        _ => range.map(|i| col.bool_at(i).unwrap_or(false)).collect(),
     }
+}
+
+/// Morsel-parallel filter mask: evaluates `left op right` per morsel and
+/// folds the three-valued comparison into a selection mask (`NULL` → false),
+/// concatenating the per-morsel slices in morsel order.  Semantically equal
+/// to `column_to_mask(&compare(left, op, right))` at any thread count.
+pub fn par_filter_mask(
+    left: &Column,
+    op: BinaryOp,
+    right: &Column,
+    pool: &ThreadPool,
+) -> Vec<bool> {
+    let n = left.len();
+    debug_assert_eq!(n, right.len());
+    if pool.parallelism() <= 1 || n <= crate::parallel::MORSEL_ROWS {
+        return column_to_mask(&compare(left, op, right));
+    }
+    let parts = pool.run_morsels(n, |range| filter_mask_range(left, op, right, range));
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+/// One morsel of [`par_filter_mask`]: a typed comparison loop over `range`
+/// with NULL (and NaN, which compares as NULL) folded to false.
+fn filter_mask_range(
+    left: &Column,
+    op: BinaryOp,
+    right: &Column,
+    range: Range<usize>,
+) -> Vec<bool> {
+    let valid = |i: usize| left.is_valid(i) && right.is_valid(i);
+    // Int × Int compares at full i64 precision (an f64 view would lose
+    // precision beyond 2^53), matching the typed path of `compare`.
+    if let (ColumnData::Int64(a), ColumnData::Int64(b)) = (left.data(), right.data()) {
+        return range
+            .map(|i| valid(i) && decide(op, a[i].cmp(&b[i])))
+            .collect();
+    }
+    if let (ColumnData::Utf8(a), ColumnData::Utf8(b)) = (left.data(), right.data()) {
+        return range
+            .map(|i| valid(i) && decide(op, a[i].cmp(&b[i])))
+            .collect();
+    }
+    if is_numeric_viewable(left) && is_numeric_viewable(right) {
+        return numeric_pair_dispatch!(left, right, |a, b| {
+            range
+                .clone()
+                .map(|i| {
+                    let (x, y) = (a(i), b(i));
+                    valid(i)
+                        && !x.is_nan()
+                        && !y.is_nan()
+                        && decide(op, x.partial_cmp(&y).expect("non-NaN floats are ordered"))
+                })
+                .collect()
+        });
+    }
+    // Mixed string/numeric: sql_cmp yields NULL → false.
+    range
+        .map(|i| {
+            left.value_at(i)
+                .sql_cmp(&right.value_at(i))
+                .map(|ord| decide(op, ord))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Morsel-parallel [`column_to_mask`]: each morsel computes its slice of the
+/// mask independently and the slices are concatenated in morsel order, so
+/// the result is identical at any thread count.
+pub fn par_column_to_mask(col: &Column, pool: &ThreadPool) -> Vec<bool> {
+    if pool.parallelism() <= 1 || col.len() <= crate::parallel::MORSEL_ROWS {
+        return column_to_mask(col);
+    }
+    let parts = pool.run_morsels(col.len(), |range| mask_range(col, range));
+    let mut out = Vec::with_capacity(col.len());
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
 }
 
 /// `IS [NOT] NULL` from the validity bitmap alone.
@@ -591,6 +684,27 @@ pub fn hash_rows(cols: &[Column], n: usize) -> Vec<u64> {
     hashes
 }
 
+/// Morsel-parallel [`hash_rows`]: each morsel hashes its row range across
+/// all key columns; the per-morsel vectors are concatenated in morsel order,
+/// yielding exactly the serial hash vector.
+pub fn par_hash_rows(cols: &[Column], n: usize, pool: &ThreadPool) -> Vec<u64> {
+    if pool.parallelism() <= 1 || n <= crate::parallel::MORSEL_ROWS {
+        return hash_rows(cols, n);
+    }
+    let parts = pool.run_morsels(n, |range| {
+        let mut hashes = vec![0xcbf29ce484222325u64; range.len()];
+        for c in cols {
+            c.hash_range_into(range.clone(), &mut hashes);
+        }
+        hashes
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
 /// True when row `i` of `a`'s key columns equals row `j` of `b`'s, with
 /// NULL == NULL grouping semantics.
 pub fn rows_equal(a: &[Column], i: usize, b: &[Column], j: usize) -> bool {
@@ -617,31 +731,71 @@ impl Grouping {
 /// Clusters `n` rows by the given key columns using canonical hashing with
 /// collision verification.  With no key columns every row lands in group 0.
 pub fn group_rows(cols: &[Column], n: usize) -> Grouping {
+    group_rows_with(cols, n, &ThreadPool::serial())
+}
+
+/// Morsel-parallel [`group_rows`].
+///
+/// Each morsel builds a **local** hash table clustering its own rows; the
+/// local tables are then merged sequentially in morsel order, translating
+/// local group ids to global ones.  Because morsel 0 covers the lowest row
+/// indices and merging walks morsels in order, the global groups come out in
+/// first-appearance order — exactly the serial grouping, at any thread count.
+pub fn group_rows_with(cols: &[Column], n: usize, pool: &ThreadPool) -> Grouping {
     if cols.is_empty() {
         return Grouping {
             gids: vec![0; n],
             representatives: if n > 0 { vec![0] } else { vec![] },
         };
     }
-    let hashes = hash_rows(cols, n);
-    let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
-    let mut gids = Vec::with_capacity(n);
-    let mut representatives: Vec<usize> = Vec::new();
-    for row in 0..n {
-        let bucket = table.entry(hashes[row]).or_default();
-        let gid = bucket
-            .iter()
-            .copied()
-            .find(|&g| rows_equal(cols, row, cols, representatives[g]));
-        match gid {
-            Some(g) => gids.push(g),
-            None => {
-                let g = representatives.len();
-                representatives.push(row);
-                bucket.push(g);
-                gids.push(g);
+    let hashes = par_hash_rows(cols, n, pool);
+    // Phase 1 (parallel): per-morsel local clustering.
+    let locals: Vec<(Vec<usize>, Vec<usize>)> = pool.run_morsels(n, |range| {
+        let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+        let mut reps: Vec<usize> = Vec::new();
+        let mut local_gids = Vec::with_capacity(range.len());
+        for row in range {
+            let bucket = table.entry(hashes[row]).or_default();
+            let gid = bucket
+                .iter()
+                .copied()
+                .find(|&g| rows_equal(cols, row, cols, reps[g]));
+            match gid {
+                Some(g) => local_gids.push(g),
+                None => {
+                    let g = reps.len();
+                    reps.push(row);
+                    bucket.push(g);
+                    local_gids.push(g);
+                }
             }
         }
+        (reps, local_gids)
+    });
+    // Phase 2 (sequential, morsel order): merge local groups into global ids.
+    let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut gids = Vec::with_capacity(n);
+    for (reps, local_gids) in locals {
+        let mut translate = Vec::with_capacity(reps.len());
+        for &rep in &reps {
+            let bucket = table.entry(hashes[rep]).or_default();
+            let gid = bucket
+                .iter()
+                .copied()
+                .find(|&g| rows_equal(cols, rep, cols, representatives[g]));
+            let g = match gid {
+                Some(g) => g,
+                None => {
+                    let g = representatives.len();
+                    representatives.push(rep);
+                    bucket.push(g);
+                    g
+                }
+            };
+            translate.push(g);
+        }
+        gids.extend(local_gids.into_iter().map(|lg| translate[lg]));
     }
     Grouping {
         gids,
@@ -661,13 +815,39 @@ impl<'a> RowIndex<'a> {
     /// Builds the index, skipping rows with a NULL in any key column
     /// (SQL equi-join semantics).
     pub fn build(keys: &'a [Column], n: usize) -> RowIndex<'a> {
-        let hashes = hash_rows(keys, n);
-        let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
-        for row in 0..n {
-            if keys.iter().any(|k| k.is_null_at(row)) {
-                continue;
+        Self::build_with(keys, n, &ThreadPool::serial())
+    }
+
+    /// Morsel-parallel hash-join build: per-morsel local tables merged in
+    /// morsel order, so every bucket lists its candidate rows in ascending
+    /// row order — exactly the serial build — at any thread count.
+    pub fn build_with(keys: &'a [Column], n: usize, pool: &ThreadPool) -> RowIndex<'a> {
+        let hashes = par_hash_rows(keys, n, pool);
+        if pool.parallelism() <= 1 || n <= crate::parallel::MORSEL_ROWS {
+            let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+            for row in 0..n {
+                if keys.iter().any(|k| k.is_null_at(row)) {
+                    continue;
+                }
+                table.entry(hashes[row]).or_default().push(row);
             }
-            table.entry(hashes[row]).or_default().push(row);
+            return RowIndex { keys, table };
+        }
+        let locals = pool.run_morsels(n, |range| {
+            let mut local: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+            for row in range {
+                if keys.iter().any(|k| k.is_null_at(row)) {
+                    continue;
+                }
+                local.entry(hashes[row]).or_default().push(row);
+            }
+            local
+        });
+        let mut table: PrehashedMap<Vec<usize>> = PrehashedMap::default();
+        for local in locals {
+            for (h, mut rows) in local {
+                table.entry(h).or_default().append(&mut rows);
+            }
         }
         RowIndex { keys, table }
     }
@@ -819,6 +999,82 @@ mod tests {
         let hashes = hash_rows(&probe, 2);
         assert_eq!(idx.probe(&probe, hashes[0], 0), vec![0]);
         assert!(idx.probe(&probe, hashes[1], 1).is_empty());
+    }
+
+    #[test]
+    fn parallel_hashing_grouping_and_join_build_match_serial() {
+        use crate::parallel::{ThreadPool, MORSEL_ROWS};
+        let n = MORSEL_ROWS * 2 + 123;
+        let keys: Vec<Option<i64>> = (0..n as i64)
+            .map(|i| (i % 97 != 0).then_some(i % 13))
+            .collect();
+        let cols = vec![Column::from_opt_i64(keys)];
+        let pool = ThreadPool::new(4);
+
+        assert_eq!(hash_rows(&cols, n), par_hash_rows(&cols, n, &pool));
+
+        let serial = group_rows(&cols, n);
+        let parallel = group_rows_with(&cols, n, &pool);
+        assert_eq!(serial.gids, parallel.gids);
+        assert_eq!(serial.representatives, parallel.representatives);
+
+        let serial_idx = RowIndex::build(&cols, n);
+        let par_idx = RowIndex::build_with(&cols, n, &pool);
+        let probe_hashes = hash_rows(&cols, n);
+        for row in (0..n).step_by(4993) {
+            assert_eq!(
+                serial_idx.probe(&cols, probe_hashes[row], row),
+                par_idx.probe(&cols, probe_hashes[row], row),
+                "bucket row order must match the serial build"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_mask_matches_serial() {
+        use crate::parallel::{ThreadPool, MORSEL_ROWS};
+        let n = MORSEL_ROWS + 77;
+        let col =
+            Column::from_opt_bool((0..n).map(|i| (i % 7 != 0).then_some(i % 3 == 0)).collect());
+        let pool = ThreadPool::new(3);
+        assert_eq!(column_to_mask(&col), par_column_to_mask(&col, &pool));
+    }
+
+    #[test]
+    fn parallel_filter_mask_matches_compare_plus_mask() {
+        use crate::parallel::{ThreadPool, MORSEL_ROWS};
+        let n = MORSEL_ROWS + 501;
+        let pool = ThreadPool::new(4);
+        // nullable floats with NaNs against a scalar threshold
+        let floats = Column::from_opt_f64(
+            (0..n)
+                .map(|i| {
+                    (i % 5 != 0).then(|| {
+                        if i % 11 == 0 {
+                            f64::NAN
+                        } else {
+                            i as f64 % 37.0
+                        }
+                    })
+                })
+                .collect(),
+        );
+        let threshold = Column::repeat(&Value::Float(15.0), n);
+        // large ints that an f64 view could not order correctly
+        let big = Column::from_i64((0..n as i64).map(|i| i64::MAX - i % 3).collect());
+        let big2 = Column::from_i64(vec![i64::MAX - 1; n]);
+        for op in [BinaryOp::Gt, BinaryOp::LtEq, BinaryOp::Eq] {
+            assert_eq!(
+                column_to_mask(&compare(&floats, op, &threshold)),
+                par_filter_mask(&floats, op, &threshold, &pool),
+                "{op:?} on nullable floats"
+            );
+            assert_eq!(
+                column_to_mask(&compare(&big, op, &big2)),
+                par_filter_mask(&big, op, &big2, &pool),
+                "{op:?} on large ints"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod exec;
 pub mod expr;
 pub mod functions;
 pub mod kernels;
+pub mod parallel;
 pub mod profile;
 pub mod schema;
 pub mod table;
@@ -51,6 +52,7 @@ pub use catalog::Catalog;
 pub use column::{Bitmap, Column, ColumnData};
 pub use engine::{Connection, Engine, ExecStats, QueryResult};
 pub use error::{EngineError, EngineResult};
+pub use parallel::{ThreadPool, MORSEL_ROWS};
 pub use profile::EngineProfile;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};

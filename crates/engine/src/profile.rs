@@ -17,6 +17,12 @@
 //! spent.  Reported speedups therefore preserve the paper's *shape* (which
 //! engine benefits more, how speedup scales with sample ratio) without
 //! claiming to reproduce the absolute EC2 numbers.
+//!
+//! Since the engine executes kernels morsel-parallel
+//! ([`crate::parallel::ThreadPool`]), `measured_cpu_time` already reflects
+//! the configured thread count; the fixed and per-row components model the
+//! *remote* engine and are unaffected by local parallelism, which keeps the
+//! modeled speedup ratios comparable across pool sizes.
 
 use crate::engine::ExecStats;
 use std::time::Duration;

@@ -132,6 +132,25 @@ impl Table {
         }
     }
 
+    /// [`Table::filter`] with the per-column gathers fanned out over the
+    /// pool.  Columns are independent, so the result is identical to the
+    /// serial filter at any thread count.  Frames below one morsel stay on
+    /// the serial path — spawning threads would cost more than the gather.
+    pub fn filter_with(&self, mask: &[bool], pool: &crate::parallel::ThreadPool) -> Table {
+        debug_assert_eq!(mask.len(), self.num_rows());
+        if pool.parallelism() <= 1
+            || self.num_rows() <= crate::parallel::MORSEL_ROWS
+            || self.num_columns() <= 1
+        {
+            return self.filter(mask);
+        }
+        let columns = pool.run(self.columns.len(), |i| self.columns[i].filter(mask));
+        Table {
+            schema: self.schema.clone(),
+            columns,
+        }
+    }
+
     /// Returns a new table containing the rows at `indices` (in that order).
     pub fn take(&self, indices: &[usize]) -> Table {
         let columns = self.columns.iter().map(|c| c.take(indices)).collect();
