@@ -17,9 +17,12 @@
 //! size defaults to `available_parallelism()` and can be pinned with
 //! `VERDICT_PARALLELISM`.
 
+use std::sync::Arc;
 use std::time::Instant;
+use verdict_core::{SampleType, VerdictConfig, VerdictContext};
 use verdict_engine::kernels::{self, group_rows, group_rows_with};
-use verdict_engine::{Column, ColumnData, ThreadPool, Value};
+use verdict_engine::{Column, ColumnData, Connection, Engine, TableBuilder, ThreadPool, Value};
+use verdict_server::{VerdictClient, VerdictServer};
 use verdict_sql::ast::BinaryOp;
 
 const ROWS: usize = 1_000_000;
@@ -191,6 +194,86 @@ fn par_grouped_sum(keys: &Column, values: &Column, pool: &ThreadPool) -> Vec<f64
         .unwrap_or_else(|| vec![0.0; num_groups])
 }
 
+// ---------------------------------------------------------------------------
+// Serving-layer benchmarks: cached vs uncached repeats of a dashboard query,
+// and protocol throughput at 1 vs N concurrent sessions.
+// ---------------------------------------------------------------------------
+
+const SERVING_ROWS: usize = 200_000;
+const SERVING_QUERY: &str = "SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city";
+
+fn serving_context(cache_capacity: usize) -> Arc<VerdictContext> {
+    let engine = Engine::with_seed(29);
+    let table = TableBuilder::new()
+        .int_column("id", (0..SERVING_ROWS as i64).collect())
+        .float_column(
+            "price",
+            (0..SERVING_ROWS)
+                .map(|i| ((i * 37) % 1000) as f64 / 10.0)
+                .collect(),
+        )
+        .str_column(
+            "city",
+            (0..SERVING_ROWS)
+                .map(|i| format!("city_{}", i % 10))
+                .collect(),
+        )
+        .build()
+        .unwrap();
+    engine.register_table("sales", table);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = cache_capacity;
+    let ctx = VerdictContext::new(conn, config);
+    ctx.create_sample("sales", SampleType::Uniform).unwrap();
+    Arc::new(ctx)
+}
+
+/// (uncached_secs, cached_secs): median latency of the dashboard repeat with
+/// the answer cache off vs on (warm).
+fn bench_answer_cache() -> (f64, f64) {
+    let uncached_ctx = serving_context(0);
+    let uncached = median_secs(|| uncached_ctx.execute(SERVING_QUERY).unwrap());
+
+    let cached_ctx = serving_context(64);
+    let warm = cached_ctx.execute(SERVING_QUERY).unwrap();
+    assert!(!warm.exact && !warm.cached);
+    let cached = median_secs(|| {
+        let answer = cached_ctx.execute(SERVING_QUERY).unwrap();
+        assert!(answer.cached, "repeat must hit the cache");
+        answer
+    });
+    (uncached, cached)
+}
+
+/// Aggregate protocol throughput (queries/second) at `sessions` concurrent
+/// sessions issuing `requests` dashboard repeats each against a shared server.
+fn bench_sessions_qps(sessions: usize, requests: usize) -> f64 {
+    let ctx = serving_context(64);
+    ctx.execute(SERVING_QUERY).unwrap(); // warm the cache once
+    let handle = VerdictServer::bind("127.0.0.1:0", ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..sessions {
+            scope.spawn(move || {
+                let mut client = VerdictClient::connect(addr).unwrap();
+                for _ in 0..requests {
+                    let answer = client.query(SERVING_QUERY).unwrap();
+                    assert!(answer.header.cached);
+                }
+                let _ = client.quit();
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    handle.stop();
+    (sessions * requests) as f64 / secs.max(1e-9)
+}
+
 struct Row {
     name: &'static str,
     baseline_secs: f64,
@@ -345,6 +428,26 @@ fn main() {
         "\nminimum parallel (filter + grouped_sum) speedup at {parallelism} threads: {par_min:.2}x"
     );
 
+    // Serving layer: answer-cache hit vs full AQP execution, and protocol
+    // throughput at 1 vs 4 concurrent sessions (cache-hot dashboard repeats).
+    let (uncached_secs, cached_secs) = bench_answer_cache();
+    let cache_speedup = uncached_secs / cached_secs.max(1e-12);
+    println!(
+        "\n## answer cache ({SERVING_ROWS} rows, dashboard repeat)\n\n\
+         | path | latency (ms) |\n|------|-------------:|\n\
+         | uncached AQP | {:.3} |\n| cache hit | {:.3} |\n\n\
+         cache speedup: {cache_speedup:.1}x",
+        uncached_secs * 1e3,
+        cached_secs * 1e3
+    );
+    let requests = 200usize;
+    let qps_1 = bench_sessions_qps(1, requests);
+    let qps_4 = bench_sessions_qps(4, requests);
+    println!(
+        "\n## protocol throughput ({requests} cache-hot repeats per session)\n\n\
+         | sessions | q/s |\n|---------:|----:|\n| 1 | {qps_1:.0} |\n| 4 | {qps_4:.0} |"
+    );
+
     // Machine-readable snapshot, written at the workspace root (cargo bench
     // runs with the package directory as cwd).
     let path = std::env::var("BENCH_KERNELS_JSON")
@@ -359,8 +462,17 @@ fn main() {
     ));
     json.push_str(&json_rows(&parallel_rows, "serial_secs", "parallel_secs"));
     json.push_str(&format!(
-        "  ],\n  \"min_parallel_speedup\": {par_min:.3}\n}}\n"
+        "  ],\n  \"min_parallel_speedup\": {par_min:.3},\n  \"serving\": {{\n"
     ));
+    json.push_str(&format!(
+        "    \"rows\": {SERVING_ROWS},\n    \"uncached_secs\": {uncached_secs:.6},\n    \
+         \"cached_secs\": {cached_secs:.6},\n    \"cache_speedup\": {cache_speedup:.3},\n    \
+         \"requests_per_session\": {requests},\n    \"sessions\": [\n"
+    ));
+    json.push_str(&format!(
+        "      {{ \"sessions\": 1, \"qps\": {qps_1:.0} }},\n      {{ \"sessions\": 4, \"qps\": {qps_4:.0} }}\n"
+    ));
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&path, &json).expect("write perf snapshot");
     println!("wrote {path}");
 }

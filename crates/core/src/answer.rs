@@ -22,6 +22,7 @@ use verdict_sql::printer::print_expr;
 /// The estimate and error bound reported for one aggregate column of one group.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggEstimate {
+    /// The unbiased point estimate.
     pub estimate: f64,
     /// Half-width of the confidence interval at the configured confidence level.
     pub error: f64,
@@ -61,8 +62,11 @@ impl AggEstimate {
 /// estimate is degenerate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnErrorSummary {
+    /// Output column name the summary refers to.
     pub column: String,
+    /// Mean of the finite per-group relative errors.
     pub mean_relative_error: f64,
+    /// Worst per-group relative error (may be `f64::INFINITY`).
     pub max_relative_error: f64,
 }
 

@@ -52,6 +52,13 @@ pub struct VerdictConfig {
     /// Applied to the connection when the context is created; results are
     /// bit-identical at any setting — only latency changes.
     pub parallelism: Option<usize>,
+    /// Capacity (in entries) of the approximate-answer cache keyed by
+    /// canonical SQL.  `0` (the default) disables caching: every `execute`
+    /// call runs against the underlying database.  The serving layer turns
+    /// this on so repeated dashboard aggregates are answered from memory;
+    /// entries are invalidated by any write to the tables they were computed
+    /// from (see [`crate::cache::AnswerCache`]).
+    pub answer_cache_capacity: usize,
 }
 
 impl Default for VerdictConfig {
@@ -70,6 +77,7 @@ impl Default for VerdictConfig {
             planner_top_k: 10,
             seed: None,
             parallelism: None,
+            answer_cache_capacity: 0,
         }
     }
 }

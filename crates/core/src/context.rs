@@ -14,6 +14,7 @@
 //!   passed through to the underlying database.
 
 use crate::answer::{assemble, ColumnErrorSummary};
+use crate::cache::{AnswerCache, CacheStats};
 use crate::config::VerdictConfig;
 use crate::error::{VerdictError, VerdictResult};
 use crate::meta::MetaStore;
@@ -40,6 +41,12 @@ pub struct VerdictAnswer {
     /// True when the answer was computed exactly on the base tables
     /// (unsupported query, no viable sample plan, or accuracy-contract rerun).
     pub exact: bool,
+    /// True when the answer was served from the approximate-answer cache
+    /// without touching the underlying database.  `table`, `errors`,
+    /// `rewritten_sql`, `rows_scanned`, and `used_samples` are bit-identical
+    /// to the originally computed answer; only `elapsed` reflects the (much
+    /// cheaper) cache lookup.
+    pub cached: bool,
     /// Estimated error summaries per aggregate output column (empty for exact answers).
     pub errors: Vec<ColumnErrorSummary>,
     /// The SQL statements actually sent to the underlying database.
@@ -69,6 +76,7 @@ pub struct VerdictContext {
     dialect: Box<dyn Dialect>,
     config: VerdictConfig,
     meta: MetaStore,
+    cache: AnswerCache,
 }
 
 impl VerdictContext {
@@ -88,11 +96,13 @@ impl VerdictContext {
         if let Some(threads) = config.parallelism {
             conn.set_parallelism(threads);
         }
+        let cache = AnswerCache::new(config.answer_cache_capacity);
         VerdictContext {
             conn,
             dialect,
             config,
             meta: MetaStore::new(),
+            cache,
         }
     }
 
@@ -138,6 +148,7 @@ impl VerdictContext {
         ratio: f64,
     ) -> VerdictResult<SampleMeta> {
         let base_rows = self.conn.table_row_count(base_table)?;
+        let base_columns = self.column_names(base_table)?;
         let strata_count = match &sample_type {
             SampleType::Stratified { columns } => self.distinct_count(base_table, columns)?,
             _ => 0,
@@ -152,6 +163,7 @@ impl VerdictContext {
             ratio,
             base_rows,
             strata_count,
+            &base_columns,
             &self.config,
             self.dialect.as_ref(),
         );
@@ -204,25 +216,60 @@ impl VerdictContext {
 
     /// Refreshes every sample of `base_table` after a batch of new rows
     /// (available in `batch_table`) has been appended to it (Appendix D).
+    ///
+    /// The batch is projected in the **base table's** column order: the
+    /// `INSERT` into each sample is positional, so a batch staged with the
+    /// same columns in a different order must not end up writing values into
+    /// the wrong sample columns.  (Columns are referenced by name, so order
+    /// differences are harmless; a batch *missing* a base column fails
+    /// loudly.)
+    ///
+    /// Only samples whose recorded base size lags the current base table
+    /// (i.e. [`Staleness::Stale`]) are appended into; up-to-date samples are
+    /// skipped.  This makes a retried `REFRESH` after a partial mid-loop
+    /// failure idempotent — the samples that succeeded on the first attempt
+    /// are not double-appended on the retry.
     pub fn refresh_samples_after_append(
         &self,
         base_table: &str,
         batch_table: &str,
     ) -> VerdictResult<usize> {
-        let samples = self.meta.remove_for(base_table);
+        let current_base_rows = self.conn.table_row_count(base_table)?;
         let batch_rows = self.conn.table_row_count(batch_table)?;
+        let base_columns = self.column_names(base_table)?;
+        let samples = self.meta.remove_for(base_table);
         let mut refreshed = 0usize;
-        for meta in samples {
-            for stmt in append_sql(&meta, batch_table, self.dialect.as_ref()) {
-                self.conn.execute(&stmt)?;
+        for (i, meta) in samples.iter().enumerate() {
+            if !matches!(staleness(meta, current_base_rows), Staleness::Stale { .. }) {
+                // Fresh (already refreshed, e.g. on a retried call) or
+                // shrunk-base (needs a rebuild, not an append): keep as-is.
+                self.meta.register(meta.clone());
+                continue;
             }
-            let sample_rows = self.conn.table_row_count(&meta.sample_table)?;
-            self.meta.register(SampleMeta {
-                sample_rows,
-                base_rows: meta.base_rows + batch_rows,
-                ..meta
-            });
-            refreshed += 1;
+            let appended = (|| -> VerdictResult<u64> {
+                for stmt in append_sql(meta, batch_table, &base_columns, self.dialect.as_ref()) {
+                    self.conn.execute(&stmt)?;
+                }
+                Ok(self.conn.table_row_count(&meta.sample_table)?)
+            })();
+            match appended {
+                Ok(sample_rows) => {
+                    self.meta.register(SampleMeta {
+                        sample_rows,
+                        base_rows: meta.base_rows + batch_rows,
+                        ..meta.clone()
+                    });
+                    refreshed += 1;
+                }
+                Err(e) => {
+                    // Re-register the failed and remaining samples untouched
+                    // so a mid-loop error does not deregister them forever.
+                    for m in &samples[i..] {
+                        self.meta.register(m.clone());
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(refreshed)
     }
@@ -262,10 +309,48 @@ impl VerdictContext {
     // ------------------------------------------------------------------
 
     /// Executes a query approximately when possible, exactly otherwise.
+    ///
+    /// When the answer cache is enabled (a nonzero
+    /// [`VerdictConfig::answer_cache_capacity`]) and an identical query
+    /// (modulo whitespace / case / literal spelling, see
+    /// [`verdict_sql::canonical_sql`]) was answered before over unchanged
+    /// data, the stored answer — estimate *and* confidence interval — is
+    /// returned without touching the underlying database, with
+    /// [`VerdictAnswer::cached`] set.
     pub fn execute(&self, sql: &str) -> VerdictResult<VerdictAnswer> {
         let start = Instant::now();
         let stmt = verdict_sql::parse_statement(sql)?;
-        let query = match &stmt {
+        let cache_key = self.cache_key(&stmt);
+        let mut pre_versions = None;
+        if let Some(key) = &cache_key {
+            if let Some(mut answer) = self.cache.lookup(key, |t| self.conn.data_version(t)) {
+                answer.cached = true;
+                answer.elapsed = start.elapsed();
+                return Ok(answer);
+            }
+            // Snapshot dependency versions BEFORE executing: if a concurrent
+            // write lands mid-execution, the entry is stored under the
+            // pre-write versions and fails revalidation, instead of a
+            // post-execution snapshot masking the write and caching a stale
+            // answer under the new version.
+            pre_versions = self.snapshot_versions(&stmt);
+        }
+        let answer = self.execute_parsed(&stmt, sql, start)?;
+        if let (Some(key), Some(snapshot)) = (cache_key, pre_versions) {
+            if let Some(versions) = Self::dependency_versions(&snapshot, &stmt, &answer) {
+                self.cache.insert(key, versions, answer.clone());
+            }
+        }
+        Ok(answer)
+    }
+
+    fn execute_parsed(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        start: Instant,
+    ) -> VerdictResult<VerdictAnswer> {
+        let query = match stmt {
             Statement::Query(q) => q.as_ref().clone(),
             _ => return self.passthrough(sql, start),
         };
@@ -423,6 +508,7 @@ impl VerdictContext {
         Ok(Some(VerdictAnswer {
             table: assembled.table,
             exact: false,
+            cached: false,
             errors: assembled.errors,
             rewritten_sql: sqls,
             elapsed: start.elapsed(),
@@ -436,12 +522,123 @@ impl VerdictContext {
         Ok(VerdictAnswer {
             table: result.table,
             exact: true,
+            cached: false,
             errors: Vec::new(),
             rewritten_sql: vec![sql.to_string()],
             elapsed: start.elapsed(),
             rows_scanned: result.stats.rows_scanned,
             used_samples: Vec::new(),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Answer cache
+    // ------------------------------------------------------------------
+
+    /// The approximate-answer cache (disabled unless
+    /// [`VerdictConfig::answer_cache_capacity`] > 0).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Snapshot of the answer-cache activity counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The canonical cache key for a statement, or `None` when the statement
+    /// must not be cached: the cache is disabled, the statement is not a
+    /// `SELECT`, or it calls a nondeterministic function (`rand()`) anywhere
+    /// — including inside scalar / `IN` / `EXISTS` subqueries — whose repeats
+    /// must produce fresh draws.
+    fn cache_key(&self, stmt: &Statement) -> Option<String> {
+        if !self.cache.enabled() {
+            return None;
+        }
+        let query = match stmt {
+            Statement::Query(q) => q.as_ref(),
+            _ => return None,
+        };
+        if Self::contains_rand(query) {
+            return None;
+        }
+        let canon = verdict_sql::canonical_statement(stmt);
+        Some(print_statement(&canon, &GenericDialect))
+    }
+
+    /// True when the query calls `rand()`/`random()` anywhere, recursing into
+    /// predicate subqueries (which `walk_query` deliberately does not — the
+    /// analyzer relies on that to keep subquery aggregates out of the outer
+    /// query's classification).
+    fn contains_rand(query: &verdict_sql::ast::Query) -> bool {
+        use verdict_sql::ast::Expr;
+        let mut found = false;
+        let mut subqueries = Vec::new();
+        verdict_sql::visitor::walk_query(query, &mut |e| match e {
+            Expr::Function(f)
+                if f.name.eq_ignore_ascii_case("rand") || f.name.eq_ignore_ascii_case("random") =>
+            {
+                found = true;
+            }
+            Expr::ScalarSubquery(q)
+            | Expr::InSubquery { subquery: q, .. }
+            | Expr::Exists { subquery: q, .. } => subqueries.push((**q).clone()),
+            _ => {}
+        });
+        found || subqueries.iter().any(Self::contains_rand)
+    }
+
+    /// Pre-execution data versions of everything this statement *could*
+    /// depend on: every referenced base table plus every sample currently
+    /// registered for those tables (the plan's choices are a subset).
+    /// Returns `None` when the connection cannot report versions — such an
+    /// answer is never cached, because its invalidation could not be detected.
+    fn snapshot_versions(&self, stmt: &Statement) -> Option<HashMap<String, u64>> {
+        let query = match stmt {
+            Statement::Query(q) => q.as_ref(),
+            _ => return None,
+        };
+        let mut snapshot = HashMap::new();
+        for name in verdict_sql::visitor::collect_base_tables(query) {
+            let base = name.key();
+            for meta in self.meta.samples_for(&base) {
+                let sample = meta.sample_table.to_ascii_lowercase();
+                snapshot.insert(sample.clone(), self.conn.data_version(&sample)?);
+            }
+            snapshot.insert(base.clone(), self.conn.data_version(&base)?);
+        }
+        Some(snapshot)
+    }
+
+    /// The `(table, data version)` pairs a computed answer depends on — every
+    /// base table the query references plus every sample table the plan
+    /// actually used — resolved against the pre-execution snapshot.  Returns
+    /// `None` when a used sample is missing from the snapshot (registered
+    /// mid-flight by another session): its pre-execution version is unknown,
+    /// so the answer cannot be safely cached.
+    fn dependency_versions(
+        snapshot: &HashMap<String, u64>,
+        stmt: &Statement,
+        answer: &VerdictAnswer,
+    ) -> Option<Vec<(String, u64)>> {
+        let query = match stmt {
+            Statement::Query(q) => q.as_ref(),
+            _ => return None,
+        };
+        let mut tables: Vec<String> = verdict_sql::visitor::collect_base_tables(query)
+            .iter()
+            .map(|n| n.key())
+            .collect();
+        for s in &answer.used_samples {
+            let key = s.to_ascii_lowercase();
+            if !tables.contains(&key) {
+                tables.push(key);
+            }
+        }
+        tables
+            .into_iter()
+            .map(|t| snapshot.get(&t).map(|v| (t, *v)))
+            .collect()
     }
 
     // ------------------------------------------------------------------

@@ -19,9 +19,13 @@ use rand::{Rng, SeedableRng};
 /// A confidence interval around a point estimate of a population mean.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
+    /// The point estimate.
     pub estimate: f64,
+    /// Lower bound of the interval.
     pub lower: f64,
+    /// Upper bound of the interval.
     pub upper: f64,
+    /// Confidence level the interval was computed at (e.g. 0.95).
     pub confidence: f64,
 }
 

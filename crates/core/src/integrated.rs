@@ -25,16 +25,22 @@ use verdict_sql::visitor::{transform_expr, transform_query_tables};
 /// A registered sample available to the integrated engine.
 #[derive(Debug, Clone)]
 pub struct IntegratedSample {
+    /// The sampled base table.
     pub base_table: String,
+    /// The materialised sample table.
     pub sample_table: String,
+    /// Sampling ratio τ the sample was built with.
     pub ratio: f64,
 }
 
 /// Result of one integrated-AQP execution.
 #[derive(Debug, Clone)]
 pub struct IntegratedAnswer {
+    /// The (scaled) result rows.
     pub table: Table,
+    /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Rows scanned by the underlying execution.
     pub rows_scanned: u64,
     /// Number of relations that were answered from a sample (at most one).
     pub sampled_relations: usize,

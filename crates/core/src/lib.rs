@@ -53,7 +53,10 @@
 //! assert_eq!(answer.table.num_rows(), 10);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod answer;
+pub mod cache;
 pub mod config;
 pub mod context;
 pub mod error;
@@ -67,6 +70,7 @@ pub mod sample;
 pub mod stats;
 
 pub use answer::{AggEstimate, ColumnErrorSummary};
+pub use cache::{AnswerCache, CacheStats};
 pub use config::VerdictConfig;
 pub use context::{VerdictAnswer, VerdictContext};
 pub use error::{VerdictError, VerdictResult};

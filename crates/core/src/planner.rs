@@ -46,7 +46,9 @@ pub struct PlanningContext {
 /// The sample chosen for one table reference (None = use the base table).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableChoice {
+    /// The table reference being planned.
     pub table_ref: TableRef,
+    /// The chosen sample, or `None` to scan the base table.
     pub sample: Option<SampleMeta>,
 }
 
@@ -71,9 +73,13 @@ impl TableChoice {
 /// A complete candidate plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplePlan {
+    /// One choice per table reference of the query.
     pub choices: Vec<TableChoice>,
+    /// Planner score (higher is better; Appendix E scoring).
     pub score: f64,
+    /// Total rows the plan will scan.
     pub io_cost: u64,
+    /// Product of the per-choice sampling ratios.
     pub effective_ratio: f64,
 }
 

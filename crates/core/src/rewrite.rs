@@ -61,9 +61,19 @@ pub struct AggregateSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum OutputColumn {
     /// The i-th GROUP BY expression.
-    GroupKey { index: usize, name: String },
+    GroupKey {
+        /// Position in the GROUP BY list.
+        index: usize,
+        /// User-visible column name.
+        name: String,
+    },
     /// An expression over aggregate calls (possibly a bare aggregate).
-    Aggregate { expr: Expr, name: String },
+    Aggregate {
+        /// The output expression in terms of aggregate calls.
+        expr: Expr,
+        /// User-visible column name.
+        name: String,
+    },
 }
 
 impl OutputColumn {
@@ -99,7 +109,9 @@ pub struct QueryAnalysis {
 /// One base-table reference in the FROM clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryTable {
+    /// Binding name the query refers to the table by.
     pub alias: String,
+    /// The underlying base-table name.
     pub table: String,
     /// Columns of this table used in equi-join conditions.
     pub join_columns: Vec<String>,
@@ -154,7 +166,9 @@ impl QueryAnalysis {
 /// answer rewriter needs to assemble the final result.
 #[derive(Debug, Clone)]
 pub struct RewriteOutput {
+    /// The analysis of the original query.
     pub analysis: QueryAnalysis,
+    /// The sample plan the rewrite was produced under.
     pub plan: SamplePlan,
     /// Variational-subsampling query for the mean-like aggregates.
     pub mean_query: Option<Statement>,

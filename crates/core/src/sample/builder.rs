@@ -16,7 +16,7 @@
 //! table first.
 
 use crate::config::VerdictConfig;
-use crate::sample::{SampleType, SAMPLING_PROB_COLUMN};
+use crate::sample::{qualified_columns, SampleType, SAMPLING_PROB_COLUMN};
 use crate::stats::build_staircase;
 use verdict_sql::Dialect;
 
@@ -36,8 +36,13 @@ pub struct SamplePlanSql {
 /// Generates the SQL that creates a sample of `base_table`.
 ///
 /// `base_rows` is the current size of the base table (needed to derive the
-/// per-stratum minimum row count of Equation 1) and `distinct_counts` maps
-/// stratification columns to their cardinality when known.
+/// per-stratum minimum row count of Equation 1) and `base_columns` is the
+/// base table's column list.  The explicit list matters whenever a helper
+/// `verdict_rand` column is materialised in a derived table (the Impala-safe
+/// uniform form and the stratified two-pass form): projecting `SELECT *`
+/// there would leak the helper column into the sample's schema, breaking the
+/// arity contract that a sample is *base columns + the probability column*
+/// (which incremental append maintenance relies on).
 #[allow(clippy::too_many_arguments)]
 pub fn build_sample_sql(
     base_table: &str,
@@ -46,11 +51,12 @@ pub fn build_sample_sql(
     ratio: f64,
     base_rows: u64,
     strata_count: u64,
+    base_columns: &[String],
     config: &VerdictConfig,
     dialect: &dyn Dialect,
 ) -> SamplePlanSql {
     match sample_type {
-        SampleType::Uniform => uniform_sql(base_table, sample_table, ratio, dialect),
+        SampleType::Uniform => uniform_sql(base_table, sample_table, ratio, base_columns, dialect),
         SampleType::Hashed { columns } => {
             hashed_sql(base_table, sample_table, columns, ratio, dialect)
         }
@@ -61,6 +67,7 @@ pub fn build_sample_sql(
             ratio,
             base_rows,
             strata_count,
+            base_columns,
             config,
             dialect,
         ),
@@ -75,20 +82,24 @@ fn uniform_sql(
     base_table: &str,
     sample_table: &str,
     ratio: f64,
+    base_columns: &[String],
     dialect: &dyn Dialect,
 ) -> SamplePlanSql {
     let rand = dialect.random_function();
     let stmt = if dialect.allows_rand_in_where() {
+        // No helper column needed, so `*` is exactly the base columns.
         format!(
             "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
              FROM {base_table} WHERE {rand} < {ratio}"
         )
     } else {
-        // Impala-safe form: materialise the random draw in a derived table.
+        // Impala-safe form: materialise the random draw in a derived table,
+        // then project the base columns explicitly so the helper stays inside.
+        let cols = qualified_columns("verdict_src", base_columns);
         format!(
-            "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
+            "CREATE TABLE {sample_table} AS SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN} \
              FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
-             WHERE verdict_rand < {ratio}"
+             WHERE verdict_src.verdict_rand < {ratio}"
         )
     };
     SamplePlanSql {
@@ -130,6 +141,7 @@ fn stratified_sql(
     ratio: f64,
     base_rows: u64,
     strata_count: u64,
+    base_columns: &[String],
     config: &VerdictConfig,
     dialect: &dyn Dialect,
 ) -> SamplePlanSql {
@@ -165,12 +177,24 @@ fn stratified_sql(
         .map(|c| format!("verdict_src.{c} = {temp_table}.{c}"))
         .collect::<Vec<_>>()
         .join(" AND ");
-    let pass2 = format!(
-        "CREATE TABLE {sample_table} AS SELECT verdict_src.*, ({case_expr}) AS {SAMPLING_PROB_COLUMN} \
-         FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
-         INNER JOIN {temp_table} ON {join_cond} \
-         WHERE verdict_src.verdict_rand < ({case_expr})"
-    );
+    let cols = qualified_columns("verdict_src", base_columns);
+    let pass2 = if dialect.allows_rand_in_where() {
+        format!(
+            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN} \
+             FROM {base_table} AS verdict_src \
+             INNER JOIN {temp_table} ON {join_cond} \
+             WHERE {rand} < ({case_expr})"
+        )
+    } else {
+        // Impala-safe form: the random draw lives in a derived table; the
+        // explicit projection keeps the helper column out of the sample.
+        format!(
+            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN} \
+             FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
+             INNER JOIN {temp_table} ON {join_cond} \
+             WHERE verdict_src.verdict_rand < ({case_expr})"
+        )
+    };
 
     let cleanup = format!("DROP TABLE IF EXISTS {temp_table}");
     SamplePlanSql {
@@ -188,6 +212,10 @@ mod tests {
         VerdictConfig::for_testing()
     }
 
+    fn base_columns() -> Vec<String> {
+        vec!["order_id".into(), "city".into(), "price".into()]
+    }
+
     #[test]
     fn uniform_sample_sql_contains_probability_column() {
         let plan = build_sample_sql(
@@ -197,6 +225,7 @@ mod tests {
             0.01,
             1_000_000,
             0,
+            &base_columns(),
             &config(),
             &GenericDialect,
         );
@@ -216,6 +245,7 @@ mod tests {
             0.01,
             1_000_000,
             0,
+            &base_columns(),
             &config(),
             &ImpalaDialect,
         );
@@ -235,6 +265,7 @@ mod tests {
             0.01,
             1_000_000,
             0,
+            &base_columns(),
             &config(),
             &RedshiftDialect,
         );
@@ -253,6 +284,7 @@ mod tests {
             0.01,
             1_000_000,
             24,
+            &base_columns(),
             &config(),
             &GenericDialect,
         );
@@ -276,6 +308,7 @@ mod tests {
             0.01,
             100_000,
             10,
+            &base_columns(),
             &config(),
             &GenericDialect,
         );

@@ -13,7 +13,7 @@
 //! Staleness detection compares the recorded base-table cardinality against
 //! the current one.
 
-use crate::sample::{SampleMeta, SampleType, SAMPLING_PROB_COLUMN};
+use crate::sample::{qualified_columns, SampleMeta, SampleType, SAMPLING_PROB_COLUMN};
 use verdict_sql::Dialect;
 
 /// How far a sample has drifted from its base table.
@@ -21,8 +21,11 @@ use verdict_sql::Dialect;
 pub enum Staleness {
     /// The base table has the same row count as when the sample was built.
     Fresh,
-    /// The base table has grown by this many rows since the sample was built.
-    Stale { appended_rows: u64 },
+    /// The base table has grown since the sample was built.
+    Stale {
+        /// Number of rows appended since the sample was built.
+        appended_rows: u64,
+    },
     /// The base table shrank — the sample must be rebuilt from scratch
     /// (appends are the only supported incremental update).
     RequiresRebuild,
@@ -43,20 +46,35 @@ pub fn staleness(meta: &SampleMeta, current_base_rows: u64) -> Staleness {
 /// Generates the SQL that folds an appended batch (available as
 /// `batch_table`) into an existing sample.
 ///
+/// `batch_columns` is the **base table's** column list, which the batch must
+/// share (by name — physical order in the batch is irrelevant, because the
+/// projection references columns explicitly).  Projecting it explicitly and
+/// in base order keeps the positional `INSERT` aligned with the sample table
+/// (base columns plus the sampling-probability column) even when a helper
+/// `verdict_rand` column is attached in a derived table.
+///
 /// For uniform and hashed samples one `INSERT INTO … SELECT` suffices.  For
 /// stratified samples the appended tuples join against the per-stratum
 /// probabilities already present in the sample table; tuples from brand-new
 /// strata are kept whole (probability 1), matching Appendix D.
-pub fn append_sql(meta: &SampleMeta, batch_table: &str, dialect: &dyn Dialect) -> Vec<String> {
+pub fn append_sql(
+    meta: &SampleMeta,
+    batch_table: &str,
+    batch_columns: &[String],
+    dialect: &dyn Dialect,
+) -> Vec<String> {
     let sample = &meta.sample_table;
     let ratio = meta.ratio;
     let rand = dialect.random_function();
     match &meta.sample_type {
-        SampleType::Uniform => vec![format!(
-            "INSERT INTO {sample} SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
-             FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
-             WHERE verdict_rand < {ratio}"
-        )],
+        SampleType::Uniform => {
+            let cols = qualified_columns("verdict_src", batch_columns);
+            vec![format!(
+                "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN} \
+                 FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
+                 WHERE verdict_src.verdict_rand < {ratio}"
+            )]
+        }
         SampleType::Hashed { columns } => {
             let key_expr = if columns.len() == 1 {
                 columns[0].clone()
@@ -65,8 +83,13 @@ pub fn append_sql(meta: &SampleMeta, batch_table: &str, dialect: &dyn Dialect) -
             };
             let hash = dialect.hash_function(&key_expr, 1_000_000);
             let threshold = (ratio * 1_000_000f64).round() as u64;
+            // No helper column is attached, but the projection is still
+            // explicit and in base order: the INSERT is positional, so a
+            // batch staged with reordered columns must not corrupt the
+            // sample.
+            let cols = batch_columns.join(", ");
             vec![format!(
-                "INSERT INTO {sample} SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
+                "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN} \
                  FROM {batch_table} WHERE {hash} < {threshold}"
             )]
         }
@@ -78,7 +101,12 @@ pub fn append_sql(meta: &SampleMeta, batch_table: &str, dialect: &dyn Dialect) -
                 .map(|c| format!("verdict_src.{c} = {probs_table}.{c}"))
                 .collect::<Vec<_>>()
                 .join(" AND ");
+            let cols = qualified_columns("verdict_src", batch_columns);
             vec![
+                // A failed earlier refresh may have left the temp table
+                // behind (its trailing DROP never ran); clear it first so
+                // the retry is not wedged on TableAlreadyExists.
+                format!("DROP TABLE IF EXISTS {probs_table}"),
                 // existing per-stratum probabilities (min is arbitrary — the
                 // probability is constant within a stratum)
                 format!(
@@ -87,7 +115,7 @@ pub fn append_sql(meta: &SampleMeta, batch_table: &str, dialect: &dyn Dialect) -
                      FROM {sample} GROUP BY {col_list}"
                 ),
                 format!(
-                    "INSERT INTO {sample} SELECT verdict_src.*, \
+                    "INSERT INTO {sample} SELECT {cols}, \
                      coalesce({probs_table}.verdict_stratum_prob, 1.0) AS {SAMPLING_PROB_COLUMN} \
                      FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
                      LEFT JOIN {probs_table} ON {join_cond} \
@@ -129,11 +157,25 @@ mod tests {
         assert_eq!(staleness(&m, 900_000), Staleness::RequiresRebuild);
     }
 
+    fn batch_columns() -> Vec<String> {
+        vec!["order_id".into(), "city".into(), "price".into()]
+    }
+
     #[test]
-    fn uniform_append_is_single_insert() {
-        let sql = append_sql(&meta(SampleType::Uniform), "orders_batch", &GenericDialect);
+    fn uniform_append_is_single_insert_with_explicit_projection() {
+        let sql = append_sql(
+            &meta(SampleType::Uniform),
+            "orders_batch",
+            &batch_columns(),
+            &GenericDialect,
+        );
         assert_eq!(sql.len(), 1);
         assert!(sql[0].starts_with("INSERT INTO"));
+        // The helper verdict_rand column must not leak into the projection:
+        // exactly the base columns plus the probability column are inserted.
+        assert!(
+            sql[0].contains("SELECT verdict_src.order_id, verdict_src.city, verdict_src.price,")
+        );
         verdict_sql::parse_statement(&sql[0]).unwrap();
     }
 
@@ -142,8 +184,11 @@ mod tests {
         let m = meta(SampleType::Hashed {
             columns: vec!["order_id".into()],
         });
-        let sql = append_sql(&m, "orders_batch", &GenericDialect);
+        let sql = append_sql(&m, "orders_batch", &batch_columns(), &GenericDialect);
         assert!(sql[0].contains("verdict_hash(order_id, 1000000) < 10000"));
+        // Explicit base-order projection: a reordered batch must not feed
+        // the positional INSERT column-shifted values.
+        assert!(sql[0].contains("SELECT order_id, city, price,"));
         verdict_sql::parse_statement(&sql[0]).unwrap();
     }
 
@@ -152,10 +197,18 @@ mod tests {
         let m = meta(SampleType::Stratified {
             columns: vec!["city".into()],
         });
-        let sql = append_sql(&m, "orders_batch", &GenericDialect);
-        assert_eq!(sql.len(), 3);
-        assert!(sql[0].contains("GROUP BY city"));
-        assert!(sql[1].contains("coalesce"));
+        let sql = append_sql(&m, "orders_batch", &batch_columns(), &GenericDialect);
+        assert_eq!(sql.len(), 4);
+        assert!(
+            sql[0].starts_with("DROP TABLE IF EXISTS"),
+            "a leftover temp table from a failed refresh must not wedge the retry"
+        );
+        assert!(sql[1].contains("GROUP BY city"));
+        assert!(sql[2].contains("coalesce"));
+        assert!(
+            !sql[2].contains("verdict_src.*"),
+            "no wildcard over the rand helper"
+        );
         for s in &sql {
             verdict_sql::parse_statement(s).unwrap();
         }

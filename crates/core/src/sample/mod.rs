@@ -19,6 +19,17 @@ pub const SAMPLING_PROB_COLUMN: &str = "verdict_sampling_prob";
 /// Prefix for all tables VerdictDB creates in the underlying database.
 pub const SAMPLE_TABLE_PREFIX: &str = "verdict_sample";
 
+/// `alias.c1, alias.c2, …` — explicit projection of the base columns, shared
+/// by sample construction and append maintenance so both always emit the
+/// same arity (base columns + the probability column) and qualification.
+pub(crate) fn qualified_columns(alias: &str, columns: &[String]) -> String {
+    columns
+        .iter()
+        .map(|c| format!("{alias}.{c}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// The sample types VerdictDB constructs offline (§3.1).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SampleType {
@@ -26,10 +37,16 @@ pub enum SampleType {
     Uniform,
     /// "Universe" sample: keep tuples whose hashed column-set value falls
     /// below τ; required for joining two samples and for count-distinct.
-    Hashed { columns: Vec<String> },
+    Hashed {
+        /// The hashed (universe) column set.
+        columns: Vec<String>,
+    },
     /// At least `min(|T|·τ/d, stratum size)` tuples retained per distinct
     /// value of the column set (Equation 1).
-    Stratified { columns: Vec<String> },
+    Stratified {
+        /// The stratification column set.
+        columns: Vec<String>,
+    },
     /// Produced only at query time by joining other samples; never built offline.
     Irregular,
 }

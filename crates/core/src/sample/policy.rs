@@ -22,14 +22,18 @@ use crate::sample::SampleType;
 /// Cardinality statistics for one column of a base table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnCardinality {
+    /// Column name.
     pub column: String,
+    /// Number of distinct values observed.
     pub distinct_values: u64,
 }
 
 /// The outcome of the default policy: which samples to build and with what τ.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplingDecision {
+    /// The sample tables to build.
     pub sample_types: Vec<SampleType>,
+    /// The sampling ratio τ to build them with.
     pub ratio: f64,
 }
 

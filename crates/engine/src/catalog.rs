@@ -11,9 +11,18 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A registry of named tables.
+///
+/// Every mutation (register, create, drop, append) bumps a per-table **data
+/// version** counter that survives drops and re-creations, so cache layers
+/// can detect that a table's contents may have changed by comparing the
+/// version they recorded at insert time against [`Catalog::data_version`].
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    /// Monotonic per-table mutation counters, keyed like `tables`.  Kept in a
+    /// separate map (rather than alongside each table) so a drop + re-create
+    /// still advances the counter instead of resetting it.
+    versions: RwLock<BTreeMap<String, u64>>,
 }
 
 impl Catalog {
@@ -26,9 +35,25 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
+    fn bump_version(&self, key: &str) {
+        *self.versions.write().entry(key.to_string()).or_insert(0) += 1;
+    }
+
+    /// The table's monotonic data version: 0 for a name that has never been
+    /// touched, incremented by every register / create / append / drop.
+    pub fn data_version(&self, name: &str) -> u64 {
+        self.versions
+            .read()
+            .get(&Self::key(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Registers (or replaces) a table under the given name.
     pub fn register(&self, name: &str, table: Table) {
-        self.tables.write().insert(Self::key(name), Arc::new(table));
+        let key = Self::key(name);
+        self.tables.write().insert(key.clone(), Arc::new(table));
+        self.bump_version(&key);
     }
 
     /// Creates a new table; errors if it already exists and `or_replace` is false.
@@ -38,7 +63,9 @@ impl Catalog {
         if guard.contains_key(&key) && !or_replace {
             return Err(EngineError::TableAlreadyExists(name.to_string()));
         }
-        guard.insert(key, Arc::new(table));
+        guard.insert(key.clone(), Arc::new(table));
+        drop(guard);
+        self.bump_version(&key);
         Ok(())
     }
 
@@ -58,9 +85,13 @@ impl Catalog {
 
     /// Drops a table; errors when missing unless `if_exists`.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> EngineResult<()> {
-        let removed = self.tables.write().remove(&Self::key(name));
+        let key = Self::key(name);
+        let removed = self.tables.write().remove(&key);
         if removed.is_none() && !if_exists {
             return Err(EngineError::TableNotFound(name.to_string()));
+        }
+        if removed.is_some() {
+            self.bump_version(&key);
         }
         Ok(())
     }
@@ -74,7 +105,9 @@ impl Catalog {
             .ok_or_else(|| EngineError::TableNotFound(name.to_string()))?;
         let mut new_table = (**existing).clone();
         new_table.append(rows)?;
-        guard.insert(key, Arc::new(new_table));
+        guard.insert(key.clone(), Arc::new(new_table));
+        drop(guard);
+        self.bump_version(&key);
         Ok(())
     }
 
@@ -121,6 +154,27 @@ mod tests {
         c.create("t", small(), false).unwrap();
         c.append("t", &small()).unwrap();
         assert_eq!(c.row_count("t"), 6);
+    }
+
+    #[test]
+    fn data_versions_track_every_mutation_and_survive_drops() {
+        let c = Catalog::new();
+        assert_eq!(c.data_version("t"), 0);
+        c.create("t", small(), false).unwrap();
+        assert_eq!(c.data_version("T"), 1);
+        c.append("t", &small()).unwrap();
+        assert_eq!(c.data_version("t"), 2);
+        c.drop_table("t", false).unwrap();
+        assert_eq!(c.data_version("t"), 3);
+        // Re-creating continues the counter instead of resetting it.
+        c.create("t", small(), false).unwrap();
+        assert_eq!(c.data_version("t"), 4);
+        // Dropping a missing table with IF EXISTS does not bump.
+        c.drop_table("nope", true).unwrap();
+        assert_eq!(c.data_version("nope"), 0);
+        // Reads never bump.
+        let _ = c.get("t").unwrap();
+        assert_eq!(c.data_version("t"), 4);
     }
 
     #[test]

@@ -157,9 +157,13 @@ pub fn combine_validity(a: Option<&Bitmap>, b: Option<&Bitmap>) -> Option<Bitmap
 /// placeholder (`0`, `0.0`, `""`, `false`) and are masked by the bitmap.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
+    /// 64-bit signed integers.
     Int64(Vec<i64>),
+    /// 64-bit IEEE-754 floats.
     Float64(Vec<f64>),
+    /// UTF-8 strings.
     Utf8(Vec<String>),
+    /// Booleans.
     Bool(Vec<bool>),
 }
 

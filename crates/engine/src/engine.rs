@@ -51,6 +51,17 @@ pub trait Connection: Send + Sync {
     fn set_parallelism(&self, threads: usize) {
         let _ = threads;
     }
+
+    /// The monotonic data version of a table, advanced by every write
+    /// (create, append, drop, replace), or `None` when the connection cannot
+    /// track mutations.  Answer caches use this to decide whether a stored
+    /// answer is still valid; returning `None` (the default) makes cached
+    /// answers for queries over this connection ineligible, which is the
+    /// safe behaviour for pass-through JDBC/ODBC-style connections.
+    fn data_version(&self, table: &str) -> Option<u64> {
+        let _ = table;
+        None
+    }
 }
 
 /// The in-memory SQL engine: a catalog plus an executor per statement.
@@ -190,6 +201,10 @@ impl Connection for Engine {
 
     fn set_parallelism(&self, threads: usize) {
         self.pool.set_parallelism(threads);
+    }
+
+    fn data_version(&self, table: &str) -> Option<u64> {
+        Some(self.catalog.data_version(table))
     }
 }
 

@@ -31,12 +31,19 @@ use verdict_sql::printer::print_expr;
 /// The aggregate functions supported by the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggFunc {
+    /// `count(*)` — counts rows including NULLs.
     CountStar,
+    /// `count(expr)` — counts non-NULL values.
     Count,
+    /// `count(DISTINCT expr)` — counts distinct non-NULL values.
     CountDistinct,
+    /// `sum(expr)`.
     Sum,
+    /// `avg(expr)`.
     Avg,
+    /// `min(expr)`.
     Min,
+    /// `max(expr)`.
     Max,
     /// Sample variance.
     Variance,
@@ -632,8 +639,11 @@ pub fn quantile_of(values: Vec<f64>, q: f64) -> Value {
 /// the original expression so replacement can find it again.
 #[derive(Debug, Clone)]
 pub struct AggregateItem {
+    /// The original function call as parsed.
     pub call: FunctionCall,
+    /// The resolved aggregate function.
     pub func: AggFunc,
+    /// Name the computed column is exposed under in the aggregated frame.
     pub output_name: String,
 }
 

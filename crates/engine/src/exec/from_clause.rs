@@ -59,7 +59,9 @@ fn resolves_in(expr: &Expr, schema: &Schema) -> bool {
 /// resolvable against the corresponding input.
 #[derive(Debug, Clone)]
 pub struct EquiPair {
+    /// Key expression resolvable against the left input.
     pub left: Expr,
+    /// Key expression resolvable against the right input.
     pub right: Expr,
 }
 

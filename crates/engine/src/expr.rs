@@ -21,7 +21,9 @@ use verdict_sql::ast::{BinaryOp, CastType, Expr, Literal, UnaryOp};
 /// Evaluation context: the frame the expression is evaluated against plus a
 /// uniform random source for `rand()`.
 pub struct EvalContext<'a> {
+    /// The frame whose rows the expression is evaluated against.
     pub table: &'a Table,
+    /// Uniform `[0, 1)` random source backing `rand()` calls.
     pub rng: &'a mut dyn FnMut() -> f64,
 }
 

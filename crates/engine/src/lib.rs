@@ -33,6 +33,8 @@
 //! assert_eq!(result.table.value(0, 0).as_i64(), Some(50));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod approx;
 pub mod catalog;
 pub mod column;

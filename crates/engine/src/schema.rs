@@ -52,6 +52,7 @@ impl Field {
 /// An ordered list of fields.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schema {
+    /// The fields in output order.
     pub fields: Vec<Field>,
 }
 

@@ -19,7 +19,9 @@ use crate::value::{DataType, Value};
 /// operators and as the result set returned to clients).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
+    /// Field names and types, one per column.
     pub schema: Schema,
+    /// Column vectors, parallel to `schema.fields`.
     pub columns: Vec<Column>,
 }
 

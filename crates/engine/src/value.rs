@@ -6,9 +6,13 @@ use std::fmt;
 /// The data types supported by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
+    /// 64-bit signed integer (`BIGINT`).
     Int,
+    /// 64-bit IEEE-754 float (`DOUBLE`).
     Float,
+    /// UTF-8 string (`VARCHAR`).
     Str,
+    /// Boolean (`BOOLEAN`).
     Bool,
 }
 
@@ -46,10 +50,15 @@ impl DataType {
 /// A dynamically-typed scalar value.
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// SQL NULL.
     Null,
+    /// 64-bit signed integer.
     Int(i64),
+    /// 64-bit IEEE-754 float.
     Float(f64),
+    /// UTF-8 string.
     Str(String),
+    /// Boolean.
     Bool(bool),
 }
 
@@ -180,11 +189,15 @@ impl fmt::Display for Value {
 /// used as hash-map keys (floats are compared by their bit pattern).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum KeyValue {
+    /// SQL NULL (NULLs group together).
     Null,
+    /// Integer key (integral floats are canonicalised to this variant).
     Int(i64),
     /// Bit pattern of the f64 (canonicalised so `-0.0 == 0.0`).
     Float(u64),
+    /// String key.
     Str(String),
+    /// Boolean key.
     Bool(bool),
 }
 

@@ -1,0 +1,122 @@
+//! `verdict-cli` — interactive shell / one-shot client for a running
+//! `verdict-server`.
+//!
+//! ```text
+//! verdict-cli [--addr HOST:PORT] [SQL…]
+//! ```
+//!
+//! With SQL arguments, runs them as `QUERY` requests and exits.  Without,
+//! reads lines from stdin: raw protocol commands (`QUERY …`, `EXACT …`,
+//! `SAMPLE …`, `REFRESH …`, `STATS`) pass through, and a bare SQL line is
+//! shorthand for `QUERY <line>`.
+
+use verdict_server::{RemoteAnswer, VerdictClient};
+
+fn print_answer(answer: &RemoteAnswer) {
+    let h = &answer.header;
+    if !answer.columns.is_empty() {
+        println!("{}", answer.columns.join("\t"));
+        for row in &answer.rows {
+            let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("{}", rendered.join("\t"));
+        }
+    }
+    for (column, mean_rel, max_rel) in &answer.errors {
+        println!("-- {column}: mean rel err {mean_rel:.4}, max rel err {max_rel:.4}");
+    }
+    for (key, value) in &answer.extras {
+        println!("-- {key}: {value}");
+    }
+    println!(
+        "-- {} row(s), {}{} in {} µs, {} rows scanned",
+        h.rows,
+        if h.exact { "exact" } else { "approximate" },
+        if h.cached { " (cached)" } else { "" },
+        h.elapsed_us,
+        h.rows_scanned
+    );
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:6688".to_string();
+    let mut one_shot: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("verdict-cli: missing value for --addr");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: verdict-cli [--addr HOST:PORT] [SQL…]");
+                std::process::exit(0);
+            }
+            sql => one_shot.push(sql.to_string()),
+        }
+    }
+
+    let mut client = match VerdictClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("verdict-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if !one_shot.is_empty() {
+        for sql in one_shot {
+            match client.query(&sql) {
+                Ok(a) => print_answer(&a),
+                Err(e) => {
+                    eprintln!("verdict-cli: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let _ = client.quit();
+        return;
+    }
+
+    eprintln!("connected to {addr}; enter SQL (or QUERY/EXACT/SAMPLE/REFRESH/STATS), ^D to quit");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let first_word = trimmed
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        let request = if matches!(
+            first_word.as_str(),
+            "QUERY" | "EXACT" | "SAMPLE" | "REFRESH" | "STATS" | "PING" | "QUIT"
+        ) {
+            trimmed.to_string()
+        } else {
+            format!("QUERY {trimmed}")
+        };
+        match client.request(&request) {
+            Ok(a) => print_answer(&a),
+            Err(e) => {
+                eprintln!("verdict-cli: {e}");
+                if matches!(e, verdict_server::ClientError::Io(_)) {
+                    break;
+                }
+            }
+        }
+        if first_word == "QUIT" {
+            break;
+        }
+    }
+}

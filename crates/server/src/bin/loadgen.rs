@@ -1,0 +1,146 @@
+//! `verdict-loadgen` — drives N concurrent protocol sessions against a
+//! running `verdict-server` and reports aggregate throughput.
+//!
+//! ```text
+//! verdict-loadgen [--addr HOST:PORT] [--sessions N] [--requests M] [--sql SQL]
+//! ```
+//!
+//! Each session opens its own connection and issues `--requests` `QUERY`
+//! requests for the same SQL (default: a grouped average over the Instacart
+//! `order_products` table — the dashboard-repeat shape the answer cache targets).
+//! Prints per-session and aggregate queries/second plus the server's cache
+//! counters before and after the run.
+
+use std::time::Instant;
+use verdict_server::VerdictClient;
+
+struct Options {
+    addr: String,
+    sessions: usize,
+    requests: usize,
+    sql: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:6688".into(),
+            sessions: 4,
+            requests: 200,
+            sql: "SELECT quantity, avg(price) AS ap FROM order_products \
+                  GROUP BY quantity ORDER BY quantity"
+                .into(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--sessions" => {
+                opts.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --sessions: {e}"))?
+            }
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?
+            }
+            "--sql" => opts.sql = value("--sql")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: verdict-loadgen [--addr HOST:PORT] [--sessions N] \
+                     [--requests M] [--sql SQL]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cache_line(client: &mut VerdictClient) -> String {
+    match client.stats() {
+        Ok(s) => format!(
+            "hits={} misses={} entries={}",
+            s.extra("cache_hits").unwrap_or("?"),
+            s.extra("cache_misses").unwrap_or("?"),
+            s.extra("cache_entries").unwrap_or("?"),
+        ),
+        Err(e) => format!("unavailable ({e})"),
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("verdict-loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut probe = match VerdictClient::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("verdict-loadgen: cannot connect to {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("cache before: {}", cache_line(&mut probe));
+
+    let start = Instant::now();
+    let per_session: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.sessions)
+            .map(|sid| {
+                let addr = opts.addr.clone();
+                let sql = opts.sql.clone();
+                let requests = opts.requests;
+                scope.spawn(move || {
+                    let mut client = VerdictClient::connect(&addr).expect("connect");
+                    let t0 = Instant::now();
+                    let mut ok = 0usize;
+                    for _ in 0..requests {
+                        if client.query(&sql).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    let secs = t0.elapsed().as_secs_f64();
+                    let _ = client.quit();
+                    (sid, ok, secs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let (sid, ok, secs) = h.join().expect("session thread");
+                (sid, ok as f64 / secs.max(1e-9))
+            })
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    for (sid, qps) in &per_session {
+        println!("session {sid}: {qps:.0} q/s");
+    }
+    let total_requests = opts.sessions * opts.requests;
+    println!(
+        "aggregate: {} requests over {} sessions in {:.3}s = {:.0} q/s",
+        total_requests,
+        opts.sessions,
+        wall,
+        total_requests as f64 / wall.max(1e-9)
+    );
+    println!("cache after: {}", cache_line(&mut probe));
+    let _ = probe.quit();
+}

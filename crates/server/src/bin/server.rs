@@ -1,0 +1,143 @@
+//! `verdict-server` — load a dataset into the in-memory engine, build
+//! samples, and serve the VerdictDB wire protocol over TCP.
+//!
+//! ```text
+//! verdict-server [--addr HOST:PORT] [--dataset instacart|tpch] [--scale F]
+//!                [--cache N] [--seed N] [--no-samples]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:6688 --dataset instacart --scale 0.05
+//! --cache 256 --seed 7`.  With samples enabled (the default) a uniform
+//! sample is built for every base table large enough to sample, so `QUERY`
+//! requests are answered approximately out of the box.
+
+use std::sync::Arc;
+use verdict_core::{SampleType, VerdictConfig, VerdictContext};
+use verdict_engine::{Connection, Engine};
+use verdict_server::VerdictServer;
+
+struct Options {
+    addr: String,
+    dataset: String,
+    scale: f64,
+    cache: usize,
+    seed: u64,
+    samples: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:6688".into(),
+            dataset: "instacart".into(),
+            scale: 0.05,
+            cache: 256,
+            seed: 7,
+            samples: true,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--dataset" => opts.dataset = value("--dataset")?,
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--cache" => {
+                opts.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--no-samples" => opts.samples = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: verdict-server [--addr HOST:PORT] [--dataset instacart|tpch] \
+                     [--scale F] [--cache N] [--seed N] [--no-samples]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("verdict-server: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let engine = Engine::with_seed(opts.seed);
+    let tables: Vec<&str> = match opts.dataset.as_str() {
+        "instacart" => {
+            verdict_data::InstacartGenerator::new(opts.scale).register(&engine);
+            vec!["orders", "order_products", "products"]
+        }
+        "tpch" => {
+            verdict_data::TpchGenerator::new(opts.scale).register(&engine);
+            vec!["lineitem", "tpch_orders", "customer", "part", "supplier"]
+        }
+        other => {
+            eprintln!("verdict-server: unknown dataset {other} (instacart|tpch)");
+            std::process::exit(2);
+        }
+    };
+    for t in &tables {
+        let rows = engine.catalog().row_count(t);
+        println!("loaded {t}: {rows} rows");
+    }
+
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = opts.cache;
+    config.seed = Some(opts.seed);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let ctx = Arc::new(VerdictContext::new(conn, config));
+
+    if opts.samples {
+        for t in &tables {
+            match ctx.create_sample(t, SampleType::Uniform) {
+                Ok(meta) => println!(
+                    "sample {}: {} rows (τ = {})",
+                    meta.sample_table, meta.sample_rows, meta.ratio
+                ),
+                Err(e) => println!("no sample for {t}: {e}"),
+            }
+        }
+    }
+
+    let server = match VerdictServer::bind(&opts.addr, ctx) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("verdict-server: cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("serving on {addr} (cache capacity {})", opts.cache),
+        Err(_) => println!("serving on {}", opts.addr),
+    }
+    if let Err(e) = server.serve_forever() {
+        eprintln!("verdict-server: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Blocking TCP client for the VerdictDB wire protocol.
+//!
+//! One [`VerdictClient`] is one protocol *session*: a dedicated connection
+//! whose requests are answered in order.  Many clients may be connected at
+//! once; the server runs each on its own thread over the shared engine.
+
+use crate::protocol::{
+    parse_type_tag, parse_value, unescape_field, FrameHeader, FRAME_END, NULL_FIELD,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use verdict_engine::{DataType, Value};
+
+/// A parsed response frame.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteAnswer {
+    /// Status-line header (row/column counts, exact/cached flags, timings).
+    pub header: FrameHeader,
+    /// Column names (empty for row-less frames).
+    pub columns: Vec<String>,
+    /// Column types, parallel to `columns`.
+    pub types: Vec<DataType>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Per-aggregate error summaries: `(column, mean_rel, max_rel)`.
+    pub errors: Vec<(String, f64, f64)>,
+    /// Informational `S key value` lines (cache stats, sample names, …).
+    pub extras: Vec<(String, String)>,
+}
+
+impl RemoteAnswer {
+    /// Looks up an `S` line by key.
+    pub fn extra(&self, key: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value at (row, col).
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+}
+
+/// Error from a client call: transport failure, a malformed frame, or an
+/// `ERR` frame from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection or sent an unparseable frame.
+    Protocol(String),
+    /// The server answered with an `ERR` frame.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Why a multi-line request cannot be safely collapsed to one line, or
+/// `None` when collapsing preserves its meaning.  The scan tracks the three
+/// quote forms the lexer accepts (`'…'` literals, `"…"` and `` `…` ``
+/// identifiers; doubling the active quote is the escape form, which the
+/// toggle handles naturally) and `--` line comments, whose extent *depends
+/// on the line breaks* being collapsed.
+fn multiline_collapse_hazard(s: &str) -> Option<&'static str> {
+    let mut quote: Option<char> = None;
+    let mut prev = '\0';
+    for c in s.chars() {
+        match (quote, c) {
+            (None, '\'' | '"' | '`') => quote = Some(c),
+            (None, '-') if prev == '-' => {
+                return Some("it contains a `--` line comment, whose extent would change");
+            }
+            (Some(q), _) if c == q => quote = None,
+            (Some(_), '\n' | '\r') => {
+                return Some("it contains a line break inside a quoted string or identifier");
+            }
+            _ => {}
+        }
+        prev = c;
+    }
+    None
+}
+
+/// One protocol session over a TCP connection.
+pub struct VerdictClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl VerdictClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<VerdictClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(VerdictClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Executes a query approximately when possible (`QUERY` command).
+    pub fn query(&mut self, sql: &str) -> ClientResult<RemoteAnswer> {
+        self.request(&format!("QUERY {sql}"))
+    }
+
+    /// Executes a statement exactly on the base tables (`EXACT` command);
+    /// also the path for DDL/DML such as `INSERT INTO … SELECT`.
+    pub fn exact(&mut self, sql: &str) -> ClientResult<RemoteAnswer> {
+        self.request(&format!("EXACT {sql}"))
+    }
+
+    /// Builds a sample table server-side (`SAMPLE` command).
+    pub fn create_sample(
+        &mut self,
+        table: &str,
+        sample_type: &str,
+        columns: &[&str],
+    ) -> ClientResult<RemoteAnswer> {
+        let mut line = format!("SAMPLE {table} {sample_type}");
+        if !columns.is_empty() {
+            line.push(' ');
+            line.push_str(&columns.join(","));
+        }
+        self.request(&line)
+    }
+
+    /// Folds an appended batch into every sample of a base table (`REFRESH`).
+    pub fn refresh(&mut self, base_table: &str, batch_table: &str) -> ClientResult<RemoteAnswer> {
+        self.request(&format!("REFRESH {base_table} {batch_table}"))
+    }
+
+    /// Fetches server + cache statistics (`STATS` command).
+    pub fn stats(&mut self) -> ClientResult<RemoteAnswer> {
+        self.request("STATS")
+    }
+
+    /// Round-trip liveness check (`PING`).
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// Ends the session gracefully (`QUIT`).
+    pub fn quit(mut self) -> ClientResult<()> {
+        self.request("QUIT").map(|_| ())
+    }
+
+    /// Sends one request line and reads one response frame.
+    ///
+    /// The protocol is strictly one line per request, so embedded line
+    /// breaks (legal in SQL, fatal to the framing) are collapsed to spaces —
+    /// otherwise the server would treat the text as several requests and
+    /// every later response on this session would answer the wrong call.
+    /// Two constructs cannot be collapsed without changing the query's
+    /// meaning and are rejected loudly instead: a line break inside a quoted
+    /// string/identifier, and a `--` line comment (collapsing would swallow
+    /// the rest of the statement into the comment).
+    pub fn request(&mut self, line: &str) -> ClientResult<RemoteAnswer> {
+        let line = if line.contains(['\n', '\r']) {
+            if let Some(reason) = multiline_collapse_hazard(line) {
+                return Err(ClientError::Protocol(format!(
+                    "multi-line request cannot be sent over the line-based protocol: {reason}"
+                )));
+            }
+            std::borrow::Cow::Owned(line.replace(['\n', '\r'], " "))
+        } else {
+            std::borrow::Cow::Borrowed(line)
+        };
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_frame()
+    }
+
+    fn read_line(&mut self) -> ClientResult<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        while line.ends_with(['\n', '\r']) {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_frame(&mut self) -> ClientResult<RemoteAnswer> {
+        let status = self.read_line()?;
+        if let Some(msg) = status.strip_prefix("ERR ") {
+            // Drain the terminator before reporting, keeping the stream in sync.
+            loop {
+                if self.read_line()? == FRAME_END {
+                    break;
+                }
+            }
+            return Err(ClientError::Server(unescape_field(msg)));
+        }
+        let header = FrameHeader::parse(&status)
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line: {status}")))?;
+        let mut answer = RemoteAnswer {
+            header,
+            ..RemoteAnswer::default()
+        };
+        loop {
+            let line = self.read_line()?;
+            if line == FRAME_END {
+                break;
+            }
+            let (tag, body) = match line.split_once(' ') {
+                Some((t, b)) => (t, b),
+                None => (line.as_str(), ""),
+            };
+            match tag {
+                "C" => {
+                    answer.columns = body.split('\t').map(unescape_field).collect();
+                }
+                "T" => {
+                    answer.types = body.split('\t').map(parse_type_tag).collect();
+                }
+                "R" => {
+                    let row: Vec<Value> = body
+                        .split('\t')
+                        .enumerate()
+                        .map(|(i, field)| {
+                            let dt = answer.types.get(i).copied().unwrap_or(DataType::Str);
+                            parse_value(field, dt)
+                        })
+                        .collect();
+                    answer.rows.push(row);
+                }
+                "E" => {
+                    let mut parts = body.split('\t');
+                    let column = unescape_field(parts.next().unwrap_or(NULL_FIELD));
+                    let mean_rel = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(f64::NAN);
+                    let max_rel = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(f64::NAN);
+                    answer.errors.push((column, mean_rel, max_rel));
+                }
+                "S" => {
+                    let (k, v) = body.split_once(' ').unwrap_or((body, ""));
+                    answer.extras.push((unescape_field(k), unescape_field(v)));
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!("unknown frame tag {other}")));
+                }
+            }
+        }
+        Ok(answer)
+    }
+}

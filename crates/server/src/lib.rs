@@ -1,0 +1,58 @@
+//! # verdict-server
+//!
+//! Concurrent query serving for VerdictDB-rs.
+//!
+//! The paper describes VerdictDB as a driver-level middleware that many
+//! analysts query at once; this crate adds the serving surface the
+//! reproduction was missing:
+//!
+//! * a **line-based text protocol** over plain TCP ([`protocol`]) — simple
+//!   enough to drive with `nc`, precise enough to round-trip every engine
+//!   value bit-exactly;
+//! * a **thread-per-session server** ([`server`]) sharing one
+//!   [`verdict_core::VerdictContext`] (engine catalog, sample metadata, and
+//!   the LRU approximate-answer cache) behind an `Arc`;
+//! * a **blocking client** ([`client`]) used by the CLI, the load
+//!   generator, the end-to-end tests, and the benchmark harness.
+//!
+//! Three binaries ship with the crate: `verdict-server` (load a dataset,
+//! build samples, serve), `verdict-cli` (interactive shell / one-shot
+//! queries), and `verdict-loadgen` (N-session throughput measurement).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use verdict_core::{VerdictConfig, VerdictContext};
+//! use verdict_engine::{Connection, Engine, TableBuilder};
+//! use verdict_server::{VerdictClient, VerdictServer};
+//!
+//! let engine = Engine::with_seed(1);
+//! let table = TableBuilder::new()
+//!     .int_column("id", (0..100).collect())
+//!     .float_column("price", (0..100).map(|i| i as f64).collect())
+//!     .build()
+//!     .unwrap();
+//! engine.register_table("sales", table);
+//! let conn: Arc<dyn Connection> = Arc::new(engine);
+//! let mut config = VerdictConfig::for_testing();
+//! config.answer_cache_capacity = 64;
+//! let ctx = Arc::new(VerdictContext::new(conn, config));
+//!
+//! let handle = VerdictServer::bind("127.0.0.1:0", ctx).unwrap().spawn().unwrap();
+//! let mut client = VerdictClient::connect(handle.addr()).unwrap();
+//! let answer = client.query("SELECT count(*) AS cnt FROM sales").unwrap();
+//! assert_eq!(answer.value(0, 0).as_i64(), Some(100));
+//! client.quit().unwrap();
+//! handle.stop();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, ClientResult, RemoteAnswer, VerdictClient};
+pub use protocol::FrameHeader;
+pub use server::{ServerHandle, ServerStats, VerdictServer};

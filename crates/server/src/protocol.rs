@@ -1,0 +1,307 @@
+//! The line-based text wire protocol shared by the server and the client.
+//!
+//! Every request is one UTF-8 line (`\n`-terminated); every response is a
+//! *frame*: a status line, zero or more tagged body lines, and a lone `.`
+//! terminator line.  The format is deliberately trivial — `nc` is a usable
+//! client — while still round-tripping every engine value bit-exactly (see
+//! [`escape_field`] / [`format_value`]).
+//!
+//! ```text
+//! request:  QUERY SELECT city, avg(price) FROM orders GROUP BY city
+//! response: OK rows=10 cols=2 exact=0 cached=1 elapsed_us=42 rows_scanned=16234
+//!           C city<TAB>ap
+//!           T VARCHAR<TAB>DOUBLE
+//!           R city_0<TAB>49.7212
+//!           …
+//!           E ap<TAB>0.0132<TAB>0.0489
+//!           .
+//! ```
+//!
+//! See `docs/serving.md` for the full command reference and semantics.
+
+use std::fmt::Write as _;
+use verdict_engine::{DataType, Table, Value};
+
+/// Terminator line ending every response frame.
+pub const FRAME_END: &str = ".";
+
+/// Marker for SQL NULL in a `R` (row) body line.
+pub const NULL_FIELD: &str = "\\N";
+
+/// Escapes one tab-separated field: `\` → `\\`, TAB → `\t`, LF → `\n`,
+/// CR → `\r`.  The escaping is total (any byte sequence survives) so string
+/// values containing separators or newlines round-trip unchanged.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`].
+pub fn unescape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                // Unknown escape: keep it verbatim rather than failing the frame.
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Renders a value for a `R` body line.  Floats use Rust's shortest
+/// round-trip rendering, so the client re-parses the *bit-identical* f64;
+/// NULL becomes [`NULL_FIELD`].
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Null => NULL_FIELD.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.is_nan() {
+                "NaN".to_string()
+            } else if *f == f64::INFINITY {
+                "inf".to_string()
+            } else if *f == f64::NEG_INFINITY {
+                "-inf".to_string()
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Str(s) => escape_field(s),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+/// Parses a `R` body field back into a value of the given column type.
+pub fn parse_value(field: &str, data_type: DataType) -> Value {
+    if field == NULL_FIELD {
+        return Value::Null;
+    }
+    match data_type {
+        DataType::Int => field.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .unwrap_or(Value::Null),
+        DataType::Bool => field
+            .parse::<bool>()
+            .map(Value::Bool)
+            .unwrap_or(Value::Null),
+        DataType::Str => Value::Str(unescape_field(field)),
+    }
+}
+
+/// Renders a wire type tag for a schema field.
+pub fn type_tag(dt: DataType) -> &'static str {
+    match dt {
+        DataType::Int => "BIGINT",
+        DataType::Float => "DOUBLE",
+        DataType::Str => "VARCHAR",
+        DataType::Bool => "BOOLEAN",
+    }
+}
+
+/// Parses a wire type tag back into a [`DataType`] (defaults to `Str` for
+/// unknown tags, which at worst loses numeric typing, never data).
+pub fn parse_type_tag(tag: &str) -> DataType {
+    match tag {
+        "BIGINT" => DataType::Int,
+        "DOUBLE" => DataType::Float,
+        "BOOLEAN" => DataType::Bool,
+        _ => DataType::Str,
+    }
+}
+
+/// Summary values carried on the `OK` status line of a result frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Number of `R` rows that follow.
+    pub rows: usize,
+    /// Number of columns per row.
+    pub cols: usize,
+    /// 1 when the answer was computed exactly on the base tables.
+    pub exact: bool,
+    /// 1 when the answer was served from the approximate-answer cache.
+    pub cached: bool,
+    /// Server-side wall-clock for the request, in microseconds.
+    pub elapsed_us: u64,
+    /// Base/sample rows scanned by the underlying database.
+    pub rows_scanned: u64,
+}
+
+impl FrameHeader {
+    /// Renders the `OK …` status line.
+    pub fn status_line(&self) -> String {
+        format!(
+            "OK rows={} cols={} exact={} cached={} elapsed_us={} rows_scanned={}",
+            self.rows,
+            self.cols,
+            self.exact as u8,
+            self.cached as u8,
+            self.elapsed_us,
+            self.rows_scanned
+        )
+    }
+
+    /// Parses an `OK …` status line (missing keys default to zero).
+    pub fn parse(line: &str) -> Option<FrameHeader> {
+        let rest = line.strip_prefix("OK")?;
+        let mut header = FrameHeader::default();
+        for kv in rest.split_whitespace() {
+            let (key, value) = kv.split_once('=')?;
+            match key {
+                "rows" => header.rows = value.parse().ok()?,
+                "cols" => header.cols = value.parse().ok()?,
+                "exact" => header.exact = value == "1",
+                "cached" => header.cached = value == "1",
+                "elapsed_us" => header.elapsed_us = value.parse().ok()?,
+                "rows_scanned" => header.rows_scanned = value.parse().ok()?,
+                _ => {}
+            }
+        }
+        Some(header)
+    }
+}
+
+/// Serialises a full result frame (status, `C`/`T`/`R`/`E`/`S` body lines,
+/// terminator) into `out`.  `extras` carries `S key value` informational
+/// lines (cache stats, sample names, …).
+pub fn write_result_frame(
+    out: &mut String,
+    header: &FrameHeader,
+    table: Option<&Table>,
+    errors: &[(String, f64, f64)],
+    extras: &[(String, String)],
+) {
+    out.push_str(&header.status_line());
+    out.push('\n');
+    if let Some(table) = table {
+        if !table.schema.fields.is_empty() {
+            let names: Vec<String> = table
+                .schema
+                .fields
+                .iter()
+                .map(|f| escape_field(&f.name))
+                .collect();
+            let _ = writeln!(out, "C {}", names.join("\t"));
+            let tags: Vec<&str> = table
+                .schema
+                .fields
+                .iter()
+                .map(|f| type_tag(f.data_type))
+                .collect();
+            let _ = writeln!(out, "T {}", tags.join("\t"));
+            for row in 0..table.num_rows() {
+                let fields: Vec<String> = (0..table.schema.fields.len())
+                    .map(|col| format_value(&table.value_at(row, col)))
+                    .collect();
+                let _ = writeln!(out, "R {}", fields.join("\t"));
+            }
+        }
+    }
+    for (column, mean_rel, max_rel) in errors {
+        let _ = writeln!(out, "E {}\t{}\t{}", escape_field(column), mean_rel, max_rel);
+    }
+    for (key, value) in extras {
+        let _ = writeln!(out, "S {} {}", escape_field(key), escape_field(value));
+    }
+    out.push_str(FRAME_END);
+    out.push('\n');
+}
+
+/// Serialises an error frame.
+pub fn write_error_frame(out: &mut String, message: &str) {
+    let _ = writeln!(out, "ERR {}", escape_field(message));
+    out.push_str(FRAME_END);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips_awkward_strings() {
+        for s in [
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "back\\slash",
+            "\\N",
+            "",
+        ] {
+            assert_eq!(unescape_field(&escape_field(s)), s);
+        }
+    }
+
+    #[test]
+    fn float_values_roundtrip_bit_exactly() {
+        for f in [
+            0.1,
+            -0.0,
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let wire = format_value(&Value::Float(f));
+            match parse_value(&wire, DataType::Float) {
+                Value::Float(back) => assert_eq!(back.to_bits(), f.to_bits(), "for {f}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+        // NaN round-trips as NaN (bit pattern of parsed NaN is canonical).
+        assert!(matches!(
+            parse_value(&format_value(&Value::Float(f64::NAN)), DataType::Float),
+            Value::Float(f) if f.is_nan()
+        ));
+    }
+
+    #[test]
+    fn null_marker_roundtrips() {
+        assert_eq!(format_value(&Value::Null), "\\N");
+        assert_eq!(parse_value("\\N", DataType::Int), Value::Null);
+        // A *string* that happens to be "\N" is escaped, so it stays a string.
+        let tricky = Value::Str("\\N".into());
+        let wire = format_value(&tricky);
+        assert_ne!(wire, "\\N");
+        assert_eq!(parse_value(&wire, DataType::Str), tricky);
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = FrameHeader {
+            rows: 12,
+            cols: 3,
+            exact: false,
+            cached: true,
+            elapsed_us: 512,
+            rows_scanned: 10_000,
+        };
+        assert_eq!(FrameHeader::parse(&h.status_line()), Some(h));
+        assert_eq!(FrameHeader::parse("garbage"), None);
+    }
+}

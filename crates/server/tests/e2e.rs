@@ -1,0 +1,305 @@
+//! End-to-end tests: spawn the server on an ephemeral port and drive it
+//! through real TCP sessions, asserting the protocol answers are
+//! bit-identical to the in-process path and that the approximate-answer
+//! cache serves repeats / invalidates on appends.
+
+use std::sync::Arc;
+use verdict_core::{SampleType, VerdictAnswer, VerdictConfig, VerdictContext};
+use verdict_engine::{Connection, Engine, TableBuilder, Value};
+use verdict_server::{ClientError, RemoteAnswer, VerdictClient, VerdictServer};
+
+/// 50k-row synthetic sales table: 10 cities, deterministic prices.
+fn sales_engine(seed: u64) -> Engine {
+    let engine = Engine::with_seed(seed);
+    let rows = 50_000usize;
+    let table = TableBuilder::new()
+        .int_column("id", (0..rows as i64).collect())
+        .float_column(
+            "price",
+            (0..rows).map(|i| ((i * 37) % 1000) as f64 / 10.0).collect(),
+        )
+        .str_column(
+            "city",
+            (0..rows).map(|i| format!("city_{}", i % 10)).collect(),
+        )
+        .build()
+        .unwrap();
+    engine.register_table("sales", table);
+    engine
+}
+
+fn serving_context(seed: u64, cache_capacity: usize) -> Arc<VerdictContext> {
+    let engine = sales_engine(seed);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = cache_capacity;
+    let ctx = VerdictContext::new(conn, config);
+    ctx.create_sample("sales", SampleType::Uniform).unwrap();
+    Arc::new(ctx)
+}
+
+/// Exact variant-level equality: floats compare by bit pattern, so this is
+/// stricter than `Value == Value` (which coerces Int vs Float).
+fn values_bit_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn assert_remote_matches_local(remote: &RemoteAnswer, local: &VerdictAnswer) {
+    assert_eq!(remote.header.rows, local.table.num_rows());
+    assert_eq!(remote.header.cols, local.table.schema.fields.len());
+    assert_eq!(remote.header.exact, local.exact);
+    let names: Vec<String> = local
+        .table
+        .schema
+        .fields
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    assert_eq!(remote.columns, names);
+    for row in 0..local.table.num_rows() {
+        for col in 0..names.len() {
+            let l = local.table.value_at(row, col);
+            let r = remote.value(row, col);
+            assert!(
+                values_bit_identical(r, &l),
+                "row {row} col {col}: remote {r:?} != local {l:?}"
+            );
+        }
+    }
+    assert_eq!(remote.errors.len(), local.errors.len());
+    for ((rc, rmean, rmax), le) in remote.errors.iter().zip(&local.errors) {
+        assert_eq!(rc, &le.column);
+        assert_eq!(rmean.to_bits(), le.mean_relative_error.to_bits());
+        assert_eq!(rmax.to_bits(), le.max_relative_error.to_bits());
+    }
+}
+
+const DASHBOARD_QUERY: &str =
+    "SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city";
+
+#[test]
+fn four_concurrent_sessions_match_the_serial_in_process_path() {
+    let ctx = serving_context(21, 64);
+    // The serial in-process reference, computed before any session connects.
+    let local_approx = ctx.execute(DASHBOARD_QUERY).unwrap();
+    assert!(
+        !local_approx.exact,
+        "query should be answered from the sample"
+    );
+    let local_exact = ctx
+        .execute_exact("SELECT count(*) AS n, min(price) AS lo, max(price) AS hi FROM sales")
+        .unwrap();
+
+    let handle = VerdictServer::bind("127.0.0.1:0", Arc::clone(&ctx))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut client = VerdictClient::connect(addr).unwrap();
+                for _ in 0..5 {
+                    let remote = client.query(DASHBOARD_QUERY).unwrap();
+                    assert!(remote.header.cached, "repeat must be served from cache");
+                    assert_remote_matches_local(&remote, &local_approx);
+                    let exact = client
+                        .exact(
+                            "SELECT count(*) AS n, min(price) AS lo, max(price) AS hi FROM sales",
+                        )
+                        .unwrap();
+                    assert_remote_matches_local(&exact, &local_exact);
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    assert!(
+        handle
+            .stats()
+            .sessions_opened
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 4
+    );
+    handle.stop();
+}
+
+#[test]
+fn cached_repeat_is_identical_and_append_invalidates() {
+    let ctx = serving_context(5, 64);
+    let handle = VerdictServer::bind("127.0.0.1:0", ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+
+    let first = client.query(DASHBOARD_QUERY).unwrap();
+    assert!(!first.header.cached);
+    assert!(!first.header.exact);
+    assert!(
+        !first.errors.is_empty(),
+        "approximate answer carries error bounds"
+    );
+
+    // Same query, different whitespace / keyword case / table & predicate
+    // identifier case (projection output names — the bare `city` column and
+    // the `ap` alias — keep their case because they shape the result
+    // schema): canonicalisation maps it to the same entry and the stored
+    // answer comes back bit-identically.
+    let second = client
+        .query("select   city, AVG(Price) as ap from Sales group by CITY order by CITY")
+        .unwrap();
+    assert!(second.header.cached);
+    assert_eq!(second.header.rows_scanned, first.header.rows_scanned);
+    assert_eq!(second.columns, first.columns);
+    for (r1, r2) in first.rows.iter().zip(&second.rows) {
+        for (v1, v2) in r1.iter().zip(r2) {
+            assert!(values_bit_identical(v1, v2));
+        }
+    }
+    for ((c1, m1, x1), (c2, m2, x2)) in first.errors.iter().zip(&second.errors) {
+        assert_eq!(c1, c2);
+        assert_eq!(m1.to_bits(), m2.to_bits());
+        assert_eq!(x1.to_bits(), x2.to_bits());
+    }
+
+    // Append new rows to the base table through the same protocol: the next
+    // repeat must be recomputed, not served stale.
+    client
+        .exact("CREATE TABLE sales_batch AS SELECT id, price, city FROM sales LIMIT 1000")
+        .unwrap();
+    client
+        .exact("INSERT INTO sales SELECT * FROM sales_batch")
+        .unwrap();
+    let third = client.query(DASHBOARD_QUERY).unwrap();
+    assert!(
+        !third.header.cached,
+        "append must invalidate the cached answer"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.extra("cache_invalidations"), Some("1"));
+    assert!(stats.extra("cache_hits").is_some());
+    client.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn sample_and_refresh_commands_round_trip() {
+    let engine = sales_engine(3);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = 16;
+    let ctx = Arc::new(VerdictContext::new(conn, config));
+    let handle = VerdictServer::bind("127.0.0.1:0", ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+
+    let built = client.create_sample("sales", "uniform", &[]).unwrap();
+    let sample_table = built.extra("sample_table").unwrap().to_string();
+    assert!(sample_table.contains("sales"));
+    let sample_rows: u64 = built.extra("sample_rows").unwrap().parse().unwrap();
+    assert!(sample_rows > 0);
+
+    // Approximate queries now work over the freshly built sample.
+    let answer = client.query(DASHBOARD_QUERY).unwrap();
+    assert!(!answer.header.exact);
+
+    // Appendix D maintenance over the wire: append a batch, refresh samples.
+    client
+        .exact("CREATE TABLE sales_batch AS SELECT id, price, city FROM sales LIMIT 2000")
+        .unwrap();
+    client
+        .exact("INSERT INTO sales SELECT * FROM sales_batch")
+        .unwrap();
+    let refreshed = client.refresh("sales", "sales_batch").unwrap();
+    assert_eq!(refreshed.extra("refreshed_samples"), Some("1"));
+
+    client.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn errors_are_frames_and_sessions_survive_them() {
+    let ctx = serving_context(9, 4);
+    let handle = VerdictServer::bind("127.0.0.1:0", ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+
+    match client.query("SELEKT nonsense") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("parse"), "got: {msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    match client.request("FROBNICATE x") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown command")),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // The session is still usable after both error frames.
+    let answer = client.exact("SELECT count(*) AS n FROM sales").unwrap();
+    assert_eq!(answer.value(0, 0).as_i64(), Some(50_000));
+
+    // Multi-line SQL must not desynchronize the request/response stream:
+    // the client collapses the line breaks into one request line.
+    let multiline = client
+        .exact("SELECT count(*) AS n\nFROM sales\r\nWHERE price < 50.0")
+        .unwrap();
+    assert_eq!(multiline.header.rows, 1);
+    let next = client.exact("SELECT count(*) AS n FROM sales").unwrap();
+    assert_eq!(
+        next.value(0, 0).as_i64(),
+        Some(50_000),
+        "the frame after a multi-line request must answer the right call"
+    );
+    client.ping().unwrap();
+    client.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn awkward_string_values_round_trip_over_the_wire() {
+    let engine = Engine::with_seed(1);
+    let table = TableBuilder::new()
+        .int_column("id", vec![1, 2, 3, 4])
+        .str_column(
+            "label",
+            vec![
+                "plain".to_string(),
+                "tab\there".to_string(),
+                "line\nbreak".to_string(),
+                "back\\slash \\N".to_string(),
+            ],
+        )
+        .build()
+        .unwrap();
+    engine.register_table("notes", table);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let ctx = Arc::new(VerdictContext::new(conn, VerdictConfig::for_testing()));
+    let local = ctx
+        .execute_exact("SELECT id, label FROM notes ORDER BY id")
+        .unwrap();
+
+    let handle = VerdictServer::bind("127.0.0.1:0", ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+    let remote = client
+        .exact("SELECT id, label FROM notes ORDER BY id")
+        .unwrap();
+    assert_remote_matches_local(&remote, &local);
+    client.quit().unwrap();
+    handle.stop();
+}

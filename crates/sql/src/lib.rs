@@ -25,6 +25,7 @@
 //! ```
 
 pub mod ast;
+pub mod canonical;
 pub mod dialect;
 pub mod lexer;
 pub mod parser;
@@ -33,6 +34,7 @@ pub mod token;
 pub mod visitor;
 
 pub use ast::*;
+pub use canonical::{canonical_sql, canonical_statement};
 pub use dialect::{Dialect, GenericDialect, ImpalaDialect, RedshiftDialect, SparkSqlDialect};
 pub use parser::{parse_expression, parse_statement, parse_statements, ParseError};
 pub use printer::{print_expr, print_query, print_statement};

@@ -1,0 +1,92 @@
+//! Concurrent serving tour: spin up the TCP server over a shared context,
+//! drive it from several client sessions at once, and watch the
+//! approximate-answer cache serve dashboard repeats without re-executing —
+//! then invalidate itself the moment the data changes.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_serving
+//! ```
+
+use std::sync::Arc;
+use verdictdb::core::SampleType;
+use verdictdb::server::{VerdictClient, VerdictServer};
+use verdictdb::{instacart_context, VerdictConfig};
+
+const DASHBOARD: &str =
+    "SELECT quantity, avg(price) AS ap FROM order_products GROUP BY quantity ORDER BY quantity";
+
+fn main() {
+    // One engine + middleware context, shared by every session.
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = 256;
+    let (_engine, ctx) = instacart_context(0.05, config);
+    ctx.create_sample("order_products", SampleType::Uniform)
+        .expect("sample build");
+    let ctx = Arc::new(ctx);
+
+    let handle = VerdictServer::bind("127.0.0.1:0", Arc::clone(&ctx))
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+    println!("serving on {addr}\n");
+
+    // Four sessions issue the same dashboard query concurrently.  The first
+    // execution computes (sample scan + error assembly); every other request
+    // is a cache hit with the bit-identical estimate and interval.
+    std::thread::scope(|scope| {
+        for session in 0..4 {
+            scope.spawn(move || {
+                let mut client = VerdictClient::connect(addr).expect("connect");
+                for round in 0..3 {
+                    let answer = client.query(DASHBOARD).expect("query");
+                    println!(
+                        "session {session} round {round}: {} rows, {}{} in {} µs",
+                        answer.header.rows,
+                        if answer.header.exact {
+                            "exact"
+                        } else {
+                            "approximate"
+                        },
+                        if answer.header.cached {
+                            " (cached)"
+                        } else {
+                            ""
+                        },
+                        answer.header.elapsed_us
+                    );
+                }
+                client.quit().expect("quit");
+            });
+        }
+    });
+
+    let mut client = VerdictClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    println!(
+        "\ncache: {} hits, {} misses, {} entries",
+        stats.extra("cache_hits").unwrap_or("?"),
+        stats.extra("cache_misses").unwrap_or("?"),
+        stats.extra("cache_entries").unwrap_or("?"),
+    );
+
+    // Append a batch to the fact table: the cached dashboard answer is now
+    // stale and the next request recomputes from the grown table.
+    client
+        .exact(
+            "CREATE TABLE op_batch AS SELECT order_id, product_id, price, quantity, \
+             add_to_cart_order, reordered FROM order_products LIMIT 5000",
+        )
+        .expect("stage batch");
+    client
+        .exact("INSERT INTO order_products SELECT * FROM op_batch")
+        .expect("append");
+    let after = client.query(DASHBOARD).expect("query after append");
+    println!(
+        "\nafter append: cached={} (invalidated, recomputed in {} µs)",
+        after.header.cached, after.header.elapsed_us
+    );
+
+    client.quit().expect("quit");
+    handle.stop();
+}

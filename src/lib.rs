@@ -11,14 +11,17 @@
 //!   database substitute (Impala / Spark SQL / Redshift stand-in);
 //! * [`core`] — the VerdictDB middleware itself (sampling, planning,
 //!   variational-subsampling rewriting, answer/error assembly);
-//! * [`data`] — dataset generators and the benchmark workloads.
+//! * [`data`] — dataset generators and the benchmark workloads;
+//! * [`server`] — concurrent TCP serving layer (line protocol, session
+//!   threads, approximate-answer cache front).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
-//! EXPERIMENTS.md for the reproduction methodology.
+//! See `examples/quickstart.rs` for a five-minute tour, README.md for the
+//! project overview, and `docs/` for architecture and serving details.
 
 pub use verdict_core as core;
 pub use verdict_data as data;
 pub use verdict_engine as engine;
+pub use verdict_server as server;
 pub use verdict_sql as sql;
 
 pub use verdict_core::{

@@ -1,0 +1,314 @@
+//! Execution-level coverage for incremental sample maintenance (Appendix D)
+//! and for approximate-answer cache invalidation on appends and rebuilds.
+//!
+//! The `sample/maintenance.rs` unit tests only check the *shape* of the
+//! generated SQL; these tests actually run it against the engine — which is
+//! how the `SELECT *`-leaks-`verdict_rand` arity bug was caught.
+
+use std::sync::Arc;
+use verdictdb::core::sample::maintenance::Staleness;
+use verdictdb::core::SampleType;
+use verdictdb::{Connection, Engine, TableBuilder, VerdictConfig, VerdictContext};
+
+fn sales_table(rows: usize, offset: usize) -> verdictdb::Table {
+    TableBuilder::new()
+        .int_column("id", (0..rows).map(|i| (offset + i) as i64).collect())
+        .float_column(
+            "price",
+            (0..rows)
+                .map(|i| ((offset + i) % 500) as f64 / 5.0)
+                .collect(),
+        )
+        .str_column(
+            "city",
+            (0..rows)
+                .map(|i| format!("city_{}", (offset + i) % 8))
+                .collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn context_with_sales(seed: u64, cache_capacity: usize) -> (Arc<Engine>, VerdictContext) {
+    let engine = Arc::new(Engine::with_seed(seed));
+    engine.register_table("sales", sales_table(20_000, 0));
+    let conn: Arc<dyn Connection> = engine.clone();
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = cache_capacity;
+    (engine, VerdictContext::new(conn, config))
+}
+
+#[test]
+fn staleness_tracks_appends_and_shrinks_end_to_end() {
+    let (engine, ctx) = context_with_sales(11, 0);
+    ctx.create_sample_with_ratio("sales", SampleType::Uniform, 0.2)
+        .unwrap();
+
+    let fresh = ctx.sample_staleness("sales").unwrap();
+    assert_eq!(fresh.len(), 1);
+    assert_eq!(fresh[0].1, Staleness::Fresh);
+
+    engine
+        .catalog()
+        .append("sales", &sales_table(5_000, 20_000))
+        .unwrap();
+    let stale = ctx.sample_staleness("sales").unwrap();
+    assert_eq!(
+        stale[0].1,
+        Staleness::Stale {
+            appended_rows: 5_000
+        }
+    );
+
+    // A shrunk base table cannot be maintained incrementally.
+    engine.register_table("sales", sales_table(1_000, 0));
+    let shrunk = ctx.sample_staleness("sales").unwrap();
+    assert_eq!(shrunk[0].1, Staleness::RequiresRebuild);
+}
+
+#[test]
+fn refresh_after_append_grows_uniform_and_stratified_samples() {
+    let (_engine, ctx) = context_with_sales(13, 0);
+    let uniform = ctx
+        .create_sample_with_ratio("sales", SampleType::Uniform, 0.2)
+        .unwrap();
+    let stratified = ctx
+        .create_sample_with_ratio(
+            "sales",
+            SampleType::Stratified {
+                columns: vec!["city".into()],
+            },
+            0.2,
+        )
+        .unwrap();
+    assert!(uniform.sample_rows > 0 && stratified.sample_rows > 0);
+
+    // Stage a batch (including rows for a brand-new stratum city_new), append
+    // it to the base table, then fold it into every sample.
+    ctx.connection()
+        .execute(
+            "CREATE TABLE sales_batch AS \
+             SELECT id + 20000 AS id, price, city FROM sales LIMIT 5000",
+        )
+        .unwrap();
+    ctx.connection()
+        .execute(
+            "CREATE TABLE new_stratum AS \
+             SELECT id + 40000 AS id, price, 'city_new' AS city FROM sales LIMIT 50",
+        )
+        .unwrap();
+    ctx.connection()
+        .execute("INSERT INTO sales_batch SELECT * FROM new_stratum")
+        .unwrap();
+    ctx.connection()
+        .execute("INSERT INTO sales SELECT * FROM sales_batch")
+        .unwrap();
+
+    let refreshed = ctx
+        .refresh_samples_after_append("sales", "sales_batch")
+        .unwrap();
+    assert_eq!(refreshed, 2);
+
+    for meta in ctx.meta().samples_for("sales") {
+        assert_eq!(
+            meta.base_rows, 25_050,
+            "recorded base size tracks the append"
+        );
+        let original = if meta.sample_table == uniform.sample_table {
+            uniform.sample_rows
+        } else {
+            stratified.sample_rows
+        };
+        assert!(
+            meta.sample_rows > original,
+            "{} must gain sampled batch rows ({} vs {original})",
+            meta.sample_table,
+            meta.sample_rows
+        );
+        // The sample table stays arity-consistent and queryable.
+        let r = ctx
+            .connection()
+            .execute(&format!("SELECT count(*) FROM {}", meta.sample_table))
+            .unwrap();
+        assert_eq!(
+            r.table.value(0, 0).as_i64().unwrap() as u64,
+            meta.sample_rows
+        );
+    }
+
+    // New-stratum tuples enter the stratified sample with probability 1.0,
+    // so every one of the 50 city_new rows must be present.
+    let strat_meta = ctx
+        .meta()
+        .samples_for("sales")
+        .into_iter()
+        .find(|m| matches!(m.sample_type, SampleType::Stratified { .. }))
+        .unwrap();
+    let r = ctx
+        .connection()
+        .execute(&format!(
+            "SELECT count(*) AS c, min(verdict_sampling_prob) AS p FROM {} WHERE city = 'city_new'",
+            strat_meta.sample_table
+        ))
+        .unwrap();
+    assert_eq!(r.table.value(0, 0).as_i64(), Some(50));
+    assert_eq!(r.table.value(0, 1).as_f64(), Some(1.0));
+}
+
+#[test]
+fn repeated_refresh_is_idempotent() {
+    let (_engine, ctx) = context_with_sales(31, 0);
+    ctx.create_sample_with_ratio("sales", SampleType::Uniform, 0.2)
+        .unwrap();
+    ctx.connection()
+        .execute("CREATE TABLE sales_batch AS SELECT id + 20000 AS id, price, city FROM sales LIMIT 4000")
+        .unwrap();
+    ctx.connection()
+        .execute("INSERT INTO sales SELECT * FROM sales_batch")
+        .unwrap();
+
+    assert_eq!(
+        ctx.refresh_samples_after_append("sales", "sales_batch")
+            .unwrap(),
+        1
+    );
+    let after_first = ctx.meta().samples_for("sales")[0].clone();
+
+    // A retried REFRESH (e.g. after a partial failure elsewhere) must not
+    // fold the same batch in twice: the sample is already Fresh, so nothing
+    // is appended and the metadata is unchanged.
+    assert_eq!(
+        ctx.refresh_samples_after_append("sales", "sales_batch")
+            .unwrap(),
+        0
+    );
+    let after_second = ctx.meta().samples_for("sales")[0].clone();
+    assert_eq!(after_second.sample_rows, after_first.sample_rows);
+    assert_eq!(after_second.base_rows, after_first.base_rows);
+}
+
+#[test]
+fn refresh_with_reordered_batch_columns_does_not_corrupt_the_sample() {
+    let (_engine, ctx) = context_with_sales(29, 0);
+    let meta = ctx
+        .create_sample_with_ratio("sales", SampleType::Uniform, 0.3)
+        .unwrap();
+
+    // Stage the batch with the SAME columns in a DIFFERENT physical order;
+    // the refresh projection must follow the base table's order, not the
+    // batch's, or the positional INSERT writes values into wrong columns.
+    ctx.connection()
+        .execute(
+            "CREATE TABLE sales_batch AS \
+             SELECT city, id + 20000 AS id, price FROM sales LIMIT 3000",
+        )
+        .unwrap();
+    ctx.connection()
+        .execute("INSERT INTO sales SELECT id, price, city FROM sales_batch")
+        .unwrap();
+    assert_eq!(
+        ctx.refresh_samples_after_append("sales", "sales_batch")
+            .unwrap(),
+        1
+    );
+
+    // Every city value in the refreshed sample is still a real city label.
+    let r = ctx
+        .connection()
+        .execute(&format!(
+            "SELECT count(*) AS total, \
+             sum(CASE WHEN city LIKE 'city_%' THEN 1 ELSE 0 END) AS well_typed \
+             FROM {}",
+            meta.sample_table
+        ))
+        .unwrap();
+    let total = r.table.value(0, 0).as_i64().unwrap();
+    let well_typed = r.table.value(0, 1).as_i64().unwrap();
+    assert!(total > 0);
+    assert_eq!(
+        total, well_typed,
+        "city column must hold city labels, not ids/prices"
+    );
+}
+
+const REPEAT_QUERY: &str = "SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city";
+
+#[test]
+fn cached_answer_is_bit_identical_and_append_invalidates_it() {
+    let (engine, ctx) = context_with_sales(17, 32);
+    ctx.create_sample("sales", SampleType::Uniform).unwrap();
+
+    let first = ctx.execute(REPEAT_QUERY).unwrap();
+    assert!(!first.exact && !first.cached);
+    assert!(!first.errors.is_empty());
+
+    // Repeat with different surface syntax.  Projection output names (the
+    // bare `city` column, the `ap` alias) keep their case because they shape
+    // the result schema; everything else folds.  Identical answer, no
+    // re-execution.
+    let before = ctx.cache_stats();
+    let second = ctx
+        .execute("select city, avg(Price) as ap from SALES group by CITY order by CITY")
+        .unwrap();
+    assert!(second.cached);
+    assert_eq!(
+        second.table, first.table,
+        "estimates and intervals identical"
+    );
+    assert_eq!(second.errors, first.errors);
+    assert_eq!(second.rewritten_sql, first.rewritten_sql);
+    let after = ctx.cache_stats();
+    assert_eq!(after.hits, before.hits + 1);
+
+    // Append to the base table: the entry must be invalidated.
+    engine
+        .catalog()
+        .append("sales", &sales_table(1_000, 20_000))
+        .unwrap();
+    let third = ctx.execute(REPEAT_QUERY).unwrap();
+    assert!(!third.cached, "append must force recomputation");
+    assert_eq!(ctx.cache_stats().invalidations, 1);
+}
+
+#[test]
+fn sample_rebuild_invalidates_cached_answers() {
+    let (_engine, ctx) = context_with_sales(19, 32);
+    ctx.create_sample("sales", SampleType::Uniform).unwrap();
+    let first = ctx.execute(REPEAT_QUERY).unwrap();
+    assert!(!first.exact);
+    assert!(ctx.execute(REPEAT_QUERY).unwrap().cached);
+
+    // Rebuilding the sample bumps the sample table's data version even though
+    // the base table is untouched.
+    ctx.create_sample("sales", SampleType::Uniform).unwrap();
+    let recomputed = ctx.execute(REPEAT_QUERY).unwrap();
+    assert!(!recomputed.cached);
+    assert!(ctx.cache_stats().invalidations >= 1);
+}
+
+#[test]
+fn nondeterministic_and_ddl_statements_are_never_cached() {
+    let (_engine, ctx) = context_with_sales(23, 32);
+    let q = "SELECT count(*) AS c FROM sales WHERE rand() < 0.5";
+    let a = ctx.execute(q).unwrap();
+    let b = ctx.execute(q).unwrap();
+    assert!(!a.cached && !b.cached, "rand() queries must re-draw");
+
+    // rand() hiding inside a scalar subquery must also disable caching —
+    // walk_query alone does not descend into predicate subqueries.
+    let sub = "SELECT count(*) AS c FROM sales WHERE price * 0.01 < (SELECT rand())";
+    let a = ctx.execute(sub).unwrap();
+    let b = ctx.execute(sub).unwrap();
+    assert!(
+        !a.cached && !b.cached,
+        "rand() in a subquery must re-draw, not serve a frozen first draw"
+    );
+
+    ctx.execute("CREATE TABLE copy1 AS SELECT * FROM sales LIMIT 10")
+        .unwrap();
+    ctx.execute("DROP TABLE copy1").unwrap();
+    // Re-running the DDL must actually re-execute (a cached CREATE would error).
+    ctx.execute("CREATE TABLE copy1 AS SELECT * FROM sales LIMIT 10")
+        .unwrap();
+    assert_eq!(ctx.cache_stats().insertions, 0);
+}
