@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use verdict_core::{SampleType, VerdictConfig, VerdictContext};
+use verdict_core::{SampleType, VerdictConfig, VerdictContext, VerdictSession};
 use verdict_engine::kernels::{self, group_rows, group_rows_with};
 use verdict_engine::{Column, ColumnData, Connection, Engine, TableBuilder, ThreadPool, Value};
 use verdict_server::{VerdictClient, VerdictServer};
@@ -246,6 +246,36 @@ fn bench_answer_cache() -> (f64, f64) {
     (uncached, cached)
 }
 
+/// (direct_secs, session_secs): median latency of the cache-hot dashboard
+/// repeat through the direct `VerdictContext::execute` call vs the SQL-first
+/// `VerdictSession` dispatch (parse → option resolution → statement match).
+/// The cache-hot path is the *worst case* for relative dispatch overhead —
+/// there is almost no execution time to hide it behind.
+fn bench_session_dispatch() -> (f64, f64) {
+    let ctx = serving_context(64);
+    let warm = ctx.execute(SERVING_QUERY).unwrap();
+    assert!(!warm.exact && !warm.cached);
+    // Batch 1000 calls per timed rep: single cache hits are microsecond-scale,
+    // too small for a stable per-call median on their own.
+    const BATCH: usize = 1000;
+    let direct = median_secs(|| {
+        for _ in 0..BATCH {
+            let answer = ctx.execute(SERVING_QUERY).unwrap();
+            assert!(answer.cached);
+            std::hint::black_box(answer);
+        }
+    }) / BATCH as f64;
+    let mut session = VerdictSession::new(Arc::clone(&ctx));
+    let session_secs = median_secs(|| {
+        for _ in 0..BATCH {
+            let response = session.execute(SERVING_QUERY).unwrap();
+            assert!(response.answer().unwrap().cached);
+            std::hint::black_box(response);
+        }
+    }) / BATCH as f64;
+    (direct, session_secs)
+}
+
 /// Aggregate protocol throughput (queries/second) at `sessions` concurrent
 /// sessions issuing `requests` dashboard repeats each against a shared server.
 fn bench_sessions_qps(sessions: usize, requests: usize) -> f64 {
@@ -448,6 +478,19 @@ fn main() {
          | sessions | q/s |\n|---------:|----:|\n| 1 | {qps_1:.0} |\n| 4 | {qps_4:.0} |"
     );
 
+    // SQL-first session dispatch vs the direct context call, on the
+    // cache-hot path where relative overhead is largest.
+    let (direct_secs, session_secs) = bench_session_dispatch();
+    let dispatch_overhead_pct = 100.0 * (session_secs / direct_secs.max(1e-12) - 1.0);
+    println!(
+        "\n## session dispatch (cache-hot repeat, worst case for relative overhead)\n\n\
+         | path | latency (µs) |\n|------|-------------:|\n\
+         | VerdictContext::execute | {:.3} |\n| VerdictSession::execute (SQL) | {:.3} |\n\n\
+         dispatch overhead: {dispatch_overhead_pct:.2}%",
+        direct_secs * 1e6,
+        session_secs * 1e6
+    );
+
     // Machine-readable snapshot, written at the workspace root (cargo bench
     // runs with the package directory as cwd).
     let path = std::env::var("BENCH_KERNELS_JSON")
@@ -472,7 +515,14 @@ fn main() {
     json.push_str(&format!(
         "      {{ \"sessions\": 1, \"qps\": {qps_1:.0} }},\n      {{ \"sessions\": 4, \"qps\": {qps_4:.0} }}\n"
     ));
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n  \"session_dispatch\": {\n");
+    json.push_str(&format!(
+        "    \"query\": \"cache-hot dashboard repeat\",\n    \
+         \"direct_secs\": {direct_secs:.9},\n    \
+         \"session_secs\": {session_secs:.9},\n    \
+         \"overhead_pct\": {dispatch_overhead_pct:.2}\n"
+    ));
+    json.push_str("  }\n}\n");
     std::fs::write(&path, &json).expect("write perf snapshot");
     println!("wrote {path}");
 }

@@ -93,6 +93,33 @@ impl VerdictConfig {
         }
     }
 
+    /// A compact rendering of every *answer-affecting* knob, appended to the
+    /// approximate-answer cache key so sessions running under different
+    /// accuracy settings never share a cache entry.
+    ///
+    /// Included: everything that changes the bytes of a computed answer —
+    /// planning inputs (`io_budget`, `min_table_rows`, `planner_top_k`),
+    /// estimation inputs (`subsample_count`, `confidence`, `seed`), result
+    /// shaping (`include_error_columns`), and fallback thresholds
+    /// (`max_relative_error`, `min_rows_per_group`).  Excluded: knobs that
+    /// only change *how fast* the identical answer is produced
+    /// (`parallelism`, `answer_cache_capacity`) or that only matter at
+    /// sample-build time (`sampling_ratio`, `stratified_*`).
+    pub fn cache_fingerprint(&self) -> String {
+        format!(
+            "io={:?};mtr={};b={};conf={:?};maxrel={:?};errcols={};mrpg={:?};topk={};seed={:?}",
+            self.io_budget,
+            self.min_table_rows,
+            self.subsample_count,
+            self.confidence,
+            self.max_relative_error,
+            self.include_error_columns,
+            self.min_rows_per_group,
+            self.planner_top_k,
+            self.seed,
+        )
+    }
+
     /// √b as an integer; `subsample_count` is clamped to a perfect square.
     pub fn sqrt_subsamples(&self) -> u64 {
         (self.subsample_count as f64).sqrt().round().max(1.0) as u64

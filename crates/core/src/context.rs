@@ -106,14 +106,15 @@ impl VerdictContext {
         }
     }
 
-    /// The active configuration.
+    /// The immutable base configuration.
+    ///
+    /// The context's configuration is fixed at construction time: a context
+    /// is shared by many sessions behind an `Arc`, so there is deliberately
+    /// no mutation path.  Per-session / per-query overrides go through
+    /// [`crate::session::QueryOptions`] on a [`crate::session::VerdictSession`],
+    /// which resolves an effective configuration for each statement.
     pub fn config(&self) -> &VerdictConfig {
         &self.config
-    }
-
-    /// Mutable access to the configuration (per-connection settings, §2.4).
-    pub fn config_mut(&mut self) -> &mut VerdictConfig {
-        &mut self.config
     }
 
     /// The sample-metadata registry.
@@ -124,6 +125,11 @@ impl VerdictContext {
     /// The underlying connection.
     pub fn connection(&self) -> &Arc<dyn Connection> {
         &self.conn
+    }
+
+    /// The SQL dialect used when talking to the underlying database.
+    pub fn dialect(&self) -> &dyn Dialect {
+        self.dialect.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -147,13 +153,47 @@ impl VerdictContext {
         sample_type: SampleType,
         ratio: f64,
     ) -> VerdictResult<SampleMeta> {
+        self.create_sample_named(None, base_table, sample_type, ratio, &self.config)
+    }
+
+    /// Creates one sample (scramble) table, optionally under a caller-chosen
+    /// name (`CREATE SCRAMBLE <name> FROM …`), with an explicit configuration
+    /// (sessions pass their per-statement resolved config).
+    ///
+    /// An existing **scramble** with the same name is replaced: its
+    /// registration and table are dropped before the new one is built.  A
+    /// name that collides with an existing table that is *not* a registered
+    /// scramble (e.g. a base table) is rejected — replace semantics must
+    /// never be able to destroy user data.
+    pub fn create_sample_named(
+        &self,
+        name: Option<&str>,
+        base_table: &str,
+        sample_type: SampleType,
+        ratio: f64,
+        config: &VerdictConfig,
+    ) -> VerdictResult<SampleMeta> {
         let base_rows = self.conn.table_row_count(base_table)?;
         let base_columns = self.column_names(base_table)?;
         let strata_count = match &sample_type {
             SampleType::Stratified { columns } => self.distinct_count(base_table, columns)?,
             _ => 0,
         };
-        let sample_table = SampleMeta::table_name_for(base_table, &sample_type);
+        let sample_table = match name {
+            Some(n) => n.to_string(),
+            None => SampleMeta::table_name_for(base_table, &sample_type),
+        };
+        // Replace semantics: forget any scramble already registered under
+        // this name (possibly over a different base table) before rebuilding.
+        // If nothing was registered but a table with that name exists, the
+        // name points at real data — refuse rather than clobber it.
+        if self.meta.remove_sample(&sample_table).is_none() && self.conn.table_exists(&sample_table)
+        {
+            return Err(VerdictError::Metadata(format!(
+                "{sample_table} already names a table that is not a registered scramble; \
+                 refusing to replace it"
+            )));
+        }
         self.conn
             .execute(&format!("DROP TABLE IF EXISTS {sample_table}"))?;
         let plan = build_sample_sql(
@@ -164,7 +204,7 @@ impl VerdictContext {
             base_rows,
             strata_count,
             &base_columns,
-            &self.config,
+            config,
             self.dialect.as_ref(),
         );
         for stmt in &plan.statements {
@@ -187,6 +227,16 @@ impl VerdictContext {
     /// cardinalities and builds a uniform sample plus hashed/stratified
     /// samples for high-/low-cardinality columns.
     pub fn create_recommended_samples(&self, base_table: &str) -> VerdictResult<Vec<SampleMeta>> {
+        self.create_recommended_samples_with(base_table, &self.config)
+    }
+
+    /// [`Self::create_recommended_samples`] with an explicit configuration
+    /// (sessions pass their per-statement resolved config).
+    pub fn create_recommended_samples_with(
+        &self,
+        base_table: &str,
+        config: &VerdictConfig,
+    ) -> VerdictResult<Vec<SampleMeta>> {
         let base_rows = self.conn.table_row_count(base_table)?;
         let columns = self.column_names(base_table)?;
         let mut cardinalities = Vec::new();
@@ -206,10 +256,16 @@ impl VerdictContext {
                 });
             }
         }
-        let decision = default_policy(base_rows, &cardinalities, &self.config);
+        let decision = default_policy(base_rows, &cardinalities, config);
         let mut created = Vec::new();
         for sample_type in decision.sample_types {
-            created.push(self.create_sample_with_ratio(base_table, sample_type, decision.ratio)?);
+            created.push(self.create_sample_named(
+                None,
+                base_table,
+                sample_type,
+                decision.ratio,
+                config,
+            )?);
         }
         Ok(created)
     }
@@ -304,6 +360,48 @@ impl VerdictContext {
         Ok(dropped)
     }
 
+    /// Drops a single scramble by its (sample-table) name, returning whether
+    /// one existed.  With `if_exists` a missing scramble is not an error.
+    pub fn drop_sample_named(&self, name: &str, if_exists: bool) -> VerdictResult<bool> {
+        match self.meta.remove_sample(name) {
+            Some(meta) => {
+                self.conn
+                    .execute(&format!("DROP TABLE IF EXISTS {}", meta.sample_table))?;
+                Ok(true)
+            }
+            None if if_exists => Ok(false),
+            None => Err(VerdictError::Metadata(format!(
+                "no scramble named {name} is registered"
+            ))),
+        }
+    }
+
+    /// Rebuilds every sample of `base_table` from the current base data,
+    /// keeping each sample's name, type, and ratio (a batchless
+    /// `REFRESH SCRAMBLES` statement).  Returns the number of samples rebuilt.
+    pub fn rebuild_samples(
+        &self,
+        base_table: &str,
+        config: &VerdictConfig,
+    ) -> VerdictResult<usize> {
+        let samples = self.meta.samples_for(base_table);
+        let mut rebuilt = 0usize;
+        for meta in &samples {
+            // `create_sample_named` removes the old registration and drops
+            // the old table itself; a failure leaves the remaining samples'
+            // registrations untouched.
+            self.create_sample_named(
+                Some(&meta.sample_table),
+                base_table,
+                meta.sample_type.clone(),
+                meta.ratio,
+                config,
+            )?;
+            rebuilt += 1;
+        }
+        Ok(rebuilt)
+    }
+
     // ------------------------------------------------------------------
     // Query processing (online stage)
     // ------------------------------------------------------------------
@@ -318,9 +416,37 @@ impl VerdictContext {
     /// returned without touching the underlying database, with
     /// [`VerdictAnswer::cached`] set.
     pub fn execute(&self, sql: &str) -> VerdictResult<VerdictAnswer> {
-        let start = Instant::now();
+        self.execute_with_config(sql, &self.config)
+    }
+
+    /// [`Self::execute`] with an explicit per-statement configuration.
+    ///
+    /// This is the execution entry point used by
+    /// [`crate::session::VerdictSession`]: the session resolves its
+    /// [`crate::session::QueryOptions`] against the base configuration and
+    /// passes the result here, so per-query accuracy/caching overrides never
+    /// mutate shared state.  Answers computed under different
+    /// answer-affecting settings use distinct cache keys (see
+    /// [`VerdictConfig::cache_fingerprint`]).
+    pub fn execute_with_config(
+        &self,
+        sql: &str,
+        config: &VerdictConfig,
+    ) -> VerdictResult<VerdictAnswer> {
         let stmt = verdict_sql::parse_statement(sql)?;
-        let cache_key = self.cache_key(&stmt);
+        self.execute_statement_with_config(&stmt, sql, config)
+    }
+
+    /// [`Self::execute_with_config`] over an already-parsed statement
+    /// (`sql` must be the statement's source text, used for passthrough).
+    pub fn execute_statement_with_config(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        config: &VerdictConfig,
+    ) -> VerdictResult<VerdictAnswer> {
+        let start = Instant::now();
+        let cache_key = self.cache_key(stmt, config);
         let mut pre_versions = None;
         if let Some(key) = &cache_key {
             if let Some(mut answer) = self.cache.lookup(key, |t| self.conn.data_version(t)) {
@@ -333,11 +459,11 @@ impl VerdictContext {
             // pre-write versions and fails revalidation, instead of a
             // post-execution snapshot masking the write and caching a stale
             // answer under the new version.
-            pre_versions = self.snapshot_versions(&stmt);
+            pre_versions = self.snapshot_versions(stmt);
         }
-        let answer = self.execute_parsed(&stmt, sql, start)?;
+        let answer = self.execute_parsed(stmt, sql, start, config)?;
         if let (Some(key), Some(snapshot)) = (cache_key, pre_versions) {
-            if let Some(versions) = Self::dependency_versions(&snapshot, &stmt, &answer) {
+            if let Some(versions) = Self::dependency_versions(&snapshot, stmt, &answer) {
                 self.cache.insert(key, versions, answer.clone());
             }
         }
@@ -349,6 +475,7 @@ impl VerdictContext {
         stmt: &Statement,
         sql: &str,
         start: Instant,
+        config: &VerdictConfig,
     ) -> VerdictResult<VerdictAnswer> {
         let query = match stmt {
             Statement::Query(q) => q.as_ref().clone(),
@@ -373,20 +500,20 @@ impl VerdictContext {
             };
             row_counts.insert(t.table.to_ascii_lowercase(), rows);
         }
-        let planner = SamplePlanner::new(&self.meta, &self.config);
+        let planner = SamplePlanner::new(&self.meta, config);
         let plan = planner.plan(
             &analysis.table_refs(&row_counts),
             &PlanningContext {
                 group_columns: analysis.group_column_names(),
                 distinct_columns: analysis.distinct_column_names(),
-                io_budget: self.config.io_budget,
+                io_budget: config.io_budget,
             },
         );
         if !plan.uses_samples() {
             return self.passthrough(sql, start);
         }
 
-        let rewritten = match rewrite(&analysis, &plan, &self.config) {
+        let rewritten = match rewrite(&analysis, &plan, config) {
             Ok(r) => r,
             Err(VerdictError::Unsupported(_)) | Err(VerdictError::NoSampleAvailable(_)) => {
                 return self.passthrough(sql, start)
@@ -394,7 +521,7 @@ impl VerdictContext {
             Err(e) => return Err(e),
         };
 
-        match self.run_rewritten(&analysis, &rewritten, sql, start)? {
+        match self.run_rewritten(&analysis, &rewritten, sql, start, config)? {
             Some(answer) => Ok(answer),
             None => self.passthrough(sql, start),
         }
@@ -411,6 +538,7 @@ impl VerdictContext {
         rewritten: &RewriteOutput,
         original_sql: &str,
         start: Instant,
+        config: &VerdictConfig,
     ) -> VerdictResult<Option<VerdictAnswer>> {
         let mut sqls = Vec::new();
         let mut rows_scanned = 0u64;
@@ -450,7 +578,7 @@ impl VerdictContext {
                         groups.insert(key);
                     }
                     let rows_per_group = total / groups.len().max(1) as f64;
-                    if rows_per_group < self.config.min_rows_per_group {
+                    if rows_per_group < config.min_rows_per_group {
                         return Ok(None);
                     }
                 }
@@ -480,12 +608,12 @@ impl VerdictContext {
             mean_result.as_ref(),
             distinct_result.as_ref(),
             extreme_result.as_ref(),
-            &self.config,
+            config,
         )?;
 
         // High-level Accuracy Contract: rerun exactly when the estimated
         // error violates the configured accuracy requirement (§2.4).
-        if let Some(max_rel) = self.config.max_relative_error {
+        if let Some(max_rel) = config.max_relative_error {
             let worst = assembled
                 .errors
                 .iter()
@@ -547,12 +675,19 @@ impl VerdictContext {
     }
 
     /// The canonical cache key for a statement, or `None` when the statement
-    /// must not be cached: the cache is disabled, the statement is not a
+    /// must not be cached: the cache is disabled (globally, or for this
+    /// statement by a per-session cache policy), the statement is not a
     /// `SELECT`, or it calls a nondeterministic function (`rand()`) anywhere
     /// — including inside scalar / `IN` / `EXISTS` subqueries — whose repeats
     /// must produce fresh draws.
-    fn cache_key(&self, stmt: &Statement) -> Option<String> {
-        if !self.cache.enabled() {
+    ///
+    /// The key is the canonical SQL text plus a fingerprint of every
+    /// answer-affecting configuration knob: two sessions running the same
+    /// query under different accuracy settings (confidence, target error,
+    /// error columns, …) produce observably different answers, so they must
+    /// not share a cache entry.
+    fn cache_key(&self, stmt: &Statement, config: &VerdictConfig) -> Option<String> {
+        if !self.cache.enabled() || config.answer_cache_capacity == 0 {
             return None;
         }
         let query = match stmt {
@@ -563,7 +698,11 @@ impl VerdictContext {
             return None;
         }
         let canon = verdict_sql::canonical_statement(stmt);
-        Some(print_statement(&canon, &GenericDialect))
+        Some(format!(
+            "{}\u{1f}{}",
+            print_statement(&canon, &GenericDialect),
+            config.cache_fingerprint()
+        ))
     }
 
     /// True when the query calls `rand()`/`random()` anywhere, recursing into

@@ -67,6 +67,7 @@ pub mod meta;
 pub mod planner;
 pub mod rewrite;
 pub mod sample;
+pub mod session;
 pub mod stats;
 
 pub use answer::{AggEstimate, ColumnErrorSummary};
@@ -75,3 +76,4 @@ pub use config::VerdictConfig;
 pub use context::{VerdictAnswer, VerdictContext};
 pub use error::{VerdictError, VerdictResult};
 pub use sample::{SampleMeta, SampleType};
+pub use session::{QueryOptions, VerdictResponse, VerdictSession};

@@ -60,6 +60,25 @@ impl MetaStore {
             .unwrap_or_default()
     }
 
+    /// Removes the sample registered under the given sample-table name
+    /// (case-insensitive), returning its metadata if one existed.
+    pub fn remove_sample(&self, sample_table: &str) -> Option<SampleMeta> {
+        let wanted = sample_table.to_ascii_lowercase();
+        let mut map = self.samples.write();
+        let hit = map.iter().find_map(|(base, list)| {
+            list.iter()
+                .position(|m| m.sample_table.eq_ignore_ascii_case(&wanted))
+                .map(|pos| (base.clone(), pos))
+        })?;
+        let (base, pos) = hit;
+        let list = map.get_mut(&base)?;
+        let meta = list.remove(pos);
+        if list.is_empty() {
+            map.remove(&base);
+        }
+        Some(meta)
+    }
+
     /// Total number of registered samples.
     pub fn len(&self) -> usize {
         self.samples.read().values().map(|v| v.len()).sum()

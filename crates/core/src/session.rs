@@ -1,0 +1,583 @@
+//! [`VerdictSession`] — the SQL-first session API.
+//!
+//! The paper's core claim is *universality*: applications talk to VerdictDB
+//! exactly as they would to any SQL database.  Sample management, exact-mode
+//! escapes, and tuning are all plain SQL statements — not bespoke library
+//! calls.  A session accepts **only SQL** and returns a unified
+//! [`VerdictResponse`]:
+//!
+//! ```text
+//! CREATE SCRAMBLE s_orders FROM orders METHOD uniform RATIO 0.01
+//! SELECT city, avg(price) AS ap FROM orders GROUP BY city
+//! SET target_error = 0.02
+//! BYPASS SELECT count(*) FROM orders
+//! REFRESH SCRAMBLES orders FROM orders_batch
+//! SHOW SCRAMBLES
+//! DROP SCRAMBLES orders
+//! ```
+//!
+//! A session owns a shared [`VerdictContext`] (`Arc`, so many sessions share
+//! one engine catalog, sample registry, and answer cache) plus its own
+//! [`QueryOptions`].  Options are resolved against the context's immutable
+//! base [`VerdictConfig`] *per statement*: `SET` mutates only this session's
+//! options, never shared state — the replacement for the old
+//! `config_mut()`-on-a-shared-context wart, which could not work behind the
+//! server's `Arc<VerdictContext>` at all.
+
+use crate::config::VerdictConfig;
+use crate::context::{VerdictAnswer, VerdictContext};
+use crate::error::{VerdictError, VerdictResult};
+use crate::sample::maintenance::Staleness;
+use crate::sample::{SampleMeta, SampleType};
+use std::sync::Arc;
+use verdict_engine::{Table, TableBuilder};
+use verdict_sql::ast::{Literal, ScrambleMethod, SetValue, Statement};
+use verdict_sql::printer::print_statement;
+
+/// Per-session (and therefore per-query) overrides of the context's base
+/// configuration (§2.4 knobs).
+///
+/// Every field is optional; `None` inherits the base [`VerdictConfig`].
+/// Options are set through SQL (`SET <option> = <value>`) or constructed
+/// directly for embedded use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOptions {
+    /// `SET target_error = r` — maximum tolerated relative error; when the
+    /// estimated error exceeds it the query is re-run exactly (High-level
+    /// Accuracy Contract).
+    pub target_error: Option<f64>,
+    /// `SET confidence = c` — confidence level for reported error bounds.
+    pub confidence: Option<f64>,
+    /// `SET cache = on|off` — per-session answer-cache policy.  `off`
+    /// bypasses the shared cache for this session's statements (no lookups,
+    /// no insertions); `on` restores the base behaviour.  A cache disabled
+    /// at context construction cannot be enabled per session.
+    pub cache: Option<bool>,
+    /// `SET parallelism = n` — worker-thread hint for the underlying
+    /// engine.  Results are bit-identical at any setting; only latency
+    /// changes.  **Engine-wide, not session-scoped**: the hint is applied
+    /// to the shared connection's morsel pool when set (the engine has one
+    /// pool, so per-statement isolation is not possible); `SET parallelism
+    /// = default` restores the base configuration's setting.
+    pub parallelism: Option<usize>,
+    /// `SET bypass = on|off` — when on, every query runs exactly on the
+    /// base tables (a session-wide `BYPASS`).
+    pub bypass: bool,
+    /// `SET error_columns = on|off` — attach `<column>_err` columns to
+    /// approximate results.
+    pub error_columns: Option<bool>,
+    /// `SET io_budget = f` — maximum fraction of each large table read per
+    /// query.
+    pub io_budget: Option<f64>,
+    /// `SET sampling_ratio = r` — default τ for `CREATE SCRAMBLE` statements
+    /// that omit `RATIO`.
+    pub sampling_ratio: Option<f64>,
+}
+
+impl QueryOptions {
+    /// Resolves these options against a base configuration, producing the
+    /// effective per-statement [`VerdictConfig`].
+    pub fn resolve(&self, base: &VerdictConfig) -> VerdictConfig {
+        let mut cfg = base.clone();
+        if let Some(te) = self.target_error {
+            cfg.max_relative_error = Some(te);
+        }
+        if let Some(c) = self.confidence {
+            cfg.confidence = c;
+        }
+        if self.cache == Some(false) {
+            cfg.answer_cache_capacity = 0;
+        }
+        // `parallelism` is deliberately NOT folded in: the engine reads the
+        // knob only at context construction, so the per-statement config
+        // cannot carry it — SET applies the hint to the shared pool instead.
+        if let Some(e) = self.error_columns {
+            cfg.include_error_columns = e;
+        }
+        if let Some(b) = self.io_budget {
+            cfg.io_budget = b;
+        }
+        if let Some(r) = self.sampling_ratio {
+            cfg.sampling_ratio = r;
+        }
+        cfg
+    }
+}
+
+/// The unified result of one SQL statement executed on a [`VerdictSession`].
+#[derive(Debug, Clone)]
+pub enum VerdictResponse {
+    /// A query answer (`SELECT`, `STREAM`, `BYPASS`, or passthrough DDL/DML).
+    Answer(VerdictAnswer),
+    /// Scrambles built by `CREATE SCRAMBLE` / `CREATE SCRAMBLES`.
+    ScramblesCreated(Vec<SampleMeta>),
+    /// Number of scrambles removed by `DROP SCRAMBLE[S]`.
+    ScramblesDropped(usize),
+    /// Number of scrambles refreshed/rebuilt by `REFRESH SCRAMBLE[S]`.
+    ScramblesRefreshed(usize),
+    /// The `SHOW SCRAMBLES` listing.
+    Scrambles(Table),
+    /// The `SHOW STATS` listing.
+    Stats(Table),
+    /// Acknowledgement of `SET <option> = <value>` (normalised name/value).
+    OptionSet {
+        /// The canonical option name.
+        name: String,
+        /// The applied value, rendered as text (`"default"` when cleared).
+        value: String,
+    },
+}
+
+impl VerdictResponse {
+    /// The tabular part of the response, if any (`Answer`, `Scrambles`,
+    /// `Stats`).
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            VerdictResponse::Answer(a) => Some(&a.table),
+            VerdictResponse::Scrambles(t) | VerdictResponse::Stats(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The query answer, if this response carries one.
+    pub fn answer(&self) -> Option<&VerdictAnswer> {
+        match self {
+            VerdictResponse::Answer(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Consumes the response, returning the query answer or an error for
+    /// non-answer responses (convenience for callers that know they sent a
+    /// query).
+    pub fn into_answer(self) -> VerdictResult<VerdictAnswer> {
+        match self {
+            VerdictResponse::Answer(a) => Ok(a),
+            other => Err(VerdictError::Answer(format!(
+                "statement produced a {} response, not a query answer",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short tag naming the response variant (used in protocol frames).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VerdictResponse::Answer(_) => "answer",
+            VerdictResponse::ScramblesCreated(_) => "scrambles_created",
+            VerdictResponse::ScramblesDropped(_) => "scrambles_dropped",
+            VerdictResponse::ScramblesRefreshed(_) => "scrambles_refreshed",
+            VerdictResponse::Scrambles(_) => "scrambles",
+            VerdictResponse::Stats(_) => "stats",
+            VerdictResponse::OptionSet { .. } => "option_set",
+        }
+    }
+}
+
+/// A SQL-only session over a shared [`VerdictContext`].
+///
+/// See the [module documentation](self) for the statement surface.  Sessions
+/// are cheap to create (one `Arc` clone plus default options) and are *not*
+/// shared between threads — each connection/actor gets its own.
+pub struct VerdictSession {
+    ctx: Arc<VerdictContext>,
+    options: QueryOptions,
+}
+
+impl VerdictSession {
+    /// Opens a session with default (inherit-everything) options.
+    pub fn new(ctx: Arc<VerdictContext>) -> VerdictSession {
+        Self::with_options(ctx, QueryOptions::default())
+    }
+
+    /// Opens a session with explicit initial options.
+    pub fn with_options(ctx: Arc<VerdictContext>, options: QueryOptions) -> VerdictSession {
+        VerdictSession { ctx, options }
+    }
+
+    /// The shared middleware context.
+    pub fn context(&self) -> &Arc<VerdictContext> {
+        &self.ctx
+    }
+
+    /// The current session options.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// The effective configuration the next statement would run under.
+    pub fn effective_config(&self) -> VerdictConfig {
+        self.options.resolve(self.ctx.config())
+    }
+
+    /// Executes one SQL statement (a trailing `;` is allowed).
+    pub fn execute(&mut self, sql: &str) -> VerdictResult<VerdictResponse> {
+        let stmt = verdict_sql::parse_statement(sql)?;
+        self.execute_statement(&stmt, sql)
+    }
+
+    /// Executes a `;`-separated script, returning one response per statement.
+    /// Execution stops at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> VerdictResult<Vec<VerdictResponse>> {
+        let stmts = verdict_sql::parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            let text = print_statement(stmt, self.ctx.dialect());
+            out.push(self.execute_statement(stmt, &text)?);
+        }
+        Ok(out)
+    }
+
+    /// Dispatches one parsed statement; `sql` must be its source text.
+    pub fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+        sql: &str,
+    ) -> VerdictResult<VerdictResponse> {
+        match stmt {
+            // Plain SQL: approximate when possible, exact under session
+            // bypass; DDL/DML passes through to the underlying database.
+            Statement::Query(_)
+            | Statement::CreateTableAs { .. }
+            | Statement::DropTable { .. }
+            | Statement::InsertIntoSelect { .. } => {
+                let cfg = self.effective_config();
+                let answer = if self.options.bypass {
+                    self.ctx.execute_exact(sql)?
+                } else {
+                    self.ctx.execute_statement_with_config(stmt, sql, &cfg)?
+                };
+                Ok(VerdictResponse::Answer(answer))
+            }
+            Statement::Bypass(inner) => {
+                let text = print_statement(inner, self.ctx.dialect());
+                Ok(VerdictResponse::Answer(self.ctx.execute_exact(&text)?))
+            }
+            Statement::Stream(q) => {
+                // A stream must observe fresh data: recompute, skipping the
+                // answer cache in both directions.
+                let mut cfg = self.effective_config();
+                cfg.answer_cache_capacity = 0;
+                let inner = Statement::Query(q.clone());
+                let text = print_statement(&inner, self.ctx.dialect());
+                let answer = self
+                    .ctx
+                    .execute_statement_with_config(&inner, &text, &cfg)?;
+                Ok(VerdictResponse::Answer(answer))
+            }
+            Statement::CreateScramble {
+                name,
+                table,
+                method,
+                ratio,
+                on,
+            } => {
+                let cfg = self.effective_config();
+                let sample_type = scramble_sample_type(*method, on)?;
+                let ratio = ratio.unwrap_or(cfg.sampling_ratio);
+                if !(ratio > 0.0 && ratio <= 1.0) {
+                    return Err(VerdictError::Unsupported(format!(
+                        "scramble RATIO must be in (0, 1], got {ratio}"
+                    )));
+                }
+                let meta = self.ctx.create_sample_named(
+                    Some(&name.key()),
+                    &table.key(),
+                    sample_type,
+                    ratio,
+                    &cfg,
+                )?;
+                Ok(VerdictResponse::ScramblesCreated(vec![meta]))
+            }
+            Statement::CreateScrambles { table } => {
+                let cfg = self.effective_config();
+                let created = self
+                    .ctx
+                    .create_recommended_samples_with(&table.key(), &cfg)?;
+                Ok(VerdictResponse::ScramblesCreated(created))
+            }
+            Statement::DropScramble { name, if_exists } => {
+                let dropped = self.ctx.drop_sample_named(&name.key(), *if_exists)?;
+                Ok(VerdictResponse::ScramblesDropped(usize::from(dropped)))
+            }
+            Statement::DropScrambles { table, if_exists } => {
+                let dropped = self.ctx.drop_samples(&table.key())?;
+                if dropped == 0 && !if_exists {
+                    return Err(VerdictError::Metadata(format!(
+                        "no scrambles are registered for table {table}"
+                    )));
+                }
+                Ok(VerdictResponse::ScramblesDropped(dropped))
+            }
+            Statement::RefreshScrambles { table, batch } => {
+                let refreshed = match batch {
+                    Some(b) => self
+                        .ctx
+                        .refresh_samples_after_append(&table.key(), &b.key())?,
+                    None => {
+                        let cfg = self.effective_config();
+                        self.ctx.rebuild_samples(&table.key(), &cfg)?
+                    }
+                };
+                Ok(VerdictResponse::ScramblesRefreshed(refreshed))
+            }
+            Statement::ShowScrambles => Ok(VerdictResponse::Scrambles(self.show_scrambles()?)),
+            Statement::ShowStats => Ok(VerdictResponse::Stats(self.show_stats())),
+            Statement::SetOption { name, value } => {
+                let (name, rendered) = self.set_option(name, value)?;
+                Ok(VerdictResponse::OptionSet {
+                    name,
+                    value: rendered,
+                })
+            }
+        }
+    }
+
+    /// Builds the `SHOW SCRAMBLES` table: one row per registered scramble,
+    /// sorted by (base table, scramble name) for a deterministic listing.
+    fn show_scrambles(&self) -> VerdictResult<Table> {
+        let mut metas = self.ctx.meta().all();
+        metas.sort_by(|a, b| {
+            (a.base_table.as_str(), a.sample_table.as_str())
+                .cmp(&(b.base_table.as_str(), b.sample_table.as_str()))
+        });
+        let mut scramble = Vec::with_capacity(metas.len());
+        let mut base = Vec::with_capacity(metas.len());
+        let mut method = Vec::with_capacity(metas.len());
+        let mut on = Vec::with_capacity(metas.len());
+        let mut ratio = Vec::with_capacity(metas.len());
+        let mut rows = Vec::with_capacity(metas.len());
+        let mut base_rows = Vec::with_capacity(metas.len());
+        let mut status = Vec::with_capacity(metas.len());
+        for meta in &metas {
+            scramble.push(meta.sample_table.clone());
+            base.push(meta.base_table.clone());
+            method.push(meta.sample_type.tag().to_string());
+            on.push(meta.sample_type.columns().join(","));
+            ratio.push(meta.ratio);
+            rows.push(meta.sample_rows as i64);
+            base_rows.push(meta.base_rows as i64);
+            status.push(self.staleness_label(meta));
+        }
+        TableBuilder::new()
+            .str_column("scramble", scramble)
+            .str_column("base_table", base)
+            .str_column("method", method)
+            .str_column("columns", on)
+            .float_column("ratio", ratio)
+            .int_column("rows", rows)
+            .int_column("base_rows", base_rows)
+            .str_column("status", status)
+            .build()
+            .map_err(|e| VerdictError::Answer(format!("SHOW SCRAMBLES failed: {e}")))
+    }
+
+    fn staleness_label(&self, meta: &SampleMeta) -> String {
+        match self.ctx.connection().table_row_count(&meta.base_table) {
+            Ok(current) => match crate::sample::maintenance::staleness(meta, current) {
+                Staleness::Fresh => "fresh".to_string(),
+                Staleness::Stale { appended_rows } => format!("stale(+{appended_rows})"),
+                Staleness::RequiresRebuild => "requires_rebuild".to_string(),
+            },
+            Err(_) => "base_missing".to_string(),
+        }
+    }
+
+    /// Builds the `SHOW STATS` table: middleware counters as (stat, value)
+    /// rows.
+    fn show_stats(&self) -> Table {
+        let cache = self.ctx.cache_stats();
+        let rows: Vec<(&str, i64)> = vec![
+            ("scrambles", self.ctx.meta().len() as i64),
+            ("cache_entries", self.ctx.cache().len() as i64),
+            ("cache_hits", cache.hits as i64),
+            ("cache_misses", cache.misses as i64),
+            ("cache_insertions", cache.insertions as i64),
+            ("cache_invalidations", cache.invalidations as i64),
+            ("cache_evictions", cache.evictions as i64),
+        ];
+        TableBuilder::new()
+            .str_column("stat", rows.iter().map(|(k, _)| k.to_string()).collect())
+            .int_column("value", rows.iter().map(|(_, v)| *v).collect())
+            .build()
+            .expect("stats table construction cannot fail")
+    }
+
+    /// Applies `SET <option> = <value>`, returning the canonical option name
+    /// and the rendered applied value.
+    fn set_option(&mut self, name: &str, value: &SetValue) -> VerdictResult<(String, String)> {
+        let reset = matches!(value, SetValue::Ident(w) if w == "default" || w == "none");
+        match name {
+            "target_error" | "max_relative_error" => {
+                self.options.target_error = if reset {
+                    None
+                } else {
+                    let t = value_f64(value)?;
+                    if t <= 0.0 {
+                        return Err(VerdictError::Unsupported(format!(
+                            "target_error must be positive, got {t}"
+                        )));
+                    }
+                    Some(t)
+                };
+                Ok(("target_error".into(), render(self.options.target_error)))
+            }
+            "confidence" => {
+                let v = if reset {
+                    None
+                } else {
+                    let c = value_f64(value)?;
+                    if !(c > 0.0 && c < 1.0) {
+                        return Err(VerdictError::Unsupported(format!(
+                            "confidence must be in (0, 1), got {c}"
+                        )));
+                    }
+                    Some(c)
+                };
+                self.options.confidence = v;
+                Ok(("confidence".into(), render(self.options.confidence)))
+            }
+            "cache" => {
+                self.options.cache = if reset {
+                    None
+                } else {
+                    Some(value_bool(value)?)
+                };
+                Ok(("cache".into(), render(self.options.cache)))
+            }
+            "parallelism" => {
+                let v = if reset {
+                    None
+                } else {
+                    let n = value_f64(value)?;
+                    if n < 1.0 || n.fract() != 0.0 {
+                        return Err(VerdictError::Unsupported(format!(
+                            "parallelism must be a positive integer, got {n}"
+                        )));
+                    }
+                    Some(n as usize)
+                };
+                self.options.parallelism = v;
+                // The hint targets the shared engine pool (engine-wide, see
+                // the field docs); results stay bit-identical at any
+                // setting, only latency changes.  Reset restores the base
+                // configuration's setting (or the machine default).
+                let effective = v
+                    .or(self.ctx.config().parallelism)
+                    .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()));
+                if let Some(n) = effective {
+                    self.ctx.connection().set_parallelism(n);
+                }
+                Ok(("parallelism".into(), render(self.options.parallelism)))
+            }
+            "bypass" => {
+                self.options.bypass = if reset { false } else { value_bool(value)? };
+                Ok(("bypass".into(), self.options.bypass.to_string()))
+            }
+            "error_columns" | "include_error_columns" => {
+                self.options.error_columns = if reset {
+                    None
+                } else {
+                    Some(value_bool(value)?)
+                };
+                Ok(("error_columns".into(), render(self.options.error_columns)))
+            }
+            "io_budget" => {
+                self.options.io_budget = if reset {
+                    None
+                } else {
+                    Some(value_fraction(value, "io_budget")?)
+                };
+                Ok(("io_budget".into(), render(self.options.io_budget)))
+            }
+            "sampling_ratio" => {
+                self.options.sampling_ratio = if reset {
+                    None
+                } else {
+                    Some(value_fraction(value, "sampling_ratio")?)
+                };
+                Ok(("sampling_ratio".into(), render(self.options.sampling_ratio)))
+            }
+            other => Err(VerdictError::Unsupported(format!(
+                "unknown session option {other} (target_error, confidence, cache, \
+                 parallelism, bypass, error_columns, io_budget, sampling_ratio)"
+            ))),
+        }
+    }
+}
+
+/// Maps `METHOD`/`ON` clauses onto a [`SampleType`], validating the
+/// combination.
+fn scramble_sample_type(
+    method: Option<ScrambleMethod>,
+    on: &[String],
+) -> VerdictResult<SampleType> {
+    let columns: Vec<String> = on.iter().map(|c| c.to_ascii_lowercase()).collect();
+    match method.unwrap_or(ScrambleMethod::Uniform) {
+        ScrambleMethod::Uniform => {
+            if !columns.is_empty() {
+                return Err(VerdictError::Unsupported(
+                    "uniform scrambles take no ON columns; use METHOD stratified or hashed".into(),
+                ));
+            }
+            Ok(SampleType::Uniform)
+        }
+        ScrambleMethod::Stratified => {
+            if columns.is_empty() {
+                return Err(VerdictError::Unsupported(
+                    "METHOD stratified requires an ON column list".into(),
+                ));
+            }
+            Ok(SampleType::Stratified { columns })
+        }
+        ScrambleMethod::Hashed => {
+            if columns.is_empty() {
+                return Err(VerdictError::Unsupported(
+                    "METHOD hashed requires an ON column list".into(),
+                ));
+            }
+            Ok(SampleType::Hashed { columns })
+        }
+    }
+}
+
+/// A numeric `SET` value constrained to the (0, 1] fraction range.
+fn value_fraction(value: &SetValue, option: &str) -> VerdictResult<f64> {
+    let v = value_f64(value)?;
+    if !(v > 0.0 && v <= 1.0) {
+        return Err(VerdictError::Unsupported(format!(
+            "{option} must be in (0, 1], got {v}"
+        )));
+    }
+    Ok(v)
+}
+
+fn value_f64(value: &SetValue) -> VerdictResult<f64> {
+    match value {
+        SetValue::Literal(Literal::Float(f)) => Ok(*f),
+        SetValue::Literal(Literal::Integer(i)) => Ok(*i as f64),
+        other => Err(VerdictError::Unsupported(format!(
+            "expected a numeric value, got {other}"
+        ))),
+    }
+}
+
+fn value_bool(value: &SetValue) -> VerdictResult<bool> {
+    match value {
+        SetValue::Literal(Literal::Boolean(b)) => Ok(*b),
+        SetValue::Ident(w) if w == "on" => Ok(true),
+        SetValue::Ident(w) if w == "off" => Ok(false),
+        SetValue::Literal(Literal::Integer(1)) => Ok(true),
+        SetValue::Literal(Literal::Integer(0)) => Ok(false),
+        other => Err(VerdictError::Unsupported(format!(
+            "expected on/off, got {other}"
+        ))),
+    }
+}
+
+fn render<T: std::fmt::Display>(v: Option<T>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "default".to_string(),
+    }
+}

@@ -107,6 +107,12 @@ impl<'a> Executor<'a> {
                 self.catalog.append(&table.key(), &stripped)?;
                 Ok(Table::default())
             }
+            // VerdictDB control statements (CREATE SCRAMBLE, SET, BYPASS, …)
+            // are interpreted by the middleware session layer and must never
+            // reach the underlying database.
+            other => Err(EngineError::Unsupported(format!(
+                "control statement cannot be executed by the engine: {other:?}"
+            ))),
         }
     }
 

@@ -1,26 +1,62 @@
-//! `verdict-cli` — interactive shell / one-shot client for a running
+//! `verdict-cli` — interactive SQL shell / one-shot client for a running
 //! `verdict-server`.
 //!
 //! ```text
 //! verdict-cli [--addr HOST:PORT] [SQL…]
 //! ```
 //!
-//! With SQL arguments, runs them as `QUERY` requests and exits.  Without,
-//! reads lines from stdin: raw protocol commands (`QUERY …`, `EXACT …`,
-//! `SAMPLE …`, `REFRESH …`, `STATS`) pass through, and a bare SQL line is
-//! shorthand for `QUERY <line>`.
+//! With SQL arguments, runs each as one statement and exits.  Without, it
+//! behaves like a database shell: statements may span multiple lines and are
+//! sent when a line ends with `;`.  Everything is SQL — queries,
+//! `CREATE SCRAMBLE … FROM …`, `SHOW SCRAMBLES`, `SHOW STATS`,
+//! `BYPASS <stmt>`, `SET <option> = <value>`, `REFRESH SCRAMBLES …`,
+//! `DROP SCRAMBLE[S] …`.  `\q` (or `^D`) quits; `\?` prints help.  Result
+//! tables (including `SHOW` listings) are rendered column-aligned.
 
 use verdict_server::{RemoteAnswer, VerdictClient};
 
-fn print_answer(answer: &RemoteAnswer) {
-    let h = &answer.header;
-    if !answer.columns.is_empty() {
-        println!("{}", answer.columns.join("\t"));
-        for row in &answer.rows {
-            let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-            println!("{}", rendered.join("\t"));
+/// Renders a result table column-aligned: each column as wide as its widest
+/// cell (or header), numbers as sent by the server.
+fn print_table(answer: &RemoteAnswer) {
+    if answer.columns.is_empty() {
+        return;
+    }
+    let mut widths: Vec<usize> = answer.columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = answer
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
         }
     }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", padded.join("  ").trim_end());
+    };
+    line(&answer.columns);
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<String>>(),
+    );
+    for row in &rendered {
+        line(row);
+    }
+}
+
+fn print_answer(answer: &RemoteAnswer) {
+    let h = &answer.header;
+    print_table(answer);
     for (column, mean_rel, max_rel) in &answer.errors {
         println!("-- {column}: mean rel err {mean_rel:.4}, max rel err {max_rel:.4}");
     }
@@ -36,6 +72,36 @@ fn print_answer(answer: &RemoteAnswer) {
         h.rows_scanned
     );
 }
+
+/// True when the buffered text is a complete statement: it ends with `;`
+/// *outside* any quoted string or identifier.  The scan tracks the three
+/// quote forms the lexer accepts (`'…'`, `"…"`, `` `…` ``; doubling the
+/// active quote is the escape form, which the toggle handles naturally), so
+/// a `;` ending a line inside an unterminated literal keeps buffering
+/// instead of sending half a statement.
+fn statement_complete(buffer: &str) -> bool {
+    let mut quote: Option<char> = None;
+    for c in buffer.chars() {
+        match quote {
+            None if matches!(c, '\'' | '"' | '`') => quote = Some(c),
+            Some(q) if c == q => quote = None,
+            _ => {}
+        }
+    }
+    quote.is_none() && buffer.trim_end().ends_with(';')
+}
+
+const HELP: &str = "\
+every input is SQL, sent when a line ends with ';':
+  SELECT …;                                    approximate query
+  BYPASS <statement>;                          exact execution
+  CREATE SCRAMBLE <s> FROM <t> [METHOD m] [RATIO r] [ON cols];
+  CREATE SCRAMBLES FROM <t>;                   recommended scramble set
+  DROP SCRAMBLE <s>; / DROP SCRAMBLES <t>;
+  REFRESH SCRAMBLES <t> [FROM <batch>];
+  SHOW SCRAMBLES; / SHOW STATS;
+  SET <option> = <value>;                      e.g. SET target_error = 0.02
+\\q quits, \\? shows this help";
 
 fn main() {
     let mut addr = "127.0.0.1:6688".to_string();
@@ -68,7 +134,7 @@ fn main() {
 
     if !one_shot.is_empty() {
         for sql in one_shot {
-            match client.query(&sql) {
+            match client.sql(&sql) {
                 Ok(a) => print_answer(&a),
                 Err(e) => {
                     eprintln!("verdict-cli: {e}");
@@ -80,9 +146,11 @@ fn main() {
         return;
     }
 
-    eprintln!("connected to {addr}; enter SQL (or QUERY/EXACT/SAMPLE/REFRESH/STATS), ^D to quit");
+    eprintln!("connected to {addr}; statements end with ';', \\q quits, \\? for help");
     let stdin = std::io::stdin();
     let mut line = String::new();
+    // Multi-line statement buffer: lines accumulate until one ends with ';'.
+    let mut buffer = String::new();
     loop {
         line.clear();
         match stdin.read_line(&mut line) {
@@ -90,23 +158,29 @@ fn main() {
             Ok(_) => {}
         }
         let trimmed = line.trim();
-        if trimmed.is_empty() {
+        if buffer.is_empty() {
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed == "\\q" || trimmed.eq_ignore_ascii_case("quit") {
+                break;
+            }
+            if trimmed == "\\?" || trimmed.eq_ignore_ascii_case("help") {
+                println!("{HELP}");
+                continue;
+            }
+        }
+        if !buffer.is_empty() {
+            buffer.push('\n');
+        }
+        buffer.push_str(trimmed);
+        if !statement_complete(&buffer) {
+            // Statement incomplete (no ';' yet, or the ';' sits inside an
+            // unterminated quoted string/identifier): keep buffering.
             continue;
         }
-        let first_word = trimmed
-            .split_whitespace()
-            .next()
-            .unwrap_or("")
-            .to_ascii_uppercase();
-        let request = if matches!(
-            first_word.as_str(),
-            "QUERY" | "EXACT" | "SAMPLE" | "REFRESH" | "STATS" | "PING" | "QUIT"
-        ) {
-            trimmed.to_string()
-        } else {
-            format!("QUERY {trimmed}")
-        };
-        match client.request(&request) {
+        let statement = std::mem::take(&mut buffer);
+        match client.sql(&statement) {
             Ok(a) => print_answer(&a),
             Err(e) => {
                 eprintln!("verdict-cli: {e}");
@@ -115,8 +189,6 @@ fn main() {
                 }
             }
         }
-        if first_word == "QUIT" {
-            break;
-        }
     }
+    let _ = client.quit();
 }

@@ -5,11 +5,11 @@
 //! verdict-loadgen [--addr HOST:PORT] [--sessions N] [--requests M] [--sql SQL]
 //! ```
 //!
-//! Each session opens its own connection and issues `--requests` `QUERY`
-//! requests for the same SQL (default: a grouped average over the Instacart
-//! `order_products` table — the dashboard-repeat shape the answer cache targets).
-//! Prints per-session and aggregate queries/second plus the server's cache
-//! counters before and after the run.
+//! Each session opens its own connection and issues `--requests` `SQL`
+//! requests for the same statement (default: a grouped average over the
+//! Instacart `order_products` table — the dashboard-repeat shape the answer
+//! cache targets).  Prints per-session and aggregate queries/second plus the
+//! server's cache counters (`SHOW STATS`) before and after the run.
 
 use std::time::Instant;
 use verdict_server::VerdictClient;
@@ -110,7 +110,7 @@ fn main() {
                     let t0 = Instant::now();
                     let mut ok = 0usize;
                     for _ in 0..requests {
-                        if client.query(&sql).is_ok() {
+                        if client.sql(&sql).is_ok() {
                             ok += 1;
                         }
                     }

@@ -12,7 +12,7 @@
 //! requests are answered approximately out of the box.
 
 use std::sync::Arc;
-use verdict_core::{SampleType, VerdictConfig, VerdictContext};
+use verdict_core::{VerdictConfig, VerdictContext, VerdictResponse, VerdictSession};
 use verdict_engine::{Connection, Engine};
 use verdict_server::VerdictServer;
 
@@ -114,13 +114,21 @@ fn main() {
     let ctx = Arc::new(VerdictContext::new(conn, config));
 
     if opts.samples {
+        // Sample preparation is plain SQL, exactly what a client would send.
+        let mut session = VerdictSession::new(Arc::clone(&ctx));
         for t in &tables {
-            match ctx.create_sample(t, SampleType::Uniform) {
-                Ok(meta) => println!(
-                    "sample {}: {} rows (τ = {})",
-                    meta.sample_table, meta.sample_rows, meta.ratio
-                ),
-                Err(e) => println!("no sample for {t}: {e}"),
+            let ddl = format!("CREATE SCRAMBLE verdict_sample_{t}_uniform FROM {t}");
+            match session.execute(&ddl) {
+                Ok(VerdictResponse::ScramblesCreated(metas)) => {
+                    for meta in metas {
+                        println!(
+                            "scramble {}: {} rows (τ = {})",
+                            meta.sample_table, meta.sample_rows, meta.ratio
+                        );
+                    }
+                }
+                Ok(_) => unreachable!("CREATE SCRAMBLE returns ScramblesCreated"),
+                Err(e) => println!("no scramble for {t}: {e}"),
             }
         }
     }

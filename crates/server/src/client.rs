@@ -120,18 +120,32 @@ impl VerdictClient {
         })
     }
 
-    /// Executes a query approximately when possible (`QUERY` command).
-    pub fn query(&mut self, sql: &str) -> ClientResult<RemoteAnswer> {
-        self.request(&format!("QUERY {sql}"))
+    /// Executes one SQL statement on the connection's server-side session
+    /// (`SQL` command) — the whole VerdictDB surface: queries, `CREATE
+    /// SCRAMBLE …`, `DROP SCRAMBLE[S] …`, `REFRESH SCRAMBLE[S] …`,
+    /// `SHOW SCRAMBLES`, `SHOW STATS`, `BYPASS <stmt>`, and `SET <option> =
+    /// <value>` (session-scoped: options persist for this connection).
+    pub fn sql(&mut self, statement: &str) -> ClientResult<RemoteAnswer> {
+        self.request(&format!("SQL {statement}"))
     }
 
-    /// Executes a statement exactly on the base tables (`EXACT` command);
+    /// Executes a query approximately when possible.  Equivalent to
+    /// [`Self::sql`]; kept as a convenience for query-only callers.
+    pub fn query(&mut self, sql: &str) -> ClientResult<RemoteAnswer> {
+        self.sql(sql)
+    }
+
+    /// Executes a statement exactly on the base tables (`BYPASS` wrapper);
     /// also the path for DDL/DML such as `INSERT INTO … SELECT`.
     pub fn exact(&mut self, sql: &str) -> ClientResult<RemoteAnswer> {
-        self.request(&format!("EXACT {sql}"))
+        self.sql(&format!("BYPASS {sql}"))
     }
 
-    /// Builds a sample table server-side (`SAMPLE` command).
+    /// Builds a sample table server-side.
+    ///
+    /// Deprecated alias: sends the legacy `SAMPLE` verb, which the server
+    /// rewrites into `CREATE SCRAMBLE … FROM … METHOD …`.  New code should
+    /// issue that SQL through [`Self::sql`] directly.
     pub fn create_sample(
         &mut self,
         table: &str,
@@ -146,14 +160,17 @@ impl VerdictClient {
         self.request(&line)
     }
 
-    /// Folds an appended batch into every sample of a base table (`REFRESH`).
+    /// Folds an appended batch into every sample of a base table
+    /// (`REFRESH SCRAMBLES <base> FROM <batch>`).
     pub fn refresh(&mut self, base_table: &str, batch_table: &str) -> ClientResult<RemoteAnswer> {
-        self.request(&format!("REFRESH {base_table} {batch_table}"))
+        self.sql(&format!(
+            "REFRESH SCRAMBLES {base_table} FROM {batch_table}"
+        ))
     }
 
-    /// Fetches server + cache statistics (`STATS` command).
+    /// Fetches middleware + server statistics (`SHOW STATS`).
     pub fn stats(&mut self) -> ClientResult<RemoteAnswer> {
-        self.request("STATS")
+        self.sql("SHOW STATS")
     }
 
     /// Round-trip liveness check (`PING`).

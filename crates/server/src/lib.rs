@@ -6,12 +6,14 @@
 //! analysts query at once; this crate adds the serving surface the
 //! reproduction was missing:
 //!
-//! * a **line-based text protocol** over plain TCP ([`protocol`]) — simple
-//!   enough to drive with `nc`, precise enough to round-trip every engine
-//!   value bit-exactly;
-//! * a **thread-per-session server** ([`server`]) sharing one
-//!   [`verdict_core::VerdictContext`] (engine catalog, sample metadata, and
-//!   the LRU approximate-answer cache) behind an `Arc`;
+//! * a **line-based text protocol** over plain TCP ([`protocol`]) with one
+//!   work verb — `SQL <statement>` — simple enough to drive with `nc`,
+//!   precise enough to round-trip every engine value bit-exactly;
+//! * a **thread-per-session server** ([`server`]): each connection owns a
+//!   [`verdict_core::VerdictSession`] (so the full SQL surface — scramble
+//!   DDL, `BYPASS`, session-scoped `SET` — works over the wire), all
+//!   sharing one [`verdict_core::VerdictContext`] (engine catalog, sample
+//!   metadata, and the LRU approximate-answer cache) behind an `Arc`;
 //! * a **blocking client** ([`client`]) used by the CLI, the load
 //!   generator, the end-to-end tests, and the benchmark harness.
 //!

@@ -9,6 +9,16 @@
 //! `MetaStore` behind `RwLock`s, the cache behind a `Mutex`, the engine's
 //! seed counter behind a `Mutex`), so sessions need no coordination beyond
 //! cloning the `Arc`.
+//!
+//! The protocol has **one work verb**: `SQL <statement>`.  Each connection
+//! owns a [`verdict_core::VerdictSession`], so the full SQL surface —
+//! queries, scramble DDL (`CREATE SCRAMBLE`, `DROP SCRAMBLE[S]`,
+//! `REFRESH SCRAMBLE[S]`, `SHOW SCRAMBLES`), `BYPASS`, session-scoped
+//! `SET <option> = <value>`, and `SHOW STATS` — is reachable over the wire
+//! exactly as it is in-process.  The pre-SQL verbs (`QUERY`, `EXACT`,
+//! `SAMPLE`, `REFRESH`, `STATS`) survive as thin deprecated aliases that
+//! rewrite themselves into SQL and go through the same session dispatch.
+//! `PING` and `QUIT` are transport-level and unchanged.
 
 use crate::protocol::{write_error_frame, write_result_frame, FrameHeader};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -17,7 +27,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use verdict_core::{SampleType, VerdictAnswer, VerdictContext};
+use verdict_core::{
+    SampleMeta, SampleType, VerdictAnswer, VerdictContext, VerdictResponse, VerdictSession,
+};
 
 /// Aggregate serving counters, shared by every session.
 #[derive(Debug, Default)]
@@ -26,7 +38,8 @@ pub struct ServerStats {
     pub sessions_opened: AtomicU64,
     /// Sessions currently connected.
     pub sessions_active: AtomicU64,
-    /// `QUERY`/`EXACT` requests answered (including errors).
+    /// SQL statements dispatched (including errors; `SQL` and every
+    /// deprecated alias count, `PING`/`QUIT` do not).
     pub queries_served: AtomicU64,
     /// Requests that produced an `ERR` frame.
     pub errors: AtomicU64,
@@ -169,6 +182,9 @@ fn run_session(stream: TcpStream, shared: Arc<Shared>) {
     });
     let mut writer = stream;
     let mut line = String::new();
+    // Each connection is one middleware session: its SET options live here
+    // and die with the socket, while the context stays shared.
+    let mut session = VerdictSession::new(Arc::clone(&shared.ctx));
     loop {
         line.clear();
         match read_bounded_line(&mut reader, &mut line) {
@@ -180,7 +196,7 @@ fn run_session(stream: TcpStream, shared: Arc<Shared>) {
             continue;
         }
         let mut response = String::new();
-        let quit = handle_request(request, &shared, &mut response);
+        let quit = handle_request(request, &shared, &mut session, &mut response);
         if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
             break;
         }
@@ -214,23 +230,47 @@ fn read_bounded_line(
 
 /// Dispatches one request line, appending the full response frame to `out`.
 /// Returns true when the session should close.
-fn handle_request(request: &str, shared: &Shared, out: &mut String) -> bool {
+///
+/// `SQL <statement>` is the protocol; everything else (bar `PING`/`QUIT`)
+/// is a deprecated alias rewritten into SQL and pushed through the same
+/// per-connection session.
+fn handle_request(
+    request: &str,
+    shared: &Shared,
+    session: &mut VerdictSession,
+    out: &mut String,
+) -> bool {
     let (verb, rest) = match request.split_once(' ') {
         Some((v, r)) => (v, r.trim()),
         None => (request, ""),
     };
     match verb.to_ascii_uppercase().as_str() {
-        "QUERY" => {
-            shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
-            respond_with_answer(shared.ctx.execute(rest), shared, out);
+        "SQL" => dispatch_sql(rest, shared, session, out),
+        // ---- deprecated aliases, kept for old clients -------------------
+        "QUERY" => dispatch_sql(rest, shared, session, out),
+        "EXACT" => dispatch_sql(&format!("BYPASS {rest}"), shared, session, out),
+        "SAMPLE" => match legacy_sample_to_sql(rest) {
+            Ok(sql) => dispatch_sql(&sql, shared, session, out),
+            Err(msg) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                write_error_frame(out, msg);
+            }
+        },
+        "REFRESH" => {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(base), Some(batch), None) => {
+                    let sql = format!("REFRESH SCRAMBLES {base} FROM {batch}");
+                    dispatch_sql(&sql, shared, session, out);
+                }
+                _ => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    write_error_frame(out, "usage: REFRESH <base_table> <batch_table>");
+                }
+            }
         }
-        "EXACT" => {
-            shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
-            respond_with_answer(shared.ctx.execute_exact(rest), shared, out);
-        }
-        "SAMPLE" => handle_sample(rest, shared, out),
-        "REFRESH" => handle_refresh(rest, shared, out),
-        "STATS" => handle_stats(shared, out),
+        "STATS" => dispatch_sql("SHOW STATS", shared, session, out),
+        // ---- transport-level commands -----------------------------------
         "PING" => write_result_frame(out, &FrameHeader::default(), None, &[], &[]),
         "QUIT" => {
             write_result_frame(out, &FrameHeader::default(), None, &[], &[]);
@@ -244,56 +284,13 @@ fn handle_request(request: &str, shared: &Shared, out: &mut String) -> bool {
     false
 }
 
-fn respond_with_answer(
-    result: verdict_core::VerdictResult<VerdictAnswer>,
-    shared: &Shared,
-    out: &mut String,
-) {
-    match result {
-        Ok(answer) => {
-            let header = FrameHeader {
-                rows: answer.table.num_rows(),
-                cols: answer.table.schema.fields.len(),
-                exact: answer.exact,
-                cached: answer.cached,
-                elapsed_us: answer.elapsed.as_micros() as u64,
-                rows_scanned: answer.rows_scanned,
-            };
-            let errors: Vec<(String, f64, f64)> = answer
-                .errors
-                .iter()
-                .map(|e| {
-                    (
-                        e.column.clone(),
-                        e.mean_relative_error,
-                        e.max_relative_error,
-                    )
-                })
-                .collect();
-            let extras: Vec<(String, String)> = answer
-                .used_samples
-                .iter()
-                .map(|s| ("used_sample".to_string(), s.clone()))
-                .collect();
-            write_result_frame(out, &header, Some(&answer.table), &errors, &extras);
-        }
-        Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            write_error_frame(out, &e.to_string());
-        }
-    }
-}
-
-/// `SAMPLE <table> <uniform|hashed|stratified> [col,col,…]`
-fn handle_sample(rest: &str, shared: &Shared, out: &mut String) {
+/// `SAMPLE <table> <uniform|hashed|stratified> [col,col,…]` → `CREATE
+/// SCRAMBLE` text with the same derived scramble name the old handler used.
+fn legacy_sample_to_sql(rest: &str) -> Result<String, &'static str> {
     let mut parts = rest.split_whitespace();
     let (table, kind) = match (parts.next(), parts.next()) {
         (Some(t), Some(k)) => (t, k.to_ascii_lowercase()),
-        _ => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            write_error_frame(out, "usage: SAMPLE <table> <type> [columns]");
-            return;
-        }
+        _ => return Err("usage: SAMPLE <table> <type> [columns]"),
     };
     let columns: Vec<String> = parts
         .next()
@@ -302,40 +299,36 @@ fn handle_sample(rest: &str, shared: &Shared, out: &mut String) {
     if parts.next().is_some() {
         // A space-separated column list would silently build a sample over
         // the wrong column set — reject instead of truncating.
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-        write_error_frame(
-            out,
+        return Err(
             "unexpected trailing arguments; columns must be comma-separated without spaces",
         );
-        return;
     }
     let sample_type = match kind.as_str() {
         "uniform" => SampleType::Uniform,
-        "hashed" if !columns.is_empty() => SampleType::Hashed { columns },
-        "stratified" if !columns.is_empty() => SampleType::Stratified { columns },
-        _ => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            write_error_frame(
-                out,
-                "sample type must be uniform, or hashed/stratified with columns",
-            );
-            return;
-        }
+        "hashed" if !columns.is_empty() => SampleType::Hashed {
+            columns: columns.clone(),
+        },
+        "stratified" if !columns.is_empty() => SampleType::Stratified {
+            columns: columns.clone(),
+        },
+        _ => return Err("sample type must be uniform, or hashed/stratified with columns"),
     };
+    let name = SampleMeta::table_name_for(table, &sample_type);
+    let mut sql = format!("CREATE SCRAMBLE {name} FROM {table} METHOD {kind}");
+    if !columns.is_empty() {
+        sql.push_str(&format!(" ON {}", columns.join(", ")));
+    }
+    Ok(sql)
+}
+
+/// Runs one SQL statement through the connection's session and serialises
+/// the unified [`VerdictResponse`] into a protocol frame.
+fn dispatch_sql(sql: &str, shared: &Shared, session: &mut VerdictSession, out: &mut String) {
+    shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
-    match shared.ctx.create_sample(table, sample_type) {
-        Ok(meta) => {
-            let header = FrameHeader {
-                elapsed_us: start.elapsed().as_micros() as u64,
-                ..FrameHeader::default()
-            };
-            let extras = vec![
-                ("sample_table".to_string(), meta.sample_table.clone()),
-                ("sample_rows".to_string(), meta.sample_rows.to_string()),
-                ("base_rows".to_string(), meta.base_rows.to_string()),
-            ];
-            write_result_frame(out, &header, None, &[], &extras);
-        }
+    match session.execute(sql) {
+        Ok(VerdictResponse::Answer(answer)) => write_answer_frame(&answer, out),
+        Ok(response) => write_response_frame(&response, start, shared, out),
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             write_error_frame(out, &e.to_string());
@@ -343,67 +336,105 @@ fn handle_sample(rest: &str, shared: &Shared, out: &mut String) {
     }
 }
 
-/// `REFRESH <base_table> <batch_table>` — folds an appended batch into every
-/// sample of the base table (Appendix D incremental maintenance).
-fn handle_refresh(rest: &str, shared: &Shared, out: &mut String) {
-    let mut parts = rest.split_whitespace();
-    let (base, batch) = match (parts.next(), parts.next()) {
-        (Some(b), Some(t)) => (b, t),
-        _ => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            write_error_frame(out, "usage: REFRESH <base_table> <batch_table>");
-            return;
-        }
+fn write_answer_frame(answer: &VerdictAnswer, out: &mut String) {
+    let header = FrameHeader {
+        rows: answer.table.num_rows(),
+        cols: answer.table.schema.fields.len(),
+        exact: answer.exact,
+        cached: answer.cached,
+        elapsed_us: answer.elapsed.as_micros() as u64,
+        rows_scanned: answer.rows_scanned,
     };
-    let start = Instant::now();
-    match shared.ctx.refresh_samples_after_append(base, batch) {
-        Ok(refreshed) => {
-            let header = FrameHeader {
-                elapsed_us: start.elapsed().as_micros() as u64,
-                ..FrameHeader::default()
-            };
-            let extras = vec![("refreshed_samples".to_string(), refreshed.to_string())];
-            write_result_frame(out, &header, None, &[], &extras);
-        }
-        Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            write_error_frame(out, &e.to_string());
-        }
-    }
+    let errors: Vec<(String, f64, f64)> = answer
+        .errors
+        .iter()
+        .map(|e| {
+            (
+                e.column.clone(),
+                e.mean_relative_error,
+                e.max_relative_error,
+            )
+        })
+        .collect();
+    let extras: Vec<(String, String)> = answer
+        .used_samples
+        .iter()
+        .map(|s| ("used_sample".to_string(), s.clone()))
+        .collect();
+    write_result_frame(out, &header, Some(&answer.table), &errors, &extras);
 }
 
-fn handle_stats(shared: &Shared, out: &mut String) {
-    let cache = shared.ctx.cache_stats();
-    let stats = &shared.stats;
-    let extras = vec![
-        (
-            "sessions_opened".to_string(),
-            stats.sessions_opened.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "sessions_active".to_string(),
-            stats.sessions_active.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "queries_served".to_string(),
-            stats.queries_served.load(Ordering::Relaxed).to_string(),
-        ),
-        (
-            "errors".to_string(),
-            stats.errors.load(Ordering::Relaxed).to_string(),
-        ),
-        ("cache_hits".to_string(), cache.hits.to_string()),
-        ("cache_misses".to_string(), cache.misses.to_string()),
-        ("cache_insertions".to_string(), cache.insertions.to_string()),
-        (
-            "cache_invalidations".to_string(),
-            cache.invalidations.to_string(),
-        ),
-        ("cache_evictions".to_string(), cache.evictions.to_string()),
-        (
-            "cache_entries".to_string(),
-            shared.ctx.cache().len().to_string(),
-        ),
-    ];
-    write_result_frame(out, &FrameHeader::default(), None, &[], &extras);
+/// Serialises the non-answer [`VerdictResponse`] variants.  Tabular
+/// responses (`SHOW SCRAMBLES` / `SHOW STATS`) ship the table itself;
+/// `SHOW STATS` additionally mirrors its rows as `S key value` lines (the
+/// pre-SQL `STATS` format) and appends the transport-level counters the
+/// core session cannot see.
+fn write_response_frame(
+    response: &VerdictResponse,
+    start: Instant,
+    shared: &Shared,
+    out: &mut String,
+) {
+    let mut header = FrameHeader {
+        elapsed_us: start.elapsed().as_micros() as u64,
+        ..FrameHeader::default()
+    };
+    let mut extras: Vec<(String, String)> = vec![("response".to_string(), response.kind().into())];
+    let mut table = None;
+    match response {
+        VerdictResponse::Answer(_) => unreachable!("answers use write_answer_frame"),
+        VerdictResponse::ScramblesCreated(metas) => {
+            extras.push(("scrambles_created".to_string(), metas.len().to_string()));
+            if let [meta] = metas.as_slice() {
+                // Legacy keys old SAMPLE clients read.
+                extras.push(("sample_table".to_string(), meta.sample_table.clone()));
+                extras.push(("sample_rows".to_string(), meta.sample_rows.to_string()));
+                extras.push(("base_rows".to_string(), meta.base_rows.to_string()));
+            }
+            for meta in metas {
+                extras.push(("scramble".to_string(), meta.sample_table.clone()));
+            }
+        }
+        VerdictResponse::ScramblesDropped(n) => {
+            extras.push(("scrambles_dropped".to_string(), n.to_string()));
+        }
+        VerdictResponse::ScramblesRefreshed(n) => {
+            extras.push(("refreshed_samples".to_string(), n.to_string()));
+        }
+        VerdictResponse::Scrambles(t) => {
+            header.rows = t.num_rows();
+            header.cols = t.schema.fields.len();
+            table = Some(t);
+        }
+        VerdictResponse::Stats(t) => {
+            header.rows = t.num_rows();
+            header.cols = t.schema.fields.len();
+            for row in 0..t.num_rows() {
+                extras.push((t.value(row, 0).to_string(), t.value(row, 1).to_string()));
+            }
+            let stats = &shared.stats;
+            extras.push((
+                "sessions_opened".to_string(),
+                stats.sessions_opened.load(Ordering::Relaxed).to_string(),
+            ));
+            extras.push((
+                "sessions_active".to_string(),
+                stats.sessions_active.load(Ordering::Relaxed).to_string(),
+            ));
+            extras.push((
+                "queries_served".to_string(),
+                stats.queries_served.load(Ordering::Relaxed).to_string(),
+            ));
+            extras.push((
+                "errors".to_string(),
+                stats.errors.load(Ordering::Relaxed).to_string(),
+            ));
+            table = Some(t);
+        }
+        VerdictResponse::OptionSet { name, value } => {
+            extras.push(("option".to_string(), name.clone()));
+            extras.push(("value".to_string(), value.clone()));
+        }
+    }
+    write_result_frame(out, &header, table, &[], &extras);
 }

@@ -10,6 +10,14 @@
 //!
 //! It also covers the DDL/DML VerdictDB needs for sample preparation:
 //! `CREATE TABLE … AS SELECT`, `DROP TABLE`, and `INSERT INTO … SELECT`.
+//!
+//! Finally it covers VerdictDB's own *control statements* (§2.1: "applications
+//! interact with VerdictDB exactly as they would with any SQL database"):
+//! scramble DDL (`CREATE SCRAMBLE`, `DROP SCRAMBLE[S]`, `SHOW SCRAMBLES`,
+//! `REFRESH SCRAMBLE[S]`), the exact-mode escape (`BYPASS <stmt>`), session
+//! options (`SET <option> = <value>`), introspection (`SHOW STATS`), and
+//! `STREAM <query>`.  These are interpreted by the middleware session layer
+//! and never reach the underlying database.
 
 use std::fmt;
 
@@ -33,6 +41,132 @@ pub enum Statement {
         table: ObjectName,
         query: Box<Query>,
     },
+    /// `CREATE SCRAMBLE <name> FROM <table> [METHOD uniform|stratified|hashed]
+    /// [RATIO <r>] [ON <col>, …]` — builds one named sample (scramble) table.
+    CreateScramble {
+        /// Name of the scramble table to create.
+        name: ObjectName,
+        /// The base table the scramble is drawn from.
+        table: ObjectName,
+        /// Sampling method; `None` lets the middleware default to uniform.
+        method: Option<ScrambleMethod>,
+        /// Sampling ratio τ; `None` uses the configured default.
+        ratio: Option<f64>,
+        /// Column set for stratified/hashed methods (empty for uniform).
+        on: Vec<String>,
+    },
+    /// `CREATE SCRAMBLES FROM <table>` — applies the default sampling policy
+    /// (Appendix F) and builds the recommended scramble set for the table.
+    CreateScrambles {
+        /// The base table to build recommended scrambles for.
+        table: ObjectName,
+    },
+    /// `DROP SCRAMBLE [IF EXISTS] <name>` — drops one scramble by name.
+    DropScramble {
+        /// Name of the scramble table to drop.
+        name: ObjectName,
+        /// Succeed silently when no such scramble exists.
+        if_exists: bool,
+    },
+    /// `DROP SCRAMBLES [IF EXISTS] <table>` — drops every scramble built for
+    /// a base table.
+    DropScrambles {
+        /// The base table whose scrambles are dropped.
+        table: ObjectName,
+        /// Suppress the error when the table has no scrambles.
+        if_exists: bool,
+    },
+    /// `SHOW SCRAMBLES` — tabular listing of every registered scramble.
+    ShowScrambles,
+    /// `SHOW STATS` — tabular listing of middleware counters (answer cache,
+    /// registered scrambles, …).
+    ShowStats,
+    /// `REFRESH SCRAMBLES <table> [FROM <batch>]` — with `FROM`, folds an
+    /// appended batch into every scramble of the base table (Appendix D);
+    /// without, rebuilds every scramble from the current base data.
+    RefreshScrambles {
+        /// The base table whose scrambles are refreshed.
+        table: ObjectName,
+        /// Batch table holding the newly-appended rows, if incremental.
+        batch: Option<ObjectName>,
+    },
+    /// `BYPASS <statement>` — runs the inner statement exactly on the base
+    /// tables, skipping approximate query processing entirely (§2.4).
+    Bypass(Box<Statement>),
+    /// `SET <option> = <value>` — session-scoped option assignment
+    /// (`target_error`, `confidence`, `cache`, `bypass`, …).
+    SetOption {
+        /// Option name (stored lower-cased).
+        name: String,
+        /// Assigned value.
+        value: SetValue,
+    },
+    /// `STREAM <query>` — requests a progressively-refined approximate
+    /// answer.  The current implementation computes a single fresh
+    /// (uncached) approximate answer — the final frame of the stream.
+    Stream(Box<Query>),
+}
+
+/// Sampling methods nameable in `CREATE SCRAMBLE … METHOD <m>` (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrambleMethod {
+    /// Independent Bernoulli sampling with probability τ.
+    Uniform,
+    /// Per-stratum minimum-size sampling over the `ON` column set.
+    Stratified,
+    /// Universe (hash) sampling over the `ON` column set.
+    Hashed,
+}
+
+impl ScrambleMethod {
+    /// Parses a method keyword (case-insensitive).
+    pub fn from_keyword(word: &str) -> Option<ScrambleMethod> {
+        if word.eq_ignore_ascii_case("uniform") {
+            Some(ScrambleMethod::Uniform)
+        } else if word.eq_ignore_ascii_case("stratified") {
+            Some(ScrambleMethod::Stratified)
+        } else if word.eq_ignore_ascii_case("hashed") {
+            Some(ScrambleMethod::Hashed)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ScrambleMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScrambleMethod::Uniform => write!(f, "uniform"),
+            ScrambleMethod::Stratified => write!(f, "stratified"),
+            ScrambleMethod::Hashed => write!(f, "hashed"),
+        }
+    }
+}
+
+/// The right-hand side of a `SET <option> = <value>` statement: either a SQL
+/// literal (`0.05`, `'x'`, `TRUE`) or a bare keyword (`on`, `off`,
+/// `default`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetValue {
+    /// A literal value.
+    Literal(Literal),
+    /// A bare identifier such as `on` / `off` / `default`.
+    Ident(String),
+}
+
+impl fmt::Display for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetValue::Literal(Literal::String(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            SetValue::Literal(Literal::Null) => write!(f, "NULL"),
+            SetValue::Literal(Literal::Boolean(b)) => {
+                write!(f, "{}", if *b { "TRUE" } else { "FALSE" })
+            }
+            SetValue::Literal(Literal::Integer(i)) => write!(f, "{i}"),
+            SetValue::Literal(Literal::Float(v)) => write!(f, "{v}"),
+            SetValue::Ident(w) => write!(f, "{w}"),
+        }
+    }
 }
 
 /// A possibly schema-qualified object (table) name, e.g. `verdict_meta.samples`.

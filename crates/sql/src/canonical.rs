@@ -54,6 +54,47 @@ pub fn canonical_statement(stmt: &Statement) -> Statement {
             table: canonical_object_name(table),
             query: Box::new(canonical_query(query)),
         },
+        Statement::CreateScramble {
+            name,
+            table,
+            method,
+            ratio,
+            on,
+        } => Statement::CreateScramble {
+            name: canonical_object_name(name),
+            table: canonical_object_name(table),
+            method: *method,
+            ratio: *ratio,
+            on: on.iter().map(|c| lower(c)).collect(),
+        },
+        Statement::CreateScrambles { table } => Statement::CreateScrambles {
+            table: canonical_object_name(table),
+        },
+        Statement::DropScramble { name, if_exists } => Statement::DropScramble {
+            name: canonical_object_name(name),
+            if_exists: *if_exists,
+        },
+        Statement::DropScrambles { table, if_exists } => Statement::DropScrambles {
+            table: canonical_object_name(table),
+            if_exists: *if_exists,
+        },
+        Statement::ShowScrambles => Statement::ShowScrambles,
+        Statement::ShowStats => Statement::ShowStats,
+        Statement::RefreshScrambles { table, batch } => Statement::RefreshScrambles {
+            table: canonical_object_name(table),
+            batch: batch.as_ref().map(canonical_object_name),
+        },
+        Statement::Bypass(inner) => Statement::Bypass(Box::new(canonical_statement(inner))),
+        Statement::SetOption { name, value } => Statement::SetOption {
+            // The parser already lower-cases both; fold again so
+            // hand-constructed ASTs canonicalise identically.
+            name: lower(name),
+            value: match value {
+                SetValue::Ident(w) => SetValue::Ident(lower(w)),
+                lit => lit.clone(),
+            },
+        },
+        Statement::Stream(q) => Statement::Stream(Box::new(canonical_query(q))),
     }
 }
 
@@ -318,5 +359,44 @@ mod tests {
         let once = canonical_sql("Select Sum(X)  From T Group By  y Order by y Desc").unwrap();
         let twice = canonical_sql(&once).unwrap();
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn control_statements_fold_identifier_case() {
+        let a = canonical_sql("create scramble S_Orders from Orders method STRATIFIED on City")
+            .unwrap();
+        let b = canonical_sql("CREATE SCRAMBLE s_orders FROM orders METHOD stratified ON city")
+            .unwrap();
+        assert_eq!(a, b);
+        let a = canonical_sql("refresh scrambles Sales from Sales_Batch").unwrap();
+        let b = canonical_sql("REFRESH SCRAMBLES sales FROM sales_batch").unwrap();
+        assert_eq!(a, b);
+        let a = canonical_sql("SET Target_Error = 0.050").unwrap();
+        let b = canonical_sql("set target_error = 0.05").unwrap();
+        assert_eq!(a, b);
+        let a = canonical_sql("BYPASS select Count(*) from T").unwrap();
+        let b = canonical_sql("bypass SELECT count(*) FROM t").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn control_statement_canonical_form_is_a_fixed_point() {
+        for sql in [
+            "create scramble S from T method HASHED ratio 0.250 on A, B",
+            "create scrambles from T",
+            "drop scramble if exists S",
+            "drop scrambles T",
+            "show scrambles",
+            "show stats",
+            "refresh scrambles T from B",
+            "refresh scramble T",
+            "bypass insert into S select * from B",
+            "set cache = OFF",
+            "stream select avg(X) from T",
+        ] {
+            let once = canonical_sql(sql).unwrap();
+            let twice = canonical_sql(&once).unwrap();
+            assert_eq!(once, twice, "not a fixed point for {sql}");
+        }
     }
 }

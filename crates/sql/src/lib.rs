@@ -68,4 +68,29 @@ mod roundtrip_tests {
         roundtrip("SELECT a FROM t WHERE b LIKE '%x%' AND c BETWEEN 1 AND 2");
         roundtrip("SELECT avg(price) FROM orders WHERE price > (SELECT avg(price) FROM orders)");
     }
+
+    #[test]
+    fn roundtrip_control_statements() {
+        roundtrip("CREATE SCRAMBLE s_orders FROM orders");
+        roundtrip("CREATE SCRAMBLE s FROM t METHOD uniform RATIO 0.01");
+        roundtrip("CREATE SCRAMBLE s FROM t METHOD stratified RATIO 0.05 ON city, dow");
+        roundtrip("CREATE SCRAMBLE s FROM t METHOD hashed ON order_id");
+        roundtrip("CREATE SCRAMBLES FROM orders");
+        roundtrip("DROP SCRAMBLE s");
+        roundtrip("DROP SCRAMBLE IF EXISTS s");
+        roundtrip("DROP SCRAMBLES orders");
+        roundtrip("DROP SCRAMBLES IF EXISTS orders");
+        roundtrip("SHOW SCRAMBLES");
+        roundtrip("SHOW STATS");
+        roundtrip("REFRESH SCRAMBLES sales");
+        roundtrip("REFRESH SCRAMBLES sales FROM sales_batch");
+        roundtrip("BYPASS SELECT count(*) AS n FROM t WHERE x > 1");
+        roundtrip("BYPASS DROP TABLE IF EXISTS t");
+        roundtrip("BYPASS INSERT INTO s SELECT * FROM b");
+        roundtrip("SET target_error = 0.05");
+        roundtrip("SET cache = off");
+        roundtrip("SET label = 'x''y'");
+        roundtrip("SET confidence = default");
+        roundtrip("STREAM SELECT city, avg(price) AS ap FROM orders GROUP BY city");
+    }
 }

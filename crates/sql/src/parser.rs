@@ -177,13 +177,41 @@ impl Parser {
             return Ok(Statement::Query(Box::new(q)));
         }
         if self.peek().is_keyword("create") {
+            if self.peek_ahead(1).is_keyword("scramble")
+                || self.peek_ahead(1).is_keyword("scrambles")
+            {
+                return self.parse_create_scramble();
+            }
             return self.parse_create_table_as();
         }
         if self.peek().is_keyword("drop") {
+            if self.peek_ahead(1).is_keyword("scramble")
+                || self.peek_ahead(1).is_keyword("scrambles")
+            {
+                return self.parse_drop_scramble();
+            }
             return self.parse_drop_table();
         }
         if self.peek().is_keyword("insert") {
             return self.parse_insert();
+        }
+        if self.peek().is_keyword("show") {
+            return self.parse_show();
+        }
+        if self.peek().is_keyword("refresh") {
+            return self.parse_refresh_scrambles();
+        }
+        if self.peek().is_keyword("bypass") {
+            return self.parse_bypass();
+        }
+        if self.peek().is_keyword("set") {
+            return self.parse_set_option();
+        }
+        if self.peek().is_keyword("stream") {
+            self.advance();
+            let q = self.parse_query()?;
+            self.skip_statement_end()?;
+            return Ok(Statement::Stream(Box::new(q)));
         }
         self.error(format!(
             "unsupported statement starting with {}",
@@ -256,6 +284,211 @@ impl Parser {
             table,
             query: Box::new(query),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // VerdictDB control statements
+    // ------------------------------------------------------------------
+
+    /// `CREATE SCRAMBLE <name> FROM <table> [METHOD m] [RATIO r] [ON c, …]`
+    /// and `CREATE SCRAMBLES FROM <table>` (recommended-policy set).  The
+    /// optional clauses are accepted in any order; the printer emits them in
+    /// the canonical METHOD → RATIO → ON order.
+    fn parse_create_scramble(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("create")?;
+        if self.consume_keyword("scrambles") {
+            self.expect_keyword("from")?;
+            let table = self.parse_object_name()?;
+            self.skip_statement_end()?;
+            return Ok(Statement::CreateScrambles { table });
+        }
+        self.expect_keyword("scramble")?;
+        let name = self.parse_object_name()?;
+        self.expect_keyword("from")?;
+        let table = self.parse_object_name()?;
+        let mut method = None;
+        let mut ratio = None;
+        let mut on = Vec::new();
+        loop {
+            if self.consume_keyword("method") {
+                if method.is_some() {
+                    return self.error("duplicate METHOD clause");
+                }
+                let word = self.parse_identifier()?;
+                method = match ScrambleMethod::from_keyword(&word) {
+                    Some(m) => Some(m),
+                    None => {
+                        return self.error(format!(
+                            "unknown scramble method {word} (uniform|stratified|hashed)"
+                        ));
+                    }
+                };
+            } else if self.consume_keyword("ratio") {
+                if ratio.is_some() {
+                    return self.error("duplicate RATIO clause");
+                }
+                ratio = Some(self.parse_f64("RATIO")?);
+            } else if self.consume_keyword("on") {
+                if !on.is_empty() {
+                    return self.error("duplicate ON clause");
+                }
+                loop {
+                    on.push(self.parse_identifier()?);
+                    if !self.consume_token(&Token::Comma) {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        self.skip_statement_end()?;
+        Ok(Statement::CreateScramble {
+            name,
+            table,
+            method,
+            ratio,
+            on,
+        })
+    }
+
+    /// `DROP SCRAMBLE [IF EXISTS] <name>` / `DROP SCRAMBLES [IF EXISTS] <table>`.
+    fn parse_drop_scramble(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("drop")?;
+        let plural = self.consume_keyword("scrambles");
+        if !plural {
+            self.expect_keyword("scramble")?;
+        }
+        let mut if_exists = false;
+        if self.peek().is_keyword("if") {
+            self.advance();
+            self.expect_keyword("exists")?;
+            if_exists = true;
+        }
+        let name = self.parse_object_name()?;
+        self.skip_statement_end()?;
+        Ok(if plural {
+            Statement::DropScrambles {
+                table: name,
+                if_exists,
+            }
+        } else {
+            Statement::DropScramble { name, if_exists }
+        })
+    }
+
+    /// `SHOW SCRAMBLES` / `SHOW STATS`.
+    fn parse_show(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("show")?;
+        let stmt = if self.consume_keyword("scrambles") {
+            Statement::ShowScrambles
+        } else if self.consume_keyword("stats") {
+            Statement::ShowStats
+        } else {
+            return self.error(format!(
+                "expected SCRAMBLES or STATS, found {}",
+                self.peek()
+            ));
+        };
+        self.skip_statement_end()?;
+        Ok(stmt)
+    }
+
+    /// `REFRESH SCRAMBLE[S] <table> [FROM <batch>]`.
+    fn parse_refresh_scrambles(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("refresh")?;
+        if !self.consume_keyword("scrambles") {
+            self.expect_keyword("scramble")?;
+        }
+        let table = self.parse_object_name()?;
+        let batch = if self.consume_keyword("from") {
+            Some(self.parse_object_name()?)
+        } else {
+            None
+        };
+        self.skip_statement_end()?;
+        Ok(Statement::RefreshScrambles { table, batch })
+    }
+
+    /// `BYPASS <statement>` — the inner statement must be a plain SQL
+    /// statement (query, `CREATE TABLE AS`, `DROP TABLE`, `INSERT`): control
+    /// statements cannot be bypassed to the underlying database.
+    fn parse_bypass(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("bypass")?;
+        let offset = self.offset();
+        let inner = self.parse_statement()?;
+        match inner {
+            Statement::Query(_)
+            | Statement::CreateTableAs { .. }
+            | Statement::DropTable { .. }
+            | Statement::InsertIntoSelect { .. } => Ok(Statement::Bypass(Box::new(inner))),
+            _ => Err(ParseError {
+                message: "BYPASS requires a plain SQL statement, not a control statement".into(),
+                offset,
+            }),
+        }
+    }
+
+    /// `SET <option> = <value>` where value is a literal or a bare keyword
+    /// (`on`, `off`, `default`).
+    fn parse_set_option(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("set")?;
+        let name = self.parse_identifier()?.to_ascii_lowercase();
+        self.expect_token(&Token::Eq)?;
+        let negative = self.consume_token(&Token::Minus);
+        let value = match self.advance() {
+            Token::Number(n) => {
+                let lit = if n.contains(['.', 'e', 'E']) {
+                    Literal::Float(n.parse().map_err(|_| ParseError {
+                        message: format!("invalid number {n}"),
+                        offset: self.offset(),
+                    })?)
+                } else {
+                    Literal::Integer(n.parse().map_err(|_| ParseError {
+                        message: format!("invalid number {n}"),
+                        offset: self.offset(),
+                    })?)
+                };
+                let lit = if negative {
+                    match lit {
+                        Literal::Integer(i) => Literal::Integer(-i),
+                        Literal::Float(f) => Literal::Float(-f),
+                        other => other,
+                    }
+                } else {
+                    lit
+                };
+                SetValue::Literal(lit)
+            }
+            Token::StringLit(s) if !negative => SetValue::Literal(Literal::String(s)),
+            Token::Word(w) if !negative => {
+                if w.eq_ignore_ascii_case("true") {
+                    SetValue::Literal(Literal::Boolean(true))
+                } else if w.eq_ignore_ascii_case("false") {
+                    SetValue::Literal(Literal::Boolean(false))
+                } else if w.eq_ignore_ascii_case("null") {
+                    SetValue::Literal(Literal::Null)
+                } else {
+                    SetValue::Ident(w.to_ascii_lowercase())
+                }
+            }
+            other => {
+                return self.error(format!("expected SET value, found {other}"));
+            }
+        };
+        self.skip_statement_end()?;
+        Ok(Statement::SetOption { name, value })
+    }
+
+    /// Parses a numeric token (int or float spelling) as an `f64`.
+    fn parse_f64(&mut self, clause: &str) -> Result<f64, ParseError> {
+        match self.advance() {
+            Token::Number(n) => n.parse().map_err(|_| ParseError {
+                message: format!("invalid {clause} value {n}"),
+                offset: self.offset(),
+            }),
+            other => self.error(format!("expected number after {clause}, found {other}")),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1085,6 +1318,140 @@ mod tests {
     fn parses_multiple_statements() {
         let stmts = parse_statements("SELECT 1; SELECT 2; DROP TABLE IF EXISTS t;").unwrap();
         assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_create_scramble_with_all_clauses() {
+        let s = parse_statement(
+            "CREATE SCRAMBLE s_orders FROM orders METHOD stratified RATIO 0.05 ON city, dow",
+        )
+        .unwrap();
+        let Statement::CreateScramble {
+            name,
+            table,
+            method,
+            ratio,
+            on,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(name.base_name(), "s_orders");
+        assert_eq!(table.base_name(), "orders");
+        assert_eq!(method, Some(ScrambleMethod::Stratified));
+        assert_eq!(ratio, Some(0.05));
+        assert_eq!(on, vec!["city".to_string(), "dow".to_string()]);
+    }
+
+    #[test]
+    fn parses_create_scramble_clauses_in_any_order() {
+        let a = parse_statement("CREATE SCRAMBLE s FROM t ON k RATIO 0.1 METHOD hashed").unwrap();
+        let b = parse_statement("CREATE SCRAMBLE s FROM t METHOD hashed RATIO 0.1 ON k").unwrap();
+        assert_eq!(a, b);
+        assert!(parse_statement("CREATE SCRAMBLE s FROM t METHOD bogus").is_err());
+        assert!(parse_statement("CREATE SCRAMBLE s FROM t RATIO 0.1 RATIO 0.2").is_err());
+    }
+
+    #[test]
+    fn parses_create_scrambles_recommended_set() {
+        let s = parse_statement("CREATE SCRAMBLES FROM orders").unwrap();
+        assert!(
+            matches!(s, Statement::CreateScrambles { ref table } if table.base_name() == "orders")
+        );
+    }
+
+    #[test]
+    fn parses_drop_scramble_singular_and_plural() {
+        let s = parse_statement("DROP SCRAMBLE IF EXISTS verdict_sample_orders_uniform").unwrap();
+        assert!(matches!(
+            s,
+            Statement::DropScramble {
+                if_exists: true,
+                ..
+            }
+        ));
+        let s = parse_statement("DROP SCRAMBLES orders").unwrap();
+        assert!(matches!(
+            s,
+            Statement::DropScrambles {
+                if_exists: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_show_refresh_and_stream() {
+        assert_eq!(
+            parse_statement("SHOW SCRAMBLES").unwrap(),
+            Statement::ShowScrambles
+        );
+        assert_eq!(
+            parse_statement("show stats;").unwrap(),
+            Statement::ShowStats
+        );
+        let s = parse_statement("REFRESH SCRAMBLES sales FROM sales_batch").unwrap();
+        let Statement::RefreshScrambles { table, batch } = s else {
+            panic!()
+        };
+        assert_eq!(table.base_name(), "sales");
+        assert_eq!(batch.unwrap().base_name(), "sales_batch");
+        // Singular spelling and full-rebuild form (no FROM).
+        let s = parse_statement("REFRESH SCRAMBLE sales").unwrap();
+        assert!(matches!(s, Statement::RefreshScrambles { batch: None, .. }));
+        let s = parse_statement("STREAM SELECT avg(x) FROM t").unwrap();
+        assert!(matches!(s, Statement::Stream(_)));
+    }
+
+    #[test]
+    fn parses_bypass_of_plain_statements_only() {
+        let s = parse_statement("BYPASS SELECT count(*) FROM t").unwrap();
+        let Statement::Bypass(inner) = s else {
+            panic!()
+        };
+        assert!(matches!(*inner, Statement::Query(_)));
+        let s = parse_statement("BYPASS INSERT INTO t SELECT * FROM b").unwrap();
+        assert!(matches!(s, Statement::Bypass(_)));
+        // Control statements cannot be bypassed.
+        assert!(parse_statement("BYPASS SHOW STATS").is_err());
+        assert!(parse_statement("BYPASS BYPASS SELECT 1").is_err());
+    }
+
+    #[test]
+    fn parses_set_option_values() {
+        let s = parse_statement("SET target_error = 0.05").unwrap();
+        assert_eq!(
+            s,
+            Statement::SetOption {
+                name: "target_error".into(),
+                value: SetValue::Literal(Literal::Float(0.05)),
+            }
+        );
+        let s = parse_statement("SET Bypass = ON").unwrap();
+        assert_eq!(
+            s,
+            Statement::SetOption {
+                name: "bypass".into(),
+                value: SetValue::Ident("on".into()),
+            }
+        );
+        let s = parse_statement("SET parallelism = 4").unwrap();
+        assert!(matches!(
+            s,
+            Statement::SetOption {
+                value: SetValue::Literal(Literal::Integer(4)),
+                ..
+            }
+        ));
+        let s = parse_statement("SET target_error = default").unwrap();
+        assert!(matches!(
+            s,
+            Statement::SetOption {
+                value: SetValue::Ident(ref w),
+                ..
+            } if w == "default"
+        ));
+        assert!(parse_statement("SET target_error 0.05").is_err());
     }
 
     #[test]

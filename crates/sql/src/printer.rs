@@ -34,6 +34,63 @@ pub fn print_statement(stmt: &Statement, dialect: &dyn Dialect) -> String {
                 print_query(query, dialect)
             )
         }
+        Statement::CreateScramble {
+            name,
+            table,
+            method,
+            ratio,
+            on,
+        } => {
+            let mut s = format!(
+                "CREATE SCRAMBLE {} FROM {}",
+                print_object_name(name, dialect),
+                print_object_name(table, dialect)
+            );
+            if let Some(m) = method {
+                s.push_str(&format!(" METHOD {m}"));
+            }
+            if let Some(r) = ratio {
+                s.push_str(" RATIO ");
+                s.push_str(&print_literal(&Literal::Float(*r)));
+            }
+            if !on.is_empty() {
+                let cols: Vec<String> = on.iter().map(|c| dialect.quote_ident(c)).collect();
+                s.push_str(&format!(" ON {}", cols.join(", ")));
+            }
+            s
+        }
+        Statement::CreateScrambles { table } => {
+            format!(
+                "CREATE SCRAMBLES FROM {}",
+                print_object_name(table, dialect)
+            )
+        }
+        Statement::DropScramble { name, if_exists } => {
+            let ie = if *if_exists { "IF EXISTS " } else { "" };
+            format!("DROP SCRAMBLE {ie}{}", print_object_name(name, dialect))
+        }
+        Statement::DropScrambles { table, if_exists } => {
+            let ie = if *if_exists { "IF EXISTS " } else { "" };
+            format!("DROP SCRAMBLES {ie}{}", print_object_name(table, dialect))
+        }
+        Statement::ShowScrambles => "SHOW SCRAMBLES".to_string(),
+        Statement::ShowStats => "SHOW STATS".to_string(),
+        Statement::RefreshScrambles { table, batch } => {
+            let mut s = format!("REFRESH SCRAMBLES {}", print_object_name(table, dialect));
+            if let Some(b) = batch {
+                s.push_str(&format!(" FROM {}", print_object_name(b, dialect)));
+            }
+            s
+        }
+        Statement::Bypass(inner) => format!("BYPASS {}", print_statement(inner, dialect)),
+        Statement::SetOption { name, value } => {
+            let v = match value {
+                SetValue::Literal(l) => print_literal(l),
+                SetValue::Ident(w) => w.clone(),
+            };
+            format!("SET {} = {v}", dialect.quote_ident(name))
+        }
+        Statement::Stream(q) => format!("STREAM {}", print_query(q, dialect)),
     }
 }
 

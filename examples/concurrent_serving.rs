@@ -1,14 +1,16 @@
-//! Concurrent serving tour: spin up the TCP server over a shared context,
-//! drive it from several client sessions at once, and watch the
-//! approximate-answer cache serve dashboard repeats without re-executing —
-//! then invalidate itself the moment the data changes.
+//! Concurrent serving tour: spin up the TCP server over a shared context and
+//! drive it from several client sessions at once — **everything over the
+//! one-verb SQL protocol**: scramble DDL, dashboard queries, `SHOW STATS`,
+//! and exact-mode appends via `BYPASS`.  Watch the approximate-answer cache
+//! serve dashboard repeats without re-executing, then invalidate itself the
+//! moment the data changes.
 //!
 //! ```sh
 //! cargo run --release --example concurrent_serving
 //! ```
+//! (`VERDICT_EXAMPLE_SCALE` overrides the dataset scale, e.g. CI uses 0.02.)
 
 use std::sync::Arc;
-use verdictdb::core::SampleType;
 use verdictdb::server::{VerdictClient, VerdictServer};
 use verdictdb::{instacart_context, VerdictConfig};
 
@@ -19,9 +21,7 @@ fn main() {
     // One engine + middleware context, shared by every session.
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = 256;
-    let (_engine, ctx) = instacart_context(0.05, config);
-    ctx.create_sample("order_products", SampleType::Uniform)
-        .expect("sample build");
+    let (_engine, ctx) = instacart_context(verdictdb::example_scale(0.05), config);
     let ctx = Arc::new(ctx);
 
     let handle = VerdictServer::bind("127.0.0.1:0", Arc::clone(&ctx))
@@ -31,6 +31,18 @@ fn main() {
     let addr = handle.addr();
     println!("serving on {addr}\n");
 
+    // Sample preparation is a SQL statement over the wire, like everything
+    // else on this protocol.
+    let mut admin = VerdictClient::connect(addr).expect("connect");
+    let built = admin
+        .sql("CREATE SCRAMBLE op_scramble FROM order_products METHOD uniform")
+        .expect("scramble build");
+    println!(
+        "built scramble {} ({} rows)",
+        built.extra("scramble").unwrap_or("?"),
+        built.extra("sample_rows").unwrap_or("?"),
+    );
+
     // Four sessions issue the same dashboard query concurrently.  The first
     // execution computes (sample scan + error assembly); every other request
     // is a cache hit with the bit-identical estimate and interval.
@@ -39,7 +51,7 @@ fn main() {
             scope.spawn(move || {
                 let mut client = VerdictClient::connect(addr).expect("connect");
                 for round in 0..3 {
-                    let answer = client.query(DASHBOARD).expect("query");
+                    let answer = client.sql(DASHBOARD).expect("query");
                     println!(
                         "session {session} round {round}: {} rows, {}{} in {} µs",
                         answer.header.rows,
@@ -61,8 +73,7 @@ fn main() {
         }
     });
 
-    let mut client = VerdictClient::connect(addr).expect("connect");
-    let stats = client.stats().expect("stats");
+    let stats = admin.sql("SHOW STATS").expect("stats");
     println!(
         "\ncache: {} hits, {} misses, {} entries",
         stats.extra("cache_hits").unwrap_or("?"),
@@ -71,22 +82,31 @@ fn main() {
     );
 
     // Append a batch to the fact table: the cached dashboard answer is now
-    // stale and the next request recomputes from the grown table.
-    client
-        .exact(
-            "CREATE TABLE op_batch AS SELECT order_id, product_id, price, quantity, \
+    // stale and the next request recomputes from the grown table.  BYPASS is
+    // the exact/DDL path on the same SQL verb.
+    admin
+        .sql(
+            "BYPASS CREATE TABLE op_batch AS SELECT order_id, product_id, price, quantity, \
              add_to_cart_order, reordered FROM order_products LIMIT 5000",
         )
         .expect("stage batch");
-    client
-        .exact("INSERT INTO order_products SELECT * FROM op_batch")
+    admin
+        .sql("BYPASS INSERT INTO order_products SELECT * FROM op_batch")
         .expect("append");
-    let after = client.query(DASHBOARD).expect("query after append");
+    let after = admin.sql(DASHBOARD).expect("query after append");
     println!(
         "\nafter append: cached={} (invalidated, recomputed in {} µs)",
         after.header.cached, after.header.elapsed_us
     );
+    // Fold the batch into the scramble so future answers track the new data.
+    let refreshed = admin
+        .sql("REFRESH SCRAMBLES order_products FROM op_batch")
+        .expect("refresh");
+    println!(
+        "refreshed {} scramble(s) from the batch",
+        refreshed.extra("refreshed_samples").unwrap_or("?")
+    );
 
-    client.quit().expect("quit");
+    admin.quit().expect("quit");
     handle.stop();
 }

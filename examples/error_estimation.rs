@@ -77,4 +77,33 @@ fn main() {
         );
     }
     println!("\nvariational subsampling touches every row once (O(n)); the baselines touch every row b times (O(b\u{b7}n)).");
+
+    // Session-level view: the same machinery through the SQL-only surface,
+    // with the confidence level set per session (`SET confidence = c`).
+    // Higher confidence → wider interval → larger estimated relative error,
+    // all without touching any shared configuration.
+    println!("\nper-session confidence via SQL (SET confidence = c):");
+    let conn: std::sync::Arc<dyn verdictdb::Connection> = std::sync::Arc::new(engine);
+    let mut config = verdictdb::VerdictConfig::for_testing();
+    config.min_table_rows = 1_000;
+    let ctx = std::sync::Arc::new(verdictdb::VerdictContext::new(conn, config));
+    let mut session = verdictdb::VerdictSession::new(ctx);
+    session
+        .execute("CREATE SCRAMBLE syn_scramble FROM synthetic METHOD uniform RATIO 0.01")
+        .unwrap();
+    for confidence in ["0.90", "0.95", "0.99"] {
+        session
+            .execute(&format!("SET confidence = {confidence}"))
+            .unwrap();
+        let answer = session
+            .execute("SELECT avg(value) AS m FROM synthetic")
+            .unwrap()
+            .into_answer()
+            .unwrap();
+        println!(
+            "  confidence {confidence}: estimate {:>8.4}, max relative error {:.4}%",
+            answer.table.value(0, 0).as_f64().unwrap_or(f64::NAN),
+            100.0 * answer.max_relative_error()
+        );
+    }
 }

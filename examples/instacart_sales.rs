@@ -1,38 +1,54 @@
 //! Instacart sales analytics: the paper's motivating "interactive analyst"
-//! scenario.  An analyst dashboards revenue, basket sizes, and distinct-buyer
-//! counts over a large sales fact table; VerdictDB answers every panel from
-//! 1% samples prepared automatically by its default sampling policy
-//! (Appendix F), falling back to exact execution only where AQP cannot help.
+//! scenario, driven entirely through the SQL-only session surface.  An
+//! analyst dashboards revenue, basket sizes, and distinct-buyer counts over
+//! a large sales fact table; `CREATE SCRAMBLES FROM <t>` applies VerdictDB's
+//! default sampling policy (Appendix F), and every panel is answered from
+//! those 1% scrambles, falling back to exact execution only where AQP
+//! cannot help.
 //!
 //! Run with: `cargo run --release --example instacart_sales`
+//! (`VERDICT_EXAMPLE_SCALE` overrides the dataset scale, e.g. CI uses 0.02.)
 
 use std::sync::Arc;
-use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+use verdictdb::{
+    Connection, Engine, VerdictConfig, VerdictContext, VerdictResponse, VerdictSession,
+};
 
 fn main() {
     let engine = Arc::new(Engine::with_seed(2024));
-    verdictdb::data::InstacartGenerator::new(0.5).register(&engine);
+    verdictdb::data::InstacartGenerator::new(verdictdb::example_scale(0.5)).register(&engine);
     let conn: Arc<dyn Connection> = engine.clone();
 
     let mut config = VerdictConfig::default();
     config.min_table_rows = 10_000;
     config.seed = Some(3);
-    let ctx = VerdictContext::new(conn, config);
+    let mut session = VerdictSession::new(Arc::new(VerdictContext::new(conn, config)));
 
-    // Let the default policy decide which samples to build (uniform + hashed
-    // on high-cardinality keys + stratified on low-cardinality columns).
+    // Let the default policy decide which scrambles to build (uniform +
+    // hashed on high-cardinality keys + stratified on low-cardinality
+    // columns) — one SQL statement per table.
     for table in ["orders", "order_products"] {
-        let created = ctx.create_recommended_samples(table).unwrap();
-        println!(
-            "default policy built {} samples for {table}:",
-            created.len()
-        );
-        for s in &created {
-            println!(
-                "  {:<55} {:>9} rows  ({})",
-                s.sample_table, s.sample_rows, s.sample_type
-            );
+        match session
+            .execute(&format!("CREATE SCRAMBLES FROM {table}"))
+            .unwrap()
+        {
+            VerdictResponse::ScramblesCreated(created) => {
+                println!(
+                    "default policy built {} scrambles for {table}:",
+                    created.len()
+                );
+                for s in &created {
+                    println!(
+                        "  {:<55} {:>9} rows  ({})",
+                        s.sample_table, s.sample_rows, s.sample_type
+                    );
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
         }
+    }
+    if let VerdictResponse::Scrambles(t) = session.execute("SHOW SCRAMBLES").unwrap() {
+        println!("\nSHOW SCRAMBLES:\n{}", t.to_ascii(12));
     }
 
     let dashboard = [
@@ -61,7 +77,7 @@ fn main() {
     ];
 
     for (title, sql) in dashboard {
-        let answer = ctx.execute(sql).unwrap();
+        let answer = session.execute(sql).unwrap().into_answer().unwrap();
         println!("\n=== {title} ===  (approximate: {})", !answer.exact);
         println!("{}", answer.table.to_ascii(10));
         if !answer.errors.is_empty() {

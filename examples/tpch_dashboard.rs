@@ -1,44 +1,38 @@
 //! TPC-H decision-support queries with and without VerdictDB.
 //!
-//! Runs a subset of the tq-* workload twice — once exactly on the base
-//! tables and once through VerdictDB — and reports the data-read reduction,
-//! the modeled latency under the three engine profiles of the paper
-//! (Redshift / Spark SQL / Impala), and the actual relative error of every
-//! aggregate, mirroring the structure of Figures 4, 9, and 10.
+//! Runs a subset of the tq-* workload twice — once exactly (`BYPASS`) and
+//! once through VerdictDB — and reports the data-read reduction, the modeled
+//! latency under the three engine profiles of the paper (Redshift / Spark
+//! SQL / Impala), and the actual relative error of every aggregate,
+//! mirroring the structure of Figures 4, 9, and 10.  Scramble preparation
+//! and both execution modes are all SQL statements on one session.
 //!
 //! Run with: `cargo run --release --example tpch_dashboard`
+//! (`VERDICT_EXAMPLE_SCALE` overrides the dataset scale, e.g. CI uses 0.02.)
 
 use std::sync::Arc;
-use verdictdb::core::sample::SampleType;
 use verdictdb::engine::ExecStats;
-use verdictdb::{Connection, Engine, EngineProfile, VerdictConfig, VerdictContext};
+use verdictdb::{Connection, Engine, EngineProfile, VerdictConfig, VerdictContext, VerdictSession};
 
 fn main() {
     let engine = Arc::new(Engine::with_seed(7));
-    verdictdb::data::TpchGenerator::new(1.0).register(&engine);
+    verdictdb::data::TpchGenerator::new(verdictdb::example_scale(1.0)).register(&engine);
     let conn: Arc<dyn Connection> = engine.clone();
 
     let mut config = VerdictConfig::default();
     config.min_table_rows = 50_000;
     config.seed = Some(5);
-    let ctx = VerdictContext::new(conn, config);
+    let mut session = VerdictSession::new(Arc::new(VerdictContext::new(conn, config)));
 
-    println!("building samples for lineitem ...");
-    ctx.create_sample("lineitem", SampleType::Uniform).unwrap();
-    ctx.create_sample(
-        "lineitem",
-        SampleType::Stratified {
-            columns: vec!["l_returnflag".into(), "l_linestatus".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "lineitem",
-        SampleType::Hashed {
-            columns: vec!["l_orderkey".into()],
-        },
-    )
-    .unwrap();
+    println!("building scrambles for lineitem ...");
+    for ddl in [
+        "CREATE SCRAMBLE li_uniform FROM lineitem METHOD uniform",
+        "CREATE SCRAMBLE li_by_flag FROM lineitem METHOD stratified \
+         ON l_returnflag, l_linestatus",
+        "CREATE SCRAMBLE li_by_order FROM lineitem METHOD hashed ON l_orderkey",
+    ] {
+        session.execute(ddl).unwrap();
+    }
 
     let queries = verdictdb::data::tpch_queries();
     let subset = ["tq-1", "tq-6", "tq-12", "tq-14", "tq-19"];
@@ -48,8 +42,12 @@ fn main() {
         "query", "exact rows", "aqp rows", "redshift", "spark", "impala", "max err%"
     );
     for q in queries.iter().filter(|q| subset.contains(&q.id)) {
-        let exact = ctx.execute_exact(&q.sql).unwrap();
-        let approx = ctx.execute(&q.sql).unwrap();
+        let exact = session
+            .execute(&format!("BYPASS {}", q.sql))
+            .unwrap()
+            .into_answer()
+            .unwrap();
+        let approx = session.execute(&q.sql).unwrap().into_answer().unwrap();
         let exact_stats = ExecStats {
             rows_scanned: exact.rows_scanned,
             elapsed: exact.elapsed,

@@ -10,7 +10,8 @@
 //! * [`engine`] — the in-memory columnar SQL engine used as the underlying
 //!   database substitute (Impala / Spark SQL / Redshift stand-in);
 //! * [`core`] — the VerdictDB middleware itself (sampling, planning,
-//!   variational-subsampling rewriting, answer/error assembly);
+//!   variational-subsampling rewriting, answer/error assembly) and the
+//!   SQL-only [`VerdictSession`] surface (scramble DDL, `BYPASS`, `SET`);
 //! * [`data`] — dataset generators and the benchmark workloads;
 //! * [`server`] — concurrent TCP serving layer (line protocol, session
 //!   threads, approximate-answer cache front).
@@ -25,9 +26,26 @@ pub use verdict_server as server;
 pub use verdict_sql as sql;
 
 pub use verdict_core::{
-    SampleType, VerdictAnswer, VerdictConfig, VerdictContext, VerdictError, VerdictResult,
+    QueryOptions, SampleType, VerdictAnswer, VerdictConfig, VerdictContext, VerdictError,
+    VerdictResponse, VerdictResult, VerdictSession,
 };
 pub use verdict_engine::{Connection, Engine, EngineProfile, Table, TableBuilder, Value};
+
+/// Convenience constructor: a [`VerdictSession`] over a freshly-created
+/// context (the SQL-only surface most applications should use).
+pub fn session(ctx: VerdictContext) -> VerdictSession {
+    VerdictSession::new(std::sync::Arc::new(ctx))
+}
+
+/// Dataset scale for the bundled `examples/`: the given default, unless the
+/// `VERDICT_EXAMPLE_SCALE` environment variable overrides it (CI runs every
+/// example against tiny datasets this way).
+pub fn example_scale(default: f64) -> f64 {
+    std::env::var("VERDICT_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Convenience constructor: an in-memory engine preloaded with the
 /// Instacart-like dataset at the given scale, wrapped in a [`VerdictContext`]
@@ -60,5 +78,20 @@ mod tests {
         let (_engine, ctx) = instacart_context(0.005, VerdictConfig::for_testing());
         let exact = ctx.execute_exact("SELECT count(*) FROM orders").unwrap();
         assert!(exact.table.value(0, 0).as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn facade_session_speaks_sql_only() {
+        let (_engine, ctx) = instacart_context(0.005, VerdictConfig::for_testing());
+        let mut s = session(ctx);
+        let answer = s
+            .execute("BYPASS SELECT count(*) AS n FROM orders")
+            .unwrap()
+            .into_answer()
+            .unwrap();
+        assert!(answer.exact);
+        assert!(answer.table.value(0, 0).as_i64().unwrap() > 0);
+        let listing = s.execute("SHOW SCRAMBLES").unwrap();
+        assert!(matches!(listing, VerdictResponse::Scrambles(_)));
     }
 }

@@ -2,10 +2,9 @@
 //! → rewriter → in-memory engine → answer rewriter) against exact answers.
 
 use std::sync::Arc;
-use verdictdb::core::sample::SampleType;
-use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext, VerdictSession};
 
-fn context(scale: f64) -> VerdictContext {
+fn context(scale: f64) -> Arc<VerdictContext> {
     let engine = Arc::new(Engine::with_seed(99));
     verdictdb::data::InstacartGenerator::new(scale).register(&engine);
     let conn: Arc<dyn Connection> = engine;
@@ -15,30 +14,21 @@ fn context(scale: f64) -> VerdictContext {
     config.io_budget = 0.12;
     config.include_error_columns = false;
     config.seed = Some(17);
-    let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform)
-        .unwrap();
-    ctx.create_sample(
-        "orders",
-        SampleType::Stratified {
-            columns: vec!["city".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "orders",
-        SampleType::Hashed {
-            columns: vec!["order_id".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "order_products",
-        SampleType::Hashed {
-            columns: vec!["order_id".into()],
-        },
-    )
-    .unwrap();
+    let ctx = Arc::new(VerdictContext::new(conn, config));
+    // Sample preparation through the SQL surface, exactly as an application
+    // (or a remote client) would issue it.
+    let mut session = VerdictSession::new(Arc::clone(&ctx));
+    for ddl in [
+        "CREATE SCRAMBLE verdict_sample_order_products_uniform FROM order_products",
+        "CREATE SCRAMBLE verdict_sample_orders_stratified_city FROM orders \
+         METHOD stratified ON city",
+        "CREATE SCRAMBLE verdict_sample_orders_hashed_order_id FROM orders \
+         METHOD hashed ON order_id",
+        "CREATE SCRAMBLE verdict_sample_order_products_hashed_order_id FROM order_products \
+         METHOD hashed ON order_id",
+    ] {
+        session.execute(ddl).unwrap();
+    }
     ctx
 }
 
@@ -194,14 +184,18 @@ fn error_columns_are_attached_when_configured() {
     config.min_table_rows = 5_000;
     config.sampling_ratio = 0.05;
     config.io_budget = 0.12;
-    config.include_error_columns = true;
     config.seed = Some(2);
-    let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform)
+    let mut session = VerdictSession::new(Arc::new(VerdictContext::new(conn, config)));
+    session
+        .execute("CREATE SCRAMBLE op_scr FROM order_products METHOD uniform")
         .unwrap();
 
-    let answer = ctx
+    // Error columns requested per session, through SQL.
+    session.execute("SET error_columns = on").unwrap();
+    let answer = session
         .execute("SELECT count(*) AS n, avg(price) AS ap FROM order_products")
+        .unwrap()
+        .into_answer()
         .unwrap();
     assert!(!answer.exact);
     assert!(answer.table.schema.index_of("n_err").is_some());
@@ -221,19 +215,24 @@ fn accuracy_contract_triggers_exact_rerun() {
     config.min_table_rows = 5_000;
     config.sampling_ratio = 0.05;
     config.io_budget = 0.12;
-    // an impossible accuracy requirement: any sampling error violates it
-    config.max_relative_error = Some(1e-9);
     config.seed = Some(4);
-    let ctx = VerdictContext::new(conn, config);
-    ctx.create_sample("order_products", SampleType::Uniform)
+    let mut session = VerdictSession::new(Arc::new(VerdictContext::new(conn, config)));
+    session
+        .execute("CREATE SCRAMBLE op_scr FROM order_products METHOD uniform")
         .unwrap();
 
-    let answer = ctx
+    // An impossible accuracy requirement: any sampling error violates it.
+    session.execute("SET target_error = 0.000000001").unwrap();
+    let answer = session
         .execute("SELECT avg(price) AS ap FROM order_products")
+        .unwrap()
+        .into_answer()
         .unwrap();
     assert!(answer.exact, "HAC should have forced an exact rerun");
-    let exact = ctx
-        .execute_exact("SELECT avg(price) AS ap FROM order_products")
+    let exact = session
+        .execute("BYPASS SELECT avg(price) AS ap FROM order_products")
+        .unwrap()
+        .into_answer()
         .unwrap();
     assert_eq!(
         answer.table.value(0, 0).as_f64().unwrap(),

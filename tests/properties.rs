@@ -623,6 +623,119 @@ fn printer_is_stable_for_generated_selects() {
     }
 }
 
+/// Printer stability + canonical-form idempotence over randomized VerdictDB
+/// control statements (scramble DDL, SET, BYPASS, STREAM): print∘parse is a
+/// fixpoint, canonicalisation is idempotent, and case-mangled spellings
+/// canonicalise to the same key.
+#[test]
+fn control_statement_grammar_roundtrips_and_canonicalises() {
+    use verdictdb::sql::canonical_sql;
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let tables = ["orders", "Order_Products", "lineitem", "T1"];
+    let columns = ["city", "Order_Id", "l_returnflag", "dow"];
+    let methods = ["uniform", "stratified", "hashed"];
+    let options = [
+        "target_error",
+        "confidence",
+        "cache",
+        "parallelism",
+        "bypass",
+        "io_budget",
+    ];
+    for case in 0..256 {
+        let table = tables[rng.gen_range(0..tables.len())];
+        let col_a = columns[rng.gen_range(0..columns.len())];
+        let col_b = columns[rng.gen_range(0..columns.len())];
+        let method = methods[rng.gen_range(0..methods.len())];
+        let ratio = rng.gen_range(1..100) as f64 / 100.0;
+        let sql = match case % 8 {
+            0 => {
+                let on = if method == "uniform" {
+                    String::new()
+                } else if rng.gen_bool(0.5) || col_a == col_b {
+                    format!(" ON {col_a}")
+                } else {
+                    format!(" ON {col_a}, {col_b}")
+                };
+                format!("CREATE SCRAMBLE scr_{case} FROM {table} METHOD {method} RATIO {ratio}{on}")
+            }
+            1 => format!("CREATE SCRAMBLES FROM {table}"),
+            2 => {
+                let ie = if rng.gen_bool(0.5) { "IF EXISTS " } else { "" };
+                if rng.gen_bool(0.5) {
+                    format!("DROP SCRAMBLE {ie}scr_{case}")
+                } else {
+                    format!("DROP SCRAMBLES {ie}{table}")
+                }
+            }
+            3 => {
+                if rng.gen_bool(0.5) {
+                    format!("REFRESH SCRAMBLES {table} FROM {table}_batch")
+                } else {
+                    format!("REFRESH SCRAMBLES {table}")
+                }
+            }
+            4 => {
+                let opt = options[rng.gen_range(0..options.len())];
+                let value = match rng.gen_range(0..4) {
+                    0 => ratio.to_string(),
+                    1 => rng.gen_range(1..16i64).to_string(),
+                    2 => "on".to_string(),
+                    _ => "default".to_string(),
+                };
+                format!("SET {opt} = {value}")
+            }
+            5 => format!("BYPASS SELECT count(*) AS n FROM {table} WHERE {col_a} > {ratio}"),
+            6 => format!("STREAM SELECT {col_a}, avg({col_b}) AS m FROM {table} GROUP BY {col_a}"),
+            _ => {
+                if rng.gen_bool(0.5) {
+                    "SHOW SCRAMBLES".to_string()
+                } else {
+                    "SHOW STATS".to_string()
+                }
+            }
+        };
+
+        // print∘parse fixpoint.
+        let stmt = parse_statement(&sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+        let printed = print_statement(&stmt, &GenericDialect);
+        let reparsed =
+            parse_statement(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(
+            print_statement(&reparsed, &GenericDialect),
+            printed,
+            "printer not stable for `{sql}`"
+        );
+
+        // canonical form is idempotent …
+        let canon = canonical_sql(&sql).unwrap();
+        assert_eq!(canonical_sql(&canon).unwrap(), canon, "for `{sql}`");
+
+        // … and insensitive to keyword/identifier case mangling.  Queries
+        // with projection output names (the BYPASS/STREAM cases) are
+        // excluded: projection aliases and bare projected columns name the
+        // result schema, so their case is deliberately key-significant.
+        if !matches!(case % 8, 5 | 6) {
+            let mangled: String = sql
+                .chars()
+                .map(|c| {
+                    if rng.gen_bool(0.5) {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                })
+                .collect();
+            assert_eq!(
+                canonical_sql(&mangled).unwrap(),
+                canon,
+                "case mangling changed the canonical key of `{sql}`"
+            );
+        }
+    }
+}
+
 #[test]
 fn sample_tables_shrink_with_the_requested_ratio() {
     use std::sync::Arc;

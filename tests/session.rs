@@ -1,0 +1,391 @@
+//! SQL-first session API end-to-end tests.
+//!
+//! The acceptance bar for the session surface: every capability previously
+//! reachable only through Rust method calls (`create_sample*`,
+//! `refresh_samples_after_append`, `drop_samples`, `execute_exact`) or
+//! ad-hoc protocol verbs is reachable through **pure SQL** on a
+//! [`VerdictSession`] — and the full scramble lifecycle (create → query with
+//! a target error → append + refresh → show → drop) produces **bit-identical
+//! answers** in-process and over a TCP connection.
+
+use std::sync::Arc;
+use verdictdb::core::session::{VerdictResponse, VerdictSession};
+use verdictdb::server::{RemoteAnswer, VerdictClient, VerdictServer};
+use verdictdb::{Connection, Engine, TableBuilder, Value, VerdictConfig, VerdictContext};
+
+/// Deterministic 50k-row sales table; identical for every call with the same
+/// seed, so two separately-built stacks stay bit-identical under the same
+/// statement sequence.
+fn sales_context(seed: u64) -> Arc<VerdictContext> {
+    let engine = Engine::with_seed(seed);
+    let rows = 50_000usize;
+    let table = TableBuilder::new()
+        .int_column("id", (0..rows as i64).collect())
+        .float_column(
+            "price",
+            (0..rows).map(|i| ((i * 37) % 1000) as f64 / 10.0).collect(),
+        )
+        .str_column(
+            "city",
+            (0..rows).map(|i| format!("city_{}", i % 10)).collect(),
+        )
+        .build()
+        .unwrap();
+    engine.register_table("sales", table);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = 64;
+    Arc::new(VerdictContext::new(conn, config))
+}
+
+fn values_bit_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// The statement script driven through both transports.  Each entry is
+/// (statement, label); answers are compared pairwise by label.
+const LIFECYCLE: &[&str] = &[
+    "CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.01",
+    "SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city",
+    "SET target_error = 0.0000001",
+    "SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city",
+    "SET target_error = default",
+    "BYPASS CREATE TABLE sales_batch AS SELECT id, price, city FROM sales LIMIT 2000",
+    "BYPASS INSERT INTO sales SELECT * FROM sales_batch",
+    "REFRESH SCRAMBLES sales FROM sales_batch",
+    "SHOW SCRAMBLES",
+    "SELECT count(*) AS n FROM sales",
+    "DROP SCRAMBLES sales",
+    "SHOW SCRAMBLES",
+    "SHOW STATS",
+];
+
+/// Flattens whatever a statement produced into a comparable (columns, rows)
+/// table form; non-tabular responses become a single tagged row.
+fn in_process_rows(resp: &VerdictResponse) -> (Vec<String>, Vec<Vec<Value>>) {
+    match resp.table() {
+        Some(t) => {
+            let cols = t.schema.fields.iter().map(|f| f.name.clone()).collect();
+            let rows = (0..t.num_rows())
+                .map(|r| {
+                    (0..t.schema.fields.len())
+                        .map(|c| t.value_at(r, c))
+                        .collect()
+                })
+                .collect();
+            (cols, rows)
+        }
+        None => (Vec::new(), Vec::new()),
+    }
+}
+
+fn remote_rows(answer: &RemoteAnswer) -> (Vec<String>, Vec<Vec<Value>>) {
+    (answer.columns.clone(), answer.rows.clone())
+}
+
+#[test]
+fn full_scramble_lifecycle_is_bit_identical_in_process_and_over_tcp() {
+    // Two identically-seeded stacks: one driven in-process, one over TCP.
+    let local_ctx = sales_context(71);
+    let remote_ctx = sales_context(71);
+    let mut local = VerdictSession::new(Arc::clone(&local_ctx));
+
+    let handle = VerdictServer::bind("127.0.0.1:0", remote_ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+
+    for (i, stmt) in LIFECYCLE.iter().enumerate() {
+        let local_resp = local
+            .execute(stmt)
+            .unwrap_or_else(|e| panic!("in-process `{stmt}` failed: {e}"));
+        let remote_resp = client
+            .sql(stmt)
+            .unwrap_or_else(|e| panic!("remote `{stmt}` failed: {e}"));
+        let (lcols, lrows) = in_process_rows(&local_resp);
+        let (rcols, rrows) = remote_rows(&remote_resp);
+        assert_eq!(lcols, rcols, "statement {i} `{stmt}`: column names differ");
+        assert_eq!(
+            lrows.len(),
+            rrows.len(),
+            "statement {i} `{stmt}`: row counts differ"
+        );
+        for (r, (lr, rr)) in lrows.iter().zip(&rrows).enumerate() {
+            for (c, (lv, rv)) in lr.iter().zip(rr).enumerate() {
+                assert!(
+                    values_bit_identical(lv, rv),
+                    "statement {i} `{stmt}` row {r} col {c}: {lv:?} != {rv:?}"
+                );
+            }
+        }
+        // Error bounds must match bit-exactly too.
+        if let VerdictResponse::Answer(a) = &local_resp {
+            assert_eq!(a.errors.len(), remote_resp.errors.len(), "at `{stmt}`");
+            for (le, (rc, rmean, rmax)) in a.errors.iter().zip(&remote_resp.errors) {
+                assert_eq!(&le.column, rc);
+                assert_eq!(le.mean_relative_error.to_bits(), rmean.to_bits());
+                assert_eq!(le.max_relative_error.to_bits(), rmax.to_bits());
+            }
+        }
+    }
+
+    client.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn lifecycle_semantics_hold_in_process() {
+    let ctx = sales_context(5);
+    let mut s = VerdictSession::new(Arc::clone(&ctx));
+
+    // create: scramble is registered and usable.
+    let created = s
+        .execute("CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.01")
+        .unwrap();
+    let VerdictResponse::ScramblesCreated(metas) = created else {
+        panic!("expected ScramblesCreated");
+    };
+    assert_eq!(metas[0].sample_table, "sales_scr");
+    assert_eq!(metas[0].base_table, "sales");
+
+    // query: answered approximately from the scramble.
+    let approx = s
+        .execute("SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city")
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    assert!(!approx.exact, "query should run on the scramble");
+    assert_eq!(approx.used_samples, vec!["sales_scr".to_string()]);
+
+    // accuracy contract: an unattainable target error forces the exact rerun,
+    // without mutating any shared config.
+    s.execute("SET target_error = 0.0000001").unwrap();
+    let exact = s
+        .execute("SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city")
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    assert!(exact.exact, "tiny target error must force the exact rerun");
+    assert!(
+        ctx.config().max_relative_error.is_none(),
+        "session SET must not leak into the shared base config"
+    );
+    s.execute("SET target_error = default").unwrap();
+
+    // append + refresh.
+    s.execute("BYPASS CREATE TABLE sales_batch AS SELECT id, price, city FROM sales LIMIT 2000")
+        .unwrap();
+    s.execute("BYPASS INSERT INTO sales SELECT * FROM sales_batch")
+        .unwrap();
+    let refreshed = s
+        .execute("REFRESH SCRAMBLES sales FROM sales_batch")
+        .unwrap();
+    assert!(matches!(refreshed, VerdictResponse::ScramblesRefreshed(1)));
+
+    // show: one fresh row with the custom name.
+    let VerdictResponse::Scrambles(listing) = s.execute("SHOW SCRAMBLES").unwrap() else {
+        panic!("expected Scrambles");
+    };
+    assert_eq!(listing.num_rows(), 1);
+    assert_eq!(listing.value(0, 0), Value::Str("sales_scr".into()));
+    assert_eq!(listing.value(0, 7), Value::Str("fresh".into()));
+
+    // drop: registry and table are gone.
+    let VerdictResponse::ScramblesDropped(n) = s.execute("DROP SCRAMBLES sales").unwrap() else {
+        panic!("expected ScramblesDropped");
+    };
+    assert_eq!(n, 1);
+    let VerdictResponse::Scrambles(listing) = s.execute("SHOW SCRAMBLES").unwrap() else {
+        panic!("expected Scrambles");
+    };
+    assert_eq!(listing.num_rows(), 0);
+    assert!(
+        !ctx.connection().table_exists("sales_scr"),
+        "dropped scramble table must be gone from the catalog"
+    );
+    // A second DROP errors without IF EXISTS, succeeds with it.
+    assert!(s.execute("DROP SCRAMBLES sales").is_err());
+    assert!(matches!(
+        s.execute("DROP SCRAMBLES IF EXISTS sales").unwrap(),
+        VerdictResponse::ScramblesDropped(0)
+    ));
+}
+
+#[test]
+fn named_scrambles_create_methods_and_drop_by_name() {
+    let ctx = sales_context(9);
+    let mut s = VerdictSession::new(ctx);
+    s.execute("CREATE SCRAMBLE u FROM sales METHOD uniform RATIO 0.2")
+        .unwrap();
+    s.execute("CREATE SCRAMBLE h FROM sales METHOD hashed RATIO 0.2 ON id")
+        .unwrap();
+    s.execute("CREATE SCRAMBLE st FROM sales METHOD stratified RATIO 0.2 ON city")
+        .unwrap();
+    let VerdictResponse::Scrambles(listing) = s.execute("SHOW SCRAMBLES").unwrap() else {
+        panic!()
+    };
+    assert_eq!(listing.num_rows(), 3);
+
+    // invalid combinations are rejected up front.
+    assert!(s
+        .execute("CREATE SCRAMBLE x FROM sales METHOD stratified")
+        .is_err());
+    assert!(s
+        .execute("CREATE SCRAMBLE x FROM sales METHOD uniform ON city")
+        .is_err());
+    assert!(s.execute("CREATE SCRAMBLE x FROM sales RATIO 1.5").is_err());
+
+    // A scramble name must never clobber a table that is not a registered
+    // scramble — in particular, not the base table itself.
+    let err = s
+        .execute("CREATE SCRAMBLE sales FROM sales")
+        .expect_err("naming the base table must be refused");
+    assert!(
+        err.to_string().contains("not a registered scramble"),
+        "{err}"
+    );
+    assert!(
+        s.context().connection().table_exists("sales"),
+        "the refused CREATE SCRAMBLE must leave the base table intact"
+    );
+    // Re-creating an existing scramble under its own name still replaces it.
+    assert!(matches!(
+        s.execute("CREATE SCRAMBLE u FROM sales METHOD uniform RATIO 0.2")
+            .unwrap(),
+        VerdictResponse::ScramblesCreated(_)
+    ));
+
+    // SET values are range-checked: nonsense does not silently degrade AQP.
+    assert!(s.execute("SET target_error = -0.02").is_err());
+    assert!(s.execute("SET io_budget = -1").is_err());
+    assert!(s.execute("SET io_budget = 1.5").is_err());
+    assert!(s.execute("SET sampling_ratio = 0").is_err());
+    assert!(s.execute("SET confidence = 1.5").is_err());
+
+    let VerdictResponse::ScramblesDropped(n) = s.execute("DROP SCRAMBLE h").unwrap() else {
+        panic!()
+    };
+    assert_eq!(n, 1);
+    assert!(s.execute("DROP SCRAMBLE h").is_err());
+    assert!(matches!(
+        s.execute("DROP SCRAMBLE IF EXISTS h").unwrap(),
+        VerdictResponse::ScramblesDropped(0)
+    ));
+    let VerdictResponse::Scrambles(listing) = s.execute("SHOW SCRAMBLES").unwrap() else {
+        panic!()
+    };
+    assert_eq!(listing.num_rows(), 2);
+}
+
+#[test]
+fn refresh_without_batch_rebuilds_from_current_data() {
+    let ctx = sales_context(13);
+    let mut s = VerdictSession::new(Arc::clone(&ctx));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.01")
+        .unwrap();
+    s.execute("BYPASS CREATE TABLE b AS SELECT id, price, city FROM sales LIMIT 5000")
+        .unwrap();
+    s.execute("BYPASS INSERT INTO sales SELECT * FROM b")
+        .unwrap();
+    // Stale now; a batchless REFRESH rebuilds rather than appends.
+    let VerdictResponse::Scrambles(before) = s.execute("SHOW SCRAMBLES").unwrap() else {
+        panic!()
+    };
+    assert!(matches!(before.value(0, 7), Value::Str(st) if st.starts_with("stale")));
+    assert!(matches!(
+        s.execute("REFRESH SCRAMBLES sales").unwrap(),
+        VerdictResponse::ScramblesRefreshed(1)
+    ));
+    let VerdictResponse::Scrambles(after) = s.execute("SHOW SCRAMBLES").unwrap() else {
+        panic!()
+    };
+    assert_eq!(after.value(0, 7), Value::Str("fresh".into()));
+    // base_rows reflects the appended base table.
+    assert_eq!(after.value(0, 6), Value::Int(55_000));
+}
+
+#[test]
+fn session_options_are_isolated_and_cache_keys_respect_them() {
+    let ctx = sales_context(23);
+    let mut a = VerdictSession::new(Arc::clone(&ctx));
+    let mut b = VerdictSession::new(Arc::clone(&ctx));
+    a.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.01")
+        .unwrap();
+
+    const Q: &str = "SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city";
+
+    // Session A runs with error columns on; session B with defaults (from
+    // for_testing they are on; B turns them off).  The two must not share a
+    // cache entry: their answers have different shapes.
+    b.execute("SET error_columns = off").unwrap();
+    let wide = a.execute(Q).unwrap().into_answer().unwrap();
+    let narrow = b.execute(Q).unwrap().into_answer().unwrap();
+    assert!(wide.table.schema.fields.len() > narrow.table.schema.fields.len());
+    assert!(
+        !narrow.cached,
+        "different options must not share cache entries"
+    );
+
+    // Repeats inside each session do hit the cache.
+    assert!(a.execute(Q).unwrap().into_answer().unwrap().cached);
+    assert!(b.execute(Q).unwrap().into_answer().unwrap().cached);
+
+    // SET cache = off bypasses the shared cache for that session only.
+    b.execute("SET cache = off").unwrap();
+    assert!(!b.execute(Q).unwrap().into_answer().unwrap().cached);
+    assert!(a.execute(Q).unwrap().into_answer().unwrap().cached);
+
+    // Session-wide bypass mode.
+    a.execute("SET bypass = on").unwrap();
+    assert!(a.execute(Q).unwrap().into_answer().unwrap().exact);
+    a.execute("SET bypass = off").unwrap();
+    assert!(!a.execute(Q).unwrap().into_answer().unwrap().exact);
+
+    // Unknown options fail loudly.
+    assert!(a.execute("SET no_such_option = 1").is_err());
+}
+
+#[test]
+fn stream_recomputes_fresh_answers() {
+    let ctx = sales_context(31);
+    let mut s = VerdictSession::new(ctx);
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.01")
+        .unwrap();
+    const Q: &str = "SELECT avg(price) AS ap FROM sales";
+    let first = s.execute(Q).unwrap().into_answer().unwrap();
+    assert!(!first.exact);
+    assert!(s.execute(Q).unwrap().into_answer().unwrap().cached);
+    // STREAM ignores the cached entry and recomputes.
+    let streamed = s
+        .execute("STREAM SELECT avg(price) AS ap FROM sales")
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    assert!(!streamed.cached, "STREAM must bypass the answer cache");
+    assert!(!streamed.exact);
+}
+
+#[test]
+fn execute_script_runs_statement_sequences() {
+    let ctx = sales_context(41);
+    let mut s = VerdictSession::new(ctx);
+    let responses = s
+        .execute_script(
+            "CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.01; \
+             SET confidence = 0.99; \
+             SELECT avg(price) AS ap FROM sales;",
+        )
+        .unwrap();
+    assert_eq!(responses.len(), 3);
+    assert!(matches!(responses[0], VerdictResponse::ScramblesCreated(_)));
+    assert!(matches!(responses[1], VerdictResponse::OptionSet { .. }));
+    assert!(!responses[2].answer().unwrap().exact);
+}

@@ -5,11 +5,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use verdictdb::core::sample::SampleType;
 use verdictdb::data::{instacart_queries, tpch_queries, InstacartGenerator, TpchGenerator};
-use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext, VerdictSession};
 
-fn workload_context() -> VerdictContext {
+fn workload_context() -> Arc<VerdictContext> {
     let engine = Arc::new(Engine::with_seed(1234));
     InstacartGenerator::new(0.2).register(&engine);
     TpchGenerator::new(0.3).register(&engine);
@@ -19,56 +18,32 @@ fn workload_context() -> VerdictContext {
     config.sampling_ratio = 0.05;
     config.io_budget = 0.12;
     config.seed = Some(7);
-    let ctx = VerdictContext::new(conn, config);
+    let ctx = Arc::new(VerdictContext::new(conn, config));
 
     // Sample preparation mirroring §6.1: uniform + universe samples for the
-    // large fact tables, stratified samples on common grouping columns.
-    for table in ["order_products", "lineitem", "tpch_orders"] {
-        ctx.create_sample(table, SampleType::Uniform).unwrap();
-    }
-    ctx.create_sample("orders", SampleType::Uniform).unwrap();
-    ctx.create_sample(
-        "tpch_orders",
-        SampleType::Hashed {
-            columns: vec!["o_orderkey".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "orders",
-        SampleType::Hashed {
-            columns: vec!["order_id".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "order_products",
-        SampleType::Hashed {
-            columns: vec!["order_id".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "lineitem",
-        SampleType::Hashed {
-            columns: vec!["l_orderkey".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "lineitem",
-        SampleType::Stratified {
-            columns: vec!["l_returnflag".into(), "l_linestatus".into()],
-        },
-    )
-    .unwrap();
-    ctx.create_sample(
-        "orders",
-        SampleType::Stratified {
-            columns: vec!["city".into()],
-        },
-    )
-    .unwrap();
+    // large fact tables, stratified samples on common grouping columns —
+    // all declared as one SQL script on a session.
+    let mut session = VerdictSession::new(Arc::clone(&ctx));
+    session
+        .execute_script(
+            "CREATE SCRAMBLE verdict_sample_order_products_uniform FROM order_products;
+             CREATE SCRAMBLE verdict_sample_lineitem_uniform FROM lineitem;
+             CREATE SCRAMBLE verdict_sample_tpch_orders_uniform FROM tpch_orders;
+             CREATE SCRAMBLE verdict_sample_orders_uniform FROM orders;
+             CREATE SCRAMBLE verdict_sample_tpch_orders_hashed_o_orderkey FROM tpch_orders
+               METHOD hashed ON o_orderkey;
+             CREATE SCRAMBLE verdict_sample_orders_hashed_order_id FROM orders
+               METHOD hashed ON order_id;
+             CREATE SCRAMBLE verdict_sample_order_products_hashed_order_id FROM order_products
+               METHOD hashed ON order_id;
+             CREATE SCRAMBLE verdict_sample_lineitem_hashed_l_orderkey FROM lineitem
+               METHOD hashed ON l_orderkey;
+             CREATE SCRAMBLE verdict_sample_lineitem_stratified_l_returnflag_l_linestatus
+               FROM lineitem METHOD stratified ON l_returnflag, l_linestatus;
+             CREATE SCRAMBLE verdict_sample_orders_stratified_city FROM orders
+               METHOD stratified ON city;",
+        )
+        .unwrap();
     ctx
 }
 
