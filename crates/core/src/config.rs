@@ -59,6 +59,20 @@ pub struct VerdictConfig {
     /// entries are invalidated by any write to the tables they were computed
     /// from (see [`crate::cache::AnswerCache`]).
     pub answer_cache_capacity: usize,
+    /// Scramble rows consumed per progressive-execution block: each `STREAM`
+    /// frame refines the answer with this many further rows.  Defaults to
+    /// the engine's morsel size ([`verdict_engine::MORSEL_ROWS`], 64K rows)
+    /// so frame boundaries line up with the parallel kernels' work units.
+    /// Smaller blocks mean earlier (but noisier) first estimates.  Does not
+    /// affect the final answer — only how often intermediate frames appear —
+    /// so it is not part of the cache fingerprint.
+    pub stream_block_rows: usize,
+    /// Maximum number of frames a progressive stream may emit, `0` for
+    /// unbounded.  When the cap is reached the stream finishes the remaining
+    /// blocks silently and the last emitted frame is the complete answer.
+    /// Like [`Self::stream_block_rows`], this never changes the final
+    /// answer and stays out of the cache fingerprint.
+    pub stream_max_frames: usize,
 }
 
 impl Default for VerdictConfig {
@@ -78,6 +92,8 @@ impl Default for VerdictConfig {
             seed: None,
             parallelism: None,
             answer_cache_capacity: 0,
+            stream_block_rows: verdict_engine::MORSEL_ROWS,
+            stream_max_frames: 0,
         }
     }
 }
@@ -103,8 +119,10 @@ impl VerdictConfig {
     /// shaping (`include_error_columns`), and fallback thresholds
     /// (`max_relative_error`, `min_rows_per_group`).  Excluded: knobs that
     /// only change *how fast* the identical answer is produced
-    /// (`parallelism`, `answer_cache_capacity`) or that only matter at
-    /// sample-build time (`sampling_ratio`, `stratified_*`).
+    /// (`parallelism`, `answer_cache_capacity`), that only matter at
+    /// sample-build time (`sampling_ratio`, `stratified_*`), or that only
+    /// change how often progressive frames appear while leaving the final
+    /// answer bit-identical (`stream_block_rows`, `stream_max_frames`).
     pub fn cache_fingerprint(&self) -> String {
         format!(
             "io={:?};mtr={};b={};conf={:?};maxrel={:?};errcols={};mrpg={:?};topk={};seed={:?}",

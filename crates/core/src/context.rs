@@ -70,6 +70,34 @@ impl VerdictAnswer {
     }
 }
 
+/// Monotonic counters describing progressive-stream activity on a context
+/// (surfaced by `SHOW STATS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Streams opened (progressive or fallback).
+    pub started: u64,
+    /// Frames emitted across all streams.
+    pub frames: u64,
+    /// Streams that stopped early because the target error was met.
+    pub early_stops: u64,
+    /// Streams that consumed every scramble block.
+    pub completed: u64,
+    /// Streams answered as a single frame because the query was outside the
+    /// progressive class (joins, count-distinct, min/max, no usable
+    /// scramble, or a connection without block scans).
+    pub fallbacks: u64,
+}
+
+/// Interior-mutable holder for [`StreamStats`].
+#[derive(Debug, Default)]
+pub(crate) struct StreamCounters {
+    pub(crate) started: std::sync::atomic::AtomicU64,
+    pub(crate) frames: std::sync::atomic::AtomicU64,
+    pub(crate) early_stops: std::sync::atomic::AtomicU64,
+    pub(crate) completed: std::sync::atomic::AtomicU64,
+    pub(crate) fallbacks: std::sync::atomic::AtomicU64,
+}
+
 /// The VerdictDB middleware instance.
 pub struct VerdictContext {
     conn: Arc<dyn Connection>,
@@ -77,6 +105,7 @@ pub struct VerdictContext {
     config: VerdictConfig,
     meta: MetaStore,
     cache: AnswerCache,
+    pub(crate) streams: StreamCounters,
 }
 
 impl VerdictContext {
@@ -103,6 +132,7 @@ impl VerdictContext {
             config,
             meta: MetaStore::new(),
             cache,
+            streams: StreamCounters::default(),
         }
     }
 
@@ -218,6 +248,7 @@ impl VerdictContext {
             ratio,
             sample_rows,
             base_rows,
+            appended_rows: 0,
         };
         self.meta.register(meta.clone());
         Ok(meta)
@@ -311,6 +342,12 @@ impl VerdictContext {
             match appended {
                 Ok(sample_rows) => {
                     self.meta.register(SampleMeta {
+                        // Appends land unshuffled at the sample's tail; the
+                        // counter marks the prefix-uniformity property as
+                        // lost until the next full rebuild (see
+                        // `SampleMeta::appended_rows`).
+                        appended_rows: meta.appended_rows
+                            + sample_rows.saturating_sub(meta.sample_rows),
                         sample_rows,
                         base_rows: meta.base_rows + batch_rows,
                         ..meta.clone()
@@ -447,20 +484,49 @@ impl VerdictContext {
     ) -> VerdictResult<VerdictAnswer> {
         let start = Instant::now();
         let cache_key = self.cache_key(stmt, config);
-        let mut pre_versions = None;
         if let Some(key) = &cache_key {
             if let Some(mut answer) = self.cache.lookup(key, |t| self.conn.data_version(t)) {
                 answer.cached = true;
                 answer.elapsed = start.elapsed();
                 return Ok(answer);
             }
-            // Snapshot dependency versions BEFORE executing: if a concurrent
-            // write lands mid-execution, the entry is stored under the
-            // pre-write versions and fails revalidation, instead of a
-            // post-execution snapshot masking the write and caching a stale
-            // answer under the new version.
-            pre_versions = self.snapshot_versions(stmt);
         }
+        self.execute_and_insert(stmt, sql, start, config, cache_key)
+    }
+
+    /// Executes a statement **without consulting the cache**, while still
+    /// inserting the freshly computed answer (streams and `STREAM`'s
+    /// final-frame alias use this: a stream must observe current data, but
+    /// its completed answer is exactly what a one-shot `SELECT` would have
+    /// produced, so the next identical `SELECT` may reuse it).
+    pub(crate) fn execute_skip_cache_read(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        config: &VerdictConfig,
+    ) -> VerdictResult<VerdictAnswer> {
+        let start = Instant::now();
+        let cache_key = self.cache_key(stmt, config);
+        self.execute_and_insert(stmt, sql, start, config, cache_key)
+    }
+
+    fn execute_and_insert(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        start: Instant,
+        config: &VerdictConfig,
+        cache_key: Option<String>,
+    ) -> VerdictResult<VerdictAnswer> {
+        // Snapshot dependency versions BEFORE executing: if a concurrent
+        // write lands mid-execution, the entry is stored under the
+        // pre-write versions and fails revalidation, instead of a
+        // post-execution snapshot masking the write and caching a stale
+        // answer under the new version.
+        let pre_versions = match &cache_key {
+            Some(_) => self.snapshot_versions(stmt),
+            None => None,
+        };
         let answer = self.execute_parsed(stmt, sql, start, config)?;
         if let (Some(key), Some(snapshot)) = (cache_key, pre_versions) {
             if let Some(versions) = Self::dependency_versions(&snapshot, stmt, &answer) {
@@ -556,32 +622,8 @@ impl VerdictContext {
         // grouping), AQP will not produce useful estimates — fall back to the
         // exact query, as the paper does for tq-3, tq-8, tq-15.
         if let Some(table) = &mean_result {
-            if !analysis.group_by.is_empty() {
-                let size_idx = table.schema.index_of(crate::rewrite::columns::SUB_SIZE);
-                if let Some(idx) = size_idx {
-                    let total: f64 = table.columns[idx].iter().filter_map(|v| v.as_f64()).sum();
-                    // Distinct output groups = distinct combinations of the
-                    // verdict_g* columns in the per-(group, sid) result.
-                    let group_idxs: Vec<usize> = (0..analysis.group_by.len())
-                        .filter_map(|i| {
-                            table
-                                .schema
-                                .index_of(&format!("{}{i}", crate::rewrite::columns::GROUP_PREFIX))
-                        })
-                        .collect();
-                    let mut groups = std::collections::HashSet::new();
-                    for row in 0..table.num_rows() {
-                        let key: Vec<verdict_engine::KeyValue> = group_idxs
-                            .iter()
-                            .map(|&c| verdict_engine::KeyValue::from_value(&table.value_at(row, c)))
-                            .collect();
-                        groups.insert(key);
-                    }
-                    let rows_per_group = total / groups.len().max(1) as f64;
-                    if rows_per_group < config.min_rows_per_group {
-                        return Ok(None);
-                    }
-                }
+            if !mean_result_feasible(analysis, table, config) {
+                return Ok(None);
             }
         }
 
@@ -645,7 +687,7 @@ impl VerdictContext {
         }))
     }
 
-    fn passthrough(&self, sql: &str, start: Instant) -> VerdictResult<VerdictAnswer> {
+    pub(crate) fn passthrough(&self, sql: &str, start: Instant) -> VerdictResult<VerdictAnswer> {
         let result = self.conn.execute(sql)?;
         Ok(VerdictAnswer {
             table: result.table,
@@ -674,6 +716,18 @@ impl VerdictContext {
         self.cache.stats()
     }
 
+    /// Snapshot of the progressive-stream activity counters.
+    pub fn stream_stats(&self) -> StreamStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        StreamStats {
+            started: self.streams.started.load(Relaxed),
+            frames: self.streams.frames.load(Relaxed),
+            early_stops: self.streams.early_stops.load(Relaxed),
+            completed: self.streams.completed.load(Relaxed),
+            fallbacks: self.streams.fallbacks.load(Relaxed),
+        }
+    }
+
     /// The canonical cache key for a statement, or `None` when the statement
     /// must not be cached: the cache is disabled (globally, or for this
     /// statement by a per-session cache policy), the statement is not a
@@ -686,7 +740,7 @@ impl VerdictContext {
     /// query under different accuracy settings (confidence, target error,
     /// error columns, …) produce observably different answers, so they must
     /// not share a cache entry.
-    fn cache_key(&self, stmt: &Statement, config: &VerdictConfig) -> Option<String> {
+    pub(crate) fn cache_key(&self, stmt: &Statement, config: &VerdictConfig) -> Option<String> {
         if !self.cache.enabled() || config.answer_cache_capacity == 0 {
             return None;
         }
@@ -732,7 +786,7 @@ impl VerdictContext {
     /// registered for those tables (the plan's choices are a subset).
     /// Returns `None` when the connection cannot report versions — such an
     /// answer is never cached, because its invalidation could not be detected.
-    fn snapshot_versions(&self, stmt: &Statement) -> Option<HashMap<String, u64>> {
+    pub(crate) fn snapshot_versions(&self, stmt: &Statement) -> Option<HashMap<String, u64>> {
         let query = match stmt {
             Statement::Query(q) => q.as_ref(),
             _ => return None,
@@ -755,7 +809,7 @@ impl VerdictContext {
     /// `None` when a used sample is missing from the snapshot (registered
     /// mid-flight by another session): its pre-execution version is unknown,
     /// so the answer cannot be safely cached.
-    fn dependency_versions(
+    pub(crate) fn dependency_versions(
         snapshot: &HashMap<String, u64>,
         stmt: &Statement,
         answer: &VerdictAnswer,
@@ -809,4 +863,43 @@ impl VerdictContext {
         let result = self.conn.execute(&sql)?;
         Ok(result.table.value(0, 0).as_i64().unwrap_or(0) as u64)
     }
+}
+
+/// The AQP feasibility test over a computed mean-query result: grouped
+/// queries whose subsample cells average fewer than
+/// [`VerdictConfig::min_rows_per_group`] rows produce useless estimates, so
+/// the caller should answer exactly instead (the paper's behaviour for tq-3,
+/// tq-8, tq-15).  Shared by the one-shot path and the progressive stream's
+/// final frame, so both fall back under exactly the same condition.
+pub(crate) fn mean_result_feasible(
+    analysis: &crate::rewrite::QueryAnalysis,
+    table: &Table,
+    config: &VerdictConfig,
+) -> bool {
+    if analysis.group_by.is_empty() {
+        return true;
+    }
+    let Some(idx) = table.schema.index_of(crate::rewrite::columns::SUB_SIZE) else {
+        return true;
+    };
+    let total: f64 = table.columns[idx].iter().filter_map(|v| v.as_f64()).sum();
+    // Distinct output groups = distinct combinations of the verdict_g*
+    // columns in the per-(group, sid) result.
+    let group_idxs: Vec<usize> = (0..analysis.group_by.len())
+        .filter_map(|i| {
+            table
+                .schema
+                .index_of(&format!("{}{i}", crate::rewrite::columns::GROUP_PREFIX))
+        })
+        .collect();
+    let mut groups = std::collections::HashSet::new();
+    for row in 0..table.num_rows() {
+        let key: Vec<verdict_engine::KeyValue> = group_idxs
+            .iter()
+            .map(|&c| verdict_engine::KeyValue::from_value(&table.value_at(row, c)))
+            .collect();
+        groups.insert(key);
+    }
+    let rows_per_group = total / groups.len().max(1) as f64;
+    rows_per_group >= config.min_rows_per_group
 }

@@ -65,6 +65,7 @@ pub mod flatten;
 pub mod integrated;
 pub mod meta;
 pub mod planner;
+pub mod progress;
 pub mod rewrite;
 pub mod sample;
 pub mod session;
@@ -73,7 +74,8 @@ pub mod stats;
 pub use answer::{AggEstimate, ColumnErrorSummary};
 pub use cache::{AnswerCache, CacheStats};
 pub use config::VerdictConfig;
-pub use context::{VerdictAnswer, VerdictContext};
+pub use context::{StreamStats, VerdictAnswer, VerdictContext};
 pub use error::{VerdictError, VerdictResult};
+pub use progress::{ProgressFrame, ProgressStream};
 pub use sample::{SampleMeta, SampleType};
 pub use session::{QueryOptions, VerdictResponse, VerdictSession};

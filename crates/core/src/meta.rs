@@ -132,6 +132,9 @@ impl MetaStore {
             col("sample_rows")?,
             col("base_rows")?,
         );
+        // Optional for metadata tables written before the column existed;
+        // such records load as 0.
+        let ari = table.schema.index_of("appended_rows");
         let mut loaded = 0usize;
         let mut fresh: HashMap<String, Vec<SampleMeta>> = HashMap::new();
         for row in 0..table.num_rows() {
@@ -166,6 +169,9 @@ impl MetaStore {
                 ratio: table.value(row, ri).as_f64().unwrap_or(0.0),
                 sample_rows: table.value(row, sri).as_i64().unwrap_or(0) as u64,
                 base_rows: table.value(row, bri).as_i64().unwrap_or(0) as u64,
+                appended_rows: ari
+                    .map(|i| table.value(row, i).as_i64().unwrap_or(0) as u64)
+                    .unwrap_or(0),
             };
             fresh
                 .entry(meta.base_table.to_ascii_lowercase())
@@ -181,14 +187,16 @@ impl MetaStore {
 fn row_select(meta: &SampleMeta) -> String {
     format!(
         "SELECT '{}' AS base_table, '{}' AS sample_table, '{}' AS sample_type, \
-         '{}' AS type_columns, {} AS ratio, {} AS sample_rows, {} AS base_rows",
+         '{}' AS type_columns, {} AS ratio, {} AS sample_rows, {} AS base_rows, \
+         {} AS appended_rows",
         meta.base_table,
         meta.sample_table,
         meta.sample_type.tag(),
         meta.sample_type.columns().join(","),
         meta.ratio,
         meta.sample_rows,
-        meta.base_rows
+        meta.base_rows,
+        meta.appended_rows
     )
 }
 
@@ -211,6 +219,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 100 + tag as u64,
             base_rows: 10_000,
+            appended_rows: 0,
         }
     }
 
@@ -232,7 +241,13 @@ mod tests {
         let engine: Arc<dyn Connection> = Arc::new(Engine::with_seed(3));
         let store = MetaStore::new();
         store.register(meta("orders", 0));
-        store.register(meta("orders", 1));
+        store.register(SampleMeta {
+            // A tail-appended scramble: the lost-shuffle marker must survive
+            // the persist/reload cycle, or progressive execution would be
+            // silently re-enabled on a biased prefix.
+            appended_rows: 123,
+            ..meta("orders", 1)
+        });
         store.persist(&engine).unwrap();
 
         let other = MetaStore::new();
@@ -244,6 +259,11 @@ mod tests {
             m.sample_type,
             SampleType::Stratified { ref columns } if columns == &vec!["city".to_string()]
         )));
+        assert!(
+            reloaded.iter().any(|m| m.appended_rows == 123),
+            "appended_rows must survive persistence"
+        );
+        assert!(reloaded.iter().any(|m| m.appended_rows == 0));
     }
 
     #[test]

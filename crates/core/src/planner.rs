@@ -316,6 +316,7 @@ mod tests {
                 ratio: 0.01,
                 sample_rows: rows / 100,
                 base_rows: rows,
+                appended_rows: 0,
             });
             store.register(SampleMeta {
                 base_table: table.into(),
@@ -326,6 +327,7 @@ mod tests {
                 ratio: 0.01,
                 sample_rows: rows / 100,
                 base_rows: rows,
+                appended_rows: 0,
             });
         }
         store.register(SampleMeta {
@@ -337,6 +339,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 15_000,
             base_rows: 1_000_000,
+            appended_rows: 0,
         });
         store
     }

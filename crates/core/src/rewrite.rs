@@ -27,7 +27,7 @@
 use crate::config::VerdictConfig;
 use crate::error::{VerdictError, VerdictResult};
 use crate::planner::{SamplePlan, TableRef};
-use crate::sample::{SampleMeta, SampleType, SAMPLING_PROB_COLUMN};
+use crate::sample::{SampleMeta, SampleType, SAMPLING_PROB_COLUMN, SUBSAMPLE_DRAW_COLUMN};
 use std::collections::HashMap;
 use verdict_sql::ast::*;
 use verdict_sql::dialect::GenericDialect;
@@ -491,9 +491,16 @@ fn substitute_from(
         let k = counter;
         counter += 1;
         let sid_column = format!("verdict_sid_{k}");
+        // The subsample id comes from the uniform draw *stored in the
+        // scramble* (`1 + floor(u·b)`), not from a fresh `rand()`: the
+        // assignment is frozen per tuple, so the same query over unchanged
+        // data always produces the same answer and interval — which is what
+        // lets a progressive stream's final frame match the one-shot answer
+        // bit for bit, and what makes cached answers reproducible.
         let inner_sql = if with_sid {
             format!(
-                "SELECT *, CAST(1 + floor(rand() * {b}) AS BIGINT) AS {sid_column} FROM {}",
+                "SELECT *, CAST(1 + floor({SUBSAMPLE_DRAW_COLUMN} * {b}) AS BIGINT) \
+                 AS {sid_column} FROM {}",
                 sample.sample_table
             )
         } else {
@@ -801,6 +808,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 10_000,
             base_rows: 1_000_000,
+            appended_rows: 0,
         });
         store.register(SampleMeta {
             base_table: "order_products".into(),
@@ -811,6 +819,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 30_000,
             base_rows: 3_000_000,
+            appended_rows: 0,
         });
         store.register(SampleMeta {
             base_table: "orders".into(),
@@ -821,6 +830,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 10_000,
             base_rows: 1_000_000,
+            appended_rows: 0,
         });
         store
     }

@@ -16,7 +16,7 @@
 //! table first.
 
 use crate::config::VerdictConfig;
-use crate::sample::{qualified_columns, SampleType, SAMPLING_PROB_COLUMN};
+use crate::sample::{qualified_columns, SampleType, SAMPLING_PROB_COLUMN, SUBSAMPLE_DRAW_COLUMN};
 use crate::stats::build_staircase;
 use verdict_sql::Dialect;
 
@@ -41,8 +41,24 @@ pub struct SamplePlanSql {
 /// `verdict_rand` column is materialised in a derived table (the Impala-safe
 /// uniform form and the stratified two-pass form): projecting `SELECT *`
 /// there would leak the helper column into the sample's schema, breaking the
-/// arity contract that a sample is *base columns + the probability column*
-/// (which incremental append maintenance relies on).
+/// arity contract that a sample is *base columns + the probability column +
+/// the frozen subsample draw* (which incremental append maintenance relies
+/// on).
+///
+/// Every form appends `rand() AS `[`SUBSAMPLE_DRAW_COLUMN`] as the last
+/// projected column: one independent uniform draw per surviving tuple,
+/// frozen at build time, from which query rewriting derives the variational
+/// subsample id (`rand()` in a projection is safe on every dialect — only
+/// `rand()` in WHERE is restricted, and that restriction is what the
+/// `verdict_rand` helper works around).
+///
+/// Every form also ends in `ORDER BY rand()`: the sample table is
+/// **physically shuffled** at build time — the property that makes it a
+/// *scramble*.  Base tables are often ordered by time or key, so a sampled
+/// prefix would be a biased slice of history; after the shuffle any prefix
+/// of the scramble is a uniform random subsample, which is exactly what
+/// progressive execution needs for its block-by-block frames to be honest
+/// estimates of the full-population answer.
 #[allow(clippy::too_many_arguments)]
 pub fn build_sample_sql(
     base_table: &str,
@@ -89,17 +105,19 @@ fn uniform_sql(
     let stmt = if dialect.allows_rand_in_where() {
         // No helper column needed, so `*` is exactly the base columns.
         format!(
-            "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
-             FROM {base_table} WHERE {rand} < {ratio}"
+            "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+             {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
+             FROM {base_table} WHERE {rand} < {ratio} ORDER BY {rand}"
         )
     } else {
         // Impala-safe form: materialise the random draw in a derived table,
         // then project the base columns explicitly so the helper stays inside.
         let cols = qualified_columns("verdict_src", base_columns);
         format!(
-            "CREATE TABLE {sample_table} AS SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN} \
+            "CREATE TABLE {sample_table} AS SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+             {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
              FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
-             WHERE verdict_src.verdict_rand < {ratio}"
+             WHERE verdict_src.verdict_rand < {ratio} ORDER BY {rand}"
         )
     };
     SamplePlanSql {
@@ -123,9 +141,11 @@ fn hashed_sql(
     };
     let hash = dialect.hash_function(&key_expr, HASH_DOMAIN);
     let threshold = (ratio * HASH_DOMAIN as f64).round() as u64;
+    let rand = dialect.random_function();
     let stmt = format!(
-        "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN} \
-         FROM {base_table} WHERE {hash} < {threshold}"
+        "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+         {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
+         FROM {base_table} WHERE {hash} < {threshold} ORDER BY {rand}"
     );
     SamplePlanSql {
         statements: vec![stmt],
@@ -180,19 +200,21 @@ fn stratified_sql(
     let cols = qualified_columns("verdict_src", base_columns);
     let pass2 = if dialect.allows_rand_in_where() {
         format!(
-            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN} \
+            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN}, \
+             {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
              FROM {base_table} AS verdict_src \
              INNER JOIN {temp_table} ON {join_cond} \
-             WHERE {rand} < ({case_expr})"
+             WHERE {rand} < ({case_expr}) ORDER BY {rand}"
         )
     } else {
         // Impala-safe form: the random draw lives in a derived table; the
         // explicit projection keeps the helper column out of the sample.
         format!(
-            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN} \
+            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN}, \
+             {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
              FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
              INNER JOIN {temp_table} ON {join_cond} \
-             WHERE verdict_src.verdict_rand < ({case_expr})"
+             WHERE verdict_src.verdict_rand < ({case_expr}) ORDER BY {rand}"
         )
     };
 

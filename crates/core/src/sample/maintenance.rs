@@ -13,7 +13,9 @@
 //! Staleness detection compares the recorded base-table cardinality against
 //! the current one.
 
-use crate::sample::{qualified_columns, SampleMeta, SampleType, SAMPLING_PROB_COLUMN};
+use crate::sample::{
+    qualified_columns, SampleMeta, SampleType, SAMPLING_PROB_COLUMN, SUBSAMPLE_DRAW_COLUMN,
+};
 use verdict_sql::Dialect;
 
 /// How far a sample has drifted from its base table.
@@ -50,8 +52,10 @@ pub fn staleness(meta: &SampleMeta, current_base_rows: u64) -> Staleness {
 /// share (by name — physical order in the batch is irrelevant, because the
 /// projection references columns explicitly).  Projecting it explicitly and
 /// in base order keeps the positional `INSERT` aligned with the sample table
-/// (base columns plus the sampling-probability column) even when a helper
-/// `verdict_rand` column is attached in a derived table.
+/// (base columns, the sampling-probability column, then the frozen
+/// subsample-draw column) even when a helper `verdict_rand` column is
+/// attached in a derived table.  Appended tuples receive fresh subsample
+/// draws, exactly as build time gave the original tuples theirs.
 ///
 /// For uniform and hashed samples one `INSERT INTO … SELECT` suffices.  For
 /// stratified samples the appended tuples join against the per-stratum
@@ -70,7 +74,8 @@ pub fn append_sql(
         SampleType::Uniform => {
             let cols = qualified_columns("verdict_src", batch_columns);
             vec![format!(
-                "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN} \
+                "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+                 {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
                  FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
                  WHERE verdict_src.verdict_rand < {ratio}"
             )]
@@ -89,7 +94,8 @@ pub fn append_sql(
             // sample.
             let cols = batch_columns.join(", ");
             vec![format!(
-                "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN} \
+                "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+                 {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
                  FROM {batch_table} WHERE {hash} < {threshold}"
             )]
         }
@@ -116,7 +122,8 @@ pub fn append_sql(
                 ),
                 format!(
                     "INSERT INTO {sample} SELECT {cols}, \
-                     coalesce({probs_table}.verdict_stratum_prob, 1.0) AS {SAMPLING_PROB_COLUMN} \
+                     coalesce({probs_table}.verdict_stratum_prob, 1.0) AS {SAMPLING_PROB_COLUMN}, \
+                     {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
                      FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
                      LEFT JOIN {probs_table} ON {join_cond} \
                      WHERE verdict_src.verdict_rand < coalesce({probs_table}.verdict_stratum_prob, 1.0)"
@@ -141,6 +148,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 10_000,
             base_rows: 1_000_000,
+            appended_rows: 0,
         }
     }
 

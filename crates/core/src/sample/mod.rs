@@ -6,6 +6,13 @@
 //! sampling probability in an extra column named
 //! [`SAMPLING_PROB_COLUMN`], exactly as the paper prescribes, so that query
 //! rewriting can build Horvitz–Thompson style unbiased estimates in SQL.
+//! A second extra column, [`SUBSAMPLE_DRAW_COLUMN`], freezes one uniform
+//! draw per tuple at build time; the rewriter derives the variational
+//! subsample id from it (`1 + floor(u·b)`), mirroring the scramble *block*
+//! column of the shipped VerdictDB.  Materialising the draw makes query
+//! answers a pure function of the scramble contents and the configuration —
+//! which is what lets a progressive stream's final frame be bit-identical
+//! to the one-shot answer, and repeated identical queries cache-coherent.
 
 pub mod builder;
 pub mod maintenance;
@@ -15,6 +22,11 @@ use std::fmt;
 
 /// Name of the extra column holding each tuple's sampling probability.
 pub const SAMPLING_PROB_COLUMN: &str = "verdict_sampling_prob";
+
+/// Name of the extra column holding each tuple's frozen uniform draw
+/// `u ∈ [0, 1)`, from which the rewriter derives the variational subsample
+/// id as `1 + floor(u · b)` for any subsample count `b`.
+pub const SUBSAMPLE_DRAW_COLUMN: &str = "verdict_subsample_u";
 
 /// Prefix for all tables VerdictDB creates in the underlying database.
 pub const SAMPLE_TABLE_PREFIX: &str = "verdict_sample";
@@ -102,6 +114,14 @@ pub struct SampleMeta {
     pub sample_rows: u64,
     /// Number of rows in the base table at creation time.
     pub base_rows: u64,
+    /// Sample rows added by incremental append maintenance since the last
+    /// full (re)build.  Appended rows land at the **end** of the sample
+    /// table and are not re-shuffled, so a nonzero value means the
+    /// build-time "any prefix is a uniform subsample" property no longer
+    /// holds; progressive execution declines such scrambles (falling back
+    /// to a correct one-shot answer) until a batchless
+    /// `REFRESH SCRAMBLES <t>` rebuild restores the shuffle.
+    pub appended_rows: u64,
 }
 
 impl SampleMeta {
@@ -161,6 +181,7 @@ mod tests {
             ratio: 0.01,
             sample_rows: 100,
             base_rows: 10_000,
+            appended_rows: 0,
         };
         assert!((m.actual_ratio() - 0.01).abs() < 1e-12);
         let empty = SampleMeta { base_rows: 0, ..m };

@@ -27,6 +27,7 @@
 use crate::config::VerdictConfig;
 use crate::context::{VerdictAnswer, VerdictContext};
 use crate::error::{VerdictError, VerdictResult};
+use crate::progress::ProgressStream;
 use crate::sample::maintenance::Staleness;
 use crate::sample::{SampleMeta, SampleType};
 use std::sync::Arc;
@@ -72,6 +73,12 @@ pub struct QueryOptions {
     /// `SET sampling_ratio = r` — default τ for `CREATE SCRAMBLE` statements
     /// that omit `RATIO`.
     pub sampling_ratio: Option<f64>,
+    /// `SET stream_block_rows = n` — scramble rows consumed per progressive
+    /// frame (see [`VerdictConfig::stream_block_rows`]).
+    pub stream_block_rows: Option<usize>,
+    /// `SET stream_max_frames = n` — cap on frames per stream, 0 for
+    /// unbounded (see [`VerdictConfig::stream_max_frames`]).
+    pub stream_max_frames: Option<usize>,
 }
 
 impl QueryOptions {
@@ -99,6 +106,12 @@ impl QueryOptions {
         }
         if let Some(r) = self.sampling_ratio {
             cfg.sampling_ratio = r;
+        }
+        if let Some(b) = self.stream_block_rows {
+            cfg.stream_block_rows = b;
+        }
+        if let Some(f) = self.stream_max_frames {
+            cfg.stream_max_frames = f;
         }
         cfg
     }
@@ -216,6 +229,31 @@ impl VerdictSession {
         self.execute_statement(&stmt, sql)
     }
 
+    /// Opens a progressive execution for a query: a pull-based iterator of
+    /// [`ProgressFrame`](crate::progress::ProgressFrame)s whose estimates
+    /// and confidence intervals refine block by block, ending with the
+    /// one-shot answer (see [`crate::progress`]).  Accepts either a plain
+    /// `SELECT …` or the `STREAM SELECT …` statement form.
+    ///
+    /// The stream runs under this session's current options: `target_error`
+    /// becomes the early-stop threshold, `stream_block_rows` /
+    /// `stream_max_frames` shape the frame cadence, and `bypass` degrades
+    /// to a single exact frame.
+    pub fn stream(&mut self, sql: &str) -> VerdictResult<ProgressStream> {
+        let stmt = verdict_sql::parse_statement(sql)?;
+        match stmt {
+            Statement::Stream(q) | Statement::Query(q) => Ok(self.open_stream(*q)),
+            _ => Err(VerdictError::Unsupported(
+                "only queries can be streamed (SELECT … or STREAM SELECT …)".into(),
+            )),
+        }
+    }
+
+    fn open_stream(&mut self, query: verdict_sql::ast::Query) -> ProgressStream {
+        let cfg = self.effective_config();
+        ProgressStream::open(Arc::clone(&self.ctx), query, cfg, self.options.bypass)
+    }
+
     /// Executes a `;`-separated script, returning one response per statement.
     /// Execution stops at the first error.
     pub fn execute_script(&mut self, sql: &str) -> VerdictResult<Vec<VerdictResponse>> {
@@ -254,16 +292,15 @@ impl VerdictSession {
                 Ok(VerdictResponse::Answer(self.ctx.execute_exact(&text)?))
             }
             Statement::Stream(q) => {
-                // A stream must observe fresh data: recompute, skipping the
-                // answer cache in both directions.
-                let mut cfg = self.effective_config();
-                cfg.answer_cache_capacity = 0;
-                let inner = Statement::Query(q.clone());
-                let text = print_statement(&inner, self.ctx.dialect());
-                let answer = self
-                    .ctx
-                    .execute_statement_with_config(&inner, &text, &cfg)?;
-                Ok(VerdictResponse::Answer(answer))
+                // Single-response alias for the streaming surface: run the
+                // progressive execution to its end and return the final
+                // frame (bit-identical to the one-shot answer when the
+                // stream completes; the early-stopped prefix answer when a
+                // target error is met first).  The cache is never read — a
+                // stream observes fresh data — but a completed answer is
+                // inserted so the next identical SELECT hits.
+                let stream = self.open_stream((**q).clone());
+                Ok(VerdictResponse::Answer(stream.final_frame()?.answer))
             }
             Statement::CreateScramble {
                 name,
@@ -384,17 +421,26 @@ impl VerdictSession {
     }
 
     /// Builds the `SHOW STATS` table: middleware counters as (stat, value)
-    /// rows.
+    /// rows — scramble registry size, the answer cache's
+    /// hit/miss/insert/invalidation/eviction activity, and the progressive
+    /// streaming counters.
     fn show_stats(&self) -> Table {
         let cache = self.ctx.cache_stats();
+        let streams = self.ctx.stream_stats();
         let rows: Vec<(&str, i64)> = vec![
             ("scrambles", self.ctx.meta().len() as i64),
+            ("cache_capacity", self.ctx.cache().capacity() as i64),
             ("cache_entries", self.ctx.cache().len() as i64),
             ("cache_hits", cache.hits as i64),
             ("cache_misses", cache.misses as i64),
             ("cache_insertions", cache.insertions as i64),
             ("cache_invalidations", cache.invalidations as i64),
             ("cache_evictions", cache.evictions as i64),
+            ("streams_started", streams.started as i64),
+            ("streams_completed", streams.completed as i64),
+            ("stream_frames", streams.frames as i64),
+            ("stream_early_stops", streams.early_stops as i64),
+            ("stream_fallbacks", streams.fallbacks as i64),
         ];
         TableBuilder::new()
             .str_column("stat", rows.iter().map(|(k, _)| k.to_string()).collect())
@@ -498,9 +544,45 @@ impl VerdictSession {
                 };
                 Ok(("sampling_ratio".into(), render(self.options.sampling_ratio)))
             }
+            "stream_block_rows" => {
+                self.options.stream_block_rows = if reset {
+                    None
+                } else {
+                    let n = value_f64(value)?;
+                    if n < 1.0 || n.fract() != 0.0 {
+                        return Err(VerdictError::Unsupported(format!(
+                            "stream_block_rows must be a positive integer, got {n}"
+                        )));
+                    }
+                    Some(n as usize)
+                };
+                Ok((
+                    "stream_block_rows".into(),
+                    render(self.options.stream_block_rows),
+                ))
+            }
+            "stream_max_frames" => {
+                self.options.stream_max_frames = if reset {
+                    None
+                } else {
+                    let n = value_f64(value)?;
+                    if n < 0.0 || n.fract() != 0.0 {
+                        return Err(VerdictError::Unsupported(format!(
+                            "stream_max_frames must be a non-negative integer \
+                             (0 = unbounded), got {n}"
+                        )));
+                    }
+                    Some(n as usize)
+                };
+                Ok((
+                    "stream_max_frames".into(),
+                    render(self.options.stream_max_frames),
+                ))
+            }
             other => Err(VerdictError::Unsupported(format!(
                 "unknown session option {other} (target_error, confidence, cache, \
-                 parallelism, bypass, error_columns, io_budget, sampling_ratio)"
+                 parallelism, bypass, error_columns, io_budget, sampling_ratio, \
+                 stream_block_rows, stream_max_frames)"
             ))),
         }
     }

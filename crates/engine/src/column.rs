@@ -701,6 +701,33 @@ impl Column {
         }
     }
 
+    /// Copies the contiguous row range `[start, start + len)` — the
+    /// straight-memcpy fast path for block scans, equivalent to
+    /// `take(&[start, …, start + len - 1])` without materialising the index
+    /// vector or gathering per element.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        debug_assert!(start + len <= self.len());
+        let end = start + len;
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(v[start..end].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[start..end].to_vec()),
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[start..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+        };
+        Column {
+            data,
+            validity: self.validity.as_ref().map(|b| {
+                let mut out = Bitmap::new_null(len);
+                for (pos, i) in (start..end).enumerate() {
+                    if b.get(i) {
+                        out.set(pos);
+                    }
+                }
+                out
+            }),
+        }
+    }
+
     /// Gathers rows at `indices` (in that order).
     pub fn take(&self, indices: &[usize]) -> Column {
         fn gather<T: Clone>(v: &[T], idx: &[usize]) -> Vec<T> {

@@ -7,6 +7,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::EngineResult;
+use crate::exec::progressive::{BlockScan, ProgressiveScan};
 use crate::exec::Executor;
 use crate::parallel::ThreadPool;
 use crate::table::Table;
@@ -60,6 +61,18 @@ pub trait Connection: Send + Sync {
     /// safe behaviour for pass-through JDBC/ODBC-style connections.
     fn data_version(&self, table: &str) -> Option<u64> {
         let _ = table;
+        None
+    }
+
+    /// Opens a resumable block-scan cursor for a statement, when this
+    /// connection can execute it progressively (see
+    /// [`crate::exec::progressive::BlockScan`]).  Returns `None` — the
+    /// default, and the right answer for pass-through JDBC/ODBC-style
+    /// connections — when progressive execution is unavailable or the
+    /// statement's shape is outside the progressive class; callers fall back
+    /// to one-shot execution.
+    fn open_block_scan(&self, sql: &str) -> Option<Box<dyn BlockScan>> {
+        let _ = sql;
         None
     }
 }
@@ -205,6 +218,17 @@ impl Connection for Engine {
 
     fn data_version(&self, table: &str) -> Option<u64> {
         Some(self.catalog.data_version(table))
+    }
+
+    fn open_block_scan(&self, sql: &str) -> Option<Box<dyn BlockScan>> {
+        let stmt = verdict_sql::parse_statement(sql).ok()?;
+        let query = match stmt {
+            verdict_sql::ast::Statement::Query(q) => q,
+            _ => return None,
+        };
+        ProgressiveScan::try_new(&self.catalog, &query, Arc::clone(&self.pool))
+            .ok()
+            .map(|scan| Box::new(scan) as Box<dyn BlockScan>)
     }
 }
 

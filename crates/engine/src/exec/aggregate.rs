@@ -731,9 +731,43 @@ pub fn execute_aggregation_with(
             arg_cols.push(Some(eval_expr(arg, &mut ctx)?));
         }
     }
+    aggregate_evaluated(
+        &key_cols,
+        &arg_cols,
+        group_exprs,
+        aggs,
+        &input.schema,
+        input.num_rows(),
+        pool,
+    )
+}
 
-    let n = input.num_rows();
-    let grouping = group_rows_with(&key_cols, n, pool);
+/// The aggregation core over **pre-evaluated** group-key and argument
+/// columns: canonical-hash grouping, one accumulator fold per aggregate, and
+/// output-frame assembly.
+///
+/// This is the single numeric path shared by the one-shot executor
+/// ([`execute_aggregation_with`], which evaluates the expressions itself) and
+/// the progressive block-scan executor
+/// ([`crate::exec::progressive::ProgressiveScan`], which buffers
+/// block-evaluated columns and snapshots the prefix).  Sharing it is what
+/// makes a progressive run's final frame bit-identical to the one-shot
+/// answer: identical input columns take identical morsel decompositions,
+/// accumulator folds, and morsel-order merges, at any pool size.
+///
+/// `input_schema` is the schema the group/argument expressions were
+/// evaluated against (used only for output-type inference); `n` is the row
+/// count of every evaluated column.
+pub fn aggregate_evaluated(
+    key_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    group_exprs: &[Expr],
+    aggs: &[AggregateItem],
+    input_schema: &crate::schema::Schema,
+    n: usize,
+    pool: &ThreadPool,
+) -> EngineResult<AggregatedFrame> {
+    let grouping = group_rows_with(key_cols, n, pool);
     // A global aggregation over zero rows still produces one output row.
     let global_empty = group_exprs.is_empty() && grouping.num_groups() == 0;
     let num_groups = if global_empty {
@@ -782,7 +816,7 @@ pub fn execute_aggregation_with(
                 Field {
                     qualifier: table.as_ref().map(|t| t.to_ascii_lowercase()),
                     name: name.to_ascii_lowercase(),
-                    data_type: infer_type(g, &input.schema),
+                    data_type: infer_type(g, input_schema),
                 },
                 Expr::Column {
                     table: table.clone(),
@@ -792,7 +826,7 @@ pub fn execute_aggregation_with(
             other => {
                 let name = format!("__gk{i}");
                 (
-                    Field::new(&name, infer_type(other, &input.schema)),
+                    Field::new(&name, infer_type(other, input_schema)),
                     Expr::col(name.clone()),
                 )
             }
@@ -805,7 +839,7 @@ pub fn execute_aggregation_with(
             .call
             .args
             .first()
-            .map(|a| infer_type(a, &input.schema))
+            .map(|a| infer_type(a, input_schema))
             .unwrap_or(DataType::Int);
         fields.push(Field::new(
             &item.output_name,

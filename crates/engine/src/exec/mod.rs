@@ -11,6 +11,7 @@
 
 pub mod aggregate;
 pub mod from_clause;
+pub mod progressive;
 pub mod window;
 
 use crate::catalog::Catalog;
@@ -265,37 +266,12 @@ impl<'a> Executor<'a> {
         Ok(output)
     }
 
-    /// Evaluates a predicate over the frame into a selection mask.  A
-    /// top-level comparison takes the fully morsel-parallel filter kernel
-    /// (operands evaluated first, then compared and masked per morsel);
-    /// everything else evaluates to a boolean column and folds it to a mask
-    /// morsel-parallel.  Both paths match the serial
-    /// `column_to_mask(eval_expr(pred))` bit for bit.
+    /// Evaluates a predicate over the frame into a selection mask (see
+    /// [`predicate_mask_with`]).
     fn predicate_mask(&mut self, pred: &Expr, frame: &Table) -> EngineResult<Vec<bool>> {
-        if let Expr::BinaryOp { left, op, right } = pred {
-            if op.is_comparison() {
-                let (l, r) = {
-                    let rng = &mut self.rng;
-                    let mut rng_fn = move || rng.gen::<f64>();
-                    let mut ctx = EvalContext {
-                        table: frame,
-                        rng: &mut rng_fn,
-                    };
-                    (eval_expr(left, &mut ctx)?, eval_expr(right, &mut ctx)?)
-                };
-                return Ok(par_filter_mask(&l, *op, &r, &self.pool));
-            }
-        }
-        let col = {
-            let rng = &mut self.rng;
-            let mut rng_fn = move || rng.gen::<f64>();
-            let mut ctx = EvalContext {
-                table: frame,
-                rng: &mut rng_fn,
-            };
-            eval_expr(pred, &mut ctx)?
-        };
-        Ok(par_column_to_mask(&col, &self.pool))
+        let rng = &mut self.rng;
+        let mut rng_fn = move || rng.gen::<f64>();
+        predicate_mask_with(pred, frame, &mut rng_fn, &self.pool)
     }
 
     fn order_key(&mut self, expr: &Expr, frame: &Table, output: &Table) -> EngineResult<Column> {
@@ -318,48 +294,9 @@ impl<'a> Executor<'a> {
     }
 
     fn project(&mut self, frame: &Table, projection: &[SelectItem]) -> EngineResult<Table> {
-        let mut fields: Vec<Field> = Vec::new();
-        let mut columns: Vec<Column> = Vec::new();
-        for (i, item) in projection.iter().enumerate() {
-            match item {
-                SelectItem::Wildcard => {
-                    for (f, c) in frame.schema.fields.iter().zip(frame.columns.iter()) {
-                        // hide internal helper columns from `SELECT *`
-                        if f.name.starts_with("__") {
-                            continue;
-                        }
-                        fields.push(f.clone());
-                        columns.push(c.clone());
-                    }
-                }
-                SelectItem::QualifiedWildcard(q) => {
-                    for (f, c) in frame.schema.fields.iter().zip(frame.columns.iter()) {
-                        if f.qualifier.as_deref() == Some(q.to_ascii_lowercase().as_str()) {
-                            fields.push(f.clone());
-                            columns.push(c.clone());
-                        }
-                    }
-                }
-                SelectItem::Expr(e) | SelectItem::ExprWithAlias { expr: e, .. } => {
-                    let col = {
-                        let rng = &mut self.rng;
-                        let mut rng_fn = move || rng.gen::<f64>();
-                        let mut ctx = EvalContext {
-                            table: frame,
-                            rng: &mut rng_fn,
-                        };
-                        eval_expr(e, &mut ctx)?
-                    };
-                    let name = match item.alias() {
-                        Some(a) => a.to_string(),
-                        None => default_output_name(e, i),
-                    };
-                    fields.push(Field::new(&name, infer_type(e, &frame.schema)));
-                    columns.push(col);
-                }
-            }
-        }
-        Table::new(Schema::new(fields), columns)
+        let rng = &mut self.rng;
+        let mut rng_fn = move || rng.gen::<f64>();
+        project_items(frame, projection, &mut rng_fn)
     }
 
     fn build_from(&mut self, from: &[TableWithJoins]) -> EngineResult<Table> {
@@ -528,7 +465,82 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn replace_in_projection(
+/// Evaluates a predicate over a frame into a selection mask.  A top-level
+/// comparison takes the fully morsel-parallel filter kernel (operands
+/// evaluated first, then compared and masked per morsel); everything else
+/// evaluates to a boolean column and folds it to a mask morsel-parallel.
+/// Both paths match the serial `column_to_mask(eval_expr(pred))` bit for bit.
+///
+/// Shared by the one-shot executor and the progressive block-scan executor;
+/// the expression evaluation is element-wise, so filtering a frame block by
+/// block and concatenating equals filtering the whole frame at once.
+pub(crate) fn predicate_mask_with(
+    pred: &Expr,
+    frame: &Table,
+    rng: &mut dyn FnMut() -> f64,
+    pool: &ThreadPool,
+) -> EngineResult<Vec<bool>> {
+    if let Expr::BinaryOp { left, op, right } = pred {
+        if op.is_comparison() {
+            let mut ctx = EvalContext { table: frame, rng };
+            let l = eval_expr(left, &mut ctx)?;
+            let r = eval_expr(right, &mut ctx)?;
+            return Ok(par_filter_mask(&l, *op, &r, pool));
+        }
+    }
+    let mut ctx = EvalContext { table: frame, rng };
+    let col = eval_expr(pred, &mut ctx)?;
+    Ok(par_column_to_mask(&col, pool))
+}
+
+/// Evaluates a projection list over a frame into an output table (wildcards
+/// expand to the frame's non-helper columns; expressions evaluate per row).
+/// Shared by the one-shot executor and the progressive block-scan executor.
+pub(crate) fn project_items(
+    frame: &Table,
+    projection: &[SelectItem],
+    rng: &mut dyn FnMut() -> f64,
+) -> EngineResult<Table> {
+    let mut fields: Vec<Field> = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
+    for (i, item) in projection.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for (f, c) in frame.schema.fields.iter().zip(frame.columns.iter()) {
+                    // hide internal helper columns from `SELECT *`
+                    if f.name.starts_with("__") {
+                        continue;
+                    }
+                    fields.push(f.clone());
+                    columns.push(c.clone());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                for (f, c) in frame.schema.fields.iter().zip(frame.columns.iter()) {
+                    if f.qualifier.as_deref() == Some(q.to_ascii_lowercase().as_str()) {
+                        fields.push(f.clone());
+                        columns.push(c.clone());
+                    }
+                }
+            }
+            SelectItem::Expr(e) | SelectItem::ExprWithAlias { expr: e, .. } => {
+                let col = {
+                    let mut ctx = EvalContext { table: frame, rng };
+                    eval_expr(e, &mut ctx)?
+                };
+                let name = match item.alias() {
+                    Some(a) => a.to_string(),
+                    None => default_output_name(e, i),
+                };
+                fields.push(Field::new(&name, infer_type(e, &frame.schema)));
+                columns.push(col);
+            }
+        }
+    }
+    Table::new(Schema::new(fields), columns)
+}
+
+pub(crate) fn replace_in_projection(
     projection: Vec<SelectItem>,
     replacements: &[(Expr, Expr)],
 ) -> Vec<SelectItem> {

@@ -54,6 +54,7 @@ pub use catalog::Catalog;
 pub use column::{Bitmap, Column, ColumnData};
 pub use engine::{Connection, Engine, ExecStats, QueryResult};
 pub use error::{EngineError, EngineResult};
+pub use exec::progressive::{BlockScan, ProgressiveScan};
 pub use parallel::{ThreadPool, MORSEL_ROWS};
 pub use profile::EngineProfile;
 pub use schema::{Field, Schema};

@@ -13,7 +13,8 @@
 //! `DROP SCRAMBLE[S] …`.  `\q` (or `^D`) quits; `\?` prints help.  Result
 //! tables (including `SHOW` listings) are rendered column-aligned.
 
-use verdict_server::{RemoteAnswer, VerdictClient};
+use std::io::{IsTerminal, Write};
+use verdict_server::{RemoteAnswer, StreamFrame, VerdictClient};
 
 /// Renders a result table column-aligned: each column as wide as its widest
 /// cell (or header), numbers as sent by the server.
@@ -73,6 +74,95 @@ fn print_answer(answer: &RemoteAnswer) {
     );
 }
 
+/// True when the statement should go through the streaming verb: it starts
+/// with the `STREAM` keyword (the server then answers with `FRAME …` frames
+/// the shell renders live, instead of one final `OK` frame).
+fn is_stream_statement(sql: &str) -> bool {
+    let trimmed = sql.trim_start();
+    trimmed
+        .split_whitespace()
+        .next()
+        .is_some_and(|w| w.eq_ignore_ascii_case("stream"))
+}
+
+/// One-line summary of an intermediate frame: progress plus `est±err` for
+/// single-row answers (the common global-aggregate case), or the group
+/// count and worst relative error otherwise.
+fn frame_summary(frame: &StreamFrame) -> String {
+    let mut line = format!(
+        "frame {:>3}  {:>5.1}%  {}/{} rows",
+        frame.frame,
+        100.0 * frame.fraction,
+        frame.rows_seen,
+        frame.total_rows
+    );
+    if frame.answer.rows.len() == 1 {
+        for (i, name) in frame.answer.columns.iter().enumerate() {
+            if name.ends_with("_err") {
+                continue;
+            }
+            if let Some(v) = frame.answer.value(0, i).as_f64() {
+                let err = frame
+                    .answer
+                    .columns
+                    .iter()
+                    .position(|c| c == &format!("{name}_err"))
+                    .and_then(|j| frame.answer.value(0, j).as_f64());
+                match err {
+                    Some(e) => line.push_str(&format!("  {name}={v:.4}±{e:.4}")),
+                    None => line.push_str(&format!("  {name}={v:.4}")),
+                }
+            }
+        }
+    } else {
+        line.push_str(&format!("  {} group(s)", frame.answer.rows.len()));
+    }
+    if let Some((_, _, max_rel)) = frame.answer.errors.first() {
+        line.push_str(&format!("  (max rel err {:.2}%)", 100.0 * max_rel));
+    }
+    line
+}
+
+/// Runs a `STREAM …` statement, rendering intermediate frames as a
+/// live-updating line (in-place on a terminal, one line each otherwise) and
+/// the final frame as a full result table.
+fn run_stream(client: &mut VerdictClient, sql: &str) -> Result<(), verdict_server::ClientError> {
+    let live = std::io::stdout().is_terminal();
+    let frames = client.stream_with(sql, |frame| {
+        if frame.last {
+            if live {
+                print!("\r\x1b[2K");
+                let _ = std::io::stdout().flush();
+            }
+            return; // the final frame is printed as a full table below
+        }
+        if live {
+            print!("\r\x1b[2K~ {}", frame_summary(frame));
+            let _ = std::io::stdout().flush();
+        } else {
+            println!("~ {}", frame_summary(frame));
+        }
+    })?;
+    if let Some(last) = frames.last() {
+        print_answer(&last.answer);
+        println!(
+            "-- {} frame(s){}{}",
+            frames.len(),
+            if last.early_stopped {
+                ", stopped early at the target error"
+            } else {
+                ""
+            },
+            if last.fraction < 1.0 {
+                format!(" after {:.1}% of the scramble", 100.0 * last.fraction)
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(())
+}
+
 /// True when the buffered text is a complete statement: it ends with `;`
 /// *outside* any quoted string or identifier.  The scan tracks the three
 /// quote forms the lexer accepts (`'…'`, `"…"`, `` `…` ``; doubling the
@@ -94,6 +184,7 @@ fn statement_complete(buffer: &str) -> bool {
 const HELP: &str = "\
 every input is SQL, sent when a line ends with ';':
   SELECT …;                                    approximate query
+  STREAM SELECT …;                             progressive query (live frames)
   BYPASS <statement>;                          exact execution
   CREATE SCRAMBLE <s> FROM <t> [METHOD m] [RATIO r] [ON cols];
   CREATE SCRAMBLES FROM <t>;                   recommended scramble set
@@ -101,6 +192,7 @@ every input is SQL, sent when a line ends with ';':
   REFRESH SCRAMBLES <t> [FROM <batch>];
   SHOW SCRAMBLES; / SHOW STATS;
   SET <option> = <value>;                      e.g. SET target_error = 0.02
+                                               (stream_block_rows, stream_max_frames)
 \\q quits, \\? shows this help";
 
 fn main() {
@@ -134,12 +226,14 @@ fn main() {
 
     if !one_shot.is_empty() {
         for sql in one_shot {
-            match client.sql(&sql) {
-                Ok(a) => print_answer(&a),
-                Err(e) => {
-                    eprintln!("verdict-cli: {e}");
-                    std::process::exit(1);
-                }
+            let result = if is_stream_statement(&sql) {
+                run_stream(&mut client, &sql)
+            } else {
+                client.sql(&sql).map(|a| print_answer(&a))
+            };
+            if let Err(e) = result {
+                eprintln!("verdict-cli: {e}");
+                std::process::exit(1);
             }
         }
         let _ = client.quit();
@@ -180,13 +274,15 @@ fn main() {
             continue;
         }
         let statement = std::mem::take(&mut buffer);
-        match client.sql(&statement) {
-            Ok(a) => print_answer(&a),
-            Err(e) => {
-                eprintln!("verdict-cli: {e}");
-                if matches!(e, verdict_server::ClientError::Io(_)) {
-                    break;
-                }
+        let result = if is_stream_statement(&statement) {
+            run_stream(&mut client, &statement)
+        } else {
+            client.sql(&statement).map(|a| print_answer(&a))
+        };
+        if let Err(e) = result {
+            eprintln!("verdict-cli: {e}");
+            if matches!(e, verdict_server::ClientError::Io(_)) {
+                break;
             }
         }
     }

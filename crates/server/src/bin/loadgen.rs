@@ -2,7 +2,7 @@
 //! running `verdict-server` and reports aggregate throughput.
 //!
 //! ```text
-//! verdict-loadgen [--addr HOST:PORT] [--sessions N] [--requests M] [--sql SQL]
+//! verdict-loadgen [--addr HOST:PORT] [--sessions N] [--requests M] [--sql SQL] [--stream]
 //! ```
 //!
 //! Each session opens its own connection and issues `--requests` `SQL`
@@ -10,6 +10,12 @@
 //! Instacart `order_products` table — the dashboard-repeat shape the answer
 //! cache targets).  Prints per-session and aggregate queries/second plus the
 //! server's cache counters (`SHOW STATS`) before and after the run.
+//!
+//! With `--stream`, every request goes through the multi-frame `STREAM`
+//! verb instead of `SQL`: sessions hold their connection open while frames
+//! arrive, which exercises the server under long-lived, interleaved
+//! multi-frame responses.  The report then also shows aggregate
+//! frames/second and the mean frames per stream.
 
 use std::time::Instant;
 use verdict_server::VerdictClient;
@@ -19,6 +25,7 @@ struct Options {
     sessions: usize,
     requests: usize,
     sql: String,
+    stream: bool,
 }
 
 impl Default for Options {
@@ -30,6 +37,7 @@ impl Default for Options {
             sql: "SELECT quantity, avg(price) AS ap FROM order_products \
                   GROUP BY quantity ORDER BY quantity"
                 .into(),
+            stream: false,
         }
     }
 }
@@ -55,10 +63,11 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --requests: {e}"))?
             }
             "--sql" => opts.sql = value("--sql")?,
+            "--stream" => opts.stream = true,
             "--help" | "-h" => {
                 println!(
                     "usage: verdict-loadgen [--addr HOST:PORT] [--sessions N] \
-                     [--requests M] [--sql SQL]"
+                     [--requests M] [--sql SQL] [--stream]"
                 );
                 std::process::exit(0);
             }
@@ -99,38 +108,45 @@ fn main() {
     println!("cache before: {}", cache_line(&mut probe));
 
     let start = Instant::now();
-    let per_session: Vec<(usize, f64)> = std::thread::scope(|scope| {
+    let per_session: Vec<(usize, f64, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.sessions)
             .map(|sid| {
                 let addr = opts.addr.clone();
                 let sql = opts.sql.clone();
                 let requests = opts.requests;
+                let stream = opts.stream;
                 scope.spawn(move || {
                     let mut client = VerdictClient::connect(&addr).expect("connect");
                     let t0 = Instant::now();
                     let mut ok = 0usize;
+                    let mut frames = 0usize;
                     for _ in 0..requests {
-                        if client.sql(&sql).is_ok() {
+                        if stream {
+                            if let Ok(received) = client.stream(&sql) {
+                                ok += 1;
+                                frames += received.len();
+                            }
+                        } else if client.sql(&sql).is_ok() {
                             ok += 1;
                         }
                     }
                     let secs = t0.elapsed().as_secs_f64();
                     let _ = client.quit();
-                    (sid, ok, secs)
+                    (sid, ok, secs, frames)
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| {
-                let (sid, ok, secs) = h.join().expect("session thread");
-                (sid, ok as f64 / secs.max(1e-9))
+                let (sid, ok, secs, frames) = h.join().expect("session thread");
+                (sid, ok as f64 / secs.max(1e-9), frames)
             })
             .collect()
     });
     let wall = start.elapsed().as_secs_f64();
 
-    for (sid, qps) in &per_session {
+    for (sid, qps, _) in &per_session {
         println!("session {sid}: {qps:.0} q/s");
     }
     let total_requests = opts.sessions * opts.requests;
@@ -141,6 +157,15 @@ fn main() {
         wall,
         total_requests as f64 / wall.max(1e-9)
     );
+    if opts.stream {
+        let total_frames: usize = per_session.iter().map(|(_, _, f)| f).sum();
+        println!(
+            "streaming: {} frames total = {:.0} frames/s, {:.1} frames per stream",
+            total_frames,
+            total_frames as f64 / wall.max(1e-9),
+            total_frames as f64 / (total_requests as f64).max(1.0)
+        );
+    }
     println!("cache after: {}", cache_line(&mut probe));
     let _ = probe.quit();
 }

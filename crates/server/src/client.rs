@@ -5,7 +5,8 @@
 //! once; the server runs each on its own thread over the shared engine.
 
 use crate::protocol::{
-    parse_type_tag, parse_value, unescape_field, FrameHeader, FRAME_END, NULL_FIELD,
+    parse_stream_done, parse_type_tag, parse_value, unescape_field, FrameHeader, StreamFrameHeader,
+    FRAME_END, NULL_FIELD,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -41,6 +42,27 @@ impl RemoteAnswer {
     pub fn value(&self, row: usize, col: usize) -> &Value {
         &self.rows[row][col]
     }
+}
+
+/// One frame of a `STREAM` response: a regular answer plus the stream
+/// position metadata from the `FRAME …` status line.
+#[derive(Debug, Clone, Default)]
+pub struct StreamFrame {
+    /// The answer for the scramble prefix seen so far (rows, types, error
+    /// summaries — same shape as a one-shot [`RemoteAnswer`]).
+    pub answer: RemoteAnswer,
+    /// 1-based frame number.
+    pub frame: usize,
+    /// Scramble rows consumed when the frame was assembled.
+    pub rows_seen: u64,
+    /// Scramble rows a run to completion would consume.
+    pub total_rows: u64,
+    /// `rows_seen / total_rows` (1.0 on completed / single-frame streams).
+    pub fraction: f64,
+    /// True on the stream's final frame.
+    pub last: bool,
+    /// True when the stream stopped early at the session's `target_error`.
+    pub early_stopped: bool,
 }
 
 /// Error from a client call: transport failure, a malformed frame, or an
@@ -194,6 +216,59 @@ impl VerdictClient {
     /// string/identifier, and a `--` line comment (collapsing would swallow
     /// the rest of the statement into the comment).
     pub fn request(&mut self, line: &str) -> ClientResult<RemoteAnswer> {
+        self.send_line(line)?;
+        self.read_frame()
+    }
+
+    /// Runs a query as a progressive stream (`STREAM` verb), returning every
+    /// frame; the last one carries the final answer.  See
+    /// [`Self::stream_with`] to observe frames as they arrive.
+    pub fn stream(&mut self, sql: &str) -> ClientResult<Vec<StreamFrame>> {
+        self.stream_with(sql, |_| {})
+    }
+
+    /// Runs a query as a progressive stream (`STREAM` verb), invoking
+    /// `on_frame` for every frame **as it is read off the socket** — the
+    /// estimate±CI refines in real time — and returning the full frame list
+    /// once the server's `DONE` arrives.  `sql` may be a plain `SELECT …` or
+    /// the `STREAM SELECT …` statement form.
+    pub fn stream_with(
+        &mut self,
+        sql: &str,
+        mut on_frame: impl FnMut(&StreamFrame),
+    ) -> ClientResult<Vec<StreamFrame>> {
+        self.send_line(&format!("STREAM {sql}"))?;
+        let mut frames: Vec<StreamFrame> = Vec::new();
+        loop {
+            let status = self.read_line()?;
+            if let Some(msg) = status.strip_prefix("ERR ") {
+                self.drain_frame()?;
+                return Err(ClientError::Server(unescape_field(msg)));
+            }
+            if parse_stream_done(&status).is_some() {
+                self.drain_frame()?;
+                return Ok(frames);
+            }
+            let header = StreamFrameHeader::parse(&status)
+                .ok_or_else(|| ClientError::Protocol(format!("bad stream status: {status}")))?;
+            let answer = self.read_frame_body(header.base)?;
+            let frame = StreamFrame {
+                answer,
+                frame: header.frame,
+                rows_seen: header.rows_seen,
+                total_rows: header.total_rows,
+                fraction: header.fraction,
+                last: header.last,
+                early_stopped: header.early_stopped,
+            };
+            on_frame(&frame);
+            frames.push(frame);
+        }
+    }
+
+    /// Sends one request line, collapsing embedded line breaks (see
+    /// [`Self::request`] for why, and when collapsing is refused).
+    fn send_line(&mut self, line: &str) -> ClientResult<()> {
         let line = if line.contains(['\n', '\r']) {
             if let Some(reason) = multiline_collapse_hazard(line) {
                 return Err(ClientError::Protocol(format!(
@@ -207,7 +282,16 @@ impl VerdictClient {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        self.read_frame()
+        Ok(())
+    }
+
+    /// Reads and discards body lines up to the frame terminator.
+    fn drain_frame(&mut self) -> ClientResult<()> {
+        loop {
+            if self.read_line()? == FRAME_END {
+                return Ok(());
+            }
+        }
     }
 
     fn read_line(&mut self) -> ClientResult<String> {
@@ -226,15 +310,17 @@ impl VerdictClient {
         let status = self.read_line()?;
         if let Some(msg) = status.strip_prefix("ERR ") {
             // Drain the terminator before reporting, keeping the stream in sync.
-            loop {
-                if self.read_line()? == FRAME_END {
-                    break;
-                }
-            }
+            self.drain_frame()?;
             return Err(ClientError::Server(unescape_field(msg)));
         }
         let header = FrameHeader::parse(&status)
             .ok_or_else(|| ClientError::Protocol(format!("bad status line: {status}")))?;
+        self.read_frame_body(header)
+    }
+
+    /// Reads the `C`/`T`/`R`/`E`/`S` body lines of one frame up to the
+    /// terminator, under an already-parsed status header.
+    fn read_frame_body(&mut self, header: FrameHeader) -> ClientResult<RemoteAnswer> {
         let mut answer = RemoteAnswer {
             header,
             ..RemoteAnswer::default()

@@ -55,6 +55,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientError, ClientResult, RemoteAnswer, VerdictClient};
-pub use protocol::FrameHeader;
+pub use client::{ClientError, ClientResult, RemoteAnswer, StreamFrame, VerdictClient};
+pub use protocol::{FrameHeader, StreamFrameHeader};
 pub use server::{ServerHandle, ServerStats, VerdictServer};

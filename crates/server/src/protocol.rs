@@ -151,10 +151,9 @@ pub struct FrameHeader {
 }
 
 impl FrameHeader {
-    /// Renders the `OK …` status line.
-    pub fn status_line(&self) -> String {
+    fn fields(&self) -> String {
         format!(
-            "OK rows={} cols={} exact={} cached={} elapsed_us={} rows_scanned={}",
+            "rows={} cols={} exact={} cached={} elapsed_us={} rows_scanned={}",
             self.rows,
             self.cols,
             self.exact as u8,
@@ -164,9 +163,14 @@ impl FrameHeader {
         )
     }
 
-    /// Parses an `OK …` status line (missing keys default to zero).
-    pub fn parse(line: &str) -> Option<FrameHeader> {
-        let rest = line.strip_prefix("OK")?;
+    /// Renders the `OK …` status line.
+    pub fn status_line(&self) -> String {
+        format!("OK {}", self.fields())
+    }
+
+    /// Parses the `key=value` tail shared by `OK` and `FRAME` status lines
+    /// (missing keys default to zero, unknown keys are skipped).
+    fn parse_tail(rest: &str) -> Option<FrameHeader> {
         let mut header = FrameHeader::default();
         for kv in rest.split_whitespace() {
             let (key, value) = kv.split_once('=')?;
@@ -182,6 +186,110 @@ impl FrameHeader {
         }
         Some(header)
     }
+
+    /// Parses an `OK …` status line (missing keys default to zero).
+    pub fn parse(line: &str) -> Option<FrameHeader> {
+        Self::parse_tail(line.strip_prefix("OK")?)
+    }
+}
+
+/// Status-line metadata of one progressive frame (`FRAME …`), carried in
+/// addition to the regular [`FrameHeader`] fields.
+///
+/// A `STREAM <query>` request is answered by a *sequence* of result frames,
+/// each introduced by a `FRAME …` status line (same body format as an `OK`
+/// frame: `C`/`T`/`R`/`E`/`S` lines and a `.` terminator), followed by one
+/// closing mini-frame whose status line is `DONE frames=<n>`:
+///
+/// ```text
+/// request:  STREAM SELECT city, avg(price) AS ap FROM orders GROUP BY city
+/// response: FRAME rows=10 cols=2 … frame=1 rows_seen=65536 total_rows=983040 fraction=0.066667 last=0
+///           C city<TAB>ap
+///           …
+///           .
+///           FRAME … frame=2 … last=1
+///           …
+///           .
+///           DONE frames=2
+///           .
+/// ```
+///
+/// Only the `STREAM` verb elicits multi-frame responses; a `SQL STREAM
+/// SELECT …` request keeps the classic single `OK` frame (carrying the
+/// stream's final answer), so pre-streaming clients never desynchronise.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamFrameHeader {
+    /// The regular result-frame header.
+    pub base: FrameHeader,
+    /// 1-based frame number within the stream.
+    pub frame: usize,
+    /// Scramble rows consumed when the frame was assembled.
+    pub rows_seen: u64,
+    /// Scramble rows a run to completion would consume.
+    pub total_rows: u64,
+    /// `rows_seen / total_rows` (1.0 for completed / single-frame streams).
+    pub fraction: f64,
+    /// True on the stream's final frame.
+    pub last: bool,
+    /// True when the stream stopped early because the session's
+    /// `target_error` was met before the scramble was exhausted.
+    pub early_stopped: bool,
+}
+
+impl StreamFrameHeader {
+    /// Renders the `FRAME …` status line.
+    pub fn status_line(&self) -> String {
+        format!(
+            "FRAME {} frame={} rows_seen={} total_rows={} fraction={:.6} last={} early_stop={}",
+            self.base.fields(),
+            self.frame,
+            self.rows_seen,
+            self.total_rows,
+            self.fraction,
+            self.last as u8,
+            self.early_stopped as u8,
+        )
+    }
+
+    /// Parses a `FRAME …` status line.
+    pub fn parse(line: &str) -> Option<StreamFrameHeader> {
+        let rest = line.strip_prefix("FRAME")?;
+        let mut header = StreamFrameHeader {
+            base: FrameHeader::parse_tail(rest)?,
+            ..StreamFrameHeader::default()
+        };
+        for kv in rest.split_whitespace() {
+            let (key, value) = kv.split_once('=')?;
+            match key {
+                "frame" => header.frame = value.parse().ok()?,
+                "rows_seen" => header.rows_seen = value.parse().ok()?,
+                "total_rows" => header.total_rows = value.parse().ok()?,
+                "fraction" => header.fraction = value.parse().ok()?,
+                "last" => header.last = value == "1",
+                "early_stop" => header.early_stopped = value == "1",
+                _ => {}
+            }
+        }
+        Some(header)
+    }
+}
+
+/// Renders the `DONE frames=<n>` mini-frame closing a stream response.
+pub fn write_stream_done(out: &mut String, frames: usize) {
+    let _ = writeln!(out, "DONE frames={frames}");
+    out.push_str(FRAME_END);
+    out.push('\n');
+}
+
+/// Parses a `DONE frames=<n>` status line.
+pub fn parse_stream_done(line: &str) -> Option<usize> {
+    let rest = line.strip_prefix("DONE")?;
+    for kv in rest.split_whitespace() {
+        if let Some(("frames", value)) = kv.split_once('=') {
+            return value.parse().ok();
+        }
+    }
+    Some(0)
 }
 
 /// Serialises a full result frame (status, `C`/`T`/`R`/`E`/`S` body lines,
@@ -194,7 +302,29 @@ pub fn write_result_frame(
     errors: &[(String, f64, f64)],
     extras: &[(String, String)],
 ) {
-    out.push_str(&header.status_line());
+    write_frame_with_status(out, &header.status_line(), table, errors, extras);
+}
+
+/// Serialises one progressive frame of a stream response: a `FRAME …`
+/// status line with the same body format as a regular result frame.
+pub fn write_stream_frame(
+    out: &mut String,
+    header: &StreamFrameHeader,
+    table: Option<&Table>,
+    errors: &[(String, f64, f64)],
+    extras: &[(String, String)],
+) {
+    write_frame_with_status(out, &header.status_line(), table, errors, extras);
+}
+
+fn write_frame_with_status(
+    out: &mut String,
+    status: &str,
+    table: Option<&Table>,
+    errors: &[(String, f64, f64)],
+    extras: &[(String, String)],
+) {
+    out.push_str(status);
     out.push('\n');
     if let Some(table) = table {
         if !table.schema.fields.is_empty() {
@@ -289,6 +419,42 @@ mod tests {
         let wire = format_value(&tricky);
         assert_ne!(wire, "\\N");
         assert_eq!(parse_value(&wire, DataType::Str), tricky);
+    }
+
+    #[test]
+    fn stream_header_and_done_roundtrip() {
+        let h = StreamFrameHeader {
+            base: FrameHeader {
+                rows: 3,
+                cols: 2,
+                exact: false,
+                cached: false,
+                elapsed_us: 99,
+                rows_scanned: 65_536,
+            },
+            frame: 4,
+            rows_seen: 65_536,
+            total_rows: 983_040,
+            fraction: 65_536.0 / 983_040.0,
+            last: false,
+            early_stopped: false,
+        };
+        let parsed = StreamFrameHeader::parse(&h.status_line()).unwrap();
+        assert_eq!(parsed.frame, 4);
+        assert_eq!(parsed.rows_seen, 65_536);
+        assert_eq!(parsed.total_rows, 983_040);
+        assert!(!parsed.last && !parsed.early_stopped);
+        assert!((parsed.fraction - h.fraction).abs() < 1e-6);
+        assert_eq!(parsed.base.rows, 3);
+        assert!(StreamFrameHeader::parse("OK rows=1").is_none());
+
+        let mut out = String::new();
+        write_stream_done(&mut out, 7);
+        let mut lines = out.lines();
+        assert_eq!(parse_stream_done(lines.next().unwrap()), Some(7));
+        assert_eq!(lines.next().unwrap(), FRAME_END);
+        assert_eq!(parse_stream_done("DONE"), Some(0));
+        assert_eq!(parse_stream_done("OK rows=1"), None);
     }
 
     #[test]

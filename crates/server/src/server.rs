@@ -19,8 +19,18 @@
 //! `SAMPLE`, `REFRESH`, `STATS`) survive as thin deprecated aliases that
 //! rewrite themselves into SQL and go through the same session dispatch.
 //! `PING` and `QUIT` are transport-level and unchanged.
+//!
+//! `STREAM <query>` is the one multi-frame verb: the response is a sequence
+//! of `FRAME …` result frames — each flushed as the progressive execution
+//! refines its estimate — closed by a `DONE frames=<n>` mini-frame (see
+//! [`crate::protocol::StreamFrameHeader`]).  Clients that predate streaming
+//! simply never send it; `SQL STREAM SELECT …` still answers with a single
+//! classic `OK` frame carrying the stream's final answer.
 
-use crate::protocol::{write_error_frame, write_result_frame, FrameHeader};
+use crate::protocol::{
+    write_error_frame, write_result_frame, write_stream_done, write_stream_frame, FrameHeader,
+    StreamFrameHeader,
+};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -195,6 +205,15 @@ fn run_session(stream: TcpStream, shared: Arc<Shared>) {
         if request.is_empty() {
             continue;
         }
+        // The streaming verb writes (and flushes) one frame at a time as the
+        // progressive execution refines, so it owns the socket directly;
+        // everything else builds one buffered response frame.
+        if let Some(rest) = strip_verb(request, "STREAM") {
+            if handle_stream(rest, &shared, &mut session, &mut writer).is_err() {
+                break;
+            }
+            continue;
+        }
         let mut response = String::new();
         let quit = handle_request(request, &shared, &mut session, &mut response);
         if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
@@ -270,6 +289,12 @@ fn handle_request(
             }
         }
         "STATS" => dispatch_sql("SHOW STATS", shared, session, out),
+        // A bare STREAM with no query (the with-query form is intercepted in
+        // the session loop because it writes frames incrementally).
+        "STREAM" => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            write_error_frame(out, "usage: STREAM <query>");
+        }
         // ---- transport-level commands -----------------------------------
         "PING" => write_result_frame(out, &FrameHeader::default(), None, &[], &[]),
         "QUIT" => {
@@ -282,6 +307,99 @@ fn handle_request(
         }
     }
     false
+}
+
+/// Case-insensitively strips a leading verb followed by whitespace,
+/// returning the trimmed remainder.
+fn strip_verb<'a>(request: &'a str, verb: &str) -> Option<&'a str> {
+    let (head, rest) = request.split_once(char::is_whitespace)?;
+    head.eq_ignore_ascii_case(verb).then(|| rest.trim())
+}
+
+/// `STREAM <query>` — the multi-frame response: one `FRAME …` result frame
+/// per progressive refinement, closed by a `DONE frames=<n>` mini-frame.
+/// Each frame is flushed as soon as the execution produces it, so clients
+/// see the estimate tighten in real time.  Errors before the first frame
+/// produce a regular `ERR` frame; an error mid-stream ends the response
+/// with an `ERR` frame in place of further `FRAME`s (clients treat the
+/// stream as failed).  Returns `Err` only for socket-level failures.
+fn handle_stream(
+    sql: &str,
+    shared: &Shared,
+    session: &mut VerdictSession,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+    let mut send = |buf: &str| -> std::io::Result<()> {
+        writer.write_all(buf.as_bytes())?;
+        writer.flush()
+    };
+    let stream = match session.stream(sql) {
+        Ok(stream) => stream,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            let mut out = String::new();
+            write_error_frame(&mut out, &e.to_string());
+            return send(&out);
+        }
+    };
+    let mut frames = 0usize;
+    for frame in stream {
+        match frame {
+            Ok(frame) => {
+                frames += 1;
+                let mut out = String::new();
+                write_answer_stream_frame(&frame, &mut out);
+                send(&out)?;
+            }
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let mut out = String::new();
+                write_error_frame(&mut out, &e.to_string());
+                return send(&out);
+            }
+        }
+    }
+    let mut out = String::new();
+    write_stream_done(&mut out, frames);
+    send(&out)
+}
+
+fn write_answer_stream_frame(frame: &verdict_core::ProgressFrame, out: &mut String) {
+    let answer = &frame.answer;
+    let header = StreamFrameHeader {
+        base: FrameHeader {
+            rows: answer.table.num_rows(),
+            cols: answer.table.schema.fields.len(),
+            exact: answer.exact,
+            cached: answer.cached,
+            elapsed_us: answer.elapsed.as_micros() as u64,
+            rows_scanned: answer.rows_scanned,
+        },
+        frame: frame.index,
+        rows_seen: frame.rows_seen,
+        total_rows: frame.total_rows,
+        fraction: frame.fraction,
+        last: frame.last,
+        early_stopped: frame.early_stopped,
+    };
+    let errors: Vec<(String, f64, f64)> = answer
+        .errors
+        .iter()
+        .map(|e| {
+            (
+                e.column.clone(),
+                e.mean_relative_error,
+                e.max_relative_error,
+            )
+        })
+        .collect();
+    let extras: Vec<(String, String)> = answer
+        .used_samples
+        .iter()
+        .map(|s| ("used_sample".to_string(), s.clone()))
+        .collect();
+    write_stream_frame(out, &header, Some(&answer.table), &errors, &extras);
 }
 
 /// `SAMPLE <table> <uniform|hashed|stratified> [col,col,…]` → `CREATE

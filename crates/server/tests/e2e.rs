@@ -303,3 +303,90 @@ fn awkward_string_values_round_trip_over_the_wire() {
     client.quit().unwrap();
     handle.stop();
 }
+
+// ---------------------------------------------------------------------------
+// Progressive streaming over TCP (PR 5)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stream_verb_emits_refining_frames_and_matches_the_one_shot_answer() {
+    let ctx = serving_context(51, 64);
+    let handle = VerdictServer::bind("127.0.0.1:0", Arc::clone(&ctx))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+
+    // Small blocks force a multi-frame stream over the 1%-scramble.
+    client.sql("SET stream_block_rows = 100").unwrap();
+    let mut seen_live = 0usize;
+    let frames = client
+        .stream_with(DASHBOARD_QUERY, |_| seen_live += 1)
+        .unwrap();
+    assert!(
+        frames.len() >= 2,
+        "expected ≥2 frames, got {}",
+        frames.len()
+    );
+    assert_eq!(seen_live, frames.len(), "callback fires once per frame");
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(f.frame, i + 1);
+        assert_eq!(f.last, i + 1 == frames.len());
+        if i > 0 {
+            assert!(f.rows_seen > frames[i - 1].rows_seen);
+        }
+    }
+    let last = frames.last().unwrap();
+    assert!((last.fraction - 1.0).abs() < 1e-12);
+    assert!(!last.early_stopped);
+
+    // The final frame over the wire is bit-identical to the in-process
+    // one-shot answer for the same query and options.
+    let local = ctx.execute(DASHBOARD_QUERY).unwrap();
+    assert_remote_matches_local(&last.answer, &local);
+
+    // The connection stays usable after a stream (framing is clean).
+    client.ping().unwrap();
+    let after = client.sql("SHOW STATS").unwrap();
+    assert!(after.extra("streams_started").is_some());
+
+    // `SQL STREAM …` keeps the classic single-frame response for old
+    // clients: exactly the final answer, one OK frame.
+    let alias = client.sql(&format!("STREAM {DASHBOARD_QUERY}")).unwrap();
+    assert_remote_matches_local(&alias, &local);
+    let _ = client.quit();
+    handle.stop();
+}
+
+#[test]
+fn stream_early_stop_and_errors_keep_the_protocol_in_sync() {
+    let ctx = serving_context(52, 64);
+    let handle = VerdictServer::bind("127.0.0.1:0", Arc::clone(&ctx))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = VerdictClient::connect(handle.addr()).unwrap();
+
+    // A loose target stops the stream after a strict prefix.
+    client.sql("SET stream_block_rows = 50").unwrap();
+    client.sql("SET target_error = 0.9").unwrap();
+    let frames = client
+        .stream("SELECT sum(price) AS total FROM sales")
+        .unwrap();
+    let last = frames.last().unwrap();
+    assert!(last.early_stopped, "loose target must stop early");
+    assert!(last.fraction < 1.0);
+
+    // A bad statement answers with one ERR frame and leaves the session
+    // usable.
+    let err = client.stream("SELEKT nope").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+    client.ping().unwrap();
+
+    // A bare STREAM is a usage error, not a hang.
+    let err = client.request("STREAM").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+    client.ping().unwrap();
+    let _ = client.quit();
+    handle.stop();
+}

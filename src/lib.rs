@@ -26,8 +26,8 @@ pub use verdict_server as server;
 pub use verdict_sql as sql;
 
 pub use verdict_core::{
-    QueryOptions, SampleType, VerdictAnswer, VerdictConfig, VerdictContext, VerdictError,
-    VerdictResponse, VerdictResult, VerdictSession,
+    ProgressFrame, ProgressStream, QueryOptions, SampleType, VerdictAnswer, VerdictConfig,
+    VerdictContext, VerdictError, VerdictResponse, VerdictResult, VerdictSession,
 };
 pub use verdict_engine::{Connection, Engine, EngineProfile, Table, TableBuilder, Value};
 

@@ -1,0 +1,37 @@
+//! Helpers shared by the integration-test binaries (`mod common;`).
+
+use verdictdb::{Table, Value};
+
+/// Exact variant-level equality: floats compare by bit pattern, so this is
+/// stricter than `Value == Value` (which coerces Int vs Float).
+pub fn values_bit_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Asserts two tables are bit-identical: same shape, same values, floats
+/// compared by bits.  `context` labels the failing case (e.g. a seed).
+pub fn assert_tables_bit_identical(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row counts differ");
+    assert_eq!(
+        a.num_columns(),
+        b.num_columns(),
+        "{context}: column counts differ"
+    );
+    for r in 0..a.num_rows() {
+        for c in 0..a.num_columns() {
+            assert!(
+                values_bit_identical(&a.value_at(r, c), &b.value_at(r, c)),
+                "{context} ({r},{c}): {:?} vs {:?}",
+                a.value_at(r, c),
+                b.value_at(r, c)
+            );
+        }
+    }
+}

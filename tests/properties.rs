@@ -7,6 +7,8 @@
 //! properties run as seeded randomized loops: every case is deterministic
 //! given the seed, and failures print the seed of the offending case.
 
+mod common;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -761,4 +763,142 @@ fn sample_tables_shrink_with_the_requested_ratio() {
             "requested ratio {ratio}, got {actual}"
         );
     }
+}
+
+// ===========================================================================
+// Progressive streaming invariants (PR 5)
+// ===========================================================================
+
+/// Builds a deterministic serving stack at a given engine parallelism, with
+/// a seeded random sales table and one 20% uniform scramble registered.
+/// Identical inputs give bit-identical catalogs at any thread count.
+fn streaming_stack(seed: u64, rows: usize, parallelism: usize) -> verdictdb::VerdictSession {
+    use std::sync::Arc;
+    use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext};
+    let engine = Engine::with_seed_and_parallelism(seed, parallelism);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = TableBuilder::new()
+        .int_column("k", (0..rows).map(|_| rng.gen_range(0..7i64)).collect())
+        .float_column(
+            "v",
+            (0..rows).map(|_| rng.gen_range(-50.0..150.0)).collect(),
+        )
+        .opt_float_column(
+            "w",
+            (0..rows)
+                .map(|_| (rng.gen::<f64>() > 0.05).then(|| rng.gen_range(0.0..10.0)))
+                .collect(),
+        )
+        .build()
+        .unwrap();
+    engine.register_table("sales", table);
+    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let mut config = VerdictConfig::for_testing();
+    config.io_budget = 1.0;
+    config.answer_cache_capacity = 0;
+    let ctx = Arc::new(VerdictContext::new(conn, config));
+    let mut session = verdictdb::VerdictSession::new(ctx);
+    session
+        .execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2")
+        .unwrap();
+    session
+}
+
+/// For seeded random aggregates, the streamed final frame equals the
+/// one-shot answer bit for bit at engine parallelism 1 and 4, and the
+/// interval half-widths are non-increasing in expectation across frames.
+#[test]
+fn streamed_final_frame_is_bit_identical_to_one_shot_and_intervals_shrink() {
+    let aggregates = [
+        "count(*) AS c",
+        "sum(v) AS s",
+        "avg(v) AS a",
+        "avg(w) AS aw",
+        "sum(v) / count(*) AS ratio",
+    ];
+    let mut first_widths = 0.0f64;
+    let mut last_widths = 0.0f64;
+    let mut shrink_steps = 0usize;
+    let mut total_steps = 0usize;
+    for case in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(900 + case);
+        let agg = aggregates[rng.gen_range(0..aggregates.len())];
+        let grouped = rng.gen_bool(0.5);
+        let query = if grouped {
+            format!("SELECT k, {agg} FROM sales GROUP BY k ORDER BY k")
+        } else {
+            format!("SELECT {agg} FROM sales")
+        };
+        let rows = 8_000 + rng.gen_range(0..4_000usize);
+        for parallelism in [1usize, 4] {
+            // Twin stacks: stream on one, one-shot on the other.
+            let mut streamer = streaming_stack(7_000 + case, rows, parallelism);
+            let mut oneshot = streaming_stack(7_000 + case, rows, parallelism);
+            streamer.execute("SET stream_block_rows = 300").unwrap();
+            let frames: Vec<_> = streamer
+                .stream(&query)
+                .unwrap()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap();
+            assert!(
+                frames.len() >= 4,
+                "seed {case}: only {} frames",
+                frames.len()
+            );
+            let reference = oneshot.execute(&query).unwrap().into_answer().unwrap();
+            assert!(
+                !reference.exact,
+                "seed {case}: reference must be approximate"
+            );
+            let last = &frames.last().unwrap().answer;
+            common::assert_tables_bit_identical(
+                &last.table,
+                &reference.table,
+                &format!("seed {case} par {parallelism}"),
+            );
+            for (x, y) in last.errors.iter().zip(reference.errors.iter()) {
+                assert_eq!(
+                    x.max_relative_error.to_bits(),
+                    y.max_relative_error.to_bits(),
+                    "seed {case} par {parallelism}: intervals must match"
+                );
+            }
+            // Interval refinement: `<col>_err` half-widths (for_testing
+            // keeps error columns on) shrink in expectation as the prefix
+            // grows.  Individual steps may wobble; totals must not.
+            if parallelism == 1 {
+                let width_of = |answer: &verdictdb::VerdictAnswer| -> f64 {
+                    let mut total = 0.0;
+                    for (i, f) in answer.table.schema.fields.iter().enumerate() {
+                        if f.name.ends_with("_err") {
+                            total += answer.table.columns[i]
+                                .iter()
+                                .filter_map(|v| v.as_f64())
+                                .filter(|w| w.is_finite())
+                                .sum::<f64>();
+                        }
+                    }
+                    total
+                };
+                let widths: Vec<f64> = frames.iter().map(|f| width_of(&f.answer)).collect();
+                first_widths += widths.first().unwrap();
+                last_widths += widths.last().unwrap();
+                for pair in widths.windows(2) {
+                    total_steps += 1;
+                    if pair[1] <= pair[0] + 1e-12 {
+                        shrink_steps += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        last_widths < first_widths,
+        "intervals must tighten overall: first {first_widths}, last {last_widths}"
+    );
+    assert!(
+        shrink_steps * 2 > total_steps,
+        "a majority of refinement steps must tighten the interval \
+         ({shrink_steps}/{total_steps})"
+    );
 }

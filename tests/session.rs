@@ -8,6 +8,9 @@
 //! a target error → append + refresh → show → drop) produces **bit-identical
 //! answers** in-process and over a TCP connection.
 
+mod common;
+
+use common::{assert_tables_bit_identical, values_bit_identical};
 use std::sync::Arc;
 use verdictdb::core::session::{VerdictResponse, VerdictSession};
 use verdictdb::server::{RemoteAnswer, VerdictClient, VerdictServer};
@@ -36,17 +39,6 @@ fn sales_context(seed: u64) -> Arc<VerdictContext> {
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = 64;
     Arc::new(VerdictContext::new(conn, config))
-}
-
-fn values_bit_identical(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
-        (Value::Null, Value::Null) => true,
-        (Value::Int(x), Value::Int(y)) => x == y,
-        (Value::Str(x), Value::Str(y)) => x == y,
-        (Value::Bool(x), Value::Bool(y)) => x == y,
-        _ => false,
-    }
 }
 
 /// The statement script driven through both transports.  Each entry is
@@ -388,4 +380,264 @@ fn execute_script_runs_statement_sequences() {
     assert!(matches!(responses[0], VerdictResponse::ScramblesCreated(_)));
     assert!(matches!(responses[1], VerdictResponse::OptionSet { .. }));
     assert!(!responses[2].answer().unwrap().exact);
+}
+
+// ---------------------------------------------------------------------------
+// Progressive streaming (PR 5)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn progressive_stream_refines_and_final_frame_matches_one_shot() {
+    // Twin stacks built from the same seed and statement sequence hold
+    // bit-identical data; stream on one, one-shot on the other.
+    let mut a = VerdictSession::new(sales_context(77));
+    let mut b = VerdictSession::new(sales_context(77));
+    const SCRAMBLE: &str = "CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2";
+    const Q: &str = "SELECT city, avg(price) AS ap FROM sales GROUP BY city";
+    a.execute(SCRAMBLE).unwrap();
+    b.execute(SCRAMBLE).unwrap();
+    // Large scrambles (20% of the base) need a matching I/O budget, or the
+    // planner ignores them; both sessions must agree for bit-identity.
+    a.execute("SET io_budget = 1").unwrap();
+    b.execute("SET io_budget = 1").unwrap();
+    let one_shot = b.execute(Q).unwrap().into_answer().unwrap();
+    assert!(!one_shot.exact);
+
+    a.execute("SET stream_block_rows = 1000").unwrap();
+    let stream = a.stream(Q).unwrap();
+    assert!(
+        stream.is_progressive(),
+        "single-table mean query must stream"
+    );
+    let frames: Vec<_> = stream.collect::<Result<Vec<_>, _>>().unwrap();
+    assert!(
+        frames.len() >= 5,
+        "expected many frames, got {}",
+        frames.len()
+    );
+
+    // Frames refine monotonically over the scramble prefix.
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(f.index, i + 1);
+        assert!(!f.answer.cached && !f.answer.exact);
+        assert_eq!(f.rows_seen, f.answer.rows_scanned);
+        if i > 0 {
+            assert!(f.rows_seen > frames[i - 1].rows_seen);
+        }
+        assert_eq!(f.last, i + 1 == frames.len());
+    }
+    let last = frames.last().unwrap();
+    assert_eq!(last.fraction, 1.0);
+    assert!(!last.early_stopped);
+
+    // The completed stream's final frame IS the one-shot answer, bit for bit.
+    assert_tables_bit_identical(&last.answer.table, &one_shot.table, "stream vs one-shot");
+    assert_eq!(last.answer.errors.len(), one_shot.errors.len());
+    for (x, y) in last.answer.errors.iter().zip(one_shot.errors.iter()) {
+        assert_eq!(x.column, y.column);
+        assert_eq!(
+            x.mean_relative_error.to_bits(),
+            y.mean_relative_error.to_bits()
+        );
+        assert_eq!(
+            x.max_relative_error.to_bits(),
+            y.max_relative_error.to_bits()
+        );
+    }
+}
+
+#[test]
+fn completed_stream_populates_the_answer_cache() {
+    let mut s = VerdictSession::new(sales_context(78));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2")
+        .unwrap();
+    const Q: &str = "SELECT avg(price) AS ap FROM sales";
+    s.execute("SET io_budget = 1").unwrap();
+    s.execute("SET stream_block_rows = 2000").unwrap();
+    let frames: Vec<_> = s.stream(Q).unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+    assert!(frames.len() >= 2);
+    // The next identical SELECT is served from the cache, bit-identically.
+    let repeat = s.execute(Q).unwrap().into_answer().unwrap();
+    assert!(repeat.cached, "completed stream must populate the cache");
+    assert_tables_bit_identical(
+        &repeat.table,
+        &frames.last().unwrap().answer.table,
+        "cache repeat",
+    );
+}
+
+#[test]
+fn stream_early_stops_at_target_error_and_skips_the_cache() {
+    let mut s = VerdictSession::new(sales_context(79));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.5")
+        .unwrap();
+    const Q: &str = "SELECT sum(price) AS total FROM sales";
+    s.execute("SET io_budget = 1").unwrap();
+    s.execute("SET stream_block_rows = 1000").unwrap();
+    s.execute("SET target_error = 0.5").unwrap();
+    let frames: Vec<_> = s.stream(Q).unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+    let last = frames.last().unwrap();
+    assert!(
+        last.early_stopped && last.fraction < 1.0,
+        "a loose target must stop the stream early (fraction {})",
+        last.fraction
+    );
+    assert!(last.answer.max_relative_error() <= 0.5);
+    // An early-stopped answer saw only a prefix: it must NOT be cached.
+    s.execute("SET target_error = default").unwrap();
+    let repeat = s.execute(Q).unwrap().into_answer().unwrap();
+    assert!(!repeat.cached, "prefix answers must never enter the cache");
+}
+
+#[test]
+fn stream_max_frames_caps_the_cadence_without_changing_the_answer() {
+    let mut a = VerdictSession::new(sales_context(80));
+    let mut b = VerdictSession::new(sales_context(80));
+    const SCRAMBLE: &str = "CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2";
+    const Q: &str = "SELECT city, count(*) AS n FROM sales GROUP BY city";
+    a.execute(SCRAMBLE).unwrap();
+    b.execute(SCRAMBLE).unwrap();
+    a.execute("SET io_budget = 1").unwrap();
+    b.execute("SET io_budget = 1").unwrap();
+    a.execute("SET stream_block_rows = 500").unwrap();
+    a.execute("SET stream_max_frames = 3").unwrap();
+    let capped: Vec<_> = a.stream(Q).unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+    assert_eq!(capped.len(), 3, "the cap bounds the frame count");
+    assert_eq!(capped.last().unwrap().fraction, 1.0);
+    b.execute("SET stream_block_rows = 500").unwrap();
+    let unbounded: Vec<_> = b.stream(Q).unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+    assert!(unbounded.len() > 3);
+    assert_tables_bit_identical(
+        &capped.last().unwrap().answer.table,
+        &unbounded.last().unwrap().answer.table,
+        "capped vs unbounded",
+    );
+}
+
+#[test]
+fn non_progressive_queries_fall_back_to_a_single_frame() {
+    let mut s = VerdictSession::new(sales_context(81));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2")
+        .unwrap();
+    // min/max is an extreme statistic: outside the progressive class.
+    let stream = s.stream("SELECT max(price) AS top FROM sales").unwrap();
+    assert!(!stream.is_progressive());
+    let frames: Vec<_> = stream.collect::<Result<Vec<_>, _>>().unwrap();
+    assert_eq!(frames.len(), 1);
+    assert!(frames[0].last);
+    assert_eq!(frames[0].fraction, 1.0);
+    // Under session bypass every stream is one exact frame.
+    s.execute("SET bypass = on").unwrap();
+    let frames: Vec<_> = s
+        .stream("SELECT avg(price) AS ap FROM sales")
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    assert_eq!(frames.len(), 1);
+    assert!(frames[0].answer.exact);
+}
+
+#[test]
+fn show_stats_reports_stream_and_cache_counters() {
+    let mut s = VerdictSession::new(sales_context(82));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2")
+        .unwrap();
+    s.execute("SET io_budget = 1").unwrap();
+    s.execute("SET stream_block_rows = 2000").unwrap();
+    let frames: Vec<_> = s
+        .stream("SELECT avg(price) AS ap FROM sales")
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    let stats = match s.execute("SHOW STATS").unwrap() {
+        VerdictResponse::Stats(t) => t,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let lookup = |name: &str| -> i64 {
+        (0..stats.num_rows())
+            .find(|&r| stats.value(r, 0) == Value::Str(name.into()))
+            .map(|r| stats.value(r, 1).as_i64().unwrap())
+            .unwrap_or_else(|| panic!("SHOW STATS is missing {name}"))
+    };
+    assert_eq!(lookup("streams_started"), 1);
+    assert_eq!(lookup("streams_completed"), 1);
+    assert_eq!(lookup("stream_frames"), frames.len() as i64);
+    assert_eq!(lookup("stream_early_stops"), 0);
+    assert_eq!(lookup("stream_fallbacks"), 0);
+    // Cache activity counters are visible (the completed stream inserted).
+    assert!(lookup("cache_insertions") >= 1);
+    assert!(lookup("cache_capacity") >= 1);
+}
+
+#[test]
+fn stream_statement_alias_early_stops_like_the_frame_iterator() {
+    // The `STREAM <query>` statement (the single-response alias) must keep
+    // the iterator's early-stop semantics: a loose target means a strict
+    // prefix is read, not the whole scramble.
+    let mut s = VerdictSession::new(sales_context(83));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.5")
+        .unwrap();
+    s.execute("SET io_budget = 1").unwrap();
+    s.execute("SET stream_block_rows = 1000").unwrap();
+    s.execute("SET target_error = 0.5").unwrap();
+    let answer = s
+        .execute("STREAM SELECT sum(price) AS total FROM sales")
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    let scramble_rows = match s.execute("SHOW SCRAMBLES").unwrap() {
+        VerdictResponse::Scrambles(t) => {
+            let idx = t.schema.index_of("rows").unwrap();
+            t.value(0, idx).as_i64().unwrap() as u64
+        }
+        other => panic!("expected scrambles, got {other:?}"),
+    };
+    assert!(
+        answer.rows_scanned < scramble_rows,
+        "alias must stop after a prefix ({} of {scramble_rows} rows read)",
+        answer.rows_scanned
+    );
+    // Without a target the alias consumes everything in one frame.
+    s.execute("SET target_error = default").unwrap();
+    let full = s
+        .execute("STREAM SELECT sum(price) AS total FROM sales")
+        .unwrap()
+        .into_answer()
+        .unwrap();
+    assert_eq!(full.rows_scanned, scramble_rows);
+}
+
+#[test]
+fn appended_scrambles_decline_progressive_execution_until_rebuilt() {
+    // Append maintenance puts batch rows unshuffled at the scramble's tail,
+    // losing the "any prefix is a uniform subsample" property; streams must
+    // fall back to one-shot answers until a rebuild restores the shuffle.
+    let mut s = VerdictSession::new(sales_context(84));
+    s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.2")
+        .unwrap();
+    s.execute("SET io_budget = 1").unwrap();
+    s.execute("SET stream_block_rows = 1000").unwrap();
+    const Q: &str = "SELECT avg(price) AS ap FROM sales";
+    assert!(s.stream(Q).unwrap().is_progressive());
+
+    // Append a batch and fold it into the scramble.
+    s.execute("BYPASS CREATE TABLE batch AS SELECT id, price, city FROM sales LIMIT 5000")
+        .unwrap();
+    s.execute("BYPASS INSERT INTO sales SELECT * FROM batch")
+        .unwrap();
+    s.execute("REFRESH SCRAMBLES sales FROM batch").unwrap();
+    let stream = s.stream(Q).unwrap();
+    assert!(
+        !stream.is_progressive(),
+        "a tail-appended scramble must not stream block-by-block"
+    );
+    let frames: Vec<_> = stream.collect::<Result<Vec<_>, _>>().unwrap();
+    assert_eq!(frames.len(), 1, "one-shot fallback is a single frame");
+
+    // A batchless REFRESH rebuilds (and re-shuffles) the scramble.
+    s.execute("REFRESH SCRAMBLES sales").unwrap();
+    assert!(
+        s.stream(Q).unwrap().is_progressive(),
+        "a rebuilt scramble streams again"
+    );
 }
