@@ -19,180 +19,12 @@
 
 use std::sync::Arc;
 use std::time::Instant;
+use verdict_bench::kernel::{
+    self, median_secs, par_filter_mask, par_grouped_sum, par_sum_avg, synthetic_columns, REPS, ROWS,
+};
 use verdict_core::{SampleType, VerdictConfig, VerdictContext, VerdictSession};
-use verdict_engine::kernels::{self, group_rows, group_rows_with};
-use verdict_engine::{Column, ColumnData, Connection, Engine, TableBuilder, ThreadPool, Value};
+use verdict_engine::{Connection, Engine, TableBuilder, ThreadPool};
 use verdict_server::{VerdictClient, VerdictServer};
-use verdict_sql::ast::BinaryOp;
-
-const ROWS: usize = 1_000_000;
-const REPS: usize = 7;
-
-/// Runs `f` REPS times and returns the median wall-clock time in seconds.
-fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
-    let mut times: Vec<f64> = (0..REPS)
-        .map(|_| {
-            let t0 = Instant::now();
-            let out = f();
-            let dt = t0.elapsed().as_secs_f64();
-            std::hint::black_box(out);
-            dt
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
-}
-
-/// Deterministic synthetic columns: a float "price" with ~1% NULLs and an
-/// int "qty", mimicking the shape of the Instacart fact table.
-fn synthetic_columns(n: usize) -> (Column, Column) {
-    let mut price: Vec<Option<f64>> = Vec::with_capacity(n);
-    let mut qty: Vec<i64> = Vec::with_capacity(n);
-    let mut state = 0x5a5a5a5au64;
-    for i in 0..n {
-        // splitmix-style scramble, deterministic across runs
-        state = state.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z ^= z >> 31;
-        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-        price.push(if z.is_multiple_of(100) {
-            None
-        } else {
-            Some(1.5 + 30.0 * u)
-        });
-        qty.push((i % 7) as i64 + 1);
-    }
-    (Column::from_opt_f64(price), Column::from_i64(qty))
-}
-
-// ---------------------------------------------------------------------------
-// Scalar reference paths: per-cell Value materialisation + enum dispatch,
-// the exact shape of the pre-refactor evaluator.
-// ---------------------------------------------------------------------------
-
-fn scalar_filter_mask(col: &Column, threshold: f64) -> Vec<bool> {
-    let t = Value::Float(threshold);
-    (0..col.len())
-        .map(|i| {
-            col.value_at(i)
-                .sql_cmp(&t)
-                .map(|o| o == std::cmp::Ordering::Greater)
-                .unwrap_or(false)
-        })
-        .collect()
-}
-
-fn scalar_sum_avg(col: &Column) -> (f64, f64) {
-    let mut sum = 0.0;
-    let mut count = 0u64;
-    for i in 0..col.len() {
-        if let Some(x) = col.value_at(i).as_f64() {
-            sum += x;
-            count += 1;
-        }
-    }
-    (sum, sum / count.max(1) as f64)
-}
-
-fn scalar_grouped_sum(keys: &Column, values: &Column) -> Vec<(verdict_engine::KeyValue, f64)> {
-    let mut map: std::collections::HashMap<verdict_engine::KeyValue, f64> =
-        std::collections::HashMap::new();
-    for i in 0..keys.len() {
-        let k = verdict_engine::KeyValue::from_value(&keys.value_at(i));
-        if let Some(x) = values.value_at(i).as_f64() {
-            *map.entry(k).or_insert(0.0) += x;
-        }
-    }
-    map.into_iter().collect()
-}
-
-// ---------------------------------------------------------------------------
-// Vectorized paths: typed-column kernels (serial).
-// ---------------------------------------------------------------------------
-
-fn vector_filter_mask(col: &Column, threshold: f64) -> Vec<bool> {
-    let t = Column::repeat(&Value::Float(threshold), col.len());
-    kernels::column_to_mask(&kernels::compare(col, BinaryOp::Gt, &t))
-}
-
-fn vector_sum_avg(col: &Column) -> (f64, f64) {
-    let (sum, count) = col.sum_count_f64();
-    (sum, sum / count.max(1) as f64)
-}
-
-fn vector_grouped_sum(keys: &Column, values: &Column) -> Vec<f64> {
-    let grouping = group_rows(std::slice::from_ref(keys), keys.len());
-    let mut sums = vec![0.0f64; grouping.num_groups()];
-    match values.data() {
-        ColumnData::Float64(v) => {
-            for (i, &g) in grouping.gids.iter().enumerate() {
-                if values.is_valid(i) {
-                    sums[g] += v[i];
-                }
-            }
-        }
-        _ => {
-            for (i, &g) in grouping.gids.iter().enumerate() {
-                if let Some(x) = values.f64_at(i) {
-                    sums[g] += x;
-                }
-            }
-        }
-    }
-    sums
-}
-
-// ---------------------------------------------------------------------------
-// Morsel-parallel paths: the same kernels across a ThreadPool.  Partial
-// states merge in morsel order, so results are bit-identical to running the
-// same morsel decomposition on one thread.
-// ---------------------------------------------------------------------------
-
-fn par_filter_mask(col: &Column, threshold: f64, pool: &ThreadPool) -> Vec<bool> {
-    let t = Column::repeat(&Value::Float(threshold), col.len());
-    kernels::par_filter_mask(col, BinaryOp::Gt, &t, pool)
-}
-
-fn par_sum_avg(col: &Column, pool: &ThreadPool) -> (f64, f64) {
-    let (sum, count) = col.par_sum_count_f64(pool);
-    (sum, sum / count.max(1) as f64)
-}
-
-fn par_grouped_sum(keys: &Column, values: &Column, pool: &ThreadPool) -> Vec<f64> {
-    let n = keys.len();
-    let grouping = group_rows_with(std::slice::from_ref(keys), n, pool);
-    let num_groups = grouping.num_groups();
-    let partials = pool.run_morsels(n, |range| {
-        let mut sums = vec![0.0f64; num_groups];
-        match values.data() {
-            ColumnData::Float64(v) => {
-                for i in range {
-                    if values.is_valid(i) {
-                        sums[grouping.gids[i]] += v[i];
-                    }
-                }
-            }
-            _ => {
-                for i in range {
-                    if let Some(x) = values.f64_at(i) {
-                        sums[grouping.gids[i]] += x;
-                    }
-                }
-            }
-        }
-        sums
-    });
-    partials
-        .into_iter()
-        .reduce(|mut merged, partial| {
-            for (dst, src) in merged.iter_mut().zip(partial) {
-                *dst += src;
-            }
-            merged
-        })
-        .unwrap_or_else(|| vec![0.0; num_groups])
-}
 
 // ---------------------------------------------------------------------------
 // Serving-layer benchmarks: cached vs uncached repeats of a dashboard query,
@@ -454,39 +286,30 @@ fn json_rows(rows: &[Row], baseline_key: &str, candidate_key: &str) -> String {
 }
 
 fn main() {
+    kernel::warn_if_few_cpus();
+    let cpus = kernel::cpus();
+    let rustc = kernel::rustc_version();
     let pool = ThreadPool::with_default_parallelism();
     let parallelism = pool.parallelism();
     println!(
         "# micro_kernels — scalar vs typed-column vs morsel-parallel \
-         ({ROWS} rows, median of {REPS}, pool of {parallelism})"
+         ({ROWS} rows, median of {REPS}, pool of {parallelism}, {cpus} cpu(s), {rustc})"
     );
     let (price, qty) = synthetic_columns(ROWS);
 
-    // Sanity: all paths must agree before we time them.
+    // Sanity for the parallel section: partials merge in morsel order, so
+    // every kernel is bit-identical at ANY pool size.  (The scalar-vs-
+    // vectorized pairs are cross-checked inside scalar_vs_vectorized_rows.)
+    let serial_pool = ThreadPool::serial();
     assert_eq!(
-        scalar_filter_mask(&price, 15.0),
-        vector_filter_mask(&price, 15.0)
-    );
-    assert_eq!(
-        vector_filter_mask(&price, 15.0),
+        par_filter_mask(&price, 15.0, &serial_pool),
         par_filter_mask(&price, 15.0, &pool),
         "parallel filter mask must equal the serial mask exactly"
     );
-    let (ss, sa) = scalar_sum_avg(&price);
-    let (vs, va) = vector_sum_avg(&price);
-    assert!((ss - vs).abs() < 1e-6 && (sa - va).abs() < 1e-9);
-    // Parallel partials merge in morsel order: bit-identical at ANY pool size.
-    let serial_pool = ThreadPool::serial();
     let (p1s, p1a) = par_sum_avg(&price, &serial_pool);
     let (pns, pna) = par_sum_avg(&price, &pool);
     assert_eq!(p1s.to_bits(), pns.to_bits());
     assert_eq!(p1a.to_bits(), pna.to_bits());
-    let scalar_groups = scalar_grouped_sum(&qty, &price);
-    let vector_groups = vector_grouped_sum(&qty, &price);
-    assert_eq!(scalar_groups.len(), vector_groups.len());
-    let scalar_total: f64 = scalar_groups.iter().map(|(_, s)| s).sum();
-    let vector_total: f64 = vector_groups.iter().sum();
-    assert!((scalar_total - vector_total).abs() / scalar_total.abs() < 1e-9);
     let par_groups_1 = par_grouped_sum(&qty, &price, &serial_pool);
     let par_groups_n = par_grouped_sum(&qty, &price, &pool);
     assert_eq!(par_groups_1.len(), par_groups_n.len());
@@ -498,23 +321,15 @@ fn main() {
         );
     }
 
-    let vector_rows = vec![
-        Row {
-            name: "filter_gt",
-            baseline_secs: median_secs(|| scalar_filter_mask(&price, 15.0)),
-            candidate_secs: median_secs(|| vector_filter_mask(&price, 15.0)),
-        },
-        Row {
-            name: "sum_avg",
-            baseline_secs: median_secs(|| scalar_sum_avg(&price)),
-            candidate_secs: median_secs(|| vector_sum_avg(&price)),
-        },
-        Row {
-            name: "grouped_sum",
-            baseline_secs: median_secs(|| scalar_grouped_sum(&qty, &price)),
-            candidate_secs: median_secs(|| vector_grouped_sum(&qty, &price)),
-        },
-    ];
+    // The gated section: the same rows `verdict-bench --check` re-runs.
+    let vector_rows: Vec<Row> = kernel::scalar_vs_vectorized_rows()
+        .into_iter()
+        .map(|r| Row {
+            name: r.name,
+            baseline_secs: r.scalar_secs,
+            candidate_secs: r.vectorized_secs,
+        })
+        .collect();
     print_table(
         "scalar Value path vs typed-column kernels",
         "scalar",
@@ -623,7 +438,8 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"rows\": {ROWS},\n  \"reps\": {REPS},\n  \"parallelism\": {parallelism},\n  \"kernels\": [\n"
+        "  \"rows\": {ROWS},\n  \"reps\": {REPS},\n  \"parallelism\": {parallelism},\n  \
+         \"cpus\": {cpus},\n  \"rustc\": \"{rustc}\",\n  \"kernels\": [\n"
     ));
     json.push_str(&json_rows(&vector_rows, "scalar_secs", "vectorized_secs"));
     json.push_str(&format!(

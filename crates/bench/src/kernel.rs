@@ -1,0 +1,428 @@
+//! Shared scalar-vs-vectorized kernel micro-benchmark rows.
+//!
+//! Backs both the `micro_kernels` bench (which writes the committed
+//! `BENCH_kernels.json` perf snapshot) and the `verdict-bench` regression
+//! gate binary (which re-runs the same rows and compares them against that
+//! snapshot), so the gate and the snapshot can never drift apart on *what*
+//! they measure.
+//!
+//! The scalar paths materialise every cell as a dynamically-typed `Value`
+//! with per-cell enum dispatch — the exact shape of the engine before the
+//! typed-columnar refactor.  The vectorized paths are the packed-mask /
+//! dictionary-key / radix-partition kernels the engine runs today.
+
+use std::time::Instant;
+use verdict_engine::kernels::{self, group_rows_with};
+use verdict_engine::{Column, ColumnData, SelVec, ThreadPool, Value};
+use verdict_sql::ast::BinaryOp;
+
+/// Rows per benchmarked column.
+pub const ROWS: usize = 1_000_000;
+/// Repetitions per timing (the median is reported).
+pub const REPS: usize = 7;
+
+/// Runs `f` [`REPS`] times and returns the median wall-clock time in seconds.
+pub fn median_secs<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Deterministic synthetic columns: a float "price" with ~1% NULLs and an
+/// int "qty" with 7 distinct values, mimicking the shape of the Instacart
+/// fact table.
+pub fn synthetic_columns(n: usize) -> (Column, Column) {
+    let mut price: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut qty: Vec<i64> = Vec::with_capacity(n);
+    let mut state = 0x5a5a5a5au64;
+    for i in 0..n {
+        // splitmix-style scramble, deterministic across runs
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        price.push(if z.is_multiple_of(100) {
+            None
+        } else {
+            Some(1.5 + 30.0 * u)
+        });
+        qty.push((i % 7) as i64 + 1);
+    }
+    (Column::from_opt_f64(price), Column::from_i64(qty))
+}
+
+/// 16-distinct dense int keys: squarely inside the dictionary-grouping
+/// window (a tiny min..max range, direct-indexed group codes).
+pub fn keys_16(n: usize) -> Column {
+    Column::from_i64((0..n as i64).map(|i| i % 16).collect())
+}
+
+/// ~n-distinct wide int keys: far beyond any dictionary, the shape the
+/// radix-partitioned grouping path exists for.
+pub fn keys_distinct(n: usize) -> Column {
+    Column::from_i64((0..n as i64).map(|i| i.wrapping_mul(104_729)).collect())
+}
+
+/// A wide scan input: a float selector column plus `width` float payload
+/// columns, for the late-materialization scan benchmark.
+pub fn scan_columns(n: usize, width: usize) -> (Column, Vec<Column>) {
+    let (sel, _) = synthetic_columns(n);
+    let payload = (0..width)
+        .map(|c| Column::from_f64((0..n).map(|i| ((i * (c + 3)) % 1000) as f64).collect()))
+        .collect();
+    (sel, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference paths.
+// ---------------------------------------------------------------------------
+
+/// Per-cell `Value` comparison into a `Vec<bool>` mask.
+pub fn scalar_filter_mask(col: &Column, threshold: f64) -> Vec<bool> {
+    let t = Value::Float(threshold);
+    (0..col.len())
+        .map(|i| {
+            col.value_at(i)
+                .sql_cmp(&t)
+                .map(|o| o == std::cmp::Ordering::Greater)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Per-cell `Value` sum/avg fold.
+pub fn scalar_sum_avg(col: &Column) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for i in 0..col.len() {
+        if let Some(x) = col.value_at(i).as_f64() {
+            sum += x;
+            count += 1;
+        }
+    }
+    (sum, sum / count.max(1) as f64)
+}
+
+/// Per-cell `KeyValue`-hashed grouped sum.
+pub fn scalar_grouped_sum(keys: &Column, values: &Column) -> Vec<(verdict_engine::KeyValue, f64)> {
+    let mut map: std::collections::HashMap<verdict_engine::KeyValue, f64> =
+        std::collections::HashMap::new();
+    for i in 0..keys.len() {
+        let k = verdict_engine::KeyValue::from_value(&keys.value_at(i));
+        // The group exists even when this row's value is NULL — GROUP BY
+        // semantics, and what the gid-indexed vectorized fold produces.
+        let entry = map.entry(k).or_insert(0.0);
+        if let Some(x) = values.value_at(i).as_f64() {
+            *entry += x;
+        }
+    }
+    map.into_iter().collect()
+}
+
+/// Row-at-a-time scan: test the selector per row, materialise every payload
+/// cell of surviving rows as a `Value` — the pre-refactor scan shape.
+pub fn scalar_scan_gather(sel: &Column, payload: &[Column], threshold: f64) -> Vec<Vec<Value>> {
+    let t = Value::Float(threshold);
+    let mut out = Vec::new();
+    for i in 0..sel.len() {
+        let keep = sel
+            .value_at(i)
+            .sql_cmp(&t)
+            .map(|o| o == std::cmp::Ordering::Greater)
+            .unwrap_or(false);
+        if keep {
+            out.push(payload.iter().map(|c| c.value_at(i)).collect());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized paths: the engine's typed-column kernels (serial pool).
+// ---------------------------------------------------------------------------
+
+/// Fused branch-free compare + packed-mask kernel.
+pub fn vector_filter_mask(col: &Column, threshold: f64) -> SelVec {
+    let t = Column::repeat(&Value::Float(threshold), col.len());
+    kernels::par_filter_mask(col, BinaryOp::Gt, &t, &ThreadPool::serial())
+}
+
+/// Typed sum/avg kernel.
+pub fn vector_sum_avg(col: &Column) -> (f64, f64) {
+    let (sum, count) = col.sum_count_f64();
+    (sum, sum / count.max(1) as f64)
+}
+
+/// Strategy-dispatched grouping (dict / radix / hash by key shape) plus a
+/// dense gid-indexed sum fold.
+pub fn vector_grouped_sum(keys: &Column, values: &Column, pool: &ThreadPool) -> Vec<f64> {
+    let grouping = group_rows_with(std::slice::from_ref(keys), keys.len(), pool);
+    let mut sums = vec![0.0f64; grouping.num_groups()];
+    match values.data() {
+        ColumnData::Float64(v) => {
+            for (i, &g) in grouping.gids.iter().enumerate() {
+                if values.is_valid(i) {
+                    sums[g] += v[i];
+                }
+            }
+        }
+        _ => {
+            for (i, &g) in grouping.gids.iter().enumerate() {
+                if let Some(x) = values.f64_at(i) {
+                    sums[g] += x;
+                }
+            }
+        }
+    }
+    sums
+}
+
+/// Late-materialized scan: packed mask over the selector column only, then a
+/// per-column gather of the surviving rows — never touching the payload
+/// cells of filtered-out rows.
+pub fn late_mat_scan(
+    sel: &Column,
+    payload: &[Column],
+    threshold: f64,
+    pool: &ThreadPool,
+) -> Vec<Column> {
+    let t = Column::repeat(&Value::Float(threshold), sel.len());
+    let mask = kernels::par_filter_mask(sel, BinaryOp::Gt, &t, pool);
+    let rows = mask.indices();
+    payload.iter().map(|c| c.take(&rows)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel paths: the same kernels across a ThreadPool.  Partial
+// states merge in morsel order, so results are bit-identical to running the
+// same morsel decomposition on one thread.
+// ---------------------------------------------------------------------------
+
+/// Morsel-parallel fused compare + packed mask.
+pub fn par_filter_mask(col: &Column, threshold: f64, pool: &ThreadPool) -> SelVec {
+    let t = Column::repeat(&Value::Float(threshold), col.len());
+    kernels::par_filter_mask(col, BinaryOp::Gt, &t, pool)
+}
+
+/// Morsel-parallel sum/avg.
+pub fn par_sum_avg(col: &Column, pool: &ThreadPool) -> (f64, f64) {
+    let (sum, count) = col.par_sum_count_f64(pool);
+    (sum, sum / count.max(1) as f64)
+}
+
+/// Morsel-parallel grouped sum (strategy-dispatched grouping + per-morsel
+/// partial sums merged in morsel order).
+pub fn par_grouped_sum(keys: &Column, values: &Column, pool: &ThreadPool) -> Vec<f64> {
+    let n = keys.len();
+    let grouping = group_rows_with(std::slice::from_ref(keys), n, pool);
+    let num_groups = grouping.num_groups();
+    let partials = pool.run_morsels(n, |range| {
+        let mut sums = vec![0.0f64; num_groups];
+        match values.data() {
+            ColumnData::Float64(v) => {
+                for i in range {
+                    if values.is_valid(i) {
+                        sums[grouping.gids[i]] += v[i];
+                    }
+                }
+            }
+            _ => {
+                for i in range {
+                    if let Some(x) = values.f64_at(i) {
+                        sums[grouping.gids[i]] += x;
+                    }
+                }
+            }
+        }
+        sums
+    });
+    partials
+        .into_iter()
+        .reduce(|mut merged, partial| {
+            for (dst, src) in merged.iter_mut().zip(partial) {
+                *dst += src;
+            }
+            merged
+        })
+        .unwrap_or_else(|| vec![0.0; num_groups])
+}
+
+// ---------------------------------------------------------------------------
+// The gated rows.
+// ---------------------------------------------------------------------------
+
+/// One scalar-vs-vectorized benchmark row; `vectorized_secs` is what the
+/// regression gate compares against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Stable kernel name (the gate matches baseline entries by it).
+    pub name: &'static str,
+    /// Median seconds on the scalar `Value` reference path.
+    pub scalar_secs: f64,
+    /// Median seconds on the vectorized kernel path.
+    pub vectorized_secs: f64,
+}
+
+impl KernelRow {
+    /// Scalar-over-vectorized speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_secs / self.vectorized_secs.max(1e-12)
+    }
+}
+
+/// Payload columns in the late-materialization scan row.
+pub const SCAN_WIDTH: usize = 8;
+/// Selector threshold for the scan row (~10% of rows survive).
+pub const SCAN_THRESHOLD: f64 = 28.5;
+
+/// Runs every scalar-vs-vectorized row at [`ROWS`] rows — cross-checking
+/// each pair for agreement before timing it — and returns the rows in the
+/// order they appear in `BENCH_kernels.json`.
+pub fn scalar_vs_vectorized_rows() -> Vec<KernelRow> {
+    let serial = ThreadPool::serial();
+    let (price, qty) = synthetic_columns(ROWS);
+    let k16 = keys_16(ROWS);
+    let kwide = keys_distinct(ROWS);
+    let (sel, payload) = scan_columns(ROWS, SCAN_WIDTH);
+
+    // Sanity: every scalar/vectorized pair must agree before we time it.
+    assert_eq!(
+        scalar_filter_mask(&price, 15.0),
+        vector_filter_mask(&price, 15.0).to_bools()
+    );
+    let (ss, sa) = scalar_sum_avg(&price);
+    let (vs, va) = vector_sum_avg(&price);
+    assert!((ss - vs).abs() < 1e-6 && (sa - va).abs() < 1e-9);
+    for keys in [&qty, &k16, &kwide] {
+        let scalar_groups = scalar_grouped_sum(keys, &price);
+        let vector_groups = vector_grouped_sum(keys, &price, &serial);
+        assert_eq!(scalar_groups.len(), vector_groups.len());
+        let scalar_total: f64 = scalar_groups.iter().map(|(_, s)| s).sum();
+        let vector_total: f64 = vector_groups.iter().sum();
+        assert!((scalar_total - vector_total).abs() / scalar_total.abs() < 1e-9);
+    }
+    let scalar_rows = scalar_scan_gather(&sel, &payload, SCAN_THRESHOLD);
+    let gathered = late_mat_scan(&sel, &payload, SCAN_THRESHOLD, &serial);
+    assert!(gathered.iter().all(|c| c.len() == scalar_rows.len()));
+    let scalar_checksum: f64 = scalar_rows
+        .iter()
+        .flat_map(|r| r.iter().filter_map(|v| v.as_f64()))
+        .sum();
+    let gathered_checksum: f64 = gathered.iter().map(|c| c.sum_count_f64().0).sum();
+    assert!((scalar_checksum - gathered_checksum).abs() / scalar_checksum.abs() < 1e-9);
+
+    vec![
+        KernelRow {
+            name: "filter_gt",
+            scalar_secs: median_secs(|| scalar_filter_mask(&price, 15.0)),
+            vectorized_secs: median_secs(|| vector_filter_mask(&price, 15.0)),
+        },
+        KernelRow {
+            name: "sum_avg",
+            scalar_secs: median_secs(|| scalar_sum_avg(&price)),
+            vectorized_secs: median_secs(|| vector_sum_avg(&price)),
+        },
+        KernelRow {
+            name: "grouped_sum",
+            scalar_secs: median_secs(|| scalar_grouped_sum(&qty, &price)),
+            vectorized_secs: median_secs(|| vector_grouped_sum(&qty, &price, &serial)),
+        },
+        KernelRow {
+            name: "grouped_sum_16d",
+            scalar_secs: median_secs(|| scalar_grouped_sum(&k16, &price)),
+            vectorized_secs: median_secs(|| vector_grouped_sum(&k16, &price, &serial)),
+        },
+        KernelRow {
+            name: "grouped_sum_1m",
+            scalar_secs: median_secs(|| scalar_grouped_sum(&kwide, &price)),
+            vectorized_secs: median_secs(|| vector_grouped_sum(&kwide, &price, &serial)),
+        },
+        KernelRow {
+            name: "late_mat_scan",
+            scalar_secs: median_secs(|| scalar_scan_gather(&sel, &payload, SCAN_THRESHOLD)),
+            vectorized_secs: median_secs(|| late_mat_scan(&sel, &payload, SCAN_THRESHOLD, &serial)),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Machine provenance for the perf snapshot.
+// ---------------------------------------------------------------------------
+
+/// Logical CPUs available to this process.
+pub fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The active `rustc -V` string, or `"unknown"` when rustc is unreachable.
+pub fn rustc_version() -> String {
+    let rustc = std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into());
+    std::process::Command::new(rustc)
+        .arg("-V")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Prints a loud warning when fewer than 4 cores are available: parallel
+/// speedups are meaningless and timings are noisy on such boxes, so their
+/// snapshots should not become the committed baseline.
+pub fn warn_if_few_cpus() {
+    let n = cpus();
+    if n < 4 {
+        eprintln!(
+            "WARNING: only {n} CPU core(s) available — timings will be noisy and \
+             parallel speedups meaningless; do not commit a BENCH_kernels.json \
+             baseline produced on this machine"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_vectorized_paths_agree_on_small_inputs() {
+        let n = 10_000;
+        let serial = ThreadPool::serial();
+        let (price, qty) = synthetic_columns(n);
+        assert_eq!(
+            scalar_filter_mask(&price, 15.0),
+            vector_filter_mask(&price, 15.0).to_bools()
+        );
+        for keys in [&qty, &keys_16(n), &keys_distinct(n)] {
+            let scalar: f64 = scalar_grouped_sum(keys, &price)
+                .iter()
+                .map(|(_, s)| s)
+                .sum();
+            let vector: f64 = vector_grouped_sum(keys, &price, &serial).iter().sum();
+            assert!((scalar - vector).abs() / scalar.abs() < 1e-9);
+        }
+        let (sel, payload) = scan_columns(n, 4);
+        let scalar_rows = scalar_scan_gather(&sel, &payload, SCAN_THRESHOLD);
+        let gathered = late_mat_scan(&sel, &payload, SCAN_THRESHOLD, &serial);
+        assert!(!scalar_rows.is_empty());
+        assert!(gathered.iter().all(|c| c.len() == scalar_rows.len()));
+    }
+
+    #[test]
+    fn machine_provenance_is_reportable() {
+        assert!(cpus() >= 1);
+        assert!(!rustc_version().is_empty());
+    }
+}

@@ -8,6 +8,8 @@
 //! roughly what factor, where the crossovers fall — are what the paper's
 //! conclusions rest on and are preserved at any scale.
 
+pub mod kernel;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use verdict_core::estimate::{

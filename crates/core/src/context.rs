@@ -120,10 +120,13 @@ impl VerdictContext {
         dialect: Box<dyn Dialect>,
         config: VerdictConfig,
     ) -> VerdictContext {
-        // Thread the parallelism knob through to the engine; connections
-        // without a local execution engine ignore the hint.
+        // Thread the engine speed knobs through to the connection;
+        // connections without a local execution engine ignore the hints.
         if let Some(threads) = config.parallelism {
             conn.set_parallelism(threads);
+        }
+        if let Some(strategy) = config.group_strategy {
+            conn.set_group_strategy(strategy);
         }
         let cache = AnswerCache::new(config.answer_cache_capacity);
         VerdictContext {

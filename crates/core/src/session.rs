@@ -31,7 +31,7 @@ use crate::progress::ProgressStream;
 use crate::sample::maintenance::Staleness;
 use crate::sample::{SampleMeta, SampleType};
 use std::sync::Arc;
-use verdict_engine::{Table, TableBuilder};
+use verdict_engine::{GroupStrategy, Table, TableBuilder};
 use verdict_sql::ast::{Literal, ScrambleMethod, SetValue, Statement};
 use verdict_sql::printer::print_statement;
 
@@ -61,6 +61,13 @@ pub struct QueryOptions {
     /// pool, so per-statement isolation is not possible); `SET parallelism
     /// = default` restores the base configuration's setting.
     pub parallelism: Option<usize>,
+    /// `SET group_strategy = auto|hash|dict|radix` — GROUP BY clustering
+    /// strategy hint for the engine's grouping kernels.  Every strategy
+    /// yields bit-identical answers (same first-appearance group order);
+    /// only latency changes.  **Engine-wide, not session-scoped**, exactly
+    /// like [`Self::parallelism`]; `SET group_strategy = default` restores
+    /// the base configuration's setting.
+    pub group_strategy: Option<GroupStrategy>,
     /// `SET bypass = on|off` — when on, every query runs exactly on the
     /// base tables (a session-wide `BYPASS`).
     pub bypass: bool,
@@ -95,9 +102,10 @@ impl QueryOptions {
         if self.cache == Some(false) {
             cfg.answer_cache_capacity = 0;
         }
-        // `parallelism` is deliberately NOT folded in: the engine reads the
-        // knob only at context construction, so the per-statement config
-        // cannot carry it — SET applies the hint to the shared pool instead.
+        // `parallelism` and `group_strategy` are deliberately NOT folded in:
+        // the engine reads those knobs only at context construction, so the
+        // per-statement config cannot carry them — SET applies each hint to
+        // the shared pool instead.
         if let Some(e) = self.error_columns {
             cfg.include_error_columns = e;
         }
@@ -516,6 +524,36 @@ impl VerdictSession {
                 }
                 Ok(("parallelism".into(), render(self.options.parallelism)))
             }
+            "group_strategy" => {
+                let v = if reset {
+                    None
+                } else {
+                    let word = match value {
+                        SetValue::Ident(w) => w.clone(),
+                        SetValue::Literal(Literal::String(s)) => s.clone(),
+                        other => {
+                            return Err(VerdictError::Unsupported(format!(
+                                "expected auto/hash/dict/radix, got {other}"
+                            )))
+                        }
+                    };
+                    Some(GroupStrategy::parse(&word).ok_or_else(|| {
+                        VerdictError::Unsupported(format!(
+                            "unknown group_strategy {word} (auto, hash, dict, radix)"
+                        ))
+                    })?)
+                };
+                self.options.group_strategy = v;
+                // Like parallelism, the hint targets the shared engine pool;
+                // every strategy yields bit-identical groupings, so only
+                // latency changes.  Reset restores the base configuration's
+                // setting (or Auto).
+                let effective = v
+                    .or(self.ctx.config().group_strategy)
+                    .unwrap_or(GroupStrategy::Auto);
+                self.ctx.connection().set_group_strategy(effective);
+                Ok(("group_strategy".into(), render(self.options.group_strategy)))
+            }
             "bypass" => {
                 self.options.bypass = if reset { false } else { value_bool(value)? };
                 Ok(("bypass".into(), self.options.bypass.to_string()))
@@ -581,8 +619,8 @@ impl VerdictSession {
             }
             other => Err(VerdictError::Unsupported(format!(
                 "unknown session option {other} (target_error, confidence, cache, \
-                 parallelism, bypass, error_columns, io_budget, sampling_ratio, \
-                 stream_block_rows, stream_max_frames)"
+                 parallelism, group_strategy, bypass, error_columns, io_budget, \
+                 sampling_ratio, stream_block_rows, stream_max_frames)"
             ))),
         }
     }

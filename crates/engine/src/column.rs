@@ -12,6 +12,7 @@
 //! [`Column::from_values`]) is kept as a compatibility shim for the
 //! planner/rewriter layers, tests, and cold paths.
 
+use crate::selvec::SelVec;
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
 
@@ -54,6 +55,12 @@ impl Bitmap {
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// The packed words (64 bits each, LSB-first), for word-wise combination
+    /// with selection vectors.  Bits past `len` in the last word are clear.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// True when the bitmap covers zero rows.
@@ -126,19 +133,30 @@ impl Bitmap {
         out
     }
 
-    /// Keeps the bits where `mask` is true.
-    pub fn filter(&self, mask: &[bool]) -> Bitmap {
-        debug_assert_eq!(mask.len(), self.len);
-        let mut out = Bitmap::new_null(mask.iter().filter(|&&k| k).count());
-        let mut pos = 0;
-        for (i, &keep) in mask.iter().enumerate() {
-            if keep {
-                if self.get(i) {
-                    out.set(pos);
-                }
-                pos += 1;
+    /// Copies the bit range `[start, start + len)` into a new bitmap,
+    /// word-wise: whole words when `start` is word-aligned, otherwise each
+    /// output word is stitched from two adjacent input words.  This is the
+    /// validity half of [`Column::slice`]'s memcpy fast path.
+    pub fn slice(&self, start: usize, len: usize) -> Bitmap {
+        debug_assert!(start + len <= self.len);
+        let first = start / 64;
+        let shift = start % 64;
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords);
+        if shift == 0 {
+            words.extend_from_slice(&self.words[first..first + nwords]);
+        } else {
+            for k in 0..nwords {
+                let lo = self.words[first + k] >> shift;
+                let hi = self
+                    .words
+                    .get(first + k + 1)
+                    .map_or(0, |w| w << (64 - shift));
+                words.push(lo | hi);
             }
         }
+        let mut out = Bitmap { words, len };
+        out.mask_tail();
         out
     }
 }
@@ -679,25 +697,36 @@ impl Column {
     // Selection kernels
     // ------------------------------------------------------------------
 
-    /// Keeps the rows where `mask` is true.
-    pub fn filter(&self, mask: &[bool]) -> Column {
+    /// Keeps the rows selected by the packed `mask`: a gather over the set
+    /// bits, walked with the selection-vector iterator so sparse masks touch
+    /// only the surviving rows.
+    pub fn filter(&self, mask: &SelVec) -> Column {
         debug_assert_eq!(mask.len(), self.len());
-        fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
-            v.iter()
-                .zip(mask.iter())
-                .filter(|(_, &k)| k)
-                .map(|(x, _)| x.clone())
-                .collect()
+        let kept = mask.count();
+        fn keep<T: Clone>(v: &[T], mask: &SelVec, kept: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(kept);
+            mask.for_each_index(|i| out.push(v[i].clone()));
+            out
         }
         let data = match &self.data {
-            ColumnData::Int64(v) => ColumnData::Int64(keep(v, mask)),
-            ColumnData::Float64(v) => ColumnData::Float64(keep(v, mask)),
-            ColumnData::Utf8(v) => ColumnData::Utf8(keep(v, mask)),
-            ColumnData::Bool(v) => ColumnData::Bool(keep(v, mask)),
+            ColumnData::Int64(v) => ColumnData::Int64(keep(v, mask, kept)),
+            ColumnData::Float64(v) => ColumnData::Float64(keep(v, mask, kept)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(keep(v, mask, kept)),
+            ColumnData::Bool(v) => ColumnData::Bool(keep(v, mask, kept)),
         };
         Column {
             data,
-            validity: self.validity.as_ref().map(|b| b.filter(mask)),
+            validity: self.validity.as_ref().map(|b| {
+                let mut out = Bitmap::new_null(kept);
+                let mut pos = 0;
+                mask.for_each_index(|i| {
+                    if b.get(i) {
+                        out.set(pos);
+                    }
+                    pos += 1;
+                });
+                out
+            }),
         }
     }
 
@@ -716,15 +745,7 @@ impl Column {
         };
         Column {
             data,
-            validity: self.validity.as_ref().map(|b| {
-                let mut out = Bitmap::new_null(len);
-                for (pos, i) in (start..end).enumerate() {
-                    if b.get(i) {
-                        out.set(pos);
-                    }
-                }
-                out
-            }),
+            validity: self.validity.as_ref().map(|b| b.slice(start, len)),
         }
     }
 
@@ -1067,7 +1088,7 @@ mod tests {
     #[test]
     fn filter_take_preserve_nulls() {
         let c = Column::from_opt_i64(vec![Some(1), None, Some(3), Some(4)]);
-        let f = c.filter(&[true, true, false, true]);
+        let f = c.filter(&SelVec::from_bools(&[true, true, false, true]));
         assert_eq!(
             f.to_values(),
             vec![Value::Int(1), Value::Null, Value::Int(4)]

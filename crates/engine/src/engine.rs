@@ -53,6 +53,14 @@ pub trait Connection: Send + Sync {
         let _ = threads;
     }
 
+    /// Requests a GROUP BY clustering strategy (see
+    /// [`crate::parallel::GroupStrategy`]).  Every strategy yields identical
+    /// answers, so this is purely a latency hint; connections without a local
+    /// execution engine ignore it.
+    fn set_group_strategy(&self, strategy: crate::parallel::GroupStrategy) {
+        let _ = strategy;
+    }
+
     /// The monotonic data version of a table, advanced by every write
     /// (create, append, drop, replace), or `None` when the connection cannot
     /// track mutations.  Answer caches use this to decide whether a stored
@@ -135,6 +143,11 @@ impl Engine {
         self.pool.parallelism()
     }
 
+    /// The current GROUP BY clustering strategy.
+    pub fn group_strategy(&self) -> crate::parallel::GroupStrategy {
+        self.pool.group_strategy()
+    }
+
     /// Access to the underlying catalog (to register generated datasets).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -214,6 +227,10 @@ impl Connection for Engine {
 
     fn set_parallelism(&self, threads: usize) {
         self.pool.set_parallelism(threads);
+    }
+
+    fn set_group_strategy(&self, strategy: crate::parallel::GroupStrategy) {
+        self.pool.set_group_strategy(strategy);
     }
 
     fn data_version(&self, table: &str) -> Option<u64> {

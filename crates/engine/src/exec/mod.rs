@@ -268,7 +268,11 @@ impl<'a> Executor<'a> {
 
     /// Evaluates a predicate over the frame into a selection mask (see
     /// [`predicate_mask_with`]).
-    fn predicate_mask(&mut self, pred: &Expr, frame: &Table) -> EngineResult<Vec<bool>> {
+    fn predicate_mask(
+        &mut self,
+        pred: &Expr,
+        frame: &Table,
+    ) -> EngineResult<crate::selvec::SelVec> {
         let rng = &mut self.rng;
         let mut rng_fn = move || rng.gen::<f64>();
         predicate_mask_with(pred, frame, &mut rng_fn, &self.pool)
@@ -479,7 +483,7 @@ pub(crate) fn predicate_mask_with(
     frame: &Table,
     rng: &mut dyn FnMut() -> f64,
     pool: &ThreadPool,
-) -> EngineResult<Vec<bool>> {
+) -> EngineResult<crate::selvec::SelVec> {
     if let Expr::BinaryOp { left, op, right } = pred {
         if op.is_comparison() {
             let mut ctx = EvalContext { table: frame, rng };

@@ -103,6 +103,14 @@ pub struct ProgressiveScan {
     projection: Vec<SelectItem>,
     /// Schema of the per-block frame the keys/arguments are evaluated on.
     frame_schema: Schema,
+    /// Input-column indices read by the first predicate applied to the raw
+    /// scan (the inner WHERE, or the outer WHERE when no derived projection
+    /// intervenes).  When set, `block_frame` takes the **late-materialized**
+    /// path: the predicate is evaluated over a thin frame holding only these
+    /// columns, and full rows are gathered for the survivors alone.  `None`
+    /// when there is no such predicate or a reference does not resolve; the
+    /// block is then sliced wholesale.
+    scan_filter_cols: Option<Vec<usize>>,
     pool: Arc<ThreadPool>,
     /// Next base row to consume.
     pos: usize,
@@ -248,6 +256,14 @@ impl ProgressiveScan {
 
         let input = catalog.get(&base)?;
         let scan_schema = input.schema.with_qualifier(&scan_binding);
+        let scan_pred = inner_selection.as_ref().or_else(|| {
+            if inner_projection.is_none() {
+                query.selection.as_ref()
+            } else {
+                None
+            }
+        });
+        let scan_filter_cols = scan_pred.and_then(|p| scan_filter_columns(p, &scan_schema));
         let mut scan = ProgressiveScan {
             input,
             scan_schema,
@@ -259,6 +275,7 @@ impl ProgressiveScan {
             aggs,
             projection: query.projection.clone(),
             frame_schema: Schema::new(Vec::new()),
+            scan_filter_cols,
             pool,
             pos: 0,
             keys_buf: Vec::new(),
@@ -282,21 +299,59 @@ impl ProgressiveScan {
     /// projection → alias rebinding → outer WHERE.  Every step is
     /// element-wise, so concatenating block frames equals building the
     /// frame for all rows at once.
+    ///
+    /// The first predicate over the raw scan takes the late-materialized
+    /// path when `scan_filter_cols` is set: only the columns it reads are
+    /// sliced before masking, and the remaining columns are gathered for
+    /// surviving rows alone.  `take` and `filter` select the same rows in
+    /// the same order, so the frame is bit-identical to the wholesale
+    /// slice-then-filter path.
     fn block_frame(&self, start: usize, len: usize) -> EngineResult<Table> {
         let mut rng = no_rand();
-        let mut frame = Table {
-            schema: self.scan_schema.clone(),
-            columns: self
-                .input
-                .columns
-                .iter()
-                .map(|c| c.slice(start, len))
-                .collect(),
+        let scan_pred = self.inner_selection.as_ref().or_else(|| {
+            if self.inner_projection.is_none() {
+                self.selection.as_ref()
+            } else {
+                None
+            }
+        });
+        let mut frame = match (scan_pred, &self.scan_filter_cols) {
+            (Some(pred), Some(cols)) => {
+                let thin = Table {
+                    schema: Schema::new(
+                        cols.iter()
+                            .map(|&i| self.scan_schema.fields[i].clone())
+                            .collect(),
+                    ),
+                    columns: cols
+                        .iter()
+                        .map(|&i| self.input.columns[i].slice(start, len))
+                        .collect(),
+                };
+                let mask = predicate_mask_with(pred, &thin, &mut rng, &self.pool)?;
+                let rows: Vec<usize> = mask.indices().iter().map(|&i| start + i).collect();
+                Table {
+                    schema: self.scan_schema.clone(),
+                    columns: self.input.columns.iter().map(|c| c.take(&rows)).collect(),
+                }
+            }
+            (scan_pred, _) => {
+                let mut frame = Table {
+                    schema: self.scan_schema.clone(),
+                    columns: self
+                        .input
+                        .columns
+                        .iter()
+                        .map(|c| c.slice(start, len))
+                        .collect(),
+                };
+                if let Some(pred) = scan_pred {
+                    let mask = predicate_mask_with(pred, &frame, &mut rng, &self.pool)?;
+                    frame = frame.filter_with(&mask, &self.pool);
+                }
+                frame
+            }
         };
-        if let Some(pred) = &self.inner_selection {
-            let mask = predicate_mask_with(pred, &frame, &mut rng, &self.pool)?;
-            frame = frame.filter_with(&mask, &self.pool);
-        }
         if let Some(projection) = &self.inner_projection {
             let projected = project_items(&frame, projection, &mut rng)?;
             let schema = match &self.derived_alias {
@@ -307,10 +362,10 @@ impl ProgressiveScan {
                 schema,
                 columns: projected.columns,
             };
-        }
-        if let Some(pred) = &self.selection {
-            let mask = predicate_mask_with(pred, &frame, &mut rng, &self.pool)?;
-            frame = frame.filter_with(&mask, &self.pool);
+            if let Some(pred) = &self.selection {
+                let mask = predicate_mask_with(pred, &frame, &mut rng, &self.pool)?;
+                frame = frame.filter_with(&mask, &self.pool);
+            }
         }
         Ok(frame)
     }
@@ -344,6 +399,28 @@ impl ProgressiveScan {
         }
         Ok((keys, args))
     }
+}
+
+/// Resolves the scan columns a predicate reads, for late materialization.
+/// Returns `None` when the predicate reads no scan column or any reference
+/// fails to resolve — the caller then slices whole blocks instead.
+fn scan_filter_columns(pred: &Expr, scan_schema: &Schema) -> Option<Vec<usize>> {
+    let mut cols: Vec<usize> = Vec::new();
+    let mut failed = false;
+    verdict_sql::visitor::walk_expr(pred, &mut |e| {
+        if let Expr::Column { table, name } = e {
+            match scan_schema.resolve(table.as_deref(), name) {
+                Ok(i) => cols.push(i),
+                Err(_) => failed = true,
+            }
+        }
+    });
+    if failed || cols.is_empty() {
+        return None;
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    Some(cols)
 }
 
 /// The rng handed to evaluation: validation rejected `rand()`, so any draw
@@ -533,6 +610,61 @@ mod tests {
         }
         let result = scan.snapshot().unwrap();
         assert_eq!(result.table.value_at(0, 0), Value::Int(1_000));
+    }
+
+    #[test]
+    fn late_materialized_scan_filter_matches_one_shot() {
+        // A plain-table WHERE takes the late-materialized path (thin mask +
+        // row gather); the answer must stay bit-identical to one-shot
+        // execution at any pool size.
+        const Q: &str = "SELECT k, sum(price) AS s, count(*) AS n FROM sales \
+                         WHERE price > 50.0 AND u < 0.9 GROUP BY k";
+        for threads in [1usize, 4] {
+            let rows = MORSEL_ROWS + 4_321;
+            let e = engine(rows, 13);
+            e.set_parallelism(threads);
+            let one_shot = e.execute_sql(Q).unwrap();
+            let mut scan = e.open_block_scan(Q).expect("progressive shape");
+            while !scan.done() {
+                scan.advance(10_000).unwrap();
+            }
+            let last = scan.snapshot().unwrap();
+            assert_tables_bit_identical(&last.table, &one_shot.table);
+        }
+    }
+
+    #[test]
+    fn scan_filter_columns_are_precomputed() {
+        let e = engine(1_000, 3);
+        let open = |sql: &str| {
+            let stmt = verdict_sql::parse_statement(sql).unwrap();
+            let verdict_sql::ast::Statement::Query(q) = stmt else {
+                panic!("not a query")
+            };
+            ProgressiveScan::try_new(
+                e.catalog(),
+                &q,
+                Arc::new(ThreadPool::with_default_parallelism()),
+            )
+            .unwrap()
+        };
+        // Plain scan: the outer WHERE reads price (1) and u (2).
+        let scan = open("SELECT count(*) AS c FROM sales WHERE price > 1 AND u < 0.5");
+        assert_eq!(scan.scan_filter_cols, Some(vec![1, 2]));
+        // No predicate over the raw scan → wholesale slicing.
+        let scan = open("SELECT k, sum(price) AS s FROM sales GROUP BY k");
+        assert_eq!(scan.scan_filter_cols, None);
+        // A derived projection intervenes before the outer WHERE → the
+        // predicate runs on the projected frame, not the raw scan.
+        let scan =
+            open("SELECT count(*) AS c FROM (SELECT price * 2 AS d FROM sales) AS t WHERE t.d > 1");
+        assert_eq!(scan.scan_filter_cols, None);
+        // An inner WHERE is the scan predicate even under a derived wrapper.
+        let scan = open(
+            "SELECT count(*) AS c FROM \
+             (SELECT price FROM sales WHERE u < 0.5) AS t WHERE t.price > 1",
+        );
+        assert_eq!(scan.scan_filter_cols, Some(vec![2]));
     }
 
     #[test]

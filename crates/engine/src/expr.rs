@@ -81,7 +81,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_>) -> EngineResult<Column>
             // Each branch's firing condition becomes a boolean mask; the
             // output is assembled row-wise from the first firing branch.
             let mut branch_cols: Vec<Column> = Vec::with_capacity(when_then.len());
-            let mut fire_masks: Vec<Vec<bool>> = Vec::with_capacity(when_then.len());
+            let mut fire_masks: Vec<crate::selvec::SelVec> = Vec::with_capacity(when_then.len());
             let operand_col = match operand {
                 Some(op) => Some(eval_expr(op, ctx)?),
                 None => None,
@@ -104,7 +104,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_>) -> EngineResult<Column>
             let mut out = Vec::with_capacity(n);
             'rows: for i in 0..n {
                 for (mask, col) in fire_masks.iter().zip(branch_cols.iter()) {
-                    if mask[i] {
+                    if mask.get(i) {
                         out.push(col.value_at(i));
                         continue 'rows;
                     }
@@ -128,7 +128,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_>) -> EngineResult<Column>
             negated,
         } => {
             let target = eval_expr(expr, ctx)?;
-            let mut eq_masks: Vec<Vec<bool>> = Vec::with_capacity(list.len());
+            let mut eq_masks: Vec<crate::selvec::SelVec> = Vec::with_capacity(list.len());
             for e in list {
                 let item = eval_expr(e, ctx)?;
                 eq_masks.push(kernels::column_to_mask(&kernels::compare(
@@ -143,7 +143,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_>) -> EngineResult<Column>
                     out.push(None);
                     continue;
                 }
-                let found = eq_masks.iter().any(|m| m[i]);
+                let found = eq_masks.iter().any(|m| m.get(i));
                 out.push(Some(found != *negated));
             }
             Ok(Column::from_opt_bool(out))
@@ -225,8 +225,9 @@ pub fn literal_value(lit: &Literal) -> Value {
     }
 }
 
-/// Converts a boolean column into a selection mask (NULL counts as false).
-pub fn column_to_mask(col: &Column) -> Vec<bool> {
+/// Converts a boolean column into a packed selection mask (NULL counts as
+/// false).
+pub fn column_to_mask(col: &Column) -> crate::selvec::SelVec {
     kernels::column_to_mask(col)
 }
 

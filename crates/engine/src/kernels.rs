@@ -9,7 +9,8 @@
 
 use crate::column::{combine_validity, Bitmap, Column, ColumnData};
 use crate::error::{EngineError, EngineResult};
-use crate::parallel::ThreadPool;
+use crate::parallel::{GroupStrategy, ThreadPool};
+use crate::selvec::SelVec;
 use crate::value::Value;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -450,102 +451,146 @@ pub fn negate(col: &Column) -> Column {
     }
 }
 
-/// Converts a column into a selection mask: true where the value is truthy,
-/// false for NULL and non-boolean-viewable values.
-pub fn column_to_mask(col: &Column) -> Vec<bool> {
+/// Converts a column into a packed selection mask: a set bit where the value
+/// is truthy, clear for false, NULL, and non-boolean-viewable values.
+pub fn column_to_mask(col: &Column) -> SelVec {
     mask_range(col, 0..col.len())
 }
 
 /// Range-restricted [`column_to_mask`]: the morsel-level building block of
-/// the parallel filter-mask kernel.
-fn mask_range(col: &Column, range: Range<usize>) -> Vec<bool> {
+/// the parallel mask kernels.  All arms pack through [`SelVec::from_fn`], so
+/// the per-row predicate loops stay branch-free and vectorizable.
+fn mask_range(col: &Column, range: Range<usize>) -> SelVec {
+    let start = range.start;
     match (col.data(), col.validity()) {
-        (ColumnData::Bool(v), None) => v[range].to_vec(),
-        (ColumnData::Bool(v), Some(bm)) => range.map(|i| bm.get(i) && v[i]).collect(),
-        _ => range.map(|i| col.bool_at(i).unwrap_or(false)).collect(),
+        (ColumnData::Bool(v), None) => SelVec::from_fn(range.len(), |k| v[start + k]),
+        (ColumnData::Bool(v), Some(bm)) => {
+            let mut m = SelVec::from_fn(range.len(), |k| v[start + k]);
+            m.and_valid_words(bm.words(), start);
+            m
+        }
+        _ => SelVec::from_fn(range.len(), |k| col.bool_at(start + k).unwrap_or(false)),
     }
 }
 
 /// Morsel-parallel filter mask: evaluates `left op right` per morsel and
-/// folds the three-valued comparison into a selection mask (`NULL` → false),
-/// concatenating the per-morsel slices in morsel order.  Semantically equal
-/// to `column_to_mask(&compare(left, op, right))` at any thread count.
-pub fn par_filter_mask(
-    left: &Column,
-    op: BinaryOp,
-    right: &Column,
-    pool: &ThreadPool,
-) -> Vec<bool> {
+/// folds the three-valued comparison into a packed selection mask (`NULL` →
+/// deselected), concatenating the per-morsel masks in morsel order.
+/// Semantically equal to `column_to_mask(&compare(left, op, right))` at any
+/// thread count, without materialising the boolean column.
+pub fn par_filter_mask(left: &Column, op: BinaryOp, right: &Column, pool: &ThreadPool) -> SelVec {
     let n = left.len();
     debug_assert_eq!(n, right.len());
     if pool.parallelism() <= 1 || n <= crate::parallel::MORSEL_ROWS {
-        return column_to_mask(&compare(left, op, right));
+        return filter_mask_range(left, op, right, 0..n);
     }
     let parts = pool.run_morsels(n, |range| filter_mask_range(left, op, right, range));
-    let mut out = Vec::with_capacity(n);
+    let mut out = SelVec::empty();
     for p in parts {
-        out.extend_from_slice(&p);
+        // MORSEL_ROWS is a multiple of 64, so every non-final part ends on a
+        // word boundary and concatenation is a word-level memcpy.
+        out.extend_aligned(&p);
     }
     out
 }
 
-/// One morsel of [`par_filter_mask`]: a typed comparison loop over `range`
-/// with NULL (and NaN, which compares as NULL) folded to false.
-fn filter_mask_range(
-    left: &Column,
-    op: BinaryOp,
-    right: &Column,
+/// Builds a comparison mask over `range` with the operator hoisted out of
+/// the element loop, exactly like [`compare`]'s `cmp_loop`: each
+/// monomorphised body is a single branchless comparison, so the packing
+/// loop stays auto-vectorizable.  For floats every variant answers `false`
+/// when an operand is NaN (matching `sql_cmp`'s NULL → deselected): the
+/// strict comparisons do so natively, and `NotEq` uses `(x < y) | (x > y)`
+/// instead of `x != y`, which a NaN would satisfy.
+#[inline(always)]
+fn cmp_mask_op<T: PartialOrd + Copy>(
     range: Range<usize>,
-) -> Vec<bool> {
-    let valid = |i: usize| left.is_valid(i) && right.is_valid(i);
+    a: impl Fn(usize) -> T,
+    b: impl Fn(usize) -> T,
+    op: BinaryOp,
+) -> SelVec {
+    #[inline(always)]
+    fn run<T: Copy>(
+        range: Range<usize>,
+        a: impl Fn(usize) -> T,
+        b: impl Fn(usize) -> T,
+        f: impl Fn(T, T) -> bool,
+    ) -> SelVec {
+        let start = range.start;
+        SelVec::from_fn(range.len(), |k| {
+            let i = start + k;
+            f(a(i), b(i))
+        })
+    }
+    match op {
+        BinaryOp::Eq => run(range, a, b, |x, y| x == y),
+        BinaryOp::NotEq => run(range, a, b, |x, y| (x < y) | (x > y)),
+        BinaryOp::Lt => run(range, a, b, |x, y| x < y),
+        BinaryOp::LtEq => run(range, a, b, |x, y| x <= y),
+        BinaryOp::Gt => run(range, a, b, |x, y| x > y),
+        BinaryOp::GtEq => run(range, a, b, |x, y| x >= y),
+        _ => unreachable!("comparison operator"),
+    }
+}
+
+/// ANDs a column's validity words into `mask` (no-op for null-free columns).
+#[inline(always)]
+fn and_validity(mask: &mut SelVec, col: &Column, start: usize) {
+    if let Some(bm) = col.validity() {
+        mask.and_valid_words(bm.words(), start);
+    }
+}
+
+/// One morsel of [`par_filter_mask`]: a typed comparison loop over `range`
+/// with NULL (and NaN, which compares as NULL) folded to deselected.  The
+/// comparison packs branch-free via [`cmp_mask_op`]; validity folds in
+/// afterwards as a word-wise AND rather than a per-row check.
+fn filter_mask_range(left: &Column, op: BinaryOp, right: &Column, range: Range<usize>) -> SelVec {
+    let start = range.start;
     // Int × Int compares at full i64 precision (an f64 view would lose
     // precision beyond 2^53), matching the typed path of `compare`.
     if let (ColumnData::Int64(a), ColumnData::Int64(b)) = (left.data(), right.data()) {
-        return range
-            .map(|i| valid(i) && decide(op, a[i].cmp(&b[i])))
-            .collect();
+        let mut m = cmp_mask_op(range, |i| a[i], |i| b[i], op);
+        and_validity(&mut m, left, start);
+        and_validity(&mut m, right, start);
+        return m;
     }
     if let (ColumnData::Utf8(a), ColumnData::Utf8(b)) = (left.data(), right.data()) {
-        return range
-            .map(|i| valid(i) && decide(op, a[i].cmp(&b[i])))
-            .collect();
-    }
-    if is_numeric_viewable(left) && is_numeric_viewable(right) {
-        return numeric_pair_dispatch!(left, right, |a, b| {
-            range
-                .clone()
-                .map(|i| {
-                    let (x, y) = (a(i), b(i));
-                    valid(i)
-                        && !x.is_nan()
-                        && !y.is_nan()
-                        && decide(op, x.partial_cmp(&y).expect("non-NaN floats are ordered"))
-                })
-                .collect()
+        // Strings keep the per-row validity short-circuit: skipping the
+        // comparison on NULL rows saves real work here, unlike the
+        // fixed-cost numeric lanes.
+        let valid = |i: usize| left.is_valid(i) && right.is_valid(i);
+        return SelVec::from_fn(range.len(), |k| {
+            let i = start + k;
+            valid(i) && decide(op, a[i].cmp(&b[i]))
         });
     }
-    // Mixed string/numeric: sql_cmp yields NULL → false.
-    range
-        .map(|i| {
-            left.value_at(i)
-                .sql_cmp(&right.value_at(i))
-                .map(|ord| decide(op, ord))
-                .unwrap_or(false)
-        })
-        .collect()
+    if is_numeric_viewable(left) && is_numeric_viewable(right) {
+        let mut m = numeric_pair_dispatch!(left, right, |a, b| cmp_mask_op(range, a, b, op));
+        and_validity(&mut m, left, start);
+        and_validity(&mut m, right, start);
+        return m;
+    }
+    // Mixed string/numeric: sql_cmp yields NULL → deselected.
+    SelVec::from_fn(range.len(), |k| {
+        let i = start + k;
+        left.value_at(i)
+            .sql_cmp(&right.value_at(i))
+            .map(|ord| decide(op, ord))
+            .unwrap_or(false)
+    })
 }
 
-/// Morsel-parallel [`column_to_mask`]: each morsel computes its slice of the
-/// mask independently and the slices are concatenated in morsel order, so
-/// the result is identical at any thread count.
-pub fn par_column_to_mask(col: &Column, pool: &ThreadPool) -> Vec<bool> {
+/// Morsel-parallel [`column_to_mask`]: each morsel packs its slice of the
+/// mask independently and the word-aligned slices are concatenated in morsel
+/// order, so the result is identical at any thread count.
+pub fn par_column_to_mask(col: &Column, pool: &ThreadPool) -> SelVec {
     if pool.parallelism() <= 1 || col.len() <= crate::parallel::MORSEL_ROWS {
         return column_to_mask(col);
     }
     let parts = pool.run_morsels(col.len(), |range| mask_range(col, range));
-    let mut out = Vec::with_capacity(col.len());
+    let mut out = SelVec::empty();
     for p in parts {
-        out.extend_from_slice(&p);
+        out.extend_aligned(&p);
     }
     out
 }
@@ -734,13 +779,21 @@ pub fn group_rows(cols: &[Column], n: usize) -> Grouping {
     group_rows_with(cols, n, &ThreadPool::serial())
 }
 
-/// Morsel-parallel [`group_rows`].
+/// Morsel-parallel [`group_rows`], strategy-dispatched.
 ///
-/// Each morsel builds a **local** hash table clustering its own rows; the
-/// local tables are then merged sequentially in morsel order, translating
-/// local group ids to global ones.  Because morsel 0 covers the lowest row
-/// indices and merging walks morsels in order, the global groups come out in
-/// first-appearance order — exactly the serial grouping, at any thread count.
+/// The pool's [`GroupStrategy`] picks the clustering algorithm; every
+/// algorithm produces the identical [`Grouping`] (same group ids, same
+/// first-appearance representatives), so the knob only changes latency:
+///
+/// * **Hash** — morsel-local hash tables merged sequentially in morsel order.
+/// * **Dict** — key columns mapped to dense dictionary codes, no hashing at
+///   all; applies when every key column is integral with a small value range
+///   (falls back to hash otherwise).
+/// * **Radix** — rows partitioned by the top hash byte, partition-local
+///   clustering, then a first-appearance renumber pass; wins when the group
+///   count is large enough that one global hash table thrashes the cache.
+/// * **Auto** — dict when applicable, else a cardinality estimate over a
+///   hash sample of the leading rows picks radix or hash.
 pub fn group_rows_with(cols: &[Column], n: usize, pool: &ThreadPool) -> Grouping {
     if cols.is_empty() {
         return Grouping {
@@ -748,6 +801,33 @@ pub fn group_rows_with(cols: &[Column], n: usize, pool: &ThreadPool) -> Grouping
             representatives: if n > 0 { vec![0] } else { vec![] },
         };
     }
+    match pool.group_strategy() {
+        GroupStrategy::Hash => hash_group_rows(cols, n, pool),
+        GroupStrategy::Dict => {
+            dict_group_rows(cols, n, pool).unwrap_or_else(|| hash_group_rows(cols, n, pool))
+        }
+        GroupStrategy::Radix => radix_group_rows(cols, n, pool),
+        GroupStrategy::Auto => {
+            if let Some(g) = dict_group_rows(cols, n, pool) {
+                return g;
+            }
+            if n > crate::parallel::MORSEL_ROWS && sample_looks_high_cardinality(cols, n) {
+                radix_group_rows(cols, n, pool)
+            } else {
+                hash_group_rows(cols, n, pool)
+            }
+        }
+    }
+}
+
+/// The hash clustering path of [`group_rows_with`].
+///
+/// Each morsel builds a **local** hash table clustering its own rows; the
+/// local tables are then merged sequentially in morsel order, translating
+/// local group ids to global ones.  Because morsel 0 covers the lowest row
+/// indices and merging walks morsels in order, the global groups come out in
+/// first-appearance order — exactly the serial grouping, at any thread count.
+fn hash_group_rows(cols: &[Column], n: usize, pool: &ThreadPool) -> Grouping {
     let hashes = par_hash_rows(cols, n, pool);
     // Phase 1 (parallel): per-morsel local clustering.
     let locals: Vec<(Vec<usize>, Vec<usize>)> = pool.run_morsels(n, |range| {
@@ -801,6 +881,312 @@ pub fn group_rows_with(cols: &[Column], n: usize, pool: &ThreadPool) -> Grouping
         gids,
         representatives,
     }
+}
+
+/// Largest dictionary code space [`dict_group_rows`] will allocate a dense
+/// remap table for: 64K slots is a 256 KiB `u32` table — comfortably
+/// cache-resident, and far above the group counts where dictionary keys win.
+const MAX_DICT_SLOTS: u64 = 1 << 16;
+
+/// Per-key-column statistics for the dictionary grouping path.
+struct DictDim {
+    /// Minimum valid value (0 when the column is all-NULL).
+    min: i64,
+    /// Code-space width of this column including the NULL slot.
+    width: u64,
+}
+
+/// The dictionary clustering path: maps each key row to a dense code and
+/// renumbers codes in first-appearance order — no hashing, no hash table.
+///
+/// Applies when every key column is integral (`Int64`/`Bool`) and the
+/// product of the per-column value ranges (plus one NULL slot each) stays
+/// within [`MAX_DICT_SLOTS`] and within ~4x the row count; returns `None`
+/// otherwise.  A row's code is `Σ slot_i · stride_i` with `slot_i = 0` for
+/// NULL and `1 + (v - min_i)` for a valid value, so two rows share a code
+/// exactly when [`rows_equal`] holds — NULLs grouping together included —
+/// and the serial first-appearance renumber walk reproduces the hash path's
+/// [`Grouping`] bit-for-bit.
+fn dict_group_rows(cols: &[Column], n: usize, pool: &ThreadPool) -> Option<Grouping> {
+    // Integral key columns only: exact equality on i64 codes then matches
+    // loose_eq row equality.  Float/string keys never take this path.
+    let views: Vec<DictView<'_>> = cols.iter().map(DictView::new).collect::<Option<_>>()?;
+    if n == 0 {
+        return Some(Grouping {
+            gids: Vec::new(),
+            representatives: Vec::new(),
+        });
+    }
+
+    // Per-column (min, max, has_null) in one parallel pass; min/max merge is
+    // commutative, so morsel merge order does not matter here.
+    let stats: Vec<(Option<(i64, i64)>, bool)> = {
+        let per_morsel = pool.run_morsels(n, |range| {
+            views
+                .iter()
+                .map(|v| v.min_max_range(range.clone()))
+                .collect::<Vec<_>>()
+        });
+        let mut acc = vec![(None::<(i64, i64)>, false); views.len()];
+        for morsel in per_morsel {
+            for (slot, (mm, has_null)) in acc.iter_mut().zip(morsel) {
+                slot.0 = match (slot.0, mm) {
+                    (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+                    (got, None) | (None, got) => got,
+                };
+                slot.1 |= has_null;
+            }
+        }
+        acc
+    };
+
+    // Code-space layout: row-major strides over the per-column widths.
+    let mut dims = Vec::with_capacity(views.len());
+    let mut total: u64 = 1;
+    for (mm, _) in &stats {
+        let (min, width) = match mm {
+            Some((min, max)) => {
+                let range = (*max as i128) - (*min as i128) + 1;
+                if range + 1 > MAX_DICT_SLOTS as i128 {
+                    return None;
+                }
+                (*min, range as u64 + 1)
+            }
+            None => (0, 1), // all-NULL column: only the NULL slot exists
+        };
+        total = total.checked_mul(width)?;
+        if total > MAX_DICT_SLOTS {
+            return None;
+        }
+        dims.push(DictDim { min, width });
+    }
+    // A code space far larger than the input would spend more on the remap
+    // table than the dictionary saves.
+    if total > 4 * n as u64 + 1024 {
+        return None;
+    }
+
+    // Per-row codes, morsel-parallel; concatenation in morsel order keeps
+    // row order, which the renumber walk below depends on.
+    let codes: Vec<u32> = {
+        let parts = pool.run_morsels(n, |range| {
+            let mut part = vec![0u32; range.len()];
+            for (view, dim) in views.iter().zip(dims.iter()) {
+                view.fold_codes(range.clone(), dim, &mut part);
+            }
+            part
+        });
+        let mut codes = Vec::with_capacity(n);
+        for p in parts {
+            codes.extend_from_slice(&p);
+        }
+        codes
+    };
+
+    Some(renumber_first_appearance(&codes, total as usize))
+}
+
+/// A typed integral view of one dictionary key column.
+enum DictView<'a> {
+    Int(&'a [i64], &'a Column),
+    Bool(&'a [bool], &'a Column),
+}
+
+impl<'a> DictView<'a> {
+    fn new(col: &'a Column) -> Option<DictView<'a>> {
+        match col.data() {
+            ColumnData::Int64(v) => Some(DictView::Int(v, col)),
+            ColumnData::Bool(v) => Some(DictView::Bool(v, col)),
+            _ => None,
+        }
+    }
+
+    /// `(Some((min, max)) over valid rows, any NULL seen)` for `range`.
+    fn min_max_range(&self, range: Range<usize>) -> (Option<(i64, i64)>, bool) {
+        #[inline(always)]
+        fn scan<T: Copy>(
+            v: &[T],
+            col: &Column,
+            range: Range<usize>,
+            to_i64: impl Fn(T) -> i64,
+        ) -> (Option<(i64, i64)>, bool) {
+            let mut mm: Option<(i64, i64)> = None;
+            let mut has_null = false;
+            for i in range {
+                if col.is_valid(i) {
+                    let x = to_i64(v[i]);
+                    mm = Some(match mm {
+                        Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                        None => (x, x),
+                    });
+                } else {
+                    has_null = true;
+                }
+            }
+            (mm, has_null)
+        }
+        match self {
+            DictView::Int(v, col) => scan(v, col, range, |x| x),
+            DictView::Bool(v, col) => scan(v, col, range, |x| x as i64),
+        }
+    }
+
+    /// Scales the accumulated codes by this column's width and adds its
+    /// slot: `code = code * width + slot`, `slot = 0` for NULL else
+    /// `1 + (v - min)`.  Branch-free over the valid/NULL choice.
+    fn fold_codes(&self, range: Range<usize>, dim: &DictDim, codes: &mut [u32]) {
+        #[inline(always)]
+        fn fold<T: Copy>(
+            v: &[T],
+            col: &Column,
+            range: Range<usize>,
+            dim: &DictDim,
+            codes: &mut [u32],
+            to_i64: impl Fn(T) -> i64,
+        ) {
+            let width = dim.width as u32;
+            let min = dim.min;
+            let start = range.start;
+            match col.validity() {
+                None => {
+                    for (k, code) in codes.iter_mut().enumerate().take(range.len()) {
+                        let slot = 1 + to_i64(v[start + k]).wrapping_sub(min) as u32;
+                        *code = *code * width + slot;
+                    }
+                }
+                Some(bm) => {
+                    for (k, code) in codes.iter_mut().enumerate().take(range.len()) {
+                        let i = start + k;
+                        let valid = bm.get(i) as u32;
+                        // NULL rows carry an arbitrary data slot, so the raw
+                        // slot uses wrapping arithmetic and the `valid`
+                        // multiply zeroes it — no branch, no overflow trap.
+                        let raw = (to_i64(v[i]).wrapping_sub(min) as u32).wrapping_add(1);
+                        *code = *code * width + valid * raw;
+                    }
+                }
+            }
+        }
+        match self {
+            DictView::Int(v, col) => fold(v, col, range, dim, codes, |x| x),
+            DictView::Bool(v, col) => fold(v, col, range, dim, codes, |x| x as i64),
+        }
+    }
+}
+
+/// Renumbers arbitrary per-row codes (`< space`) into dense group ids in
+/// first-appearance order — the shared final step of the dictionary and
+/// radix paths, and the step that makes their [`Grouping`] identical to the
+/// hash path's.
+fn renumber_first_appearance(codes: &[u32], space: usize) -> Grouping {
+    let mut remap = vec![u32::MAX; space];
+    let mut gids = Vec::with_capacity(codes.len());
+    let mut representatives = Vec::new();
+    for (row, &code) in codes.iter().enumerate() {
+        let slot = &mut remap[code as usize];
+        if *slot == u32::MAX {
+            *slot = representatives.len() as u32;
+            representatives.push(row);
+        }
+        gids.push(*slot as usize);
+    }
+    Grouping {
+        gids,
+        representatives,
+    }
+}
+
+/// Number of leading rows hashed by the Auto-strategy cardinality probe.
+const CARDINALITY_SAMPLE_ROWS: usize = 4096;
+
+/// True when a hash sample of the leading rows suggests a high-cardinality
+/// grouping (at least half the sampled rows distinct), in which case the
+/// radix path's partition-local tables beat one global hash table.
+fn sample_looks_high_cardinality(cols: &[Column], n: usize) -> bool {
+    let sample = n.min(CARDINALITY_SAMPLE_ROWS);
+    let mut hashes = vec![0xcbf29ce484222325u64; sample];
+    for c in cols {
+        c.hash_range_into(0..sample, &mut hashes);
+    }
+    let distinct: std::collections::HashSet<u64, Prehashed> = hashes.iter().copied().collect();
+    distinct.len() * 2 >= sample
+}
+
+/// Number of radix partitions (indexed by the top byte of the row hash).
+const RADIX_PARTITIONS: usize = 256;
+
+/// The radix clustering path of [`group_rows_with`] for high-cardinality
+/// keys: scatter rows into 256 partitions by the top hash byte, cluster each
+/// partition with a small cache-resident local table, then renumber in
+/// first-appearance order.
+///
+/// Equal rows share their canonical hash, hence their partition, hence their
+/// partition-local group — so the per-row codes (partition base + local id)
+/// identify groups exactly, and [`renumber_first_appearance`] restores the
+/// serial first-appearance [`Grouping`] regardless of partition order.
+fn radix_group_rows(cols: &[Column], n: usize, pool: &ThreadPool) -> Grouping {
+    let hashes = par_hash_rows(cols, n, pool);
+    let part_of = |h: u64| (h >> 56) as usize;
+
+    // Counting-sort scatter of row indices by partition: three sequential
+    // passes over dense arrays (count, prefix-sum, scatter).
+    let mut starts = vec![0usize; RADIX_PARTITIONS + 1];
+    for &h in &hashes {
+        starts[part_of(h) + 1] += 1;
+    }
+    for p in 0..RADIX_PARTITIONS {
+        starts[p + 1] += starts[p];
+    }
+    let mut part_rows = vec![0usize; n];
+    let mut cursor = starts[..RADIX_PARTITIONS].to_vec();
+    for row in 0..n {
+        let p = part_of(hashes[row]);
+        part_rows[cursor[p]] = row;
+        cursor[p] += 1;
+    }
+
+    // Partition-local clustering, parallel across partitions.  Each local
+    // table holds ~1/256 of the groups, so probes stay cache-resident where
+    // a single global table would thrash.  The scatter preserved ascending
+    // row order within each partition, so local representatives are the
+    // partition's first-appearance rows.
+    let locals: Vec<(usize, Vec<u32>)> = pool.run(RADIX_PARTITIONS, |p| {
+        let rows = &part_rows[starts[p]..starts[p + 1]];
+        let mut table: PrehashedMap<Vec<u32>> = PrehashedMap::default();
+        let mut reps: Vec<usize> = Vec::new();
+        let mut local_gids = Vec::with_capacity(rows.len());
+        for &row in rows {
+            let bucket = table.entry(hashes[row]).or_default();
+            let gid = bucket
+                .iter()
+                .copied()
+                .find(|&g| rows_equal(cols, row, cols, reps[g as usize]));
+            match gid {
+                Some(g) => local_gids.push(g),
+                None => {
+                    let g = reps.len() as u32;
+                    reps.push(row);
+                    bucket.push(g);
+                    local_gids.push(g);
+                }
+            }
+        }
+        (reps.len(), local_gids)
+    });
+
+    // Per-row codes: partition base + local group id, written back through
+    // the scatter layout.
+    let mut total = 0usize;
+    let mut codes = vec![0u32; n];
+    for (p, (groups, local_gids)) in locals.iter().enumerate() {
+        let rows = &part_rows[starts[p]..starts[p + 1]];
+        for (k, &row) in rows.iter().enumerate() {
+            codes[row] = (total + local_gids[k] as usize) as u32;
+        }
+        total += groups;
+    }
+
+    renumber_first_appearance(&codes, total)
 }
 
 /// A hash index over the key columns of a build-side table, used by hash
@@ -971,9 +1357,9 @@ mod tests {
     #[test]
     fn masks_treat_null_as_false() {
         let c = Column::from_opt_bool(vec![Some(true), None, Some(false)]);
-        assert_eq!(column_to_mask(&c), vec![true, false, false]);
+        assert_eq!(column_to_mask(&c).to_bools(), vec![true, false, false]);
         let nums = ints(vec![0, 3]);
-        assert_eq!(column_to_mask(&nums), vec![false, true]);
+        assert_eq!(column_to_mask(&nums).to_bools(), vec![false, true]);
     }
 
     #[test]
@@ -1074,6 +1460,58 @@ mod tests {
                 par_filter_mask(&big, op, &big2, &pool),
                 "{op:?} on large ints"
             );
+        }
+    }
+
+    #[test]
+    fn dict_radix_and_hash_groupings_are_identical() {
+        use crate::parallel::{GroupStrategy, ThreadPool, MORSEL_ROWS};
+        let n = MORSEL_ROWS + 321;
+        // integral keys with NULLs: dictionary-eligible
+        let small = vec![Column::from_opt_i64(
+            (0..n as i64)
+                .map(|i| (i % 97 != 0).then_some(i % 13))
+                .collect(),
+        )];
+        // composite keys including a bool dimension
+        let composite = vec![
+            Column::from_opt_i64(
+                (0..n as i64)
+                    .map(|i| (i % 31 != 0).then_some(i % 7))
+                    .collect(),
+            ),
+            Column::from_bool((0..n).map(|i| i % 2 == 0).collect()),
+        ];
+        // wide-range keys: dictionary-ineligible, radix-friendly
+        let wide = vec![Column::from_i64(
+            (0..n as i64).map(|i| i * 104_729).collect(),
+        )];
+        for keys in [&small, &composite, &wide] {
+            let reference = {
+                let pool = ThreadPool::serial();
+                pool.set_group_strategy(GroupStrategy::Hash);
+                group_rows_with(keys, n, &pool)
+            };
+            for threads in [1usize, 4] {
+                for strategy in [
+                    GroupStrategy::Auto,
+                    GroupStrategy::Hash,
+                    GroupStrategy::Dict,
+                    GroupStrategy::Radix,
+                ] {
+                    let pool = ThreadPool::new(threads);
+                    pool.set_group_strategy(strategy);
+                    let g = group_rows_with(keys, n, &pool);
+                    assert_eq!(
+                        g.gids, reference.gids,
+                        "{strategy} gids at {threads} threads"
+                    );
+                    assert_eq!(
+                        g.representatives, reference.representatives,
+                        "{strategy} representatives at {threads} threads"
+                    );
+                }
+            }
         }
     }
 

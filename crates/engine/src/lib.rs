@@ -47,6 +47,7 @@ pub mod kernels;
 pub mod parallel;
 pub mod profile;
 pub mod schema;
+pub mod selvec;
 pub mod table;
 pub mod value;
 
@@ -55,8 +56,9 @@ pub use column::{Bitmap, Column, ColumnData};
 pub use engine::{Connection, Engine, ExecStats, QueryResult};
 pub use error::{EngineError, EngineResult};
 pub use exec::progressive::{BlockScan, ProgressiveScan};
-pub use parallel::{ThreadPool, MORSEL_ROWS};
+pub use parallel::{GroupStrategy, ThreadPool, MORSEL_ROWS};
 pub use profile::EngineProfile;
 pub use schema::{Field, Schema};
+pub use selvec::SelVec;
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, KeyValue, Value};

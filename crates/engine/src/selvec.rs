@@ -1,0 +1,286 @@
+//! Packed selection vectors.
+//!
+//! A [`SelVec`] is the engine's filter-mask representation: one bit per row,
+//! packed 64 rows to a `u64` word.  Compared to the previous `Vec<bool>`
+//! masks it is 8x smaller (a mask over a 64K-row morsel is 1 KiB and lives in
+//! L1), its combinators (`and`/`or`) are single-instruction word loops, and
+//! counting selected rows is a `popcount` over the words instead of a
+//! per-element branch.
+//!
+//! Two construction/consumption idioms keep the hot paths branch-free:
+//!
+//! * [`SelVec::from_fn`] builds the mask 64 lanes at a time with
+//!   `bits |= (pred as u64) << lane` — no per-row branch, so the compiler can
+//!   keep the predicate loop vectorizable.
+//! * [`SelVec::for_each_index`] walks set bits with `trailing_zeros` +
+//!   `w &= w - 1`, so sparse masks visit only the selected rows.
+//!
+//! Morsel-parallel kernels concatenate per-morsel masks with
+//! [`SelVec::extend_aligned`]: because [`crate::parallel::MORSEL_ROWS`] is a
+//! multiple of 64, every non-final morsel mask ends on a word boundary and
+//! concatenation is a plain `extend_from_slice` over words — the per-element
+//! copies of the old `Vec<bool>` stitching are gone.
+
+/// A packed bitmask over `len` rows selecting a subset of them.
+///
+/// Bit `i % 64` of word `i / 64` is 1 when row `i` is selected.  Bits at
+/// positions `>= len` in the last word are always 0 (maintained by every
+/// constructor), which is what makes [`SelVec::count`] a plain popcount.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SelVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelVec {
+    /// An empty mask over zero rows.
+    pub fn empty() -> SelVec {
+        SelVec {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// A mask of `len` rows with every row deselected.
+    pub fn new_false(len: usize) -> SelVec {
+        SelVec {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A mask of `len` rows with every row selected.
+    pub fn new_true(len: usize) -> SelVec {
+        let mut sel = SelVec {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        sel.mask_tail();
+        sel
+    }
+
+    /// Builds a mask of `len` rows from a per-row predicate, 64 lanes per
+    /// word with no per-row branching.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> SelVec {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut base = 0usize;
+        while base < len {
+            let lanes = (len - base).min(64);
+            let mut bits = 0u64;
+            for lane in 0..lanes {
+                bits |= (f(base + lane) as u64) << lane;
+            }
+            words.push(bits);
+            base += 64;
+        }
+        SelVec { words, len }
+    }
+
+    /// Builds a mask from an unpacked boolean slice.
+    pub fn from_bools(bools: &[bool]) -> SelVec {
+        SelVec::from_fn(bools.len(), |i| bools[i])
+    }
+
+    /// Number of rows the mask covers (selected or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether row `i` is selected.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Selects row `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Number of selected rows (a popcount over the words).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Calls `f` with each selected row index, in ascending order.  Sparse
+    /// masks visit only the set bits (`trailing_zeros` + clear-lowest-bit).
+    #[inline]
+    pub fn for_each_index(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// The selection vector: indices of the selected rows, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        self.for_each_index(|i| out.push(i));
+        out
+    }
+
+    /// Word-wise intersection of two equal-length masks.
+    pub fn and(&self, other: &SelVec) -> SelVec {
+        debug_assert_eq!(self.len, other.len);
+        SelVec {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Word-wise intersection with a validity bitmap's words, offset so
+    /// that mask row `k` ANDs with bitmap bit `start + k`.  `start` must be
+    /// word-aligned — true for every caller, because masks are built per
+    /// morsel and [`crate::parallel::MORSEL_ROWS`] is a multiple of 64.
+    /// This is how kernels fold NULLs into a mask without a per-row
+    /// validity branch in the comparison loop.
+    pub fn and_valid_words(&mut self, valid: &[u64], start: usize) {
+        debug_assert!(start.is_multiple_of(64), "start {start} not word-aligned");
+        let first = start / 64;
+        for (w, word) in self.words.iter_mut().enumerate() {
+            *word &= valid[first + w];
+        }
+    }
+
+    /// Word-wise union of two equal-length masks.
+    pub fn or(&self, other: &SelVec) -> SelVec {
+        debug_assert_eq!(self.len, other.len);
+        SelVec {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Appends `other`, requiring the current length to be word-aligned so
+    /// the words concatenate without shifting.  Morsel-parallel kernels rely
+    /// on this: [`crate::parallel::MORSEL_ROWS`] is a multiple of 64, so all
+    /// non-final per-morsel masks end exactly on a word boundary.
+    pub fn extend_aligned(&mut self, other: &SelVec) {
+        assert!(
+            self.len.is_multiple_of(64),
+            "extend_aligned requires a word-aligned prefix (len {} not divisible by 64)",
+            self.len
+        );
+        self.words.extend_from_slice(&other.words);
+        self.len += other.len;
+    }
+
+    /// Unpacks to a boolean vector (tests and diagnostics).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Clears any bits at positions `>= len` in the final word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SelVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelVec")
+            .field("len", &self.len)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_round_trips_through_get_and_to_bools() {
+        for len in [0usize, 1, 63, 64, 65, 130, 1000] {
+            let sel = SelVec::from_fn(len, |i| i % 3 == 0);
+            assert_eq!(sel.len(), len);
+            for i in 0..len {
+                assert_eq!(sel.get(i), i % 3 == 0, "row {i} of len {len}");
+            }
+            let bools = sel.to_bools();
+            assert_eq!(SelVec::from_bools(&bools), sel);
+        }
+    }
+
+    #[test]
+    fn count_and_indices_agree_with_the_dense_scan() {
+        let sel = SelVec::from_fn(517, |i| i % 7 == 2);
+        let expected: Vec<usize> = (0..517).filter(|i| i % 7 == 2).collect();
+        assert_eq!(sel.count(), expected.len());
+        assert_eq!(sel.indices(), expected);
+        let mut visited = Vec::new();
+        sel.for_each_index(|i| visited.push(i));
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn tail_bits_stay_clear() {
+        let t = SelVec::new_true(70);
+        assert_eq!(t.count(), 70);
+        let f = SelVec::new_false(70);
+        assert_eq!(f.count(), 0);
+        assert_eq!(t.and(&f).count(), 0);
+        assert_eq!(t.or(&f).count(), 70);
+    }
+
+    #[test]
+    fn and_or_match_elementwise_logic() {
+        let a = SelVec::from_fn(200, |i| i % 2 == 0);
+        let b = SelVec::from_fn(200, |i| i % 3 == 0);
+        let both = a.and(&b);
+        let either = a.or(&b);
+        for i in 0..200 {
+            assert_eq!(both.get(i), i % 2 == 0 && i % 3 == 0);
+            assert_eq!(either.get(i), i % 2 == 0 || i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn extend_aligned_concatenates_word_aligned_parts() {
+        let mut acc = SelVec::empty();
+        let a = SelVec::from_fn(128, |i| i % 5 == 0);
+        let b = SelVec::from_fn(77, |i| i % 4 == 1);
+        acc.extend_aligned(&a);
+        acc.extend_aligned(&b);
+        assert_eq!(acc.len(), 205);
+        for i in 0..128 {
+            assert_eq!(acc.get(i), a.get(i));
+        }
+        for i in 0..77 {
+            assert_eq!(acc.get(128 + i), b.get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn extend_aligned_rejects_unaligned_prefixes() {
+        let mut acc = SelVec::new_true(65);
+        acc.extend_aligned(&SelVec::new_true(64));
+    }
+}

@@ -124,8 +124,9 @@ impl Table {
         Ok(())
     }
 
-    /// Returns a new table containing only the rows where `mask` is true.
-    pub fn filter(&self, mask: &[bool]) -> Table {
+    /// Returns a new table containing only the rows selected by the packed
+    /// `mask`.
+    pub fn filter(&self, mask: &crate::selvec::SelVec) -> Table {
         debug_assert_eq!(mask.len(), self.num_rows());
         let columns = self.columns.iter().map(|c| c.filter(mask)).collect();
         Table {
@@ -138,7 +139,11 @@ impl Table {
     /// pool.  Columns are independent, so the result is identical to the
     /// serial filter at any thread count.  Frames below one morsel stay on
     /// the serial path — spawning threads would cost more than the gather.
-    pub fn filter_with(&self, mask: &[bool], pool: &crate::parallel::ThreadPool) -> Table {
+    pub fn filter_with(
+        &self,
+        mask: &crate::selvec::SelVec,
+        pool: &crate::parallel::ThreadPool,
+    ) -> Table {
         debug_assert_eq!(mask.len(), self.num_rows());
         if pool.parallelism() <= 1
             || self.num_rows() <= crate::parallel::MORSEL_ROWS
@@ -359,7 +364,9 @@ mod tests {
     #[test]
     fn filter_and_take_preserve_order() {
         let t = sample_table();
-        let filtered = t.filter(&[true, false, true, false]);
+        let filtered = t.filter(&crate::selvec::SelVec::from_bools(&[
+            true, false, true, false,
+        ]));
         assert_eq!(filtered.num_rows(), 2);
         assert_eq!(filtered.value_at(1, 0), Value::Int(3));
         let taken = t.take(&[3, 0]);

@@ -29,7 +29,9 @@ pub use verdict_core::{
     ProgressFrame, ProgressStream, QueryOptions, SampleType, VerdictAnswer, VerdictConfig,
     VerdictContext, VerdictError, VerdictResponse, VerdictResult, VerdictSession,
 };
-pub use verdict_engine::{Connection, Engine, EngineProfile, Table, TableBuilder, Value};
+pub use verdict_engine::{
+    Connection, Engine, EngineProfile, GroupStrategy, Table, TableBuilder, Value,
+};
 
 /// Convenience constructor: a [`VerdictSession`] over a freshly-created
 /// context (the SQL-only surface most applications should use).

@@ -363,10 +363,203 @@ fn filter_masks_agree_with_scalar_reference() {
                     .as_bool()
                     .unwrap_or(false);
                 assert_eq!(
-                    mask[row], expected,
+                    mask.get(row),
+                    expected,
                     "seed {seed}, row {row}: `{sql}` mask diverged"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn packed_selection_vectors_agree_with_scalar_reference() {
+    use verdictdb::engine::kernels;
+    use verdictdb::engine::ThreadPool;
+
+    // Random tables (NULL-bearing columns) plus one morsel-crossing size so
+    // the parallel word-aligned concatenation path actually runs.
+    let sizes: Vec<(u64, usize)> = (300..312u64)
+        .map(|seed| (seed, (seed as usize * 37) % 400))
+        .chain([(900u64, verdictdb::engine::MORSEL_ROWS + 137)])
+        .collect();
+    for (seed, rows) in sizes {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = random_table(&mut rng, rows);
+        let a = &table.columns[0];
+        let b = &table.columns[1];
+        let c = &table.columns[3];
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            for op in [BinaryOp::Gt, BinaryOp::Eq, BinaryOp::LtEq] {
+                let mask = kernels::par_filter_mask(a, op, b, &pool);
+                assert_eq!(mask.len(), rows);
+                for row in 0..rows {
+                    let expected = table.value_at(row, 0).sql_cmp(&table.value_at(row, 1)).map(
+                        |ord| match op {
+                            BinaryOp::Gt => ord == Ordering::Greater,
+                            BinaryOp::Eq => ord == Ordering::Equal,
+                            BinaryOp::LtEq => ord != Ordering::Greater,
+                            _ => unreachable!(),
+                        },
+                    );
+                    assert_eq!(
+                        mask.get(row),
+                        expected.unwrap_or(false),
+                        "seed {seed}, row {row}, {op:?}, {threads} thread(s): \
+                         packed mask diverged (NULL must deselect)"
+                    );
+                }
+                assert_eq!(
+                    mask.count(),
+                    (0..rows).filter(|&r| mask.get(r)).count(),
+                    "popcount must match per-bit reads"
+                );
+            }
+            // Bool column → mask: NULL and false both deselect.
+            let cmask = kernels::par_column_to_mask(c, &pool);
+            for row in 0..rows {
+                let expected = table.value_at(row, 3).as_bool() == Some(true);
+                assert_eq!(
+                    cmask.get(row),
+                    expected,
+                    "seed {seed}, row {row}: bool mask"
+                );
+            }
+            // AND / OR combine word-wise; the reference combines per element.
+            let m1 = kernels::par_filter_mask(a, BinaryOp::Gt, b, &pool);
+            let m2 = cmask.clone();
+            let anded = m1.and(&m2);
+            let ored = m1.or(&m2);
+            for row in 0..rows {
+                assert_eq!(anded.get(row), m1.get(row) && m2.get(row));
+                assert_eq!(ored.get(row), m1.get(row) || m2.get(row));
+            }
+            // Edge masks: nothing selected, everything selected.
+            let zero = Column::repeat(&Value::Int(0), rows);
+            let one = Column::repeat(&Value::Int(1), rows);
+            let none = kernels::par_filter_mask(&zero, BinaryOp::Gt, &one, &pool);
+            assert_eq!(none.count(), 0);
+            assert!(none.indices().is_empty());
+            let all = kernels::par_filter_mask(&one, BinaryOp::Gt, &zero, &pool);
+            assert_eq!(all.count(), rows);
+            assert_eq!(all.indices(), (0..rows).collect::<Vec<_>>());
+        }
+    }
+}
+
+#[test]
+fn grouping_strategies_agree_with_scalar_reference() {
+    use verdictdb::engine::kernels::group_rows_with;
+    use verdictdb::engine::{GroupStrategy, ThreadPool};
+
+    // Scalar reference: first-appearance grouping over stringified key
+    // tuples.  Every strategy (hash, dict, radix, auto) at every pool size
+    // must reproduce it exactly — gids AND representatives.
+    // Canonical key part matching the engine's grouping equality
+    // (`loose_eq_rows`): floats use IEEE `==` with NaNs grouped together,
+    // so -0.0 keys like 0.0 and every NaN keys alike.
+    let key_part = |v: &Value| match v {
+        Value::Float(f) if f.is_nan() => "F:NaN".to_string(),
+        Value::Float(f) if *f == 0.0 => "F:0".to_string(),
+        other => format!("{other:?}"),
+    };
+    let reference = |table: &Table, cols: &[usize]| {
+        let mut first: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut gids = Vec::new();
+        let mut reps = Vec::new();
+        for row in 0..table.num_rows() {
+            let key = cols
+                .iter()
+                .map(|&c| key_part(&table.value_at(row, c)))
+                .collect::<Vec<_>>()
+                .join("|");
+            let next = first.len();
+            let gid = *first.entry(key).or_insert_with(|| {
+                reps.push(row);
+                next
+            });
+            gids.push(gid);
+        }
+        (gids, reps)
+    };
+    let sizes: Vec<(u64, usize)> = (400..406u64)
+        .map(|seed| (seed, 37 + (seed as usize * 53) % 300))
+        .chain([(901u64, verdictdb::engine::MORSEL_ROWS + 211)])
+        .collect();
+    for (seed, rows) in sizes {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = random_table(&mut rng, rows);
+        // Key sets: dict-eligible (nullable int + bool), dict-ineligible
+        // (float + string → hash/radix fallback), single wide int.
+        for cols in [vec![0usize, 3], vec![1, 2], vec![0]] {
+            let key_cols: Vec<Column> = cols.iter().map(|&c| table.columns[c].clone()).collect();
+            let (ref_gids, ref_reps) = reference(&table, &cols);
+            for threads in [1usize, 4] {
+                let pool = ThreadPool::new(threads);
+                for strategy in [
+                    GroupStrategy::Auto,
+                    GroupStrategy::Hash,
+                    GroupStrategy::Dict,
+                    GroupStrategy::Radix,
+                ] {
+                    pool.set_group_strategy(strategy);
+                    let g = group_rows_with(&key_cols, rows, &pool);
+                    assert_eq!(
+                        g.gids, ref_gids,
+                        "seed {seed}, cols {cols:?}, {strategy}, {threads} thread(s): gids"
+                    );
+                    assert_eq!(
+                        g.representatives, ref_reps,
+                        "seed {seed}, cols {cols:?}, {strategy}, {threads} thread(s): reps"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn late_materialized_progressive_filter_agrees_with_reference() {
+    use verdictdb::engine::{Connection, Engine};
+
+    const Q: &str = "SELECT count(*) AS n, sum(b) AS s FROM t WHERE a > 0 AND c";
+    for seed in 500..508u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = 1 + (seed as usize * 41) % 400;
+        let table = random_table(&mut rng, rows);
+        // Scalar reference: SQL three-valued AND keeps a row only when both
+        // conjuncts are TRUE (NULL deselects).
+        let expected_count = (0..rows)
+            .filter(|&row| {
+                table.value_at(row, 0).as_i64().map(|v| v > 0) == Some(true)
+                    && table.value_at(row, 3).as_bool() == Some(true)
+            })
+            .count() as i64;
+        for threads in [1usize, 4] {
+            let e = Engine::with_seed(seed);
+            e.set_parallelism(threads);
+            e.register_table("t", table.clone());
+            let one_shot = e.execute_sql(Q).unwrap().table;
+            let mut scan = e.open_block_scan(Q).expect("progressive shape");
+            while !scan.done() {
+                scan.advance(64).unwrap();
+            }
+            let streamed = scan.snapshot().unwrap().table;
+            assert_eq!(
+                streamed.value_at(0, 0),
+                Value::Int(expected_count),
+                "seed {seed}, {threads} thread(s): late-materialized count"
+            );
+            assert!(
+                common::values_bit_identical(&streamed.value_at(0, 0), &one_shot.value_at(0, 0))
+                    && common::values_bit_identical(
+                        &streamed.value_at(0, 1),
+                        &one_shot.value_at(0, 1)
+                    ),
+                "seed {seed}, {threads} thread(s): streamed answer must be \
+                 bit-identical to one-shot execution"
+            );
         }
     }
 }
