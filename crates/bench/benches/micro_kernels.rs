@@ -23,7 +23,7 @@ use verdict_bench::kernel::{
     self, median_secs, par_filter_mask, par_grouped_sum, par_sum_avg, synthetic_columns, REPS, ROWS,
 };
 use verdict_core::{SampleType, VerdictConfig, VerdictContext, VerdictSession};
-use verdict_engine::{Connection, Engine, TableBuilder, ThreadPool};
+use verdict_engine::{Backend, Engine, TableBuilder, ThreadPool};
 use verdict_server::{VerdictClient, VerdictServer};
 
 // ---------------------------------------------------------------------------
@@ -53,7 +53,7 @@ fn serving_context(cache_capacity: usize) -> Arc<VerdictContext> {
         .build()
         .unwrap();
     engine.register_table("sales", table);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = cache_capacity;
     let ctx = VerdictContext::new(conn, config);
@@ -108,6 +108,53 @@ fn bench_session_dispatch() -> (f64, f64) {
     (direct, session_secs)
 }
 
+/// (direct_secs, routed_secs): median latency of one engine statement called
+/// directly on `Engine::execute_sql` vs routed through the type-erased
+/// `Arc<dyn Backend>` plus the per-backend instrumentation layer every
+/// `VerdictContext` now uses.  Isolates the cost of the pluggable-backend
+/// indirection itself: one dynamic dispatch and one relaxed atomic
+/// increment per statement.
+fn bench_backend_dispatch() -> (f64, f64) {
+    const DISPATCH_ROWS: i64 = 10_000;
+    const DISPATCH_QUERY: &str = "SELECT count(*) AS n, sum(id) AS s FROM ticks";
+    const BATCH: usize = 100;
+    let engine = Arc::new(Engine::with_seed(31));
+    let table = TableBuilder::new()
+        .int_column("id", (0..DISPATCH_ROWS).collect())
+        .build()
+        .unwrap();
+    engine.register_table("ticks", table);
+    let ctx = VerdictContext::new(
+        engine.clone() as Arc<dyn Backend>,
+        VerdictConfig::for_testing(),
+    );
+    engine.execute_sql(DISPATCH_QUERY).unwrap();
+    ctx.connection().execute(DISPATCH_QUERY).unwrap();
+    // The indirection costs nanoseconds on a query that takes tens of
+    // microseconds, so scheduler drift between two separately-timed loops
+    // would dominate the difference.  Interleave the paths inside each rep
+    // and take per-path medians instead.
+    let mut direct_samples = Vec::with_capacity(REPS);
+    let mut routed_samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(engine.execute_sql(DISPATCH_QUERY).unwrap());
+        }
+        direct_samples.push(t0.elapsed().as_secs_f64() / BATCH as f64);
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(ctx.connection().execute(DISPATCH_QUERY).unwrap());
+        }
+        routed_samples.push(t0.elapsed().as_secs_f64() / BATCH as f64);
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    (median(&mut direct_samples), median(&mut routed_samples))
+}
+
 /// Aggregate protocol throughput (queries/second) at `sessions` concurrent
 /// sessions issuing `requests` dashboard repeats each against a shared server.
 fn bench_sessions_qps(sessions: usize, requests: usize) -> f64 {
@@ -153,7 +200,7 @@ fn stream_context() -> Arc<VerdictContext> {
         .build()
         .unwrap();
     engine.register_table("big_sales", table);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let mut config = VerdictConfig::for_testing();
     config.io_budget = 1.0; // a full-table scramble needs a full budget
     let ctx = VerdictContext::new(conn, config);
@@ -432,6 +479,19 @@ fn main() {
         session_secs * 1e6
     );
 
+    // Cost of the pluggable-backend indirection (dyn dispatch + routing
+    // counters) relative to calling the engine directly.
+    let (backend_direct_secs, backend_routed_secs) = bench_backend_dispatch();
+    let backend_overhead_pct = 100.0 * (backend_routed_secs / backend_direct_secs.max(1e-12) - 1.0);
+    println!(
+        "\n## backend dispatch (Arc<dyn Backend> + instrumentation vs direct engine call)\n\n\
+         | path | latency (µs) |\n|------|-------------:|\n\
+         | Engine::execute_sql | {:.3} |\n| Backend::execute via context | {:.3} |\n\n\
+         backend dispatch overhead: {backend_overhead_pct:.2}%",
+        backend_direct_secs * 1e6,
+        backend_routed_secs * 1e6
+    );
+
     // Machine-readable snapshot, written at the workspace root (cargo bench
     // runs with the package directory as cwd).
     let path = std::env::var("BENCH_KERNELS_JSON")
@@ -483,6 +543,13 @@ fn main() {
          \"direct_secs\": {direct_secs:.9},\n    \
          \"session_secs\": {session_secs:.9},\n    \
          \"overhead_pct\": {dispatch_overhead_pct:.2}\n"
+    ));
+    json.push_str("  },\n  \"backend_dispatch\": {\n");
+    json.push_str(&format!(
+        "    \"query\": \"count+sum over 10k rows, in-process engine\",\n    \
+         \"direct_secs\": {backend_direct_secs:.9},\n    \
+         \"routed_secs\": {backend_routed_secs:.9},\n    \
+         \"overhead_pct\": {backend_overhead_pct:.2}\n"
     ));
     json.push_str("  }\n}\n");
     std::fs::write(&path, &json).expect("write perf snapshot");

@@ -22,7 +22,7 @@ use verdict_core::{VerdictConfig, VerdictContext};
 use verdict_data::{
     instacart_queries, tpch_queries, InstacartGenerator, SyntheticGenerator, TpchGenerator,
 };
-use verdict_engine::{Connection, Engine, EngineProfile, ExecStats};
+use verdict_engine::{Backend, Engine, EngineProfile, ExecStats};
 
 /// One per-query row of the speedup/error experiments (Figures 4, 9, 10).
 #[derive(Debug, Clone)]
@@ -45,7 +45,7 @@ pub fn workload_context(insta_scale: f64, tpch_scale: f64, sampling_ratio: f64) 
     let engine = Arc::new(Engine::with_seed(20180610));
     InstacartGenerator::new(insta_scale).register(&engine);
     TpchGenerator::new(tpch_scale).register(&engine);
-    let conn: Arc<dyn Connection> = engine;
+    let conn: Arc<dyn Backend> = engine;
     let mut config = VerdictConfig::default();
     config.min_table_rows = 10_000;
     config.sampling_ratio = sampling_ratio;
@@ -189,7 +189,7 @@ pub fn scaling_experiment(scales: &[f64]) -> Vec<(f64, f64)> {
     for &scale in scales {
         let engine = Arc::new(Engine::with_seed(3));
         TpchGenerator::new(scale).register(&engine);
-        let conn: Arc<dyn Connection> = engine;
+        let conn: Arc<dyn Backend> = engine;
         let mut config = VerdictConfig::default();
         config.min_table_rows = 10_000;
         // fixed-size sample: ratio shrinks as the data grows
@@ -510,7 +510,7 @@ pub mod accuracy {
 pub fn preparation_time(scale: f64) -> Vec<(String, Duration)> {
     let engine = Arc::new(Engine::with_seed(23));
     InstacartGenerator::new(scale).register(&engine);
-    let conn: Arc<dyn Connection> = engine.clone();
+    let conn: Arc<dyn Backend> = engine.clone();
     let mut config = VerdictConfig::default();
     config.min_table_rows = 10_000;
     let ctx = VerdictContext::new(conn, config);

@@ -9,7 +9,7 @@
 //! Entries are keyed by the **canonical SQL form**
 //! ([`verdict_sql::canonical_sql`]) so that texts differing only in
 //! whitespace, keyword/identifier case, or literal spelling share one entry.
-//! Each entry records the [`data version`](verdict_engine::Connection::data_version)
+//! Each entry records the [`data version`](verdict_engine::Backend::data_version)
 //! of every table the answer was computed from — base tables *and* the
 //! sample tables the plan touched.  A lookup revalidates those versions:
 //! any write, append, or sample rebuild bumps a version in the engine

@@ -1,6 +1,6 @@
 //! [`VerdictContext`] — the user-facing entry point of the middleware.
 //!
-//! A context wraps a driver-level [`Connection`] to the underlying database
+//! A context wraps a driver-level [`Backend`] to the underlying database
 //! (paper Figure 1a) and exposes the two stages of the workflow (Figure 2):
 //!
 //! * **sample preparation** — [`VerdictContext::create_sample`] /
@@ -14,6 +14,7 @@
 //!   passed through to the underlying database.
 
 use crate::answer::{assemble, ColumnErrorSummary};
+use crate::backend::{BackendStats, DialectBackend, InstrumentedBackend};
 use crate::cache::{AnswerCache, CacheStats};
 use crate::config::VerdictConfig;
 use crate::error::{VerdictError, VerdictResult};
@@ -27,7 +28,7 @@ use crate::sample::{SampleMeta, SampleType};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use verdict_engine::{Connection, Table};
+use verdict_engine::{Backend, Table};
 use verdict_sql::ast::Statement;
 use verdict_sql::dialect::{Dialect, GenericDialect};
 use verdict_sql::printer::print_statement;
@@ -100,8 +101,13 @@ pub(crate) struct StreamCounters {
 
 /// The VerdictDB middleware instance.
 pub struct VerdictContext {
-    conn: Arc<dyn Connection>,
-    dialect: Box<dyn Dialect>,
+    /// The active backend, wrapped in routing instrumentation.  Kept as a
+    /// type-erased `Arc<dyn Backend>` so [`Self::connection`] can hand out
+    /// the trait object directly.
+    conn: Arc<dyn Backend>,
+    /// The same allocation as `conn`, concretely typed so the routing
+    /// counters can be read back for `SHOW STATS`.
+    instrumented: Arc<InstrumentedBackend>,
     config: VerdictConfig,
     meta: MetaStore,
     cache: AnswerCache,
@@ -109,19 +115,12 @@ pub struct VerdictContext {
 }
 
 impl VerdictContext {
-    /// Creates a context over a connection with the generic SQL dialect.
-    pub fn new(conn: Arc<dyn Connection>, config: VerdictConfig) -> VerdictContext {
-        Self::with_dialect(conn, Box::new(GenericDialect), config)
-    }
-
-    /// Creates a context with an explicit SQL dialect (Impala, Spark SQL, Redshift, …).
-    pub fn with_dialect(
-        conn: Arc<dyn Connection>,
-        dialect: Box<dyn Dialect>,
-        config: VerdictConfig,
-    ) -> VerdictContext {
-        // Thread the engine speed knobs through to the connection;
-        // connections without a local execution engine ignore the hints.
+    /// Creates a context over a backend, speaking the backend's own dialect
+    /// ([`Backend::dialect`] — the generic dialect unless the backend
+    /// overrides it).
+    pub fn new(conn: Arc<dyn Backend>, config: VerdictConfig) -> VerdictContext {
+        // Thread the engine speed knobs through to the backend; backends
+        // without a local execution engine ignore the hints.
         if let Some(threads) = config.parallelism {
             conn.set_parallelism(threads);
         }
@@ -129,14 +128,25 @@ impl VerdictContext {
             conn.set_group_strategy(strategy);
         }
         let cache = AnswerCache::new(config.answer_cache_capacity);
+        let instrumented = Arc::new(InstrumentedBackend::new(conn));
         VerdictContext {
-            conn,
-            dialect,
+            conn: instrumented.clone(),
+            instrumented,
             config,
             meta: MetaStore::new(),
             cache,
             streams: StreamCounters::default(),
         }
+    }
+
+    /// Creates a context with an explicit SQL dialect (Impala, Spark SQL,
+    /// Redshift, …) overriding whatever the backend itself reports.
+    pub fn with_dialect(
+        conn: Arc<dyn Backend>,
+        dialect: Box<dyn Dialect>,
+        config: VerdictConfig,
+    ) -> VerdictContext {
+        Self::new(Arc::new(DialectBackend::new(conn, dialect)), config)
     }
 
     /// The immutable base configuration.
@@ -155,14 +165,23 @@ impl VerdictContext {
         &self.meta
     }
 
-    /// The underlying connection.
-    pub fn connection(&self) -> &Arc<dyn Connection> {
+    /// The active backend (wrapped in routing instrumentation).  The method
+    /// keeps its pre-refactor name; `Connection` is an alias of [`Backend`].
+    pub fn connection(&self) -> &Arc<dyn Backend> {
         &self.conn
     }
 
-    /// The SQL dialect used when talking to the underlying database.
+    /// The SQL dialect used when talking to the underlying database — the
+    /// active backend's [`Backend::dialect`], possibly overridden by
+    /// [`Self::with_dialect`].
     pub fn dialect(&self) -> &dyn Dialect {
-        self.dialect.as_ref()
+        self.conn.dialect()
+    }
+
+    /// Quotes one identifier for the active backend's dialect (no-op for
+    /// identifiers that do not need quoting).
+    fn quoted(&self, ident: &str) -> String {
+        self.dialect().quote_ident(ident)
     }
 
     // ------------------------------------------------------------------
@@ -227,8 +246,10 @@ impl VerdictContext {
                  refusing to replace it"
             )));
         }
-        self.conn
-            .execute(&format!("DROP TABLE IF EXISTS {sample_table}"))?;
+        self.conn.execute(&format!(
+            "DROP TABLE IF EXISTS {}",
+            self.quoted(&sample_table)
+        ))?;
         let plan = build_sample_sql(
             base_table,
             &sample_table,
@@ -238,7 +259,7 @@ impl VerdictContext {
             strata_count,
             &base_columns,
             config,
-            self.dialect.as_ref(),
+            self.dialect(),
         );
         for stmt in &plan.statements {
             self.conn.execute(stmt)?;
@@ -277,12 +298,16 @@ impl VerdictContext {
         if !columns.is_empty() {
             let ndv_list = columns
                 .iter()
-                .map(|c| format!("ndv({c}) AS {c}"))
+                .map(|c| {
+                    let q = self.quoted(c);
+                    format!("ndv({q}) AS {q}")
+                })
                 .collect::<Vec<_>>()
                 .join(", ");
-            let result = self
-                .conn
-                .execute(&format!("SELECT {ndv_list} FROM {base_table}"))?;
+            let result = self.conn.execute(&format!(
+                "SELECT {ndv_list} FROM {}",
+                self.quoted(base_table)
+            ))?;
             for (i, c) in columns.iter().enumerate() {
                 cardinalities.push(ColumnCardinality {
                     column: c.clone(),
@@ -337,7 +362,7 @@ impl VerdictContext {
                 continue;
             }
             let appended = (|| -> VerdictResult<u64> {
-                for stmt in append_sql(meta, batch_table, &base_columns, self.dialect.as_ref()) {
+                for stmt in append_sql(meta, batch_table, &base_columns, self.dialect()) {
                     self.conn.execute(&stmt)?;
                 }
                 Ok(self.conn.table_row_count(&meta.sample_table)?)
@@ -393,8 +418,10 @@ impl VerdictContext {
         let samples = self.meta.remove_for(base_table);
         let mut dropped = 0usize;
         for meta in samples {
-            self.conn
-                .execute(&format!("DROP TABLE IF EXISTS {}", meta.sample_table))?;
+            self.conn.execute(&format!(
+                "DROP TABLE IF EXISTS {}",
+                self.quoted(&meta.sample_table)
+            ))?;
             dropped += 1;
         }
         Ok(dropped)
@@ -405,8 +432,10 @@ impl VerdictContext {
     pub fn drop_sample_named(&self, name: &str, if_exists: bool) -> VerdictResult<bool> {
         match self.meta.remove_sample(name) {
             Some(meta) => {
-                self.conn
-                    .execute(&format!("DROP TABLE IF EXISTS {}", meta.sample_table))?;
+                self.conn.execute(&format!(
+                    "DROP TABLE IF EXISTS {}",
+                    self.quoted(&meta.sample_table)
+                ))?;
                 Ok(true)
             }
             None if if_exists => Ok(false),
@@ -614,7 +643,7 @@ impl VerdictContext {
 
         let mut mean_result = None;
         if let Some(stmt) = &rewritten.mean_query {
-            let sql = print_statement(stmt, self.dialect.as_ref());
+            let sql = print_statement(stmt, self.dialect());
             let result = self.conn.execute(&sql)?;
             rows_scanned += result.stats.rows_scanned;
             sqls.push(sql);
@@ -632,7 +661,7 @@ impl VerdictContext {
 
         let mut distinct_result = None;
         if let Some((stmt, _)) = &rewritten.distinct_query {
-            let sql = print_statement(stmt, self.dialect.as_ref());
+            let sql = print_statement(stmt, self.dialect());
             let result = self.conn.execute(&sql)?;
             rows_scanned += result.stats.rows_scanned;
             sqls.push(sql);
@@ -641,7 +670,7 @@ impl VerdictContext {
 
         let mut extreme_result = None;
         if let Some(stmt) = &rewritten.extreme_query {
-            let sql = print_statement(stmt, self.dialect.as_ref());
+            let sql = print_statement(stmt, self.dialect());
             let result = self.conn.execute(&sql)?;
             rows_scanned += result.stats.rows_scanned;
             sqls.push(sql);
@@ -719,6 +748,12 @@ impl VerdictContext {
         self.cache.stats()
     }
 
+    /// Snapshot of the per-backend routing counters (queries routed,
+    /// capability fallbacks taken, backend-specific extras).
+    pub fn backend_stats(&self) -> BackendStats {
+        self.instrumented.stats()
+    }
+
     /// Snapshot of the progressive-stream activity counters.
     pub fn stream_stats(&self) -> StreamStats {
         use std::sync::atomic::Ordering::Relaxed;
@@ -738,11 +773,13 @@ impl VerdictContext {
     /// — including inside scalar / `IN` / `EXISTS` subqueries — whose repeats
     /// must produce fresh draws.
     ///
-    /// The key is the canonical SQL text plus a fingerprint of every
-    /// answer-affecting configuration knob: two sessions running the same
-    /// query under different accuracy settings (confidence, target error,
-    /// error columns, …) produce observably different answers, so they must
-    /// not share a cache entry.
+    /// The key is the backend's identity, the canonical SQL text, and a
+    /// fingerprint of every answer-affecting configuration knob: two
+    /// sessions running the same query under different accuracy settings
+    /// (confidence, target error, error columns, …) produce observably
+    /// different answers, so they must not share a cache entry — and an
+    /// answer computed against one backend must never be replayed against
+    /// another, even if both can see tables with the same names.
     pub(crate) fn cache_key(&self, stmt: &Statement, config: &VerdictConfig) -> Option<String> {
         if !self.cache.enabled() || config.answer_cache_capacity == 0 {
             return None;
@@ -756,7 +793,8 @@ impl VerdictContext {
         }
         let canon = verdict_sql::canonical_statement(stmt);
         Some(format!(
-            "{}\u{1f}{}",
+            "{}\u{1f}{}\u{1f}{}",
+            self.conn.identity(),
             print_statement(&canon, &GenericDialect),
             config.cache_fingerprint()
         ))
@@ -844,7 +882,7 @@ impl VerdictContext {
     fn column_names(&self, table: &str) -> VerdictResult<Vec<String>> {
         let result = self
             .conn
-            .execute(&format!("SELECT * FROM {table} LIMIT 1"))?;
+            .execute(&format!("SELECT * FROM {} LIMIT 1", self.quoted(table)))?;
         Ok(result
             .table
             .schema
@@ -859,9 +897,14 @@ impl VerdictContext {
         if columns.is_empty() {
             return Ok(0);
         }
-        let col_list = columns.join(", ");
+        let col_list = columns
+            .iter()
+            .map(|c| self.quoted(c))
+            .collect::<Vec<_>>()
+            .join(", ");
         let sql = format!(
-            "SELECT count(*) AS c FROM (SELECT {col_list} FROM {table} GROUP BY {col_list}) AS verdict_card"
+            "SELECT count(*) AS c FROM (SELECT {col_list} FROM {} GROUP BY {col_list}) AS verdict_card",
+            self.quoted(table)
         );
         let result = self.conn.execute(&sql)?;
         Ok(result.table.value(0, 0).as_i64().unwrap_or(0) as u64)

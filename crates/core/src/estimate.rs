@@ -218,7 +218,14 @@ pub fn default_subsample_size(n: usize) -> usize {
 
 /// SQL formulations of the error-estimation baselines, used to measure the
 /// middleware runtime overhead each technique would impose (Figure 7).
+///
+/// Each query has two entry points: a `*_sql` convenience that renders
+/// generic SQL, and a `*_sql_for` variant taking the target backend's
+/// [`Dialect`](verdict_sql::dialect::Dialect) so the nondeterministic draw is
+/// spelled the way that backend expects (`rand()` vs `random()`).
 pub mod sql_baselines {
+    use verdict_sql::dialect::{Dialect, GenericDialect};
+
     /// Variational subsampling as a single O(n) SQL query (paper Query 4):
     /// assign each tuple one subsample id and aggregate per (group, sid).
     pub fn variational_subsampling_sql(
@@ -227,13 +234,25 @@ pub mod sql_baselines {
         group_col: Option<&str>,
         b: u64,
     ) -> String {
+        variational_subsampling_sql_for(sample_table, value_expr, group_col, b, &GenericDialect)
+    }
+
+    /// [`variational_subsampling_sql`] rendered for an explicit dialect.
+    pub fn variational_subsampling_sql_for(
+        sample_table: &str,
+        value_expr: &str,
+        group_col: Option<&str>,
+        b: u64,
+        dialect: &dyn Dialect,
+    ) -> String {
+        let rand = dialect.random_function();
         let (group_sel, group_by) = match group_col {
             Some(g) => (format!("{g}, "), format!("{g}, verdict_sid")),
             None => (String::new(), "verdict_sid".to_string()),
         };
         format!(
             "SELECT {group_sel}sum({value_expr}) AS sub_sum, count(*) AS sub_size \
-             FROM (SELECT *, CAST(1 + floor(rand() * {b}) AS BIGINT) AS verdict_sid \
+             FROM (SELECT *, CAST(1 + floor({rand} * {b}) AS BIGINT) AS verdict_sid \
                    FROM {sample_table}) AS verdict_vt \
              GROUP BY {group_by}"
         )
@@ -249,13 +268,33 @@ pub mod sql_baselines {
         b: u64,
         subsample_fraction: f64,
     ) -> String {
+        traditional_subsampling_sql_for(
+            sample_table,
+            value_expr,
+            group_col,
+            b,
+            subsample_fraction,
+            &GenericDialect,
+        )
+    }
+
+    /// [`traditional_subsampling_sql`] rendered for an explicit dialect.
+    pub fn traditional_subsampling_sql_for(
+        sample_table: &str,
+        value_expr: &str,
+        group_col: Option<&str>,
+        b: u64,
+        subsample_fraction: f64,
+        dialect: &dyn Dialect,
+    ) -> String {
+        let rand = dialect.random_function();
         let mut columns = Vec::with_capacity(b as usize * 2);
         for k in 0..b {
             columns.push(format!(
-                "sum(CASE WHEN rand() < {subsample_fraction} THEN ({value_expr}) ELSE 0 END) AS sub_sum_{k}"
+                "sum(CASE WHEN {rand} < {subsample_fraction} THEN ({value_expr}) ELSE 0 END) AS sub_sum_{k}"
             ));
             columns.push(format!(
-                "sum(CASE WHEN rand() < {subsample_fraction} THEN 1 ELSE 0 END) AS sub_cnt_{k}"
+                "sum(CASE WHEN {rand} < {subsample_fraction} THEN 1 ELSE 0 END) AS sub_cnt_{k}"
             ));
         }
         let (group_sel, group_by) = match group_col {
@@ -304,8 +343,20 @@ pub mod sql_baselines {
         group_col: Option<&str>,
         b: u64,
     ) -> String {
+        consolidated_bootstrap_sql_for(sample_table, value_expr, group_col, b, &GenericDialect)
+    }
+
+    /// [`consolidated_bootstrap_sql`] rendered for an explicit dialect.
+    pub fn consolidated_bootstrap_sql_for(
+        sample_table: &str,
+        value_expr: &str,
+        group_col: Option<&str>,
+        b: u64,
+        dialect: &dyn Dialect,
+    ) -> String {
+        let rand = dialect.random_function();
         let draws = (0..b)
-            .map(|k| format!("rand() AS verdict_u{k}"))
+            .map(|k| format!("{rand} AS verdict_u{k}"))
             .collect::<Vec<_>>()
             .join(", ");
         let columns = (0..b)

@@ -17,7 +17,7 @@ use crate::error::{VerdictError, VerdictResult};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use verdict_engine::{Connection, Table};
+use verdict_engine::{Backend, Table};
 use verdict_sql::ast::{Expr, ObjectName, Statement, TableFactor};
 use verdict_sql::printer::print_statement;
 use verdict_sql::visitor::{transform_expr, transform_query_tables};
@@ -50,13 +50,13 @@ pub struct IntegratedAnswer {
 
 /// The tightly-integrated AQP baseline.
 pub struct IntegratedAqp {
-    conn: Arc<dyn Connection>,
+    conn: Arc<dyn Backend>,
     samples: HashMap<String, IntegratedSample>,
 }
 
 impl IntegratedAqp {
     /// Creates the baseline over the same underlying engine VerdictDB uses.
-    pub fn new(conn: Arc<dyn Connection>) -> IntegratedAqp {
+    pub fn new(conn: Arc<dyn Backend>) -> IntegratedAqp {
         IntegratedAqp {
             conn,
             samples: HashMap::new(),
@@ -164,7 +164,7 @@ mod tests {
     use super::*;
     use verdict_engine::{Engine, TableBuilder};
 
-    fn setup() -> (Arc<dyn Connection>, IntegratedAqp) {
+    fn setup() -> (Arc<dyn Backend>, IntegratedAqp) {
         let engine = Engine::with_seed(5);
         let n = 100_000usize;
         let table = TableBuilder::new()
@@ -177,7 +177,7 @@ mod tests {
         engine
             .execute_sql("CREATE TABLE orders_sample AS SELECT * FROM orders WHERE rand() < 0.05")
             .unwrap();
-        let conn: Arc<dyn Connection> = Arc::new(engine);
+        let conn: Arc<dyn Backend> = Arc::new(engine);
         let mut aqp = IntegratedAqp::new(Arc::clone(&conn));
         aqp.register_sample(IntegratedSample {
             base_table: "orders".into(),

@@ -27,10 +27,11 @@
 //! use std::sync::Arc;
 //! use verdict_core::{VerdictConfig, VerdictContext};
 //! use verdict_core::sample::SampleType;
-//! use verdict_engine::{Connection, Engine, TableBuilder};
+//! use verdict_engine::{Backend, Engine, TableBuilder};
 //!
 //! // The "underlying database": here the in-memory engine, but anything that
-//! // speaks SQL through the Connection trait works.
+//! // speaks SQL through the Backend trait works (see [`backend`] and the
+//! // server crate's remote wire-protocol backend).
 //! let engine = Engine::with_seed(7);
 //! let rows = 50_000usize;
 //! let table = TableBuilder::new()
@@ -41,7 +42,7 @@
 //!     .unwrap();
 //! engine.register_table("orders", table);
 //!
-//! let conn: Arc<dyn Connection> = Arc::new(engine);
+//! let conn: Arc<dyn Backend> = Arc::new(engine);
 //! let ctx = VerdictContext::new(conn, VerdictConfig::for_testing());
 //!
 //! // Offline: build a 1% uniform sample.
@@ -56,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod answer;
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod context;
@@ -72,6 +74,7 @@ pub mod session;
 pub mod stats;
 
 pub use answer::{AggEstimate, ColumnErrorSummary};
+pub use backend::{BackendStats, DialectBackend};
 pub use cache::{AnswerCache, CacheStats};
 pub use config::VerdictConfig;
 pub use context::{StreamStats, VerdictAnswer, VerdictContext};

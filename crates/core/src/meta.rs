@@ -12,7 +12,7 @@ use crate::sample::{SampleMeta, SampleType};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use verdict_engine::{Connection, Value};
+use verdict_engine::{Backend, Value};
 
 /// Name of the metadata table VerdictDB maintains in the underlying database.
 pub const META_TABLE: &str = "verdict_meta_samples";
@@ -91,7 +91,7 @@ impl MetaStore {
 
     /// Persists the registry into the underlying database (replacing any
     /// previous copy), using only standard SQL.
-    pub fn persist(&self, conn: &Arc<dyn Connection>) -> VerdictResult<()> {
+    pub fn persist(&self, conn: &Arc<dyn Backend>) -> VerdictResult<()> {
         conn.execute(&format!("DROP TABLE IF EXISTS {META_TABLE}"))?;
         let rows = self.all();
         // Build a UNION-free insert: one SELECT per row appended after CREATE.
@@ -112,7 +112,7 @@ impl MetaStore {
 
     /// Reloads the registry from the underlying database (if the metadata
     /// table exists), replacing the in-memory contents.
-    pub fn reload(&self, conn: &Arc<dyn Connection>) -> VerdictResult<usize> {
+    pub fn reload(&self, conn: &Arc<dyn Backend>) -> VerdictResult<usize> {
         if !conn.table_exists(META_TABLE) {
             return Ok(0);
         }
@@ -238,7 +238,7 @@ mod tests {
 
     #[test]
     fn persist_and_reload_roundtrip() {
-        let engine: Arc<dyn Connection> = Arc::new(Engine::with_seed(3));
+        let engine: Arc<dyn Backend> = Arc::new(Engine::with_seed(3));
         let store = MetaStore::new();
         store.register(meta("orders", 0));
         store.register(SampleMeta {
@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn reload_without_metadata_table_is_a_noop() {
-        let engine: Arc<dyn Connection> = Arc::new(Engine::with_seed(3));
+        let engine: Arc<dyn Backend> = Arc::new(Engine::with_seed(3));
         let store = MetaStore::new();
         assert_eq!(store.reload(&engine).unwrap(), 0);
         assert!(store.is_empty());

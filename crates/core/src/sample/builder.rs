@@ -102,21 +102,23 @@ fn uniform_sql(
     dialect: &dyn Dialect,
 ) -> SamplePlanSql {
     let rand = dialect.random_function();
+    let st = dialect.quote_ident(sample_table);
+    let bt = dialect.quote_ident(base_table);
     let stmt = if dialect.allows_rand_in_where() {
         // No helper column needed, so `*` is exactly the base columns.
         format!(
-            "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+            "CREATE TABLE {st} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN}, \
              {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-             FROM {base_table} WHERE {rand} < {ratio} ORDER BY {rand}"
+             FROM {bt} WHERE {rand} < {ratio} ORDER BY {rand}"
         )
     } else {
         // Impala-safe form: materialise the random draw in a derived table,
         // then project the base columns explicitly so the helper stays inside.
-        let cols = qualified_columns("verdict_src", base_columns);
+        let cols = qualified_columns("verdict_src", base_columns, dialect);
         format!(
-            "CREATE TABLE {sample_table} AS SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+            "CREATE TABLE {st} AS SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
              {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-             FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
+             FROM (SELECT *, {rand} AS verdict_rand FROM {bt}) AS verdict_src \
              WHERE verdict_src.verdict_rand < {ratio} ORDER BY {rand}"
         )
     };
@@ -134,18 +136,21 @@ fn hashed_sql(
     dialect: &dyn Dialect,
 ) -> SamplePlanSql {
     // Multi-column universe samples hash the concatenation of the columns.
-    let key_expr = if columns.len() == 1 {
-        columns[0].clone()
+    let quoted: Vec<String> = columns.iter().map(|c| dialect.quote_ident(c)).collect();
+    let key_expr = if quoted.len() == 1 {
+        quoted[0].clone()
     } else {
-        format!("concat({})", columns.join(", "))
+        format!("concat({})", quoted.join(", "))
     };
     let hash = dialect.hash_function(&key_expr, HASH_DOMAIN);
     let threshold = (ratio * HASH_DOMAIN as f64).round() as u64;
     let rand = dialect.random_function();
     let stmt = format!(
-        "CREATE TABLE {sample_table} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN}, \
+        "CREATE TABLE {} AS SELECT *, {ratio} AS {SAMPLING_PROB_COLUMN}, \
          {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-         FROM {base_table} WHERE {hash} < {threshold} ORDER BY {rand}"
+         FROM {} WHERE {hash} < {threshold} ORDER BY {rand}",
+        dialect.quote_ident(sample_table),
+        dialect.quote_ident(base_table)
     );
     SamplePlanSql {
         statements: vec![stmt],
@@ -166,8 +171,15 @@ fn stratified_sql(
     dialect: &dyn Dialect,
 ) -> SamplePlanSql {
     let temp_table = format!("{sample_table}_strata_tmp");
+    let tt = dialect.quote_ident(&temp_table);
+    let st = dialect.quote_ident(sample_table);
+    let bt = dialect.quote_ident(base_table);
     let rand = dialect.random_function();
-    let col_list = columns.join(", ");
+    let col_list = columns
+        .iter()
+        .map(|c| dialect.quote_ident(c))
+        .collect::<Vec<_>>()
+        .join(", ");
 
     // Equation 1: at least |T|·τ/d tuples per stratum (clamped below by the
     // configured minimum so tiny tables still keep a usable per-group count).
@@ -176,8 +188,8 @@ fn stratified_sql(
 
     // Pass 1: strata sizes.
     let pass1 = format!(
-        "CREATE TABLE {temp_table} AS SELECT {col_list}, count(*) AS verdict_strata_size \
-         FROM {base_table} GROUP BY {col_list}"
+        "CREATE TABLE {tt} AS SELECT {col_list}, count(*) AS verdict_strata_size \
+         FROM {bt} GROUP BY {col_list}"
     );
 
     // Staircase CASE expression over strata sizes (§3.2 / Lemma 1).
@@ -194,31 +206,34 @@ fn stratified_sql(
     // Pass 2: Bernoulli-sample each tuple with the strata-dependent probability.
     let join_cond = columns
         .iter()
-        .map(|c| format!("verdict_src.{c} = {temp_table}.{c}"))
+        .map(|c| {
+            let qc = dialect.quote_ident(c);
+            format!("verdict_src.{qc} = {tt}.{qc}")
+        })
         .collect::<Vec<_>>()
         .join(" AND ");
-    let cols = qualified_columns("verdict_src", base_columns);
+    let cols = qualified_columns("verdict_src", base_columns, dialect);
     let pass2 = if dialect.allows_rand_in_where() {
         format!(
-            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN}, \
+            "CREATE TABLE {st} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN}, \
              {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-             FROM {base_table} AS verdict_src \
-             INNER JOIN {temp_table} ON {join_cond} \
+             FROM {bt} AS verdict_src \
+             INNER JOIN {tt} ON {join_cond} \
              WHERE {rand} < ({case_expr}) ORDER BY {rand}"
         )
     } else {
         // Impala-safe form: the random draw lives in a derived table; the
         // explicit projection keeps the helper column out of the sample.
         format!(
-            "CREATE TABLE {sample_table} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN}, \
+            "CREATE TABLE {st} AS SELECT {cols}, ({case_expr}) AS {SAMPLING_PROB_COLUMN}, \
              {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-             FROM (SELECT *, {rand} AS verdict_rand FROM {base_table}) AS verdict_src \
-             INNER JOIN {temp_table} ON {join_cond} \
+             FROM (SELECT *, {rand} AS verdict_rand FROM {bt}) AS verdict_src \
+             INNER JOIN {tt} ON {join_cond} \
              WHERE verdict_src.verdict_rand < ({case_expr}) ORDER BY {rand}"
         )
     };
 
-    let cleanup = format!("DROP TABLE IF EXISTS {temp_table}");
+    let cleanup = format!("DROP TABLE IF EXISTS {tt}");
     SamplePlanSql {
         statements: vec![pass1, pass2, cleanup],
         sample_table: sample_table.to_string(),

@@ -67,24 +67,26 @@ pub fn append_sql(
     batch_columns: &[String],
     dialect: &dyn Dialect,
 ) -> Vec<String> {
-    let sample = &meta.sample_table;
+    let sample = dialect.quote_ident(&meta.sample_table);
+    let batch = dialect.quote_ident(batch_table);
     let ratio = meta.ratio;
     let rand = dialect.random_function();
     match &meta.sample_type {
         SampleType::Uniform => {
-            let cols = qualified_columns("verdict_src", batch_columns);
+            let cols = qualified_columns("verdict_src", batch_columns, dialect);
             vec![format!(
                 "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
                  {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-                 FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
+                 FROM (SELECT *, {rand} AS verdict_rand FROM {batch}) AS verdict_src \
                  WHERE verdict_src.verdict_rand < {ratio}"
             )]
         }
         SampleType::Hashed { columns } => {
-            let key_expr = if columns.len() == 1 {
-                columns[0].clone()
+            let quoted: Vec<String> = columns.iter().map(|c| dialect.quote_ident(c)).collect();
+            let key_expr = if quoted.len() == 1 {
+                quoted[0].clone()
             } else {
-                format!("concat({})", columns.join(", "))
+                format!("concat({})", quoted.join(", "))
             };
             let hash = dialect.hash_function(&key_expr, 1_000_000);
             let threshold = (ratio * 1_000_000f64).round() as u64;
@@ -92,22 +94,34 @@ pub fn append_sql(
             // explicit and in base order: the INSERT is positional, so a
             // batch staged with reordered columns must not corrupt the
             // sample.
-            let cols = batch_columns.join(", ");
+            let cols = batch_columns
+                .iter()
+                .map(|c| dialect.quote_ident(c))
+                .collect::<Vec<_>>()
+                .join(", ");
             vec![format!(
                 "INSERT INTO {sample} SELECT {cols}, {ratio} AS {SAMPLING_PROB_COLUMN}, \
                  {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-                 FROM {batch_table} WHERE {hash} < {threshold}"
+                 FROM {batch} WHERE {hash} < {threshold}"
             )]
         }
         SampleType::Stratified { columns } => {
-            let col_list = columns.join(", ");
-            let probs_table = format!("{sample}_append_probs_tmp");
+            let col_list = columns
+                .iter()
+                .map(|c| dialect.quote_ident(c))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let probs_table =
+                dialect.quote_ident(&format!("{}_append_probs_tmp", meta.sample_table));
             let join_cond = columns
                 .iter()
-                .map(|c| format!("verdict_src.{c} = {probs_table}.{c}"))
+                .map(|c| {
+                    let qc = dialect.quote_ident(c);
+                    format!("verdict_src.{qc} = {probs_table}.{qc}")
+                })
                 .collect::<Vec<_>>()
                 .join(" AND ");
-            let cols = qualified_columns("verdict_src", batch_columns);
+            let cols = qualified_columns("verdict_src", batch_columns, dialect);
             vec![
                 // A failed earlier refresh may have left the temp table
                 // behind (its trailing DROP never ran); clear it first so
@@ -124,7 +138,7 @@ pub fn append_sql(
                     "INSERT INTO {sample} SELECT {cols}, \
                      coalesce({probs_table}.verdict_stratum_prob, 1.0) AS {SAMPLING_PROB_COLUMN}, \
                      {rand} AS {SUBSAMPLE_DRAW_COLUMN} \
-                     FROM (SELECT *, {rand} AS verdict_rand FROM {batch_table}) AS verdict_src \
+                     FROM (SELECT *, {rand} AS verdict_rand FROM {batch}) AS verdict_src \
                      LEFT JOIN {probs_table} ON {join_cond} \
                      WHERE verdict_src.verdict_rand < coalesce({probs_table}.verdict_stratum_prob, 1.0)"
                 ),

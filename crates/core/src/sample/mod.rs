@@ -34,10 +34,15 @@ pub const SAMPLE_TABLE_PREFIX: &str = "verdict_sample";
 /// `alias.c1, alias.c2, …` — explicit projection of the base columns, shared
 /// by sample construction and append maintenance so both always emit the
 /// same arity (base columns + the probability column) and qualification.
-pub(crate) fn qualified_columns(alias: &str, columns: &[String]) -> String {
+/// Column names are quoted per the target dialect when they need it.
+pub(crate) fn qualified_columns(
+    alias: &str,
+    columns: &[String],
+    dialect: &dyn verdict_sql::Dialect,
+) -> String {
     columns
         .iter()
-        .map(|c| format!("{alias}.{c}"))
+        .map(|c| format!("{alias}.{}", dialect.quote_ident(c)))
         .collect::<Vec<_>>()
         .join(", ")
 }

@@ -435,23 +435,39 @@ impl VerdictSession {
     fn show_stats(&self) -> Table {
         let cache = self.ctx.cache_stats();
         let streams = self.ctx.stream_stats();
-        let rows: Vec<(&str, i64)> = vec![
-            ("scrambles", self.ctx.meta().len() as i64),
-            ("cache_capacity", self.ctx.cache().capacity() as i64),
-            ("cache_entries", self.ctx.cache().len() as i64),
-            ("cache_hits", cache.hits as i64),
-            ("cache_misses", cache.misses as i64),
-            ("cache_insertions", cache.insertions as i64),
-            ("cache_invalidations", cache.invalidations as i64),
-            ("cache_evictions", cache.evictions as i64),
-            ("streams_started", streams.started as i64),
-            ("streams_completed", streams.completed as i64),
-            ("stream_frames", streams.frames as i64),
-            ("stream_early_stops", streams.early_stops as i64),
-            ("stream_fallbacks", streams.fallbacks as i64),
+        let backend = self.ctx.backend_stats();
+        let mut rows: Vec<(String, i64)> = vec![
+            ("scrambles".into(), self.ctx.meta().len() as i64),
+            ("cache_capacity".into(), self.ctx.cache().capacity() as i64),
+            ("cache_entries".into(), self.ctx.cache().len() as i64),
+            ("cache_hits".into(), cache.hits as i64),
+            ("cache_misses".into(), cache.misses as i64),
+            ("cache_insertions".into(), cache.insertions as i64),
+            ("cache_invalidations".into(), cache.invalidations as i64),
+            ("cache_evictions".into(), cache.evictions as i64),
+            ("streams_started".into(), streams.started as i64),
+            ("streams_completed".into(), streams.completed as i64),
+            ("stream_frames".into(), streams.frames as i64),
+            ("stream_early_stops".into(), streams.early_stops as i64),
+            ("stream_fallbacks".into(), streams.fallbacks as i64),
+            // Per-backend routing counters: which backend answered, how many
+            // statements it was handed, and how often a missing capability
+            // forced a degraded (but correct) path.
+            ("backend_queries".into(), backend.queries_routed as i64),
+            (
+                "backend_version_fallbacks".into(),
+                backend.version_fallbacks as i64,
+            ),
+            (
+                "backend_scan_fallbacks".into(),
+                backend.scan_fallbacks as i64,
+            ),
         ];
+        for (k, v) in &backend.extra {
+            rows.push((format!("backend_{k}"), *v as i64));
+        }
         TableBuilder::new()
-            .str_column("stat", rows.iter().map(|(k, _)| k.to_string()).collect())
+            .str_column("stat", rows.iter().map(|(k, _)| k.clone()).collect())
             .int_column("value", rows.iter().map(|(_, v)| *v).collect())
             .build()
             .expect("stats table construction cannot fail")

@@ -1,9 +1,10 @@
-//! The engine facade and the driver-level [`Connection`] trait.
+//! The engine facade and the driver-level [`Backend`] trait.
 //!
 //! VerdictDB talks to the underlying database exclusively through a SQL
-//! string interface (JDBC/ODBC in the paper).  [`Connection`] models that
+//! string interface (JDBC/ODBC in the paper).  [`Backend`] models that
 //! interface; [`Engine`] is the in-memory implementation used as the
-//! substitute for Impala / Spark SQL / Redshift.
+//! substitute for Impala / Spark SQL / Redshift.  `Connection` remains as
+//! a backward-compatible alias for the trait's pre-refactor name.
 
 use crate::catalog::Catalog;
 use crate::error::EngineResult;
@@ -14,6 +15,7 @@ use crate::table::Table;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use verdict_sql::dialect::{Dialect, GenericDialect};
 
 /// Execution statistics for one statement.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -34,7 +36,17 @@ pub struct QueryResult {
 }
 
 /// The driver-level interface VerdictDB uses to reach the underlying database.
-pub trait Connection: Send + Sync {
+///
+/// Three methods are required — `execute`, `table_row_count`,
+/// `table_exists` — and everything else is a *capability hook* with a
+/// conservative default, so a minimal pass-through JDBC/ODBC-style backend
+/// is three methods of glue.  Callers must tolerate every default: no
+/// [`data_version`](Backend::data_version) means answers over this backend
+/// are uncacheable, no [`open_block_scan`](Backend::open_block_scan) means
+/// progressive queries fall back to one-shot execution, and the
+/// [`dialect`](Backend::dialect) drives how the planner renders SQL
+/// (identifier quoting, `rand()` spelling, rand-in-WHERE workarounds).
+pub trait Backend: Send + Sync {
     /// Executes one SQL statement and returns the result set plus statistics.
     fn execute(&self, sql: &str) -> EngineResult<QueryResult>;
 
@@ -44,6 +56,33 @@ pub trait Connection: Send + Sync {
 
     /// True when a table exists.
     fn table_exists(&self, table: &str) -> bool;
+
+    /// A short static name for this backend kind (`"engine"`, `"remote"`).
+    fn name(&self) -> &'static str {
+        "backend"
+    }
+
+    /// A stable identity string distinguishing backend *instances* (for a
+    /// remote backend, typically `remote@host:port`).  Answer-cache keys
+    /// fold this in so answers computed against one backend are never
+    /// replayed against another.
+    fn identity(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// The SQL dialect this backend speaks.  All SQL the middleware
+    /// generates — scramble builds, append maintenance, rewritten AQP
+    /// queries, bootstrap replicates — is rendered through this dialect.
+    fn dialect(&self) -> &dyn Dialect {
+        &GenericDialect
+    }
+
+    /// Backend-specific observability counters surfaced by `SHOW STATS`
+    /// (for example a remote backend's wire round-trips).  Names should be
+    /// lowercase snake_case; the default backend has none.
+    fn backend_stats(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 
     /// Requests that the connection use `threads` workers for query
     /// execution.  Connections without an execution engine of their own (the
@@ -84,6 +123,9 @@ pub trait Connection: Send + Sync {
         None
     }
 }
+
+/// Backward-compatible alias for [`Backend`]'s pre-refactor name.
+pub use self::Backend as Connection;
 
 /// The in-memory SQL engine: a catalog plus an executor per statement.
 #[derive(Clone)]
@@ -212,7 +254,7 @@ impl Engine {
     }
 }
 
-impl Connection for Engine {
+impl Backend for Engine {
     fn execute(&self, sql: &str) -> EngineResult<QueryResult> {
         self.execute_sql(sql)
     }
@@ -223,6 +265,10 @@ impl Connection for Engine {
 
     fn table_exists(&self, table: &str) -> bool {
         self.catalog.exists(table)
+    }
+
+    fn name(&self) -> &'static str {
+        "engine"
     }
 
     fn set_parallelism(&self, threads: usize) {

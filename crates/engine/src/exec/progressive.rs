@@ -54,7 +54,7 @@ use verdict_sql::ast::{Expr, Query, SelectItem, TableFactor};
 
 /// A resumable cursor over a progressive aggregate execution.
 ///
-/// Obtained from [`crate::Connection::open_block_scan`]; drive it with
+/// Obtained from [`crate::Backend::open_block_scan`]; drive it with
 /// [`advance`](Self::advance) and read refined results with
 /// [`snapshot`](Self::snapshot).  A snapshot is always the exact answer for
 /// the prefix of base rows consumed so far, and the snapshot taken once
@@ -496,7 +496,7 @@ impl BlockScan for ProgressiveScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Connection, Engine};
+    use crate::engine::{Backend, Engine};
     use crate::parallel::MORSEL_ROWS;
     use crate::table::TableBuilder;
     use crate::value::Value;

@@ -17,7 +17,7 @@
 //! The pool itself is a lightweight handle (an atomic thread-count), so it
 //! can be shared through `Arc` from [`crate::engine::Engine`] down into the
 //! executor and kernels, and resized at runtime via
-//! [`crate::engine::Connection::set_parallelism`].
+//! [`crate::engine::Backend::set_parallelism`].
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 use verdict_core::{VerdictConfig, VerdictContext, VerdictResponse, VerdictSession};
-use verdict_engine::{Connection, Engine};
+use verdict_engine::{Backend, Engine};
 use verdict_server::VerdictServer;
 
 struct Options {
@@ -110,7 +110,7 @@ fn main() {
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = opts.cache;
     config.seed = Some(opts.seed);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let ctx = Arc::new(VerdictContext::new(conn, config));
 
     if opts.samples {

@@ -15,7 +15,12 @@
 //!   sharing one [`verdict_core::VerdictContext`] (engine catalog, sample
 //!   metadata, and the LRU approximate-answer cache) behind an `Arc`;
 //! * a **blocking client** ([`client`]) used by the CLI, the load
-//!   generator, the end-to-end tests, and the benchmark harness.
+//!   generator, the end-to-end tests, and the benchmark harness;
+//! * a **remote backend** ([`backend::RemoteBackend`]): the same wire
+//!   protocol packaged as a [`verdict_engine::Backend`], so a *local*
+//!   `VerdictContext` can plan queries and have a *remote* `verdict-server`
+//!   execute the rendered SQL — a two-tier middleware-over-middleware
+//!   deployment.
 //!
 //! Three binaries ship with the crate: `verdict-server` (load a dataset,
 //! build samples, serve), `verdict-cli` (interactive shell / one-shot
@@ -26,7 +31,7 @@
 //! ```
 //! use std::sync::Arc;
 //! use verdict_core::{VerdictConfig, VerdictContext};
-//! use verdict_engine::{Connection, Engine, TableBuilder};
+//! use verdict_engine::{Backend, Engine, TableBuilder};
 //! use verdict_server::{VerdictClient, VerdictServer};
 //!
 //! let engine = Engine::with_seed(1);
@@ -36,7 +41,7 @@
 //!     .build()
 //!     .unwrap();
 //! engine.register_table("sales", table);
-//! let conn: Arc<dyn Connection> = Arc::new(engine);
+//! let conn: Arc<dyn Backend> = Arc::new(engine);
 //! let mut config = VerdictConfig::for_testing();
 //! config.answer_cache_capacity = 64;
 //! let ctx = Arc::new(VerdictContext::new(conn, config));
@@ -51,10 +56,12 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use backend::RemoteBackend;
 pub use client::{ClientError, ClientResult, RemoteAnswer, StreamFrame, VerdictClient};
 pub use protocol::{FrameHeader, StreamFrameHeader};
 pub use server::{ServerHandle, ServerStats, VerdictServer};

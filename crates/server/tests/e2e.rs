@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 use verdict_core::{SampleType, VerdictAnswer, VerdictConfig, VerdictContext};
-use verdict_engine::{Connection, Engine, TableBuilder, Value};
+use verdict_engine::{Backend, Engine, TableBuilder, Value};
 use verdict_server::{ClientError, RemoteAnswer, VerdictClient, VerdictServer};
 
 /// 50k-row synthetic sales table: 10 cities, deterministic prices.
@@ -30,7 +30,7 @@ fn sales_engine(seed: u64) -> Engine {
 
 fn serving_context(seed: u64, cache_capacity: usize) -> Arc<VerdictContext> {
     let engine = sales_engine(seed);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = cache_capacity;
     let ctx = VerdictContext::new(conn, config);
@@ -196,7 +196,7 @@ fn cached_repeat_is_identical_and_append_invalidates() {
 #[test]
 fn sample_and_refresh_commands_round_trip() {
     let engine = sales_engine(3);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = 16;
     let ctx = Arc::new(VerdictContext::new(conn, config));
@@ -285,7 +285,7 @@ fn awkward_string_values_round_trip_over_the_wire() {
         .build()
         .unwrap();
     engine.register_table("notes", table);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let ctx = Arc::new(VerdictContext::new(conn, VerdictConfig::for_testing()));
     let local = ctx
         .execute_exact("SELECT id, label FROM notes ORDER BY id")

@@ -83,7 +83,7 @@ fn main() {
     // Higher confidence → wider interval → larger estimated relative error,
     // all without touching any shared configuration.
     println!("\nper-session confidence via SQL (SET confidence = c):");
-    let conn: std::sync::Arc<dyn verdictdb::Connection> = std::sync::Arc::new(engine);
+    let conn: std::sync::Arc<dyn verdictdb::Backend> = std::sync::Arc::new(engine);
     let mut config = verdictdb::VerdictConfig::for_testing();
     config.min_table_rows = 1_000;
     let ctx = std::sync::Arc::new(verdictdb::VerdictContext::new(conn, config));

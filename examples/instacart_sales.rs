@@ -10,14 +10,12 @@
 //! (`VERDICT_EXAMPLE_SCALE` overrides the dataset scale, e.g. CI uses 0.02.)
 
 use std::sync::Arc;
-use verdictdb::{
-    Connection, Engine, VerdictConfig, VerdictContext, VerdictResponse, VerdictSession,
-};
+use verdictdb::{Backend, Engine, VerdictConfig, VerdictContext, VerdictResponse, VerdictSession};
 
 fn main() {
     let engine = Arc::new(Engine::with_seed(2024));
     verdictdb::data::InstacartGenerator::new(verdictdb::example_scale(0.5)).register(&engine);
-    let conn: Arc<dyn Connection> = engine.clone();
+    let conn: Arc<dyn Backend> = engine.clone();
 
     let mut config = VerdictConfig::default();
     config.min_table_rows = 10_000;

@@ -14,13 +14,13 @@
 //! (`VERDICT_EXAMPLE_SCALE` overrides the dataset scale, e.g. CI uses 0.02.)
 
 use std::sync::Arc;
-use verdictdb::{Connection, Engine, Value, VerdictConfig, VerdictContext, VerdictSession};
+use verdictdb::{Backend, Engine, Value, VerdictConfig, VerdictContext, VerdictSession};
 
 fn main() {
     // --- 1. underlying database + a shuffled scramble ---------------------
     let engine = Arc::new(Engine::with_seed(7));
     verdictdb::data::InstacartGenerator::new(verdictdb::example_scale(0.5)).register(&engine);
-    let conn: Arc<dyn Connection> = engine.clone();
+    let conn: Arc<dyn Backend> = engine.clone();
     let mut config = VerdictConfig::default();
     config.min_table_rows = 1_000;
     config.io_budget = 1.0;

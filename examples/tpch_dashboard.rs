@@ -12,12 +12,12 @@
 
 use std::sync::Arc;
 use verdictdb::engine::ExecStats;
-use verdictdb::{Connection, Engine, EngineProfile, VerdictConfig, VerdictContext, VerdictSession};
+use verdictdb::{Backend, Engine, EngineProfile, VerdictConfig, VerdictContext, VerdictSession};
 
 fn main() {
     let engine = Arc::new(Engine::with_seed(7));
     verdictdb::data::TpchGenerator::new(verdictdb::example_scale(1.0)).register(&engine);
-    let conn: Arc<dyn Connection> = engine.clone();
+    let conn: Arc<dyn Backend> = engine.clone();
 
     let mut config = VerdictConfig::default();
     config.min_table_rows = 50_000;

@@ -14,7 +14,12 @@
 //!   SQL-only [`VerdictSession`] surface (scramble DDL, `BYPASS`, `SET`);
 //! * [`data`] — dataset generators and the benchmark workloads;
 //! * [`server`] — concurrent TCP serving layer (line protocol, session
-//!   threads, approximate-answer cache front).
+//!   threads, approximate-answer cache front) plus [`RemoteBackend`], the
+//!   wire protocol packaged as a pluggable [`Backend`].
+//!
+//! The middleware reaches whatever store sits underneath through the
+//! [`Backend`] trait (see `docs/backends.md`): the in-process [`Engine`] is
+//! one implementation, [`RemoteBackend`] is another.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, README.md for the
 //! project overview, and `docs/` for architecture and serving details.
@@ -26,12 +31,14 @@ pub use verdict_server as server;
 pub use verdict_sql as sql;
 
 pub use verdict_core::{
-    ProgressFrame, ProgressStream, QueryOptions, SampleType, VerdictAnswer, VerdictConfig,
-    VerdictContext, VerdictError, VerdictResponse, VerdictResult, VerdictSession,
+    BackendStats, DialectBackend, ProgressFrame, ProgressStream, QueryOptions, SampleType,
+    VerdictAnswer, VerdictConfig, VerdictContext, VerdictError, VerdictResponse, VerdictResult,
+    VerdictSession,
 };
 pub use verdict_engine::{
-    Connection, Engine, EngineProfile, GroupStrategy, Table, TableBuilder, Value,
+    Backend, Connection, Engine, EngineProfile, GroupStrategy, Table, TableBuilder, Value,
 };
+pub use verdict_server::{RemoteBackend, ServerHandle, VerdictServer};
 
 /// Convenience constructor: a [`VerdictSession`] over a freshly-created
 /// context (the SQL-only surface most applications should use).
@@ -58,7 +65,7 @@ pub fn instacart_context(
 ) -> (std::sync::Arc<Engine>, VerdictContext) {
     let engine = std::sync::Arc::new(Engine::with_seed(7));
     verdict_data::InstacartGenerator::new(scale).register(&engine);
-    let conn: std::sync::Arc<dyn Connection> = engine.clone();
+    let conn: std::sync::Arc<dyn Backend> = engine.clone();
     (engine, VerdictContext::new(conn, config))
 }
 
@@ -67,7 +74,7 @@ pub fn instacart_context(
 pub fn tpch_context(scale: f64, config: VerdictConfig) -> (std::sync::Arc<Engine>, VerdictContext) {
     let engine = std::sync::Arc::new(Engine::with_seed(11));
     verdict_data::TpchGenerator::new(scale).register(&engine);
-    let conn: std::sync::Arc<dyn Connection> = engine.clone();
+    let conn: std::sync::Arc<dyn Backend> = engine.clone();
     (engine, VerdictContext::new(conn, config))
 }
 

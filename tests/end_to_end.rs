@@ -2,22 +2,26 @@
 //! → rewriter → in-memory engine → answer rewriter) against exact answers.
 
 use std::sync::Arc;
-use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext, VerdictSession};
+use verdictdb::{Engine, VerdictConfig, VerdictContext, VerdictSession};
 
-fn context(scale: f64) -> Arc<VerdictContext> {
+mod common;
+
+/// Builds the test context.  Honours `VERDICT_BACKEND=remote` (see
+/// `tests/common/mod.rs`): the same engine then sits behind a spawned
+/// server and every statement below travels the wire protocol.
+fn context(scale: f64) -> common::TestContext {
     let engine = Arc::new(Engine::with_seed(99));
     verdictdb::data::InstacartGenerator::new(scale).register(&engine);
-    let conn: Arc<dyn Connection> = engine;
     let mut config = VerdictConfig::default();
     config.min_table_rows = 5_000;
     config.sampling_ratio = 0.05;
     config.io_budget = 0.12;
     config.include_error_columns = false;
     config.seed = Some(17);
-    let ctx = Arc::new(VerdictContext::new(conn, config));
+    let ctx = common::context_over(engine, config);
     // Sample preparation through the SQL surface, exactly as an application
     // (or a remote client) would issue it.
-    let mut session = VerdictSession::new(Arc::clone(&ctx));
+    let mut session = VerdictSession::new(Arc::clone(&ctx.ctx));
     for ddl in [
         "CREATE SCRAMBLE verdict_sample_order_products_uniform FROM order_products",
         "CREATE SCRAMBLE verdict_sample_orders_stratified_city FROM orders \
@@ -179,13 +183,13 @@ fn unsupported_queries_are_passed_through_unchanged() {
 fn error_columns_are_attached_when_configured() {
     let engine = Arc::new(Engine::with_seed(3));
     verdictdb::data::InstacartGenerator::new(0.1).register(&engine);
-    let conn: Arc<dyn Connection> = engine;
     let mut config = VerdictConfig::default();
     config.min_table_rows = 5_000;
     config.sampling_ratio = 0.05;
     config.io_budget = 0.12;
     config.seed = Some(2);
-    let mut session = VerdictSession::new(Arc::new(VerdictContext::new(conn, config)));
+    let ctx = common::context_over(engine, config);
+    let mut session = VerdictSession::new(Arc::clone(&ctx.ctx));
     session
         .execute("CREATE SCRAMBLE op_scr FROM order_products METHOD uniform")
         .unwrap();
@@ -210,13 +214,13 @@ fn error_columns_are_attached_when_configured() {
 fn accuracy_contract_triggers_exact_rerun() {
     let engine = Arc::new(Engine::with_seed(8));
     verdictdb::data::InstacartGenerator::new(0.1).register(&engine);
-    let conn: Arc<dyn Connection> = engine;
     let mut config = VerdictConfig::default();
     config.min_table_rows = 5_000;
     config.sampling_ratio = 0.05;
     config.io_budget = 0.12;
     config.seed = Some(4);
-    let mut session = VerdictSession::new(Arc::new(VerdictContext::new(conn, config)));
+    let ctx = common::context_over(engine, config);
+    let mut session = VerdictSession::new(Arc::clone(&ctx.ctx));
     session
         .execute("CREATE SCRAMBLE op_scr FROM order_products METHOD uniform")
         .unwrap();

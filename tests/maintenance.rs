@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use verdictdb::core::sample::maintenance::Staleness;
 use verdictdb::core::SampleType;
-use verdictdb::{Connection, Engine, TableBuilder, VerdictConfig, VerdictContext};
+use verdictdb::{Backend, Engine, TableBuilder, VerdictConfig, VerdictContext};
 
 fn sales_table(rows: usize, offset: usize) -> verdictdb::Table {
     TableBuilder::new()
@@ -32,7 +32,7 @@ fn sales_table(rows: usize, offset: usize) -> verdictdb::Table {
 fn context_with_sales(seed: u64, cache_capacity: usize) -> (Arc<Engine>, VerdictContext) {
     let engine = Arc::new(Engine::with_seed(seed));
     engine.register_table("sales", sales_table(20_000, 0));
-    let conn: Arc<dyn Connection> = engine.clone();
+    let conn: Arc<dyn Backend> = engine.clone();
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = cache_capacity;
     (engine, VerdictContext::new(conn, config))

@@ -14,7 +14,7 @@ use common::{assert_tables_bit_identical, values_bit_identical};
 use std::sync::Arc;
 use verdictdb::core::session::{VerdictResponse, VerdictSession};
 use verdictdb::server::{RemoteAnswer, VerdictClient, VerdictServer};
-use verdictdb::{Connection, Engine, TableBuilder, Value, VerdictConfig, VerdictContext};
+use verdictdb::{Backend, Engine, TableBuilder, Value, VerdictConfig, VerdictContext};
 
 /// Deterministic 50k-row sales table; identical for every call with the same
 /// seed, so two separately-built stacks stay bit-identical under the same
@@ -35,7 +35,7 @@ fn sales_context(seed: u64) -> Arc<VerdictContext> {
         .build()
         .unwrap();
     engine.register_table("sales", table);
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = 64;
     Arc::new(VerdictContext::new(conn, config))
@@ -662,7 +662,7 @@ fn set_group_strategy_applies_to_engine_and_preserves_answers() {
         .unwrap();
     engine.register_table("sales", table);
     let probe = engine.clone();
-    let conn: Arc<dyn Connection> = Arc::new(engine);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
     let ctx = Arc::new(VerdictContext::new(conn, VerdictConfig::for_testing()));
     let mut s = VerdictSession::new(ctx);
     s.execute("CREATE SCRAMBLE scr FROM sales METHOD uniform RATIO 0.05")

@@ -6,13 +6,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use verdictdb::data::{instacart_queries, tpch_queries, InstacartGenerator, TpchGenerator};
-use verdictdb::{Connection, Engine, VerdictConfig, VerdictContext, VerdictSession};
+use verdictdb::{Backend, Engine, VerdictConfig, VerdictContext, VerdictSession};
 
 fn workload_context() -> Arc<VerdictContext> {
     let engine = Arc::new(Engine::with_seed(1234));
     InstacartGenerator::new(0.2).register(&engine);
     TpchGenerator::new(0.3).register(&engine);
-    let conn: Arc<dyn Connection> = engine;
+    let conn: Arc<dyn Backend> = engine;
     let mut config = VerdictConfig::default();
     config.min_table_rows = 10_000;
     config.sampling_ratio = 0.05;
