@@ -551,7 +551,41 @@ fn main() {
          \"routed_secs\": {backend_routed_secs:.9},\n    \
          \"overhead_pct\": {backend_overhead_pct:.2}\n"
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  }");
+    // `verdict-loadgen --json-out` maintains a `serving_scale` section in
+    // this file; carry it across the rewrite so a bench run does not erase
+    // the latest qps-vs-sessions curve.
+    if let Some(block) = std::fs::read_to_string(&path)
+        .ok()
+        .as_deref()
+        .and_then(extract_serving_scale)
+    {
+        json.push_str(",\n  ");
+        json.push_str(&block);
+    }
+    json.push_str("\n}\n");
     std::fs::write(&path, &json).expect("write perf snapshot");
     println!("wrote {path}");
+}
+
+/// Extracts the full `"serving_scale": { … }` text from a previous snapshot
+/// (key through matching close brace; the section's string values contain no
+/// braces, so brace counting is sufficient).
+fn extract_serving_scale(json: &str) -> Option<String> {
+    let start = json.find("\"serving_scale\"")?;
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[start..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }

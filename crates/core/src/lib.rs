@@ -71,6 +71,7 @@ pub mod progress;
 pub mod rewrite;
 pub mod sample;
 pub mod session;
+pub mod shed;
 pub mod stats;
 
 pub use answer::{AggEstimate, ColumnErrorSummary};
@@ -82,3 +83,4 @@ pub use error::{VerdictError, VerdictResult};
 pub use progress::{ProgressFrame, ProgressStream};
 pub use sample::{SampleMeta, SampleType};
 pub use session::{QueryOptions, VerdictResponse, VerdictSession};
+pub use shed::{Admission, AdmissionController, AdmissionStats, ShedPolicy, ShedTier};

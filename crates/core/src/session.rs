@@ -86,6 +86,12 @@ pub struct QueryOptions {
     /// `SET stream_max_frames = n` — cap on frames per stream, 0 for
     /// unbounded (see [`VerdictConfig::stream_max_frames`]).
     pub stream_max_frames: Option<usize>,
+    /// `SET deadline_ms = n` — per-query deadline in milliseconds, enforced
+    /// by the serving layer's admission control (a statement still queued
+    /// when its deadline passes is answered with a typed `DEADLINE` error;
+    /// progressive streams stop at the deadline).  `None` (the default)
+    /// means no deadline; in-process sessions ignore the option.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryOptions {
@@ -203,6 +209,7 @@ impl VerdictResponse {
 pub struct VerdictSession {
     ctx: Arc<VerdictContext>,
     options: QueryOptions,
+    shed: crate::shed::ShedTier,
 }
 
 impl VerdictSession {
@@ -213,7 +220,11 @@ impl VerdictSession {
 
     /// Opens a session with explicit initial options.
     pub fn with_options(ctx: Arc<VerdictContext>, options: QueryOptions) -> VerdictSession {
-        VerdictSession { ctx, options }
+        VerdictSession {
+            ctx,
+            options,
+            shed: crate::shed::ShedTier::None,
+        }
     }
 
     /// The shared middleware context.
@@ -226,9 +237,24 @@ impl VerdictSession {
         &self.options
     }
 
+    /// Applies a load-shedding tier to every subsequent statement's
+    /// effective configuration (see [`crate::shed`]).  Set by the serving
+    /// layer's admission control per admitted statement — deliberately not
+    /// reachable through `SET`, so clients cannot un-shed themselves.
+    pub fn set_shed_tier(&mut self, tier: crate::shed::ShedTier) {
+        self.shed = tier;
+    }
+
+    /// The load-shedding tier currently applied to this session.
+    pub fn shed_tier(&self) -> crate::shed::ShedTier {
+        self.shed
+    }
+
     /// The effective configuration the next statement would run under.
     pub fn effective_config(&self) -> VerdictConfig {
-        self.options.resolve(self.ctx.config())
+        let mut cfg = self.options.resolve(self.ctx.config());
+        self.shed.apply(&mut cfg);
+        cfg
     }
 
     /// Executes one SQL statement (a trailing `;` is allowed).
@@ -633,10 +659,25 @@ impl VerdictSession {
                     render(self.options.stream_max_frames),
                 ))
             }
+            "deadline_ms" => {
+                self.options.deadline_ms = if reset {
+                    None
+                } else {
+                    let n = value_f64(value)?;
+                    if n < 1.0 || n.fract() != 0.0 {
+                        return Err(VerdictError::Unsupported(format!(
+                            "deadline_ms must be a positive integer number of \
+                             milliseconds, got {n}"
+                        )));
+                    }
+                    Some(n as u64)
+                };
+                Ok(("deadline_ms".into(), render(self.options.deadline_ms)))
+            }
             other => Err(VerdictError::Unsupported(format!(
                 "unknown session option {other} (target_error, confidence, cache, \
                  parallelism, group_strategy, bypass, error_columns, io_budget, \
-                 sampling_ratio, stream_block_rows, stream_max_frames)"
+                 sampling_ratio, stream_block_rows, stream_max_frames, deadline_ms)"
             ))),
         }
     }

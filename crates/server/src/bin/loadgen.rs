@@ -1,43 +1,67 @@
 //! `verdict-loadgen` — drives N concurrent protocol sessions against a
-//! running `verdict-server` and reports aggregate throughput.
+//! running `verdict-server` and reports throughput and tail latency.
 //!
 //! ```text
-//! verdict-loadgen [--addr HOST:PORT] [--sessions N] [--requests M] [--sql SQL] [--stream]
+//! verdict-loadgen [--addr HOST:PORT] [--sessions N[,N,…]] [--requests M]
+//!                 [--duration-secs S] [--sql SQL] [--stream] [--chaos P]
+//!                 [--seed N] [--json-out FILE] [--shutdown]
 //! ```
 //!
-//! Each session opens its own connection and issues `--requests` `SQL`
-//! requests for the same statement (default: a grouped average over the
-//! Instacart `order_products` table — the dashboard-repeat shape the answer
-//! cache targets).  Prints per-session and aggregate queries/second plus the
-//! server's cache counters (`SHOW STATS`) before and after the run.
+//! Each session opens its own connection and issues `SQL` requests for the
+//! same statement (default: a grouped average over the Instacart
+//! `order_products` table — the dashboard-repeat shape the answer cache
+//! targets).  `--sessions` takes a comma-separated list to sweep a
+//! qps-vs-sessions curve (e.g. `--sessions 1,8,64,256,1024`); each point
+//! runs either a fixed request count per session (`--requests`) or a fixed
+//! wall-clock budget (`--duration-secs`, the sensible mode for large
+//! session counts).  The report shows per-point qps plus p50/p99 request
+//! latency, and `--json-out` merges the sweep into the given
+//! `BENCH_kernels.json` as a top-level `serving_scale` section (preserving
+//! everything else in the file).
+//!
+//! `--chaos P` injects a fault mix with probability `P` per iteration:
+//! abrupt disconnects (no `QUIT`, immediate reconnect) and
+//! deadline-exceeding statements (`SET deadline_ms = 1` on a cache-bypassed
+//! query, expecting a typed `DEADLINE` refusal).  `--shutdown` ends the run
+//! by sending the `SHUTDOWN` verb and waiting for the server to finish its
+//! graceful drain — useful for soak tests that assert a clean exit.
 //!
 //! With `--stream`, every request goes through the multi-frame `STREAM`
 //! verb instead of `SQL`: sessions hold their connection open while frames
 //! arrive, which exercises the server under long-lived, interleaved
-//! multi-frame responses.  The report then also shows aggregate
-//! frames/second and the mean frames per stream.
+//! multi-frame responses.
 
-use std::time::Instant;
-use verdict_server::VerdictClient;
+use std::time::{Duration, Instant};
+use verdict_server::{ClientError, VerdictClient};
 
 struct Options {
     addr: String,
-    sessions: usize,
+    sessions: Vec<usize>,
     requests: usize,
+    duration: Option<Duration>,
     sql: String,
     stream: bool,
+    chaos: f64,
+    seed: u64,
+    json_out: Option<String>,
+    shutdown: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Options {
             addr: "127.0.0.1:6688".into(),
-            sessions: 4,
+            sessions: vec![4],
             requests: 200,
+            duration: None,
             sql: "SELECT quantity, avg(price) AS ap FROM order_products \
                   GROUP BY quantity ORDER BY quantity"
                 .into(),
             stream: false,
+            chaos: 0.0,
+            seed: 0x10adc3,
+            json_out: None,
+            shutdown: false,
         }
     }
 }
@@ -54,20 +78,46 @@ fn parse_args() -> Result<Options, String> {
             "--addr" => opts.addr = value("--addr")?,
             "--sessions" => {
                 opts.sessions = value("--sessions")?
-                    .parse()
-                    .map_err(|e| format!("bad --sessions: {e}"))?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad --sessions: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if opts.sessions.is_empty() {
+                    return Err("--sessions needs at least one count".into());
+                }
             }
             "--requests" => {
                 opts.requests = value("--requests")?
                     .parse()
                     .map_err(|e| format!("bad --requests: {e}"))?
             }
+            "--duration-secs" => {
+                let secs: f64 = value("--duration-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-secs: {e}"))?;
+                opts.duration = Some(Duration::from_secs_f64(secs.max(0.01)));
+            }
             "--sql" => opts.sql = value("--sql")?,
             "--stream" => opts.stream = true,
+            "--chaos" => {
+                opts.chaos = value("--chaos")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos: {e}"))?;
+                if !(0.0..=1.0).contains(&opts.chaos) {
+                    return Err("--chaos must be in [0, 1]".into());
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--json-out" => opts.json_out = Some(value("--json-out")?),
+            "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: verdict-loadgen [--addr HOST:PORT] [--sessions N] \
-                     [--requests M] [--sql SQL] [--stream]"
+                    "usage: verdict-loadgen [--addr HOST:PORT] [--sessions N[,N,…]] \
+                     [--requests M] [--duration-secs S] [--sql SQL] [--stream] \
+                     [--chaos P] [--seed N] [--json-out FILE] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -77,13 +127,312 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Tiny deterministic PRNG (LCG) so chaos runs are reproducible per seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next() % 1_000_000) as f64 / 1_000_000.0 < p
+    }
+}
+
+#[derive(Default)]
+struct SessionOutcome {
+    ok: u64,
+    busy: u64,
+    deadline: u64,
+    disconnects: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// One measured point of the qps-vs-sessions curve.
+struct Point {
+    sessions: usize,
+    wall_secs: f64,
+    ok: u64,
+    busy: u64,
+    deadline: u64,
+    disconnects: u64,
+    errors: u64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_session(
+    addr: &str,
+    sql: &str,
+    stream: bool,
+    requests: usize,
+    deadline: Option<Instant>,
+    chaos: f64,
+    seed: u64,
+) -> SessionOutcome {
+    let mut out = SessionOutcome::default();
+    let mut rng = Lcg(seed);
+    let mut client = match VerdictClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    let mut sent = 0usize;
+    loop {
+        match deadline {
+            Some(d) => {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+            None => {
+                if sent >= requests {
+                    break;
+                }
+            }
+        }
+        sent += 1;
+        if chaos > 0.0 && rng.chance(chaos) {
+            if rng.chance(0.5) {
+                // Abrupt disconnect: drop the socket with no QUIT, then
+                // come back as a brand-new session.
+                drop(client);
+                out.disconnects += 1;
+                match VerdictClient::connect(addr) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        out.errors += 1;
+                        return out;
+                    }
+                }
+                continue;
+            }
+            // Deadline-exceeding statement: a 1 ms deadline on a
+            // cache-bypassed query, expecting a typed DEADLINE refusal.
+            // (The SET itself can be refused BUSY under load; skip the
+            // probe in that case.)
+            if client.sql("SET deadline_ms = 1").is_ok() {
+                match client.sql(&format!("BYPASS {sql}")) {
+                    Ok(_) => {}
+                    Err(ClientError::Deadline(_)) => out.deadline += 1,
+                    Err(ClientError::Busy(_)) => out.busy += 1,
+                    Err(_) => out.errors += 1,
+                }
+            }
+            // Reconnect to restore default options: an in-band reset SET
+            // would itself run under the 1 ms deadline and miss it.
+            drop(client);
+            match VerdictClient::connect(addr) {
+                Ok(c) => client = c,
+                Err(_) => {
+                    out.errors += 1;
+                    return out;
+                }
+            }
+            continue;
+        }
+        let t0 = Instant::now();
+        let result = if stream {
+            client.stream(sql).map(|_| ())
+        } else {
+            client.sql(sql).map(|_| ())
+        };
+        match result {
+            Ok(()) => {
+                out.ok += 1;
+                out.latencies_us.push(t0.elapsed().as_micros() as u64);
+            }
+            Err(ClientError::Busy(_)) => out.busy += 1,
+            Err(ClientError::Deadline(_)) => out.deadline += 1,
+            Err(ClientError::Disconnected(_)) => {
+                out.disconnects += 1;
+                match VerdictClient::connect(addr) {
+                    Ok(c) => client = c,
+                    Err(_) => return out,
+                }
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+    let _ = client.quit();
+    out
+}
+
+fn run_point(opts: &Options, sessions: usize) -> Point {
+    let start = Instant::now();
+    let wall_deadline = opts.duration.map(|d| start + d);
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|sid| {
+                let addr = &opts.addr;
+                let sql = &opts.sql;
+                let seed = opts
+                    .seed
+                    .wrapping_add(sid as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                scope.spawn(move || {
+                    run_session(
+                        addr,
+                        sql,
+                        opts.stream,
+                        opts.requests,
+                        wall_deadline,
+                        opts.chaos,
+                        seed,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let ok: u64 = outcomes.iter().map(|o| o.ok).sum();
+    Point {
+        sessions,
+        wall_secs,
+        ok,
+        busy: outcomes.iter().map(|o| o.busy).sum(),
+        deadline: outcomes.iter().map(|o| o.deadline).sum(),
+        disconnects: outcomes.iter().map(|o| o.disconnects).sum(),
+        errors: outcomes.iter().map(|o| o.errors).sum(),
+        qps: ok as f64 / wall_secs.max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+/// Returns the byte span of `"key": { … }` (key through matching close
+/// brace) in a JSON document whose string values contain no braces — true
+/// for every value the bench harness writes.
+fn block_span(json: &str, key: &str) -> Option<(usize, usize)> {
+    let needle = format!("\"{key}\"");
+    let start = json.find(&needle)?;
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, open + i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Merges `block` (the full `"serving_scale": { … }` text) into the JSON
+/// file at `path` as a top-level key, replacing any existing block and
+/// preserving every other section the bench harness wrote.
+fn merge_serving_scale(path: &str, block: &str) -> std::io::Result<()> {
+    let mut json = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    if let Some((start, end)) = block_span(&json, "serving_scale") {
+        let bytes = json.as_bytes();
+        // Eat the separator comma: the one before the block if present,
+        // otherwise the one after it.
+        let mut s = start;
+        while s > 0 && bytes[s - 1].is_ascii_whitespace() {
+            s -= 1;
+        }
+        let (s, mut e) = if s > 0 && bytes[s - 1] == b',' {
+            (s - 1, end)
+        } else {
+            (start, end)
+        };
+        while e < json.len() && json.as_bytes()[e].is_ascii_whitespace() {
+            e += 1;
+        }
+        let e = if s == start && e < json.len() && json.as_bytes()[e] == b',' {
+            e + 1
+        } else {
+            end
+        };
+        json.replace_range(s..e, "");
+    }
+    let close = json
+        .rfind('}')
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "not a JSON object"))?;
+    let needs_comma = !json[..close].trim_end().ends_with('{');
+    let insertion = format!("{}  {}\n", if needs_comma { ",\n" } else { "\n" }, block);
+    let trimmed = json[..close].trim_end().len();
+    json.replace_range(trimmed..close, &insertion);
+    std::fs::write(path, json)
+}
+
+fn serving_scale_block(opts: &Options, points: &[Point]) -> String {
+    let mut block = String::from("\"serving_scale\": {\n");
+    block.push_str("    \"generated_by\": \"verdict-loadgen\",\n");
+    block.push_str(&format!("    \"chaos\": {:.3},\n", opts.chaos));
+    block.push_str(&format!("    \"stream\": {},\n", opts.stream));
+    match opts.duration {
+        Some(d) => block.push_str(&format!("    \"duration_secs\": {:.3},\n", d.as_secs_f64())),
+        None => block.push_str(&format!(
+            "    \"requests_per_session\": {},\n",
+            opts.requests
+        )),
+    }
+    block.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        block.push_str(&format!(
+            "      {{ \"sessions\": {}, \"wall_secs\": {:.3}, \"qps\": {:.0}, \
+             \"p50_us\": {}, \"p99_us\": {}, \
+             \"ok\": {}, \"busy\": {}, \"deadline\": {}, \"disconnects\": {}, \
+             \"errors\": {} }}{}\n",
+            p.sessions,
+            p.wall_secs,
+            p.qps,
+            p.p50_us,
+            p.p99_us,
+            p.ok,
+            p.busy,
+            p.deadline,
+            p.disconnects,
+            p.errors,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    block.push_str("    ]\n  }");
+    block
+}
+
 fn cache_line(client: &mut VerdictClient) -> String {
     match client.stats() {
         Ok(s) => format!(
-            "hits={} misses={} entries={}",
+            "hits={} misses={} entries={} sessions_active={} shed={} refused={}",
             s.extra("cache_hits").unwrap_or("?"),
             s.extra("cache_misses").unwrap_or("?"),
             s.extra("cache_entries").unwrap_or("?"),
+            s.extra("sessions_active").unwrap_or("?"),
+            s.extra("queries_shed").unwrap_or("?"),
+            s.extra("queries_refused").unwrap_or("?"),
         ),
         Err(e) => format!("unavailable ({e})"),
     }
@@ -105,67 +454,67 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("cache before: {}", cache_line(&mut probe));
+    println!("server before: {}", cache_line(&mut probe));
 
-    let start = Instant::now();
-    let per_session: Vec<(usize, f64, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..opts.sessions)
-            .map(|sid| {
-                let addr = opts.addr.clone();
-                let sql = opts.sql.clone();
-                let requests = opts.requests;
-                let stream = opts.stream;
-                scope.spawn(move || {
-                    let mut client = VerdictClient::connect(&addr).expect("connect");
-                    let t0 = Instant::now();
-                    let mut ok = 0usize;
-                    let mut frames = 0usize;
-                    for _ in 0..requests {
-                        if stream {
-                            if let Ok(received) = client.stream(&sql) {
-                                ok += 1;
-                                frames += received.len();
-                            }
-                        } else if client.sql(&sql).is_ok() {
-                            ok += 1;
-                        }
-                    }
-                    let secs = t0.elapsed().as_secs_f64();
-                    let _ = client.quit();
-                    (sid, ok, secs, frames)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                let (sid, ok, secs, frames) = h.join().expect("session thread");
-                (sid, ok as f64 / secs.max(1e-9), frames)
-            })
-            .collect()
-    });
-    let wall = start.elapsed().as_secs_f64();
-
-    for (sid, qps, _) in &per_session {
-        println!("session {sid}: {qps:.0} q/s");
-    }
-    let total_requests = opts.sessions * opts.requests;
+    let mut points = Vec::with_capacity(opts.sessions.len());
     println!(
-        "aggregate: {} requests over {} sessions in {:.3}s = {:.0} q/s",
-        total_requests,
-        opts.sessions,
-        wall,
-        total_requests as f64 / wall.max(1e-9)
+        "| sessions | q/s | p50 (µs) | p99 (µs) | ok | busy | deadline | disconnects | errors |"
     );
-    if opts.stream {
-        let total_frames: usize = per_session.iter().map(|(_, _, f)| f).sum();
+    println!(
+        "|---------:|----:|---------:|---------:|---:|-----:|---------:|------------:|-------:|"
+    );
+    for &n in &opts.sessions {
+        let p = run_point(&opts, n);
         println!(
-            "streaming: {} frames total = {:.0} frames/s, {:.1} frames per stream",
-            total_frames,
-            total_frames as f64 / wall.max(1e-9),
-            total_frames as f64 / (total_requests as f64).max(1.0)
+            "| {} | {:.0} | {} | {} | {} | {} | {} | {} | {} |",
+            p.sessions,
+            p.qps,
+            p.p50_us,
+            p.p99_us,
+            p.ok,
+            p.busy,
+            p.deadline,
+            p.disconnects,
+            p.errors
         );
+        points.push(p);
     }
-    println!("cache after: {}", cache_line(&mut probe));
+    println!("server after: {}", cache_line(&mut probe));
     let _ = probe.quit();
+
+    if let Some(path) = &opts.json_out {
+        let block = serving_scale_block(&opts, &points);
+        match merge_serving_scale(path, &block) {
+            Ok(()) => println!("merged serving_scale into {path}"),
+            Err(e) => {
+                eprintln!("verdict-loadgen: cannot update {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if opts.shutdown {
+        // Graceful drain: the acknowledgement arrives immediately; the
+        // subsequent read observing a clean close is the drain completing.
+        match VerdictClient::connect(&opts.addr) {
+            Ok(mut c) => {
+                if let Err(e) = c.shutdown_server() {
+                    eprintln!("verdict-loadgen: SHUTDOWN failed: {e}");
+                    std::process::exit(1);
+                }
+                match c.ping() {
+                    // Any failure after the SHUTDOWN acknowledgement means
+                    // the connection went down with the drain (surfaced as
+                    // Disconnected, a SHUTDOWN-typed refusal, or a raw
+                    // broken-pipe io error depending on timing).
+                    Err(_) => println!("server drained"),
+                    Ok(()) => println!("server acknowledged drain (still flushing)"),
+                }
+            }
+            Err(e) => {
+                eprintln!("verdict-loadgen: cannot connect for shutdown: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

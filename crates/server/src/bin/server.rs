@@ -144,8 +144,12 @@ fn main() {
         Ok(addr) => println!("serving on {addr} (cache capacity {})", opts.cache),
         Err(_) => println!("serving on {}", opts.addr),
     }
+    // serve_forever returns after a graceful drain: a SHUTDOWN request stops
+    // the accept loop, in-flight statements finish, responses flush, and
+    // every worker joins before control comes back here.
     if let Err(e) = server.serve_forever() {
-        eprintln!("verdict-server: accept loop failed: {e}");
+        eprintln!("verdict-server: serving failed: {e}");
         std::process::exit(1);
     }
+    println!("drained; exiting");
 }

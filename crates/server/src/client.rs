@@ -2,14 +2,23 @@
 //!
 //! One [`VerdictClient`] is one protocol *session*: a dedicated connection
 //! whose requests are answered in order.  Many clients may be connected at
-//! once; the server runs each on its own thread over the shared engine.
+//! once; the server multiplexes them on its I/O shards over the shared
+//! engine.
+//!
+//! Server-side admission control surfaces here as typed errors: a refused
+//! statement is [`ClientError::Busy`], a missed `deadline_ms` is
+//! [`ClientError::Deadline`].  A dead or vanished server is
+//! [`ClientError::Disconnected`] — and with [`VerdictClient::set_read_timeout`]
+//! a server that stops responding mid-frame becomes
+//! [`ClientError::TimedOut`] instead of a forever-blocked read.
 
 use crate::protocol::{
-    parse_stream_done, parse_type_tag, parse_value, unescape_field, FrameHeader, StreamFrameHeader,
-    FRAME_END, NULL_FIELD,
+    parse_stream_done, parse_type_tag, parse_value, split_error_code, unescape_field, ErrorCode,
+    FrameHeader, StreamFrameHeader, FRAME_END, NULL_FIELD,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use verdict_engine::{DataType, Value};
 
 /// A parsed response frame.
@@ -66,15 +75,28 @@ pub struct StreamFrame {
 }
 
 /// Error from a client call: transport failure, a malformed frame, or an
-/// `ERR` frame from the server.
+/// `ERR` frame from the server (typed refusals get their own variants).
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
-    /// The server closed the connection or sent an unparseable frame.
+    /// The server sent an unparseable frame.
     Protocol(String),
-    /// The server answered with an `ERR` frame.
+    /// The server answered with an untyped `ERR` frame.
     Server(String),
+    /// Admission control refused the statement (`ERR BUSY …`): the server's
+    /// run queue is at capacity.  Retry with backoff.
+    Busy(String),
+    /// The statement's `deadline_ms` passed before a complete answer could
+    /// be delivered (`ERR DEADLINE …`).
+    Deadline(String),
+    /// The server closed the connection (graceful close, crash, or a drain
+    /// finishing).  The session is gone; reconnect to continue.
+    Disconnected(String),
+    /// No bytes arrived within the configured read timeout (see
+    /// [`VerdictClient::set_read_timeout`]).  The connection may be
+    /// mid-frame and is no longer usable for further requests.
+    TimedOut(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -83,6 +105,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Busy(m) => write!(f, "server busy: {m}"),
+            ClientError::Deadline(m) => write!(f, "deadline exceeded: {m}"),
+            ClientError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            ClientError::TimedOut(m) => write!(f, "timed out: {m}"),
         }
     }
 }
@@ -195,9 +221,26 @@ impl VerdictClient {
         self.sql("SHOW STATS")
     }
 
-    /// Round-trip liveness check (`PING`).
+    /// Round-trip liveness check (`PING`).  Answered on the server's I/O
+    /// shards directly, so it succeeds even when the run queue is full.
     pub fn ping(&mut self) -> ClientResult<()> {
         self.request("PING").map(|_| ())
+    }
+
+    /// Asks the server to drain gracefully (`SHUTDOWN`): stop accepting,
+    /// finish in-flight statements, flush responses, then close.  The
+    /// acknowledgement frame arrives before the drain completes.
+    pub fn shutdown_server(&mut self) -> ClientResult<RemoteAnswer> {
+        self.request("SHUTDOWN")
+    }
+
+    /// Bounds every read on this connection: when the server produces no
+    /// bytes for `timeout`, calls fail with [`ClientError::TimedOut`]
+    /// instead of blocking forever on a dead or wedged server.  `None`
+    /// restores unbounded blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Ends the session gracefully (`QUIT`).
@@ -243,7 +286,7 @@ impl VerdictClient {
             let status = self.read_line()?;
             if let Some(msg) = status.strip_prefix("ERR ") {
                 self.drain_frame()?;
-                return Err(ClientError::Server(unescape_field(msg)));
+                return Err(Self::server_error(msg));
             }
             if parse_stream_done(&status).is_some() {
                 self.drain_frame()?;
@@ -296,9 +339,23 @@ impl VerdictClient {
 
     fn read_line(&mut self) -> ClientResult<String> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            match e.kind() {
+                // A read timeout (set via `set_read_timeout`) surfaces as
+                // WouldBlock or TimedOut depending on the platform.
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    ClientError::TimedOut("no response within the read timeout".into())
+                }
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe => {
+                    ClientError::Disconnected(format!("connection lost: {e}"))
+                }
+                _ => ClientError::Io(e),
+            }
+        })?;
         if n == 0 {
-            return Err(ClientError::Protocol("connection closed".into()));
+            return Err(ClientError::Disconnected(
+                "server closed the connection".into(),
+            ));
         }
         while line.ends_with(['\n', '\r']) {
             line.pop();
@@ -306,12 +363,25 @@ impl VerdictClient {
         Ok(line)
     }
 
+    /// Maps an `ERR` payload onto the matching error variant: typed `BUSY`
+    /// and `DEADLINE` refusals get their own variants, everything else
+    /// (including `SHUTDOWN`, which callers usually treat as a disconnect
+    /// about to happen) stays a [`ClientError::Server`].
+    fn server_error(payload: &str) -> ClientError {
+        let message = unescape_field(payload);
+        match split_error_code(&message) {
+            (Some(ErrorCode::Busy), rest) => ClientError::Busy(rest.to_string()),
+            (Some(ErrorCode::Deadline), rest) => ClientError::Deadline(rest.to_string()),
+            _ => ClientError::Server(message),
+        }
+    }
+
     fn read_frame(&mut self) -> ClientResult<RemoteAnswer> {
         let status = self.read_line()?;
         if let Some(msg) = status.strip_prefix("ERR ") {
             // Drain the terminator before reporting, keeping the stream in sync.
             self.drain_frame()?;
-            return Err(ClientError::Server(unescape_field(msg)));
+            return Err(Self::server_error(msg));
         }
         let header = FrameHeader::parse(&status)
             .ok_or_else(|| ClientError::Protocol(format!("bad status line: {status}")))?;

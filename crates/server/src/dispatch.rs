@@ -1,0 +1,440 @@
+//! Statement execution on the worker pool.
+//!
+//! One [`Task`] is one admitted request line: the worker locks the
+//! connection's session, applies the statement's shed tier, executes, and
+//! serialises response frames through the connection's [`ConnSink`] (which
+//! backpressures against the per-connection outbound buffer — workers never
+//! touch sockets).  The SQL dispatch itself is unchanged from the
+//! thread-per-session server: `SQL <statement>` is the protocol, the pre-SQL
+//! verbs (`QUERY`, `EXACT`, `SAMPLE`, `REFRESH`, `STATS`) are deprecated
+//! aliases rewritten into SQL, `STREAM <query>` answers with a multi-frame
+//! progressive response.
+
+use crate::protocol::{
+    write_coded_error_frame, write_error_frame, write_result_frame, write_stream_done,
+    write_stream_frame, ErrorCode, FrameHeader, StreamFrameHeader,
+};
+use crate::server::{ConnSink, Shared, SinkError, Task};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+use verdict_core::{
+    SampleMeta, SampleType, ShedTier, VerdictAnswer, VerdictResponse, VerdictSession,
+};
+
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Appends a typed `DEADLINE` error frame and bumps the miss counters.
+fn deadline_frame(shared: &Shared, out: &mut String) {
+    shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    shared.count_error();
+    write_coded_error_frame(
+        out,
+        ErrorCode::Deadline,
+        "deadline_ms elapsed before the answer completed",
+    );
+}
+
+/// Executes one admitted task end to end: deadline gate, shed tier,
+/// dispatch, response frames.  Admission release and the connection's
+/// busy flag are handled by the caller's guard.
+pub(crate) fn run_task(shared: &Shared, task: &Task) {
+    let conn = &*task.conn;
+    let sink = ConnSink {
+        shared,
+        conn,
+        deadline: task.deadline,
+    };
+    // A statement whose deadline passed while it sat on the run queue is
+    // answered without touching the engine: under overload this is the
+    // cheap path that keeps the queue draining.
+    if deadline_expired(task.deadline) {
+        let mut out = String::new();
+        deadline_frame(shared, &mut out);
+        let _ = sink.send_terminal(&out);
+        return;
+    }
+    let mut session = conn.session.lock().unwrap();
+    session.set_shed_tier(task.tier);
+    if let Some(rest) = strip_verb(&task.request, "STREAM") {
+        handle_stream(rest, shared, task, &mut session, &sink);
+    } else {
+        let mut out = String::new();
+        handle_request(&task.request, shared, task, &mut session, &mut out);
+        if deadline_expired(task.deadline) {
+            // The engine finished after the deadline: the contract says the
+            // client gets a DEADLINE error, not a late answer.
+            out.clear();
+            deadline_frame(shared, &mut out);
+        }
+        let _ = sink.send_terminal(&out);
+    }
+    session.set_shed_tier(ShedTier::None);
+}
+
+/// Dispatches one request line, appending the full response frame to `out`.
+///
+/// `SQL <statement>` is the protocol; everything else is a deprecated alias
+/// rewritten into SQL and pushed through the same per-connection session.
+/// (`PING`/`QUIT`/`SHUTDOWN` never reach the workers — the I/O shards
+/// answer them inline.)
+fn handle_request(
+    request: &str,
+    shared: &Shared,
+    task: &Task,
+    session: &mut VerdictSession,
+    out: &mut String,
+) {
+    let (verb, rest) = match request.split_once(' ') {
+        Some((v, r)) => (v, r.trim()),
+        None => (request, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "SQL" => dispatch_sql(rest, shared, task, session, out),
+        // ---- deprecated aliases, kept for old clients -------------------
+        "QUERY" => dispatch_sql(rest, shared, task, session, out),
+        "EXACT" => dispatch_sql(&format!("BYPASS {rest}"), shared, task, session, out),
+        "SAMPLE" => match legacy_sample_to_sql(rest) {
+            Ok(sql) => dispatch_sql(&sql, shared, task, session, out),
+            Err(msg) => {
+                shared.count_error();
+                write_error_frame(out, msg);
+            }
+        },
+        "REFRESH" => {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(base), Some(batch), None) => {
+                    let sql = format!("REFRESH SCRAMBLES {base} FROM {batch}");
+                    dispatch_sql(&sql, shared, task, session, out);
+                }
+                _ => {
+                    shared.count_error();
+                    write_error_frame(out, "usage: REFRESH <base_table> <batch_table>");
+                }
+            }
+        }
+        "STATS" => dispatch_sql("SHOW STATS", shared, task, session, out),
+        // A bare STREAM with no query (the with-query form streams frames).
+        "STREAM" => {
+            shared.count_error();
+            write_error_frame(out, "usage: STREAM <query>");
+        }
+        other => {
+            shared.count_error();
+            write_error_frame(out, &format!("unknown command {other}"));
+        }
+    }
+}
+
+/// Case-insensitively strips a leading verb followed by whitespace,
+/// returning the trimmed remainder.
+fn strip_verb<'a>(request: &'a str, verb: &str) -> Option<&'a str> {
+    let (head, rest) = request.split_once(char::is_whitespace)?;
+    head.eq_ignore_ascii_case(verb).then(|| rest.trim())
+}
+
+/// `STREAM <query>` — the multi-frame response: one `FRAME …` result frame
+/// per progressive refinement, closed by a `DONE frames=<n>` mini-frame.
+/// Each frame goes through the backpressured sink as soon as the execution
+/// produces it, so clients see the estimate tighten in real time while a
+/// slow reader is bounded by its own connection's buffer.  Errors before
+/// the first frame produce a regular `ERR` frame; an error (or a missed
+/// deadline) mid-stream ends the response with an `ERR` frame in place of
+/// further `FRAME`s.
+fn handle_stream(
+    sql: &str,
+    shared: &Shared,
+    task: &Task,
+    session: &mut VerdictSession,
+    sink: &ConnSink<'_>,
+) {
+    shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+    let stream = match session.stream(sql) {
+        Ok(stream) => stream,
+        Err(e) => {
+            shared.count_error();
+            let mut out = String::new();
+            write_error_frame(&mut out, &e.to_string());
+            let _ = sink.send_terminal(&out);
+            return;
+        }
+    };
+    let mut frames = 0usize;
+    for frame in stream {
+        if deadline_expired(task.deadline) {
+            let mut out = String::new();
+            deadline_frame(shared, &mut out);
+            let _ = sink.send_terminal(&out);
+            return;
+        }
+        match frame {
+            Ok(frame) => {
+                frames += 1;
+                let mut out = String::new();
+                write_answer_stream_frame(&frame, task.tier, &mut out);
+                match sink.send(&out) {
+                    Ok(()) => {}
+                    Err(SinkError::Gone) => return,
+                    Err(SinkError::Deadline) => {
+                        let mut out = String::new();
+                        deadline_frame(shared, &mut out);
+                        let _ = sink.send_terminal(&out);
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                shared.count_error();
+                let mut out = String::new();
+                write_error_frame(&mut out, &e.to_string());
+                let _ = sink.send_terminal(&out);
+                return;
+            }
+        }
+    }
+    let mut out = String::new();
+    write_stream_done(&mut out, frames);
+    let _ = sink.send_terminal(&out);
+}
+
+/// Annotations shared by degraded answers: the `shed=<n>` header field plus
+/// a human-readable `S degraded <tier>` extra.
+fn degraded_extra(tier: ShedTier, extras: &mut Vec<(String, String)>) {
+    if tier != ShedTier::None {
+        extras.push(("degraded".to_string(), tier.label().to_string()));
+    }
+}
+
+fn write_answer_stream_frame(
+    frame: &verdict_core::ProgressFrame,
+    tier: ShedTier,
+    out: &mut String,
+) {
+    let answer = &frame.answer;
+    let header = StreamFrameHeader {
+        base: FrameHeader {
+            rows: answer.table.num_rows(),
+            cols: answer.table.schema.fields.len(),
+            exact: answer.exact,
+            cached: answer.cached,
+            elapsed_us: answer.elapsed.as_micros() as u64,
+            rows_scanned: answer.rows_scanned,
+            degraded: tier.level(),
+        },
+        frame: frame.index,
+        rows_seen: frame.rows_seen,
+        total_rows: frame.total_rows,
+        fraction: frame.fraction,
+        last: frame.last,
+        early_stopped: frame.early_stopped,
+    };
+    let errors: Vec<(String, f64, f64)> = answer
+        .errors
+        .iter()
+        .map(|e| {
+            (
+                e.column.clone(),
+                e.mean_relative_error,
+                e.max_relative_error,
+            )
+        })
+        .collect();
+    let mut extras: Vec<(String, String)> = answer
+        .used_samples
+        .iter()
+        .map(|s| ("used_sample".to_string(), s.clone()))
+        .collect();
+    degraded_extra(tier, &mut extras);
+    write_stream_frame(out, &header, Some(&answer.table), &errors, &extras);
+}
+
+/// `SAMPLE <table> <uniform|hashed|stratified> [col,col,…]` → `CREATE
+/// SCRAMBLE` text with the same derived scramble name the old handler used.
+fn legacy_sample_to_sql(rest: &str) -> Result<String, &'static str> {
+    let mut parts = rest.split_whitespace();
+    let (table, kind) = match (parts.next(), parts.next()) {
+        (Some(t), Some(k)) => (t, k.to_ascii_lowercase()),
+        _ => return Err("usage: SAMPLE <table> <type> [columns]"),
+    };
+    let columns: Vec<String> = parts
+        .next()
+        .map(|c| c.split(',').map(|s| s.to_string()).collect())
+        .unwrap_or_default();
+    if parts.next().is_some() {
+        // A space-separated column list would silently build a sample over
+        // the wrong column set — reject instead of truncating.
+        return Err(
+            "unexpected trailing arguments; columns must be comma-separated without spaces",
+        );
+    }
+    let sample_type = match kind.as_str() {
+        "uniform" => SampleType::Uniform,
+        "hashed" if !columns.is_empty() => SampleType::Hashed {
+            columns: columns.clone(),
+        },
+        "stratified" if !columns.is_empty() => SampleType::Stratified {
+            columns: columns.clone(),
+        },
+        _ => return Err("sample type must be uniform, or hashed/stratified with columns"),
+    };
+    let name = SampleMeta::table_name_for(table, &sample_type);
+    let mut sql = format!("CREATE SCRAMBLE {name} FROM {table} METHOD {kind}");
+    if !columns.is_empty() {
+        sql.push_str(&format!(" ON {}", columns.join(", ")));
+    }
+    Ok(sql)
+}
+
+/// Runs one SQL statement through the connection's session and serialises
+/// the unified [`VerdictResponse`] into a protocol frame.
+fn dispatch_sql(
+    sql: &str,
+    shared: &Shared,
+    task: &Task,
+    session: &mut VerdictSession,
+    out: &mut String,
+) {
+    shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    match session.execute(sql) {
+        Ok(VerdictResponse::Answer(answer)) => write_answer_frame(&answer, task.tier, out),
+        Ok(response) => write_response_frame(&response, start, shared, out),
+        Err(e) => {
+            shared.count_error();
+            write_error_frame(out, &e.to_string());
+        }
+    }
+}
+
+fn write_answer_frame(answer: &VerdictAnswer, tier: ShedTier, out: &mut String) {
+    let header = FrameHeader {
+        rows: answer.table.num_rows(),
+        cols: answer.table.schema.fields.len(),
+        exact: answer.exact,
+        cached: answer.cached,
+        elapsed_us: answer.elapsed.as_micros() as u64,
+        rows_scanned: answer.rows_scanned,
+        degraded: tier.level(),
+    };
+    let errors: Vec<(String, f64, f64)> = answer
+        .errors
+        .iter()
+        .map(|e| {
+            (
+                e.column.clone(),
+                e.mean_relative_error,
+                e.max_relative_error,
+            )
+        })
+        .collect();
+    let mut extras: Vec<(String, String)> = answer
+        .used_samples
+        .iter()
+        .map(|s| ("used_sample".to_string(), s.clone()))
+        .collect();
+    degraded_extra(tier, &mut extras);
+    write_result_frame(out, &header, Some(&answer.table), &errors, &extras);
+}
+
+/// Serialises the non-answer [`VerdictResponse`] variants.  Tabular
+/// responses (`SHOW SCRAMBLES` / `SHOW STATS`) ship the table itself;
+/// `SHOW STATS` additionally mirrors its rows as `S key value` lines (the
+/// pre-SQL `STATS` format) and appends the transport- and admission-level
+/// counters the core session cannot see.
+fn write_response_frame(
+    response: &VerdictResponse,
+    start: Instant,
+    shared: &Shared,
+    out: &mut String,
+) {
+    let mut header = FrameHeader {
+        elapsed_us: start.elapsed().as_micros() as u64,
+        ..FrameHeader::default()
+    };
+    let mut extras: Vec<(String, String)> = vec![("response".to_string(), response.kind().into())];
+    let mut table = None;
+    match response {
+        VerdictResponse::Answer(_) => unreachable!("answers use write_answer_frame"),
+        VerdictResponse::ScramblesCreated(metas) => {
+            extras.push(("scrambles_created".to_string(), metas.len().to_string()));
+            if let [meta] = metas.as_slice() {
+                // Legacy keys old SAMPLE clients read.
+                extras.push(("sample_table".to_string(), meta.sample_table.clone()));
+                extras.push(("sample_rows".to_string(), meta.sample_rows.to_string()));
+                extras.push(("base_rows".to_string(), meta.base_rows.to_string()));
+            }
+            for meta in metas {
+                extras.push(("scramble".to_string(), meta.sample_table.clone()));
+            }
+        }
+        VerdictResponse::ScramblesDropped(n) => {
+            extras.push(("scrambles_dropped".to_string(), n.to_string()));
+        }
+        VerdictResponse::ScramblesRefreshed(n) => {
+            extras.push(("refreshed_samples".to_string(), n.to_string()));
+        }
+        VerdictResponse::Scrambles(t) => {
+            header.rows = t.num_rows();
+            header.cols = t.schema.fields.len();
+            table = Some(t);
+        }
+        VerdictResponse::Stats(t) => {
+            header.rows = t.num_rows();
+            header.cols = t.schema.fields.len();
+            for row in 0..t.num_rows() {
+                extras.push((t.value(row, 0).to_string(), t.value(row, 1).to_string()));
+            }
+            let stats = &shared.stats;
+            let push = |extras: &mut Vec<(String, String)>, key: &str, value: u64| {
+                extras.push((key.to_string(), value.to_string()));
+            };
+            push(
+                &mut extras,
+                "sessions_opened",
+                stats.sessions_opened.load(Ordering::Relaxed),
+            );
+            push(
+                &mut extras,
+                "sessions_active",
+                stats.sessions_active.load(Ordering::Relaxed),
+            );
+            push(
+                &mut extras,
+                "queries_served",
+                stats.queries_served.load(Ordering::Relaxed),
+            );
+            push(&mut extras, "errors", stats.errors.load(Ordering::Relaxed));
+            push(
+                &mut extras,
+                "deadline_misses",
+                stats.deadline_misses.load(Ordering::Relaxed),
+            );
+            let adm = shared.admission.stats();
+            push(&mut extras, "queries_admitted", adm.admitted);
+            push(&mut extras, "queries_shed", adm.shed);
+            push(&mut extras, "queries_refused", adm.refused);
+            push(&mut extras, "queue_peak_depth", adm.peak_depth);
+            push(&mut extras, "queue_depth", shared.admission.depth() as u64);
+            push(
+                &mut extras,
+                "queue_capacity",
+                shared.cfg.queue_capacity as u64,
+            );
+            push(&mut extras, "io_shards", shared.cfg.io_shards as u64);
+            push(&mut extras, "exec_workers", shared.cfg.workers as u64);
+            push(
+                &mut extras,
+                "draining",
+                shared.draining.load(Ordering::SeqCst) as u64,
+            );
+            table = Some(t);
+        }
+        VerdictResponse::OptionSet { name, value } => {
+            extras.push(("option".to_string(), name.clone()));
+            extras.push(("value".to_string(), value.clone()));
+        }
+    }
+    write_result_frame(out, &header, table, &[], &extras);
+}

@@ -9,13 +9,20 @@
 //! * a **line-based text protocol** over plain TCP ([`protocol`]) with one
 //!   work verb — `SQL <statement>` — simple enough to drive with `nc`,
 //!   precise enough to round-trip every engine value bit-exactly;
-//! * a **thread-per-session server** ([`server`]): each connection owns a
-//!   [`verdict_core::VerdictSession`] (so the full SQL surface — scramble
-//!   DDL, `BYPASS`, session-scoped `SET` — works over the wire), all
-//!   sharing one [`verdict_core::VerdictContext`] (engine catalog, sample
-//!   metadata, and the LRU approximate-answer cache) behind an `Arc`;
+//! * a **multiplexed event-loop server** ([`server`]): a handful of I/O
+//!   shard threads poll thousands of nonblocking sockets, parsed statements
+//!   go through admission control (accuracy shedding first, typed `BUSY`
+//!   refusal only at the queue watermark, per-query `deadline_ms`) onto a
+//!   bounded run queue drained by executor workers.  Each connection owns
+//!   a [`verdict_core::VerdictSession`] (so the full SQL surface —
+//!   scramble DDL, `BYPASS`, session-scoped `SET` — works over the wire),
+//!   all sharing one [`verdict_core::VerdictContext`] (engine catalog,
+//!   sample metadata, and the LRU approximate-answer cache) behind an
+//!   `Arc`;
 //! * a **blocking client** ([`client`]) used by the CLI, the load
-//!   generator, the end-to-end tests, and the benchmark harness;
+//!   generator, the end-to-end tests, and the benchmark harness — with
+//!   typed `Busy`/`Deadline` refusals, a `Disconnected` error for dead
+//!   servers, and an optional read timeout;
 //! * a **remote backend** ([`backend::RemoteBackend`]): the same wire
 //!   protocol packaged as a [`verdict_engine::Backend`], so a *local*
 //!   `VerdictContext` can plan queries and have a *remote* `verdict-server`
@@ -58,10 +65,11 @@
 
 pub mod backend;
 pub mod client;
+mod dispatch;
 pub mod protocol;
 pub mod server;
 
 pub use backend::RemoteBackend;
 pub use client::{ClientError, ClientResult, RemoteAnswer, StreamFrame, VerdictClient};
-pub use protocol::{FrameHeader, StreamFrameHeader};
-pub use server::{ServerHandle, ServerStats, VerdictServer};
+pub use protocol::{ErrorCode, FrameHeader, StreamFrameHeader};
+pub use server::{ServerHandle, ServerStats, ServingConfig, VerdictServer};

@@ -25,6 +25,56 @@ use verdict_engine::{DataType, Table, Value};
 /// Terminator line ending every response frame.
 pub const FRAME_END: &str = ".";
 
+/// Machine-readable code carried by a typed `ERR` frame (`ERR <CODE>
+/// <message>`).  Untyped errors (plain `ERR <message>`) remain legal; old
+/// clients simply see the code as the first word of the message, so the
+/// extension is backward compatible in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control refused the statement: the run queue is at its
+    /// capacity watermark.  Retry later (ideally with backoff).
+    Busy,
+    /// The statement's `deadline_ms` passed before a complete answer could
+    /// be delivered.
+    Deadline,
+    /// The server is draining: in-flight work finishes, new statements are
+    /// refused, the connection closes once its responses are flushed.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// The wire token for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::Deadline => "DEADLINE",
+            ErrorCode::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Parses a wire token (the first word of an `ERR` payload).
+    pub fn parse(token: &str) -> Option<ErrorCode> {
+        match token {
+            "BUSY" => Some(ErrorCode::Busy),
+            "DEADLINE" => Some(ErrorCode::Deadline),
+            "SHUTDOWN" => Some(ErrorCode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Splits an `ERR` payload into its typed code (if any) and the
+/// human-readable remainder.
+pub fn split_error_code(payload: &str) -> (Option<ErrorCode>, &str) {
+    match payload.split_once(' ') {
+        Some((head, rest)) => match ErrorCode::parse(head) {
+            Some(code) => (Some(code), rest),
+            None => (None, payload),
+        },
+        None => (ErrorCode::parse(payload), ""),
+    }
+}
+
 /// Marker for SQL NULL in a `R` (row) body line.
 pub const NULL_FIELD: &str = "\\N";
 
@@ -148,11 +198,17 @@ pub struct FrameHeader {
     pub elapsed_us: u64,
     /// Base/sample rows scanned by the underlying database.
     pub rows_scanned: u64,
+    /// Load-shedding level the statement ran under (`0` = unshedded; see
+    /// [`verdict_core::shed::ShedTier::level`]).  Non-zero values mark a
+    /// `DEGRADED` answer: admission control relaxed the accuracy contract
+    /// to keep the server responsive.  Serialised as `shed=<n>` only when
+    /// non-zero, so unshedded frames are byte-identical to the old format.
+    pub degraded: u8,
 }
 
 impl FrameHeader {
     fn fields(&self) -> String {
-        format!(
+        let mut fields = format!(
             "rows={} cols={} exact={} cached={} elapsed_us={} rows_scanned={}",
             self.rows,
             self.cols,
@@ -160,7 +216,11 @@ impl FrameHeader {
             self.cached as u8,
             self.elapsed_us,
             self.rows_scanned
-        )
+        );
+        if self.degraded > 0 {
+            let _ = write!(fields, " shed={}", self.degraded);
+        }
+        fields
     }
 
     /// Renders the `OK …` status line.
@@ -181,6 +241,7 @@ impl FrameHeader {
                 "cached" => header.cached = value == "1",
                 "elapsed_us" => header.elapsed_us = value.parse().ok()?,
                 "rows_scanned" => header.rows_scanned = value.parse().ok()?,
+                "shed" => header.degraded = value.parse().ok()?,
                 _ => {}
             }
         }
@@ -367,6 +428,11 @@ pub fn write_error_frame(out: &mut String, message: &str) {
     out.push('\n');
 }
 
+/// Serialises a typed error frame (`ERR <CODE> <message>`).
+pub fn write_coded_error_frame(out: &mut String, code: ErrorCode, message: &str) {
+    write_error_frame(out, &format!("{} {message}", code.as_str()));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +497,7 @@ mod tests {
                 cached: false,
                 elapsed_us: 99,
                 rows_scanned: 65_536,
+                degraded: 0,
             },
             frame: 4,
             rows_seen: 65_536,
@@ -466,8 +533,42 @@ mod tests {
             cached: true,
             elapsed_us: 512,
             rows_scanned: 10_000,
+            degraded: 0,
         };
         assert_eq!(FrameHeader::parse(&h.status_line()), Some(h));
         assert_eq!(FrameHeader::parse("garbage"), None);
+    }
+
+    #[test]
+    fn degraded_header_roundtrips_and_stays_out_of_clean_frames() {
+        let clean = FrameHeader::default();
+        assert!(!clean.status_line().contains("shed="));
+
+        let shed = FrameHeader {
+            degraded: 2,
+            ..FrameHeader::default()
+        };
+        let line = shed.status_line();
+        assert!(line.contains("shed=2"), "{line}");
+        assert_eq!(FrameHeader::parse(&line), Some(shed));
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        let mut out = String::new();
+        write_coded_error_frame(&mut out, ErrorCode::Busy, "queue full (64)");
+        let payload = unescape_field(out.lines().next().unwrap().strip_prefix("ERR ").unwrap());
+        let (code, rest) = split_error_code(&payload);
+        assert_eq!(code, Some(ErrorCode::Busy));
+        assert_eq!(rest, "queue full (64)");
+
+        // Untyped errors keep their full message.
+        let (code, rest) = split_error_code("no such table t");
+        assert_eq!(code, None);
+        assert_eq!(rest, "no such table t");
+        assert_eq!(
+            split_error_code("DEADLINE"),
+            (Some(ErrorCode::Deadline), "")
+        );
     }
 }

@@ -1,0 +1,158 @@
+//! Soak/chaos test: run the release `verdict-server` binary, drive it with
+//! `verdict-loadgen` at 1k+ concurrent sessions and a 10% chaos mix, and
+//! assert the things a soak run exists to catch — no panics, bounded
+//! resident memory, and a clean graceful-drain exit.
+//!
+//! The test is expensive (two subprocesses, a thousand threads in the load
+//! generator), so it only runs when `VERDICT_SOAK=1` is set; CI gives it a
+//! dedicated short-budget job.  Locally:
+//!
+//! ```text
+//! VERDICT_SOAK=1 cargo test --release -p verdict-server --test soak
+//! ```
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use verdict_server::VerdictClient;
+
+/// Sessions the load generator holds open concurrently.
+const SESSIONS: usize = 1024;
+/// Chaos probability per loadgen iteration (disconnects + 1 ms deadlines).
+const CHAOS: &str = "0.10";
+/// Wall-clock budget per measured point.
+const DURATION_SECS: &str = "5";
+/// RSS ceiling for the server under load.  The dataset itself (instacart at
+/// the scale below) plus 1k connection buffers sits far under this; the
+/// bound exists to catch unbounded-buffering regressions, not to be tight.
+const MAX_RSS_KB: u64 = 2 * 1024 * 1024; // 2 GiB
+
+fn soak_enabled() -> bool {
+    std::env::var("VERDICT_SOAK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Resident set size of a live process in KiB, from `/proc/<pid>/status`
+/// (`None` off linux or if the process is gone).
+fn rss_kb(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn wait_until_serving(addr: &str, child: &mut Child, budget: Duration) {
+    let deadline = Instant::now() + budget;
+    loop {
+        if let Ok(mut c) = VerdictClient::connect(addr) {
+            if c.ping().is_ok() {
+                let _ = c.quit();
+                return;
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("server exited before serving: {status}");
+        }
+        assert!(Instant::now() < deadline, "server never came up on {addr}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn soak_chaos_run_stays_bounded_and_drains_cleanly() {
+    if !soak_enabled() {
+        eprintln!("soak: skipped (set VERDICT_SOAK=1 to run)");
+        return;
+    }
+
+    let addr = "127.0.0.1:16699";
+    let mut server = Command::new(env!("CARGO_BIN_EXE_verdict-server"))
+        .args(["--addr", addr, "--dataset", "instacart", "--scale", "0.02"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn verdict-server");
+    wait_until_serving(addr, &mut server, Duration::from_secs(60));
+    let server_pid = server.id();
+    let baseline_rss = rss_kb(server_pid);
+
+    // Sample the server's RSS while the load runs; keep the peak.
+    let sampler_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler_flag = std::sync::Arc::clone(&sampler_stop);
+    let sampler = std::thread::spawn(move || {
+        let mut peak = 0u64;
+        while !sampler_flag.load(std::sync::atomic::Ordering::Relaxed) {
+            if let Some(rss) = rss_kb(server_pid) {
+                peak = peak.max(rss);
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        peak
+    });
+
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_verdict-loadgen"))
+        .args([
+            "--addr",
+            addr,
+            "--sessions",
+            &SESSIONS.to_string(),
+            "--duration-secs",
+            DURATION_SECS,
+            "--chaos",
+            CHAOS,
+            "--shutdown",
+        ])
+        .output()
+        .expect("run verdict-loadgen");
+    let loadgen_out = String::from_utf8_lossy(&loadgen.stdout).to_string();
+    let loadgen_err = String::from_utf8_lossy(&loadgen.stderr).to_string();
+    eprintln!("loadgen stdout:\n{loadgen_out}");
+    assert!(loadgen.status.success(), "loadgen failed: {loadgen_err}");
+    assert!(
+        !loadgen_out.contains("panic") && !loadgen_err.contains("panic"),
+        "loadgen observed a panic"
+    );
+
+    // `--shutdown` asked the server to drain; it must exit zero by itself.
+    let exit_deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Ok(Some(status)) = server.try_wait() {
+            break status;
+        }
+        assert!(
+            Instant::now() < exit_deadline,
+            "server did not exit after graceful drain"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let peak_rss = sampler.join().unwrap();
+
+    let mut server_out = String::new();
+    let mut server_err = String::new();
+    if let Some(mut s) = server.stdout.take() {
+        let _ = s.read_to_string(&mut server_out);
+    }
+    if let Some(mut s) = server.stderr.take() {
+        let _ = s.read_to_string(&mut server_err);
+    }
+    eprintln!(
+        "soak: server exit={status}, baseline_rss={baseline_rss:?} KiB, peak_rss={peak_rss} KiB"
+    );
+
+    assert!(status.success(), "server exited nonzero: {server_err}");
+    assert!(
+        server_out.contains("drained"),
+        "server did not report a graceful drain:\n{server_out}"
+    );
+    assert!(
+        !server_out.contains("panic") && !server_err.contains("panic"),
+        "server panicked under soak:\n{server_err}"
+    );
+    if peak_rss > 0 {
+        assert!(
+            peak_rss < MAX_RSS_KB,
+            "server RSS grew unbounded under chaos load: {peak_rss} KiB"
+        );
+    }
+}

@@ -1155,3 +1155,210 @@ fn streamed_final_frame_is_bit_identical_to_one_shot_and_intervals_shrink() {
          ({shrink_steps}/{total_steps})"
     );
 }
+
+// ===========================================================================
+// Admission control: shed tiers and queue-watermark invariants
+// ===========================================================================
+
+#[test]
+fn shed_tiers_are_monotone_and_degradation_strictly_precedes_refusal() {
+    use verdictdb::core::{ShedPolicy, ShedTier};
+    let mut rng = StdRng::seed_from_u64(0xAD317);
+    for case in 0..200 {
+        let capacity = rng.gen_range(1..=512usize);
+        let policy = ShedPolicy::for_capacity(capacity);
+
+        // Tier level is monotone non-decreasing in queue depth.
+        let mut prev = ShedTier::None;
+        for depth in 0..capacity {
+            let tier = policy.tier_at(depth);
+            assert!(
+                tier.level() >= prev.level(),
+                "case {case} capacity {capacity}: tier regressed at depth {depth} \
+                 ({prev:?} -> {tier:?})"
+            );
+            prev = tier;
+            assert!(
+                !policy.refuses_at(depth),
+                "case {case}: refusal below capacity at depth {depth}/{capacity}"
+            );
+        }
+
+        // The last admissible slot always sheds at Critical — accuracy
+        // degradation strictly precedes BUSY refusal at every capacity.
+        assert_eq!(
+            policy.tier_at(capacity - 1),
+            ShedTier::Critical,
+            "case {case} capacity {capacity}"
+        );
+        assert!(policy.refuses_at(capacity));
+    }
+}
+
+#[test]
+fn shed_apply_only_loosens_accuracy_and_only_shrinks_io_budget() {
+    use verdictdb::core::ShedTier;
+    use verdictdb::VerdictConfig;
+    let mut rng = StdRng::seed_from_u64(0x5EDA);
+    for case in 0..500 {
+        let mut cfg = VerdictConfig::for_testing();
+        cfg.max_relative_error = if rng.gen_bool(0.3) {
+            None
+        } else {
+            Some(rng.gen_range(0.0005..0.5))
+        };
+        cfg.io_budget = rng.gen_range(0.001..1.0);
+        let before_err = cfg.max_relative_error;
+        let before_budget = cfg.io_budget;
+        let tier = ShedTier::from_level(rng.gen_range(0..4usize) as u8);
+        tier.apply(&mut cfg);
+        if let Some(b) = before_err {
+            let a = cfg
+                .max_relative_error
+                .expect("apply never clears an error target");
+            assert!(
+                a >= b,
+                "case {case} {tier:?}: shedding tightened max_relative_error ({b} -> {a})"
+            );
+        }
+        if tier != ShedTier::None {
+            assert!(
+                cfg.max_relative_error >= tier.target_error_floor(),
+                "case {case} {tier:?}: target below the tier floor"
+            );
+        }
+        assert!(
+            cfg.io_budget <= before_budget + 1e-12,
+            "case {case} {tier:?}: shedding grew io_budget ({before_budget} -> {})",
+            cfg.io_budget
+        );
+        // Escalating the tier never produces a tighter error target: the
+        // degradation ladder is itself monotone.
+        let mut at_lower = VerdictConfig::for_testing();
+        at_lower.max_relative_error = before_err;
+        let lower = ShedTier::from_level(tier.level().saturating_sub(1));
+        lower.apply(&mut at_lower);
+        assert!(
+            cfg.max_relative_error.unwrap_or(0.0) >= at_lower.max_relative_error.unwrap_or(0.0),
+            "case {case}: tier {tier:?} gave a tighter target than {lower:?}"
+        );
+    }
+}
+
+#[test]
+fn admission_controller_ticketing_balances_under_random_schedules() {
+    use verdictdb::core::{Admission, AdmissionController, ShedPolicy, ShedTier};
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..100 {
+        let capacity = rng.gen_range(1..=64usize);
+        let ctl = AdmissionController::new(ShedPolicy::for_capacity(capacity));
+        let arrivals = rng.gen_range(1..=400usize);
+        // Outstanding tickets: every Admit must be released exactly once —
+        // the model of "every admitted query gets exactly one terminal
+        // frame".  Terminals here are the releases; the balance below is
+        // the exactly-one property.
+        let mut outstanding = 0usize;
+        let mut admitted = 0u64;
+        let mut refused = 0u64;
+        let mut shed = 0u64;
+        let mut prev_tier_at_depth: Vec<Option<ShedTier>> = vec![None; capacity + 1];
+        for step in 0..arrivals {
+            // Randomly complete some in-flight statements first.
+            while outstanding > 0 && rng.gen_bool(0.4) {
+                ctl.release();
+                outstanding -= 1;
+            }
+            let depth_before = ctl.depth();
+            assert_eq!(depth_before, outstanding, "case {case} step {step}");
+            match ctl.try_admit() {
+                Admission::Admit(tier) => {
+                    admitted += 1;
+                    outstanding += 1;
+                    if tier != ShedTier::None {
+                        shed += 1;
+                    }
+                    // BUSY only at the watermark: an admission below
+                    // capacity is never refused, and the tier a depth gets
+                    // is a pure function of that depth.
+                    assert!(depth_before < capacity, "case {case} step {step}");
+                    if let Some(prev) = prev_tier_at_depth[depth_before] {
+                        assert_eq!(prev, tier, "case {case}: tier not a function of depth");
+                    }
+                    prev_tier_at_depth[depth_before] = Some(tier);
+                }
+                Admission::Refuse => {
+                    refused += 1;
+                    // Refusal iff the queue is at capacity.
+                    assert_eq!(depth_before, capacity, "case {case} step {step}");
+                }
+            }
+        }
+        // Drain every outstanding ticket; depth must return to exactly zero.
+        while outstanding > 0 {
+            ctl.release();
+            outstanding -= 1;
+        }
+        assert_eq!(ctl.depth(), 0, "case {case}: tickets leaked");
+        let stats = ctl.stats();
+        assert_eq!(stats.admitted, admitted, "case {case}");
+        assert_eq!(stats.refused, refused, "case {case}");
+        assert_eq!(stats.shed, shed, "case {case}");
+        assert_eq!(
+            stats.admitted + stats.refused,
+            arrivals as u64,
+            "case {case}: every arrival is admitted xor refused"
+        );
+        assert!(
+            stats.peak_depth <= capacity as u64,
+            "case {case}: peak depth {} exceeded capacity {capacity}",
+            stats.peak_depth
+        );
+    }
+}
+
+#[test]
+fn admission_controller_holds_capacity_under_concurrent_arrivals() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use verdictdb::core::{Admission, AdmissionController, ShedPolicy};
+
+    let capacity = 8usize;
+    let ctl = Arc::new(AdmissionController::new(ShedPolicy::for_capacity(capacity)));
+    let done = Arc::new(AtomicU64::new(0));
+    let threads = 6usize;
+    let per_thread = 500usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let ctl = Arc::clone(&ctl);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF + t as u64);
+                for _ in 0..per_thread {
+                    match ctl.try_admit() {
+                        Admission::Admit(_) => {
+                            // Depth counts this ticket, so it can never
+                            // exceed capacity even under races.
+                            assert!(ctl.depth() <= capacity);
+                            if rng.gen_bool(0.5) {
+                                std::thread::yield_now();
+                            }
+                            ctl.release();
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Admission::Refuse => {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(ctl.depth(), 0, "tickets leaked across threads");
+    let stats = ctl.stats();
+    assert_eq!(stats.admitted, done.load(Ordering::Relaxed));
+    assert_eq!(
+        stats.admitted + stats.refused,
+        (threads * per_thread) as u64
+    );
+    assert!(stats.peak_depth <= capacity as u64);
+}

@@ -687,3 +687,112 @@ fn set_group_strategy_applies_to_engine_and_preserves_answers() {
     assert!(s.execute("SET group_strategy = bogus").is_err());
     assert!(s.execute("SET group_strategy = 3").is_err());
 }
+
+#[test]
+fn sixty_four_interleaved_multiplexed_sessions_match_in_process_bit_for_bit() {
+    // Two identically-seeded stacks.  The remote one is served by the
+    // multiplexed event loop with 64 concurrent connections; the local one
+    // mirrors each connection with an in-process session.  The workload is
+    // interleaved round-robin statement-by-statement across all 64
+    // sessions, so the server constantly switches between connections —
+    // and every answer must still be bit-identical to the serial
+    // in-process reference.
+    const SESSIONS: usize = 64;
+    let local_ctx = sales_context(93);
+    let remote_ctx = sales_context(93);
+
+    let handle = VerdictServer::bind("127.0.0.1:0", remote_ctx)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    // Build the scramble once per stack before the fan-out.
+    let ddl = "CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.01";
+    VerdictSession::new(Arc::clone(&local_ctx))
+        .execute(ddl)
+        .unwrap();
+    {
+        let mut admin = VerdictClient::connect(handle.addr()).unwrap();
+        admin.sql(ddl).unwrap();
+        admin.quit().unwrap();
+    }
+
+    let mut locals: Vec<VerdictSession> = (0..SESSIONS)
+        .map(|_| VerdictSession::new(Arc::clone(&local_ctx)))
+        .collect();
+    let mut clients: Vec<VerdictClient> = (0..SESSIONS)
+        .map(|_| VerdictClient::connect(handle.addr()).unwrap())
+        .collect();
+
+    // Deterministic per-session workload: a session-specific accuracy
+    // contract, two session-specific queries, and a cache-hot repeat.
+    let workload = |s: usize| -> Vec<String> {
+        let thr = 10.0 + (s % 16) as f64 * 5.0;
+        let set = match s % 3 {
+            0 => "SET target_error = 0.0001".to_string(),
+            1 => "SET target_error = 0.05".to_string(),
+            _ => "SET target_error = default".to_string(),
+        };
+        vec![
+            set,
+            format!(
+                "SELECT city, avg(price) AS ap FROM sales WHERE price < {thr} \
+                 GROUP BY city ORDER BY city"
+            ),
+            format!("SELECT count(*) AS n, sum(price) AS total FROM sales WHERE price < {thr}"),
+            format!(
+                "SELECT city, avg(price) AS ap FROM sales WHERE price < {thr} \
+                 GROUP BY city ORDER BY city"
+            ),
+        ]
+    };
+    let scripts: Vec<Vec<String>> = (0..SESSIONS).map(workload).collect();
+    let steps = scripts[0].len();
+
+    for step in 0..steps {
+        for s in 0..SESSIONS {
+            let stmt = &scripts[s][step];
+            let local_resp = locals[s]
+                .execute(stmt)
+                .unwrap_or_else(|e| panic!("session {s} in-process `{stmt}` failed: {e}"));
+            let remote_resp = clients[s]
+                .sql(stmt)
+                .unwrap_or_else(|e| panic!("session {s} remote `{stmt}` failed: {e}"));
+            // No load shedding under this serial drive: answers must be
+            // full-accuracy, never DEGRADED.
+            assert_eq!(
+                remote_resp.header.degraded, 0,
+                "session {s} `{stmt}` was shed under an idle queue"
+            );
+            let (lcols, lrows) = in_process_rows(&local_resp);
+            let (rcols, rrows) = remote_rows(&remote_resp);
+            assert_eq!(lcols, rcols, "session {s} step {step} `{stmt}`: columns");
+            assert_eq!(
+                lrows.len(),
+                rrows.len(),
+                "session {s} step {step} `{stmt}`: row counts"
+            );
+            for (r, (lr, rr)) in lrows.iter().zip(&rrows).enumerate() {
+                for (c, (lv, rv)) in lr.iter().zip(rr).enumerate() {
+                    assert!(
+                        values_bit_identical(lv, rv),
+                        "session {s} step {step} `{stmt}` row {r} col {c}: {lv:?} != {rv:?}"
+                    );
+                }
+            }
+            if let VerdictResponse::Answer(a) = &local_resp {
+                assert_eq!(a.errors.len(), remote_resp.errors.len());
+                for (le, (rc, rmean, rmax)) in a.errors.iter().zip(&remote_resp.errors) {
+                    assert_eq!(&le.column, rc);
+                    assert_eq!(le.mean_relative_error.to_bits(), rmean.to_bits());
+                    assert_eq!(le.max_relative_error.to_bits(), rmax.to_bits());
+                }
+            }
+        }
+    }
+
+    for client in clients {
+        client.quit().unwrap();
+    }
+    handle.stop();
+}
