@@ -288,6 +288,118 @@ fn bench_progressive_stream() -> StreamBench {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Persistent store: cold-start load vs rebuilding the scramble from its base
+// table, and streamed block-read throughput off disk.
+// ---------------------------------------------------------------------------
+
+/// Base-table rows for the store benchmark; the scramble is
+/// `STORE_RATIO` of them.
+const STORE_BASE_ROWS: usize = 1_000_000;
+const STORE_RATIO: f64 = 0.25;
+
+struct StoreBench {
+    scramble_rows: u64,
+    rebuild_secs: f64,
+    cold_start_secs: f64,
+    block_read_rows_per_sec: f64,
+}
+
+/// The restart question: with `--data-dir`, how fast is a scramble *back*
+/// compared to rebuilding it from the base table?  Plus the sequential
+/// block-decode throughput a cold-start `STREAM` reads at.
+fn bench_store() -> StoreBench {
+    let dir = std::env::temp_dir().join(format!("verdict_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let base = TableBuilder::new()
+        .int_column("id", (0..STORE_BASE_ROWS as i64).collect())
+        .float_column(
+            "price",
+            (0..STORE_BASE_ROWS)
+                .map(|i| ((i * 37) % 1000) as f64 / 10.0)
+                .collect(),
+        )
+        .int_column(
+            "quantity",
+            (0..STORE_BASE_ROWS).map(|i| (i % 7) as i64 + 1).collect(),
+        )
+        .build()
+        .unwrap();
+
+    // Rebuild path: a fresh engine + base table, CREATE SCRAMBLE through
+    // the middleware (shuffle + subsample column), nothing persisted.
+    let rebuild_secs = {
+        let engine = Engine::with_seed(31);
+        engine.register_table("sales", base.clone());
+        let conn: Arc<dyn Backend> = Arc::new(engine);
+        let mut config = VerdictConfig::for_testing();
+        config.io_budget = 1.0;
+        let ctx = VerdictContext::new(conn, config);
+        let t0 = Instant::now();
+        ctx.create_sample_with_ratio("sales", SampleType::Uniform, STORE_RATIO)
+            .unwrap();
+        t0.elapsed().as_secs_f64()
+    };
+
+    // Persist the same scramble once (an engine with a store attached
+    // writes it through the WAL as a side effect of CREATE SCRAMBLE).
+    let scramble_rows = {
+        let engine = Engine::with_seed(31);
+        engine.register_table("sales", base);
+        let store = Arc::new(verdict_store::Store::open(&dir).unwrap());
+        engine
+            .catalog()
+            .set_store(Arc::clone(&store) as Arc<dyn verdict_engine::StoreHandle>);
+        let conn: Arc<dyn Backend> = Arc::new(engine);
+        let mut config = VerdictConfig::for_testing();
+        config.io_budget = 1.0;
+        let ctx = VerdictContext::with_store(conn, config, Arc::clone(&store)).unwrap();
+        let meta = ctx
+            .create_sample_with_ratio("sales", SampleType::Uniform, STORE_RATIO)
+            .unwrap();
+        meta.sample_rows
+    };
+    let key = "verdict_sample_sales_uniform";
+
+    // Cold start: reopen the directory and materialise the scramble — the
+    // work a restarted server does instead of the rebuild above.
+    let cold_start_secs = {
+        let t0 = Instant::now();
+        let store = verdict_store::Store::open(&dir).unwrap();
+        let (table, _version) = store.load_table(key).unwrap();
+        assert_eq!(table.num_rows() as u64, scramble_rows);
+        t0.elapsed().as_secs_f64()
+    };
+
+    // Streamed block reads: sequential `read_range` in store-block units,
+    // the access pattern of a cold-start progressive STREAM.
+    let block_read_rows_per_sec = {
+        use verdict_engine::ScanSource;
+        let store = verdict_store::Store::open(&dir).unwrap();
+        let scan = store.open_store_scan(key).unwrap();
+        let rows = scan.num_rows();
+        let block = verdict_store::BLOCK_ROWS as usize;
+        let t0 = Instant::now();
+        let mut lo = 0usize;
+        while lo < rows {
+            let take = block.min(rows - lo);
+            let cols = scan.read_range(None, lo, take).unwrap();
+            assert_eq!(cols[0].len(), take);
+            lo += take;
+        }
+        rows as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+    };
+
+    let _ = std::fs::remove_dir_all(&dir);
+    StoreBench {
+        scramble_rows,
+        rebuild_secs,
+        cold_start_secs,
+        block_read_rows_per_sec,
+    }
+}
+
 struct Row {
     name: &'static str,
     baseline_secs: f64,
@@ -466,6 +578,24 @@ fn main() {
         stream.full_stream_secs * 1e3,
     );
 
+    // Persistent store: cold-start load vs rebuild, and streamed
+    // block-read throughput.
+    let store_bench = bench_store();
+    let cold_start_speedup = store_bench.rebuild_secs / store_bench.cold_start_secs.max(1e-12);
+    println!(
+        "\n## persistent store ({} base rows, τ = {STORE_RATIO}, {}-row scramble)\n\n\
+         | path | latency (ms) |\n|------|-------------:|\n\
+         | rebuild scramble from base table | {:.1} |\n\
+         | cold-start load from store | {:.1} |\n\n\
+         cold-start speedup: {cold_start_speedup:.1}x, \
+         streamed block reads: {:.1}M rows/s",
+        STORE_BASE_ROWS,
+        store_bench.scramble_rows,
+        store_bench.rebuild_secs * 1e3,
+        store_bench.cold_start_secs * 1e3,
+        store_bench.block_read_rows_per_sec / 1e6,
+    );
+
     // SQL-first session dispatch vs the direct context call, on the
     // cache-hot path where relative overhead is largest.
     let (direct_secs, session_secs) = bench_session_dispatch();
@@ -536,6 +666,20 @@ fn main() {
         stream.frames,
         stream.early_stop_secs,
         stream.early_stop_fraction,
+    ));
+    json.push_str("  },\n  \"store\": {\n");
+    json.push_str(&format!(
+        "    \"base_rows\": {STORE_BASE_ROWS},\n    \
+         \"ratio\": {STORE_RATIO},\n    \
+         \"scramble_rows\": {},\n    \
+         \"rebuild_secs\": {:.6},\n    \
+         \"cold_start_secs\": {:.6},\n    \
+         \"cold_start_speedup\": {cold_start_speedup:.3},\n    \
+         \"block_read_rows_per_sec\": {:.0}\n",
+        store_bench.scramble_rows,
+        store_bench.rebuild_secs,
+        store_bench.cold_start_secs,
+        store_bench.block_read_rows_per_sec,
     ));
     json.push_str("  },\n  \"session_dispatch\": {\n");
     json.push_str(&format!(

@@ -117,6 +117,10 @@ impl Backend for InstrumentedBackend {
         }
         scan
     }
+
+    fn table_snapshot(&self, table: &str) -> Option<verdict_engine::Table> {
+        self.inner.table_snapshot(table)
+    }
 }
 
 /// A backend wrapper that overrides the inner backend's SQL dialect.
@@ -180,5 +184,9 @@ impl Backend for DialectBackend {
 
     fn open_block_scan(&self, sql: &str) -> Option<Box<dyn BlockScan>> {
         self.inner.open_block_scan(sql)
+    }
+
+    fn table_snapshot(&self, table: &str) -> Option<verdict_engine::Table> {
+        self.inner.table_snapshot(table)
     }
 }

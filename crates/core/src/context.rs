@@ -112,7 +112,15 @@ pub struct VerdictContext {
     meta: MetaStore,
     cache: AnswerCache,
     pub(crate) streams: StreamCounters,
+    /// Optional persistent scramble store ([`Self::with_store`]).  When
+    /// present, every scramble build/refresh/drop writes through to disk and
+    /// the context reloads persisted scrambles plus their metadata on
+    /// construction (cold-start serving).
+    store: Option<Arc<verdict_store::Store>>,
 }
+
+/// Key of the store blob holding the serialized sample-metadata registry.
+const META_BLOB: &str = "verdict_meta";
 
 impl VerdictContext {
     /// Creates a context over a backend, speaking the backend's own dialect
@@ -136,7 +144,105 @@ impl VerdictContext {
             meta: MetaStore::new(),
             cache,
             streams: StreamCounters::default(),
+            store: None,
         }
+    }
+
+    /// Creates a context backed by a persistent scramble store.
+    ///
+    /// The caller must already have attached the same store to the
+    /// backend's catalog (so persisted tables are visible through SQL);
+    /// this constructor then reloads the persisted sample metadata and
+    /// re-registers every scramble whose table still exists — **healing**
+    /// records that no longer match the on-disk truth: a missing table
+    /// drops its record, and a row-count drift (e.g. a crash between a
+    /// scramble write and the metadata write) is folded into
+    /// `appended_rows`, which marks the scramble's shuffle as lost so
+    /// progressive execution declines it rather than serving a biased
+    /// prefix.
+    pub fn with_store(
+        conn: Arc<dyn Backend>,
+        config: VerdictConfig,
+        store: Arc<verdict_store::Store>,
+    ) -> VerdictResult<VerdictContext> {
+        let mut ctx = Self::new(conn, config);
+        ctx.store = Some(store);
+        ctx.reload_persisted_meta()?;
+        Ok(ctx)
+    }
+
+    /// The persistent store, when one is attached.
+    pub fn store(&self) -> Option<&Arc<verdict_store::Store>> {
+        self.store.as_ref()
+    }
+
+    /// Snapshot of the store's activity counters, when a store is attached.
+    pub fn store_stats(&self) -> Option<verdict_store::StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    fn reload_persisted_meta(&self) -> VerdictResult<usize> {
+        let store = self.store.as_ref().expect("called with store attached");
+        let bytes = match store
+            .get_blob(META_BLOB)
+            .map_err(|e| VerdictError::Metadata(format!("store: {e}")))?
+        {
+            Some(b) => b,
+            None => return Ok(0),
+        };
+        let mut loaded = 0usize;
+        for mut meta in crate::meta::decode_samples(&bytes)? {
+            if !self.conn.table_exists(&meta.sample_table) {
+                // The scramble's table is gone (e.g. a crash mid-rebuild
+                // after the drop committed): drop the stale record.
+                continue;
+            }
+            let actual = self.conn.table_row_count(&meta.sample_table)?;
+            if actual != meta.sample_rows {
+                // Table and metadata disagree; trust the table, and mark
+                // the shuffle as lost so progressive execution declines it.
+                meta.appended_rows += actual.abs_diff(meta.sample_rows);
+                meta.sample_rows = actual;
+            }
+            self.meta.register(meta);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Captures the current contents of `sample_table` from the backend and
+    /// writes them through the store's WAL, making the table *tracked*:
+    /// later catalog-level appends and drops write through automatically.
+    fn persist_sample_table(&self, sample_table: &str) -> VerdictResult<()> {
+        let store = match &self.store {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        let table = self.conn.table_snapshot(sample_table).ok_or_else(|| {
+            VerdictError::Metadata(format!(
+                "backend {} cannot snapshot {sample_table}; persistence requires an \
+                 in-process engine backend",
+                self.conn.name()
+            ))
+        })?;
+        let version = self.conn.data_version(sample_table).unwrap_or(1);
+        store
+            .save_table(&sample_table.to_ascii_lowercase(), &table, version)
+            .map_err(|e| VerdictError::Metadata(format!("store: {e}")))
+    }
+
+    /// Persists the entire sample-metadata registry as one atomic blob
+    /// write.  Called after every registry mutation so a restarted instance
+    /// reloads exactly the scrambles this one knew about.
+    fn persist_meta(&self) -> VerdictResult<()> {
+        let store = match &self.store {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        let bytes = crate::meta::encode_samples(&self.meta.all());
+        store
+            .put_blob(META_BLOB, &bytes)
+            .map_err(|e| VerdictError::Metadata(format!("store: {e}")))
     }
 
     /// Creates a context with an explicit SQL dialect (Impala, Spark SQL,
@@ -275,6 +381,8 @@ impl VerdictContext {
             appended_rows: 0,
         };
         self.meta.register(meta.clone());
+        self.persist_sample_table(&meta.sample_table)?;
+        self.persist_meta()?;
         Ok(meta)
     }
 
@@ -388,10 +496,14 @@ impl VerdictContext {
                     for m in &samples[i..] {
                         self.meta.register(m.clone());
                     }
+                    // Best-effort metadata persistence: some samples may
+                    // already have refreshed before the failure.
+                    let _ = self.persist_meta();
                     return Err(e);
                 }
             }
         }
+        self.persist_meta()?;
         Ok(refreshed)
     }
 
@@ -424,6 +536,7 @@ impl VerdictContext {
             ))?;
             dropped += 1;
         }
+        self.persist_meta()?;
         Ok(dropped)
     }
 
@@ -436,6 +549,7 @@ impl VerdictContext {
                     "DROP TABLE IF EXISTS {}",
                     self.quoted(&meta.sample_table)
                 ))?;
+                self.persist_meta()?;
                 Ok(true)
             }
             None if if_exists => Ok(false),

@@ -184,6 +184,85 @@ impl MetaStore {
     }
 }
 
+/// Serializes sample metadata into the line-oriented format used for the
+/// store's `verdict_meta` blob: one tab-separated record per line, with the
+/// ratio carried as raw IEEE-754 bits so a reload is bit-exact.
+pub fn encode_samples(samples: &[SampleMeta]) -> Vec<u8> {
+    let mut out = String::from("verdict-meta-v1\n");
+    for m in samples {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            m.base_table,
+            m.sample_table,
+            m.sample_type.tag(),
+            m.sample_type.columns().join(","),
+            m.ratio.to_bits(),
+            m.sample_rows,
+            m.base_rows,
+            m.appended_rows
+        ));
+    }
+    out.into_bytes()
+}
+
+/// Parses a blob written by [`encode_samples`].
+pub fn decode_samples(bytes: &[u8]) -> VerdictResult<Vec<SampleMeta>> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| VerdictError::Metadata("meta blob is not utf-8".into()))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("verdict-meta-v1") => {}
+        other => {
+            return Err(VerdictError::Metadata(format!(
+                "unknown meta blob header {other:?}"
+            )));
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 8 {
+            return Err(VerdictError::Metadata(format!(
+                "meta blob line {} has {} fields, expected 8",
+                i + 2,
+                fields.len()
+            )));
+        }
+        let columns: Vec<String> = if fields[3].is_empty() {
+            Vec::new()
+        } else {
+            fields[3].split(',').map(|s| s.to_string()).collect()
+        };
+        let sample_type = match fields[2] {
+            "uniform" => SampleType::Uniform,
+            "hashed" => SampleType::Hashed { columns },
+            "stratified" => SampleType::Stratified { columns },
+            other => {
+                return Err(VerdictError::Metadata(format!(
+                    "unknown sample type {other} in meta blob"
+                )));
+            }
+        };
+        let int = |s: &str, what: &str| -> VerdictResult<u64> {
+            s.parse::<u64>()
+                .map_err(|_| VerdictError::Metadata(format!("bad {what} in meta blob: {s}")))
+        };
+        out.push(SampleMeta {
+            base_table: fields[0].to_string(),
+            sample_table: fields[1].to_string(),
+            sample_type,
+            ratio: f64::from_bits(int(fields[4], "ratio bits")?),
+            sample_rows: int(fields[5], "sample_rows")?,
+            base_rows: int(fields[6], "base_rows")?,
+            appended_rows: int(fields[7], "appended_rows")?,
+        });
+    }
+    Ok(out)
+}
+
 fn row_select(meta: &SampleMeta) -> String {
     format!(
         "SELECT '{}' AS base_table, '{}' AS sample_table, '{}' AS sample_type, \
@@ -264,6 +343,37 @@ mod tests {
             "appended_rows must survive persistence"
         );
         assert!(reloaded.iter().any(|m| m.appended_rows == 0));
+    }
+
+    #[test]
+    fn blob_codec_roundtrips_bit_exactly() {
+        let samples = vec![
+            SampleMeta {
+                ratio: 0.1 + 0.2, // not representable exactly: bits must survive
+                ..meta("orders", 0)
+            },
+            SampleMeta {
+                appended_rows: 77,
+                ..meta("orders", 1)
+            },
+            SampleMeta {
+                sample_type: SampleType::Hashed {
+                    columns: vec!["a".into(), "b".into()],
+                },
+                ..meta("lineitem", 2)
+            },
+        ];
+        let bytes = encode_samples(&samples);
+        let back = decode_samples(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        for (b, s) in back.iter().zip(&samples) {
+            assert_eq!(b.sample_table, s.sample_table);
+            assert_eq!(b.sample_type, s.sample_type);
+            assert_eq!(b.ratio.to_bits(), s.ratio.to_bits());
+            assert_eq!(b.appended_rows, s.appended_rows);
+        }
+        assert!(decode_samples(b"not-a-header\n").is_err());
+        assert!(decode_samples(b"verdict-meta-v1\nshort\tline\n").is_err());
     }
 
     #[test]

@@ -492,6 +492,16 @@ impl VerdictSession {
         for (k, v) in &backend.extra {
             rows.push((format!("backend_{k}"), *v as i64));
         }
+        // Persistent-store activity, present only when the context was
+        // opened over a data directory.
+        if let Some(store) = self.ctx.store_stats() {
+            rows.push(("store_pages_read".into(), store.pages_read as i64));
+            rows.push(("store_pages_written".into(), store.pages_written as i64));
+            rows.push(("store_wal_records".into(), store.wal_records as i64));
+            rows.push(("store_wal_syncs".into(), store.wal_syncs as i64));
+            rows.push(("store_recoveries".into(), store.recoveries as i64));
+            rows.push(("store_checkpoints".into(), store.checkpoints as i64));
+        }
         TableBuilder::new()
             .str_column("stat", rows.iter().map(|(k, _)| k.clone()).collect())
             .int_column("value", rows.iter().map(|(_, v)| *v).collect())

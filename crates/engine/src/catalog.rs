@@ -3,8 +3,18 @@
 //! VerdictDB stores everything — base tables, sample tables, and its own
 //! metadata — inside the underlying database (§2.1), so the catalog supports
 //! dotted names such as `verdict_meta.samples` in addition to plain names.
+//!
+//! A catalog may optionally be backed by an on-disk store (see
+//! [`Catalog::set_store`]).  Persisted tables load lazily on first access,
+//! and every mutation of a persisted table writes through to the store, so
+//! `CREATE SCRAMBLE` results, `REFRESH SCRAMBLE` append batches, and drops
+//! survive restarts.  Which tables are persisted is decided by whoever calls
+//! [`StoreHandle::save`] first (the middleware persists scrambles and its
+//! metadata, never base tables); the catalog only keeps already-persisted
+//! tables in sync.
 
 use crate::error::{EngineError, EngineResult};
+use crate::persist::{ScanSource, StoreHandle, TableSource};
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -16,6 +26,8 @@ use std::sync::Arc;
 /// version** counter that survives drops and re-creations, so cache layers
 /// can detect that a table's contents may have changed by comparing the
 /// version they recorded at insert time against [`Catalog::data_version`].
+/// With a store attached, versions of persisted tables also survive process
+/// restarts (they reload from the store and keep counting from there).
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
@@ -23,6 +35,8 @@ pub struct Catalog {
     /// separate map (rather than alongside each table) so a drop + re-create
     /// still advances the counter instead of resetting it.
     versions: RwLock<BTreeMap<String, u64>>,
+    /// Optional on-disk backing store for persisted tables.
+    store: RwLock<Option<Arc<dyn StoreHandle>>>,
 }
 
 impl Catalog {
@@ -35,90 +49,197 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
-    fn bump_version(&self, key: &str) {
-        *self.versions.write().entry(key.to_string()).or_insert(0) += 1;
+    /// Attaches an on-disk store.  Tables it already holds become visible
+    /// immediately (lazily materialised on first access), and subsequent
+    /// mutations of persisted tables write through to it.
+    pub fn set_store(&self, store: Arc<dyn StoreHandle>) {
+        *self.store.write() = Some(store);
+    }
+
+    fn store(&self) -> Option<Arc<dyn StoreHandle>> {
+        self.store.read().clone()
+    }
+
+    /// The store's persisted version for a key (0 when untracked), used to
+    /// seed in-memory version counters so they continue monotonically across
+    /// restarts instead of restarting at zero.
+    fn stored_version(&self, key: &str) -> u64 {
+        self.store()
+            .and_then(|s| s.version(key))
+            .unwrap_or_default()
+    }
+
+    fn bump_version(&self, key: &str) -> u64 {
+        let mut versions = self.versions.write();
+        let entry = versions
+            .entry(key.to_string())
+            .or_insert_with(|| self.stored_version(key));
+        *entry += 1;
+        *entry
     }
 
     /// The table's monotonic data version: 0 for a name that has never been
     /// touched, incremented by every register / create / append / drop.
     pub fn data_version(&self, name: &str) -> u64 {
-        self.versions
-            .read()
-            .get(&Self::key(name))
-            .copied()
-            .unwrap_or(0)
+        let key = Self::key(name);
+        if let Some(v) = self.versions.read().get(&key) {
+            return *v;
+        }
+        self.stored_version(&key)
+    }
+
+    /// Write-through: pushes a full replacement image to the store when the
+    /// store already tracks this key.
+    fn store_save(&self, key: &str, table: &Table, version: u64) -> EngineResult<()> {
+        if let Some(store) = self.store() {
+            if store.contains(key) {
+                store.save(key, table, version)?;
+            }
+        }
+        Ok(())
     }
 
     /// Registers (or replaces) a table under the given name.
     pub fn register(&self, name: &str, table: Table) {
         let key = Self::key(name);
-        self.tables.write().insert(key.clone(), Arc::new(table));
-        self.bump_version(&key);
+        let table = Arc::new(table);
+        self.tables.write().insert(key.clone(), Arc::clone(&table));
+        let version = self.bump_version(&key);
+        // register is infallible by contract (data generators use it for
+        // in-memory base tables); a failed write-through would mean the
+        // store already tracks the name, which register's callers never do.
+        let _ = self.store_save(&key, &table, version);
     }
 
     /// Creates a new table; errors if it already exists and `or_replace` is false.
     pub fn create(&self, name: &str, table: Table, or_replace: bool) -> EngineResult<()> {
         let key = Self::key(name);
-        let mut guard = self.tables.write();
-        if guard.contains_key(&key) && !or_replace {
-            return Err(EngineError::TableAlreadyExists(name.to_string()));
+        let table = Arc::new(table);
+        {
+            let mut guard = self.tables.write();
+            if !or_replace && (guard.contains_key(&key) || self.store_contains(&key)) {
+                return Err(EngineError::TableAlreadyExists(name.to_string()));
+            }
+            guard.insert(key.clone(), Arc::clone(&table));
         }
-        guard.insert(key.clone(), Arc::new(table));
-        drop(guard);
-        self.bump_version(&key);
-        Ok(())
+        let version = self.bump_version(&key);
+        self.store_save(&key, &table, version)
     }
 
-    /// Fetches a table by name.
+    fn store_contains(&self, key: &str) -> bool {
+        self.store().is_some_and(|s| s.contains(key))
+    }
+
+    /// Fetches a table by name, materialising it from the store on a miss.
     pub fn get(&self, name: &str) -> EngineResult<Arc<Table>> {
-        self.tables
-            .read()
-            .get(&Self::key(name))
-            .cloned()
-            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))
+        let key = Self::key(name);
+        if let Some(t) = self.tables.read().get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        if let Some(store) = self.store() {
+            if store.contains(&key) {
+                let (table, version) = store.load(&key)?;
+                let mut guard = self.tables.write();
+                // Another thread may have loaded (or written) the table while
+                // we were decoding; keep whatever is in the map.
+                let arc = Arc::clone(guard.entry(key.clone()).or_insert_with(|| Arc::new(table)));
+                drop(guard);
+                self.versions.write().entry(key).or_insert(version);
+                return Ok(arc);
+            }
+        }
+        Err(EngineError::TableNotFound(name.to_string()))
     }
 
-    /// True if a table with this name exists.
+    /// True if a table with this name exists (in memory or persisted).
     pub fn exists(&self, name: &str) -> bool {
-        self.tables.read().contains_key(&Self::key(name))
+        let key = Self::key(name);
+        self.tables.read().contains_key(&key) || self.store_contains(&key)
     }
 
     /// Drops a table; errors when missing unless `if_exists`.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> EngineResult<()> {
         let key = Self::key(name);
-        let removed = self.tables.write().remove(&key);
-        if removed.is_none() && !if_exists {
+        let removed_mem = self.tables.write().remove(&key).is_some();
+        let mut removed_store = false;
+        if let Some(store) = self.store() {
+            if store.contains(&key) {
+                store.remove(&key)?;
+                removed_store = true;
+            }
+        }
+        if !removed_mem && !removed_store {
+            if if_exists {
+                return Ok(());
+            }
             return Err(EngineError::TableNotFound(name.to_string()));
         }
-        if removed.is_some() {
-            self.bump_version(&key);
-        }
+        self.bump_version(&key);
         Ok(())
     }
 
     /// Appends rows to an existing table.
     pub fn append(&self, name: &str, rows: &Table) -> EngineResult<()> {
         let key = Self::key(name);
+        // Materialise persisted tables first so the in-memory image exists.
+        let loaded = self.get(&key)?;
         let mut guard = self.tables.write();
-        let existing = guard
-            .get(&key)
-            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))?;
-        let mut new_table = (**existing).clone();
+        // Re-read under the write lock: a writer may have raced our load.
+        let existing = guard.get(&key).cloned().unwrap_or(loaded);
+        let mut new_table = (*existing).clone();
         new_table.append(rows)?;
         guard.insert(key.clone(), Arc::new(new_table));
         drop(guard);
-        self.bump_version(&key);
+        let version = self.bump_version(&key);
+        if let Some(store) = self.store() {
+            if store.contains(&key) {
+                store.append(&key, rows, version)?;
+            }
+        }
         Ok(())
     }
 
-    /// Names of all registered tables, sorted.
+    /// Names of all registered tables (in memory or persisted), sorted.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        if let Some(store) = self.store() {
+            for name in store.table_names() {
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+            names.sort();
+        }
+        names
     }
 
-    /// Number of rows in the named table (0 if missing).
+    /// Number of rows in the named table (0 if missing).  Persisted tables
+    /// answer from their stored header without being materialised.
     pub fn row_count(&self, name: &str) -> usize {
-        self.get(name).map(|t| t.num_rows()).unwrap_or(0)
+        let key = Self::key(name);
+        if let Some(t) = self.tables.read().get(&key) {
+            return t.num_rows();
+        }
+        self.store()
+            .and_then(|s| s.row_count(&key))
+            .unwrap_or_default() as usize
+    }
+
+    /// Opens a positional row source for progressive scans: an `Arc`-pinned
+    /// snapshot for in-memory tables, or a block-granular disk reader for
+    /// persisted tables that have not been materialised (a cold-start
+    /// `STREAM` therefore never loads the whole scramble).
+    pub fn scan_source(&self, name: &str) -> EngineResult<Arc<dyn ScanSource>> {
+        let key = Self::key(name);
+        if let Some(t) = self.tables.read().get(&key) {
+            return Ok(Arc::new(TableSource::new(Arc::clone(t))));
+        }
+        if let Some(store) = self.store() {
+            if store.contains(&key) {
+                return store.open_scan(&key);
+            }
+        }
+        Err(EngineError::TableNotFound(name.to_string()))
     }
 }
 
@@ -183,5 +304,16 @@ mod tests {
         c.register("verdict_meta.samples", small());
         assert!(c.exists("Verdict_Meta.Samples"));
         assert_eq!(c.table_names(), vec!["verdict_meta.samples".to_string()]);
+    }
+
+    #[test]
+    fn scan_source_over_in_memory_table_pins_a_snapshot() {
+        let c = Catalog::new();
+        c.create("t", small(), false).unwrap();
+        let src = c.scan_source("t").unwrap();
+        c.append("t", &small()).unwrap();
+        // The source still sees the snapshot it was opened on.
+        assert_eq!(src.num_rows(), 3);
+        assert_eq!(c.row_count("t"), 6);
     }
 }

@@ -111,6 +111,18 @@ pub trait Backend: Send + Sync {
         None
     }
 
+    /// Materialises an exact snapshot of a table's current contents, when
+    /// this backend can produce one cheaply (the in-process [`Engine`] hands
+    /// out its catalog image).  The middleware's persistence layer uses this
+    /// to capture a freshly-built scramble — physical row order included —
+    /// for its initial write to the on-disk store.  `None` (the default)
+    /// means the backend cannot snapshot tables and persistence is
+    /// unavailable over it.
+    fn table_snapshot(&self, table: &str) -> Option<Table> {
+        let _ = table;
+        None
+    }
+
     /// Opens a resumable block-scan cursor for a statement, when this
     /// connection can execute it progressively (see
     /// [`crate::exec::progressive::BlockScan`]).  Returns `None` — the
@@ -260,7 +272,12 @@ impl Backend for Engine {
     }
 
     fn table_row_count(&self, table: &str) -> EngineResult<u64> {
-        Ok(self.catalog.get(table)?.num_rows() as u64)
+        // Answer from the catalog (or a persisted table's stored header)
+        // without materialising store-backed tables.
+        if !self.catalog.exists(table) {
+            return Err(crate::error::EngineError::TableNotFound(table.to_string()));
+        }
+        Ok(self.catalog.row_count(table) as u64)
     }
 
     fn table_exists(&self, table: &str) -> bool {
@@ -281,6 +298,10 @@ impl Backend for Engine {
 
     fn data_version(&self, table: &str) -> Option<u64> {
         Some(self.catalog.data_version(table))
+    }
+
+    fn table_snapshot(&self, table: &str) -> Option<Table> {
+        self.catalog.get(table).ok().map(|t| (*t).clone())
     }
 
     fn open_block_scan(&self, sql: &str) -> Option<Box<dyn BlockScan>> {

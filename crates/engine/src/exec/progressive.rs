@@ -26,8 +26,13 @@
 //!   [`crate::Engine::execute_sql`] on the same statement, at any pool
 //!   size.
 //!
-//! The scan **pins** its input table at construction (`Arc` snapshot):
-//! concurrent writes to the catalog do not shift row ranges mid-stream; a
+//! The scan reads rows through a [`ScanSource`]
+//! ([`crate::catalog::Catalog::scan_source`]): in-memory tables are
+//! **pinned** at construction (`Arc` snapshot), so concurrent writes to the
+//! catalog do not shift row ranges mid-stream; store-backed sources decode
+//! columnar blocks from disk on demand — a cold-start `STREAM` never
+//! materialises the whole scramble — and detect a concurrent rebuild with a
+//! typed error instead of silently serving mixed versions.  Either way a
 //! stream always answers over one consistent version of the data.
 //!
 //! Queries containing `rand()` anywhere are rejected (`Unsupported`):
@@ -46,6 +51,7 @@ use crate::exec::aggregate::{
 use crate::exec::{predicate_mask_with, project_items, replace_in_projection};
 use crate::expr::{eval_expr, EvalContext};
 use crate::parallel::ThreadPool;
+use crate::persist::ScanSource;
 use crate::schema::Schema;
 use crate::table::Table;
 use std::sync::Arc;
@@ -83,8 +89,9 @@ pub trait BlockScan: Send {
 /// The engine's [`BlockScan`] implementation (see the [module
 /// docs](self) for the execution model and its exactness guarantees).
 pub struct ProgressiveScan {
-    /// Pinned input snapshot: the scanned base table at open time.
-    input: Arc<Table>,
+    /// The scanned base table: an `Arc`-pinned snapshot for in-memory
+    /// tables, or a block-granular disk reader for persisted ones.
+    input: Arc<dyn ScanSource>,
     /// `input`'s schema qualified with the inner scan binding.
     scan_schema: Schema,
     /// Row-wise derived-table projection wrapping the scan, if any.
@@ -254,8 +261,8 @@ impl ProgressiveScan {
             return Err(unsupported("queries without aggregate functions"));
         }
 
-        let input = catalog.get(&base)?;
-        let scan_schema = input.schema.with_qualifier(&scan_binding);
+        let input = catalog.scan_source(&base)?;
+        let scan_schema = input.schema().with_qualifier(&scan_binding);
         let scan_pred = inner_selection.as_ref().or_else(|| {
             if inner_projection.is_none() {
                 query.selection.as_ref()
@@ -323,27 +330,19 @@ impl ProgressiveScan {
                             .map(|&i| self.scan_schema.fields[i].clone())
                             .collect(),
                     ),
-                    columns: cols
-                        .iter()
-                        .map(|&i| self.input.columns[i].slice(start, len))
-                        .collect(),
+                    columns: self.input.read_range(Some(cols), start, len)?,
                 };
                 let mask = predicate_mask_with(pred, &thin, &mut rng, &self.pool)?;
                 let rows: Vec<usize> = mask.indices().iter().map(|&i| start + i).collect();
                 Table {
                     schema: self.scan_schema.clone(),
-                    columns: self.input.columns.iter().map(|c| c.take(&rows)).collect(),
+                    columns: self.input.gather(&rows)?,
                 }
             }
             (scan_pred, _) => {
                 let mut frame = Table {
                     schema: self.scan_schema.clone(),
-                    columns: self
-                        .input
-                        .columns
-                        .iter()
-                        .map(|c| c.slice(start, len))
-                        .collect(),
+                    columns: self.input.read_range(None, start, len)?,
                 };
                 if let Some(pred) = scan_pred {
                     let mask = predicate_mask_with(pred, &frame, &mut rng, &self.pool)?;

@@ -47,6 +47,7 @@ pub mod expr;
 pub mod functions;
 pub mod kernels;
 pub mod parallel;
+pub mod persist;
 pub mod profile;
 pub mod schema;
 pub mod selvec;
@@ -59,6 +60,7 @@ pub use engine::{Backend, Connection, Engine, ExecStats, QueryResult};
 pub use error::{EngineError, EngineResult};
 pub use exec::progressive::{BlockScan, ProgressiveScan};
 pub use parallel::{GroupStrategy, ThreadPool, MORSEL_ROWS};
+pub use persist::{ScanSource, StoreHandle, TableSource};
 pub use profile::EngineProfile;
 pub use schema::{Field, Schema};
 pub use selvec::SelVec;

@@ -30,6 +30,15 @@
 //! verb instead of `SQL`: sessions hold their connection open while frames
 //! arrive, which exercises the server under long-lived, interleaved
 //! multi-frame responses.
+//!
+//! `--restart-mid-run "CMD ARGS…"` makes the loadgen manage the server
+//! process itself: it spawns the given server command, waits until it
+//! serves, runs the workload — and halfway through the run SIGKILLs the
+//! server and respawns the same command, measuring **recovery time to
+//! first answer**: wall-clock from the kill to the first successful
+//! response from the restarted process.  Pointed at a `--data-dir` server
+//! this measures WAL recovery plus cold-start scramble serving under live
+//! traffic (sessions reconnect with patience across the outage).
 
 use std::time::{Duration, Instant};
 use verdict_server::{ClientError, VerdictClient};
@@ -45,6 +54,7 @@ struct Options {
     seed: u64,
     json_out: Option<String>,
     shutdown: bool,
+    restart_cmd: Option<String>,
 }
 
 impl Default for Options {
@@ -62,6 +72,7 @@ impl Default for Options {
             seed: 0x10adc3,
             json_out: None,
             shutdown: false,
+            restart_cmd: None,
         }
     }
 }
@@ -113,11 +124,19 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json-out" => opts.json_out = Some(value("--json-out")?),
             "--shutdown" => opts.shutdown = true,
+            "--restart-mid-run" => {
+                let cmd = value("--restart-mid-run")?;
+                if cmd.trim().is_empty() {
+                    return Err("--restart-mid-run needs a server command".into());
+                }
+                opts.restart_cmd = Some(cmd);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: verdict-loadgen [--addr HOST:PORT] [--sessions N[,N,…]] \
                      [--requests M] [--duration-secs S] [--sql SQL] [--stream] \
-                     [--chaos P] [--seed N] [--json-out FILE] [--shutdown]"
+                     [--chaos P] [--seed N] [--json-out FILE] [--shutdown] \
+                     [--restart-mid-run \"SERVER CMD…\"]"
                 );
                 std::process::exit(0);
             }
@@ -176,6 +195,22 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Reconnects to the server, retrying for up to `patience` (the server may
+/// be mid-restart when `--restart-mid-run` is active).
+fn reconnect(addr: &str, patience: Duration) -> Option<VerdictClient> {
+    let t0 = Instant::now();
+    loop {
+        match VerdictClient::connect(addr) {
+            Ok(c) => return Some(c),
+            Err(_) if t0.elapsed() < patience => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     addr: &str,
     sql: &str,
@@ -184,12 +219,13 @@ fn run_session(
     deadline: Option<Instant>,
     chaos: f64,
     seed: u64,
+    patience: Duration,
 ) -> SessionOutcome {
     let mut out = SessionOutcome::default();
     let mut rng = Lcg(seed);
-    let mut client = match VerdictClient::connect(addr) {
-        Ok(c) => c,
-        Err(_) => {
+    let mut client = match reconnect(addr, patience) {
+        Some(c) => c,
+        None => {
             out.errors += 1;
             return out;
         }
@@ -215,9 +251,9 @@ fn run_session(
                 // come back as a brand-new session.
                 drop(client);
                 out.disconnects += 1;
-                match VerdictClient::connect(addr) {
-                    Ok(c) => client = c,
-                    Err(_) => {
+                match reconnect(addr, patience) {
+                    Some(c) => client = c,
+                    None => {
                         out.errors += 1;
                         return out;
                     }
@@ -239,9 +275,9 @@ fn run_session(
             // Reconnect to restore default options: an in-band reset SET
             // would itself run under the 1 ms deadline and miss it.
             drop(client);
-            match VerdictClient::connect(addr) {
-                Ok(c) => client = c,
-                Err(_) => {
+            match reconnect(addr, patience) {
+                Some(c) => client = c,
+                None => {
                     out.errors += 1;
                     return out;
                 }
@@ -263,9 +299,9 @@ fn run_session(
             Err(ClientError::Deadline(_)) => out.deadline += 1,
             Err(ClientError::Disconnected(_)) => {
                 out.disconnects += 1;
-                match VerdictClient::connect(addr) {
-                    Ok(c) => client = c,
-                    Err(_) => return out,
+                match reconnect(addr, patience) {
+                    Some(c) => client = c,
+                    None => return out,
                 }
             }
             Err(_) => out.errors += 1,
@@ -278,6 +314,12 @@ fn run_session(
 fn run_point(opts: &Options, sessions: usize) -> Point {
     let start = Instant::now();
     let wall_deadline = opts.duration.map(|d| start + d);
+    // Sessions must survive the managed server's restart window.
+    let patience = if opts.restart_cmd.is_some() {
+        Duration::from_secs(30)
+    } else {
+        Duration::from_millis(500)
+    };
     let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..sessions)
             .map(|sid| {
@@ -296,6 +338,7 @@ fn run_point(opts: &Options, sessions: usize) -> Point {
                         wall_deadline,
                         opts.chaos,
                         seed,
+                        patience,
                     )
                 })
             })
@@ -423,6 +466,39 @@ fn serving_scale_block(opts: &Options, points: &[Point]) -> String {
     block
 }
 
+/// Spawns the managed server process for `--restart-mid-run` (command split
+/// on whitespace; stdout silenced so the loadgen report stays readable).
+fn spawn_server(cmd: &str) -> std::process::Child {
+    let mut parts = cmd.split_whitespace();
+    let bin = parts.next().expect("validated non-empty");
+    match std::process::Command::new(bin)
+        .args(parts)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => {
+            eprintln!("verdict-loadgen: cannot spawn server `{cmd}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Polls until the server at `addr` answers a PING, within `budget`.
+fn wait_until_serving(addr: &str, budget: Duration) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        if let Ok(mut c) = VerdictClient::connect(addr) {
+            if c.ping().is_ok() {
+                let _ = c.quit();
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
 fn cache_line(client: &mut VerdictClient) -> String {
     match client.stats() {
         Ok(s) => format!(
@@ -447,6 +523,20 @@ fn main() {
         }
     };
 
+    // With --restart-mid-run the loadgen owns the server process.
+    let managed: Option<std::sync::Arc<std::sync::Mutex<std::process::Child>>> =
+        opts.restart_cmd.as_ref().map(|cmd| {
+            let child = spawn_server(cmd);
+            if !wait_until_serving(&opts.addr, Duration::from_secs(60)) {
+                eprintln!(
+                    "verdict-loadgen: managed server never came up at {}",
+                    opts.addr
+                );
+                std::process::exit(1);
+            }
+            std::sync::Arc::new(std::sync::Mutex::new(child))
+        });
+
     let mut probe = match VerdictClient::connect(&opts.addr) {
         Ok(c) => c,
         Err(e) => {
@@ -455,6 +545,41 @@ fn main() {
         }
     };
     println!("server before: {}", cache_line(&mut probe));
+
+    // Kill-and-respawn fires from a side thread while the workload runs;
+    // the measurement is wall-clock from SIGKILL to the first successful
+    // answer out of the restarted process (WAL recovery + cold start +
+    // first query, under live reconnecting traffic).
+    let restart_handle = managed.as_ref().map(|child| {
+        let child = std::sync::Arc::clone(child);
+        let cmd = opts.restart_cmd.clone().expect("managed implies cmd");
+        let addr = opts.addr.clone();
+        let sql = opts.sql.clone();
+        let delay = opts
+            .duration
+            .map(|d| d / 2)
+            .unwrap_or(Duration::from_secs(1));
+        std::thread::spawn(move || -> Option<Duration> {
+            std::thread::sleep(delay);
+            let t0 = Instant::now();
+            {
+                let mut c = child.lock().expect("child lock");
+                let _ = c.kill();
+                let _ = c.wait();
+                *c = spawn_server(&cmd);
+            }
+            while t0.elapsed() < Duration::from_secs(120) {
+                if let Ok(mut probe) = VerdictClient::connect(&addr) {
+                    if probe.sql(&sql).is_ok() {
+                        let _ = probe.quit();
+                        return Some(t0.elapsed());
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            None
+        })
+    });
 
     let mut points = Vec::with_capacity(opts.sessions.len());
     println!(
@@ -479,6 +604,28 @@ fn main() {
         );
         points.push(p);
     }
+
+    if let Some(handle) = restart_handle {
+        match handle.join().expect("restart thread panicked") {
+            Some(d) => println!(
+                "restart mid-run: recovery to first answer {} ms",
+                d.as_millis()
+            ),
+            None => {
+                eprintln!("verdict-loadgen: restarted server never answered");
+                std::process::exit(1);
+            }
+        }
+        // The pre-restart probe connection died with the old process.
+        match reconnect(&opts.addr, Duration::from_secs(5)) {
+            Some(c) => probe = c,
+            None => {
+                eprintln!("verdict-loadgen: cannot reconnect after restart");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("server after: {}", cache_line(&mut probe));
     let _ = probe.quit();
 
@@ -515,6 +662,17 @@ fn main() {
                 eprintln!("verdict-loadgen: cannot connect for shutdown: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+
+    if let Some(child) = managed {
+        let mut c = child.lock().expect("child lock");
+        if opts.shutdown {
+            // The drain above stops the managed process; reap it cleanly.
+            let _ = c.wait();
+        } else {
+            let _ = c.kill();
+            let _ = c.wait();
         }
     }
 }

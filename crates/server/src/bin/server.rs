@@ -3,13 +3,19 @@
 //!
 //! ```text
 //! verdict-server [--addr HOST:PORT] [--dataset instacart|tpch] [--scale F]
-//!                [--cache N] [--seed N] [--no-samples]
+//!                [--cache N] [--seed N] [--no-samples] [--data-dir DIR]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:6688 --dataset instacart --scale 0.05
 //! --cache 256 --seed 7`.  With samples enabled (the default) a uniform
 //! sample is built for every base table large enough to sample, so `QUERY`
 //! requests are answered approximately out of the box.
+//!
+//! With `--data-dir DIR` (or env `VERDICT_DATA_DIR`) scrambles persist in a
+//! crash-safe on-disk store: WAL recovery runs at startup, previously built
+//! scrambles and their metadata reload without touching the base tables,
+//! and the server answers approximate queries immediately after a restart —
+//! bit-identically to the pre-restart answers.
 
 use std::sync::Arc;
 use verdict_core::{VerdictConfig, VerdictContext, VerdictResponse, VerdictSession};
@@ -23,6 +29,7 @@ struct Options {
     cache: usize,
     seed: u64,
     samples: bool,
+    data_dir: Option<String>,
 }
 
 impl Default for Options {
@@ -34,6 +41,9 @@ impl Default for Options {
             cache: 256,
             seed: 7,
             samples: true,
+            data_dir: std::env::var("VERDICT_DATA_DIR")
+                .ok()
+                .filter(|d| !d.is_empty()),
         }
     }
 }
@@ -65,10 +75,11 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--no-samples" => opts.samples = false,
+            "--data-dir" => opts.data_dir = Some(value("--data-dir")?),
             "--help" | "-h" => {
                 println!(
                     "usage: verdict-server [--addr HOST:PORT] [--dataset instacart|tpch] \
-                     [--scale F] [--cache N] [--seed N] [--no-samples]"
+                     [--scale F] [--cache N] [--seed N] [--no-samples] [--data-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -110,13 +121,60 @@ fn main() {
     let mut config = VerdictConfig::for_testing();
     config.answer_cache_capacity = opts.cache;
     config.seed = Some(opts.seed);
+
+    // Attach the persistent store (if any) to the engine catalog BEFORE the
+    // context reloads metadata, so persisted scramble tables are visible
+    // through SQL and lazily load off disk on first touch.
+    let store = match &opts.data_dir {
+        Some(dir) => match verdict_store::Store::open(dir) {
+            Ok(store) => {
+                let store = Arc::new(store);
+                engine
+                    .catalog()
+                    .set_store(Arc::clone(&store) as Arc<dyn verdict_engine::StoreHandle>);
+                let stats = store.stats();
+                println!(
+                    "store {dir}: {} table(s), {} recovery replay(s)",
+                    store.tables().len(),
+                    stats.recoveries
+                );
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!("verdict-server: cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+
     let conn: Arc<dyn Backend> = Arc::new(engine);
-    let ctx = Arc::new(VerdictContext::new(conn, config));
+    let ctx = match store {
+        Some(store) => match VerdictContext::with_store(conn, config, store) {
+            Ok(ctx) => Arc::new(ctx),
+            Err(e) => {
+                eprintln!("verdict-server: cannot reload persisted metadata: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Arc::new(VerdictContext::new(conn, config)),
+    };
+    for meta in ctx.meta().all() {
+        println!(
+            "restored scramble {}: {} rows (τ = {})",
+            meta.sample_table, meta.sample_rows, meta.ratio
+        );
+    }
 
     if opts.samples {
         // Sample preparation is plain SQL, exactly what a client would send.
         let mut session = VerdictSession::new(Arc::clone(&ctx));
         for t in &tables {
+            // A scramble restored from the store serves as-is: rebuilding it
+            // here would defeat cold-start serving (and change answers).
+            if !ctx.meta().samples_for(t).is_empty() {
+                continue;
+            }
             let ddl = format!("CREATE SCRAMBLE verdict_sample_{t}_uniform FROM {t}");
             match session.execute(&ddl) {
                 Ok(VerdictResponse::ScramblesCreated(metas)) => {

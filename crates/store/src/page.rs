@@ -1,0 +1,189 @@
+//! Fixed-size checksummed pages — the unit of both table-file layout and
+//! WAL page images.
+//!
+//! Every page is [`PAGE_SIZE`] bytes at offset `page_no * PAGE_SIZE`:
+//!
+//! ```text
+//! [ payload_len: u32 LE ][ checksum: u64 LE ][ payload ][ zero padding ]
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the payload bytes.  A page that was never
+//! written (all zeroes), a torn write, or a flipped bit all fail validation
+//! — the empty payload hashes to the FNV offset basis, which is nonzero, so
+//! even the all-zero page is detected.  Decoding never panics: every
+//! malformed shape maps to [`StoreError::Corruption`].
+
+use crate::error::{StoreError, StoreResult};
+use std::io::{Read, Seek, SeekFrom};
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Bytes of per-page framing (length + checksum).
+pub const PAGE_HEADER: usize = 4 + 8;
+/// Payload capacity of one page.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HEADER;
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes a payload (at most [`PAGE_PAYLOAD`] bytes) into a full page image.
+pub fn encode_page(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= PAGE_PAYLOAD,
+        "payload exceeds page capacity"
+    );
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[4..12].copy_from_slice(&fnv1a(payload).to_le_bytes());
+    page[12..12 + payload.len()].copy_from_slice(payload);
+    page
+}
+
+/// Validates a raw page image and returns its payload slice.
+pub fn decode_page<'a>(page: &'a [u8], file: &str, page_no: u64) -> StoreResult<&'a [u8]> {
+    if page.len() != PAGE_SIZE {
+        return Err(StoreError::corruption(
+            file,
+            format!(
+                "page {page_no} is {} bytes, expected {PAGE_SIZE}",
+                page.len()
+            ),
+        ));
+    }
+    let len = u32::from_le_bytes(page[0..4].try_into().unwrap()) as usize;
+    if len > PAGE_PAYLOAD {
+        return Err(StoreError::corruption(
+            file,
+            format!("page {page_no} declares payload of {len} bytes"),
+        ));
+    }
+    let checksum = u64::from_le_bytes(page[4..12].try_into().unwrap());
+    let payload = &page[12..12 + len];
+    if fnv1a(payload) != checksum {
+        return Err(StoreError::corruption(
+            file,
+            format!("page {page_no} checksum mismatch"),
+        ));
+    }
+    Ok(payload)
+}
+
+/// Number of pages needed to hold `nbytes` of payload.
+pub fn pages_for(nbytes: usize) -> u64 {
+    (nbytes.max(1)).div_ceil(PAGE_PAYLOAD) as u64
+}
+
+/// Splits a payload into per-page chunks (at least one, possibly empty).
+pub fn split_payload(payload: &[u8]) -> Vec<&[u8]> {
+    if payload.is_empty() {
+        return vec![payload];
+    }
+    payload.chunks(PAGE_PAYLOAD).collect()
+}
+
+/// Reads and validates one page from an open file.
+pub fn read_page<F: Read + Seek>(file: &mut F, page_no: u64, name: &str) -> StoreResult<Vec<u8>> {
+    let mut buf = vec![0u8; PAGE_SIZE];
+    file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+    file.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::corruption(name, format!("page {page_no} truncated"))
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    decode_page(&buf, name, page_no).map(|p| p.to_vec())
+}
+
+/// Reads a contiguous page range and concatenates the payloads, truncating
+/// the result to `nbytes` (the logical length recorded in the directory).
+pub fn read_payload<F: Read + Seek>(
+    file: &mut F,
+    first_page: u64,
+    npages: u64,
+    nbytes: usize,
+    name: &str,
+) -> StoreResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(nbytes);
+    for p in first_page..first_page + npages {
+        out.extend_from_slice(&read_page(file, p, name)?);
+    }
+    if out.len() < nbytes {
+        return Err(StoreError::corruption(
+            name,
+            format!(
+                "pages {first_page}..{} hold {} bytes, directory claims {nbytes}",
+                first_page + npages,
+                out.len()
+            ),
+        ));
+    }
+    out.truncate(nbytes);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn page_roundtrip() {
+        let payload = vec![7u8; 1000];
+        let page = encode_page(&payload);
+        assert_eq!(page.len(), PAGE_SIZE);
+        assert_eq!(decode_page(&page, "t", 0).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn zero_page_is_detected_as_corrupt() {
+        let zero = vec![0u8; PAGE_SIZE];
+        let err = decode_page(&zero, "t", 3).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut page = encode_page(b"hello world");
+        page[20] ^= 0x40;
+        assert!(decode_page(&page, "t", 0).unwrap_err().is_corruption());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_corrupt_not_panic() {
+        let mut page = encode_page(b"x");
+        page[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(decode_page(&page, "t", 0).unwrap_err().is_corruption());
+    }
+
+    #[test]
+    fn truncated_file_reads_as_corruption() {
+        let page = encode_page(b"data");
+        let mut cur = Cursor::new(page[..100].to_vec());
+        let err = read_page(&mut cur, 0, "t").unwrap_err();
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn multi_page_payload_roundtrip() {
+        let payload: Vec<u8> = (0..3 * PAGE_PAYLOAD + 17)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let chunks = split_payload(&payload);
+        assert_eq!(chunks.len(), 4);
+        let mut file = Vec::new();
+        for c in &chunks {
+            file.extend_from_slice(&encode_page(c));
+        }
+        let mut cur = Cursor::new(file);
+        let back = read_payload(&mut cur, 0, 4, payload.len(), "t").unwrap();
+        assert_eq!(back, payload);
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`data`] — dataset generators and the benchmark workloads;
 //! * [`server`] — concurrent TCP serving layer (line protocol, session
 //!   threads, approximate-answer cache front) plus [`RemoteBackend`], the
-//!   wire protocol packaged as a pluggable [`Backend`].
+//!   wire protocol packaged as a pluggable [`Backend`];
+//! * [`store`] — the persistent scramble store (paged columnar block files,
+//!   redo-only WAL, crash recovery) behind `--data-dir` / cold-start
+//!   serving (see `docs/storage.md`).
 //!
 //! The middleware reaches whatever store sits underneath through the
 //! [`Backend`] trait (see `docs/backends.md`): the in-process [`Engine`] is
@@ -29,6 +32,7 @@ pub use verdict_data as data;
 pub use verdict_engine as engine;
 pub use verdict_server as server;
 pub use verdict_sql as sql;
+pub use verdict_store as store;
 
 pub use verdict_core::{
     BackendStats, DialectBackend, ProgressFrame, ProgressStream, QueryOptions, SampleType,
@@ -36,9 +40,11 @@ pub use verdict_core::{
     VerdictSession,
 };
 pub use verdict_engine::{
-    Backend, Connection, Engine, EngineProfile, GroupStrategy, Table, TableBuilder, Value,
+    Backend, Connection, Engine, EngineProfile, GroupStrategy, StoreHandle, Table, TableBuilder,
+    Value,
 };
 pub use verdict_server::{RemoteBackend, ServerHandle, VerdictServer};
+pub use verdict_store::{Store, StoreStats};
 
 /// Convenience constructor: a [`VerdictSession`] over a freshly-created
 /// context (the SQL-only surface most applications should use).

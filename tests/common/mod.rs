@@ -4,11 +4,12 @@
 #![allow(dead_code)]
 
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use verdictdb::{
-    Backend, Engine, RemoteBackend, ServerHandle, Table, Value, VerdictConfig, VerdictContext,
-    VerdictServer,
+    Backend, Engine, RemoteBackend, ServerHandle, Store, StoreHandle, Table, Value, VerdictConfig,
+    VerdictContext, VerdictServer,
 };
 
 /// True when the run was asked to route every query through the wire
@@ -19,6 +20,21 @@ pub fn remote_backend_requested() -> bool {
         .map(|v| v.eq_ignore_ascii_case("remote"))
         .unwrap_or(false)
 }
+
+/// The persistence matrix leg: with `VERDICT_DATA_DIR=<dir>` every
+/// in-process test context writes its scrambles through a [`Store`] rooted
+/// in a unique subdirectory of `<dir>` — the whole suite then exercises the
+/// WAL-commit and write-through paths on top of its usual assertions.
+/// (Ignored in remote mode: the store attaches to an in-process engine.)
+pub fn data_dir_requested() -> Option<String> {
+    std::env::var("VERDICT_DATA_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+}
+
+/// Distinguishes contexts within one test binary; combined with the process
+/// id it keeps concurrent tests from sharing a store directory.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A `VerdictContext` plus whatever keeps its backend alive: nothing extra
 /// for the in-process engine, the spawned `verdict-server` in remote mode
@@ -54,6 +70,22 @@ pub fn context_over(engine: Arc<Engine>, config: VerdictConfig) -> TestContext {
         TestContext {
             ctx: Arc::new(VerdictContext::new(Arc::new(remote), config)),
             _server: Some(handle),
+        }
+    } else if let Some(root) = data_dir_requested() {
+        let dir = std::path::Path::new(&root).join(format!(
+            "t{}_{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = Arc::new(Store::open(&dir).expect("open test store"));
+        engine
+            .catalog()
+            .set_store(Arc::clone(&store) as Arc<dyn StoreHandle>);
+        let ctx = VerdictContext::with_store(engine as Arc<dyn Backend>, config, store)
+            .expect("attach test store");
+        TestContext {
+            ctx: Arc::new(ctx),
+            _server: None,
         }
     } else {
         TestContext {
