@@ -52,6 +52,12 @@ impl InstrumentedBackend {
         }
     }
 
+    /// Queries routed so far — a single atomic load, cheap enough to snapshot
+    /// before/after a statement for per-trace backend attribution.
+    pub(crate) fn queries_routed(&self) -> u64 {
+        self.queries.load(Relaxed)
+    }
+
     pub(crate) fn stats(&self) -> BackendStats {
         BackendStats {
             name: self.inner.name().to_string(),

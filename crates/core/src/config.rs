@@ -80,6 +80,13 @@ pub struct VerdictConfig {
     /// Like [`Self::stream_block_rows`], this never changes the final
     /// answer and stays out of the cache fingerprint.
     pub stream_max_frames: usize,
+    /// Slow-query threshold in milliseconds: statements whose end-to-end
+    /// wall time meets or exceeds it are flagged `slow` in the trace ring
+    /// (the slow-query log, see `SHOW PROFILE`) and counted in
+    /// `verdict_slow_queries_total`.  `0` (the default) disables the flag.
+    /// Purely observational — it never changes an answer — so it stays out
+    /// of the cache fingerprint.
+    pub slow_query_ms: u64,
 }
 
 impl Default for VerdictConfig {
@@ -102,6 +109,7 @@ impl Default for VerdictConfig {
             answer_cache_capacity: 0,
             stream_block_rows: verdict_engine::MORSEL_ROWS,
             stream_max_frames: 0,
+            slow_query_ms: 0,
         }
     }
 }
@@ -130,9 +138,10 @@ impl VerdictConfig {
     /// (`parallelism`, `group_strategy` — every grouping strategy yields the
     /// same first-appearance grouping — `answer_cache_capacity`), that only
     /// matter at
-    /// sample-build time (`sampling_ratio`, `stratified_*`), or that only
+    /// sample-build time (`sampling_ratio`, `stratified_*`), that only
     /// change how often progressive frames appear while leaving the final
-    /// answer bit-identical (`stream_block_rows`, `stream_max_frames`).
+    /// answer bit-identical (`stream_block_rows`, `stream_max_frames`), or
+    /// that are purely observational (`slow_query_ms`).
     pub fn cache_fingerprint(&self) -> String {
         format!(
             "io={:?};mtr={};b={};conf={:?};maxrel={:?};errcols={};mrpg={:?};topk={};seed={:?}",

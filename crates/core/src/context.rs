@@ -19,6 +19,7 @@ use crate::cache::{AnswerCache, CacheStats};
 use crate::config::VerdictConfig;
 use crate::error::{VerdictError, VerdictResult};
 use crate::meta::MetaStore;
+use crate::obs::{Obs, QueryTrace, TraceBuilder};
 use crate::planner::{PlanningContext, SamplePlanner};
 use crate::rewrite::{analyze_query, rewrite, QueryAnalysis, RewriteOutput};
 use crate::sample::builder::build_sample_sql;
@@ -28,7 +29,7 @@ use crate::sample::{SampleMeta, SampleType};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use verdict_engine::{Backend, Table};
+use verdict_engine::{Backend, Table, TableBuilder};
 use verdict_sql::ast::Statement;
 use verdict_sql::dialect::{Dialect, GenericDialect};
 use verdict_sql::printer::print_statement;
@@ -117,6 +118,11 @@ pub struct VerdictContext {
     /// the context reloads persisted scrambles plus their metadata on
     /// construction (cold-start serving).
     store: Option<Arc<verdict_store::Store>>,
+    /// Always-on observability registry: per-stage / per-class latency
+    /// histograms, statement counters, and the ring of recent query traces
+    /// (see [`crate::obs`]).  Served by `EXPLAIN ANALYZE`, `SHOW PROFILE`,
+    /// and `SHOW METRICS`.
+    obs: Obs,
 }
 
 /// Key of the store blob holding the serialized sample-metadata registry.
@@ -145,7 +151,14 @@ impl VerdictContext {
             cache,
             streams: StreamCounters::default(),
             store: None,
+            obs: Obs::default(),
         }
+    }
+
+    /// The observability registry: latency histograms, statement counters,
+    /// and the recent-trace ring.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Creates a context backed by a persistent scramble store.
@@ -628,41 +641,203 @@ impl VerdictContext {
         sql: &str,
         config: &VerdictConfig,
     ) -> VerdictResult<VerdictAnswer> {
-        let start = Instant::now();
+        self.execute_statement_traced(stmt, sql, config, "none")
+            .map(|(answer, _)| answer)
+    }
+
+    /// [`Self::execute_statement_with_config`], additionally returning the
+    /// finished [`QueryTrace`] (already folded into the observability
+    /// registry).  `shed_tier` is the admission tier label recorded in the
+    /// trace (`"none"` outside the serving layer).  This is the execution
+    /// entry point behind `EXPLAIN ANALYZE`.
+    pub fn execute_statement_traced(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        config: &VerdictConfig,
+        shed_tier: &'static str,
+    ) -> VerdictResult<(VerdictAnswer, QueryTrace)> {
+        let mut tb = TraceBuilder::new();
+        let backend_before = self.instrumented.queries_routed();
+        let pages_before = self.store.as_ref().map_or(0, |s| s.stats().pages_read);
+        tb.begin("canonicalize");
         let cache_key = self.cache_key(stmt, config);
+        tb.begin("cache_probe");
         if let Some(key) = &cache_key {
             if let Some(mut answer) = self.cache.lookup(key, |t| self.conn.data_version(t)) {
+                tb.note("hit".into());
                 answer.cached = true;
-                answer.elapsed = start.elapsed();
-                return Ok(answer);
+                let trace = self.finish_trace(
+                    tb,
+                    stmt,
+                    sql,
+                    config,
+                    &mut answer,
+                    shed_tier,
+                    backend_before,
+                    pages_before,
+                );
+                return Ok((answer, trace));
             }
+            tb.note("miss".into());
+        } else {
+            tb.note("uncacheable".into());
         }
-        self.execute_and_insert(stmt, sql, start, config, cache_key)
+        let mut answer = self.execute_and_insert(stmt, sql, config, cache_key, &mut tb)?;
+        let trace = self.finish_trace(
+            tb,
+            stmt,
+            sql,
+            config,
+            &mut answer,
+            shed_tier,
+            backend_before,
+            pages_before,
+        );
+        Ok((answer, trace))
+    }
+
+    /// The traced sibling of [`Self::execute_exact`]: runs `sql` exactly on
+    /// the base tables while recording a trace classified by `class_stmt`
+    /// (sessions pass the `BYPASS` wrapper or the bypassed statement, so the
+    /// trace lands in the `bypass` / original class histogram).
+    pub fn execute_exact_traced(
+        &self,
+        class_stmt: &Statement,
+        sql: &str,
+        config: &VerdictConfig,
+        shed_tier: &'static str,
+    ) -> VerdictResult<(VerdictAnswer, QueryTrace)> {
+        let mut tb = TraceBuilder::new();
+        let backend_before = self.instrumented.queries_routed();
+        let pages_before = self.store.as_ref().map_or(0, |s| s.stats().pages_read);
+        tb.begin("passthrough");
+        let mut answer = self.passthrough(sql, tb.started())?;
+        let trace = self.finish_trace(
+            tb,
+            class_stmt,
+            sql,
+            config,
+            &mut answer,
+            shed_tier,
+            backend_before,
+            pages_before,
+        );
+        Ok((answer, trace))
+    }
+
+    /// Records a one-span trace for a statement executed outside the query
+    /// pipeline (scramble DDL, `SET`, `SHOW …`): the session times the
+    /// statement and reports it here, so control statements appear in the
+    /// class histograms and the recent-trace ring alongside queries.
+    pub fn observe_control(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        total: Duration,
+        config: &VerdictConfig,
+        shed_tier: &'static str,
+    ) -> QueryTrace {
+        let slow = config.slow_query_ms > 0 && total >= Duration::from_millis(config.slow_query_ms);
+        self.obs.observe(QueryTrace {
+            seq: 0,
+            class: statement_class(stmt),
+            sql: sql.to_string(),
+            total,
+            spans: vec![crate::obs::SpanRecord {
+                stage: "control",
+                start: Duration::ZERO,
+                duration: total,
+                detail: String::new(),
+            }],
+            cached: false,
+            exact: true,
+            shed_tier,
+            backend_queries: 0,
+            store_pages_read: 0,
+            rows_returned: 0,
+            rows_scanned: 0,
+            slow,
+        })
+    }
+
+    /// Closes the trace, attributes the backend/store work done since the
+    /// statement started, folds the trace into the observability registry,
+    /// and stamps the answer's `elapsed` with the trace total (so span
+    /// durations and the reported wall time agree).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_trace(
+        &self,
+        tb: TraceBuilder,
+        stmt: &Statement,
+        sql: &str,
+        config: &VerdictConfig,
+        answer: &mut VerdictAnswer,
+        shed_tier: &'static str,
+        backend_before: u64,
+        pages_before: u64,
+    ) -> QueryTrace {
+        let (total, spans) = tb.finish();
+        answer.elapsed = total;
+        let class = match statement_class(stmt) {
+            "query" if answer.cached => "query_cached",
+            c => c,
+        };
+        let backend_queries = self.instrumented.queries_routed() - backend_before;
+        let pages_read = self
+            .store
+            .as_ref()
+            .map_or(0, |s| s.stats().pages_read)
+            .saturating_sub(pages_before);
+        let slow = config.slow_query_ms > 0 && total >= Duration::from_millis(config.slow_query_ms);
+        self.obs.observe(QueryTrace {
+            seq: 0,
+            class,
+            sql: sql.to_string(),
+            total,
+            spans,
+            cached: answer.cached,
+            exact: answer.exact,
+            shed_tier,
+            backend_queries,
+            store_pages_read: pages_read,
+            rows_returned: answer.table.num_rows() as u64,
+            rows_scanned: answer.rows_scanned,
+            slow,
+        })
     }
 
     /// Executes a statement **without consulting the cache**, while still
     /// inserting the freshly computed answer (streams and `STREAM`'s
     /// final-frame alias use this: a stream must observe current data, but
     /// its completed answer is exactly what a one-shot `SELECT` would have
-    /// produced, so the next identical `SELECT` may reuse it).
+    /// produced, so the next identical `SELECT` may reuse it).  The stage
+    /// spans still feed the stage histograms; no ring trace is recorded —
+    /// streams report through their own counters.
     pub(crate) fn execute_skip_cache_read(
         &self,
         stmt: &Statement,
         sql: &str,
         config: &VerdictConfig,
     ) -> VerdictResult<VerdictAnswer> {
-        let start = Instant::now();
+        let mut tb = TraceBuilder::new();
+        tb.begin("canonicalize");
         let cache_key = self.cache_key(stmt, config);
-        self.execute_and_insert(stmt, sql, start, config, cache_key)
+        let answer = self.execute_and_insert(stmt, sql, config, cache_key, &mut tb)?;
+        let (_, spans) = tb.finish();
+        for span in &spans {
+            self.obs.record_stage(span.stage, span.duration);
+        }
+        Ok(answer)
     }
 
     fn execute_and_insert(
         &self,
         stmt: &Statement,
         sql: &str,
-        start: Instant,
         config: &VerdictConfig,
         cache_key: Option<String>,
+        tb: &mut TraceBuilder,
     ) -> VerdictResult<VerdictAnswer> {
         // Snapshot dependency versions BEFORE executing: if a concurrent
         // write lands mid-execution, the entry is stored under the
@@ -673,9 +848,10 @@ impl VerdictContext {
             Some(_) => self.snapshot_versions(stmt),
             None => None,
         };
-        let answer = self.execute_parsed(stmt, sql, start, config)?;
+        let answer = self.execute_parsed(stmt, sql, tb, config)?;
         if let (Some(key), Some(snapshot)) = (cache_key, pre_versions) {
             if let Some(versions) = Self::dependency_versions(&snapshot, stmt, &answer) {
+                tb.begin("cache_insert");
                 self.cache.insert(key, versions, answer.clone());
             }
         }
@@ -686,29 +862,31 @@ impl VerdictContext {
         &self,
         stmt: &Statement,
         sql: &str,
-        start: Instant,
+        tb: &mut TraceBuilder,
         config: &VerdictConfig,
     ) -> VerdictResult<VerdictAnswer> {
         let query = match stmt {
             Statement::Query(q) => q.as_ref().clone(),
-            _ => return self.passthrough(sql, start),
+            _ => return self.passthrough_spanned(sql, tb, "control"),
         };
 
         // Analyse; unsupported queries are passed through unchanged (§2.2).
+        tb.begin("analyze");
         let analysis = match analyze_query(&query) {
             Ok(a) => a,
             Err(VerdictError::Unsupported(_)) | Err(VerdictError::NoSampleAvailable(_)) => {
-                return self.passthrough(sql, start)
+                return self.passthrough_spanned(sql, tb, "passthrough")
             }
             Err(e) => return Err(e),
         };
 
         // Plan sample usage.
+        tb.begin("plan");
         let mut row_counts: HashMap<String, u64> = HashMap::new();
         for t in &analysis.tables {
             let rows = match self.conn.table_row_count(&t.table) {
                 Ok(r) => r,
-                Err(_) => return self.passthrough(sql, start),
+                Err(_) => return self.passthrough_spanned(sql, tb, "passthrough"),
             };
             row_counts.insert(t.table.to_ascii_lowercase(), rows);
         }
@@ -722,20 +900,26 @@ impl VerdictContext {
             },
         );
         if !plan.uses_samples() {
-            return self.passthrough(sql, start);
+            return self.passthrough_spanned(sql, tb, "passthrough");
         }
+        tb.note(format!(
+            "{} sample(s), io_cost {}",
+            plan.choices.iter().filter(|c| c.sample.is_some()).count(),
+            plan.io_cost
+        ));
 
+        tb.begin("rewrite");
         let rewritten = match rewrite(&analysis, &plan, config) {
             Ok(r) => r,
             Err(VerdictError::Unsupported(_)) | Err(VerdictError::NoSampleAvailable(_)) => {
-                return self.passthrough(sql, start)
+                return self.passthrough_spanned(sql, tb, "passthrough")
             }
             Err(e) => return Err(e),
         };
 
-        match self.run_rewritten(&analysis, &rewritten, sql, start, config)? {
+        match self.run_rewritten(&analysis, &rewritten, sql, tb, config)? {
             Some(answer) => Ok(answer),
-            None => self.passthrough(sql, start),
+            None => self.passthrough_spanned(sql, tb, "passthrough"),
         }
     }
 
@@ -749,7 +933,7 @@ impl VerdictContext {
         analysis: &QueryAnalysis,
         rewritten: &RewriteOutput,
         original_sql: &str,
-        start: Instant,
+        tb: &mut TraceBuilder,
         config: &VerdictConfig,
     ) -> VerdictResult<Option<VerdictAnswer>> {
         let mut sqls = Vec::new();
@@ -757,6 +941,7 @@ impl VerdictContext {
 
         let mut mean_result = None;
         if let Some(stmt) = &rewritten.mean_query {
+            tb.begin_with("backend_exec", "mean query".into());
             let sql = print_statement(stmt, self.dialect());
             let result = self.conn.execute(&sql)?;
             rows_scanned += result.stats.rows_scanned;
@@ -775,6 +960,7 @@ impl VerdictContext {
 
         let mut distinct_result = None;
         if let Some((stmt, _)) = &rewritten.distinct_query {
+            tb.begin_with("backend_exec", "distinct query".into());
             let sql = print_statement(stmt, self.dialect());
             let result = self.conn.execute(&sql)?;
             rows_scanned += result.stats.rows_scanned;
@@ -784,6 +970,7 @@ impl VerdictContext {
 
         let mut extreme_result = None;
         if let Some(stmt) = &rewritten.extreme_query {
+            tb.begin_with("backend_exec", "extreme query".into());
             let sql = print_statement(stmt, self.dialect());
             let result = self.conn.execute(&sql)?;
             rows_scanned += result.stats.rows_scanned;
@@ -791,6 +978,7 @@ impl VerdictContext {
             extreme_result = Some(result.table);
         }
 
+        tb.begin("assemble");
         let assembled = assemble(
             rewritten,
             mean_result.as_ref(),
@@ -808,18 +996,23 @@ impl VerdictContext {
                 .map(|e| e.max_relative_error)
                 .fold(0.0, f64::max);
             if worst > max_rel {
-                let mut exact = self.passthrough(original_sql, start)?;
+                tb.begin_with(
+                    "rerun",
+                    format!("estimated error {worst:.4} > target {max_rel:.4}"),
+                );
+                let mut exact = self.passthrough(original_sql, tb.started())?;
                 exact.rewritten_sql.splice(0..0, sqls);
                 return Ok(Some(exact));
             }
         }
 
-        let used_samples = rewritten
+        let used_samples: Vec<String> = rewritten
             .plan
             .choices
             .iter()
             .filter_map(|c| c.sample.as_ref().map(|s| s.sample_table.clone()))
             .collect();
+        tb.note(format!("samples: {}", used_samples.join(", ")));
 
         Ok(Some(VerdictAnswer {
             table: assembled.table,
@@ -827,10 +1020,23 @@ impl VerdictContext {
             cached: false,
             errors: assembled.errors,
             rewritten_sql: sqls,
-            elapsed: start.elapsed(),
+            elapsed: tb.elapsed(),
             rows_scanned,
             used_samples,
         }))
+    }
+
+    /// [`Self::passthrough`] under an open trace span: the exact execution is
+    /// recorded as one `stage` span (`"passthrough"` for AQP fallbacks,
+    /// `"control"` for non-query statements).
+    fn passthrough_spanned(
+        &self,
+        sql: &str,
+        tb: &mut TraceBuilder,
+        stage: &'static str,
+    ) -> VerdictResult<VerdictAnswer> {
+        tb.begin(stage);
+        self.passthrough(sql, tb.started())
     }
 
     pub(crate) fn passthrough(&self, sql: &str, start: Instant) -> VerdictResult<VerdictAnswer> {
@@ -845,6 +1051,192 @@ impl VerdictContext {
             rows_scanned: result.stats.rows_scanned,
             used_samples: Vec::new(),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Observability surface (EXPLAIN / SHOW METRICS)
+    // ------------------------------------------------------------------
+
+    /// `EXPLAIN <statement>`: describes how the statement *would* execute —
+    /// sample plan, rewritten SQL, cacheability — without executing it.
+    /// Returns a two-column `(item, value)` table.
+    pub fn explain_statement(
+        &self,
+        stmt: &Statement,
+        config: &VerdictConfig,
+    ) -> VerdictResult<Table> {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        // Unwrap execution-mode wrappers so the plan describes the query the
+        // wrapper would run.
+        let (mode, query) = match stmt {
+            Statement::Query(q) => ("query", q.as_ref().clone()),
+            Statement::Stream(q) => ("stream", q.as_ref().clone()),
+            Statement::Bypass(inner) => {
+                rows.push(("statement".into(), "bypass".into()));
+                rows.push(("plan".into(), "exact (bypass)".into()));
+                rows.push(("sql".into(), print_statement(inner, self.dialect())));
+                return explain_table(rows);
+            }
+            other => {
+                rows.push(("statement".into(), statement_class(other).into()));
+                rows.push(("plan".into(), "passthrough to backend".into()));
+                return explain_table(rows);
+            }
+        };
+        rows.push(("statement".into(), mode.into()));
+        rows.push((
+            "cacheable".into(),
+            if self
+                .cache_key(&Statement::Query(Box::new(query.clone())), config)
+                .is_some()
+            {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
+        ));
+        let analysis = match analyze_query(&query) {
+            Ok(a) => a,
+            Err(VerdictError::Unsupported(msg)) | Err(VerdictError::NoSampleAvailable(msg)) => {
+                rows.push(("plan".into(), "exact passthrough".into()));
+                rows.push(("reason".into(), msg));
+                return explain_table(rows);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut row_counts: HashMap<String, u64> = HashMap::new();
+        for t in &analysis.tables {
+            match self.conn.table_row_count(&t.table) {
+                Ok(r) => {
+                    row_counts.insert(t.table.to_ascii_lowercase(), r);
+                }
+                Err(e) => {
+                    rows.push(("plan".into(), "exact passthrough".into()));
+                    rows.push(("reason".into(), format!("row count for {}: {e}", t.table)));
+                    return explain_table(rows);
+                }
+            }
+        }
+        let planner = SamplePlanner::new(&self.meta, config);
+        let plan = planner.plan(
+            &analysis.table_refs(&row_counts),
+            &PlanningContext {
+                group_columns: analysis.group_column_names(),
+                distinct_columns: analysis.distinct_column_names(),
+                io_budget: config.io_budget,
+            },
+        );
+        for choice in &plan.choices {
+            let what = match &choice.sample {
+                Some(s) => format!(
+                    "scramble {} (ratio {}, rows {})",
+                    s.sample_table, s.ratio, s.sample_rows
+                ),
+                None => format!("base table (rows {})", choice.table_ref.rows),
+            };
+            rows.push((format!("table {}", choice.table_ref.table), what));
+        }
+        if !plan.uses_samples() {
+            rows.push(("plan".into(), "exact passthrough".into()));
+            rows.push((
+                "reason".into(),
+                "no registered scramble fits the I/O budget".into(),
+            ));
+            return explain_table(rows);
+        }
+        rows.push(("plan".into(), "approximate".into()));
+        rows.push(("io_cost".into(), plan.io_cost.to_string()));
+        match rewrite(&analysis, &plan, config) {
+            Ok(rewritten) => {
+                let mut i = 0usize;
+                let mut push_sql = |rows: &mut Vec<(String, String)>, stmt: &Statement| {
+                    rows.push((
+                        format!("rewritten[{i}]"),
+                        print_statement(stmt, self.dialect()),
+                    ));
+                    i += 1;
+                };
+                if let Some(s) = &rewritten.mean_query {
+                    push_sql(&mut rows, s);
+                }
+                if let Some((s, _)) = &rewritten.distinct_query {
+                    push_sql(&mut rows, s);
+                }
+                if let Some(s) = &rewritten.extreme_query {
+                    push_sql(&mut rows, s);
+                }
+            }
+            Err(VerdictError::Unsupported(msg)) | Err(VerdictError::NoSampleAvailable(msg)) => {
+                rows.push(("plan".into(), "exact passthrough".into()));
+                rows.push(("reason".into(), msg));
+            }
+            Err(e) => return Err(e),
+        }
+        explain_table(rows)
+    }
+
+    /// Renders the full metrics exposition (`SHOW METRICS`):
+    /// observability-registry counters and histograms plus cache, backend,
+    /// stream, and store counters, in Prometheus text format.  Serving-layer
+    /// gauges (queue depth, sessions) are appended by the server on top.
+    pub fn metrics_text(&self) -> String {
+        let cache = self.cache_stats();
+        let backend = self.backend_stats();
+        let streams = self.stream_stats();
+        let mut counters: Vec<(String, u64)> = vec![
+            ("verdict_cache_hits_total".into(), cache.hits),
+            ("verdict_cache_misses_total".into(), cache.misses),
+            ("verdict_cache_insertions_total".into(), cache.insertions),
+            (
+                "verdict_cache_invalidations_total".into(),
+                cache.invalidations,
+            ),
+            ("verdict_cache_evictions_total".into(), cache.evictions),
+            (
+                "verdict_backend_queries_total".into(),
+                backend.queries_routed,
+            ),
+            (
+                "verdict_backend_version_fallbacks_total".into(),
+                backend.version_fallbacks,
+            ),
+            (
+                "verdict_backend_scan_fallbacks_total".into(),
+                backend.scan_fallbacks,
+            ),
+            ("verdict_streams_started_total".into(), streams.started),
+            ("verdict_stream_frames_total".into(), streams.frames),
+            (
+                "verdict_stream_early_stops_total".into(),
+                streams.early_stops,
+            ),
+            ("verdict_streams_completed_total".into(), streams.completed),
+            ("verdict_stream_fallbacks_total".into(), streams.fallbacks),
+        ];
+        for (k, v) in &backend.extra {
+            counters.push((format!("verdict_backend_{k}_total"), *v));
+        }
+        if let Some(store) = self.store_stats() {
+            counters.push(("verdict_store_pages_read_total".into(), store.pages_read));
+            counters.push((
+                "verdict_store_pages_written_total".into(),
+                store.pages_written,
+            ));
+            counters.push(("verdict_store_wal_records_total".into(), store.wal_records));
+            counters.push(("verdict_store_wal_syncs_total".into(), store.wal_syncs));
+            counters.push(("verdict_store_recoveries_total".into(), store.recoveries));
+            counters.push(("verdict_store_checkpoints_total".into(), store.checkpoints));
+        }
+        let gauges: Vec<(String, u64)> = vec![
+            ("verdict_scrambles".into(), self.meta.len() as u64),
+            ("verdict_cache_entries".into(), self.cache.len() as u64),
+            (
+                "verdict_cache_capacity".into(),
+                self.cache.capacity() as u64,
+            ),
+        ];
+        self.obs.render_prometheus(&counters, &gauges)
     }
 
     // ------------------------------------------------------------------
@@ -1023,6 +1415,41 @@ impl VerdictContext {
         let result = self.conn.execute(&sql)?;
         Ok(result.table.value(0, 0).as_i64().unwrap_or(0) as u64)
     }
+}
+
+/// The statement class used as the `class` label on latency histograms and
+/// ring traces (one of [`crate::obs::CLASSES`]).  `EXPLAIN` wrappers classify
+/// as `"explain"`; the cached-vs-computed split (`"query_cached"`) is applied
+/// at trace-finish time, not here.
+pub fn statement_class(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Query(_) => "query",
+        Statement::Bypass(_) => "bypass",
+        Statement::Stream(_) => "stream",
+        Statement::Explain { .. } => "explain",
+        Statement::SetOption { .. } => "set",
+        Statement::ShowScrambles
+        | Statement::ShowStats
+        | Statement::ShowProfile { .. }
+        | Statement::ShowMetrics => "show",
+        Statement::CreateTableAs { .. }
+        | Statement::DropTable { .. }
+        | Statement::InsertIntoSelect { .. }
+        | Statement::CreateScramble { .. }
+        | Statement::CreateScrambles { .. }
+        | Statement::DropScramble { .. }
+        | Statement::DropScrambles { .. }
+        | Statement::RefreshScrambles { .. } => "ddl",
+    }
+}
+
+/// Builds the two-column `(item, value)` table returned by `EXPLAIN`.
+fn explain_table(rows: Vec<(String, String)>) -> VerdictResult<Table> {
+    TableBuilder::new()
+        .str_column("item", rows.iter().map(|(k, _)| k.clone()).collect())
+        .str_column("value", rows.into_iter().map(|(_, v)| v).collect())
+        .build()
+        .map_err(|e| VerdictError::Answer(format!("EXPLAIN table construction failed: {e}")))
 }
 
 /// The AQP feasibility test over a computed mean-query result: grouped

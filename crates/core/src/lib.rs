@@ -66,6 +66,7 @@ pub mod estimate;
 pub mod flatten;
 pub mod integrated;
 pub mod meta;
+pub mod obs;
 pub mod planner;
 pub mod progress;
 pub mod rewrite;
@@ -78,8 +79,9 @@ pub use answer::{AggEstimate, ColumnErrorSummary};
 pub use backend::{BackendStats, DialectBackend};
 pub use cache::{AnswerCache, CacheStats};
 pub use config::VerdictConfig;
-pub use context::{StreamStats, VerdictAnswer, VerdictContext};
+pub use context::{statement_class, StreamStats, VerdictAnswer, VerdictContext};
 pub use error::{VerdictError, VerdictResult};
+pub use obs::{Histogram, Obs, QueryTrace, SpanRecord, TraceBuilder, TraceRing};
 pub use progress::{ProgressFrame, ProgressStream};
 pub use sample::{SampleMeta, SampleType};
 pub use session::{QueryOptions, VerdictResponse, VerdictSession};

@@ -27,6 +27,7 @@
 use crate::config::VerdictConfig;
 use crate::context::{VerdictAnswer, VerdictContext};
 use crate::error::{VerdictError, VerdictResult};
+use crate::obs::QueryTrace;
 use crate::progress::ProgressStream;
 use crate::sample::maintenance::Staleness;
 use crate::sample::{SampleMeta, SampleType};
@@ -92,6 +93,11 @@ pub struct QueryOptions {
     /// progressive streams stop at the deadline).  `None` (the default)
     /// means no deadline; in-process sessions ignore the option.
     pub deadline_ms: Option<u64>,
+    /// `SET slow_query_ms = n` — slow-query threshold in milliseconds (see
+    /// [`VerdictConfig::slow_query_ms`]); `0` disables the flag.  Purely
+    /// observational: flagged statements are marked `slow` in the trace ring
+    /// and counted in `verdict_slow_queries_total`.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl QueryOptions {
@@ -127,6 +133,9 @@ impl QueryOptions {
         if let Some(f) = self.stream_max_frames {
             cfg.stream_max_frames = f;
         }
+        if let Some(ms) = self.slow_query_ms {
+            cfg.slow_query_ms = ms;
+        }
         cfg
     }
 }
@@ -146,6 +155,13 @@ pub enum VerdictResponse {
     Scrambles(Table),
     /// The `SHOW STATS` listing.
     Stats(Table),
+    /// The `EXPLAIN [ANALYZE]` listing: plan description (plain `EXPLAIN`)
+    /// or the executed statement's span tree with attribution (`ANALYZE`).
+    Explain(Table),
+    /// The `SHOW PROFILE` listing: recent traces from the ring.
+    Profile(Table),
+    /// The `SHOW METRICS` Prometheus-style text exposition.
+    Metrics(String),
     /// Acknowledgement of `SET <option> = <value>` (normalised name/value).
     OptionSet {
         /// The canonical option name.
@@ -157,11 +173,14 @@ pub enum VerdictResponse {
 
 impl VerdictResponse {
     /// The tabular part of the response, if any (`Answer`, `Scrambles`,
-    /// `Stats`).
+    /// `Stats`, `Explain`, `Profile`).
     pub fn table(&self) -> Option<&Table> {
         match self {
             VerdictResponse::Answer(a) => Some(&a.table),
-            VerdictResponse::Scrambles(t) | VerdictResponse::Stats(t) => Some(t),
+            VerdictResponse::Scrambles(t)
+            | VerdictResponse::Stats(t)
+            | VerdictResponse::Explain(t)
+            | VerdictResponse::Profile(t) => Some(t),
             _ => None,
         }
     }
@@ -196,6 +215,9 @@ impl VerdictResponse {
             VerdictResponse::ScramblesRefreshed(_) => "scrambles_refreshed",
             VerdictResponse::Scrambles(_) => "scrambles",
             VerdictResponse::Stats(_) => "stats",
+            VerdictResponse::Explain(_) => "explain",
+            VerdictResponse::Profile(_) => "profile",
+            VerdictResponse::Metrics(_) => "metrics",
             VerdictResponse::OptionSet { .. } => "option_set",
         }
     }
@@ -301,6 +323,11 @@ impl VerdictSession {
     }
 
     /// Dispatches one parsed statement; `sql` must be its source text.
+    ///
+    /// Every statement is traced: queries through the context's span
+    /// pipeline, control statements (scramble DDL, `SET`, `SHOW`) as a
+    /// single `control` span — so the class histograms and the recent-trace
+    /// ring cover the full statement surface.
     pub fn execute_statement(
         &mut self,
         stmt: &Statement,
@@ -315,15 +342,23 @@ impl VerdictSession {
             | Statement::InsertIntoSelect { .. } => {
                 let cfg = self.effective_config();
                 let answer = if self.options.bypass {
-                    self.ctx.execute_exact(sql)?
+                    self.ctx
+                        .execute_exact_traced(stmt, sql, &cfg, self.shed.label())?
+                        .0
                 } else {
-                    self.ctx.execute_statement_with_config(stmt, sql, &cfg)?
+                    self.ctx
+                        .execute_statement_traced(stmt, sql, &cfg, self.shed.label())?
+                        .0
                 };
                 Ok(VerdictResponse::Answer(answer))
             }
             Statement::Bypass(inner) => {
+                let cfg = self.effective_config();
                 let text = print_statement(inner, self.ctx.dialect());
-                Ok(VerdictResponse::Answer(self.ctx.execute_exact(&text)?))
+                let (answer, _) =
+                    self.ctx
+                        .execute_exact_traced(stmt, &text, &cfg, self.shed.label())?;
+                Ok(VerdictResponse::Answer(answer))
             }
             Statement::Stream(q) => {
                 // Single-response alias for the streaming surface: run the
@@ -336,6 +371,26 @@ impl VerdictSession {
                 let stream = self.open_stream((**q).clone());
                 Ok(VerdictResponse::Answer(stream.final_frame()?.answer))
             }
+            Statement::Explain { analyze, statement } => self.execute_explain(*analyze, statement),
+            _ => {
+                let started = std::time::Instant::now();
+                let response = self.execute_control(stmt, sql);
+                if response.is_ok() {
+                    let cfg = self.effective_config();
+                    self.ctx
+                        .observe_control(stmt, sql, started.elapsed(), &cfg, self.shed.label());
+                }
+                response
+            }
+        }
+    }
+
+    /// Executes the control-statement surface (scramble DDL, `SHOW`, `SET`);
+    /// queries, `BYPASS`, `STREAM`, and `EXPLAIN` are dispatched before this
+    /// is reached.
+    fn execute_control(&mut self, stmt: &Statement, sql: &str) -> VerdictResult<VerdictResponse> {
+        let _ = sql;
+        match stmt {
             Statement::CreateScramble {
                 name,
                 table,
@@ -394,6 +449,10 @@ impl VerdictSession {
             }
             Statement::ShowScrambles => Ok(VerdictResponse::Scrambles(self.show_scrambles()?)),
             Statement::ShowStats => Ok(VerdictResponse::Stats(self.show_stats())),
+            Statement::ShowProfile { last } => Ok(VerdictResponse::Profile(
+                self.show_profile(last.map_or(10, |n| n as usize)),
+            )),
+            Statement::ShowMetrics => Ok(VerdictResponse::Metrics(self.ctx.metrics_text())),
             Statement::SetOption { name, value } => {
                 let (name, rendered) = self.set_option(name, value)?;
                 Ok(VerdictResponse::OptionSet {
@@ -401,7 +460,108 @@ impl VerdictSession {
                     value: rendered,
                 })
             }
+            _ => unreachable!("query statements are dispatched before execute_control"),
         }
+    }
+
+    /// Executes `EXPLAIN [ANALYZE] <statement>`.  Plain `EXPLAIN` describes
+    /// the plan without executing; `ANALYZE` executes the statement under
+    /// this session's options and renders the finished trace as a span
+    /// table with end-to-end attribution rows.
+    fn execute_explain(
+        &mut self,
+        analyze: bool,
+        statement: &Statement,
+    ) -> VerdictResult<VerdictResponse> {
+        let cfg = self.effective_config();
+        if !analyze {
+            return Ok(VerdictResponse::Explain(
+                self.ctx.explain_statement(statement, &cfg)?,
+            ));
+        }
+        let text = print_statement(statement, self.ctx.dialect());
+        let trace = match statement {
+            Statement::Bypass(inner) => {
+                let inner_text = print_statement(inner, self.ctx.dialect());
+                self.ctx
+                    .execute_exact_traced(statement, &inner_text, &cfg, self.shed.label())?
+                    .1
+            }
+            Statement::Query(_)
+            | Statement::CreateTableAs { .. }
+            | Statement::DropTable { .. }
+            | Statement::InsertIntoSelect { .. } => {
+                if self.options.bypass {
+                    self.ctx
+                        .execute_exact_traced(statement, &text, &cfg, self.shed.label())?
+                        .1
+                } else {
+                    self.ctx
+                        .execute_statement_traced(statement, &text, &cfg, self.shed.label())?
+                        .1
+                }
+            }
+            Statement::Stream(q) => {
+                // A stream's final frame equals the one-shot answer, so
+                // ANALYZE runs the underlying query through the traced
+                // one-shot pipeline (skipping the cache, like a stream).
+                let qstmt = Statement::Query(q.clone());
+                self.ctx
+                    .execute_statement_traced(&qstmt, &text, &cfg, self.shed.label())?
+                    .1
+            }
+            other => {
+                // Control statements execute normally; their one-span trace
+                // is rendered just like a query trace.
+                let started = std::time::Instant::now();
+                self.execute_control(other, &text)?;
+                self.ctx
+                    .observe_control(other, &text, started.elapsed(), &cfg, self.shed.label())
+            }
+        };
+        Ok(VerdictResponse::Explain(render_analyze(&trace)))
+    }
+
+    /// Builds the `SHOW PROFILE [LAST n]` table from the recent-trace ring:
+    /// one row per trace, most recent first, with a compact per-stage span
+    /// summary.
+    fn show_profile(&self, n: usize) -> Table {
+        let traces = self.ctx.obs().ring().recent(n);
+        let mut seq = Vec::with_capacity(traces.len());
+        let mut class = Vec::with_capacity(traces.len());
+        let mut total_us = Vec::with_capacity(traces.len());
+        let mut cached = Vec::with_capacity(traces.len());
+        let mut slow = Vec::with_capacity(traces.len());
+        let mut shed = Vec::with_capacity(traces.len());
+        let mut spans = Vec::with_capacity(traces.len());
+        let mut sqls = Vec::with_capacity(traces.len());
+        for t in &traces {
+            seq.push(t.seq as i64);
+            class.push(t.class.to_string());
+            total_us.push(t.total.as_micros() as i64);
+            cached.push(t.cached.to_string());
+            slow.push(t.slow.to_string());
+            shed.push(t.shed_tier.to_string());
+            spans.push(
+                t.spans
+                    .iter()
+                    .map(|s| format!("{}={}us", s.stage, s.duration.as_micros()))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            sqls.push(t.sql.clone());
+        }
+        TableBuilder::new()
+            .int_column("seq", seq)
+            .str_column("class", class)
+            .int_column("total_us", total_us)
+            .str_column("cached", cached)
+            .str_column("slow", slow)
+            .str_column("shed_tier", shed)
+            .str_column("spans", spans)
+            .str_column("sql", sqls)
+            .build()
+            .expect("profile table construction cannot fail")
     }
 
     /// Builds the `SHOW SCRAMBLES` table: one row per registered scramble,
@@ -454,57 +614,113 @@ impl VerdictSession {
         }
     }
 
-    /// Builds the `SHOW STATS` table: middleware counters as (stat, value)
-    /// rows — scramble registry size, the answer cache's
-    /// hit/miss/insert/invalidation/eviction activity, and the progressive
-    /// streaming counters.
+    /// Builds the `SHOW STATS` table: middleware counters as
+    /// (section, stat, value) rows, grouped into stable sections — `cache`,
+    /// `streams`, `backend`, `store` — with stats sorted alphabetically
+    /// within each section.  The serving layer appends its own `serving`
+    /// section rows server-side; the ordering is pinned by a test, so
+    /// dashboards can scrape positions safely.
     fn show_stats(&self) -> Table {
         let cache = self.ctx.cache_stats();
         let streams = self.ctx.stream_stats();
         let backend = self.ctx.backend_stats();
-        let mut rows: Vec<(String, i64)> = vec![
-            ("scrambles".into(), self.ctx.meta().len() as i64),
-            ("cache_capacity".into(), self.ctx.cache().capacity() as i64),
-            ("cache_entries".into(), self.ctx.cache().len() as i64),
-            ("cache_hits".into(), cache.hits as i64),
-            ("cache_misses".into(), cache.misses as i64),
-            ("cache_insertions".into(), cache.insertions as i64),
-            ("cache_invalidations".into(), cache.invalidations as i64),
-            ("cache_evictions".into(), cache.evictions as i64),
-            ("streams_started".into(), streams.started as i64),
-            ("streams_completed".into(), streams.completed as i64),
-            ("stream_frames".into(), streams.frames as i64),
-            ("stream_early_stops".into(), streams.early_stops as i64),
-            ("stream_fallbacks".into(), streams.fallbacks as i64),
+        let mut rows: Vec<(&'static str, String, i64)> = vec![
+            (
+                "cache",
+                "cache_capacity".into(),
+                self.ctx.cache().capacity() as i64,
+            ),
+            (
+                "cache",
+                "cache_entries".into(),
+                self.ctx.cache().len() as i64,
+            ),
+            ("cache", "cache_evictions".into(), cache.evictions as i64),
+            ("cache", "cache_hits".into(), cache.hits as i64),
+            ("cache", "cache_insertions".into(), cache.insertions as i64),
+            (
+                "cache",
+                "cache_invalidations".into(),
+                cache.invalidations as i64,
+            ),
+            ("cache", "cache_misses".into(), cache.misses as i64),
+            (
+                "streams",
+                "stream_early_stops".into(),
+                streams.early_stops as i64,
+            ),
+            (
+                "streams",
+                "stream_fallbacks".into(),
+                streams.fallbacks as i64,
+            ),
+            ("streams", "stream_frames".into(), streams.frames as i64),
+            (
+                "streams",
+                "streams_completed".into(),
+                streams.completed as i64,
+            ),
+            ("streams", "streams_started".into(), streams.started as i64),
             // Per-backend routing counters: which backend answered, how many
             // statements it was handed, and how often a missing capability
             // forced a degraded (but correct) path.
-            ("backend_queries".into(), backend.queries_routed as i64),
             (
-                "backend_version_fallbacks".into(),
-                backend.version_fallbacks as i64,
+                "backend",
+                "backend_queries".into(),
+                backend.queries_routed as i64,
             ),
             (
+                "backend",
                 "backend_scan_fallbacks".into(),
                 backend.scan_fallbacks as i64,
             ),
+            (
+                "backend",
+                "backend_version_fallbacks".into(),
+                backend.version_fallbacks as i64,
+            ),
+            ("backend", "scrambles".into(), self.ctx.meta().len() as i64),
         ];
         for (k, v) in &backend.extra {
-            rows.push((format!("backend_{k}"), *v as i64));
+            rows.push(("backend", format!("backend_{k}"), *v as i64));
         }
         // Persistent-store activity, present only when the context was
         // opened over a data directory.
         if let Some(store) = self.ctx.store_stats() {
-            rows.push(("store_pages_read".into(), store.pages_read as i64));
-            rows.push(("store_pages_written".into(), store.pages_written as i64));
-            rows.push(("store_wal_records".into(), store.wal_records as i64));
-            rows.push(("store_wal_syncs".into(), store.wal_syncs as i64));
-            rows.push(("store_recoveries".into(), store.recoveries as i64));
-            rows.push(("store_checkpoints".into(), store.checkpoints as i64));
+            rows.push((
+                "store",
+                "store_checkpoints".into(),
+                store.checkpoints as i64,
+            ));
+            rows.push(("store", "store_pages_read".into(), store.pages_read as i64));
+            rows.push((
+                "store",
+                "store_pages_written".into(),
+                store.pages_written as i64,
+            ));
+            rows.push(("store", "store_recoveries".into(), store.recoveries as i64));
+            rows.push((
+                "store",
+                "store_wal_records".into(),
+                store.wal_records as i64,
+            ));
+            rows.push(("store", "store_wal_syncs".into(), store.wal_syncs as i64));
         }
+        let rank = |s: &str| match s {
+            "cache" => 0u8,
+            "streams" => 1,
+            "backend" => 2,
+            "store" => 3,
+            _ => 4,
+        };
+        rows.sort_by(|a, b| (rank(a.0), a.1.as_str()).cmp(&(rank(b.0), b.1.as_str())));
         TableBuilder::new()
-            .str_column("stat", rows.iter().map(|(k, _)| k.clone()).collect())
-            .int_column("value", rows.iter().map(|(_, v)| *v).collect())
+            .str_column(
+                "section",
+                rows.iter().map(|(s, _, _)| s.to_string()).collect(),
+            )
+            .str_column("stat", rows.iter().map(|(_, k, _)| k.clone()).collect())
+            .int_column("value", rows.iter().map(|(_, _, v)| *v).collect())
             .build()
             .expect("stats table construction cannot fail")
     }
@@ -684,13 +900,74 @@ impl VerdictSession {
                 };
                 Ok(("deadline_ms".into(), render(self.options.deadline_ms)))
             }
+            "slow_query_ms" => {
+                self.options.slow_query_ms = if reset {
+                    None
+                } else {
+                    let n = value_f64(value)?;
+                    if n < 0.0 || n.fract() != 0.0 {
+                        return Err(VerdictError::Unsupported(format!(
+                            "slow_query_ms must be a non-negative integer number of \
+                             milliseconds (0 = disabled), got {n}"
+                        )));
+                    }
+                    Some(n as u64)
+                };
+                Ok(("slow_query_ms".into(), render(self.options.slow_query_ms)))
+            }
             other => Err(VerdictError::Unsupported(format!(
                 "unknown session option {other} (target_error, confidence, cache, \
                  parallelism, group_strategy, bypass, error_columns, io_budget, \
-                 sampling_ratio, stream_block_rows, stream_max_frames, deadline_ms)"
+                 sampling_ratio, stream_block_rows, stream_max_frames, deadline_ms, \
+                 slow_query_ms)"
             ))),
         }
     }
+}
+
+/// Renders a finished trace as the `EXPLAIN ANALYZE` table: one row per
+/// span (offset + duration + detail), followed by `@`-prefixed attribution
+/// rows (total wall time, cache/shed/backend/store attribution).  Span
+/// durations tile the statement's wall time, so summing the non-`@` rows'
+/// `duration_us` approximates `@total` closely.
+fn render_analyze(trace: &QueryTrace) -> Table {
+    let mut span = Vec::new();
+    let mut start_us = Vec::new();
+    let mut duration_us = Vec::new();
+    let mut detail = Vec::new();
+    for s in &trace.spans {
+        span.push(s.stage.to_string());
+        start_us.push(s.start.as_micros() as i64);
+        duration_us.push(s.duration.as_micros() as i64);
+        detail.push(s.detail.clone());
+    }
+    let mut attr = |name: &str, value: String| {
+        span.push(name.to_string());
+        start_us.push(0);
+        duration_us.push(0);
+        detail.push(value);
+    };
+    attr("@class", trace.class.to_string());
+    attr("@cached", trace.cached.to_string());
+    attr("@exact", trace.exact.to_string());
+    attr("@shed_tier", trace.shed_tier.to_string());
+    attr("@backend_queries", trace.backend_queries.to_string());
+    attr("@store_pages_read", trace.store_pages_read.to_string());
+    attr("@rows_returned", trace.rows_returned.to_string());
+    attr("@rows_scanned", trace.rows_scanned.to_string());
+    attr("@slow", trace.slow.to_string());
+    // @total carries the wall time in duration_us, like the span rows.
+    span.push("@total".to_string());
+    start_us.push(0);
+    duration_us.push(trace.total.as_micros() as i64);
+    detail.push(format!("seq {}", trace.seq));
+    TableBuilder::new()
+        .str_column("span", span)
+        .int_column("start_us", start_us)
+        .int_column("duration_us", duration_us)
+        .str_column("detail", detail)
+        .build()
+        .expect("analyze table construction cannot fail")
 }
 
 /// Maps `METHOD`/`ON` clauses onto a [`SampleType`], validating the

@@ -10,8 +10,9 @@
 //! sent when a line ends with `;`.  Everything is SQL — queries,
 //! `CREATE SCRAMBLE … FROM …`, `SHOW SCRAMBLES`, `SHOW STATS`,
 //! `BYPASS <stmt>`, `SET <option> = <value>`, `REFRESH SCRAMBLES …`,
-//! `DROP SCRAMBLE[S] …`.  `\q` (or `^D`) quits; `\?` prints help.  Result
-//! tables (including `SHOW` listings) are rendered column-aligned.
+//! `DROP SCRAMBLE[S] …`, `EXPLAIN [ANALYZE] <stmt>`, `SHOW PROFILE
+//! [LAST n]`, `SHOW METRICS`.  `\q` (or `^D`) quits; `\?` prints help.
+//! Result tables (including `SHOW` listings) are rendered column-aligned.
 
 use std::io::{IsTerminal, Write};
 use verdict_server::{RemoteAnswer, StreamFrame, VerdictClient};
@@ -191,8 +192,10 @@ every input is SQL, sent when a line ends with ';':
   DROP SCRAMBLE <s>; / DROP SCRAMBLES <t>;
   REFRESH SCRAMBLES <t> [FROM <batch>];
   SHOW SCRAMBLES; / SHOW STATS;
+  EXPLAIN [ANALYZE] <statement>;               plan (or executed span trace)
+  SHOW PROFILE [LAST n]; / SHOW METRICS;       recent traces / text exposition
   SET <option> = <value>;                      e.g. SET target_error = 0.02
-                                               (stream_block_rows, stream_max_frames)
+                                               (stream_block_rows, slow_query_ms)
 \\q quits, \\? shows this help";
 
 fn main() {

@@ -19,6 +19,14 @@
 //! `BENCH_kernels.json` as a top-level `serving_scale` section (preserving
 //! everything else in the file).
 //!
+//! Alongside the client-measured latencies, each point scrapes the server's
+//! own statement-duration histogram (`SHOW METRICS`) immediately before and
+//! after the run and reports **server-side** p50/p99 computed from the
+//! bucket-count deltas — the gap between the two is queueing plus wire
+//! time.  Server percentiles are bucket upper bounds (power-of-two µs), so
+//! they are coarser than the client's exact samples; a point where the
+//! scrape fails (server mid-restart) reports them as 0.
+//!
 //! `--chaos P` injects a fault mix with probability `P` per iteration:
 //! abrupt disconnects (no `QUIT`, immediate reconnect) and
 //! deadline-exceeding statements (`SET deadline_ms = 1` on a cache-bypassed
@@ -40,7 +48,9 @@
 //! this measures WAL recovery plus cold-start scramble serving under live
 //! traffic (sessions reconnect with patience across the outage).
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+use verdict_engine::Value;
 use verdict_server::{ClientError, VerdictClient};
 
 struct Options {
@@ -185,6 +195,8 @@ struct Point {
     qps: f64,
     p50_us: u64,
     p99_us: u64,
+    server_p50_us: u64,
+    server_p99_us: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -193,6 +205,65 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Parses one `verdict_statement_duration_us_bucket{…,le="…"} N` exposition
+/// line into `(le_bound_us, cumulative_count)`.  `+Inf` maps to `u64::MAX`
+/// so the bucket map stays ordered with the open bucket last.
+fn parse_bucket_line(line: &str) -> Option<(u64, u64)> {
+    let rest = line.strip_prefix("verdict_statement_duration_us_bucket{")?;
+    let le_start = rest.find("le=\"")? + 4;
+    let le_end = le_start + rest[le_start..].find('"')?;
+    let le = match &rest[le_start..le_end] {
+        "+Inf" => u64::MAX,
+        s => s.parse().ok()?,
+    };
+    let count: u64 = rest.rsplit(' ').next()?.trim().parse().ok()?;
+    Some((le, count))
+}
+
+/// Scrapes the server's statement-duration histogram over `SHOW METRICS`,
+/// summing cumulative bucket counts across statement classes (every class
+/// series shares the same bucket bounds, so the sum is still cumulative).
+fn scrape_statement_buckets(addr: &str) -> Option<BTreeMap<u64, u64>> {
+    let mut client = VerdictClient::connect(addr).ok()?;
+    let answer = client.sql("SHOW METRICS").ok()?;
+    let _ = client.quit();
+    let mut buckets = BTreeMap::new();
+    for row in &answer.rows {
+        if let Some(Value::Str(line)) = row.first() {
+            if let Some((le, count)) = parse_bucket_line(line) {
+                *buckets.entry(le).or_insert(0u64) += count;
+            }
+        }
+    }
+    Some(buckets)
+}
+
+/// A percentile from the delta of two cumulative bucket scrapes: the upper
+/// bound of the bucket holding the target rank (the `+Inf` bucket reports
+/// the largest finite bound).  Counter resets (server restarted mid-point)
+/// saturate to partial-but-non-negative deltas.
+fn bucket_percentile(before: &BTreeMap<u64, u64>, after: &BTreeMap<u64, u64>, p: f64) -> u64 {
+    let deltas: Vec<(u64, u64)> = after
+        .iter()
+        .map(|(&le, &c)| (le, c.saturating_sub(before.get(&le).copied().unwrap_or(0))))
+        .collect();
+    let total = deltas.last().map_or(0, |&(_, c)| c);
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p * total as f64).ceil() as u64).max(1);
+    let mut last_finite = 0u64;
+    for (le, cum) in deltas {
+        if le != u64::MAX {
+            last_finite = le;
+        }
+        if cum >= rank {
+            return if le == u64::MAX { last_finite } else { le };
+        }
+    }
+    last_finite
 }
 
 /// Reconnects to the server, retrying for up to `patience` (the server may
@@ -312,6 +383,7 @@ fn run_session(
 }
 
 fn run_point(opts: &Options, sessions: usize) -> Point {
+    let before_buckets = scrape_statement_buckets(&opts.addr);
     let start = Instant::now();
     let wall_deadline = opts.duration.map(|d| start + d);
     // Sessions must survive the managed server's restart window.
@@ -349,6 +421,14 @@ fn run_point(opts: &Options, sessions: usize) -> Point {
             .collect()
     });
     let wall_secs = start.elapsed().as_secs_f64();
+    let after_buckets = scrape_statement_buckets(&opts.addr);
+    let (server_p50_us, server_p99_us) = match (&before_buckets, &after_buckets) {
+        (Some(before), Some(after)) => (
+            bucket_percentile(before, after, 0.50),
+            bucket_percentile(before, after, 0.99),
+        ),
+        _ => (0, 0),
+    };
     let mut latencies: Vec<u64> = outcomes
         .iter()
         .flat_map(|o| o.latencies_us.iter().copied())
@@ -366,6 +446,8 @@ fn run_point(opts: &Options, sessions: usize) -> Point {
         qps: ok as f64 / wall_secs.max(1e-9),
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
+        server_p50_us,
+        server_p99_us,
     }
 }
 
@@ -447,6 +529,7 @@ fn serving_scale_block(opts: &Options, points: &[Point]) -> String {
         block.push_str(&format!(
             "      {{ \"sessions\": {}, \"wall_secs\": {:.3}, \"qps\": {:.0}, \
              \"p50_us\": {}, \"p99_us\": {}, \
+             \"server_p50_us\": {}, \"server_p99_us\": {}, \
              \"ok\": {}, \"busy\": {}, \"deadline\": {}, \"disconnects\": {}, \
              \"errors\": {} }}{}\n",
             p.sessions,
@@ -454,6 +537,8 @@ fn serving_scale_block(opts: &Options, points: &[Point]) -> String {
             p.qps,
             p.p50_us,
             p.p99_us,
+            p.server_p50_us,
+            p.server_p99_us,
             p.ok,
             p.busy,
             p.deadline,
@@ -583,19 +668,23 @@ fn main() {
 
     let mut points = Vec::with_capacity(opts.sessions.len());
     println!(
-        "| sessions | q/s | p50 (µs) | p99 (µs) | ok | busy | deadline | disconnects | errors |"
+        "| sessions | q/s | p50 (µs) | p99 (µs) | srv p50 (µs) | srv p99 (µs) \
+         | ok | busy | deadline | disconnects | errors |"
     );
     println!(
-        "|---------:|----:|---------:|---------:|---:|-----:|---------:|------------:|-------:|"
+        "|---------:|----:|---------:|---------:|-------------:|-------------:\
+         |---:|-----:|---------:|------------:|-------:|"
     );
     for &n in &opts.sessions {
         let p = run_point(&opts, n);
         println!(
-            "| {} | {:.0} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {:.0} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             p.sessions,
             p.qps,
             p.p50_us,
             p.p99_us,
+            p.server_p50_us,
+            p.server_p99_us,
             p.ok,
             p.busy,
             p.deadline,

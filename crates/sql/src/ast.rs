@@ -15,9 +15,11 @@
 //! interact with VerdictDB exactly as they would with any SQL database"):
 //! scramble DDL (`CREATE SCRAMBLE`, `DROP SCRAMBLE[S]`, `SHOW SCRAMBLES`,
 //! `REFRESH SCRAMBLE[S]`), the exact-mode escape (`BYPASS <stmt>`), session
-//! options (`SET <option> = <value>`), introspection (`SHOW STATS`), and
-//! `STREAM <query>`.  These are interpreted by the middleware session layer
-//! and never reach the underlying database.
+//! options (`SET <option> = <value>`), introspection (`SHOW STATS`,
+//! `SHOW PROFILE [LAST n]`, `SHOW METRICS`), observability
+//! (`EXPLAIN [ANALYZE] <stmt>`), and `STREAM <query>`.  These are
+//! interpreted by the middleware session layer and never reach the
+//! underlying database.
 
 use std::fmt;
 
@@ -105,6 +107,25 @@ pub enum Statement {
     /// answer.  The current implementation computes a single fresh
     /// (uncached) approximate answer — the final frame of the stream.
     Stream(Box<Query>),
+    /// `EXPLAIN [ANALYZE] <statement>` — without `ANALYZE`, renders the
+    /// sampling plan and rewritten SQL without executing; with `ANALYZE`,
+    /// executes the inner statement and renders the recorded span tree with
+    /// timings and cache/shed/backend/store attribution.
+    Explain {
+        /// `true` for `EXPLAIN ANALYZE` (execute and report the trace).
+        analyze: bool,
+        /// The statement being explained.
+        statement: Box<Statement>,
+    },
+    /// `SHOW PROFILE [LAST <n>]` — renders the most recent per-query traces
+    /// from the bounded trace ring (most recent first).
+    ShowProfile {
+        /// Number of traces to show; `None` shows the single latest trace.
+        last: Option<u64>,
+    },
+    /// `SHOW METRICS` — Prometheus-style text exposition of the middleware's
+    /// counters, gauges, and latency histograms.
+    ShowMetrics,
 }
 
 /// Sampling methods nameable in `CREATE SCRAMBLE … METHOD <m>` (§3.1).

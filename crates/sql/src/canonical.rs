@@ -95,6 +95,12 @@ pub fn canonical_statement(stmt: &Statement) -> Statement {
             },
         },
         Statement::Stream(q) => Statement::Stream(Box::new(canonical_query(q))),
+        Statement::Explain { analyze, statement } => Statement::Explain {
+            analyze: *analyze,
+            statement: Box::new(canonical_statement(statement)),
+        },
+        Statement::ShowProfile { last } => Statement::ShowProfile { last: *last },
+        Statement::ShowMetrics => Statement::ShowMetrics,
     }
 }
 
@@ -393,6 +399,12 @@ mod tests {
             "bypass insert into S select * from B",
             "set cache = OFF",
             "stream select avg(X) from T",
+            "explain select avg(X) from T",
+            "explain analyze bypass select count(*) from T",
+            "show profile",
+            "show profile last 5",
+            "show metrics",
+            "set slow_query_ms = 250",
         ] {
             let once = canonical_sql(sql).unwrap();
             let twice = canonical_sql(&once).unwrap();

@@ -213,6 +213,9 @@ impl Parser {
             self.skip_statement_end()?;
             return Ok(Statement::Stream(Box::new(q)));
         }
+        if self.peek().is_keyword("explain") {
+            return self.parse_explain();
+        }
         self.error(format!(
             "unsupported statement starting with {}",
             self.peek()
@@ -377,21 +380,58 @@ impl Parser {
         })
     }
 
-    /// `SHOW SCRAMBLES` / `SHOW STATS`.
+    /// `SHOW SCRAMBLES` / `SHOW STATS` / `SHOW PROFILE [LAST n]` /
+    /// `SHOW METRICS`.
     fn parse_show(&mut self) -> Result<Statement, ParseError> {
         self.expect_keyword("show")?;
         let stmt = if self.consume_keyword("scrambles") {
             Statement::ShowScrambles
         } else if self.consume_keyword("stats") {
             Statement::ShowStats
+        } else if self.consume_keyword("metrics") {
+            Statement::ShowMetrics
+        } else if self.consume_keyword("profile") {
+            let last = if self.consume_keyword("last") {
+                match self.advance() {
+                    Token::Number(n) => Some(n.parse::<u64>().map_err(|_| ParseError {
+                        message: format!("invalid LAST count {n}"),
+                        offset: self.offset(),
+                    })?),
+                    other => {
+                        return self.error(format!("expected number after LAST, found {other}"));
+                    }
+                }
+            } else {
+                None
+            };
+            Statement::ShowProfile { last }
         } else {
             return self.error(format!(
-                "expected SCRAMBLES or STATS, found {}",
+                "expected SCRAMBLES, STATS, PROFILE or METRICS, found {}",
                 self.peek()
             ));
         };
         self.skip_statement_end()?;
         Ok(stmt)
+    }
+
+    /// `EXPLAIN [ANALYZE] <statement>` — the inner statement may be any
+    /// statement except another `EXPLAIN` (no nesting).
+    fn parse_explain(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("explain")?;
+        let analyze = self.consume_keyword("analyze");
+        let offset = self.offset();
+        let inner = self.parse_statement()?;
+        if matches!(inner, Statement::Explain { .. }) {
+            return Err(ParseError {
+                message: "EXPLAIN cannot be nested".into(),
+                offset,
+            });
+        }
+        Ok(Statement::Explain {
+            analyze,
+            statement: Box::new(inner),
+        })
     }
 
     /// `REFRESH SCRAMBLE[S] <table> [FROM <batch>]`.
@@ -1401,6 +1441,40 @@ mod tests {
         assert!(matches!(s, Statement::RefreshScrambles { batch: None, .. }));
         let s = parse_statement("STREAM SELECT avg(x) FROM t").unwrap();
         assert!(matches!(s, Statement::Stream(_)));
+    }
+
+    #[test]
+    fn parses_explain_show_profile_and_show_metrics() {
+        let s = parse_statement("EXPLAIN SELECT avg(x) FROM t").unwrap();
+        let Statement::Explain { analyze, statement } = s else {
+            panic!()
+        };
+        assert!(!analyze);
+        assert!(matches!(*statement, Statement::Query(_)));
+        let s = parse_statement("explain analyze bypass select 1").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        // EXPLAIN wraps any statement, including STREAM, but never another
+        // EXPLAIN.
+        let s = parse_statement("EXPLAIN STREAM SELECT avg(x) FROM t").unwrap();
+        let Statement::Explain { statement, .. } = s else {
+            panic!()
+        };
+        assert!(matches!(*statement, Statement::Stream(_)));
+        assert!(parse_statement("EXPLAIN EXPLAIN SELECT 1").is_err());
+        assert_eq!(
+            parse_statement("SHOW PROFILE").unwrap(),
+            Statement::ShowProfile { last: None }
+        );
+        assert_eq!(
+            parse_statement("show profile last 10;").unwrap(),
+            Statement::ShowProfile { last: Some(10) }
+        );
+        assert!(parse_statement("SHOW PROFILE LAST").is_err());
+        assert!(parse_statement("SHOW PROFILE LAST x").is_err());
+        assert_eq!(
+            parse_statement("SHOW METRICS").unwrap(),
+            Statement::ShowMetrics
+        );
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub fn print_statement(stmt: &Statement, dialect: &dyn Dialect) -> String {
             format!("SET {} = {v}", dialect.quote_ident(name))
         }
         Statement::Stream(q) => format!("STREAM {}", print_query(q, dialect)),
+        Statement::Explain { analyze, statement } => format!(
+            "EXPLAIN {}{}",
+            if *analyze { "ANALYZE " } else { "" },
+            print_statement(statement, dialect)
+        ),
+        Statement::ShowProfile { last } => match last {
+            Some(n) => format!("SHOW PROFILE LAST {n}"),
+            None => "SHOW PROFILE".to_string(),
+        },
+        Statement::ShowMetrics => "SHOW METRICS".to_string(),
     }
 }
 

@@ -60,15 +60,15 @@ fn remote_context_over(
     (ctx, handle)
 }
 
-/// `SHOW STATS` as a name → value map.
+/// `SHOW STATS` as a name → value map (columns: section, stat, value).
 fn stat_map(table: &Table) -> HashMap<String, i64> {
     (0..table.num_rows())
         .map(|r| {
-            let name = match table.value_at(r, 0) {
+            let name = match table.value_at(r, 1) {
                 Value::Str(s) => s,
                 other => panic!("stat name should be a string, got {other:?}"),
             };
-            let value = table.value_at(r, 1).as_i64().expect("stat value");
+            let value = table.value_at(r, 2).as_i64().expect("stat value");
             (name, value)
         })
         .collect()

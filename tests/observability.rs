@@ -1,0 +1,385 @@
+//! Observability acceptance tests: `EXPLAIN [ANALYZE]`, `SHOW PROFILE`,
+//! `SHOW METRICS`, the sectioned `SHOW STATS` ordering, and the
+//! `slow_query_ms` threshold.
+//!
+//! The load-bearing bar is the `EXPLAIN ANALYZE` contiguity invariant:
+//! per-stage spans are closed back-to-back (each `begin` ends the previous
+//! span at the same instant), so their durations must tile the measured
+//! wall time — the test holds the span sum within 10% of `@total` (plus a
+//! small absolute floor for per-span microsecond truncation).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use verdictdb::core::session::{VerdictResponse, VerdictSession};
+use verdictdb::{Backend, Engine, Table, TableBuilder, Value, VerdictConfig, VerdictContext};
+
+/// Deterministic 50k-row sales table (same shape the session suite uses).
+fn sales_context(seed: u64) -> Arc<VerdictContext> {
+    let engine = Engine::with_seed(seed);
+    let rows = 50_000usize;
+    let table = TableBuilder::new()
+        .int_column("id", (0..rows as i64).collect())
+        .float_column(
+            "price",
+            (0..rows).map(|i| ((i * 37) % 1000) as f64 / 10.0).collect(),
+        )
+        .str_column(
+            "city",
+            (0..rows).map(|i| format!("city_{}", i % 10)).collect(),
+        )
+        .build()
+        .unwrap();
+    engine.register_table("sales", table);
+    let conn: Arc<dyn Backend> = Arc::new(engine);
+    let mut config = VerdictConfig::for_testing();
+    config.answer_cache_capacity = 64;
+    // Leave room in the I/O budget for a 0.05-ratio scramble, so the
+    // approximate plan (and its rewrite/assemble spans) is actually taken.
+    config.sampling_ratio = 0.05;
+    config.io_budget = 0.12;
+    Arc::new(VerdictContext::new(conn, config))
+}
+
+fn str_at(t: &Table, row: usize, col: usize) -> String {
+    match t.value_at(row, col) {
+        Value::Str(s) => s,
+        other => panic!("expected string at ({row},{col}), got {other:?}"),
+    }
+}
+
+fn int_at(t: &Table, row: usize, col: usize) -> i64 {
+    t.value_at(row, col)
+        .as_i64()
+        .unwrap_or_else(|| panic!("expected integer at ({row},{col})"))
+}
+
+/// The `EXPLAIN ANALYZE` table as a span → (duration_us, detail) map.
+fn analyze_map(t: &Table) -> HashMap<String, (i64, String)> {
+    (0..t.num_rows())
+        .map(|r| (str_at(t, r, 0), (int_at(t, r, 2), str_at(t, r, 3))))
+        .collect()
+}
+
+fn explain_table(resp: &VerdictResponse) -> &Table {
+    match resp {
+        VerdictResponse::Explain(t) => t,
+        other => panic!("expected an EXPLAIN response, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn explain_analyze_spans_tile_wall_time_within_ten_percent() {
+    let ctx = sales_context(11);
+    let mut s = VerdictSession::new(Arc::clone(&ctx));
+    s.execute("CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.05")
+        .unwrap();
+
+    for sql in [
+        "EXPLAIN ANALYZE SELECT city, avg(price) AS ap FROM sales GROUP BY city ORDER BY city",
+        "EXPLAIN ANALYZE BYPASS SELECT count(*) AS n FROM sales",
+        "EXPLAIN ANALYZE SHOW SCRAMBLES",
+    ] {
+        let resp = s.execute(sql).unwrap();
+        let table = explain_table(&resp);
+        let by_span = analyze_map(table);
+
+        let total = by_span
+            .get("@total")
+            .unwrap_or_else(|| panic!("`{sql}`: missing @total row"))
+            .0;
+        assert!(total > 0, "`{sql}`: zero wall time");
+        let span_sum: i64 = (0..table.num_rows())
+            .filter(|&r| !str_at(table, r, 0).starts_with('@'))
+            .map(|r| int_at(table, r, 2))
+            .sum();
+        // Spans are contiguous, so their sum tiles the wall time; allow 10%
+        // plus a 16 µs floor for integer truncation across ~10 spans.
+        let slack = total / 10 + 16;
+        assert!(
+            (span_sum - total).abs() <= slack,
+            "`{sql}`: span sum {span_sum}µs vs wall {total}µs exceeds 10% (slack {slack}µs)"
+        );
+
+        // Attribution rows are always present.
+        for attr in [
+            "@class",
+            "@cached",
+            "@exact",
+            "@shed_tier",
+            "@backend_queries",
+            "@store_pages_read",
+            "@rows_returned",
+            "@rows_scanned",
+            "@slow",
+        ] {
+            assert!(by_span.contains_key(attr), "`{sql}`: missing {attr} row");
+        }
+    }
+
+    // The approximate query's trace must attribute real backend work and
+    // carry the rewrite pipeline stages.
+    let resp = s
+        .execute("EXPLAIN ANALYZE SELECT count(*) AS n FROM sales")
+        .unwrap();
+    let by_span = analyze_map(explain_table(&resp));
+    assert_eq!(by_span["@class"].1, "query");
+    assert!(
+        by_span["@backend_queries"].1.parse::<u64>().unwrap() >= 1,
+        "approximate execution must route at least one backend query"
+    );
+    for stage in [
+        "canonicalize",
+        "cache_probe",
+        "analyze",
+        "plan",
+        "rewrite",
+        "backend_exec",
+    ] {
+        assert!(by_span.contains_key(stage), "missing `{stage}` span");
+    }
+}
+
+#[test]
+fn explain_without_analyze_plans_without_executing() {
+    let ctx = sales_context(12);
+    let mut s = VerdictSession::new(Arc::clone(&ctx));
+    s.execute("CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.05")
+        .unwrap();
+    let routed_before = ctx.backend_stats().queries_routed;
+
+    let resp = s
+        .execute("EXPLAIN SELECT count(*) AS n FROM sales")
+        .unwrap();
+    let table = explain_table(&resp);
+    let items: Vec<String> = (0..table.num_rows()).map(|r| str_at(table, r, 0)).collect();
+    assert!(items.contains(&"statement".to_string()), "{items:?}");
+    assert!(items.contains(&"cacheable".to_string()), "{items:?}");
+    assert!(
+        items.iter().any(|i| i.starts_with("rewritten")),
+        "an approximable query must show its rewritten form: {items:?}"
+    );
+    assert_eq!(
+        ctx.backend_stats().queries_routed,
+        routed_before,
+        "EXPLAIN (without ANALYZE) must not execute the query"
+    );
+}
+
+#[test]
+fn show_profile_lists_recent_statements_most_recent_first() {
+    let ctx = sales_context(13);
+    let mut s = VerdictSession::new(ctx);
+    s.execute("BYPASS SELECT count(*) AS n FROM sales").unwrap();
+    s.execute("SELECT count(*) AS n FROM sales").unwrap();
+    s.execute("SET target_error = 0.05").unwrap();
+
+    let resp = s.execute("SHOW PROFILE LAST 2").unwrap();
+    let table = match &resp {
+        VerdictResponse::Profile(t) => t,
+        other => panic!("expected a PROFILE response, got {}", other.kind()),
+    };
+    assert_eq!(table.num_rows(), 2, "LAST 2 must cap the listing");
+    let cols: Vec<&str> = table
+        .schema
+        .fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    assert_eq!(
+        cols,
+        [
+            "seq",
+            "class",
+            "total_us",
+            "cached",
+            "slow",
+            "shed_tier",
+            "spans",
+            "sql"
+        ]
+    );
+    assert!(
+        int_at(table, 0, 0) > int_at(table, 1, 0),
+        "profile must list most recent first"
+    );
+    assert_eq!(
+        str_at(table, 0, 1),
+        "set",
+        "most recent statement is the SET"
+    );
+    assert_eq!(str_at(table, 1, 1), "query");
+    assert!(
+        !str_at(table, 0, 6).is_empty(),
+        "every trace carries at least one span"
+    );
+}
+
+#[test]
+fn show_stats_sections_are_ordered_and_alphabetical_within() {
+    let ctx = sales_context(14);
+    let mut s = VerdictSession::new(ctx);
+    s.execute("CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.02")
+        .unwrap();
+    s.execute("SELECT count(*) AS n FROM sales").unwrap();
+
+    let resp = s.execute("SHOW STATS").unwrap();
+    let table = resp.table().expect("SHOW STATS returns a table");
+    let cols: Vec<&str> = table
+        .schema
+        .fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    assert_eq!(cols, ["section", "stat", "value"]);
+
+    let rows: Vec<(String, String)> = (0..table.num_rows())
+        .map(|r| (str_at(table, r, 0), str_at(table, r, 1)))
+        .collect();
+
+    // Section group order is pinned: cache, streams, backend (a memory-only
+    // context has no store section), each internally alphabetical.
+    let rank = |s: &str| match s {
+        "cache" => 0u8,
+        "streams" => 1,
+        "backend" => 2,
+        "store" => 3,
+        other => panic!("unknown section {other}"),
+    };
+    for pair in rows.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(
+            (rank(&a.0), a.1.as_str()) < (rank(&b.0), b.1.as_str()),
+            "SHOW STATS ordering violated: {a:?} before {b:?}"
+        );
+    }
+
+    // The cache and streams sections are pinned exactly.
+    let in_section = |name: &str| -> Vec<String> {
+        rows.iter()
+            .filter(|(s, _)| s == name)
+            .map(|(_, k)| k.clone())
+            .collect()
+    };
+    assert_eq!(
+        in_section("cache"),
+        [
+            "cache_capacity",
+            "cache_entries",
+            "cache_evictions",
+            "cache_hits",
+            "cache_insertions",
+            "cache_invalidations",
+            "cache_misses",
+        ]
+    );
+    assert_eq!(
+        in_section("streams"),
+        [
+            "stream_early_stops",
+            "stream_fallbacks",
+            "stream_frames",
+            "streams_completed",
+            "streams_started",
+        ]
+    );
+    let backend = in_section("backend");
+    for stat in [
+        "backend_queries",
+        "backend_scan_fallbacks",
+        "backend_version_fallbacks",
+        "scrambles",
+    ] {
+        assert!(
+            backend.contains(&stat.to_string()),
+            "missing {stat}: {backend:?}"
+        );
+    }
+}
+
+#[test]
+fn show_metrics_exposition_is_well_formed_and_monotone() {
+    let ctx = sales_context(15);
+    let mut s = VerdictSession::new(ctx);
+    s.execute("SELECT count(*) AS n FROM sales").unwrap();
+
+    let scrape = |s: &mut VerdictSession| -> String {
+        match s.execute("SHOW METRICS").unwrap() {
+            VerdictResponse::Metrics(text) => text,
+            other => panic!("expected a METRICS response, got {}", other.kind()),
+        }
+    };
+    let first = scrape(&mut s);
+
+    // Every histogram family is complete: each series has a cumulative
+    // bucket chain ending at +Inf plus matching _sum and _count lines.
+    let series: Vec<&str> = first.lines().filter(|l| l.contains("_count{")).collect();
+    assert!(!series.is_empty(), "no histogram series in:\n{first}");
+    for count_line in &series {
+        let series_key = count_line.split("_count{").collect::<Vec<_>>().join("{");
+        let (name, label) = series_key.split_once('{').unwrap();
+        let label = label.split('}').next().unwrap();
+        assert!(
+            first.contains(&format!("{name}_sum{{{label}}}")),
+            "series {name}{{{label}}} lacks a _sum line"
+        );
+        assert!(
+            first.contains(&format!("{name}_bucket{{{label},le=\"+Inf\"}}")),
+            "series {name}{{{label}}} lacks a +Inf bucket"
+        );
+    }
+    assert!(first.contains("# TYPE verdict_statements_total counter"));
+    assert!(first.contains("verdict_cache_hits_total"));
+
+    // Counters are monotone across scrapes, and the statement counter moves.
+    let count_of = |text: &str, needle: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(needle))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing counter {needle}"))
+    };
+    // A *different* query: repeating the first would hit the answer cache
+    // and count as `query_cached` instead.
+    s.execute("SELECT sum(price) AS sp FROM sales").unwrap();
+    let second = scrape(&mut s);
+    let key = "verdict_statements_total{class=\"query\"}";
+    assert!(
+        count_of(&second, key) > count_of(&first, key),
+        "query counter must advance between scrapes"
+    );
+    let show_key = "verdict_statements_total{class=\"show\"}";
+    assert!(
+        count_of(&second, show_key) > count_of(&first, show_key),
+        "the SHOW METRICS scrape itself is a counted statement"
+    );
+}
+
+#[test]
+fn slow_query_ms_threshold_flags_statements_in_profile_and_metrics() {
+    let ctx = sales_context(16);
+    let mut s = VerdictSession::new(Arc::clone(&ctx));
+
+    // Threshold off: nothing is flagged slow.
+    s.execute("BYPASS SELECT count(*) AS n FROM sales").unwrap();
+    assert_eq!(ctx.obs().slow_queries(), 0);
+
+    // A 1 ms threshold catches scramble construction over 50k rows.
+    s.execute("SET slow_query_ms = 1").unwrap();
+    s.execute("CREATE SCRAMBLE sales_scr FROM sales METHOD uniform RATIO 0.05")
+        .unwrap();
+    assert!(
+        ctx.obs().slow_queries() >= 1,
+        "scramble build under a 1 ms threshold must be flagged slow"
+    );
+    let resp = s.execute("SHOW PROFILE LAST 50").unwrap();
+    let table = resp.table().expect("profile table");
+    let flagged = (0..table.num_rows())
+        .any(|r| str_at(table, r, 1) == "ddl" && str_at(table, r, 4) == "true");
+    assert!(flagged, "the slow DDL must carry slow=true in SHOW PROFILE");
+
+    // `SET slow_query_ms = 0` disables the threshold again.
+    s.execute("SET slow_query_ms = 0").unwrap();
+    let before = ctx.obs().slow_queries();
+    s.execute("BYPASS SELECT count(*) AS n FROM sales").unwrap();
+    assert_eq!(ctx.obs().slow_queries(), before);
+}

@@ -819,9 +819,10 @@ fn printer_is_stable_for_generated_selects() {
 }
 
 /// Printer stability + canonical-form idempotence over randomized VerdictDB
-/// control statements (scramble DDL, SET, BYPASS, STREAM): print∘parse is a
-/// fixpoint, canonicalisation is idempotent, and case-mangled spellings
-/// canonicalise to the same key.
+/// control statements (scramble DDL, SET, BYPASS, STREAM, EXPLAIN
+/// [ANALYZE], SHOW PROFILE/METRICS): print∘parse is a fixpoint,
+/// canonicalisation is idempotent, and case-mangled spellings canonicalise
+/// to the same key.
 #[test]
 fn control_statement_grammar_roundtrips_and_canonicalises() {
     use verdictdb::sql::canonical_sql;
@@ -837,14 +838,15 @@ fn control_statement_grammar_roundtrips_and_canonicalises() {
         "parallelism",
         "bypass",
         "io_budget",
+        "slow_query_ms",
     ];
-    for case in 0..256 {
+    for case in 0..320 {
         let table = tables[rng.gen_range(0..tables.len())];
         let col_a = columns[rng.gen_range(0..columns.len())];
         let col_b = columns[rng.gen_range(0..columns.len())];
         let method = methods[rng.gen_range(0..methods.len())];
         let ratio = rng.gen_range(1..100) as f64 / 100.0;
-        let sql = match case % 8 {
+        let sql = match case % 10 {
             0 => {
                 let on = if method == "uniform" {
                     String::new()
@@ -883,13 +885,32 @@ fn control_statement_grammar_roundtrips_and_canonicalises() {
             }
             5 => format!("BYPASS SELECT count(*) AS n FROM {table} WHERE {col_a} > {ratio}"),
             6 => format!("STREAM SELECT {col_a}, avg({col_b}) AS m FROM {table} GROUP BY {col_a}"),
-            _ => {
+            7 => {
                 if rng.gen_bool(0.5) {
                     "SHOW SCRAMBLES".to_string()
                 } else {
                     "SHOW STATS".to_string()
                 }
             }
+            8 => {
+                let analyze = if rng.gen_bool(0.5) {
+                    "EXPLAIN ANALYZE"
+                } else {
+                    "EXPLAIN"
+                };
+                match rng.gen_range(0..3) {
+                    0 => format!(
+                        "{analyze} SELECT count(*) AS n FROM {table} WHERE {col_a} > {ratio}"
+                    ),
+                    1 => format!("{analyze} BYPASS SELECT sum({col_a}) AS s FROM {table}"),
+                    _ => format!("{analyze} SET target_error = {ratio}"),
+                }
+            }
+            _ => match rng.gen_range(0..3) {
+                0 => "SHOW PROFILE".to_string(),
+                1 => format!("SHOW PROFILE LAST {}", rng.gen_range(1..100u64)),
+                _ => "SHOW METRICS".to_string(),
+            },
         };
 
         // print∘parse fixpoint.
@@ -908,10 +929,10 @@ fn control_statement_grammar_roundtrips_and_canonicalises() {
         assert_eq!(canonical_sql(&canon).unwrap(), canon, "for `{sql}`");
 
         // … and insensitive to keyword/identifier case mangling.  Queries
-        // with projection output names (the BYPASS/STREAM cases) are
+        // with projection output names (the BYPASS/STREAM/EXPLAIN cases) are
         // excluded: projection aliases and bare projected columns name the
         // result schema, so their case is deliberately key-significant.
-        if !matches!(case % 8, 5 | 6) {
+        if !matches!(case % 10, 5 | 6 | 8) {
             let mangled: String = sql
                 .chars()
                 .map(|c| {
@@ -927,6 +948,88 @@ fn control_statement_grammar_roundtrips_and_canonicalises() {
                 canon,
                 "case mangling changed the canonical key of `{sql}`"
             );
+        }
+    }
+}
+
+/// Log-bucketed histogram quantiles are within one power-of-two bucket of
+/// the exact sample quantile: the reported value is the upper bound of the
+/// bucket holding the exact rank statistic, so `exact ≤ reported ≤
+/// 2·max(exact, 1)` on every sample distribution.
+#[test]
+fn histogram_quantiles_are_within_one_bucket_of_exact() {
+    use verdictdb::core::Histogram;
+
+    let mut rng = StdRng::seed_from_u64(0x0b5e11);
+    for case in 0..64 {
+        let n = rng.gen_range(1..400usize);
+        // Log-uniform samples spanning the bucket range (sub-µs .. minutes).
+        let samples: Vec<u64> = (0..n)
+            .map(|_| {
+                let exp = rng.gen_range(0..30u32);
+                (1u64 << exp) / 2 + rng.gen_range(0..(1u64 << exp))
+            })
+            .collect();
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record_micros(s);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let reported = hist.quantile(q).expect("non-empty histogram");
+            assert!(
+                reported >= exact && reported <= exact.max(1) * 2,
+                "case {case} q={q}: reported {reported} is not within one \
+                 bucket of exact {exact} (n={n})"
+            );
+        }
+    }
+    assert_eq!(
+        Histogram::new().quantile(0.5),
+        None,
+        "empty has no quantile"
+    );
+}
+
+/// Merging per-shard histograms yields exactly the histogram of the
+/// concatenated value stream: identical bucket counts, total count, sum,
+/// and therefore identical quantiles — the property that makes per-shard
+/// recording safe to aggregate at exposition time.
+#[test]
+fn merged_shard_histograms_equal_histogram_of_concatenated_stream() {
+    use verdictdb::core::Histogram;
+
+    let mut rng = StdRng::seed_from_u64(0x0b5e12);
+    for case in 0..32 {
+        let shards = rng.gen_range(1..9usize);
+        let merged = Histogram::new();
+        let whole = Histogram::new();
+        for _ in 0..shards {
+            let shard = Histogram::new();
+            for _ in 0..rng.gen_range(0..200usize) {
+                // Heavy-tailed mix: mostly fast, occasionally very slow.
+                let v = if rng.gen_bool(0.9) {
+                    rng.gen_range(0..10_000u64)
+                } else {
+                    rng.gen_range(10_000..600_000_000u64)
+                };
+                shard.record_micros(v);
+                whole.record_micros(v);
+            }
+            merged.merge_from(&shard);
+        }
+        assert_eq!(
+            merged.bucket_counts(),
+            whole.bucket_counts(),
+            "case {case}: bucket counts diverge after merge"
+        );
+        assert_eq!(merged.count(), whole.count(), "case {case}");
+        assert_eq!(merged.sum_micros(), whole.sum_micros(), "case {case}");
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "case {case} q={q}");
         }
     }
 }
